@@ -1,0 +1,53 @@
+//! Figure 7: bichromatic reverse k-ranks on the road network (stores are
+//! the query class, communities the result class).
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rkranks_bench::{bench_queries, road, QueryCursor};
+use rkranks_core::{BoundConfig, IndexParams, Partition, QueryEngine};
+
+const KS: [u32; 2] = [5, 100];
+
+fn bichromatic(c: &mut Criterion) {
+    let net = road();
+    let g = &net.graph;
+    let part = Partition::from_v2_nodes(g.num_nodes(), &net.stores);
+    let queries = {
+        let p = part.clone();
+        bench_queries(g, 24, move |v| p.is_v2(v))
+    };
+    let mut group = c.benchmark_group("fig7/road");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    for k in KS {
+        group.bench_with_input(BenchmarkId::new("static", k), &k, |b, &k| {
+            let mut engine = QueryEngine::bichromatic(g, part.clone());
+            let mut cursor = QueryCursor::new(queries.clone());
+            b.iter(|| black_box(engine.query_static(cursor.next(), k).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("dynamic", k), &k, |b, &k| {
+            let mut engine = QueryEngine::bichromatic(g, part.clone());
+            let mut cursor = QueryCursor::new(queries.clone());
+            b.iter(|| {
+                black_box(engine.query_dynamic(cursor.next(), k, BoundConfig::ALL).unwrap())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("dynamic_indexed", k), &k, |b, &k| {
+            let mut engine = QueryEngine::bichromatic(g, part.clone());
+            let params = IndexParams { k_max: 100, ..Default::default() };
+            let (mut idx, _) = engine.build_index(&params);
+            let mut cursor = QueryCursor::new(queries.clone());
+            b.iter(|| {
+                black_box(
+                    engine.query_indexed(&mut idx, cursor.next(), k, BoundConfig::ALL).unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bichromatic);
+criterion_main!(benches);

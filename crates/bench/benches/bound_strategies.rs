@@ -1,0 +1,47 @@
+//! Tables 12–13: the four bound strategies on max-degree and min-degree
+//! query workloads (undirected Epinions-like graph).
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rkranks_bench::{epinions_undirected, QueryCursor};
+use rkranks_core::{BoundConfig, QueryEngine};
+use rkranks_eval::workload::{max_degree_queries, min_degree_queries};
+use rkranks_graph::NodeId;
+
+const KS: [u32; 3] = [1, 20, 100];
+
+fn bench_workload(c: &mut Criterion, label: &str, queries: Vec<NodeId>) {
+    let g = epinions_undirected();
+    let mut group = c.benchmark_group(format!("bounds/{label}"));
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for bounds in [
+        BoundConfig::PARENT_ONLY,
+        BoundConfig::PARENT_COUNT,
+        BoundConfig::PARENT_HEIGHT,
+        BoundConfig::ALL,
+    ] {
+        for k in KS {
+            group.bench_with_input(
+                BenchmarkId::new(bounds.name(), k),
+                &k,
+                |b, &k| {
+                    let mut engine = QueryEngine::new(g);
+                    let mut cursor = QueryCursor::new(queries.clone());
+                    b.iter(|| black_box(engine.query_dynamic(cursor.next(), k, bounds).unwrap()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bound_strategies(c: &mut Criterion) {
+    let g = epinions_undirected();
+    bench_workload(c, "max_degree", max_degree_queries(g, 32, |_| true));
+    bench_workload(c, "min_degree", min_degree_queries(g, 32, |_| true));
+}
+
+criterion_group!(benches, bound_strategies);
+criterion_main!(benches);

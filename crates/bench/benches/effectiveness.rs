@@ -1,0 +1,27 @@
+//! Tables 3–4 data generation cost: the all-nodes reverse top-k tally and
+//! the top-k agreement rate (the paper's effectiveness analysis).
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rkranks_bench::dblp;
+use rkranks_graph::topk::{agreement_rate, reverse_top_k_sizes};
+
+fn effectiveness(c: &mut Criterion) {
+    let g = dblp();
+    let mut group = c.benchmark_group("effectiveness/dblp");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for k in [5u32, 20] {
+        group.bench_with_input(BenchmarkId::new("reverse_topk_sizes", k), &k, |b, &k| {
+            b.iter(|| black_box(reverse_top_k_sizes(g, k)));
+        });
+        group.bench_with_input(BenchmarkId::new("agreement_rate", k), &k, |b, &k| {
+            b.iter(|| black_box(agreement_rate(g, k)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, effectiveness);
+criterion_main!(benches);

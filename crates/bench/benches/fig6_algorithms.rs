@@ -1,0 +1,53 @@
+//! Figure 6: query cost vs k for Static / Dynamic / Dynamic-Indexed on the
+//! DBLP-like and Epinions-like graphs.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rkranks_bench::{bench_queries, dblp, epinions, QueryCursor};
+use rkranks_core::{BoundConfig, IndexParams, QueryEngine};
+use rkranks_graph::Graph;
+
+const KS: [u32; 3] = [5, 20, 100];
+
+fn bench_dataset(c: &mut Criterion, label: &str, g: &'static Graph) {
+    let mut group = c.benchmark_group(format!("fig6/{label}"));
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let queries = bench_queries(g, 64, |_| true);
+
+    for k in KS {
+        group.bench_with_input(BenchmarkId::new("static", k), &k, |b, &k| {
+            let mut engine = QueryEngine::new(g);
+            let mut cursor = QueryCursor::new(queries.clone());
+            b.iter(|| black_box(engine.query_static(cursor.next(), k).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("dynamic", k), &k, |b, &k| {
+            let mut engine = QueryEngine::new(g);
+            let mut cursor = QueryCursor::new(queries.clone());
+            b.iter(|| {
+                black_box(engine.query_dynamic(cursor.next(), k, BoundConfig::ALL).unwrap())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("dynamic_indexed", k), &k, |b, &k| {
+            let mut engine = QueryEngine::new(g);
+            let params = IndexParams { k_max: 100, ..Default::default() };
+            let (mut idx, _) = engine.build_index(&params);
+            let mut cursor = QueryCursor::new(queries.clone());
+            b.iter(|| {
+                black_box(
+                    engine.query_indexed(&mut idx, cursor.next(), k, BoundConfig::ALL).unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fig6(c: &mut Criterion) {
+    bench_dataset(c, "dblp", dblp());
+    bench_dataset(c, "epinions", epinions());
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Table 10: hub-selection strategies (Random / Degree First / Closeness
+//! First) measured by indexed-query cost.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rkranks_bench::{bench_queries, dblp, epinions, QueryCursor};
+use rkranks_core::{BoundConfig, HubStrategy, IndexParams, QueryEngine};
+use rkranks_graph::Graph;
+
+fn bench_dataset(c: &mut Criterion, label: &str, g: &'static Graph) {
+    let queries = bench_queries(g, 64, |_| true);
+    let mut group = c.benchmark_group(format!("hub_strategies/{label}_k10"));
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for strategy in [HubStrategy::Random, HubStrategy::DegreeFirst, HubStrategy::ClosenessFirst] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name().replace(' ', "_")),
+            &strategy,
+            |b, &strategy| {
+                let engine_ro = QueryEngine::new(g);
+                let params = IndexParams { strategy, k_max: 100, ..Default::default() };
+                let (mut idx, _) = engine_ro.build_index(&params);
+                let mut engine = QueryEngine::new(g);
+                let mut cursor = QueryCursor::new(queries.clone());
+                b.iter(|| {
+                    black_box(
+                        engine
+                            .query_indexed(&mut idx, cursor.next(), 10, BoundConfig::ALL)
+                            .unwrap(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn hub_strategies(c: &mut Criterion) {
+    bench_dataset(c, "dblp", dblp());
+    bench_dataset(c, "epinions", epinions());
+}
+
+criterion_group!(benches, hub_strategies);
+criterion_main!(benches);

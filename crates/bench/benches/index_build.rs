@@ -1,0 +1,39 @@
+//! Table 15: index construction cost across the h/m grid.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rkranks_bench::{dblp, epinions};
+use rkranks_core::{IndexParams, QueryEngine};
+use rkranks_graph::Graph;
+
+fn bench_dataset(c: &mut Criterion, label: &str, g: &'static Graph) {
+    let mut group = c.benchmark_group(format!("index_build/{label}"));
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (h, m) in [(0.03, 0.1), (0.1, 0.1), (0.15, 0.1), (0.1, 0.03), (0.1, 0.15)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("h{h}_m{m}")),
+            &(h, m),
+            |b, &(h, m)| {
+                let engine = QueryEngine::new(g);
+                let params = IndexParams {
+                    hub_fraction: h,
+                    prefix_fraction: m,
+                    k_max: 100,
+                    ..Default::default()
+                };
+                b.iter(|| black_box(engine.build_index(&params)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn index_build(c: &mut Criterion) {
+    bench_dataset(c, "dblp", dblp());
+    bench_dataset(c, "epinions", epinions());
+}
+
+criterion_group!(benches, index_build);
+criterion_main!(benches);

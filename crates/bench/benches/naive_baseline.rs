@@ -1,0 +1,37 @@
+//! §6.3.1: the naive brute-force baseline vs the framework at k = 1.
+//! The paper reports a 5-orders-of-magnitude gap on real Epinions; the
+//! shape here is the same at bench scale.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rkranks_bench::{bench_queries, epinions, QueryCursor};
+use rkranks_core::{BoundConfig, QueryEngine};
+
+fn naive_vs_framework(c: &mut Criterion) {
+    let g = epinions();
+    let queries = bench_queries(g, 16, |_| true);
+    let mut group = c.benchmark_group("naive_baseline/epinions_k1");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    group.bench_function("naive", |b| {
+        let mut engine = QueryEngine::new(g);
+        let mut cursor = QueryCursor::new(queries.clone());
+        b.iter(|| black_box(engine.query_naive(cursor.next(), 1).unwrap()));
+    });
+    group.bench_function("static", |b| {
+        let mut engine = QueryEngine::new(g);
+        let mut cursor = QueryCursor::new(queries.clone());
+        b.iter(|| black_box(engine.query_static(cursor.next(), 1).unwrap()));
+    });
+    group.bench_function("dynamic", |b| {
+        let mut engine = QueryEngine::new(g);
+        let mut cursor = QueryCursor::new(queries.clone());
+        b.iter(|| black_box(engine.query_dynamic(cursor.next(), 1, BoundConfig::ALL).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, naive_vs_framework);
+criterion_main!(benches);

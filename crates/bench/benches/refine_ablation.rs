@@ -1,0 +1,98 @@
+//! Refinement ablations: how much the Algorithm-2 machinery actually buys.
+//!
+//! * `bounded_with_krank` — the full Algorithm 2 (d(p,q)-bounded + kRank
+//!   early termination), as used inside queries;
+//! * `bounded_no_krank` — the d(p,q) bound alone (kRank = ∞);
+//! * `unbounded_browse` — the naive §2 refinement that browses until `q`
+//!   settles.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rkranks_bench::{bench_queries, dblp, QueryCursor};
+use rkranks_core::refine::{refine_rank, refine_rank_unbounded, RefineHooks};
+use rkranks_core::{QuerySpec, QueryStats};
+use rkranks_graph::{distance, DijkstraWorkspace, NodeId};
+
+fn refine_ablation(c: &mut Criterion) {
+    let g = dblp();
+    // Candidate/query pairs at realistic distances: random nodes vs a
+    // rotating set of query nodes, with d(p,q) precomputed as the SDS tree
+    // would supply it.
+    let queries = bench_queries(g, 16, |_| true);
+    let candidates = bench_queries(g, 64, |_| true);
+    let pairs: Vec<(NodeId, NodeId, f64)> = candidates
+        .iter()
+        .zip(queries.iter().cycle())
+        .filter(|(p, q)| p != q)
+        .map(|(&p, &q)| (p, q, distance(g, p, q)))
+        .filter(|&(_, _, d)| d.is_finite())
+        .collect();
+    assert!(!pairs.is_empty());
+
+    let mut group = c.benchmark_group("refine/dblp");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    group.bench_function("bounded_with_krank", |b| {
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        let mut stats = QueryStats::default();
+        let mut cursor = QueryCursor::new((0..pairs.len() as u32).map(NodeId).collect());
+        b.iter(|| {
+            let (p, q, d) = pairs[cursor.next().index()];
+            black_box(refine_rank(
+                g,
+                QuerySpec::Mono,
+                &mut ws,
+                p,
+                q,
+                d,
+                20, // a realistic mid-query kRank
+                &mut RefineHooks::none(),
+                &mut stats,
+            ))
+        });
+    });
+
+    group.bench_function("bounded_no_krank", |b| {
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        let mut stats = QueryStats::default();
+        let mut cursor = QueryCursor::new((0..pairs.len() as u32).map(NodeId).collect());
+        b.iter(|| {
+            let (p, q, d) = pairs[cursor.next().index()];
+            black_box(refine_rank(
+                g,
+                QuerySpec::Mono,
+                &mut ws,
+                p,
+                q,
+                d,
+                u32::MAX,
+                &mut RefineHooks::none(),
+                &mut stats,
+            ))
+        });
+    });
+
+    group.bench_function("unbounded_browse", |b| {
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        let mut stats = QueryStats::default();
+        let mut cursor = QueryCursor::new((0..pairs.len() as u32).map(NodeId).collect());
+        b.iter(|| {
+            let (p, q, _) = pairs[cursor.next().index()];
+            black_box(refine_rank_unbounded(
+                g,
+                QuerySpec::Mono,
+                &mut ws,
+                p,
+                q,
+                u32::MAX,
+                &mut stats,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, refine_ablation);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Substrate ablations for the design choices called out in DESIGN.md:
+//!
+//! * decrease-key [`IndexedHeap`] vs a lazy-deletion `std::collections::BinaryHeap`
+//!   Dijkstra (the paper's pseudocode assumes decrease-key);
+//! * reusing a generation-stamped [`DijkstraWorkspace`] vs allocating fresh
+//!   per-query state (the workhorse-collection pattern).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rkranks_bench::{bench_queries, dblp, QueryCursor};
+use rkranks_graph::{DijkstraWorkspace, DistanceBrowser, Graph, NodeId};
+
+/// Reference Dijkstra with lazy deletion (duplicate heap entries, no
+/// decrease-key) and fresh allocations.
+fn dijkstra_lazy(g: &Graph, source: NodeId) -> Vec<f64> {
+    let n = g.num_nodes() as usize;
+    let mut dist = vec![f64::INFINITY; n];
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    // order by bit-pattern of the distance (valid for non-negative floats)
+    let key = |d: f64| d.to_bits();
+    dist[source.index()] = 0.0;
+    heap.push(Reverse((key(0.0), source.0)));
+    while let Some(Reverse((kd, u))) = heap.pop() {
+        let d = f64::from_bits(kd);
+        if d > dist[u as usize] {
+            continue; // stale entry
+        }
+        let (ts, ws) = g.out_neighbors(NodeId(u));
+        for (t, w) in ts.iter().zip(ws.iter()) {
+            let nd = d + *w;
+            if nd < dist[t.index()] {
+                dist[t.index()] = nd;
+                heap.push(Reverse((key(nd), t.0)));
+            }
+        }
+    }
+    dist
+}
+
+fn substrate(c: &mut Criterion) {
+    let g = dblp();
+    let queries = bench_queries(g, 32, |_| true);
+    let mut group = c.benchmark_group("substrate/sssp");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    group.bench_function("indexed_heap_reused_workspace", |b| {
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        let mut cursor = QueryCursor::new(queries.clone());
+        b.iter(|| {
+            let q = cursor.next();
+            let mut sum = 0.0;
+            for (_, d) in DistanceBrowser::new(g, &mut ws, q) {
+                sum += d;
+            }
+            black_box(sum)
+        });
+    });
+
+    group.bench_function("indexed_heap_fresh_workspace", |b| {
+        let mut cursor = QueryCursor::new(queries.clone());
+        b.iter(|| {
+            let q = cursor.next();
+            let mut ws = DijkstraWorkspace::new(g.num_nodes());
+            let mut sum = 0.0;
+            for (_, d) in DistanceBrowser::new(g, &mut ws, q) {
+                sum += d;
+            }
+            black_box(sum)
+        });
+    });
+
+    group.bench_function("lazy_binary_heap", |b| {
+        let mut cursor = QueryCursor::new(queries.clone());
+        b.iter(|| black_box(dijkstra_lazy(g, cursor.next())));
+    });
+    group.finish();
+
+    // sanity: both Dijkstras agree (checked once, not benched)
+    let q = queries[0];
+    let lazy = dijkstra_lazy(g, q);
+    let fast = rkranks_graph::sssp(g, q);
+    for (a, b) in lazy.iter().zip(fast.iter()) {
+        assert!((a - b).abs() < 1e-9 || a == b);
+    }
+}
+
+criterion_group!(benches, substrate);
+criterion_main!(benches);

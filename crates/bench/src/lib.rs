@@ -1,0 +1,92 @@
+//! Shared fixtures for the Criterion benches.
+//!
+//! Bench graphs are ~1200 nodes: large enough that pruning behaviour is
+//! realistic (thousands of candidate nodes, heavy-tailed degrees), small
+//! enough that `cargo bench --workspace` finishes in minutes. Each fixture
+//! is built once per process and reused by every benchmark in the target.
+
+use std::sync::OnceLock;
+
+use rkranks_datasets::{
+    collab_graph, road_network, trust_graph, trust_graph_undirected, CollabParams, RoadNetwork,
+    RoadParams, TrustParams,
+};
+use rkranks_graph::{Graph, NodeId};
+
+/// Seed used by every bench fixture (reproducible runs).
+pub const BENCH_SEED: u64 = 42;
+
+/// DBLP-like collaboration graph (undirected, ~1200 nodes, avg degree ≈ 14).
+pub fn dblp() -> &'static Graph {
+    static G: OnceLock<Graph> = OnceLock::new();
+    G.get_or_init(|| collab_graph(&CollabParams::with_authors(1200, BENCH_SEED)))
+}
+
+/// Epinions-like trust graph (directed, ~1200 nodes).
+pub fn epinions() -> &'static Graph {
+    static G: OnceLock<Graph> = OnceLock::new();
+    G.get_or_init(|| trust_graph(&TrustParams::with_users(1200, BENCH_SEED)))
+}
+
+/// Undirected Epinions-like graph (bound-analysis benches need the count
+/// bound, which is undirected-only).
+pub fn epinions_undirected() -> &'static Graph {
+    static G: OnceLock<Graph> = OnceLock::new();
+    G.get_or_init(|| trust_graph_undirected(&TrustParams::with_users(1200, BENCH_SEED)))
+}
+
+/// Road network with stores (undirected, 1200 nodes, 40 stores).
+pub fn road() -> &'static RoadNetwork {
+    static G: OnceLock<RoadNetwork> = OnceLock::new();
+    G.get_or_init(|| road_network(&RoadParams::grid(40, 30, 40, BENCH_SEED)))
+}
+
+/// A deterministic rotation of query nodes for a bench loop.
+pub fn bench_queries(graph: &Graph, count: usize, valid: impl Fn(NodeId) -> bool) -> Vec<NodeId> {
+    rkranks_eval::workload::random_queries(graph, count, BENCH_SEED ^ 0xBE7C, valid)
+}
+
+/// Round-robin cursor over a query set.
+pub struct QueryCursor {
+    queries: Vec<NodeId>,
+    next: usize,
+}
+
+impl QueryCursor {
+    /// Wrap a non-empty query list.
+    pub fn new(queries: Vec<NodeId>) -> Self {
+        assert!(!queries.is_empty());
+        QueryCursor { queries, next: 0 }
+    }
+
+    /// The next query node, cycling.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> NodeId {
+        let q = self.queries[self.next];
+        self.next = (self.next + 1) % self.queries.len();
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build_and_cache() {
+        assert_eq!(dblp().num_nodes(), 1200);
+        assert!(epinions().is_directed());
+        assert!(!epinions_undirected().is_directed());
+        assert_eq!(road().stores.len(), 40);
+        // same instance on second call
+        assert!(std::ptr::eq(dblp(), dblp()));
+    }
+
+    #[test]
+    fn cursor_cycles() {
+        let mut c = QueryCursor::new(vec![NodeId(1), NodeId(2)]);
+        assert_eq!(c.next(), NodeId(1));
+        assert_eq!(c.next(), NodeId(2));
+        assert_eq!(c.next(), NodeId(1));
+    }
+}

@@ -1,0 +1,668 @@
+//! The query engine: SDS-tree construction and the three evaluation
+//! strategies of the paper.
+//!
+//! * [`QueryEngine::query_naive`] — §2's brute force: refine every node.
+//! * [`QueryEngine::query_static`] — §3 / Algorithm 1: build the SDS-tree
+//!   (Dijkstra on the transpose rooted at `q`), refine every popped node,
+//!   and expand only nodes whose refinement completed (Theorem 1).
+//! * [`QueryEngine::query_dynamic`] — §4: delay the candidate decision to
+//!   pop time and skip refinement when the Theorem-2 lower bound
+//!   `max(height, parent-rank, lcount)` already meets `kRank`.
+//! * [`QueryEngine::query_indexed`] — §5 / Algorithms 3–4: additionally
+//!   seed `R` from the Reverse Rank Dictionary, take exact ranks from it,
+//!   prune on the Check Dictionary, and write every refinement discovery
+//!   back into the index.
+//!
+//! One driver implements all SDS variants; the differences are a bound
+//! configuration and an optional index. The engine owns all per-query
+//! scratch (generation-stamped), so queries allocate nothing after warm-up.
+
+use std::time::Instant;
+
+use rkranks_graph::{
+    DijkstraWorkspace, Distance, Graph, GraphError, NodeId, RelaxOutcome, Result,
+};
+
+use crate::index::{IndexBuildStats, IndexParams, RkrIndex};
+use crate::refine::{refine_rank, refine_rank_unbounded, RefineHooks, RefineOutcome};
+use crate::result::{QueryResult, TopKCollector};
+use crate::scratch::Stamped;
+use crate::spec::{Partition, QuerySpec};
+use crate::stats::QueryStats;
+use crate::trace::{PopDecision, QueryTrace, TraceEvent};
+
+/// Which Theorem-2 components the dynamic search uses. The parent-rank
+/// bound (Lemma 1) is always on — it is what makes the SDS-tree a
+/// filter-and-refine structure at all; `height` and `count` match the
+/// paper's Dynamic-Height / Dynamic-Count / Dynamic-Three strategies
+/// (Tables 12–13).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BoundConfig {
+    /// Lemma 2: `Rank(p,q) ≥ depth(p)`.
+    pub use_height: bool,
+    /// Lemma 4: `Rank(p,q) ≥ lcount(p)` (auto-disabled on directed graphs
+    /// and in bichromatic mode, where the lemma does not hold).
+    pub use_count: bool,
+}
+
+impl BoundConfig {
+    /// The paper's "Dynamic-Parent".
+    pub const PARENT_ONLY: BoundConfig = BoundConfig { use_height: false, use_count: false };
+    /// The paper's "Dynamic-Count" (parent + count).
+    pub const PARENT_COUNT: BoundConfig = BoundConfig { use_height: false, use_count: true };
+    /// The paper's "Dynamic-Height" (parent + height).
+    pub const PARENT_HEIGHT: BoundConfig = BoundConfig { use_height: true, use_count: false };
+    /// The paper's "Dynamic-Three" (all components).
+    pub const ALL: BoundConfig = BoundConfig { use_height: true, use_count: true };
+
+    /// Name matching Tables 12–13.
+    pub fn name(self) -> &'static str {
+        match (self.use_height, self.use_count) {
+            (false, false) => "Dynamic-Parent",
+            (false, true) => "Dynamic-Count",
+            (true, false) => "Dynamic-Height",
+            (true, true) => "Dynamic-Three",
+        }
+    }
+}
+
+impl Default for BoundConfig {
+    fn default() -> Self {
+        BoundConfig::ALL
+    }
+}
+
+/// Algorithm selector for the convenience dispatcher [`QueryEngine::query`].
+#[derive(Debug)]
+pub enum Algorithm<'i> {
+    /// §2 brute force.
+    Naive,
+    /// §3 static SDS-tree.
+    Static,
+    /// §4 dynamic bounded SDS-tree.
+    Dynamic(BoundConfig),
+    /// §5 dynamic SDS-tree with the (mutated) index.
+    Indexed(&'i mut RkrIndex, BoundConfig),
+}
+
+/// Reusable query-evaluation state bound to one graph.
+pub struct QueryEngine<'g> {
+    graph: &'g Graph,
+    /// `Some` only for directed graphs (undirected graphs are their own
+    /// transpose; we avoid the copy).
+    transpose: Option<Graph>,
+    partition: Option<Partition>,
+    sds_ws: DijkstraWorkspace,
+    refine_ws: DijkstraWorkspace,
+    /// SDS-tree parent of each frontier/settled node.
+    pred: Stamped<u32>,
+    /// Counted-class intermediate-node depth (degenerates to `depth - 1`
+    /// monochromatically); the Lemma-2 bound is `depth2 + 1`.
+    depth2: Stamped<u32>,
+    /// Effective rank lower bound of each processed node (exact rank when
+    /// refined) — what descendants inherit as their "parent rank".
+    eff_lb: Stamped<u32>,
+    /// Lemma-4 visit counters.
+    lcount: Stamped<u32>,
+    /// Marks nodes currently credited in `R` (prevents double offers when
+    /// the index seeds the collector).
+    in_result: Stamped<bool>,
+}
+
+impl<'g> QueryEngine<'g> {
+    /// Monochromatic engine (Definition 2).
+    pub fn new(graph: &'g Graph) -> Self {
+        Self::with_partition(graph, None)
+    }
+
+    /// Bichromatic engine (Definitions 3–4): `partition`'s `V2` is the
+    /// counted/query class, its complement the candidate class.
+    pub fn bichromatic(graph: &'g Graph, partition: Partition) -> Self {
+        Self::with_partition(graph, Some(partition))
+    }
+
+    fn with_partition(graph: &'g Graph, partition: Option<Partition>) -> Self {
+        let n = graph.num_nodes();
+        let transpose = graph.is_directed().then(|| graph.transpose());
+        QueryEngine {
+            graph,
+            transpose,
+            partition,
+            sds_ws: DijkstraWorkspace::new(n),
+            refine_ws: DijkstraWorkspace::new(n),
+            pred: Stamped::new(n as usize, u32::MAX),
+            depth2: Stamped::new(n as usize, 0),
+            eff_lb: Stamped::new(n as usize, 0),
+            lcount: Stamped::new(n as usize, 0),
+            in_result: Stamped::new(n as usize, false),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The active query specification.
+    pub fn spec(&self) -> QuerySpec<'_> {
+        match &self.partition {
+            Some(p) => QuerySpec::Bichromatic(p),
+            None => QuerySpec::Mono,
+        }
+    }
+
+    /// Build an index matching this engine's query spec.
+    pub fn build_index(&self, params: &IndexParams) -> (RkrIndex, IndexBuildStats) {
+        RkrIndex::build(self.graph, self.spec(), params)
+    }
+
+    /// Dispatch on an [`Algorithm`] value (used by the experiment harness).
+    pub fn query(&mut self, algorithm: Algorithm<'_>, q: NodeId, k: u32) -> Result<QueryResult> {
+        match algorithm {
+            Algorithm::Naive => self.query_naive(q, k),
+            Algorithm::Static => self.query_static(q, k),
+            Algorithm::Dynamic(b) => self.query_dynamic(q, k, b),
+            Algorithm::Indexed(idx, b) => self.query_indexed(idx, q, k, b),
+        }
+    }
+
+    /// §2 naive baseline: refine every candidate (with `kRank` early
+    /// termination), no SDS-tree.
+    pub fn query_naive(&mut self, q: NodeId, k: u32) -> Result<QueryResult> {
+        self.validate(q, k)?;
+        let start = Instant::now();
+        let mut stats = QueryStats::default();
+        let mut collector = TopKCollector::new(k);
+        let QueryEngine { graph, partition, refine_ws, .. } = self;
+        let spec = spec_of(partition);
+        for p in graph.nodes() {
+            if p == q || !spec.is_candidate(p) {
+                continue;
+            }
+            if let Some(RefineOutcome::Exact(r)) = refine_rank_unbounded(
+                graph,
+                spec,
+                refine_ws,
+                p,
+                q,
+                collector.k_rank(),
+                &mut stats,
+            ) {
+                collector.offer(p, r);
+            }
+        }
+        stats.elapsed = start.elapsed();
+        Ok(collector.into_result(stats))
+    }
+
+    /// §3 static SDS-tree (Algorithm 1).
+    pub fn query_static(&mut self, q: NodeId, k: u32) -> Result<QueryResult> {
+        self.run_sds(q, k, None, None, None)
+    }
+
+    /// §4 dynamic bounded SDS-tree.
+    pub fn query_dynamic(&mut self, q: NodeId, k: u32, bounds: BoundConfig) -> Result<QueryResult> {
+        self.run_sds(q, k, Some(bounds), None, None)
+    }
+
+    /// [`QueryEngine::query_dynamic`] with a full decision trace (see
+    /// [`crate::trace`]).
+    pub fn query_dynamic_traced(
+        &mut self,
+        q: NodeId,
+        k: u32,
+        bounds: BoundConfig,
+    ) -> Result<(QueryResult, QueryTrace)> {
+        let mut trace = QueryTrace::default();
+        let result = self.run_sds(q, k, Some(bounds), None, Some(&mut trace))?;
+        Ok((result, trace))
+    }
+
+    /// [`QueryEngine::query_static`] with a full decision trace.
+    pub fn query_static_traced(&mut self, q: NodeId, k: u32) -> Result<(QueryResult, QueryTrace)> {
+        let mut trace = QueryTrace::default();
+        let result = self.run_sds(q, k, None, None, Some(&mut trace))?;
+        Ok((result, trace))
+    }
+
+    /// [`QueryEngine::query_indexed`] with a full decision trace.
+    pub fn query_indexed_traced(
+        &mut self,
+        index: &mut RkrIndex,
+        q: NodeId,
+        k: u32,
+        bounds: BoundConfig,
+    ) -> Result<(QueryResult, QueryTrace)> {
+        if k > index.k_max() {
+            return Err(GraphError::InvalidQuery(format!(
+                "k = {k} exceeds the index's K = {} (the check-dictionary prune would be unsound)",
+                index.k_max()
+            )));
+        }
+        let mut trace = QueryTrace::default();
+        let result = self.run_sds(q, k, Some(bounds), Some(index), Some(&mut trace))?;
+        Ok((result, trace))
+    }
+
+    /// §5 dynamic SDS-tree with index (Algorithms 3–4). The index is
+    /// updated in place with everything the query learns.
+    pub fn query_indexed(
+        &mut self,
+        index: &mut RkrIndex,
+        q: NodeId,
+        k: u32,
+        bounds: BoundConfig,
+    ) -> Result<QueryResult> {
+        if k > index.k_max() {
+            return Err(GraphError::InvalidQuery(format!(
+                "k = {k} exceeds the index's K = {} (the check-dictionary prune would be unsound)",
+                index.k_max()
+            )));
+        }
+        self.run_sds(q, k, Some(bounds), Some(index), None)
+    }
+
+    fn validate(&self, q: NodeId, k: u32) -> Result<()> {
+        self.graph.check_node(q)?;
+        if k == 0 {
+            return Err(GraphError::InvalidQuery("k must be positive".into()));
+        }
+        self.spec().validate_query(q)?;
+        Ok(())
+    }
+
+    /// The shared SDS driver. `dynamic = None` is the static algorithm.
+    fn run_sds(
+        &mut self,
+        q: NodeId,
+        k: u32,
+        dynamic: Option<BoundConfig>,
+        mut index: Option<&mut RkrIndex>,
+        mut trace: Option<&mut QueryTrace>,
+    ) -> Result<QueryResult> {
+        self.validate(q, k)?;
+        let start = Instant::now();
+        let mut stats = QueryStats::default();
+        let mut collector = TopKCollector::new(k);
+
+        let QueryEngine {
+            graph,
+            transpose,
+            partition,
+            sds_ws,
+            refine_ws,
+            pred,
+            depth2,
+            eff_lb,
+            lcount,
+            in_result,
+        } = self;
+        let spec = spec_of(partition);
+        let tgraph: &Graph = transpose.as_ref().unwrap_or(graph);
+        // Lemma 4 is proven for undirected monochromatic graphs only.
+        let count_enabled = dynamic.is_some_and(|b| b.use_count)
+            && !graph.is_directed()
+            && !spec.is_bichromatic();
+
+        pred.reset();
+        depth2.reset();
+        eff_lb.reset();
+        lcount.reset();
+        in_result.reset();
+
+        // §5.3: seed R (and hence kRank) from the Reverse Rank Dictionary.
+        if let Some(idx) = index.as_deref() {
+            for &(r, s) in idx.top_entries(q, k) {
+                if collector.offer(s, r) {
+                    in_result.set(s.index(), true);
+                }
+            }
+        }
+
+        let record = |trace: &mut Option<&mut QueryTrace>, node: NodeId, distance, decision| {
+            if let Some(t) = trace.as_deref_mut() {
+                t.events.push(TraceEvent { node, distance, decision });
+            }
+        };
+
+        sds_ws.ensure_capacity(graph.num_nodes());
+        sds_ws.begin(q);
+        while let Some((u, d)) = sds_ws.settle_next() {
+            stats.sds_popped += 1;
+            if u == q {
+                record(&mut trace, u, d, PopDecision::Root);
+                expand(tgraph, spec, q, sds_ws, pred, depth2, &mut stats, u, d);
+                continue;
+            }
+            let parent_lb = match pred.get(u.index()) {
+                p if p == u32::MAX || NodeId(p) == q => 0,
+                p => eff_lb.get(p as usize),
+            };
+            let k_rank = collector.k_rank();
+
+            if !spec.is_candidate(u) {
+                // Conduit node (bichromatic only): it cannot be a result,
+                // but shortest paths run through it. Propagate the ancestor
+                // bound; prune the subtree when even the weakest candidate
+                // descendant bound meets kRank.
+                eff_lb.set(u.index(), parent_lb);
+                let descendant_lb = if dynamic.is_some_and(|b| b.use_height) {
+                    // any candidate below u has at least depth2(u) + [u
+                    // counted] counted intermediates
+                    parent_lb.max(depth2.get(u.index()) + spec.is_counted(u) as u32 + 1)
+                } else {
+                    parent_lb
+                };
+                let subtree_pruned = dynamic.is_some() && descendant_lb >= k_rank;
+                record(&mut trace, u, d, PopDecision::Conduit { subtree_pruned });
+                if !subtree_pruned {
+                    expand(tgraph, spec, q, sds_ws, pred, depth2, &mut stats, u, d);
+                }
+                continue;
+            }
+
+            if let Some(bounds) = dynamic {
+                // Index fast path: the exact rank is already known.
+                if let Some(r) = index.as_deref().and_then(|idx| idx.lookup(q, u)) {
+                    stats.index_exact_hits += 1;
+                    record(&mut trace, u, d, PopDecision::IndexHit { rank: r });
+                    eff_lb.set(u.index(), r);
+                    if !in_result.get(u.index()) && collector.offer(u, r) {
+                        in_result.set(u.index(), true);
+                    }
+                    if r <= collector.k_rank() {
+                        expand(tgraph, spec, q, sds_ws, pred, depth2, &mut stats, u, d);
+                    }
+                    continue;
+                }
+
+                // Theorem 2 (+ check dictionary) lower bound.
+                let height_b = if bounds.use_height { depth2.get(u.index()) + 1 } else { 0 };
+                let count_b = if count_enabled { lcount.get(u.index()) } else { 0 };
+                let check_b = index.as_deref().map_or(0, |idx| idx.check(u));
+                record_bound_win(&mut stats, parent_lb, height_b, count_b, check_b);
+                let lb = parent_lb.max(height_b).max(count_b).max(check_b);
+                if lb >= k_rank {
+                    stats.pruned_by_bound += 1;
+                    record(&mut trace, u, d, PopDecision::BoundPruned { lower_bound: lb, k_rank });
+                    eff_lb.set(u.index(), lb);
+                    continue; // Theorem 1: the subtree is pruned with it
+                }
+            }
+
+            // Rank refinement (Algorithm 2 / 4).
+            let mut hooks = RefineHooks {
+                lcount: count_enabled.then_some(&mut *lcount),
+                index: index.as_deref_mut(),
+            };
+            match refine_rank(graph, spec, refine_ws, u, q, d, k_rank, &mut hooks, &mut stats) {
+                RefineOutcome::Exact(r) => {
+                    eff_lb.set(u.index(), r);
+                    let entered = collector.offer(u, r);
+                    if entered {
+                        in_result.set(u.index(), true);
+                    }
+                    record(
+                        &mut trace,
+                        u,
+                        d,
+                        PopDecision::Refined { rank: r, entered_result: entered },
+                    );
+                    // Algorithm 1/3: completed refinement ⇒ expand.
+                    expand(tgraph, spec, q, sds_ws, pred, depth2, &mut stats, u, d);
+                }
+                RefineOutcome::Pruned { lower_bound } => {
+                    record(&mut trace, u, d, PopDecision::RefinementPruned { lower_bound });
+                    eff_lb.set(u.index(), lower_bound.max(parent_lb));
+                    // Theorem 1: no expansion.
+                }
+            }
+        }
+
+        stats.elapsed = start.elapsed();
+        Ok(collector.into_result(stats))
+    }
+}
+
+fn spec_of(partition: &Option<Partition>) -> QuerySpec<'_> {
+    match partition {
+        Some(p) => QuerySpec::Bichromatic(p),
+        None => QuerySpec::Mono,
+    }
+}
+
+/// Relax `u`'s out-edges in the transpose graph, recording tree parents and
+/// counted-depths for Theorem 2.
+#[allow(clippy::too_many_arguments)]
+fn expand(
+    tgraph: &Graph,
+    spec: QuerySpec<'_>,
+    q: NodeId,
+    sds_ws: &mut DijkstraWorkspace,
+    pred: &mut Stamped<u32>,
+    depth2: &mut Stamped<u32>,
+    stats: &mut QueryStats,
+    u: NodeId,
+    d: Distance,
+) {
+    // `u` becomes an intermediate node of everything routed through it; it
+    // contributes to the Lemma-2 bound only if it is counted and not `q`
+    // (ranks never count the query node or the candidate itself).
+    let child_depth2 = depth2.get(u.index()) + (u != q && spec.is_counted(u)) as u32;
+    let (targets, weights) = tgraph.out_neighbors(u);
+    for (t, w) in targets.iter().zip(weights.iter()) {
+        stats.sds_relaxations += 1;
+        match sds_ws.relax(*t, d + *w) {
+            RelaxOutcome::Inserted | RelaxOutcome::Decreased => {
+                pred.set(t.index(), u.0);
+                depth2.set(t.index(), child_depth2);
+            }
+            RelaxOutcome::Unchanged => {}
+        }
+    }
+}
+
+/// Table 11 bookkeeping: which component supplied the max. Ties resolve in
+/// the paper's "tight-most first" narrative order: parent, height, count,
+/// check.
+fn record_bound_win(stats: &mut QueryStats, parent: u32, height: u32, count: u32, check: u32) {
+    let best = parent.max(height).max(count).max(check);
+    let w = &mut stats.bound_wins;
+    if parent == best {
+        w.parent += 1;
+    } else if height == best {
+        w.height += 1;
+    } else if count == best {
+        w.count += 1;
+    } else {
+        w.check += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rkranks_graph::{graph_from_edges, EdgeDirection};
+
+    /// 0 is the hub; 1..=3 at distances 1, 2, 3; 4 hangs off 3.
+    fn star_tail() -> Graph {
+        graph_from_edges(
+            EdgeDirection::Undirected,
+            [(0, 1, 1.0), (0, 2, 2.0), (0, 3, 3.0), (3, 4, 1.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_star_tail() {
+        let g = star_tail();
+        let mut engine = QueryEngine::new(&g);
+        for q in g.nodes() {
+            for k in 1..=4 {
+                let naive = engine.query_naive(q, k).unwrap();
+                let stat = engine.query_static(q, k).unwrap();
+                let dynamic = engine.query_dynamic(q, k, BoundConfig::ALL).unwrap();
+                assert_eq!(naive.ranks(), stat.ranks(), "static q={q} k={k}");
+                assert_eq!(naive.ranks(), dynamic.ranks(), "dynamic q={q} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_never_refines_more_than_static() {
+        let g = star_tail();
+        let mut engine = QueryEngine::new(&g);
+        for q in g.nodes() {
+            let s = engine.query_static(q, 2).unwrap();
+            let d = engine.query_dynamic(q, 2, BoundConfig::ALL).unwrap();
+            assert!(
+                d.stats.refinement_calls <= s.stats.refinement_calls,
+                "q={q}: dynamic {} > static {}",
+                d.stats.refinement_calls,
+                s.stats.refinement_calls
+            );
+        }
+    }
+
+    #[test]
+    fn k_zero_and_bad_nodes_are_rejected() {
+        let g = star_tail();
+        let mut engine = QueryEngine::new(&g);
+        assert!(engine.query_static(NodeId(0), 0).is_err());
+        assert!(engine.query_static(NodeId(99), 1).is_err());
+        assert!(engine.query_naive(NodeId(0), 0).is_err());
+    }
+
+    #[test]
+    fn k_larger_than_graph_returns_all_candidates() {
+        let g = star_tail();
+        let mut engine = QueryEngine::new(&g);
+        let r = engine.query_dynamic(NodeId(0), 10, BoundConfig::ALL).unwrap();
+        assert_eq!(r.entries.len(), 4); // everyone but q
+    }
+
+    #[test]
+    fn indexed_rejects_k_above_k_max() {
+        let g = star_tail();
+        let mut engine = QueryEngine::new(&g);
+        let mut idx = RkrIndex::empty(g.num_nodes(), 2);
+        assert!(engine.query_indexed(&mut idx, NodeId(0), 3, BoundConfig::ALL).is_err());
+        assert!(engine.query_indexed(&mut idx, NodeId(0), 2, BoundConfig::ALL).is_ok());
+    }
+
+    #[test]
+    fn indexed_empty_index_matches_dynamic_and_learns() {
+        let g = star_tail();
+        let mut engine = QueryEngine::new(&g);
+        let mut idx = RkrIndex::empty(g.num_nodes(), 10);
+        for q in g.nodes() {
+            let expect = engine.query_dynamic(q, 2, BoundConfig::ALL).unwrap();
+            let got = engine.query_indexed(&mut idx, q, 2, BoundConfig::ALL).unwrap();
+            assert_eq!(expect.ranks(), got.ranks(), "q={q}");
+        }
+        // the index absorbed refinement results
+        assert!(idx.rrd_entries() > 0);
+        // a repeat query must still be correct
+        let expect = engine.query_dynamic(NodeId(0), 2, BoundConfig::ALL).unwrap();
+        let got = engine.query_indexed(&mut idx, NodeId(0), 2, BoundConfig::ALL).unwrap();
+        assert_eq!(expect.ranks(), got.ranks());
+    }
+
+    #[test]
+    fn directed_graph_uses_transpose() {
+        // 0 -> 1 -> 2, plus 2 -> 0 closing the cycle.
+        let g = graph_from_edges(
+            EdgeDirection::Directed,
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)],
+        )
+        .unwrap();
+        let mut engine = QueryEngine::new(&g);
+        for q in g.nodes() {
+            let naive = engine.query_naive(q, 2).unwrap();
+            let dynamic = engine.query_dynamic(q, 2, BoundConfig::ALL).unwrap();
+            assert_eq!(naive.ranks(), dynamic.ranks(), "q={q}");
+        }
+    }
+
+    #[test]
+    fn unreachable_candidates_are_excluded() {
+        // 1 -> 0: only node 1 can reach 0; node 2 cannot.
+        let g = graph_from_edges(EdgeDirection::Directed, [(1, 0, 1.0), (0, 2, 1.0)]).unwrap();
+        let mut engine = QueryEngine::new(&g);
+        let r = engine.query_dynamic(NodeId(0), 3, BoundConfig::ALL).unwrap();
+        assert_eq!(r.nodes(), vec![NodeId(1)]);
+        let n = engine.query_naive(NodeId(0), 3).unwrap();
+        assert_eq!(n.nodes(), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn bound_wins_are_recorded_in_dynamic_mode() {
+        let g = star_tail();
+        let mut engine = QueryEngine::new(&g);
+        let r = engine.query_dynamic(NodeId(0), 1, BoundConfig::ALL).unwrap();
+        assert!(r.stats.bound_wins.total() > 0);
+        let s = engine.query_static(NodeId(0), 1).unwrap();
+        assert_eq!(s.stats.bound_wins.total(), 0);
+    }
+
+    #[test]
+    fn record_bound_win_tie_precedence() {
+        let mut stats = QueryStats::default();
+        record_bound_win(&mut stats, 2, 2, 1, 0);
+        assert_eq!(stats.bound_wins.parent, 1); // parent wins ties
+        record_bound_win(&mut stats, 1, 2, 2, 2);
+        assert_eq!(stats.bound_wins.height, 1); // then height
+        record_bound_win(&mut stats, 0, 1, 2, 2);
+        assert_eq!(stats.bound_wins.count, 1); // then count
+        record_bound_win(&mut stats, 0, 0, 0, 1);
+        assert_eq!(stats.bound_wins.check, 1);
+    }
+
+    #[test]
+    fn algorithm_dispatcher_matches_direct_calls() {
+        let g = star_tail();
+        let mut engine = QueryEngine::new(&g);
+        let mut idx = RkrIndex::empty(g.num_nodes(), 10);
+        let q = NodeId(0);
+        let direct = engine.query_dynamic(q, 2, BoundConfig::ALL).unwrap();
+        let via_enum = engine.query(Algorithm::Dynamic(BoundConfig::ALL), q, 2).unwrap();
+        assert_eq!(direct.entries, via_enum.entries);
+        let direct = engine.query_naive(q, 2).unwrap();
+        let via_enum = engine.query(Algorithm::Naive, q, 2).unwrap();
+        assert_eq!(direct.entries, via_enum.entries);
+        let via_enum =
+            engine.query(Algorithm::Indexed(&mut idx, BoundConfig::ALL), q, 2).unwrap();
+        assert_eq!(direct.ranks(), via_enum.ranks());
+        let via_enum = engine.query(Algorithm::Static, q, 2).unwrap();
+        assert_eq!(direct.ranks(), via_enum.ranks());
+    }
+
+    #[test]
+    fn traced_queries_match_untraced() {
+        let g = star_tail();
+        let mut engine = QueryEngine::new(&g);
+        let mut idx = RkrIndex::empty(g.num_nodes(), 10);
+        for q in g.nodes() {
+            let plain = engine.query_dynamic(q, 2, BoundConfig::ALL).unwrap();
+            let (traced, trace) = engine.query_dynamic_traced(q, 2, BoundConfig::ALL).unwrap();
+            assert_eq!(plain.entries, traced.entries);
+            // every pop produced exactly one event
+            assert_eq!(trace.events.len() as u64, traced.stats.sds_popped);
+
+            let plain = engine.query_static(q, 2).unwrap();
+            let (traced, _) = engine.query_static_traced(q, 2).unwrap();
+            assert_eq!(plain.entries, traced.entries);
+
+            let (traced, _) =
+                engine.query_indexed_traced(&mut idx, q, 2, BoundConfig::ALL).unwrap();
+            assert_eq!(plain.ranks(), traced.ranks());
+        }
+        // warm index produces index-hit events on a repeat query
+        let (_, trace) =
+            engine.query_indexed_traced(&mut idx, NodeId(0), 2, BoundConfig::ALL).unwrap();
+        assert!(
+            !trace.index_hit_nodes().is_empty(),
+            "repeat indexed query should hit the dictionary"
+        );
+    }
+}

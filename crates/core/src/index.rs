@@ -1,0 +1,606 @@
+//! The dynamically refined reverse k-ranks index (§5).
+//!
+//! Components (Figure 3):
+//!
+//! * **Hubs** — `H` nodes selected by one of three strategies (§5.1); each
+//!   hub's `M`-prefix of its distance-ordered node list is precomputed.
+//! * **Check Dictionary** — `check[u]` is a proven lower bound on
+//!   `Rank(u, v)` for every `v` that `u`'s (possibly truncated) SSSP runs
+//!   have *not* yet enumerated: "if `u` is not in the Reverse Rank
+//!   Dictionary of `q` and `check[u] ≥ kRank`, `u` can be pruned" (§5.3).
+//! * **Reverse Rank Dictionary** — `rrd[v]` holds the best `K` known exact
+//!   `(rank, source)` pairs for `v` ("the current reverse K-ranks result
+//!   list of `v`"), seeding `R` and `kRank` at query time.
+//!
+//! The index is *dynamic*: every rank refinement executed by a query feeds
+//! its discoveries back (Algorithm 4), so the index sharpens as queries
+//! flow (Table 14).
+//!
+//! ### Soundness of the check-dictionary prune (ties included)
+//!
+//! Invariant maintained by every writer: if `(u → v)` was never offered to
+//! `rrd[v]`, then `Rank(u, v) ≥ check[u]`. The prune needs one more case:
+//! `u` *was* offered to `rrd[q]` but later evicted. Eviction means `K`
+//! entries with ranks ≤ `Rank(u, q)` remain, and since queries require
+//! `k ≤ K`, the seeded `kRank` is at most the K-th of those, hence
+//! `Rank(u, q) ≥ kRank` — `u` still cannot strictly improve the result.
+//! Both cases make the §5.3 prune safe; this is why [`RkrIndex`] refuses
+//! queries with `k > k_max`.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rkranks_graph::centrality::{closeness_sampled, top_by_score, top_degree_nodes};
+use rkranks_graph::rank::RankCounter;
+use rkranks_graph::{DijkstraWorkspace, Graph, NodeId};
+
+use crate::spec::QuerySpec;
+
+/// Hub-selection strategies (§5.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HubStrategy {
+    /// Uniformly random hubs (the paper's baseline).
+    Random,
+    /// Highest out-degree first — the paper's overall winner (Table 10).
+    DegreeFirst,
+    /// Highest (sampled) closeness centrality first.
+    ClosenessFirst,
+}
+
+impl HubStrategy {
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            HubStrategy::Random => "Random",
+            HubStrategy::DegreeFirst => "Degree First",
+            HubStrategy::ClosenessFirst => "Closeness First",
+        }
+    }
+}
+
+/// Index construction parameters (Table 5: `h`, `m`, `K`, strategy).
+#[derive(Clone, Debug)]
+pub struct IndexParams {
+    /// Hub fraction `h = H / |V|` (paper default 0.1).
+    pub hub_fraction: f64,
+    /// Prefix fraction `m = M / |V|` (paper default 0.1).
+    pub prefix_fraction: f64,
+    /// Largest supported query `k` (the paper's `K`).
+    pub k_max: u32,
+    /// Hub-selection strategy (paper default Degree First).
+    pub strategy: HubStrategy,
+    /// Source samples for the closeness approximation (§5.1 cites sampling
+    /// because exact closeness costs `O(|V|·|E|)`).
+    pub closeness_samples: usize,
+    /// RNG seed (Random strategy and closeness sampling).
+    pub seed: u64,
+}
+
+impl Default for IndexParams {
+    fn default() -> Self {
+        IndexParams {
+            hub_fraction: 0.1,
+            prefix_fraction: 0.1,
+            k_max: 100,
+            strategy: HubStrategy::DegreeFirst,
+            closeness_samples: 16,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Construction-time statistics (Table 15's data).
+#[derive(Clone, Debug)]
+pub struct IndexBuildStats {
+    /// Number of hubs selected (`H`).
+    pub hubs: u32,
+    /// Per-hub SSSP prefix length (`M`).
+    pub prefix: u32,
+    /// Wall-clock build time.
+    pub build_time: Duration,
+    /// Total nodes settled across all hub SSSPs.
+    pub settles: u64,
+}
+
+/// The two-dictionary index of §5.2.
+#[derive(Clone, Debug)]
+pub struct RkrIndex {
+    k_max: u32,
+    /// `check[u]`: every unenumerated `v` has `Rank(u,v) ≥ check[u]`.
+    check: Vec<u32>,
+    /// `rrd[v]`: best `K` known `(rank, source)` pairs, sorted ascending.
+    rrd: Vec<Vec<(u32, NodeId)>>,
+    hubs: Vec<NodeId>,
+}
+
+impl RkrIndex {
+    /// An empty index (every query falls back to pure dynamic search, but
+    /// still records its discoveries — useful for the Table 14 study).
+    pub fn empty(num_nodes: u32, k_max: u32) -> RkrIndex {
+        RkrIndex {
+            k_max,
+            check: vec![0; num_nodes as usize],
+            rrd: vec![Vec::new(); num_nodes as usize],
+            hubs: Vec::new(),
+        }
+    }
+
+    /// Build the index by running an `M`-truncated SSSP from each hub
+    /// (§5.2). `spec` controls the bichromatic variant: hubs come from the
+    /// candidate class and only counted nodes are enumerated/ranked.
+    pub fn build(graph: &Graph, spec: QuerySpec<'_>, params: &IndexParams) -> (RkrIndex, IndexBuildStats) {
+        Self::build_parallel(graph, spec, params, 1)
+    }
+
+    /// [`RkrIndex::build`] with the hub SSSPs fanned out over `threads`
+    /// worker threads.
+    ///
+    /// The result is bit-identical to the sequential build: the Reverse
+    /// Rank Dictionary keeps the K smallest `(rank, source)` pairs (a
+    /// set, not an order-sensitive structure) and the Check Dictionary is
+    /// a per-node max, so merge order cannot matter.
+    pub fn build_parallel(
+        graph: &Graph,
+        spec: QuerySpec<'_>,
+        params: &IndexParams,
+        threads: usize,
+    ) -> (RkrIndex, IndexBuildStats) {
+        let start = Instant::now();
+        let n = graph.num_nodes();
+        let hub_count = ((n as f64 * params.hub_fraction).round() as u32).clamp(1, n);
+        let prefix = ((n as f64 * params.prefix_fraction).round() as u32).clamp(1, n);
+
+        let hubs = select_hubs(graph, spec, params, hub_count);
+        let mut index = RkrIndex::empty(n, params.k_max);
+        index.hubs = hubs.clone();
+
+        let threads = threads.clamp(1, hubs.len().max(1));
+        let mut settles = 0u64;
+        if threads == 1 {
+            let mut ws = DijkstraWorkspace::new(n);
+            for &hub in &hubs {
+                settles += index.enumerate_from(graph, spec, &mut ws, hub, prefix);
+            }
+        } else {
+            let chunk = hubs.len().div_ceil(threads);
+            let mut partials: Vec<(RkrIndex, u64)> = Vec::new();
+            std::thread::scope(|s| {
+                let handles: Vec<_> = hubs
+                    .chunks(chunk)
+                    .map(|chunk| {
+                        s.spawn(move || {
+                            let mut part = RkrIndex::empty(n, params.k_max);
+                            let mut ws = DijkstraWorkspace::new(n);
+                            let mut settles = 0u64;
+                            for &hub in chunk {
+                                settles +=
+                                    part.enumerate_from(graph, spec, &mut ws, hub, prefix);
+                            }
+                            (part, settles)
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    partials.push(h.join().expect("index build worker panicked"));
+                }
+            });
+            for (part, part_settles) in partials {
+                settles += part_settles;
+                index.merge_from(&part);
+            }
+        }
+        let stats = IndexBuildStats {
+            hubs: hub_count,
+            prefix,
+            build_time: start.elapsed(),
+            settles,
+        };
+        (index, stats)
+    }
+
+    /// Fold another index's knowledge into this one (both must cover the
+    /// same node universe and `k_max`).
+    pub fn merge_from(&mut self, other: &RkrIndex) {
+        assert_eq!(self.num_nodes(), other.num_nodes(), "node universe mismatch");
+        assert_eq!(self.k_max, other.k_max, "k_max mismatch");
+        for (u, c) in other.check_entries() {
+            self.raise_check(u, c);
+        }
+        for (target, list) in other.rrd_lists() {
+            for &(rank, source) in list {
+                self.offer(target, source, rank);
+            }
+        }
+    }
+
+    /// Run a truncated SSSP from `source`, enumerating up to `limit`
+    /// counted nodes, offering each to the Reverse Rank Dictionary and
+    /// raising `check[source]`. Returns the number of settles.
+    ///
+    /// This is the build-time primitive; query-time refinements use the
+    /// incremental hooks ([`RkrIndex::offer`] / [`RkrIndex::raise_check`])
+    /// because their traversal is interleaved with pruning logic.
+    fn enumerate_from(
+        &mut self,
+        graph: &Graph,
+        spec: QuerySpec<'_>,
+        ws: &mut DijkstraWorkspace,
+        source: NodeId,
+        limit: u32,
+    ) -> u64 {
+        use rkranks_graph::DistanceBrowser;
+        let mut counter = RankCounter::new();
+        let mut settles = 0u64;
+        let mut browser = DistanceBrowser::new(graph, ws, source);
+        browser.next(); // skip the source itself
+        loop {
+            let Some((v, d)) = browser.next() else {
+                // Frontier exhausted: everything reachable was enumerated.
+                self.raise_check(source, counter.unsettled_rank_lower_bound(None));
+                break;
+            };
+            settles += 1;
+            if !spec.is_counted(v) {
+                continue;
+            }
+            let r = counter.on_settle(d);
+            self.offer(v, source, r);
+            if counter.settled() >= limit {
+                let next = browser.workspace().peek_frontier().map(|(_, d)| d);
+                self.raise_check(source, counter.unsettled_rank_lower_bound(next));
+                break;
+            }
+        }
+        settles
+    }
+
+    /// Largest query `k` this index supports.
+    pub fn k_max(&self) -> u32 {
+        self.k_max
+    }
+
+    /// The hub nodes used at build time.
+    pub fn hubs(&self) -> &[NodeId] {
+        &self.hubs
+    }
+
+    /// Check-dictionary value for `u`.
+    #[inline]
+    pub fn check(&self, u: NodeId) -> u32 {
+        self.check[u.index()]
+    }
+
+    /// Raise `check[u]` to at least `val` (check values only ever grow).
+    #[inline]
+    pub fn raise_check(&mut self, u: NodeId, val: u32) {
+        let slot = &mut self.check[u.index()];
+        if val > *slot {
+            *slot = val;
+        }
+    }
+
+    /// Exact `Rank(source, target)` if the index knows it.
+    #[inline]
+    pub fn lookup(&self, target: NodeId, source: NodeId) -> Option<u32> {
+        self.rrd[target.index()].iter().find(|&&(_, s)| s == source).map(|&(r, _)| r)
+    }
+
+    /// The best `limit` known `(rank, source)` pairs for `target`.
+    pub fn top_entries(&self, target: NodeId, limit: u32) -> &[(u32, NodeId)] {
+        let list = &self.rrd[target.index()];
+        &list[..list.len().min(limit as usize)]
+    }
+
+    /// Offer an exact `(source, rank)` observation for `target`, keeping
+    /// the best `K` entries. Duplicate sources keep their (identical —
+    /// ranks are exact) first entry.
+    pub fn offer(&mut self, target: NodeId, source: NodeId, rank: u32) {
+        let list = &mut self.rrd[target.index()];
+        // Fast reject: full and not better than the current worst.
+        if list.len() == self.k_max as usize {
+            if let Some(&(worst, _)) = list.last() {
+                if rank >= worst && !list.iter().any(|&(_, s)| s == source) {
+                    return;
+                }
+            }
+        }
+        if list.iter().any(|&(_, s)| s == source) {
+            return;
+        }
+        let pos = list.partition_point(|&(r, s)| (r, s) < (rank, source));
+        list.insert(pos, (rank, source));
+        list.truncate(self.k_max as usize);
+    }
+
+    /// Number of entries across all Reverse Rank Dictionary lists.
+    pub fn rrd_entries(&self) -> usize {
+        self.rrd.iter().map(Vec::len).sum()
+    }
+
+    /// Number of nodes this index covers.
+    pub fn num_nodes(&self) -> u32 {
+        self.check.len() as u32
+    }
+
+    /// Iterate non-zero Check Dictionary entries (for serialization and
+    /// diagnostics).
+    pub fn check_entries(&self) -> impl Iterator<Item = (NodeId, u32)> + '_ {
+        self.check
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (NodeId(i as u32), c))
+    }
+
+    /// Iterate non-empty Reverse Rank Dictionary lists.
+    pub fn rrd_lists(&self) -> impl Iterator<Item = (NodeId, &[(u32, NodeId)])> + '_ {
+        self.rrd
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.is_empty())
+            .map(|(i, l)| (NodeId(i as u32), l.as_slice()))
+    }
+
+    /// Record the hub set (used by deserialization; normal construction
+    /// goes through [`RkrIndex::build`]).
+    pub(crate) fn set_hubs(&mut self, hubs: Vec<NodeId>) {
+        self.hubs = hubs;
+    }
+
+    /// Approximate heap footprint in bytes (Tables 6–9 report index size).
+    pub fn heap_bytes(&self) -> usize {
+        self.check.len() * size_of::<u32>()
+            + self.rrd.capacity() * size_of::<Vec<(u32, NodeId)>>()
+            + self
+                .rrd
+                .iter()
+                .map(|l| l.capacity() * size_of::<(u32, NodeId)>())
+                .sum::<usize>()
+    }
+}
+
+/// Select `count` hubs from the candidate class by the configured strategy.
+fn select_hubs(
+    graph: &Graph,
+    spec: QuerySpec<'_>,
+    params: &IndexParams,
+    count: u32,
+) -> Vec<NodeId> {
+    let candidates: Vec<NodeId> = graph.nodes().filter(|&v| spec.is_candidate(v)).collect();
+    let count = (count as usize).min(candidates.len());
+    match params.strategy {
+        HubStrategy::Random => {
+            let mut rng = StdRng::seed_from_u64(params.seed);
+            let mut pool = candidates;
+            pool.shuffle(&mut rng);
+            pool.truncate(count);
+            pool.sort_unstable();
+            pool
+        }
+        HubStrategy::DegreeFirst => {
+            if spec.is_bichromatic() {
+                let scores: Vec<f64> = graph
+                    .nodes()
+                    .map(|u| if spec.is_candidate(u) { graph.degree(u) as f64 } else { -1.0 })
+                    .collect();
+                top_by_score(&scores, count)
+            } else {
+                top_degree_nodes(graph, count)
+            }
+        }
+        HubStrategy::ClosenessFirst => {
+            let mut scores = closeness_sampled(graph, params.closeness_samples, params.seed);
+            for v in graph.nodes() {
+                if !spec.is_candidate(v) {
+                    scores[v.index()] = -1.0;
+                }
+            }
+            top_by_score(&scores, count)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rkranks_graph::{graph_from_edges, EdgeDirection};
+
+    fn line() -> Graph {
+        // 0 - 1 - 2 - 3 - 4, unit weights
+        graph_from_edges(
+            EdgeDirection::Undirected,
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn offer_keeps_k_best_sorted() {
+        let mut idx = RkrIndex::empty(3, 2);
+        idx.offer(NodeId(0), NodeId(1), 5);
+        idx.offer(NodeId(0), NodeId(2), 3);
+        idx.offer(NodeId(0), NodeId(1), 5); // duplicate source ignored
+        assert_eq!(idx.top_entries(NodeId(0), 10), &[(3, NodeId(2)), (5, NodeId(1))]);
+        // better entry evicts the worst
+        idx.offer(NodeId(0), NodeId(0), 1);
+        assert_eq!(idx.top_entries(NodeId(0), 10), &[(1, NodeId(0)), (3, NodeId(2))]);
+        // worse entry rejected
+        idx.offer(NodeId(0), NodeId(1), 9);
+        assert_eq!(idx.rrd_entries(), 2);
+    }
+
+    #[test]
+    fn lookup_finds_exact_ranks() {
+        let mut idx = RkrIndex::empty(2, 4);
+        idx.offer(NodeId(1), NodeId(0), 7);
+        assert_eq!(idx.lookup(NodeId(1), NodeId(0)), Some(7));
+        assert_eq!(idx.lookup(NodeId(1), NodeId(1)), None);
+        assert_eq!(idx.lookup(NodeId(0), NodeId(0)), None);
+    }
+
+    #[test]
+    fn check_only_grows() {
+        let mut idx = RkrIndex::empty(1, 2);
+        idx.raise_check(NodeId(0), 5);
+        idx.raise_check(NodeId(0), 3);
+        assert_eq!(idx.check(NodeId(0)), 5);
+    }
+
+    #[test]
+    fn build_on_line_graph() {
+        let g = line();
+        let params = IndexParams {
+            hub_fraction: 0.4, // 2 hubs
+            prefix_fraction: 0.4, // prefix 2
+            k_max: 3,
+            strategy: HubStrategy::DegreeFirst,
+            ..Default::default()
+        };
+        let (idx, stats) = RkrIndex::build(&g, QuerySpec::Mono, &params);
+        assert_eq!(stats.hubs, 2);
+        assert_eq!(stats.prefix, 2);
+        // degree-first hubs on the line: interior nodes first (1, 2, 3 all
+        // degree 2 — tie-break by id picks 1 and 2)
+        assert_eq!(idx.hubs(), &[NodeId(1), NodeId(2)]);
+        // hub 1 enumerated its 2 nearest (0 and 2 at distance 1, shared rank 1)
+        assert_eq!(idx.lookup(NodeId(0), NodeId(1)), Some(1));
+        assert_eq!(idx.lookup(NodeId(2), NodeId(1)), Some(1));
+        // check dictionary: ties at the truncation boundary handled safely
+        assert!(idx.check(NodeId(1)) >= 1);
+        assert!(idx.check(NodeId(2)) >= 1);
+    }
+
+    #[test]
+    fn build_enumerates_exact_ranks() {
+        let g = line();
+        let params = IndexParams {
+            hub_fraction: 0.2, // 1 hub
+            prefix_fraction: 1.0, // full enumeration
+            k_max: 5,
+            strategy: HubStrategy::DegreeFirst,
+            ..Default::default()
+        };
+        let (idx, _) = RkrIndex::build(&g, QuerySpec::Mono, &params);
+        let hub = idx.hubs()[0];
+        assert_eq!(hub, NodeId(1));
+        // Rank(1, v): 0 and 2 tie at rank 1; 3 at rank 3; 4 at rank 4.
+        assert_eq!(idx.lookup(NodeId(0), hub), Some(1));
+        assert_eq!(idx.lookup(NodeId(2), hub), Some(1));
+        assert_eq!(idx.lookup(NodeId(3), hub), Some(3));
+        assert_eq!(idx.lookup(NodeId(4), hub), Some(4));
+        // exhausted frontier: check = settled + 1
+        assert_eq!(idx.check(hub), 5);
+    }
+
+    #[test]
+    fn random_strategy_is_deterministic_per_seed() {
+        let g = line();
+        let mk = |seed| {
+            let params = IndexParams {
+                hub_fraction: 0.4,
+                strategy: HubStrategy::Random,
+                seed,
+                ..Default::default()
+            };
+            RkrIndex::build(&g, QuerySpec::Mono, &params).0.hubs().to_vec()
+        };
+        assert_eq!(mk(1), mk(1));
+    }
+
+    #[test]
+    fn closeness_strategy_prefers_center() {
+        let g = line();
+        let params = IndexParams {
+            hub_fraction: 0.2, // 1 hub
+            strategy: HubStrategy::ClosenessFirst,
+            closeness_samples: 5,
+            ..Default::default()
+        };
+        let (idx, _) = RkrIndex::build(&g, QuerySpec::Mono, &params);
+        // node 2 is the exact center of the line
+        assert_eq!(idx.hubs(), &[NodeId(2)]);
+    }
+
+    #[test]
+    fn bichromatic_build_ranks_only_v2() {
+        use crate::spec::Partition;
+        let g = line();
+        // V2 = {0, 4} (the endpoints); candidates are 1, 2, 3.
+        let p = Partition::from_v2_nodes(5, &[NodeId(0), NodeId(4)]);
+        let spec = QuerySpec::Bichromatic(&p);
+        let params = IndexParams {
+            hub_fraction: 1.0,
+            prefix_fraction: 1.0,
+            k_max: 3,
+            strategy: HubStrategy::DegreeFirst,
+            ..Default::default()
+        };
+        let (idx, _) = RkrIndex::build(&g, spec, &params);
+        // hubs are candidates only
+        assert!(idx.hubs().iter().all(|&h| !p.is_v2(h)));
+        // Rank(1, 0) counts only V2 nodes: 0 is 1's nearest V2 node -> 1
+        assert_eq!(idx.lookup(NodeId(0), NodeId(1)), Some(1));
+        // Rank(1, 4): V2 node 0 is closer -> rank 2
+        assert_eq!(idx.lookup(NodeId(4), NodeId(1)), Some(2));
+        // V2 targets only ever hold candidate sources
+        for v in g.nodes() {
+            for &(_, s) in idx.top_entries(v, 10) {
+                assert!(!p.is_v2(s));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let g = line();
+        let params = IndexParams {
+            hub_fraction: 1.0,
+            prefix_fraction: 0.6,
+            k_max: 3,
+            strategy: HubStrategy::DegreeFirst,
+            ..Default::default()
+        };
+        let (seq, s1) = RkrIndex::build(&g, QuerySpec::Mono, &params);
+        let (par, s2) = RkrIndex::build_parallel(&g, QuerySpec::Mono, &params, 3);
+        assert_eq!(s1.settles, s2.settles);
+        assert_eq!(seq.hubs(), par.hubs());
+        assert_eq!(seq.rrd_entries(), par.rrd_entries());
+        for u in g.nodes() {
+            assert_eq!(seq.check(u), par.check(u), "check[{u}]");
+            assert_eq!(seq.top_entries(u, 10), par.top_entries(u, 10), "rrd[{u}]");
+        }
+    }
+
+    #[test]
+    fn merge_combines_knowledge() {
+        let mut a = RkrIndex::empty(3, 2);
+        a.offer(NodeId(0), NodeId(1), 2);
+        a.raise_check(NodeId(1), 3);
+        let mut b = RkrIndex::empty(3, 2);
+        b.offer(NodeId(0), NodeId(2), 1);
+        b.raise_check(NodeId(1), 5);
+        a.merge_from(&b);
+        assert_eq!(a.top_entries(NodeId(0), 10), &[(1, NodeId(2)), (2, NodeId(1))]);
+        assert_eq!(a.check(NodeId(1)), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "k_max mismatch")]
+    fn merge_rejects_incompatible_k_max() {
+        let mut a = RkrIndex::empty(3, 2);
+        let b = RkrIndex::empty(3, 4);
+        a.merge_from(&b);
+    }
+
+    #[test]
+    fn heap_bytes_grows_with_entries() {
+        let mut idx = RkrIndex::empty(10, 4);
+        let before = idx.heap_bytes();
+        for i in 0..10u32 {
+            idx.offer(NodeId(0), NodeId(i), i + 1);
+        }
+        assert!(idx.heap_bytes() > before);
+    }
+}

@@ -1,0 +1,245 @@
+//! Index persistence.
+//!
+//! The paper's index is expensive to build (Table 15: hours on real DBLP)
+//! and keeps improving as it absorbs queries (Table 14) — exactly the kind
+//! of state a deployment wants to keep across restarts. This module stores
+//! an [`RkrIndex`] in a line-oriented text format:
+//!
+//! ```text
+//! rkr-index v1 <num_nodes> <k_max>
+//! H <hub> <hub> ...
+//! C <node> <check-value>
+//! R <target> <source> <rank>
+//! ```
+//!
+//! Loading validates structure (ids in range, ranks ≥ 1, list caps) so a
+//! corrupted file cannot produce an index that silently mis-prunes.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use rkranks_graph::{GraphError, NodeId, Result};
+
+use crate::index::RkrIndex;
+
+/// Serialize an index.
+pub fn write_index<W: Write>(index: &RkrIndex, out: W) -> Result<()> {
+    let mut w = BufWriter::new(out);
+    writeln!(w, "rkr-index v1 {} {}", index.num_nodes(), index.k_max())?;
+    if !index.hubs().is_empty() {
+        write!(w, "H")?;
+        for h in index.hubs() {
+            write!(w, " {h}")?;
+        }
+        writeln!(w)?;
+    }
+    for (u, c) in index.check_entries() {
+        writeln!(w, "C {u} {c}")?;
+    }
+    for (target, list) in index.rrd_lists() {
+        for &(rank, source) in list {
+            writeln!(w, "R {target} {source} {rank}")?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Save an index to a file.
+pub fn save_index<P: AsRef<Path>>(index: &RkrIndex, path: P) -> Result<()> {
+    write_index(index, File::create(path)?)
+}
+
+/// Deserialize an index.
+pub fn read_index<R: Read>(input: R) -> Result<RkrIndex> {
+    let reader = BufReader::new(input);
+    let mut lines = reader.lines().enumerate();
+    let parse_err = |line: usize, message: String| GraphError::Parse { line: line + 1, message };
+
+    let (num_nodes, k_max) = loop {
+        let (idx, line) = lines
+            .next()
+            .ok_or_else(|| parse_err(0, "empty index file".into()))
+            .and_then(|(i, l)| Ok((i, l?)))?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        if parts.next() != Some("rkr-index") || parts.next() != Some("v1") {
+            return Err(parse_err(idx, "expected 'rkr-index v1 <nodes> <k_max>' header".into()));
+        }
+        let n: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(idx, "bad node count".into()))?;
+        let k: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(idx, "bad k_max".into()))?;
+        break (n, k);
+    };
+
+    let mut index = RkrIndex::empty(num_nodes, k_max);
+    let in_range = |line: usize, v: u32| {
+        if v < num_nodes {
+            Ok(NodeId(v))
+        } else {
+            Err(parse_err(line, format!("node {v} out of range (n = {num_nodes})")))
+        }
+    };
+    for (idx, line) in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let tag = parts.next().unwrap();
+        let mut num = |what: &str| -> Result<u32> {
+            parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| parse_err(idx, format!("bad {what}")))
+        };
+        match tag {
+            "H" => {
+                let mut hubs = Vec::new();
+                for tok in t.split_whitespace().skip(1) {
+                    let v: u32 = tok
+                        .parse()
+                        .map_err(|_| parse_err(idx, format!("bad hub id '{tok}'")))?;
+                    hubs.push(in_range(idx, v)?);
+                }
+                index.set_hubs(hubs);
+            }
+            "C" => {
+                let u = in_range(idx, num("node")?)?;
+                let c = num("check value")?;
+                index.raise_check(u, c);
+            }
+            "R" => {
+                let target = in_range(idx, num("target")?)?;
+                let source = in_range(idx, num("source")?)?;
+                let rank = num("rank")?;
+                if rank == 0 {
+                    return Err(parse_err(idx, "ranks start at 1".into()));
+                }
+                index.offer(target, source, rank);
+            }
+            other => return Err(parse_err(idx, format!("unknown record tag '{other}'"))),
+        }
+    }
+    Ok(index)
+}
+
+/// Load an index from a file.
+pub fn load_index<P: AsRef<Path>>(path: P) -> Result<RkrIndex> {
+    read_index(File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{BoundConfig, QueryEngine};
+    use crate::index::IndexParams;
+    use crate::spec::QuerySpec;
+    use rkranks_graph::{graph_from_edges, EdgeDirection};
+
+    fn sample_index() -> RkrIndex {
+        let g = graph_from_edges(
+            EdgeDirection::Undirected,
+            [(0, 1, 1.0), (1, 2, 0.5), (2, 3, 2.0), (3, 0, 1.5)],
+        )
+        .unwrap();
+        let params = IndexParams {
+            hub_fraction: 0.5,
+            prefix_fraction: 0.75,
+            k_max: 3,
+            ..Default::default()
+        };
+        RkrIndex::build(&g, QuerySpec::Mono, &params).0
+    }
+
+    fn round_trip(idx: &RkrIndex) -> RkrIndex {
+        let mut buf = Vec::new();
+        write_index(idx, &mut buf).unwrap();
+        read_index(&buf[..]).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let idx = sample_index();
+        let back = round_trip(&idx);
+        assert_eq!(back.k_max(), idx.k_max());
+        assert_eq!(back.num_nodes(), idx.num_nodes());
+        assert_eq!(back.hubs(), idx.hubs());
+        assert_eq!(back.rrd_entries(), idx.rrd_entries());
+        for u in 0..idx.num_nodes() {
+            assert_eq!(back.check(NodeId(u)), idx.check(NodeId(u)));
+            assert_eq!(back.top_entries(NodeId(u), 10), idx.top_entries(NodeId(u), 10));
+        }
+    }
+
+    #[test]
+    fn round_trip_after_query_updates() {
+        let g = graph_from_edges(
+            EdgeDirection::Undirected,
+            [(0, 1, 1.0), (1, 2, 0.5), (2, 3, 2.0), (3, 0, 1.5), (0, 2, 3.0)],
+        )
+        .unwrap();
+        let mut engine = QueryEngine::new(&g);
+        let mut idx = RkrIndex::empty(g.num_nodes(), 4);
+        for q in g.nodes() {
+            engine.query_indexed(&mut idx, q, 2, BoundConfig::ALL).unwrap();
+        }
+        let back = round_trip(&idx);
+        // and the loaded index answers identically
+        let mut loaded = back;
+        for q in g.nodes() {
+            let a = engine.query_indexed(&mut idx, q, 2, BoundConfig::ALL).unwrap();
+            let b = engine.query_indexed(&mut loaded, q, 2, BoundConfig::ALL).unwrap();
+            assert_eq!(a.entries, b.entries, "q={q}");
+        }
+    }
+
+    #[test]
+    fn empty_index_round_trips() {
+        let idx = RkrIndex::empty(5, 7);
+        let back = round_trip(&idx);
+        assert_eq!(back.num_nodes(), 5);
+        assert_eq!(back.k_max(), 7);
+        assert_eq!(back.rrd_entries(), 0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_index("not an index\n".as_bytes()).is_err());
+        assert!(read_index("".as_bytes()).is_err());
+        assert!(read_index("rkr-index v1 5\n".as_bytes()).is_err()); // missing k_max
+        assert!(read_index("rkr-index v1 5 3\nX 1 2 3\n".as_bytes()).is_err()); // bad tag
+        assert!(read_index("rkr-index v1 5 3\nR 9 0 1\n".as_bytes()).is_err()); // out of range
+        assert!(read_index("rkr-index v1 5 3\nR 0 1 0\n".as_bytes()).is_err()); // rank 0
+    }
+
+    #[test]
+    fn comments_and_blanks_allowed() {
+        let text = "# persisted index\n\nrkr-index v1 3 2\nC 1 4\nR 0 1 2\n";
+        let idx = read_index(text.as_bytes()).unwrap();
+        assert_eq!(idx.check(NodeId(1)), 4);
+        assert_eq!(idx.lookup(NodeId(0), NodeId(1)), Some(2));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("rkranks-index-io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.rkri");
+        let idx = sample_index();
+        save_index(&idx, &path).unwrap();
+        let back = load_index(&path).unwrap();
+        assert_eq!(back.rrd_entries(), idx.rrd_entries());
+        std::fs::remove_file(&path).ok();
+    }
+}

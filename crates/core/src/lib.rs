@@ -1,0 +1,66 @@
+//! # rkranks-core
+//!
+//! Reverse k-ranks queries on large graphs — a from-scratch Rust
+//! implementation of Qian, Li, Mamoulis, Liu & Cheung, *Reverse k-Ranks
+//! Queries on Large Graphs*, EDBT 2017.
+//!
+//! Given a weighted graph and a query node `q`, the reverse k-ranks query
+//! returns the `k` nodes that rank `q` highest by shortest-path distance —
+//! a recommendation primitive whose result size is always `k`, unlike
+//! reverse top-k / RkNN queries that starve cold nodes and flood hot ones.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rkranks_core::{QueryEngine, BoundConfig};
+//! use rkranks_graph::{graph_from_edges, EdgeDirection, NodeId};
+//!
+//! // A little collaboration graph.
+//! let g = graph_from_edges(EdgeDirection::Undirected, [
+//!     (0, 1, 1.0), (1, 2, 0.2), (1, 3, 0.3), (2, 4, 1.0),
+//! ]).unwrap();
+//!
+//! let mut engine = QueryEngine::new(&g);
+//! let result = engine.query_dynamic(NodeId(0), 2, BoundConfig::ALL).unwrap();
+//! assert_eq!(result.entries.len(), 2);
+//! // result.entries[i].rank is the exact Rank(node, q)
+//! ```
+//!
+//! ## The three evaluation strategies
+//!
+//! | Method | Paper | Entry point |
+//! |---|---|---|
+//! | Naive | §2 | [`QueryEngine::query_naive`] |
+//! | Static SDS-tree | §3 | [`QueryEngine::query_static`] |
+//! | Dynamic bounded SDS-tree | §4 | [`QueryEngine::query_dynamic`] |
+//! | Dynamic + index | §5 | [`QueryEngine::query_indexed`] with [`RkrIndex`] |
+//!
+//! Bichromatic queries (§6.3.4) use [`QueryEngine::bichromatic`] with a
+//! [`Partition`]; the §8 future-work PPR variant lives in [`ppr`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bichromatic;
+pub mod engine;
+pub mod index;
+pub mod index_io;
+pub mod ppr;
+pub mod refine;
+pub mod result;
+pub mod scratch;
+pub mod simrank;
+pub mod spec;
+pub mod stats;
+pub mod topk_baseline;
+pub mod trace;
+pub mod validate;
+
+pub use engine::{Algorithm, BoundConfig, QueryEngine};
+pub use index::{HubStrategy, IndexBuildStats, IndexParams, RkrIndex};
+pub use index_io::{load_index, read_index, save_index, write_index};
+pub use result::{QueryResult, ResultEntry, TopKCollector};
+pub use spec::{Partition, QuerySpec};
+pub use stats::{BoundWins, MeanStats, QueryStats};
+pub use trace::{PopDecision, QueryTrace, TraceEvent};
+pub use validate::{assert_equivalent, results_equivalent};

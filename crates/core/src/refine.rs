@@ -1,0 +1,502 @@
+//! Rank refinement (Algorithms 2 and 4).
+//!
+//! Given a candidate `p` with known `d(p,q)` (from the SDS-tree), compute
+//! `Rank(p,q)` by a **bounded** Dijkstra from `p`: only nodes with
+//! tentative distance strictly below `d(p,q)` ever enter the frontier, so
+//! the traversal enumerates exactly `S = {v : d(p,v) < d(p,q)}` and never
+//! needs to reach `q` itself. `Rank(p,q) = |S ∩ counted| + 1`.
+//!
+//! Early termination (the `kRank` bound): every frontier insertion is a
+//! node guaranteed to be in `S`, so `1 + inserted_counted` is a monotone
+//! lower bound on the final rank; once it exceeds `kRank` the candidate can
+//! never enter the result and refinement aborts (Algorithm 2, line 17).
+//!
+//! Optional hooks make this the single refinement implementation for all
+//! variants:
+//! * `lcount` — Algorithm 4 line 18: every inserted node's visit counter is
+//!   bumped, feeding the Lemma-4 lower bound of later candidates;
+//! * `index` — Algorithm 4 lines 8/20/22: every settled counted node's
+//!   exact rank is offered to the Reverse Rank Dictionary, and the Check
+//!   Dictionary is raised with a tie-safe bound on everything not
+//!   enumerated (see [`rkranks_graph::RankCounter::unsettled_rank_lower_bound`]).
+
+use rkranks_graph::rank::RankCounter;
+use rkranks_graph::{DijkstraWorkspace, Distance, Graph, NodeId, RelaxOutcome};
+
+use crate::index::RkrIndex;
+use crate::scratch::Stamped;
+use crate::spec::QuerySpec;
+use crate::stats::QueryStats;
+
+/// Result of one rank refinement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefineOutcome {
+    /// Refinement completed: the exact `Rank(p,q)`.
+    Exact(u32),
+    /// Refinement aborted on the `kRank` bound; `Rank(p,q) ≥ lower_bound`
+    /// (the paper's `-1` return).
+    Pruned {
+        /// A proven lower bound on the candidate's rank (`kRank + 1` at the
+        /// moment of abort).
+        lower_bound: u32,
+    },
+}
+
+/// Optional side-effect hooks threaded through refinement.
+pub struct RefineHooks<'a> {
+    /// Lemma-4 visit counters (`None` on directed graphs and in
+    /// bichromatic mode, where the bound is unsound).
+    pub lcount: Option<&'a mut Stamped<u32>>,
+    /// The dynamic index to update (Algorithm 4), if any.
+    pub index: Option<&'a mut RkrIndex>,
+}
+
+impl RefineHooks<'_> {
+    /// No side effects (Algorithm 2 as written).
+    pub fn none() -> RefineHooks<'static> {
+        RefineHooks { lcount: None, index: None }
+    }
+}
+
+/// Bounded rank refinement of candidate `p` for query `q` at distance
+/// `dpq = d(p,q)`.
+///
+/// `k_rank` is the current global bound (`u32::MAX` while `R` is not full).
+#[allow(clippy::too_many_arguments)] // mirrors the paper's GetRank signature
+pub fn refine_rank(
+    graph: &Graph,
+    spec: QuerySpec<'_>,
+    ws: &mut DijkstraWorkspace,
+    p: NodeId,
+    q: NodeId,
+    dpq: Distance,
+    k_rank: u32,
+    hooks: &mut RefineHooks<'_>,
+    stats: &mut QueryStats,
+) -> RefineOutcome {
+    debug_assert_ne!(p, q, "the query node is never refined");
+    stats.refinement_calls += 1;
+
+    ws.ensure_capacity(graph.num_nodes());
+    ws.begin(p);
+    let mut counter = RankCounter::new();
+    // Counted frontier insertions: a monotone lower bound on |S ∩ counted|.
+    let mut inserted_counted: u32 = 0;
+    // Offers below the pre-existing check value were made by earlier runs
+    // from p (the §5.3 "until the rank value exceeds Check[u]" rule).
+    let check_at_start = hooks.index.as_ref().map_or(0, |idx| idx.check(p));
+
+    while let Some((v, d)) = ws.settle_next() {
+        stats.refinement_settles += 1;
+        if v != p && spec.is_counted(v) {
+            let r = counter.on_settle(d);
+            if let Some(idx) = hooks.index.as_deref_mut() {
+                if r >= check_at_start {
+                    idx.offer(v, p, r);
+                }
+            }
+        }
+        let (targets, weights) = graph.out_neighbors(v);
+        for (t, w) in targets.iter().zip(weights.iter()) {
+            let nd = d + *w;
+            // Algorithm 2 line 13: only distances strictly below d(p,q)
+            // can contribute to the rank. `q` itself is excluded outright:
+            // by Definition 1 it never counts toward its own rank, and
+            // floating-point summation order can make a forward path to q
+            // come out one ulp below the transpose-computed `dpq`.
+            if nd >= dpq || *t == q {
+                continue;
+            }
+            if ws.relax(*t, nd) == RelaxOutcome::Inserted {
+                stats.refinement_pushes += 1;
+                if let Some(lc) = hooks.lcount.as_deref_mut() {
+                    lc.increment(t.index());
+                }
+                if spec.is_counted(*t) {
+                    inserted_counted += 1;
+                    if k_rank != u32::MAX && 1 + inserted_counted > k_rank {
+                        return prune(ws, &counter, k_rank, p, hooks, stats);
+                    }
+                }
+            }
+        }
+    }
+
+    // Frontier drained: S is fully enumerated, the rank is exact. Every
+    // node not enumerated sits at distance ≥ d(p,q), so its rank from p is
+    // at least this one — exactly what the Check Dictionary stores.
+    let rank = counter.settled() + 1;
+    if let Some(idx) = hooks.index.as_deref_mut() {
+        idx.offer(q, p, rank);
+        idx.raise_check(p, rank);
+    }
+    RefineOutcome::Exact(rank)
+}
+
+#[cold]
+fn prune(
+    ws: &DijkstraWorkspace,
+    counter: &RankCounter,
+    k_rank: u32,
+    p: NodeId,
+    hooks: &mut RefineHooks<'_>,
+    stats: &mut QueryStats,
+) -> RefineOutcome {
+    stats.refinements_pruned += 1;
+    if let Some(idx) = hooks.index.as_deref_mut() {
+        let next = ws.peek_frontier().map(|(_, d)| d);
+        idx.raise_check(p, counter.unsettled_rank_lower_bound(next));
+    }
+    RefineOutcome::Pruned { lower_bound: k_rank.saturating_add(1) }
+}
+
+/// Unbounded refinement for the naive baseline (§2): browse from `p` until
+/// `q` settles. Returns `None` when `q` is unreachable from `p` (its rank
+/// is undefined).
+pub fn refine_rank_unbounded(
+    graph: &Graph,
+    spec: QuerySpec<'_>,
+    ws: &mut DijkstraWorkspace,
+    p: NodeId,
+    q: NodeId,
+    k_rank: u32,
+    stats: &mut QueryStats,
+) -> Option<RefineOutcome> {
+    debug_assert_ne!(p, q);
+    stats.refinement_calls += 1;
+    ws.ensure_capacity(graph.num_nodes());
+    ws.begin(p);
+    let mut counter = RankCounter::new();
+    while let Some((v, d)) = ws.settle_next() {
+        stats.refinement_settles += 1;
+        if v != p && spec.is_counted(v) {
+            let r = counter.on_settle(d);
+            if v == q {
+                return Some(RefineOutcome::Exact(r));
+            }
+            // q is unsettled, so Rank(p,q) ≥ r: abort once that exceeds kRank.
+            if k_rank != u32::MAX && r > k_rank {
+                stats.refinements_pruned += 1;
+                return Some(RefineOutcome::Pruned { lower_bound: r });
+            }
+        }
+        let (targets, weights) = graph.out_neighbors(v);
+        for (t, w) in targets.iter().zip(weights.iter()) {
+            if ws.relax(*t, d + *w) == RelaxOutcome::Inserted {
+                stats.refinement_pushes += 1;
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rkranks_graph::{distance, graph_from_edges, rank_matrix, EdgeDirection};
+
+    fn sample() -> Graph {
+        // 0 - 1 (1.0), 1 - 2 (1.0), 0 - 3 (0.5), 3 - 2 (1.0), 2 - 4 (2.0)
+        graph_from_edges(
+            EdgeDirection::Undirected,
+            [(0, 1, 1.0), (1, 2, 1.0), (0, 3, 0.5), (3, 2, 1.0), (2, 4, 2.0)],
+        )
+        .unwrap()
+    }
+
+    fn refine_pair(g: &Graph, p: u32, q: u32, k_rank: u32) -> RefineOutcome {
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        let dpq = distance(g, NodeId(p), NodeId(q));
+        let mut stats = QueryStats::default();
+        refine_rank(
+            g,
+            QuerySpec::Mono,
+            &mut ws,
+            NodeId(p),
+            NodeId(q),
+            dpq,
+            k_rank,
+            &mut RefineHooks::none(),
+            &mut stats,
+        )
+    }
+
+    #[test]
+    fn exact_ranks_match_rank_matrix() {
+        let g = sample();
+        let m = rank_matrix(&g);
+        for p in 0..g.num_nodes() {
+            for q in 0..g.num_nodes() {
+                if p == q {
+                    continue;
+                }
+                let expect = m[p as usize][q as usize].unwrap();
+                assert_eq!(
+                    refine_pair(&g, p, q, u32::MAX),
+                    RefineOutcome::Exact(expect),
+                    "Rank({p},{q})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn early_termination_on_k_rank() {
+        let g = sample();
+        // Rank(4, 0) is 4; with kRank = 2 the refinement must abort.
+        let m = rank_matrix(&g);
+        assert_eq!(m[4][0], Some(4));
+        match refine_pair(&g, 4, 0, 2) {
+            RefineOutcome::Pruned { lower_bound } => assert_eq!(lower_bound, 3),
+            other => panic!("expected prune, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn k_rank_equal_to_rank_still_completes() {
+        // Pruning is strict (counter > kRank): rank == kRank completes.
+        let g = sample();
+        assert_eq!(refine_pair(&g, 4, 0, 4), RefineOutcome::Exact(4));
+    }
+
+    #[test]
+    fn stats_count_calls_and_prunes() {
+        let g = sample();
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        let mut stats = QueryStats::default();
+        let dpq = distance(&g, NodeId(4), NodeId(0));
+        refine_rank(
+            &g,
+            QuerySpec::Mono,
+            &mut ws,
+            NodeId(4),
+            NodeId(0),
+            dpq,
+            1,
+            &mut RefineHooks::none(),
+            &mut stats,
+        );
+        assert_eq!(stats.refinement_calls, 1);
+        assert_eq!(stats.refinements_pruned, 1);
+        assert!(stats.refinement_settles >= 1);
+    }
+
+    #[test]
+    fn lcount_hook_increments_inserted_nodes() {
+        let g = sample();
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        let mut lcount = Stamped::new(g.num_nodes() as usize, 0u32);
+        lcount.reset();
+        let mut stats = QueryStats::default();
+        let dpq = distance(&g, NodeId(4), NodeId(0));
+        let mut hooks = RefineHooks { lcount: Some(&mut lcount), index: None };
+        let out = refine_rank(
+            &g,
+            QuerySpec::Mono,
+            &mut ws,
+            NodeId(4),
+            NodeId(0),
+            dpq,
+            u32::MAX,
+            &mut hooks,
+            &mut stats,
+        );
+        assert_eq!(out, RefineOutcome::Exact(4));
+        // every node in S = {2, 1, 3} was inserted exactly once
+        assert_eq!(lcount.get(2), 1);
+        assert_eq!(lcount.get(1), 1);
+        assert_eq!(lcount.get(3), 1);
+        assert_eq!(lcount.get(0), 0); // q itself is never inserted
+    }
+
+    #[test]
+    fn index_hook_records_exact_ranks_and_check() {
+        let g = sample();
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        let mut idx = RkrIndex::empty(g.num_nodes(), 10);
+        let mut stats = QueryStats::default();
+        let dpq = distance(&g, NodeId(4), NodeId(0));
+        let mut hooks = RefineHooks { lcount: None, index: Some(&mut idx) };
+        let out = refine_rank(
+            &g,
+            QuerySpec::Mono,
+            &mut ws,
+            NodeId(4),
+            NodeId(0),
+            dpq,
+            u32::MAX,
+            &mut hooks,
+            &mut stats,
+        );
+        assert_eq!(out, RefineOutcome::Exact(4));
+        // settled nodes got exact offers: ranks of 2, 1, 3 from node 4
+        let m = rank_matrix(&g);
+        assert_eq!(idx.lookup(NodeId(2), NodeId(4)), Some(m[4][2].unwrap()));
+        assert_eq!(idx.lookup(NodeId(1), NodeId(4)), Some(m[4][1].unwrap()));
+        // the query node's rrd learned the final rank
+        assert_eq!(idx.lookup(NodeId(0), NodeId(4)), Some(4));
+        // check dictionary: everything unseen from 4 has rank ≥ 4
+        assert_eq!(idx.check(NodeId(4)), 4);
+    }
+
+    #[test]
+    fn pruned_refinement_still_raises_check_safely() {
+        let g = sample();
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        let mut idx = RkrIndex::empty(g.num_nodes(), 10);
+        let mut stats = QueryStats::default();
+        let dpq = distance(&g, NodeId(4), NodeId(0));
+        let mut hooks = RefineHooks { lcount: None, index: Some(&mut idx) };
+        refine_rank(
+            &g,
+            QuerySpec::Mono,
+            &mut ws,
+            NodeId(4),
+            NodeId(0),
+            dpq,
+            1,
+            &mut hooks,
+            &mut stats,
+        );
+        // Invariant: any v not in rrd from source 4 has Rank(4,v) ≥ check(4).
+        let m = rank_matrix(&g);
+        let c = idx.check(NodeId(4));
+        for v in g.nodes() {
+            if v == NodeId(4) || idx.lookup(v, NodeId(4)).is_some() {
+                continue;
+            }
+            if let Some(r) = m[4][v.index()] {
+                assert!(r >= c, "Rank(4,{v}) = {r} < check {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn bichromatic_counts_only_v2() {
+        use crate::spec::Partition;
+        let g = sample();
+        // V2 = {0, 2}; candidate 4 queries q = 0.
+        let part = Partition::from_v2_nodes(5, &[NodeId(0), NodeId(2)]);
+        let spec = QuerySpec::Bichromatic(&part);
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        let mut stats = QueryStats::default();
+        let dpq = distance(&g, NodeId(4), NodeId(0));
+        let out = refine_rank(
+            &g,
+            spec,
+            &mut ws,
+            NodeId(4),
+            NodeId(0),
+            dpq,
+            u32::MAX,
+            &mut RefineHooks::none(),
+            &mut stats,
+        );
+        // From 4: V2 node 2 (dist 2.0) is closer than 0 (dist 3.5) -> rank 2.
+        assert_eq!(out, RefineOutcome::Exact(2));
+    }
+
+    #[test]
+    fn unbounded_matches_bounded() {
+        let g = sample();
+        let m = rank_matrix(&g);
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        let mut stats = QueryStats::default();
+        for p in 0..5u32 {
+            for q in 0..5u32 {
+                if p == q {
+                    continue;
+                }
+                let out = refine_rank_unbounded(
+                    &g,
+                    QuerySpec::Mono,
+                    &mut ws,
+                    NodeId(p),
+                    NodeId(q),
+                    u32::MAX,
+                    &mut stats,
+                )
+                .unwrap();
+                assert_eq!(out, RefineOutcome::Exact(m[p as usize][q as usize].unwrap()));
+            }
+        }
+    }
+
+    #[test]
+    fn unbounded_unreachable_is_none() {
+        let g = graph_from_edges(EdgeDirection::Directed, [(0, 1, 1.0)]).unwrap();
+        let mut ws = DijkstraWorkspace::new(2);
+        let mut stats = QueryStats::default();
+        assert_eq!(
+            refine_rank_unbounded(
+                &g,
+                QuerySpec::Mono,
+                &mut ws,
+                NodeId(1),
+                NodeId(0),
+                u32::MAX,
+                &mut stats
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn unbounded_early_termination() {
+        // From 4 the settle ranks run 1, 2, 2 (tie), then q at rank 4.
+        // With kRank = 1 the rank-2 settle triggers the prune; with
+        // kRank = 2 no intermediate settle exceeds the bound before q
+        // arrives, so the exact rank is returned (the collector rejects it).
+        let g = sample();
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        let mut stats = QueryStats::default();
+        let pruned = refine_rank_unbounded(
+            &g,
+            QuerySpec::Mono,
+            &mut ws,
+            NodeId(4),
+            NodeId(0),
+            1,
+            &mut stats,
+        )
+        .unwrap();
+        assert!(matches!(pruned, RefineOutcome::Pruned { lower_bound } if lower_bound == 2));
+        let exact = refine_rank_unbounded(
+            &g,
+            QuerySpec::Mono,
+            &mut ws,
+            NodeId(4),
+            NodeId(0),
+            2,
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(exact, RefineOutcome::Exact(4));
+    }
+
+    #[test]
+    fn zero_distance_candidate() {
+        // p at distance 0 from q (zero-weight edge): rank must be 1.
+        let g = graph_from_edges(
+            EdgeDirection::Undirected,
+            [(0, 1, 0.0), (1, 2, 1.0)],
+        )
+        .unwrap();
+        let out = {
+            let mut ws = DijkstraWorkspace::new(3);
+            let mut stats = QueryStats::default();
+            refine_rank(
+                &g,
+                QuerySpec::Mono,
+                &mut ws,
+                NodeId(1),
+                NodeId(0),
+                0.0,
+                u32::MAX,
+                &mut RefineHooks::none(),
+                &mut stats,
+            )
+        };
+        assert_eq!(out, RefineOutcome::Exact(1));
+    }
+}

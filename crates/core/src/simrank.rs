@@ -1,0 +1,137 @@
+//! Extension: reverse k-ranks under SimRank proximity (§8 future work).
+//!
+//! Analogous to the [`crate::ppr`] extension: proximity of `t` from `s` is
+//! `s(s, t)` (higher = closer), and
+//!
+//! ```text
+//! RankSR(s, t) = |{ v ≠ s : s(s, v) > s(s, t) }| + 1.
+//! ```
+//!
+//! Because SimRank is symmetric (`s(a,b) = s(b,a)`), reverse k-ranks under
+//! SimRank has a structure shortest-path ranks lack: `q`'s *own* ranking
+//! of others and others' rankings of `q` are built from the same scores —
+//! but the *ranks* still differ (each node normalizes by its own score
+//! distribution), so the query remains meaningful. The exact baseline
+//! below computes the matrix once per query; pruning this is exactly the
+//! "radically different approaches" the paper leaves open.
+
+use rkranks_graph::simrank::{simrank_matrix, SimRankParams};
+use rkranks_graph::{Graph, GraphError, NodeId, Result};
+
+use crate::result::{QueryResult, TopKCollector};
+use crate::stats::QueryStats;
+use std::time::Instant;
+
+/// `RankSR(s, t)` from a precomputed SimRank matrix.
+/// `None` when `s(s,t) = 0` (no structural similarity at all).
+pub fn simrank_rank(matrix: &[Vec<f64>], s: NodeId, t: NodeId) -> Option<u32> {
+    let row = &matrix[s.index()];
+    let t_score = row[t.index()];
+    if t_score <= 0.0 {
+        return None;
+    }
+    let higher = row
+        .iter()
+        .enumerate()
+        .filter(|&(v, &score)| v != s.index() && v != t.index() && score > t_score)
+        .count() as u32;
+    Some(higher + 1)
+}
+
+/// Reverse k-ranks under SimRank proximity: the `k` nodes `p` minimizing
+/// `RankSR(p, q)`. Exact baseline — O(iterations·|V|²·d²) for the matrix
+/// plus O(|V|²) for the ranking; small graphs only.
+pub fn reverse_k_ranks_simrank(
+    graph: &Graph,
+    q: NodeId,
+    k: u32,
+    params: &SimRankParams,
+) -> Result<QueryResult> {
+    graph.check_node(q)?;
+    if k == 0 {
+        return Err(GraphError::InvalidQuery("k must be positive".into()));
+    }
+    let start = Instant::now();
+    let mut stats = QueryStats::default();
+    let matrix = simrank_matrix(graph, params);
+    let mut collector = TopKCollector::new(k);
+    for p in graph.nodes() {
+        if p == q {
+            continue;
+        }
+        stats.refinement_calls += 1;
+        if let Some(r) = simrank_rank(&matrix, p, q) {
+            collector.offer(p, r);
+        }
+    }
+    stats.elapsed = start.elapsed();
+    Ok(collector.into_result(stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rkranks_graph::{graph_from_edges, EdgeDirection};
+
+    fn params() -> SimRankParams {
+        SimRankParams { decay: 0.8, iterations: 8 }
+    }
+
+    /// 3 -> {0, 1}; {0, 1} -> 2: nodes 0 and 1 are structural twins.
+    fn twins() -> Graph {
+        graph_from_edges(
+            EdgeDirection::Directed,
+            [(3, 0, 1.0), (3, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn twins_rank_each_other_first() {
+        let g = twins();
+        let m = simrank_matrix(&g, &params());
+        assert_eq!(simrank_rank(&m, NodeId(0), NodeId(1)), Some(1));
+        assert_eq!(simrank_rank(&m, NodeId(1), NodeId(0)), Some(1));
+    }
+
+    #[test]
+    fn zero_similarity_is_unranked() {
+        let g = twins();
+        let m = simrank_matrix(&g, &params());
+        // node 3 has no in-neighbors: s(3, anything) = 0
+        assert_eq!(simrank_rank(&m, NodeId(0), NodeId(3)), None);
+    }
+
+    #[test]
+    fn reverse_query_matches_per_pair_ranks() {
+        let g = twins();
+        let q = NodeId(1);
+        let res = reverse_k_ranks_simrank(&g, q, 2, &params()).unwrap();
+        let m = simrank_matrix(&g, &params());
+        let mut expect: Vec<(u32, NodeId)> = g
+            .nodes()
+            .filter(|&p| p != q)
+            .filter_map(|p| simrank_rank(&m, p, q).map(|r| (r, p)))
+            .collect();
+        expect.sort_unstable();
+        expect.truncate(2);
+        assert_eq!(res.ranks(), expect.iter().map(|&(r, _)| r).collect::<Vec<_>>());
+        // the structural twin is the top answer
+        assert_eq!(res.entries[0].node, NodeId(0));
+    }
+
+    #[test]
+    fn result_size_bounded_by_similar_nodes() {
+        let g = twins();
+        // q = 3 has zero similarity to everyone (no in-neighbors): empty result.
+        let res = reverse_k_ranks_simrank(&g, NodeId(3), 2, &params()).unwrap();
+        assert!(res.entries.is_empty());
+    }
+
+    #[test]
+    fn invalid_queries_rejected() {
+        let g = twins();
+        assert!(reverse_k_ranks_simrank(&g, NodeId(0), 0, &params()).is_err());
+        assert!(reverse_k_ranks_simrank(&g, NodeId(9), 1, &params()).is_err());
+    }
+}

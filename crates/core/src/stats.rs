@@ -1,0 +1,175 @@
+//! Per-query statistics.
+//!
+//! The paper measures two things (§6.3): wall-clock query time and "Rank
+//! Refinement" — the number of times the refinement procedure runs, its
+//! proxy for pruning power. [`QueryStats`] captures both plus the
+//! lower-level counters the bound analysis (Table 11) and our ablations
+//! need.
+
+use std::ops::AddAssign;
+use std::time::Duration;
+
+/// Which lower-bound component of Theorem 2 (plus the index's check
+/// dictionary) won the `max` at each bound evaluation — the paper's
+/// Table 11 measurement.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BoundWins {
+    /// Parent-rank component (Lemma 1).
+    pub parent: u64,
+    /// Tree-depth component (Lemma 2).
+    pub height: u64,
+    /// Visit-count component (Lemma 4, undirected monochromatic only).
+    pub count: u64,
+    /// Check-dictionary component (§5.3, indexed queries only).
+    pub check: u64,
+}
+
+impl BoundWins {
+    /// Total bound evaluations recorded.
+    pub fn total(&self) -> u64 {
+        self.parent + self.height + self.count + self.check
+    }
+
+    /// Percentage share of each component `(parent, height, count, check)`.
+    pub fn shares(&self) -> (f64, f64, f64, f64) {
+        let t = self.total();
+        if t == 0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        let pct = |v: u64| 100.0 * v as f64 / t as f64;
+        (pct(self.parent), pct(self.height), pct(self.count), pct(self.check))
+    }
+}
+
+impl AddAssign for BoundWins {
+    fn add_assign(&mut self, rhs: BoundWins) {
+        self.parent += rhs.parent;
+        self.height += rhs.height;
+        self.count += rhs.count;
+        self.check += rhs.check;
+    }
+}
+
+/// Counters and timing for one reverse k-ranks query.
+#[derive(Clone, Debug, Default)]
+pub struct QueryStats {
+    /// Nodes popped from the SDS-tree priority queue.
+    pub sds_popped: u64,
+    /// Edge relaxations performed while building the SDS-tree.
+    pub sds_relaxations: u64,
+    /// Rank-refinement invocations (the paper's pruning-power metric).
+    pub refinement_calls: u64,
+    /// Refinements that terminated early on the `kRank` bound.
+    pub refinements_pruned: u64,
+    /// Total nodes settled across all refinements.
+    pub refinement_settles: u64,
+    /// Total frontier insertions across all refinements.
+    pub refinement_pushes: u64,
+    /// Candidates pruned by the Theorem-2 lower bound *before* refinement
+    /// (dynamic variants only).
+    pub pruned_by_bound: u64,
+    /// Candidates whose exact rank came straight from the Reverse Rank
+    /// Dictionary (indexed variant only).
+    pub index_exact_hits: u64,
+    /// Which bound component supplied the max at each evaluation.
+    pub bound_wins: BoundWins,
+    /// Wall-clock time for the query.
+    pub elapsed: Duration,
+}
+
+impl QueryStats {
+    /// Merge another query's counters into this one (used for averaging).
+    pub fn absorb(&mut self, other: &QueryStats) {
+        self.sds_popped += other.sds_popped;
+        self.sds_relaxations += other.sds_relaxations;
+        self.refinement_calls += other.refinement_calls;
+        self.refinements_pruned += other.refinements_pruned;
+        self.refinement_settles += other.refinement_settles;
+        self.refinement_pushes += other.refinement_pushes;
+        self.pruned_by_bound += other.pruned_by_bound;
+        self.index_exact_hits += other.index_exact_hits;
+        self.bound_wins += other.bound_wins;
+        self.elapsed += other.elapsed;
+    }
+
+    /// Average per-query view after absorbing `n` queries.
+    pub fn mean_over(&self, n: u64) -> MeanStats {
+        let n = n.max(1);
+        MeanStats {
+            queries: n,
+            refinement_calls: self.refinement_calls as f64 / n as f64,
+            pruned_by_bound: self.pruned_by_bound as f64 / n as f64,
+            index_exact_hits: self.index_exact_hits as f64 / n as f64,
+            refinement_settles: self.refinement_settles as f64 / n as f64,
+            seconds: self.elapsed.as_secs_f64() / n as f64,
+        }
+    }
+}
+
+/// Averaged statistics over a batch of queries.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MeanStats {
+    /// Number of queries averaged.
+    pub queries: u64,
+    /// Mean rank-refinement calls per query.
+    pub refinement_calls: f64,
+    /// Mean bound-pruned candidates per query.
+    pub pruned_by_bound: f64,
+    /// Mean index exact hits per query.
+    pub index_exact_hits: f64,
+    /// Mean refinement settles per query.
+    pub refinement_settles: f64,
+    /// Mean seconds per query.
+    pub seconds: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_shares_sum_to_100() {
+        let w = BoundWins { parent: 60, height: 30, count: 10, check: 0 };
+        let (p, h, c, k) = w.shares();
+        assert!((p + h + c + k - 100.0).abs() < 1e-9);
+        assert!((p - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_bound_shares_are_zero() {
+        assert_eq!(BoundWins::default().shares(), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = QueryStats { refinement_calls: 2, ..Default::default() };
+        let b = QueryStats {
+            refinement_calls: 3,
+            pruned_by_bound: 5,
+            elapsed: Duration::from_millis(10),
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.refinement_calls, 5);
+        assert_eq!(a.pruned_by_bound, 5);
+        assert_eq!(a.elapsed, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn mean_over_divides() {
+        let total = QueryStats {
+            refinement_calls: 10,
+            elapsed: Duration::from_secs(2),
+            ..Default::default()
+        };
+        let m = total.mean_over(4);
+        assert!((m.refinement_calls - 2.5).abs() < 1e-12);
+        assert!((m.seconds - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_over_zero_is_safe() {
+        let m = QueryStats::default().mean_over(0);
+        assert_eq!(m.queries, 1);
+    }
+}

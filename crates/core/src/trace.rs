@@ -1,0 +1,186 @@
+//! Query tracing: an event log of every decision the SDS driver makes.
+//!
+//! Production engines need observability; a reproduction doubly so — the
+//! trace is how tests assert the paper's §3/§4 walkthroughs ("the process
+//! can terminate here, since the lower bounds of ranks for Frank, Sid and
+//! George are already larger than kRank") decision by decision rather than
+//! only by final answer.
+
+use rkranks_graph::{Distance, NodeId};
+
+/// What happened to one node popped from the SDS priority queue.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PopDecision {
+    /// The query root itself (always expanded).
+    Root,
+    /// Refinement ran to completion with this exact rank.
+    Refined {
+        /// The exact `Rank(node, q)`.
+        rank: u32,
+        /// Whether the node entered the result set `R`.
+        entered_result: bool,
+    },
+    /// Refinement aborted on the `kRank` bound (the paper's `-1`).
+    RefinementPruned {
+        /// Proven lower bound on the node's rank.
+        lower_bound: u32,
+    },
+    /// The Theorem-2 lower bound met `kRank` before refinement (dynamic
+    /// variants only).
+    BoundPruned {
+        /// The winning lower bound.
+        lower_bound: u32,
+        /// The `kRank` it met.
+        k_rank: u32,
+    },
+    /// The exact rank came from the Reverse Rank Dictionary (§5.3).
+    IndexHit {
+        /// The stored exact rank.
+        rank: u32,
+    },
+    /// A bichromatic conduit node (not a candidate; only routes paths).
+    Conduit {
+        /// Whether its subtree was pruned.
+        subtree_pruned: bool,
+    },
+}
+
+/// One trace event: a pop from the SDS queue and its outcome.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// The popped node.
+    pub node: NodeId,
+    /// Its (final) distance to the query node.
+    pub distance: Distance,
+    /// What the driver decided.
+    pub decision: PopDecision,
+}
+
+/// An ordered trace of one query.
+#[derive(Clone, Debug, Default)]
+pub struct QueryTrace {
+    /// Events in pop order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl QueryTrace {
+    /// Nodes that were rank-refined (completed or pruned mid-refinement).
+    pub fn refined_nodes(&self) -> Vec<NodeId> {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.decision,
+                    PopDecision::Refined { .. } | PopDecision::RefinementPruned { .. }
+                )
+            })
+            .map(|e| e.node)
+            .collect()
+    }
+
+    /// Nodes skipped entirely by the Theorem-2 bound.
+    pub fn bound_pruned_nodes(&self) -> Vec<NodeId> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.decision, PopDecision::BoundPruned { .. }))
+            .map(|e| e.node)
+            .collect()
+    }
+
+    /// Nodes answered from the index without refinement.
+    pub fn index_hit_nodes(&self) -> Vec<NodeId> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.decision, PopDecision::IndexHit { .. }))
+            .map(|e| e.node)
+            .collect()
+    }
+
+    /// Render a human-readable listing (used by examples and debugging).
+    pub fn render(&self, names: Option<&[&str]>) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let name = |n: NodeId| -> String {
+            match names {
+                Some(ns) if n.index() < ns.len() => ns[n.index()].to_string(),
+                _ => n.to_string(),
+            }
+        };
+        for e in &self.events {
+            let what = match e.decision {
+                PopDecision::Root => "root".to_string(),
+                PopDecision::Refined { rank, entered_result } => {
+                    format!(
+                        "refined -> rank {rank}{}",
+                        if entered_result { " (entered R)" } else { "" }
+                    )
+                }
+                PopDecision::RefinementPruned { lower_bound } => {
+                    format!("refinement pruned (rank > {})", lower_bound.saturating_sub(1))
+                }
+                PopDecision::BoundPruned { lower_bound, k_rank } => {
+                    format!("bound-pruned (LB {lower_bound} >= kRank {k_rank})")
+                }
+                PopDecision::IndexHit { rank } => format!("index hit -> rank {rank}"),
+                PopDecision::Conduit { subtree_pruned } => {
+                    format!("conduit{}", if subtree_pruned { " (subtree pruned)" } else { "" })
+                }
+            };
+            let _ = writeln!(out, "pop {:<10} d={:<8.4} {what}", name(e.node), e.distance);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> QueryTrace {
+        QueryTrace {
+            events: vec![
+                TraceEvent { node: NodeId(0), distance: 0.0, decision: PopDecision::Root },
+                TraceEvent {
+                    node: NodeId(1),
+                    distance: 1.0,
+                    decision: PopDecision::Refined { rank: 3, entered_result: true },
+                },
+                TraceEvent {
+                    node: NodeId(2),
+                    distance: 1.5,
+                    decision: PopDecision::BoundPruned { lower_bound: 5, k_rank: 4 },
+                },
+                TraceEvent {
+                    node: NodeId(3),
+                    distance: 2.0,
+                    decision: PopDecision::IndexHit { rank: 2 },
+                },
+                TraceEvent {
+                    node: NodeId(4),
+                    distance: 2.5,
+                    decision: PopDecision::RefinementPruned { lower_bound: 6 },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn selectors_partition_events() {
+        let t = sample();
+        assert_eq!(t.refined_nodes(), vec![NodeId(1), NodeId(4)]);
+        assert_eq!(t.bound_pruned_nodes(), vec![NodeId(2)]);
+        assert_eq!(t.index_hit_nodes(), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn render_with_and_without_names() {
+        let t = sample();
+        let plain = t.render(None);
+        assert!(plain.contains("pop 1"));
+        assert!(plain.contains("entered R"));
+        assert!(plain.contains("bound-pruned (LB 5 >= kRank 4)"));
+        let named = t.render(Some(&["q", "Bob", "Carol", "Dan", "Eve"]));
+        assert!(named.contains("pop Bob"));
+        assert!(named.contains("index hit -> rank 2"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Cross-algorithm result validation.
+//!
+//! Definition 2 determines the result only up to ties at the `kRank`
+//! boundary: any node whose rank equals the k-th rank may or may not be
+//! chosen. Two correct algorithms can therefore return different node sets
+//! while both being right. [`results_equivalent`] checks the invariant that
+//! *is* determined: the multiset of ranks, and the exact node set strictly
+//! below the boundary.
+
+use crate::result::QueryResult;
+
+/// `true` if two results are equal modulo boundary-tie freedom.
+pub fn results_equivalent(a: &QueryResult, b: &QueryResult) -> bool {
+    if a.entries.len() != b.entries.len() {
+        return false;
+    }
+    // Entries are sorted by (rank, node); the rank multiset must match.
+    if a.ranks() != b.ranks() {
+        return false;
+    }
+    let boundary = match a.entries.last() {
+        Some(e) => e.rank,
+        None => return true,
+    };
+    // Below the boundary rank the node sets must be identical.
+    let below = |r: &QueryResult| {
+        r.entries.iter().filter(|e| e.rank < boundary).map(|e| e.node).collect::<Vec<_>>()
+    };
+    below(a) == below(b)
+}
+
+/// Panic with a readable diff if the results are not equivalent (test
+/// helper).
+pub fn assert_equivalent(context: &str, a: &QueryResult, b: &QueryResult) {
+    assert!(
+        results_equivalent(a, b),
+        "{context}: results differ beyond tie freedom\n  a: {:?}\n  b: {:?}",
+        a.entries,
+        b.entries
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::ResultEntry;
+    use crate::stats::QueryStats;
+    use rkranks_graph::NodeId;
+
+    fn result(entries: &[(u32, u32)]) -> QueryResult {
+        QueryResult {
+            entries: entries
+                .iter()
+                .map(|&(node, rank)| ResultEntry { node: NodeId(node), rank })
+                .collect(),
+            stats: QueryStats::default(),
+        }
+    }
+
+    #[test]
+    fn identical_results_are_equivalent() {
+        let a = result(&[(1, 1), (2, 2)]);
+        let b = result(&[(1, 1), (2, 2)]);
+        assert!(results_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn boundary_ties_may_differ() {
+        // k-th rank is 3 in both; node choice at rank 3 is free.
+        let a = result(&[(1, 1), (5, 3)]);
+        let b = result(&[(1, 1), (9, 3)]);
+        assert!(results_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn non_boundary_nodes_must_match() {
+        let a = result(&[(1, 1), (5, 3)]);
+        let b = result(&[(2, 1), (5, 3)]);
+        assert!(!results_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn different_ranks_are_not_equivalent() {
+        let a = result(&[(1, 1), (5, 3)]);
+        let b = result(&[(1, 1), (5, 4)]);
+        assert!(!results_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn different_sizes_are_not_equivalent() {
+        let a = result(&[(1, 1)]);
+        let b = result(&[(1, 1), (5, 3)]);
+        assert!(!results_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn empty_results_are_equivalent() {
+        assert!(results_equivalent(&result(&[]), &result(&[])));
+    }
+
+    #[test]
+    #[should_panic(expected = "results differ")]
+    fn assert_helper_panics_with_context() {
+        assert_equivalent("ctx", &result(&[(1, 1)]), &result(&[(1, 2)]));
+    }
+}

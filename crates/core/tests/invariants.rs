@@ -1,0 +1,202 @@
+//! Property tests for the core building blocks, independent of the full
+//! query pipeline: refinement vs ground truth, the collector vs a sorted
+//! model, the index dictionaries' soundness under random operation
+//! sequences, and the extension modules.
+
+use proptest::prelude::*;
+use rkranks_core::refine::{refine_rank, refine_rank_unbounded, RefineHooks, RefineOutcome};
+use rkranks_core::{QuerySpec, QueryStats, RkrIndex, TopKCollector};
+use rkranks_graph::{
+    rank_matrix, sssp, DijkstraWorkspace, EdgeDirection, Graph, GraphBuilder, NodeId,
+};
+
+fn arb_graph(max_nodes: u32) -> impl Strategy<Value = Graph> {
+    (2..=max_nodes).prop_flat_map(move |n| {
+        let backbone = proptest::collection::vec(0.1f64..8.0, (n - 1) as usize);
+        let extra = proptest::collection::vec((0..n, 0..n, 0.1f64..8.0), 0..24);
+        (Just(n), backbone, extra).prop_map(|(n, bb, extra)| {
+            let mut b = GraphBuilder::new(EdgeDirection::Undirected);
+            b.reserve_nodes(n);
+            for (i, w) in bb.into_iter().enumerate() {
+                b.add_edge(i as u32 + 1, (i as u32) / 2, w).unwrap();
+            }
+            for (u, v, w) in extra {
+                if u != v {
+                    b.add_edge(u, v, w).unwrap();
+                }
+            }
+            b.build().unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bounded_refinement_is_exact(g in arb_graph(12)) {
+        let m = rank_matrix(&g);
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        for p in g.nodes() {
+            let dist = sssp(&g, p);
+            for q in g.nodes() {
+                if p == q || !dist[q.index()].is_finite() { continue; }
+                let out = refine_rank(
+                    &g, QuerySpec::Mono, &mut ws, p, q, dist[q.index()],
+                    u32::MAX, &mut RefineHooks::none(), &mut QueryStats::default(),
+                );
+                prop_assert_eq!(out, RefineOutcome::Exact(m[p.index()][q.index()].unwrap()));
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_refinement_bound_is_sound(g in arb_graph(12), k_rank in 1u32..6) {
+        // Whenever refinement prunes, the true rank must indeed exceed kRank.
+        let m = rank_matrix(&g);
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        for p in g.nodes() {
+            let dist = sssp(&g, p);
+            for q in g.nodes() {
+                if p == q || !dist[q.index()].is_finite() { continue; }
+                let out = refine_rank(
+                    &g, QuerySpec::Mono, &mut ws, p, q, dist[q.index()],
+                    k_rank, &mut RefineHooks::none(), &mut QueryStats::default(),
+                );
+                let truth = m[p.index()][q.index()].unwrap();
+                match out {
+                    RefineOutcome::Exact(r) => {
+                        prop_assert_eq!(r, truth);
+                        prop_assert!(r <= k_rank, "Exact({r}) returned above kRank {k_rank}");
+                    }
+                    RefineOutcome::Pruned { lower_bound } => {
+                        prop_assert!(truth > k_rank,
+                            "pruned but Rank({p},{q}) = {truth} <= kRank {k_rank}");
+                        prop_assert!(truth >= lower_bound);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unbounded_refinement_matches_bounded(g in arb_graph(10)) {
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        let m = rank_matrix(&g);
+        for p in g.nodes() {
+            for q in g.nodes() {
+                if p == q { continue; }
+                let out = refine_rank_unbounded(
+                    &g, QuerySpec::Mono, &mut ws, p, q, u32::MAX,
+                    &mut QueryStats::default(),
+                );
+                match m[p.index()][q.index()] {
+                    Some(r) => prop_assert_eq!(out, Some(RefineOutcome::Exact(r))),
+                    None => prop_assert_eq!(out, None),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_invariants_under_random_offers(
+        ops in proptest::collection::vec((0u32..8, 0u32..8, 1u32..20), 0..120),
+        k_max in 1u32..5,
+    ) {
+        // The rrd must always hold the k_max smallest (rank, source) pairs
+        // among everything offered, deduped by source keeping first-offered
+        // (ranks for a fixed (target, source) pair are unique in real use;
+        // here we just require: sorted, capped, sources unique).
+        let mut idx = RkrIndex::empty(8, k_max);
+        let mut offered: Vec<Vec<(u32, u32)>> = vec![Vec::new(); 8];
+        for (target, source, rank) in ops {
+            if target == source { continue; }
+            idx.offer(NodeId(target), NodeId(source), rank);
+            let l = &mut offered[target as usize];
+            if !l.iter().any(|&(_, s)| s == source) {
+                l.push((rank, source));
+            }
+        }
+        for t in 0..8u32 {
+            let got = idx.top_entries(NodeId(t), u32::MAX);
+            // sorted by (rank, source)
+            prop_assert!(got.windows(2).all(|w| w[0] <= w[1]));
+            // capped
+            prop_assert!(got.len() <= k_max as usize);
+            // sources unique
+            let mut sources: Vec<NodeId> = got.iter().map(|&(_, s)| s).collect();
+            sources.sort_unstable();
+            sources.dedup();
+            prop_assert_eq!(sources.len(), got.len());
+            // it contains the smallest offered ranks: the worst kept entry
+            // is <= the best dropped entry (by rank)
+            if got.len() == k_max as usize {
+                let worst_kept = got.last().unwrap().0;
+                for &(rank, source) in &offered[t as usize] {
+                    if !got.iter().any(|&(_, s)| s.0 == source) {
+                        prop_assert!(rank >= worst_kept,
+                            "dropped ({rank},{source}) better than kept {worst_kept}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn collector_matches_sorted_model(
+        offers in proptest::collection::vec((0u32..64, 1u32..40), 0..64),
+        k in 1u32..8,
+    ) {
+        // distinct nodes only (the collector's contract)
+        let mut seen = std::collections::HashSet::new();
+        let offers: Vec<(u32, u32)> =
+            offers.into_iter().filter(|&(n, _)| seen.insert(n)).collect();
+        let mut c = TopKCollector::new(k);
+        for &(node, rank) in &offers {
+            c.offer(NodeId(node), rank);
+        }
+        let result = c.into_result(QueryStats::default());
+        // model: sort by rank (stable in offer order for ties), take k
+        let mut model = offers.clone();
+        model.sort_by_key(|&(_, r)| r); // stable: preserves offer order within ties
+        model.truncate(k as usize);
+        let mut model_ranks: Vec<u32> = model.iter().map(|&(_, r)| r).collect();
+        model_ranks.sort_unstable();
+        prop_assert_eq!(result.ranks(), model_ranks);
+        // below the boundary rank the node sets must agree exactly
+        if let Some(&boundary) = result.ranks().last() {
+            let mut got: Vec<u32> = result
+                .entries
+                .iter()
+                .filter(|e| e.rank < boundary)
+                .map(|e| e.node.0)
+                .collect();
+            got.sort_unstable();
+            let mut want: Vec<u32> = model
+                .iter()
+                .filter(|&&(_, r)| r < boundary)
+                .map(|&(n, _)| n)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn index_io_round_trip_random(ops in proptest::collection::vec((0u32..6, 0u32..6, 1u32..9), 0..60)) {
+        let mut idx = RkrIndex::empty(6, 3);
+        for (t, s, r) in ops {
+            if t != s {
+                idx.offer(NodeId(t), NodeId(s), r);
+                idx.raise_check(NodeId(s), r);
+            }
+        }
+        let mut buf = Vec::new();
+        rkranks_core::write_index(&idx, &mut buf).unwrap();
+        let back = rkranks_core::read_index(&buf[..]).unwrap();
+        for v in 0..6u32 {
+            prop_assert_eq!(back.check(NodeId(v)), idx.check(NodeId(v)));
+            prop_assert_eq!(back.top_entries(NodeId(v), 10), idx.top_entries(NodeId(v), 10));
+        }
+    }
+}

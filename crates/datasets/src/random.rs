@@ -1,0 +1,120 @@
+//! Seeded random graph generators for fuzzing and property tests.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rkranks_graph::{EdgeDirection, Graph, GraphBuilder};
+
+/// G(n, m): `n` nodes, about `m` distinct random edges, plus a random
+/// spanning backbone when `connected` is set (so every node is reachable in
+/// the weak sense). Weights uniform in `weight_range`.
+pub fn gnm_graph(
+    n: u32,
+    m: usize,
+    direction: EdgeDirection,
+    connected: bool,
+    weight_range: (f64, f64),
+    seed: u64,
+) -> Graph {
+    assert!(n >= 1);
+    let (lo, hi) = weight_range;
+    assert!(lo >= 0.0 && hi > lo, "invalid weight range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(direction, m + n as usize);
+    b.reserve_nodes(n);
+    if connected {
+        for v in 1..n {
+            let u = rng.random_range(0..v);
+            let w = rng.random_range(lo..hi);
+            b.add_edge(v, u, w).unwrap();
+        }
+    }
+    let mut placed = 0usize;
+    let mut attempts = 0usize;
+    while placed < m && attempts < m * 10 + 100 {
+        attempts += 1;
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u == v {
+            continue;
+        }
+        let w = rng.random_range(lo..hi);
+        b.add_edge(u, v, w).unwrap();
+        placed += 1;
+    }
+    b.build().unwrap()
+}
+
+/// Barabási–Albert preferential attachment: each new node attaches to
+/// `m_per_node` existing nodes chosen by degree. Produces the heavy-tailed
+/// degree distributions where the paper's Height bound shines (Table 12).
+pub fn barabasi_albert(n: u32, m_per_node: usize, weight_range: (f64, f64), seed: u64) -> Graph {
+    assert!(n >= 2 && m_per_node >= 1);
+    let (lo, hi) = weight_range;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(EdgeDirection::Undirected, n as usize * m_per_node);
+    b.reserve_nodes(n);
+    let mut slots: Vec<u32> = vec![0];
+    for v in 1..n {
+        let mut chosen: Vec<u32> = Vec::with_capacity(m_per_node);
+        let mut guard = 0;
+        while chosen.len() < m_per_node.min(v as usize) && guard < 64 {
+            guard += 1;
+            let t = slots[rng.random_range(0..slots.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        if chosen.is_empty() {
+            chosen.push(v - 1);
+        }
+        for t in chosen {
+            let w = rng.random_range(lo..hi);
+            b.add_edge(v, t, w).unwrap();
+            slots.push(t);
+            slots.push(v);
+        }
+    }
+    b.build().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rkranks_graph::traversal::is_weakly_connected;
+
+    #[test]
+    fn gnm_connected_flag_works() {
+        let g = gnm_graph(50, 30, EdgeDirection::Undirected, true, (0.1, 1.0), 4);
+        assert!(is_weakly_connected(&g));
+        assert_eq!(g.num_nodes(), 50);
+    }
+
+    #[test]
+    fn gnm_directed() {
+        let g = gnm_graph(30, 60, EdgeDirection::Directed, true, (0.5, 2.0), 8);
+        assert!(g.is_directed());
+        assert!(is_weakly_connected(&g));
+    }
+
+    #[test]
+    fn gnm_deterministic() {
+        let a = gnm_graph(40, 80, EdgeDirection::Undirected, false, (0.0, 1.0), 3);
+        let b = gnm_graph(40, 80, EdgeDirection::Undirected, false, (0.0, 1.0), 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ba_is_connected_and_heavy_tailed() {
+        let g = barabasi_albert(400, 2, (0.1, 1.0), 6);
+        assert!(is_weakly_connected(&g));
+        let (_, max_deg) = g.max_degree().unwrap();
+        assert!(max_deg as f64 > 3.0 * g.average_degree());
+    }
+
+    #[test]
+    fn ba_minimum_size() {
+        let g = barabasi_albert(2, 1, (0.1, 1.0), 0);
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+}

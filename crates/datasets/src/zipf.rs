@@ -1,0 +1,128 @@
+//! Zipf-distributed integer sampling.
+//!
+//! The paper's Epinions weights are "sampled from a Zipf distribution with a
+//! skewness parameter α = 2, as in \[23\]". This sampler draws from
+//! `P(X = i) ∝ 1 / i^α` over `i ∈ {1, …, n}` by inverse-CDF lookup (binary
+//! search over the precomputed cumulative table), which is exact and O(log n)
+//! per draw.
+
+use rand::{Rng, RngExt};
+
+/// Zipf sampler over `{1, …, n}` with exponent `alpha`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the cumulative table.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `alpha` is not finite.
+    pub fn new(n: usize, alpha: f64) -> Zipf {
+        assert!(n > 0, "zipf support must be non-empty");
+        assert!(alpha.is_finite(), "alpha must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += (i as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // guard against floating rounding leaving the last bucket short
+        *cdf.last_mut().unwrap() = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Support size `n`.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one value in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) => i + 1,
+            Err(i) => i + 1,
+        }
+    }
+
+    /// Exact probability of value `i` (1-based).
+    pub fn pmf(&self, i: usize) -> f64 {
+        assert!(i >= 1 && i <= self.cdf.len());
+        if i == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[i - 1] - self.cdf[i - 2]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(50, 2.0);
+        let sum: f64 = (1..=50).map(|i| z.pmf(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_is_decreasing() {
+        let z = Zipf::new(20, 2.0);
+        for i in 1..20 {
+            assert!(z.pmf(i) > z.pmf(i + 1));
+        }
+    }
+
+    #[test]
+    fn alpha2_ratio() {
+        // P(1)/P(2) = 2^2 = 4 for alpha = 2.
+        let z = Zipf::new(100, 2.0);
+        assert!((z.pmf(1) / z.pmf(2) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_stay_in_range_and_skew_low() {
+        let z = Zipf::new(10, 2.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            let v = z.sample(&mut rng);
+            assert!((1..=10).contains(&v));
+            counts[v - 1] += 1;
+        }
+        // value 1 should dominate: expected ~64.5 % of the mass
+        assert!(counts[0] > 11_000, "counts={counts:?}");
+        assert!(counts[0] > counts[1] && counts[1] > counts[2]);
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for i in 1..=4 {
+            assert!((z.pmf(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_value_support() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(z.sample(&mut rng), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_support_panics() {
+        let _ = Zipf::new(0, 2.0);
+    }
+}

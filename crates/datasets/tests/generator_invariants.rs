@@ -1,0 +1,100 @@
+//! Property tests over the dataset generators: for any parameters, the
+//! invariants the query algorithms rely on must hold.
+
+use proptest::prelude::*;
+use rkranks_datasets::{
+    collab_graph, gnm_graph, road_network, trust_graph, trust_graph_undirected, CollabParams,
+    RoadParams, TrustParams,
+};
+use rkranks_graph::traversal::is_weakly_connected;
+use rkranks_graph::{EdgeDirection, Graph};
+
+fn weights_valid(g: &Graph) -> bool {
+    g.nodes().all(|u| g.out_neighbors(u).1.iter().all(|w| w.is_finite() && *w >= 0.0))
+}
+
+fn no_self_loops(g: &Graph) -> bool {
+    g.nodes().all(|u| g.edges(u).all(|(v, _)| v != u))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn collab_invariants(authors in 2u32..400, seed in 0u64..1000) {
+        let g = collab_graph(&CollabParams::with_authors(authors, seed));
+        prop_assert_eq!(g.num_nodes(), authors);
+        prop_assert!(!g.is_directed());
+        prop_assert!(is_weakly_connected(&g), "collab graph must be connected");
+        prop_assert!(weights_valid(&g));
+        prop_assert!(no_self_loops(&g));
+    }
+
+    #[test]
+    fn collab_determinism(authors in 2u32..200, seed in 0u64..100) {
+        let p = CollabParams::with_authors(authors, seed);
+        prop_assert_eq!(collab_graph(&p), collab_graph(&p));
+    }
+
+    #[test]
+    fn trust_invariants(users in 2u32..400, seed in 0u64..1000) {
+        let g = trust_graph(&TrustParams::with_users(users, seed));
+        prop_assert_eq!(g.num_nodes(), users);
+        prop_assert!(g.is_directed());
+        prop_assert!(is_weakly_connected(&g));
+        prop_assert!(weights_valid(&g));
+        prop_assert!(no_self_loops(&g));
+        // Zipf weights are integers ≥ 1
+        for u in g.nodes() {
+            for (_, w) in g.edges(u) {
+                prop_assert!(w >= 1.0 && w.fract() == 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn trust_undirected_variant(users in 2u32..200, seed in 0u64..100) {
+        let g = trust_graph_undirected(&TrustParams::with_users(users, seed));
+        prop_assert!(!g.is_directed());
+        prop_assert!(is_weakly_connected(&g));
+        prop_assert!(weights_valid(&g));
+    }
+
+    #[test]
+    fn road_invariants(
+        w in 2u32..25,
+        h in 2u32..25,
+        stores in 0u32..40,
+        knockout in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let net = road_network(&RoadParams { width: w, height: h, knockout, stores, jitter: 0.3, seed });
+        prop_assert_eq!(net.graph.num_nodes(), w * h);
+        prop_assert!(is_weakly_connected(&net.graph), "spanning tree must survive knockout");
+        prop_assert!(weights_valid(&net.graph));
+        prop_assert_eq!(net.stores.len() as u32, stores.min(w * h));
+        // store marking is consistent both ways
+        let marked = net.is_store.iter().filter(|&&b| b).count();
+        prop_assert_eq!(marked, net.stores.len());
+        for &s in &net.stores {
+            prop_assert!(net.is_store[s.index()]);
+        }
+        // at least the spanning tree's edges exist
+        prop_assert!(net.graph.num_edges() as u32 >= w * h - 1);
+    }
+
+    #[test]
+    fn gnm_respects_direction_and_connectivity(
+        n in 2u32..120,
+        m in 0usize..300,
+        directed in any::<bool>(),
+        seed in 0u64..100,
+    ) {
+        let dir = if directed { EdgeDirection::Directed } else { EdgeDirection::Undirected };
+        let g = gnm_graph(n, m, dir, true, (0.1, 2.0), seed);
+        prop_assert_eq!(g.num_nodes(), n);
+        prop_assert_eq!(g.is_directed(), directed);
+        prop_assert!(is_weakly_connected(&g));
+        prop_assert!(weights_valid(&g));
+    }
+}

@@ -1,0 +1,132 @@
+//! CLI for the experiment harness.
+//!
+//! ```text
+//! experiments list
+//! experiments all [--scale tiny|small|medium|large] [--seed N] [--queries N]
+//!             [--threads N] [--out DIR]
+//! experiments fig6 table3 ... [flags]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use rkranks_datasets::Scale;
+use rkranks_eval::experiments::{self, Experiment};
+use rkranks_eval::ExpContext;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args) {
+        Ok(Command::List) => {
+            println!("available experiments:");
+            for e in experiments::all() {
+                println!("  {:<14} {:<12} {}", e.name, e.paper_ref, e.description);
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Run { names, ctx, out }) => run(names, ctx, out),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: experiments <list|all|NAME...> \
+[--scale tiny|small|medium|large] [--seed N] [--queries N] [--threads N] [--out DIR]";
+
+enum Command {
+    List,
+    Run { names: Vec<String>, ctx: ExpContext, out: Option<PathBuf> },
+}
+
+fn parse(args: &[String]) -> Result<Command, String> {
+    if args.is_empty() {
+        return Err("no experiment named".into());
+    }
+    let mut names = Vec::new();
+    let mut ctx = ExpContext::default();
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |flag: &str| {
+            it.next().map(|s| s.to_string()).ok_or(format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "list" => return Ok(Command::List),
+            "--scale" => {
+                let v = flag_value("--scale")?;
+                ctx.scale = Scale::parse(&v).ok_or(format!("unknown scale '{v}'"))?;
+            }
+            "--seed" => {
+                ctx.seed = flag_value("--seed")?.parse().map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--queries" => {
+                ctx.queries =
+                    flag_value("--queries")?.parse().map_err(|e| format!("bad queries: {e}"))?;
+            }
+            "--threads" => {
+                ctx.threads =
+                    flag_value("--threads")?.parse().map_err(|e| format!("bad threads: {e}"))?;
+            }
+            "--out" => out = Some(PathBuf::from(flag_value("--out")?)),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            name => names.push(name.to_string()),
+        }
+    }
+    if names.is_empty() {
+        return Err("no experiment named".into());
+    }
+    Ok(Command::Run { names, ctx, out })
+}
+
+fn run(names: Vec<String>, ctx: ExpContext, out: Option<PathBuf>) -> ExitCode {
+    let selected: Vec<Experiment> = if names.iter().any(|n| n == "all") {
+        experiments::all()
+    } else {
+        let mut v = Vec::new();
+        for n in &names {
+            match experiments::find(n) {
+                Some(e) => v.push(e),
+                None => {
+                    eprintln!("error: unknown experiment '{n}' (try `experiments list`)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        v
+    };
+
+    if let Some(dir) = &out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!(
+        "# Reverse k-Ranks experiments — scale={}, seed={}, queries={}, threads={}\n",
+        ctx.scale.name(),
+        ctx.seed,
+        ctx.queries,
+        ctx.threads
+    );
+    for e in selected {
+        println!("## {} ({}): {}\n", e.name, e.paper_ref, e.description);
+        let start = Instant::now();
+        let tables = (e.run)(&ctx);
+        for (i, t) in tables.iter().enumerate() {
+            println!("{}", t.render_markdown());
+            if let Some(dir) = &out {
+                let path = dir.join(format!("{}_{}_{}.csv", e.name, t.slug(), i));
+                if let Err(err) = t.write_csv(&path) {
+                    eprintln!("warning: csv write failed for {}: {err}", path.display());
+                }
+            }
+        }
+        println!("(completed in {:.1}s)\n", start.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,108 @@
+//! §6.2.1 coarse-grained effectiveness analysis (Tables 3 and 4).
+//!
+//! Demonstrates *why* reverse k-ranks exist: reverse top-k result sizes on
+//! a collaboration graph are wildly unbalanced (many empty sets, a few
+//! enormous ones), and top-k lists are not mutual.
+
+use rkranks_datasets::dblp_like;
+use rkranks_graph::topk::{agreement_rate, reverse_top_k_sizes, reverse_top_k_stats};
+
+use crate::experiments::K_VALUES;
+use crate::report::Table;
+use crate::ExpContext;
+
+/// Paper's Table 3 (DBLP, 1.31M nodes) for the side-by-side note.
+const PAPER_TABLE3: [(u32, u32, u32); 5] = [
+    // (k, largest set, empty sets)
+    (5, 327, 315_424),
+    (10, 560, 240_378),
+    (20, 1_031, 190_105),
+    (50, 2_596, 155_927),
+    (100, 6_385, 148_238),
+];
+
+/// Table 3: reverse top-k result-set size statistics.
+pub fn table3(ctx: &ExpContext) -> Vec<Table> {
+    let g = dblp_like(ctx.scale, ctx.seed);
+    let n = g.num_nodes();
+    let mut t = Table::new(
+        format!("Reverse top-k result set sizes (DBLP-like, {n} nodes)"),
+        "Table 3",
+        &["k", "largest set", "# empty", "# small (<=5)", "# large (>=100)", "empty %"],
+    );
+    for k in K_VALUES {
+        let sizes = reverse_top_k_sizes(&g, k);
+        let s = reverse_top_k_stats(k, &sizes);
+        t.push_row(vec![
+            k.to_string(),
+            s.largest_set.to_string(),
+            s.empty_sets.to_string(),
+            s.small_sets.to_string(),
+            s.large_sets.to_string(),
+            format!("{:.1}%", 100.0 * s.empty_sets as f64 / n as f64),
+        ]);
+    }
+    t.note("shape target: a large share of nodes keeps an empty set at every k, while the largest set grows by ~20x from k=5 to k=100");
+    for (k, largest, empty) in PAPER_TABLE3 {
+        t.note(format!("paper (DBLP 1.31M): k={k} -> largest {largest}, empty {empty}"));
+    }
+    vec![t]
+}
+
+/// Paper's Table 4 agreement rates.
+const PAPER_TABLE4: [(u32, f64); 5] =
+    [(5, 48.53), (10, 44.65), (20, 41.10), (50, 37.88), (100, 35.65)];
+
+/// Table 4: agreement rate of top-k queries.
+pub fn table4(ctx: &ExpContext) -> Vec<Table> {
+    let g = dblp_like(ctx.scale, ctx.seed);
+    let mut t = Table::new(
+        format!("Top-k agreement rate (DBLP-like, {} nodes)", g.num_nodes()),
+        "Table 4",
+        &["k", "agreement rate"],
+    );
+    for k in K_VALUES {
+        let rate = agreement_rate(&g, k);
+        t.push_row(vec![k.to_string(), format!("{:.2}%", 100.0 * rate)]);
+    }
+    t.note("shape target: below ~60% and monotonically falling with k");
+    for (k, pct) in PAPER_TABLE4 {
+        t.note(format!("paper: k={k} -> {pct:.2}%"));
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rkranks_datasets::Scale;
+
+    fn tiny_ctx() -> ExpContext {
+        ExpContext { scale: Scale::Tiny, ..ExpContext::default() }
+    }
+
+    #[test]
+    fn table3_has_all_k_rows() {
+        let tables = table3(&tiny_ctx());
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), K_VALUES.len());
+    }
+
+    #[test]
+    fn table4_rates_are_valid_percentages() {
+        // The paper's falling-with-k shape only emerges when k ≪ |V|; on
+        // the 300-node tiny graph k=100 covers a third of the graph and
+        // agreement trivially rises, so here we only check validity. The
+        // shape itself is asserted by the small/medium harness runs
+        // recorded in EXPERIMENTS.md.
+        let tables = table4(&tiny_ctx());
+        let rates: Vec<f64> = tables[0]
+            .rows
+            .iter()
+            .map(|r| r[1].trim_end_matches('%').parse::<f64>().unwrap())
+            .collect();
+        assert_eq!(rates.len(), K_VALUES.len());
+        assert!(rates.iter().all(|&r| (0.0..=100.0).contains(&r)));
+        assert!(rates[0] < 100.0, "agreement at k=5 cannot be perfect");
+    }
+}

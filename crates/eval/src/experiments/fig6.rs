@@ -1,0 +1,95 @@
+//! Figure 6: query time and rank refinements vs `k` for the three
+//! framework variants on the DBLP-like and Epinions-like graphs.
+
+use rkranks_core::{BoundConfig, IndexParams, QueryEngine};
+use rkranks_datasets::{dblp_like, epinions_like};
+use rkranks_graph::Graph;
+
+use crate::experiments::{DEFAULT_FRACTION, K_VALUES};
+use crate::report::{fmt_f64, fmt_secs, Table};
+use crate::runner::{run_batch, run_indexed_batch, BatchAlgo};
+use crate::workload::random_queries;
+use crate::ExpContext;
+
+/// Run Figure 6 for both datasets.
+pub fn run(ctx: &ExpContext) -> Vec<Table> {
+    let dblp = dblp_like(ctx.scale, ctx.seed);
+    let epin = epinions_like(ctx.scale, ctx.seed);
+    vec![one_dataset(ctx, "DBLP-like", &dblp), one_dataset(ctx, "Epinions-like", &epin)]
+}
+
+fn one_dataset(ctx: &ExpContext, label: &str, g: &Graph) -> Table {
+    let queries = random_queries(g, ctx.queries, ctx.seed ^ 0xF16, |_| true);
+    let mut t = Table::new(
+        format!("{label} ({} nodes, {} edges)", g.num_nodes(), g.num_edges()),
+        "Figure 6",
+        &["k", "method", "query time", "rank refinements"],
+    );
+    let engine = QueryEngine::new(g);
+    let params = IndexParams {
+        hub_fraction: DEFAULT_FRACTION,
+        prefix_fraction: DEFAULT_FRACTION,
+        k_max: *K_VALUES.last().unwrap(),
+        seed: ctx.seed,
+        ..Default::default()
+    };
+    for k in K_VALUES {
+        if k >= g.num_nodes() {
+            continue;
+        }
+        let s = run_batch(g, None, &queries, k, BatchAlgo::Static, ctx.threads);
+        t.push_row(vec![
+            k.to_string(),
+            "Static".into(),
+            fmt_secs(s.mean_seconds()),
+            fmt_f64(s.mean_refinements()),
+        ]);
+        let d =
+            run_batch(g, None, &queries, k, BatchAlgo::Dynamic(BoundConfig::ALL), ctx.threads);
+        t.push_row(vec![
+            k.to_string(),
+            "Dynamic".into(),
+            fmt_secs(d.mean_seconds()),
+            fmt_f64(d.mean_refinements()),
+        ]);
+        // Fresh index per k so measurements are independent, as in the paper.
+        let (mut idx, _) = engine.build_index(&params);
+        let i = run_indexed_batch(g, None, &mut idx, &queries, k, BoundConfig::ALL);
+        t.push_row(vec![
+            k.to_string(),
+            "Dynamic Indexed".into(),
+            fmt_secs(i.mean_seconds()),
+            fmt_f64(i.mean_refinements()),
+        ]);
+    }
+    t.note("shape target (paper Fig. 6): cost grows with k; Dynamic cuts refinements vs Static by orders of magnitude; the index cuts them further, with the biggest relative win at small k");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rkranks_datasets::Scale;
+
+    #[test]
+    fn fig6_rows_cover_methods_and_ks() {
+        let ctx = ExpContext { scale: Scale::Tiny, queries: 8, ..ExpContext::default() };
+        let tables = run(&ctx);
+        assert_eq!(tables.len(), 2);
+        for t in &tables {
+            // 3 methods per k (k values below the 300-node tiny graphs: all 5)
+            assert_eq!(t.rows.len() % 3, 0);
+            assert!(!t.rows.is_empty());
+        }
+    }
+
+    #[test]
+    fn dynamic_prunes_at_least_as_well_as_static() {
+        let ctx = ExpContext { scale: Scale::Tiny, queries: 10, ..ExpContext::default() };
+        let g = dblp_like(ctx.scale, ctx.seed);
+        let queries = random_queries(&g, ctx.queries, 1, |_| true);
+        let s = run_batch(&g, None, &queries, 10, BatchAlgo::Static, 2);
+        let d = run_batch(&g, None, &queries, 10, BatchAlgo::Dynamic(BoundConfig::ALL), 2);
+        assert!(d.totals.refinement_calls <= s.totals.refinement_calls);
+    }
+}

@@ -1,0 +1,212 @@
+//! Batch query drivers.
+//!
+//! Naive/static/dynamic queries are independent, so the driver fans them
+//! out over `std::thread::scope` with one [`QueryEngine`] per thread
+//! (engines share the immutable graph; all scratch is per-engine). Indexed
+//! queries mutate the shared index — the paper's index is explicitly
+//! sequential-dynamic (each query's updates help the next), so those run
+//! on one thread in stream order.
+
+use rkranks_core::{BoundConfig, Partition, QueryEngine, QueryStats, RkrIndex};
+use rkranks_graph::{Graph, NodeId};
+
+/// Which algorithm a batch runs.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchAlgo {
+    /// §2 naive baseline.
+    Naive,
+    /// §3 static SDS-tree.
+    Static,
+    /// §4 dynamic bounded SDS-tree.
+    Dynamic(BoundConfig),
+}
+
+impl BatchAlgo {
+    /// Display name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BatchAlgo::Naive => "Naive",
+            BatchAlgo::Static => "Static",
+            BatchAlgo::Dynamic(_) => "Dynamic",
+        }
+    }
+}
+
+/// Aggregated counters for a batch of queries.
+#[derive(Clone, Debug, Default)]
+pub struct BatchOutcome {
+    /// Summed stats over all queries.
+    pub totals: QueryStats,
+    /// Number of queries executed.
+    pub queries: u64,
+}
+
+impl BatchOutcome {
+    /// Mean seconds per query.
+    pub fn mean_seconds(&self) -> f64 {
+        self.totals.elapsed.as_secs_f64() / self.queries.max(1) as f64
+    }
+
+    /// Mean rank-refinement calls per query (the paper's pruning metric).
+    pub fn mean_refinements(&self) -> f64 {
+        self.totals.refinement_calls as f64 / self.queries.max(1) as f64
+    }
+
+    fn absorb(&mut self, stats: &QueryStats) {
+        self.totals.absorb(stats);
+        self.queries += 1;
+    }
+}
+
+/// Run a batch of independent queries, parallel over `threads`.
+pub fn run_batch(
+    graph: &Graph,
+    partition: Option<&Partition>,
+    queries: &[NodeId],
+    k: u32,
+    algo: BatchAlgo,
+    threads: usize,
+) -> BatchOutcome {
+    let threads = threads.clamp(1, queries.len().max(1));
+    if threads == 1 {
+        let mut engine = make_engine(graph, partition);
+        let mut out = BatchOutcome::default();
+        for &q in queries {
+            out.absorb(&run_one(&mut engine, q, k, algo).stats);
+        }
+        return out;
+    }
+    let chunk = queries.len().div_ceil(threads);
+    let mut partials: Vec<BatchOutcome> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = queries
+            .chunks(chunk)
+            .map(|chunk| {
+                s.spawn(move || {
+                    let mut engine = make_engine(graph, partition);
+                    let mut out = BatchOutcome::default();
+                    for &q in chunk {
+                        out.absorb(&run_one(&mut engine, q, k, algo).stats);
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            partials.push(h.join().expect("batch worker panicked"));
+        }
+    });
+    let mut out = BatchOutcome::default();
+    for p in partials {
+        out.totals.absorb(&p.totals);
+        out.queries += p.queries;
+    }
+    out
+}
+
+/// Run an indexed batch sequentially against one evolving index.
+pub fn run_indexed_batch(
+    graph: &Graph,
+    partition: Option<&Partition>,
+    index: &mut RkrIndex,
+    queries: &[NodeId],
+    k: u32,
+    bounds: BoundConfig,
+) -> BatchOutcome {
+    let mut engine = make_engine(graph, partition);
+    let mut out = BatchOutcome::default();
+    for &q in queries {
+        let r = engine.query_indexed(index, q, k, bounds).expect("valid indexed query");
+        out.absorb(&r.stats);
+    }
+    out
+}
+
+fn make_engine<'g>(graph: &'g Graph, partition: Option<&Partition>) -> QueryEngine<'g> {
+    match partition {
+        Some(p) => QueryEngine::bichromatic(graph, p.clone()),
+        None => QueryEngine::new(graph),
+    }
+}
+
+fn run_one(
+    engine: &mut QueryEngine<'_>,
+    q: NodeId,
+    k: u32,
+    algo: BatchAlgo,
+) -> rkranks_core::QueryResult {
+    match algo {
+        BatchAlgo::Naive => engine.query_naive(q, k),
+        BatchAlgo::Static => engine.query_static(q, k),
+        BatchAlgo::Dynamic(b) => engine.query_dynamic(q, k, b),
+    }
+    .expect("valid batch query")
+}
+
+/// Default worker count: the machine's parallelism, capped to 8 (query
+/// batches are memory-bandwidth-bound beyond that on laptop hardware).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rkranks_graph::{graph_from_edges, EdgeDirection};
+
+    fn grid() -> Graph {
+        graph_from_edges(
+            EdgeDirection::Undirected,
+            [
+                (0, 1, 1.0),
+                (1, 2, 1.5),
+                (2, 3, 0.5),
+                (3, 0, 2.0),
+                (1, 3, 1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree_on_counters() {
+        let g = grid();
+        let queries: Vec<NodeId> = g.nodes().collect();
+        let seq = run_batch(&g, None, &queries, 2, BatchAlgo::Dynamic(BoundConfig::ALL), 1);
+        let par = run_batch(&g, None, &queries, 2, BatchAlgo::Dynamic(BoundConfig::ALL), 3);
+        assert_eq!(seq.queries, par.queries);
+        assert_eq!(seq.totals.refinement_calls, par.totals.refinement_calls);
+        assert_eq!(seq.totals.sds_popped, par.totals.sds_popped);
+    }
+
+    #[test]
+    fn naive_batch_runs() {
+        let g = grid();
+        let queries: Vec<NodeId> = g.nodes().collect();
+        let out = run_batch(&g, None, &queries, 1, BatchAlgo::Naive, 2);
+        assert_eq!(out.queries, 4);
+        // naive refines every other node for every query
+        assert_eq!(out.totals.refinement_calls, 4 * 3);
+        assert!(out.mean_refinements() > 0.0);
+    }
+
+    #[test]
+    fn indexed_batch_learns_across_queries() {
+        let g = grid();
+        let queries: Vec<NodeId> = g.nodes().chain(g.nodes()).collect();
+        let mut idx = RkrIndex::empty(g.num_nodes(), 16);
+        let out =
+            run_indexed_batch(&g, None, &mut idx, &queries, 2, BoundConfig::ALL);
+        assert_eq!(out.queries, 8);
+        assert!(idx.rrd_entries() > 0);
+        assert!(out.totals.index_exact_hits > 0, "second pass should hit the index");
+    }
+
+    #[test]
+    fn empty_query_list() {
+        let g = grid();
+        let out = run_batch(&g, None, &[], 2, BatchAlgo::Static, 4);
+        assert_eq!(out.queries, 0);
+        assert_eq!(out.mean_seconds(), 0.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Compressed-sparse-row adjacency storage.
+//!
+//! One `Csr` stores the out-adjacency of a directed graph (an undirected
+//! graph stores each edge in both directions). Neighbor iteration is a pair
+//! of contiguous slices — the single hottest access pattern in every
+//! algorithm of the paper.
+
+use crate::node::NodeId;
+use crate::weight::Distance;
+
+/// CSR adjacency: `offsets[u]..offsets[u+1]` indexes into `targets`/`weights`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+    weights: Vec<Distance>,
+}
+
+impl Csr {
+    /// Build from a sorted arc list `(source, target, weight)`.
+    ///
+    /// `arcs` must be sorted by source (this is an internal constructor; the
+    /// public entry point is [`crate::builder::GraphBuilder`]).
+    pub(crate) fn from_sorted_arcs(num_nodes: u32, arcs: &[(u32, u32, f64)]) -> Csr {
+        debug_assert!(arcs.windows(2).all(|w| w[0].0 <= w[1].0), "arcs must be sorted by source");
+        let n = num_nodes as usize;
+        let mut offsets = vec![0u32; n + 1];
+        for &(u, _, _) in arcs {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut targets = Vec::with_capacity(arcs.len());
+        let mut weights = Vec::with_capacity(arcs.len());
+        for &(_, v, w) in arcs {
+            targets.push(NodeId(v));
+            weights.push(w);
+        }
+        Csr { offsets, targets, weights }
+    }
+
+    /// Number of nodes.
+    #[inline(always)]
+    pub fn num_nodes(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of stored arcs (directed edges).
+    #[inline(always)]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `u`.
+    #[inline(always)]
+    pub fn degree(&self, u: NodeId) -> u32 {
+        let i = u.index();
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Neighbor slice pair for `u`: `(targets, weights)`.
+    #[inline(always)]
+    pub fn neighbors(&self, u: NodeId) -> (&[NodeId], &[Distance]) {
+        let i = u.index();
+        let (lo, hi) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        (&self.targets[lo..hi], &self.weights[lo..hi])
+    }
+
+    /// Iterate `(neighbor, weight)` pairs of `u`.
+    #[inline]
+    pub fn edges(&self, u: NodeId) -> impl Iterator<Item = (NodeId, Distance)> + '_ {
+        let (t, w) = self.neighbors(u);
+        t.iter().copied().zip(w.iter().copied())
+    }
+
+    /// Reverse every arc, producing the transpose adjacency.
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_nodes() as usize;
+        let mut counts = vec![0u32; n + 1];
+        for &t in &self.targets {
+            counts[t.index() + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts; // reuse as write cursors
+        let mut targets = vec![NodeId(0); self.targets.len()];
+        let mut weights = vec![0.0; self.weights.len()];
+        for u in 0..n as u32 {
+            let (ts, ws) = self.neighbors(NodeId(u));
+            for (t, w) in ts.iter().zip(ws.iter()) {
+                let slot = cursor[t.index()] as usize;
+                targets[slot] = NodeId(u);
+                weights[slot] = *w;
+                cursor[t.index()] += 1;
+            }
+        }
+        Csr { offsets, targets, weights }
+    }
+
+    /// Heap memory footprint in bytes (used by index-size accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.len() * size_of::<u32>()
+            + self.targets.len() * size_of::<NodeId>()
+            + self.weights.len() * size_of::<Distance>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // 0 -> 1 (1.0), 0 -> 2 (2.0), 1 -> 2 (0.5), 3 isolated
+        Csr::from_sorted_arcs(4, &[(0, 1, 1.0), (0, 2, 2.0), (1, 2, 0.5)])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let c = sample();
+        assert_eq!(c.num_nodes(), 4);
+        assert_eq!(c.num_arcs(), 3);
+        assert_eq!(c.degree(NodeId(0)), 2);
+        assert_eq!(c.degree(NodeId(1)), 1);
+        assert_eq!(c.degree(NodeId(3)), 0);
+    }
+
+    #[test]
+    fn neighbor_slices() {
+        let c = sample();
+        let (t, w) = c.neighbors(NodeId(0));
+        assert_eq!(t, &[NodeId(1), NodeId(2)]);
+        assert_eq!(w, &[1.0, 2.0]);
+        let (t, _) = c.neighbors(NodeId(3));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn edges_iterator() {
+        let c = sample();
+        let e: Vec<_> = c.edges(NodeId(1)).collect();
+        assert_eq!(e, vec![(NodeId(2), 0.5)]);
+    }
+
+    #[test]
+    fn transpose_reverses_arcs() {
+        let c = sample();
+        let t = c.transpose();
+        assert_eq!(t.num_arcs(), 3);
+        let (ts, ws) = t.neighbors(NodeId(2));
+        // incoming arcs of 2: from 0 (2.0) and from 1 (0.5)
+        assert_eq!(ts, &[NodeId(0), NodeId(1)]);
+        assert_eq!(ws, &[2.0, 0.5]);
+        assert_eq!(t.degree(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let c = sample();
+        assert_eq!(c.transpose().transpose(), c);
+    }
+
+    #[test]
+    fn heap_bytes_positive() {
+        assert!(sample().heap_bytes() > 0);
+    }
+}

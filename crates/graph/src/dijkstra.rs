@@ -1,0 +1,415 @@
+//! Dijkstra traversal: reusable workspaces and lazy distance browsing.
+//!
+//! Every algorithm in the paper is a Dijkstra variant: the SDS-tree is
+//! Dijkstra on the transpose graph, rank refinement is a bounded Dijkstra
+//! from the candidate, the index builder is a truncated Dijkstra from each
+//! hub. A reverse k-ranks query therefore runs *thousands* of short
+//! Dijkstras. [`DijkstraWorkspace`] makes each of them allocation-free and
+//! O(touched) instead of O(|V|) by stamping per-node state with a generation
+//! counter.
+
+use crate::graph::Graph;
+use crate::heap::{IndexedHeap, PushOutcome};
+use crate::node::NodeId;
+use crate::weight::{Distance, INF};
+
+/// Outcome of relaxing an edge into the frontier.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RelaxOutcome {
+    /// First time this node enters the frontier this traversal.
+    Inserted,
+    /// The node was already queued and its tentative distance decreased.
+    Decreased,
+    /// No improvement (already settled, or tentative distance not better).
+    Unchanged,
+}
+
+/// Reusable per-traversal state: tentative distances, settled marks, and the
+/// decrease-key frontier. Reset is O(1) via generation stamping.
+#[derive(Debug)]
+pub struct DijkstraWorkspace {
+    dist: Vec<Distance>,
+    dist_stamp: Vec<u32>,
+    settled_stamp: Vec<u32>,
+    generation: u32,
+    heap: IndexedHeap,
+}
+
+impl DijkstraWorkspace {
+    /// Workspace for graphs with up to `n` nodes.
+    pub fn new(n: u32) -> Self {
+        DijkstraWorkspace {
+            dist: vec![INF; n as usize],
+            dist_stamp: vec![0; n as usize],
+            settled_stamp: vec![0; n as usize],
+            generation: 0,
+            heap: IndexedHeap::new(n),
+        }
+    }
+
+    /// Grow to accommodate a larger graph (no-op if already large enough).
+    pub fn ensure_capacity(&mut self, n: u32) {
+        let n = n as usize;
+        if self.dist.len() < n {
+            self.dist.resize(n, INF);
+            self.dist_stamp.resize(n, 0);
+            self.settled_stamp.resize(n, 0);
+            self.heap.ensure_capacity(n as u32);
+        }
+    }
+
+    /// Number of nodes this workspace can traverse.
+    pub fn capacity(&self) -> u32 {
+        self.dist.len() as u32
+    }
+
+    /// Start a fresh traversal from `source`. Clears all prior state in
+    /// O(previous frontier size).
+    pub fn begin(&mut self, source: NodeId) {
+        self.heap.clear();
+        if self.generation == u32::MAX {
+            // Generation wrap: hard-reset the stamps once every 4 billion
+            // traversals rather than branching in the hot path.
+            self.dist_stamp.fill(0);
+            self.settled_stamp.fill(0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+        self.set_dist(source, 0.0);
+        self.heap.push_or_decrease(source.0, 0.0);
+    }
+
+    #[inline(always)]
+    fn set_dist(&mut self, v: NodeId, d: Distance) {
+        self.dist[v.index()] = d;
+        self.dist_stamp[v.index()] = self.generation;
+    }
+
+    /// Tentative (or final) distance of `v` in the current traversal.
+    #[inline(always)]
+    pub fn dist_of(&self, v: NodeId) -> Option<Distance> {
+        (self.dist_stamp[v.index()] == self.generation).then(|| self.dist[v.index()])
+    }
+
+    /// `true` once `v` has been popped (its distance is final).
+    #[inline(always)]
+    pub fn is_settled(&self, v: NodeId) -> bool {
+        self.settled_stamp[v.index()] == self.generation
+    }
+
+    /// `true` if `v` is currently queued in the frontier.
+    #[inline(always)]
+    pub fn in_frontier(&self, v: NodeId) -> bool {
+        self.heap.contains(v.0)
+    }
+
+    /// Relax `v` to tentative distance `d`.
+    #[inline]
+    pub fn relax(&mut self, v: NodeId, d: Distance) -> RelaxOutcome {
+        if self.is_settled(v) {
+            return RelaxOutcome::Unchanged;
+        }
+        if self.dist_stamp[v.index()] == self.generation && d >= self.dist[v.index()] {
+            return RelaxOutcome::Unchanged;
+        }
+        self.set_dist(v, d);
+        match self.heap.push_or_decrease(v.0, d) {
+            PushOutcome::Inserted => RelaxOutcome::Inserted,
+            PushOutcome::Decreased => RelaxOutcome::Decreased,
+            // dist check above already filtered equal/larger keys
+            PushOutcome::Unchanged => RelaxOutcome::Unchanged,
+        }
+    }
+
+    /// Pop the closest frontier node, mark it settled, and return it.
+    #[inline]
+    pub fn settle_next(&mut self) -> Option<(NodeId, Distance)> {
+        let (item, key) = self.heap.pop()?;
+        let v = NodeId(item);
+        self.settled_stamp[v.index()] = self.generation;
+        Some((v, key))
+    }
+
+    /// The next frontier distance without popping (the refinement
+    /// tie-boundary check needs this).
+    #[inline]
+    pub fn peek_frontier(&self) -> Option<(NodeId, Distance)> {
+        self.heap.peek().map(|(i, k)| (NodeId(i), k))
+    }
+
+    /// Settle the next node and relax all its out-edges — one full Dijkstra
+    /// step. Returns the settled node.
+    #[inline]
+    pub fn step(&mut self, graph: &Graph) -> Option<(NodeId, Distance)> {
+        let (v, d) = self.settle_next()?;
+        let (targets, weights) = graph.out_neighbors(v);
+        for (t, w) in targets.iter().zip(weights.iter()) {
+            self.relax(*t, d + *w);
+        }
+        Some((v, d))
+    }
+}
+
+/// Lazy iterator yielding `(node, distance)` in nondecreasing distance order
+/// from a source ("distance browsing"). The source itself is yielded first
+/// with distance 0.
+///
+/// ```
+/// use rkranks_graph::{graph_from_edges, EdgeDirection, DijkstraWorkspace, DistanceBrowser, NodeId};
+/// let g = graph_from_edges(EdgeDirection::Undirected, [(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+/// let mut ws = DijkstraWorkspace::new(g.num_nodes());
+/// let order: Vec<_> = DistanceBrowser::new(&g, &mut ws, NodeId(0)).collect();
+/// assert_eq!(order, vec![(NodeId(0), 0.0), (NodeId(1), 1.0), (NodeId(2), 2.0)]);
+/// ```
+pub struct DistanceBrowser<'g, 'w> {
+    graph: &'g Graph,
+    ws: &'w mut DijkstraWorkspace,
+}
+
+impl<'g, 'w> DistanceBrowser<'g, 'w> {
+    /// Begin browsing from `source`. Any traversal previously using `ws` is
+    /// invalidated.
+    pub fn new(graph: &'g Graph, ws: &'w mut DijkstraWorkspace, source: NodeId) -> Self {
+        ws.ensure_capacity(graph.num_nodes());
+        ws.begin(source);
+        DistanceBrowser { graph, ws }
+    }
+
+    /// Access the underlying workspace (e.g. to query settled distances).
+    pub fn workspace(&self) -> &DijkstraWorkspace {
+        self.ws
+    }
+}
+
+impl Iterator for DistanceBrowser<'_, '_> {
+    type Item = (NodeId, Distance);
+
+    #[inline]
+    fn next(&mut self) -> Option<(NodeId, Distance)> {
+        self.ws.step(self.graph)
+    }
+}
+
+/// Full single-source shortest paths. Allocates the result vector; use a
+/// browser + workspace in hot loops.
+pub fn sssp(graph: &Graph, source: NodeId) -> Vec<Distance> {
+    let mut out = vec![INF; graph.num_nodes() as usize];
+    let mut ws = DijkstraWorkspace::new(graph.num_nodes());
+    for (v, d) in DistanceBrowser::new(graph, &mut ws, source) {
+        out[v.index()] = d;
+    }
+    out
+}
+
+/// Point-to-point shortest distance with early exit ([`INF`] if unreachable).
+pub fn distance(graph: &Graph, s: NodeId, t: NodeId) -> Distance {
+    if s == t {
+        return 0.0;
+    }
+    let mut ws = DijkstraWorkspace::new(graph.num_nodes());
+    for (v, d) in DistanceBrowser::new(graph, &mut ws, s) {
+        if v == t {
+            return d;
+        }
+    }
+    INF
+}
+
+/// A full shortest-path tree: `parents[v]` is `v`'s predecessor on a
+/// shortest path from `source` (`None` for the source and unreachable
+/// nodes), `dist[v]` the distance. Run on the transpose this is exactly
+/// the paper's complete SDS-tree (Figure 2).
+pub fn shortest_path_tree(
+    graph: &Graph,
+    source: NodeId,
+) -> (Vec<Option<NodeId>>, Vec<Distance>) {
+    let n = graph.num_nodes() as usize;
+    let mut parents: Vec<Option<NodeId>> = vec![None; n];
+    let mut dist = vec![INF; n];
+    let mut ws = DijkstraWorkspace::new(graph.num_nodes());
+    ws.begin(source);
+    while let Some((v, d)) = ws.settle_next() {
+        dist[v.index()] = d;
+        let (targets, weights) = graph.out_neighbors(v);
+        for (t, w) in targets.iter().zip(weights.iter()) {
+            match ws.relax(*t, d + *w) {
+                RelaxOutcome::Inserted | RelaxOutcome::Decreased => {
+                    parents[t.index()] = Some(v);
+                }
+                RelaxOutcome::Unchanged => {}
+            }
+        }
+    }
+    // unreachable nodes keep parent None; reachable roots too
+    (parents, dist)
+}
+
+/// The `k` nearest nodes to `source` (excluding `source`), in nondecreasing
+/// distance order. Ties at the k-th position are truncated arbitrarily —
+/// the paper's datasets are weighted specifically to avoid ties (§6.1).
+pub fn k_nearest(
+    graph: &Graph,
+    ws: &mut DijkstraWorkspace,
+    source: NodeId,
+    k: usize,
+) -> Vec<(NodeId, Distance)> {
+    DistanceBrowser::new(graph, ws, source).filter(|&(v, _)| v != source).take(k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{graph_from_edges, EdgeDirection};
+
+    fn paperish() -> Graph {
+        // A small weighted graph with an indirect shortcut: 0-1 (4.0) is
+        // beaten by 0-2-1 (1+2).
+        graph_from_edges(
+            EdgeDirection::Undirected,
+            [(0, 1, 4.0), (0, 2, 1.0), (2, 1, 2.0), (1, 3, 1.0), (2, 3, 5.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sssp_finds_shortcuts() {
+        let g = paperish();
+        let d = sssp(&g, NodeId(0));
+        assert_eq!(d, vec![0.0, 3.0, 1.0, 4.0]);
+    }
+
+    #[test]
+    fn browser_yields_nondecreasing() {
+        let g = paperish();
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        let dists: Vec<f64> =
+            DistanceBrowser::new(&g, &mut ws, NodeId(0)).map(|(_, d)| d).collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(dists.len(), 4);
+    }
+
+    #[test]
+    fn browser_decrease_key_path() {
+        // Node 1 enters the frontier at 4.0 then is decreased to 3.0.
+        let g = paperish();
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        let order: Vec<(NodeId, f64)> = DistanceBrowser::new(&g, &mut ws, NodeId(0)).collect();
+        assert_eq!(order[0], (NodeId(0), 0.0));
+        assert_eq!(order[1], (NodeId(2), 1.0));
+        assert_eq!(order[2], (NodeId(1), 3.0));
+        assert_eq!(order[3], (NodeId(3), 4.0));
+    }
+
+    #[test]
+    fn workspace_reuse_is_clean() {
+        let g = paperish();
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        let first: Vec<_> = DistanceBrowser::new(&g, &mut ws, NodeId(0)).collect();
+        let second: Vec<_> = DistanceBrowser::new(&g, &mut ws, NodeId(0)).collect();
+        assert_eq!(first, second);
+        // and from a different source
+        let d3: Vec<_> = DistanceBrowser::new(&g, &mut ws, NodeId(3)).collect();
+        assert_eq!(d3[0], (NodeId(3), 0.0));
+    }
+
+    #[test]
+    fn early_exit_distance() {
+        let g = paperish();
+        assert_eq!(distance(&g, NodeId(0), NodeId(3)), 4.0);
+        assert_eq!(distance(&g, NodeId(2), NodeId(2)), 0.0);
+    }
+
+    #[test]
+    fn unreachable_is_inf() {
+        let g = graph_from_edges(EdgeDirection::Directed, [(0, 1, 1.0)]).unwrap();
+        assert_eq!(distance(&g, NodeId(1), NodeId(0)), INF);
+        let d = sssp(&g, NodeId(1));
+        assert_eq!(d[0], INF);
+    }
+
+    #[test]
+    fn directed_respects_arc_direction() {
+        let g = graph_from_edges(EdgeDirection::Directed, [(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        assert_eq!(distance(&g, NodeId(0), NodeId(2)), 2.0);
+        assert_eq!(distance(&g, NodeId(2), NodeId(0)), INF);
+    }
+
+    #[test]
+    fn k_nearest_excludes_source_and_orders() {
+        let g = paperish();
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        let knn = k_nearest(&g, &mut ws, NodeId(0), 2);
+        assert_eq!(knn, vec![(NodeId(2), 1.0), (NodeId(1), 3.0)]);
+        // k larger than reachable set
+        let knn = k_nearest(&g, &mut ws, NodeId(0), 10);
+        assert_eq!(knn.len(), 3);
+    }
+
+    #[test]
+    fn settled_and_frontier_flags() {
+        let g = paperish();
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        ws.begin(NodeId(0));
+        assert!(ws.in_frontier(NodeId(0)));
+        let (v, d) = ws.step(&g).unwrap();
+        assert_eq!((v, d), (NodeId(0), 0.0));
+        assert!(ws.is_settled(NodeId(0)));
+        assert!(!ws.in_frontier(NodeId(0)));
+        assert!(ws.in_frontier(NodeId(1)));
+        assert_eq!(ws.dist_of(NodeId(2)), Some(1.0));
+        assert_eq!(ws.dist_of(NodeId(3)), None);
+    }
+
+    #[test]
+    fn relax_outcomes() {
+        let g = paperish();
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        ws.begin(NodeId(0));
+        assert_eq!(ws.relax(NodeId(1), 10.0), RelaxOutcome::Inserted);
+        assert_eq!(ws.relax(NodeId(1), 12.0), RelaxOutcome::Unchanged);
+        assert_eq!(ws.relax(NodeId(1), 5.0), RelaxOutcome::Decreased);
+        ws.settle_next(); // settles source (0.0)
+        ws.settle_next(); // settles node 1 (5.0)
+        assert_eq!(ws.relax(NodeId(1), 1.0), RelaxOutcome::Unchanged);
+    }
+
+    #[test]
+    fn peek_frontier_matches_next_settle() {
+        let g = paperish();
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        ws.begin(NodeId(0));
+        ws.step(&g);
+        let peeked = ws.peek_frontier().unwrap();
+        let settled = ws.settle_next().unwrap();
+        assert_eq!(peeked, settled);
+    }
+
+    #[test]
+    fn shortest_path_tree_parents_and_distances() {
+        let g = paperish();
+        let (parents, dist) = shortest_path_tree(&g, NodeId(0));
+        assert_eq!(parents[0], None);
+        assert_eq!(parents[2], Some(NodeId(0)));
+        assert_eq!(parents[1], Some(NodeId(2))); // shortcut 0-2-1 beats 0-1
+        assert_eq!(parents[3], Some(NodeId(1)));
+        assert_eq!(dist, vec![0.0, 3.0, 1.0, 4.0]);
+    }
+
+    #[test]
+    fn shortest_path_tree_unreachable() {
+        let g = graph_from_edges(EdgeDirection::Directed, [(0, 1, 1.0)]).unwrap();
+        let (parents, dist) = shortest_path_tree(&g, NodeId(1));
+        assert_eq!(parents, vec![None, None]);
+        assert_eq!(dist[0], INF);
+    }
+
+    #[test]
+    fn ensure_capacity_grows_workspace() {
+        let mut ws = DijkstraWorkspace::new(2);
+        ws.ensure_capacity(10);
+        assert_eq!(ws.capacity(), 10);
+        let g = graph_from_edges(EdgeDirection::Undirected, [(8, 9, 1.0)]).unwrap();
+        let order: Vec<_> = DistanceBrowser::new(&g, &mut ws, NodeId(8)).collect();
+        assert_eq!(order, vec![(NodeId(8), 0.0), (NodeId(9), 1.0)]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Weighted edge-list text I/O.
+//!
+//! Format (one logical edge per line, `#` comments allowed):
+//!
+//! ```text
+//! # header: direction and node count (node count covers isolated nodes)
+//! undirected 7
+//! 0 1 1.0
+//! 1 4 0.2
+//! ```
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::builder::{EdgeDirection, GraphBuilder};
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+
+/// Serialize a graph to the text format.
+pub fn write_graph<W: Write>(graph: &Graph, out: W) -> Result<()> {
+    let mut w = BufWriter::new(out);
+    let dir = if graph.is_directed() { "directed" } else { "undirected" };
+    writeln!(w, "{dir} {}", graph.num_nodes())?;
+    for u in graph.nodes() {
+        for (v, weight) in graph.edges(u) {
+            // Undirected graphs store both arcs; emit each edge once.
+            if !graph.is_directed() && v.0 < u.0 {
+                continue;
+            }
+            writeln!(w, "{} {} {}", u.0, v.0, weight)?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Save a graph to a file.
+pub fn save_graph<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<()> {
+    write_graph(graph, File::create(path)?)
+}
+
+/// Parse a graph from the text format.
+pub fn read_graph<R: Read>(input: R) -> Result<Graph> {
+    let reader = BufReader::new(input);
+    let mut lines = reader.lines().enumerate();
+
+    // Header (skipping comments / blank lines).
+    let (direction, node_count) = loop {
+        let (idx, line) = match lines.next() {
+            Some((idx, line)) => (idx, line?),
+            None => {
+                return Err(GraphError::Parse { line: 0, message: "missing header".into() })
+            }
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let dir = match parts.next() {
+            Some("directed") => EdgeDirection::Directed,
+            Some("undirected") => EdgeDirection::Undirected,
+            other => {
+                return Err(GraphError::Parse {
+                    line: idx + 1,
+                    message: format!("expected 'directed' or 'undirected', got {other:?}"),
+                })
+            }
+        };
+        let n: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| GraphError::Parse {
+                line: idx + 1,
+                message: "header must be '<direction> <num_nodes>'".into(),
+            })?;
+        break (dir, n);
+    };
+
+    let mut b = GraphBuilder::new(direction);
+    b.reserve_nodes(node_count);
+    for (idx, line) in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse_err = |message: String| GraphError::Parse { line: idx + 1, message };
+        let u: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err("bad source node".into()))?;
+        let v: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err("bad target node".into()))?;
+        let w: f64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err("bad weight".into()))?;
+        if parts.next().is_some() {
+            return Err(parse_err("trailing tokens".into()));
+        }
+        b.add_edge(u, v, w)?;
+    }
+    b.build()
+}
+
+/// Load a graph from a file.
+pub fn load_graph<P: AsRef<Path>>(path: P) -> Result<Graph> {
+    read_graph(File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::node::NodeId;
+
+    #[test]
+    fn round_trip_undirected() {
+        let g = graph_from_edges(
+            EdgeDirection::Undirected,
+            [(0, 1, 1.0), (1, 2, 0.25), (0, 3, 2.5)],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn round_trip_directed() {
+        let g =
+            graph_from_edges(EdgeDirection::Directed, [(0, 1, 1.0), (1, 0, 2.0)]).unwrap();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+        assert!(g2.is_directed());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# a comment\n\nundirected 3\n# another\n0 1 1.5\n\n1 2 2.5\n";
+        let g = read_graph(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn header_reserves_isolated_nodes() {
+        let text = "undirected 10\n0 1 1.0\n";
+        let g = read_graph(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.degree(NodeId(9)), 0);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "undirected 3\n0 1 not-a-number\n";
+        match read_graph(text.as_bytes()) {
+            Err(GraphError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        assert!(matches!(
+            read_graph("sideways 3\n".as_bytes()),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(read_graph("".as_bytes()), Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn negative_weight_in_file_is_rejected() {
+        let text = "directed 2\n0 1 -3.0\n";
+        assert!(matches!(read_graph(text.as_bytes()), Err(GraphError::InvalidWeight { .. })));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("rkranks-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.edges");
+        let g = graph_from_edges(EdgeDirection::Undirected, [(0, 1, 0.5)]).unwrap();
+        save_graph(&g, &path).unwrap();
+        let g2 = load_graph(&path).unwrap();
+        assert_eq!(g, g2);
+        std::fs::remove_file(&path).ok();
+    }
+}

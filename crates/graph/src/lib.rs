@@ -1,0 +1,61 @@
+//! # rkranks-graph
+//!
+//! Graph substrate for the reverse k-ranks query reproduction (EDBT 2017,
+//! Qian et al.). Everything the paper's algorithms stand on is implemented
+//! here from scratch:
+//!
+//! * CSR weighted graphs ([`Graph`], [`GraphBuilder`]) with transpose views
+//!   for directed SDS-trees;
+//! * a decrease-key [`IndexedHeap`] — the priority queue of Algorithms 1–4;
+//! * reusable, generation-stamped [`DijkstraWorkspace`]s and the lazy
+//!   [`DistanceBrowser`] ("distance browsing") that rank refinement,
+//!   index building, and k-NN all share;
+//! * tie-aware rank semantics ([`RankCounter`], [`rank_between`],
+//!   [`rank_matrix`]) implementing Definition 1 exactly;
+//! * the competitor queries (top-k, reverse top-k) used by the paper's
+//!   effectiveness analysis (§6.2);
+//! * closeness centrality (exact + sampled) for the Closeness-First hub
+//!   strategy (§5.1);
+//! * personalized PageRank (forward push + power iteration) for the §8
+//!   future-work extension;
+//! * plain-text edge-list I/O.
+//!
+//! The query algorithms themselves live in `rkranks-core`; synthetic
+//! datasets in `rkranks-datasets`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod builder;
+pub mod centrality;
+pub mod csr;
+pub mod dijkstra;
+pub mod error;
+pub mod graph;
+pub mod heap;
+pub mod io;
+pub mod metrics;
+pub mod node;
+pub mod path;
+pub mod ppr;
+pub mod rank;
+pub mod simrank;
+pub mod topk;
+pub mod traversal;
+pub mod weight;
+
+pub use builder::{graph_from_edges, DedupPolicy, EdgeDirection, GraphBuilder};
+pub use dijkstra::{
+    distance, k_nearest, shortest_path_tree, sssp, DijkstraWorkspace, DistanceBrowser,
+    RelaxOutcome,
+};
+pub use error::{GraphError, Result};
+pub use graph::Graph;
+pub use heap::{IndexedHeap, PushOutcome};
+pub use node::NodeId;
+pub use rank::{rank_between, rank_matrix, RankCounter};
+pub use topk::{
+    agreement_rate, all_top_k_sets, reverse_top_k, reverse_top_k_sizes, reverse_top_k_stats,
+    top_k_set, ReverseTopKStats,
+};
+pub use weight::{Distance, Weight, INF};

@@ -1,0 +1,190 @@
+//! Property-based tests for the graph substrate.
+//!
+//! Strategy: generate small random weighted graphs (directed and
+//! undirected), then check the fast structures against brute-force
+//! reference implementations (Floyd–Warshall, full sorts).
+
+use proptest::prelude::*;
+use rkranks_graph::{
+    rank_between, rank_matrix, sssp, DijkstraWorkspace, DistanceBrowser,
+    EdgeDirection, Graph, NodeId, INF,
+};
+
+/// Generator: a connected-ish random graph as (node count, edge list).
+fn arb_edges(
+    max_nodes: u32,
+    max_extra_edges: usize,
+) -> impl Strategy<Value = (u32, Vec<(u32, u32, f64)>)> {
+    (2..=max_nodes).prop_flat_map(move |n| {
+        // a random spanning-tree-ish backbone keeps most graphs connected
+        let backbone = proptest::collection::vec(0.0f64..10.0, (n - 1) as usize).prop_map(
+            move |ws| -> Vec<(u32, u32, f64)> {
+                ws.iter().enumerate().map(|(i, &w)| (i as u32 + 1, (i as u32) / 2, w)).collect()
+            },
+        );
+        let extra = proptest::collection::vec((0..n, 0..n, 0.0f64..10.0), 0..=max_extra_edges);
+        (Just(n), backbone, extra).prop_map(|(n, mut b, e)| {
+            b.extend(e.into_iter().filter(|(u, v, _)| u != v));
+            (n, b)
+        })
+    })
+}
+
+fn build(direction: EdgeDirection, n: u32, edges: &[(u32, u32, f64)]) -> Graph {
+    let mut b = rkranks_graph::GraphBuilder::new(direction);
+    b.reserve_nodes(n);
+    for &(u, v, w) in edges {
+        b.add_edge(u, v, w).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// Brute-force all-pairs shortest paths.
+fn floyd_warshall(g: &Graph) -> Vec<Vec<f64>> {
+    let n = g.num_nodes() as usize;
+    let mut d = vec![vec![INF; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0.0;
+    }
+    for u in g.nodes() {
+        for (v, w) in g.edges(u) {
+            if w < d[u.index()][v.index()] {
+                d[u.index()][v.index()] = w;
+            }
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if d[i][k] == INF {
+                continue;
+            }
+            for j in 0..n {
+                let alt = d[i][k] + d[k][j];
+                if alt < d[i][j] {
+                    d[i][j] = alt;
+                }
+            }
+        }
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dijkstra_matches_floyd_warshall_undirected((n, edges) in arb_edges(12, 20)) {
+        let g = build(EdgeDirection::Undirected, n, &edges);
+        let fw = floyd_warshall(&g);
+        for s in g.nodes() {
+            let d = sssp(&g, s);
+            for t in g.nodes() {
+                let (a, b) = (d[t.index()], fw[s.index()][t.index()]);
+                prop_assert!((a == b) || (a - b).abs() < 1e-9, "d({s},{t}) = {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_matches_floyd_warshall_directed((n, edges) in arb_edges(12, 20)) {
+        let g = build(EdgeDirection::Directed, n, &edges);
+        let fw = floyd_warshall(&g);
+        for s in g.nodes() {
+            let d = sssp(&g, s);
+            for t in g.nodes() {
+                let (a, b) = (d[t.index()], fw[s.index()][t.index()]);
+                prop_assert!((a == b) || (a - b).abs() < 1e-9, "d({s},{t}) = {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn browser_is_sorted_and_complete((n, edges) in arb_edges(16, 24)) {
+        let g = build(EdgeDirection::Undirected, n, &edges);
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        let order: Vec<(NodeId, f64)> = DistanceBrowser::new(&g, &mut ws, NodeId(0)).collect();
+        // nondecreasing distances
+        prop_assert!(order.windows(2).all(|w| w[0].1 <= w[1].1));
+        // every node yielded at most once
+        let mut seen = vec![false; g.num_nodes() as usize];
+        for (v, _) in &order {
+            prop_assert!(!seen[v.index()], "node {v} yielded twice");
+            seen[v.index()] = true;
+        }
+        // distances agree with sssp, and unreachable nodes are not yielded
+        let d = sssp(&g, NodeId(0));
+        let reachable = d.iter().filter(|x| x.is_finite()).count();
+        prop_assert_eq!(order.len(), reachable);
+        for (v, dist) in order {
+            prop_assert!((d[v.index()] - dist).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_flips_distances((n, edges) in arb_edges(10, 16)) {
+        let g = build(EdgeDirection::Directed, n, &edges);
+        let t = g.transpose();
+        for s in g.nodes() {
+            let d_fwd = sssp(&g, s);
+            let d_rev = sssp(&t, s);
+            // d_G(u, s) must equal d_{G^T}(s, u)
+            for u in g.nodes() {
+                let fwd_to_s = sssp(&g, u)[s.index()];
+                prop_assert!(
+                    (fwd_to_s == d_rev[u.index()])
+                        || (fwd_to_s - d_rev[u.index()]).abs() < 1e-9
+                );
+            }
+            let _ = d_fwd;
+        }
+    }
+
+    #[test]
+    fn rank_between_matches_matrix((n, edges) in arb_edges(10, 16)) {
+        let g = build(EdgeDirection::Undirected, n, &edges);
+        let m = rank_matrix(&g);
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        for s in g.nodes() {
+            for t in g.nodes() {
+                if s == t { continue; }
+                prop_assert_eq!(rank_between(&g, &mut ws, s, t), m[s.index()][t.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_matrix_is_tie_consistent((n, edges) in arb_edges(10, 16)) {
+        // Rank(s,t) must equal 1 + |{p != s : d(s,p) < d(s,t)}| exactly.
+        let g = build(EdgeDirection::Undirected, n, &edges);
+        let m = rank_matrix(&g);
+        for s in g.nodes() {
+            let d = sssp(&g, s);
+            for t in g.nodes() {
+                if s == t { continue; }
+                if d[t.index()] == INF {
+                    prop_assert_eq!(m[s.index()][t.index()], None);
+                    continue;
+                }
+                let strictly_closer = g
+                    .nodes()
+                    .filter(|&p| p != s && d[p.index()] < d[t.index()])
+                    .count() as u32;
+                prop_assert_eq!(m[s.index()][t.index()], Some(strictly_closer + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_topk_sizes_consistent((n, edges) in arb_edges(10, 14), k in 1u32..5) {
+        let g = build(EdgeDirection::Undirected, n, &edges);
+        let sizes = rkranks_graph::reverse_top_k_sizes(&g, k);
+        let m = rank_matrix(&g);
+        for q in g.nodes() {
+            let expect = g
+                .nodes()
+                .filter(|&v| v != q && matches!(m[v.index()][q.index()], Some(r) if r <= k))
+                .count() as u32;
+            prop_assert_eq!(sizes[q.index()], expect, "q={} k={}", q, k);
+        }
+    }
+}

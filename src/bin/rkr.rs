@@ -1,0 +1,224 @@
+//! `rkr` — command-line reverse k-ranks queries.
+//!
+//! ```text
+//! rkr gen <dblp|epinions|road> --scale tiny|small|medium|large --seed N --out graph.edges
+//! rkr stats <graph.edges>
+//! rkr build-index <graph.edges> --out index.rkri [--h 0.1] [--m 0.1] [--kmax 100]
+//!                 [--strategy random|degree|closeness] [--threads N]
+//! rkr query <graph.edges> --node Q --k K [--algo naive|static|dynamic|indexed]
+//!                 [--index index.rkri] [--save-index]
+//! ```
+//!
+//! A thin shell over the library — everything it does is three calls into
+//! the public API.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use reverse_k_ranks::prelude::*;
+use rkranks_core::{load_index, save_index};
+use rkranks_datasets::{dblp_like, epinions_like, sf_like};
+use rkranks_graph::io::{load_graph, save_graph};
+use rkranks_graph::metrics::{degree_stats, weight_stats};
+use rkranks_graph::traversal::is_weakly_connected;
+
+const USAGE: &str = "usage:
+  rkr gen <dblp|epinions|road> [--scale S] [--seed N] --out FILE
+  rkr stats <graph.edges>
+  rkr build-index <graph.edges> --out FILE [--h F] [--m F] [--kmax K] [--strategy S] [--threads N]
+  rkr query <graph.edges> --node Q --k K [--algo A] [--index FILE] [--save-index]";
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Flags {
+    positional: Vec<String>,
+    pairs: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: Vec<String>) -> Result<Flags, String> {
+        let mut f = Flags { positional: Vec::new(), pairs: Vec::new(), switches: Vec::new() };
+        let mut it = args.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        f.pairs.push((name.to_string(), it.next().unwrap()));
+                    }
+                    _ => f.switches.push(name.to_string()),
+                }
+            } else {
+                f.positional.push(a);
+            }
+        }
+        Ok(f)
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{name}: '{v}'")),
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    match flags.positional.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&flags),
+        Some("stats") => cmd_stats(&flags),
+        Some("build-index") => cmd_build_index(&flags),
+        Some("query") => cmd_query(&flags),
+        _ => Err("missing or unknown command".into()),
+    }
+}
+
+fn graph_arg(flags: &Flags) -> Result<Graph, String> {
+    let path = flags.positional.get(1).ok_or("missing graph file argument")?;
+    load_graph(path).map_err(|e| format!("cannot load {path}: {e}"))
+}
+
+fn cmd_gen(flags: &Flags) -> Result<(), String> {
+    let kind = flags.positional.get(1).ok_or("gen needs a dataset kind")?;
+    let scale = Scale::parse(flags.get("scale").unwrap_or("tiny"))
+        .ok_or("bad --scale (tiny|small|medium|large)")?;
+    let seed: u64 = flags.get_parsed("seed", 42)?;
+    let out = PathBuf::from(flags.get("out").ok_or("gen needs --out FILE")?);
+    let g = match kind.as_str() {
+        "dblp" => dblp_like(scale, seed),
+        "epinions" => epinions_like(scale, seed),
+        "road" => {
+            let net = sf_like(scale, seed);
+            println!(
+                "# note: store markings are not stored in the edge list; first store ids: {:?}",
+                &net.stores[..net.stores.len().min(8)]
+            );
+            net.graph
+        }
+        other => return Err(format!("unknown dataset kind '{other}'")),
+    };
+    save_graph(&g, &out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} nodes, {} edges, {})",
+        out.display(),
+        g.num_nodes(),
+        g.num_edges(),
+        if g.is_directed() { "directed" } else { "undirected" }
+    );
+    Ok(())
+}
+
+fn cmd_stats(flags: &Flags) -> Result<(), String> {
+    let g = graph_arg(flags)?;
+    println!("nodes:      {}", g.num_nodes());
+    println!("edges:      {}", g.num_edges());
+    println!("directed:   {}", g.is_directed());
+    println!("connected:  {}", is_weakly_connected(&g));
+    if let Some(d) = degree_stats(&g) {
+        println!(
+            "degree:     min {} / median {} / mean {:.2} / p99 {} / max {}",
+            d.min, d.median, d.mean, d.p99, d.max
+        );
+    }
+    if let Some(w) = weight_stats(&g) {
+        println!("weights:    min {:.4} / mean {:.4} / max {:.4}", w.min, w.mean, w.max);
+    }
+    Ok(())
+}
+
+fn cmd_build_index(flags: &Flags) -> Result<(), String> {
+    let g = graph_arg(flags)?;
+    let out = flags.get("out").ok_or("build-index needs --out FILE")?;
+    let strategy = match flags.get("strategy").unwrap_or("degree") {
+        "random" => HubStrategy::Random,
+        "degree" => HubStrategy::DegreeFirst,
+        "closeness" => HubStrategy::ClosenessFirst,
+        other => return Err(format!("unknown strategy '{other}'")),
+    };
+    let params = IndexParams {
+        hub_fraction: flags.get_parsed("h", 0.1)?,
+        prefix_fraction: flags.get_parsed("m", 0.1)?,
+        k_max: flags.get_parsed("kmax", 100)?,
+        strategy,
+        ..Default::default()
+    };
+    let threads: usize = flags.get_parsed("threads", 1)?;
+    let (index, stats) =
+        RkrIndex::build_parallel(&g, QuerySpec::Mono, &params, threads.max(1));
+    save_index(&index, out).map_err(|e| e.to_string())?;
+    println!(
+        "built index: {} hubs x prefix {} in {:.2?} ({} rrd entries, ~{} bytes) -> {out}",
+        stats.hubs,
+        stats.prefix,
+        stats.build_time,
+        index.rrd_entries(),
+        index.heap_bytes()
+    );
+    Ok(())
+}
+
+fn cmd_query(flags: &Flags) -> Result<(), String> {
+    let g = graph_arg(flags)?;
+    let node: u32 = flags.get_parsed("node", u32::MAX)?;
+    if node == u32::MAX {
+        return Err("query needs --node Q".into());
+    }
+    let k: u32 = flags.get_parsed("k", 10)?;
+    let algo = flags.get("algo").unwrap_or("dynamic");
+    let mut engine = QueryEngine::new(&g);
+    let start = Instant::now();
+    let (result, index_to_save) = match algo {
+        "naive" => (engine.query_naive(NodeId(node), k), None),
+        "static" => (engine.query_static(NodeId(node), k), None),
+        "dynamic" => (engine.query_dynamic(NodeId(node), k, BoundConfig::ALL), None),
+        "indexed" => {
+            let mut index = match flags.get("index") {
+                Some(path) => load_index(path).map_err(|e| e.to_string())?,
+                None => {
+                    eprintln!("(no --index given; building a default one)");
+                    engine.build_index(&IndexParams::default()).0
+                }
+            };
+            let r = engine.query_indexed(&mut index, NodeId(node), k, BoundConfig::ALL);
+            (r, Some(index))
+        }
+        other => return Err(format!("unknown algorithm '{other}'")),
+    };
+    let result = result.map_err(|e| e.to_string())?;
+    println!("reverse {k}-ranks of node {node} ({algo}, {:.2?}):", start.elapsed());
+    for e in &result.entries {
+        println!("  node {:>8}  rank {}", e.node.to_string(), e.rank);
+    }
+    println!(
+        "stats: {} refinements ({} pruned early), {} bound-pruned, {} index hits",
+        result.stats.refinement_calls,
+        result.stats.refinements_pruned,
+        result.stats.pruned_by_bound,
+        result.stats.index_exact_hits
+    );
+    if flags.has("save-index") {
+        if let (Some(index), Some(path)) = (index_to_save, flags.get("index")) {
+            save_index(&index, path).map_err(|e| e.to_string())?;
+            println!("updated index written back to {path}");
+        }
+    }
+    Ok(())
+}

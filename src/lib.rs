@@ -1,0 +1,43 @@
+//! # reverse-k-ranks
+//!
+//! A from-scratch Rust implementation of **Reverse k-Ranks Queries on Large
+//! Graphs** (Qian, Li, Mamoulis, Liu, Cheung — EDBT 2017): the
+//! filter-and-refine SDS-tree framework, the dynamic Theorem-2 rank bounds,
+//! and the dynamically refined hub index, plus the substrates (CSR graphs,
+//! decrease-key Dijkstra, ranking primitives) and synthetic stand-ins for
+//! the paper's DBLP / Epinions / SF datasets.
+//!
+//! This crate is a facade: it re-exports the public APIs of the workspace
+//! crates so applications can depend on one name.
+//!
+//! ```
+//! use reverse_k_ranks::prelude::*;
+//!
+//! // The paper's Figure 1 graph: Alice is a new researcher with one weak
+//! // link; who is most likely to collaborate with her?
+//! let g = toy::paper_example();
+//! let mut engine = QueryEngine::new(&g);
+//! let result = engine.query_dynamic(toy::ALICE, 2, BoundConfig::ALL).unwrap();
+//! // Example 1: the reverse 2-ranks of Alice are Bob and Caroline.
+//! assert_eq!(result.nodes(), vec![toy::BOB, toy::CAROLINE]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use rkranks_core as core;
+pub use rkranks_datasets as datasets;
+pub use rkranks_graph as graph;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use rkranks_core::{
+        Algorithm, BoundConfig, HubStrategy, IndexParams, Partition, QueryEngine, QueryResult,
+        QuerySpec, RkrIndex,
+    };
+    pub use rkranks_datasets::{toy, Scale};
+    pub use rkranks_graph::{
+        graph_from_edges, DijkstraWorkspace, DistanceBrowser, EdgeDirection, Graph, GraphBuilder,
+        NodeId,
+    };
+}

@@ -1,0 +1,108 @@
+//! End-to-end integration on the three synthetic datasets: all algorithms
+//! agree, results verify against independently computed ranks, and
+//! everything is deterministic per seed.
+
+use reverse_k_ranks::prelude::*;
+use rkranks_core::results_equivalent;
+use rkranks_datasets::{dblp_like, epinions_like, sf_like};
+use rkranks_graph::rank_between;
+
+fn verify_result_ranks(g: &Graph, q: NodeId, result: &rkranks_core::QueryResult) {
+    let mut ws = DijkstraWorkspace::new(g.num_nodes());
+    for e in &result.entries {
+        assert_eq!(
+            rank_between(g, &mut ws, e.node, q),
+            Some(e.rank),
+            "entry ({}, {}) has a wrong rank for q={q}",
+            e.node,
+            e.rank
+        );
+    }
+}
+
+#[test]
+fn dblp_like_all_algorithms_agree() {
+    let g = dblp_like(Scale::Tiny, 5);
+    let mut engine = QueryEngine::new(&g);
+    let (mut idx, _) = engine.build_index(&IndexParams { k_max: 20, ..Default::default() });
+    for q in [NodeId(0), NodeId(7), NodeId(150), NodeId(299)] {
+        let naive = engine.query_naive(q, 10).unwrap();
+        verify_result_ranks(&g, q, &naive);
+        let s = engine.query_static(q, 10).unwrap();
+        let d = engine.query_dynamic(q, 10, BoundConfig::ALL).unwrap();
+        let i = engine.query_indexed(&mut idx, q, 10, BoundConfig::ALL).unwrap();
+        assert!(results_equivalent(&naive, &s), "static q={q}");
+        assert!(results_equivalent(&naive, &d), "dynamic q={q}");
+        assert!(results_equivalent(&naive, &i), "indexed q={q}");
+    }
+}
+
+#[test]
+fn epinions_like_directed_agreement() {
+    let g = epinions_like(Scale::Tiny, 5);
+    assert!(g.is_directed());
+    let mut engine = QueryEngine::new(&g);
+    for q in [NodeId(1), NodeId(42), NodeId(250)] {
+        let naive = engine.query_naive(q, 5).unwrap();
+        verify_result_ranks(&g, q, &naive);
+        let d = engine.query_dynamic(q, 5, BoundConfig::ALL).unwrap();
+        assert!(results_equivalent(&naive, &d), "dynamic q={q}");
+    }
+}
+
+#[test]
+fn road_network_bichromatic_agreement() {
+    let net = sf_like(Scale::Tiny, 5);
+    let g = &net.graph;
+    let part = Partition::from_v2_nodes(g.num_nodes(), &net.stores);
+    let mut engine = QueryEngine::bichromatic(g, part.clone());
+    let (mut idx, _) = engine.build_index(&IndexParams { k_max: 20, ..Default::default() });
+    for &q in net.stores.iter().take(4) {
+        let expect = rkranks_core::bichromatic::bichromatic_brute_force(g, &part, q, 5);
+        let d = engine.query_dynamic(q, 5, BoundConfig::ALL).unwrap();
+        let i = engine.query_indexed(&mut idx, q, 5, BoundConfig::ALL).unwrap();
+        assert!(results_equivalent(&expect, &d), "dynamic q={q}");
+        assert!(results_equivalent(&expect, &i), "indexed q={q}");
+        // no store ever appears among the community results
+        assert!(d.entries.iter().all(|e| !part.is_v2(e.node)));
+    }
+}
+
+#[test]
+fn same_seed_same_results() {
+    let a = dblp_like(Scale::Tiny, 9);
+    let b = dblp_like(Scale::Tiny, 9);
+    assert_eq!(a, b);
+    let mut ea = QueryEngine::new(&a);
+    let mut eb = QueryEngine::new(&b);
+    for q in [NodeId(3), NodeId(99)] {
+        let ra = ea.query_dynamic(q, 7, BoundConfig::ALL).unwrap();
+        let rb = eb.query_dynamic(q, 7, BoundConfig::ALL).unwrap();
+        assert_eq!(ra.entries, rb.entries);
+    }
+}
+
+#[test]
+fn k_exceeding_candidates_returns_everyone_reachable() {
+    let g = dblp_like(Scale::Tiny, 2);
+    let mut engine = QueryEngine::new(&g);
+    let r = engine.query_dynamic(NodeId(0), 10_000, BoundConfig::ALL).unwrap();
+    // the graph is connected: every other node ranks q somewhere
+    assert_eq!(r.entries.len() as u32, g.num_nodes() - 1);
+}
+
+#[test]
+fn engine_reuse_across_queries_is_clean() {
+    // Run 50 queries through one engine and re-check the last against a
+    // fresh engine: stale scratch state would corrupt it.
+    let g = epinions_like(Scale::Tiny, 8);
+    let mut engine = QueryEngine::new(&g);
+    for i in 0..50u32 {
+        let q = NodeId(i % g.num_nodes());
+        engine.query_dynamic(q, 5, BoundConfig::ALL).unwrap();
+    }
+    let q = NodeId(123 % g.num_nodes());
+    let reused = engine.query_dynamic(q, 5, BoundConfig::ALL).unwrap();
+    let fresh = QueryEngine::new(&g).query_dynamic(q, 5, BoundConfig::ALL).unwrap();
+    assert_eq!(reused.entries, fresh.entries);
+}

@@ -1,0 +1,128 @@
+//! Error-path integration: every misuse of the public API must fail loudly
+//! and descriptively, never silently return a wrong answer.
+
+use reverse_k_ranks::prelude::*;
+use rkranks_core::{load_index, save_index};
+use rkranks_datasets::toy;
+use rkranks_graph::io::read_graph;
+use rkranks_graph::GraphError;
+
+#[test]
+fn invalid_k_is_rejected_by_every_algorithm() {
+    let g = toy::paper_example();
+    let mut engine = QueryEngine::new(&g);
+    let mut idx = RkrIndex::empty(g.num_nodes(), 10);
+    assert!(engine.query_naive(toy::ALICE, 0).is_err());
+    assert!(engine.query_static(toy::ALICE, 0).is_err());
+    assert!(engine.query_dynamic(toy::ALICE, 0, BoundConfig::ALL).is_err());
+    assert!(engine.query_indexed(&mut idx, toy::ALICE, 0, BoundConfig::ALL).is_err());
+}
+
+#[test]
+fn out_of_range_query_node_is_rejected() {
+    let g = toy::paper_example();
+    let mut engine = QueryEngine::new(&g);
+    let err = engine.query_dynamic(NodeId(999), 2, BoundConfig::ALL).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("999"), "message should name the node: {msg}");
+}
+
+#[test]
+fn indexed_k_above_k_max_is_rejected_with_explanation() {
+    let g = toy::paper_example();
+    let mut engine = QueryEngine::new(&g);
+    let mut idx = RkrIndex::empty(g.num_nodes(), 3);
+    let err = engine.query_indexed(&mut idx, toy::ALICE, 5, BoundConfig::ALL).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains('5') && msg.contains('3'), "message should cite k and K: {msg}");
+    assert!(msg.contains("unsound"), "message should explain why: {msg}");
+}
+
+#[test]
+fn bichromatic_query_from_candidate_class_is_rejected() {
+    let g = toy::paper_example();
+    // V2 = {Eric}: everyone else is a candidate
+    let part = Partition::from_v2_nodes(g.num_nodes(), &[toy::ERIC]);
+    let mut engine = QueryEngine::bichromatic(&g, part);
+    assert!(engine.query_dynamic(toy::ERIC, 1, BoundConfig::ALL).is_ok());
+    let err = engine.query_dynamic(toy::ALICE, 1, BoundConfig::ALL).unwrap_err();
+    assert!(err.to_string().contains("V2"), "{err}");
+}
+
+#[test]
+fn builder_rejections_are_specific() {
+    let mut b = GraphBuilder::new(EdgeDirection::Undirected);
+    match b.add_edge(2, 2, 1.0) {
+        Err(GraphError::SelfLoop { node: 2 }) => {}
+        other => panic!("expected self-loop error, got {other:?}"),
+    }
+    match b.add_edge(0, 1, f64::NEG_INFINITY) {
+        Err(GraphError::InvalidWeight { weight, .. }) => assert!(weight.is_infinite()),
+        other => panic!("expected invalid-weight error, got {other:?}"),
+    }
+}
+
+#[test]
+fn graph_parse_failures_name_the_line() {
+    for (text, line) in [
+        ("undirected 3\n0 1 1.0\n0 2\n", 3usize),
+        ("undirected x\n", 1),
+        ("diagonal 3\n", 1),
+    ] {
+        match read_graph(text.as_bytes()) {
+            Err(GraphError::Parse { line: l, .. }) => assert_eq!(l, line, "for {text:?}"),
+            other => panic!("expected parse error for {text:?}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn index_file_corruption_is_detected() {
+    let dir = std::env::temp_dir().join("rkranks-error-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("index.rkri");
+
+    let g = toy::paper_example();
+    let engine = QueryEngine::new(&g);
+    let (idx, _) = engine.build_index(&IndexParams { k_max: 4, ..Default::default() });
+    save_index(&idx, &path).unwrap();
+
+    // Corrupt: append an out-of-range record.
+    let mut body = std::fs::read_to_string(&path).unwrap();
+    body.push_str("R 999 0 1\n");
+    std::fs::write(&path, &body).unwrap();
+    assert!(load_index(&path).is_err());
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn missing_files_surface_io_errors() {
+    assert!(matches!(
+        load_index("/definitely/not/here.rkri"),
+        Err(GraphError::Io(_))
+    ));
+    assert!(matches!(
+        rkranks_graph::io::load_graph("/definitely/not/here.edges"),
+        Err(GraphError::Io(_))
+    ));
+}
+
+#[test]
+fn ppr_and_simrank_extensions_validate_inputs() {
+    let g = toy::paper_example();
+    assert!(rkranks_core::ppr::reverse_k_ranks_ppr(
+        &g,
+        toy::ALICE,
+        0,
+        &rkranks_graph::ppr::PprParams::default()
+    )
+    .is_err());
+    assert!(rkranks_core::simrank::reverse_k_ranks_simrank(
+        &g,
+        NodeId(77),
+        1,
+        &rkranks_graph::simrank::SimRankParams::default()
+    )
+    .is_err());
+}

@@ -1,0 +1,132 @@
+//! Index lifecycle integration: build → query → update → re-query, with
+//! the §5 invariants checked against ground truth at every step.
+
+use reverse_k_ranks::prelude::*;
+use rkranks_datasets::{dblp_like, toy};
+use rkranks_graph::{rank_between, rank_matrix};
+
+/// The global index invariants:
+/// 1. every Reverse Rank Dictionary entry is an exact rank;
+/// 2. every node `v` missing from `rrd` as a target of `u` satisfies
+///    `Rank(u,v) ≥ check[u]` — unless it was evicted by K better entries.
+fn check_index_invariants(g: &Graph, idx: &RkrIndex) {
+    let m = rank_matrix(g);
+    for v in g.nodes() {
+        for &(rank, source) in idx.top_entries(v, u32::MAX) {
+            assert_eq!(
+                m[source.index()][v.index()],
+                Some(rank),
+                "rrd[{v}] holds a wrong rank for source {source}"
+            );
+        }
+    }
+    for u in g.nodes() {
+        let c = idx.check(u);
+        if c == 0 {
+            continue;
+        }
+        for v in g.nodes() {
+            if v == u || idx.lookup(v, u).is_some() {
+                continue;
+            }
+            if let Some(r) = m[u.index()][v.index()] {
+                // Eviction escape hatch: v's list may be full of entries
+                // better than (or tied with) what u would contribute.
+                let evicted = idx.top_entries(v, u32::MAX).len() as u32 >= 2
+                    && idx.top_entries(v, u32::MAX).iter().all(|&(er, _)| er <= r);
+                assert!(
+                    r >= c || evicted,
+                    "check invariant violated: Rank({u},{v}) = {r} < check[{u}] = {c}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn toy_index_invariants_hold_through_queries() {
+    let g = toy::paper_example();
+    let engine_ro = QueryEngine::new(&g);
+    let (mut idx, _) = engine_ro.build_index(&IndexParams {
+        hub_fraction: 0.6,
+        prefix_fraction: 0.5,
+        k_max: 2,
+        ..Default::default()
+    });
+    check_index_invariants(&g, &idx);
+    let mut engine = QueryEngine::new(&g);
+    for q in g.nodes() {
+        engine.query_indexed(&mut idx, q, 2, BoundConfig::ALL).unwrap();
+        check_index_invariants(&g, &idx);
+    }
+}
+
+#[test]
+fn warm_index_reduces_refinements() {
+    let g = dblp_like(Scale::Tiny, 4);
+    let mut engine = QueryEngine::new(&g);
+    let (mut idx, _) = engine.build_index(&IndexParams { k_max: 20, ..Default::default() });
+    let queries: Vec<NodeId> = (0..60u32).map(|i| NodeId(i * 5 % g.num_nodes())).collect();
+
+    let mut first_pass = 0u64;
+    for &q in &queries {
+        first_pass += engine.query_indexed(&mut idx, q, 10, BoundConfig::ALL).unwrap().stats.refinement_calls;
+    }
+    let mut second_pass = 0u64;
+    for &q in &queries {
+        second_pass +=
+            engine.query_indexed(&mut idx, q, 10, BoundConfig::ALL).unwrap().stats.refinement_calls;
+    }
+    assert!(
+        second_pass < first_pass,
+        "warm index should refine less: {first_pass} -> {second_pass}"
+    );
+}
+
+#[test]
+fn all_hub_strategies_build_and_answer() {
+    let g = dblp_like(Scale::Tiny, 4);
+    let engine_ro = QueryEngine::new(&g);
+    let mut engine = QueryEngine::new(&g);
+    let expect = engine.query_dynamic(NodeId(5), 10, BoundConfig::ALL).unwrap();
+    for strategy in [HubStrategy::Random, HubStrategy::DegreeFirst, HubStrategy::ClosenessFirst] {
+        let (mut idx, stats) = engine_ro.build_index(&IndexParams {
+            strategy,
+            k_max: 20,
+            ..Default::default()
+        });
+        assert!(stats.hubs > 0);
+        assert!(idx.rrd_entries() > 0, "{strategy:?} built an empty index");
+        let got = engine.query_indexed(&mut idx, NodeId(5), 10, BoundConfig::ALL).unwrap();
+        assert!(
+            rkranks_core::results_equivalent(&expect, &got),
+            "{strategy:?} index changed the answer"
+        );
+    }
+}
+
+#[test]
+fn index_entries_survive_and_stay_exact_on_dblp() {
+    let g = dblp_like(Scale::Tiny, 4);
+    let mut engine = QueryEngine::new(&g);
+    let (mut idx, _) = engine.build_index(&IndexParams { k_max: 10, ..Default::default() });
+    // Hammer it with queries.
+    for i in 0..40u32 {
+        engine
+            .query_indexed(&mut idx, NodeId(i * 7 % g.num_nodes()), 5, BoundConfig::ALL)
+            .unwrap();
+    }
+    // Sample-verify exactness of stored entries.
+    let mut ws = DijkstraWorkspace::new(g.num_nodes());
+    let mut checked = 0;
+    for v in g.nodes() {
+        for &(rank, source) in idx.top_entries(v, 3) {
+            assert_eq!(rank_between(&g, &mut ws, source, v), Some(rank));
+            checked += 1;
+            if checked > 300 {
+                return;
+            }
+        }
+    }
+    assert!(checked > 0);
+}
