@@ -19,7 +19,9 @@ fn bichromatic(c: &mut Criterion) {
         bench_queries(g, 24, move |v| p.is_v2(v))
     };
     let mut group = c.benchmark_group("fig7/road");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
 
     for k in KS {
         group.bench_with_input(BenchmarkId::new("static", k), &k, |b, &k| {
@@ -31,17 +33,26 @@ fn bichromatic(c: &mut Criterion) {
             let mut engine = QueryEngine::bichromatic(g, part.clone());
             let mut cursor = QueryCursor::new(queries.clone());
             b.iter(|| {
-                black_box(engine.query_dynamic(cursor.next(), k, BoundConfig::ALL).unwrap())
+                black_box(
+                    engine
+                        .query_dynamic(cursor.next(), k, BoundConfig::ALL)
+                        .unwrap(),
+                )
             });
         });
         group.bench_with_input(BenchmarkId::new("dynamic_indexed", k), &k, |b, &k| {
             let mut engine = QueryEngine::bichromatic(g, part.clone());
-            let params = IndexParams { k_max: 100, ..Default::default() };
+            let params = IndexParams {
+                k_max: 100,
+                ..Default::default()
+            };
             let (mut idx, _) = engine.build_index(&params);
             let mut cursor = QueryCursor::new(queries.clone());
             b.iter(|| {
                 black_box(
-                    engine.query_indexed(&mut idx, cursor.next(), k, BoundConfig::ALL).unwrap(),
+                    engine
+                        .query_indexed(&mut idx, cursor.next(), k, BoundConfig::ALL)
+                        .unwrap(),
                 )
             });
         });

@@ -15,7 +15,9 @@ const KS: [u32; 3] = [1, 20, 100];
 fn bench_workload(c: &mut Criterion, label: &str, queries: Vec<NodeId>) {
     let g = epinions_undirected();
     let mut group = c.benchmark_group(format!("bounds/{label}"));
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for bounds in [
         BoundConfig::PARENT_ONLY,
         BoundConfig::PARENT_COUNT,
@@ -23,15 +25,11 @@ fn bench_workload(c: &mut Criterion, label: &str, queries: Vec<NodeId>) {
         BoundConfig::ALL,
     ] {
         for k in KS {
-            group.bench_with_input(
-                BenchmarkId::new(bounds.name(), k),
-                &k,
-                |b, &k| {
-                    let mut engine = QueryEngine::new(g);
-                    let mut cursor = QueryCursor::new(queries.clone());
-                    b.iter(|| black_box(engine.query_dynamic(cursor.next(), k, bounds).unwrap()));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(bounds.name(), k), &k, |b, &k| {
+                let mut engine = QueryEngine::new(g);
+                let mut cursor = QueryCursor::new(queries.clone());
+                b.iter(|| black_box(engine.query_dynamic(cursor.next(), k, bounds).unwrap()));
+            });
         }
     }
     group.finish();

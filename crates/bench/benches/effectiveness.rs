@@ -11,7 +11,9 @@ use rkranks_graph::topk::{agreement_rate, reverse_top_k_sizes};
 fn effectiveness(c: &mut Criterion) {
     let g = dblp();
     let mut group = c.benchmark_group("effectiveness/dblp");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for k in [5u32, 20] {
         group.bench_with_input(BenchmarkId::new("reverse_topk_sizes", k), &k, |b, &k| {
             b.iter(|| black_box(reverse_top_k_sizes(g, k)));

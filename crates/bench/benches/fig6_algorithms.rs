@@ -13,7 +13,9 @@ const KS: [u32; 3] = [5, 20, 100];
 
 fn bench_dataset(c: &mut Criterion, label: &str, g: &'static Graph) {
     let mut group = c.benchmark_group(format!("fig6/{label}"));
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let queries = bench_queries(g, 64, |_| true);
 
     for k in KS {
@@ -26,17 +28,26 @@ fn bench_dataset(c: &mut Criterion, label: &str, g: &'static Graph) {
             let mut engine = QueryEngine::new(g);
             let mut cursor = QueryCursor::new(queries.clone());
             b.iter(|| {
-                black_box(engine.query_dynamic(cursor.next(), k, BoundConfig::ALL).unwrap())
+                black_box(
+                    engine
+                        .query_dynamic(cursor.next(), k, BoundConfig::ALL)
+                        .unwrap(),
+                )
             });
         });
         group.bench_with_input(BenchmarkId::new("dynamic_indexed", k), &k, |b, &k| {
             let mut engine = QueryEngine::new(g);
-            let params = IndexParams { k_max: 100, ..Default::default() };
+            let params = IndexParams {
+                k_max: 100,
+                ..Default::default()
+            };
             let (mut idx, _) = engine.build_index(&params);
             let mut cursor = QueryCursor::new(queries.clone());
             b.iter(|| {
                 black_box(
-                    engine.query_indexed(&mut idx, cursor.next(), k, BoundConfig::ALL).unwrap(),
+                    engine
+                        .query_indexed(&mut idx, cursor.next(), k, BoundConfig::ALL)
+                        .unwrap(),
                 )
             });
         });

@@ -12,14 +12,24 @@ use rkranks_graph::Graph;
 fn bench_dataset(c: &mut Criterion, label: &str, g: &'static Graph) {
     let queries = bench_queries(g, 64, |_| true);
     let mut group = c.benchmark_group(format!("hub_strategies/{label}_k10"));
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
-    for strategy in [HubStrategy::Random, HubStrategy::DegreeFirst, HubStrategy::ClosenessFirst] {
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    for strategy in [
+        HubStrategy::Random,
+        HubStrategy::DegreeFirst,
+        HubStrategy::ClosenessFirst,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(strategy.name().replace(' ', "_")),
             &strategy,
             |b, &strategy| {
                 let engine_ro = QueryEngine::new(g);
-                let params = IndexParams { strategy, k_max: 100, ..Default::default() };
+                let params = IndexParams {
+                    strategy,
+                    k_max: 100,
+                    ..Default::default()
+                };
                 let (mut idx, _) = engine_ro.build_index(&params);
                 let mut engine = QueryEngine::new(g);
                 let mut cursor = QueryCursor::new(queries.clone());

@@ -10,8 +10,16 @@ use rkranks_graph::Graph;
 
 fn bench_dataset(c: &mut Criterion, label: &str, g: &'static Graph) {
     let mut group = c.benchmark_group(format!("index_build/{label}"));
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
-    for (h, m) in [(0.03, 0.1), (0.1, 0.1), (0.15, 0.1), (0.1, 0.03), (0.1, 0.15)] {
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for (h, m) in [
+        (0.03, 0.1),
+        (0.1, 0.1),
+        (0.15, 0.1),
+        (0.1, 0.03),
+        (0.1, 0.15),
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("h{h}_m{m}")),
             &(h, m),

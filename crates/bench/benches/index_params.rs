@@ -12,22 +12,34 @@ fn index_params(c: &mut Criterion) {
     let g = dblp();
     let queries = bench_queries(g, 64, |_| true);
     let mut group = c.benchmark_group("index_params/dblp_k10");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
 
     // Tables 6–7: vary h at m = 0.1.
     for h in [0.03, 0.1, 0.15] {
-        group.bench_with_input(BenchmarkId::new("hub_fraction", format!("{h}")), &h, |b, &h| {
-            let engine_ro = QueryEngine::new(g);
-            let params = IndexParams { hub_fraction: h, k_max: 100, ..Default::default() };
-            let (mut idx, _) = engine_ro.build_index(&params);
-            let mut engine = QueryEngine::new(g);
-            let mut cursor = QueryCursor::new(queries.clone());
-            b.iter(|| {
-                black_box(
-                    engine.query_indexed(&mut idx, cursor.next(), 10, BoundConfig::ALL).unwrap(),
-                )
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("hub_fraction", format!("{h}")),
+            &h,
+            |b, &h| {
+                let engine_ro = QueryEngine::new(g);
+                let params = IndexParams {
+                    hub_fraction: h,
+                    k_max: 100,
+                    ..Default::default()
+                };
+                let (mut idx, _) = engine_ro.build_index(&params);
+                let mut engine = QueryEngine::new(g);
+                let mut cursor = QueryCursor::new(queries.clone());
+                b.iter(|| {
+                    black_box(
+                        engine
+                            .query_indexed(&mut idx, cursor.next(), 10, BoundConfig::ALL)
+                            .unwrap(),
+                    )
+                });
+            },
+        );
     }
     // Tables 8–9: vary m at h = 0.1.
     for m in [0.03, 0.1, 0.15] {
@@ -36,7 +48,11 @@ fn index_params(c: &mut Criterion) {
             &m,
             |b, &m| {
                 let engine_ro = QueryEngine::new(g);
-                let params = IndexParams { prefix_fraction: m, k_max: 100, ..Default::default() };
+                let params = IndexParams {
+                    prefix_fraction: m,
+                    k_max: 100,
+                    ..Default::default()
+                };
                 let (mut idx, _) = engine_ro.build_index(&params);
                 let mut engine = QueryEngine::new(g);
                 let mut cursor = QueryCursor::new(queries.clone());

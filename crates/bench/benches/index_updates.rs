@@ -13,31 +13,49 @@ fn index_updates(c: &mut Criterion) {
     let queries = bench_queries(g, 64, |_| true);
     let warmup = bench_queries(g, 256, |_| true);
     let mut group = c.benchmark_group("index_updates/dblp_k10");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
 
     group.bench_function("cold_index", |b| {
         let engine_ro = QueryEngine::new(g);
-        let params = IndexParams { k_max: 100, ..Default::default() };
+        let params = IndexParams {
+            k_max: 100,
+            ..Default::default()
+        };
         let (mut idx, _) = engine_ro.build_index(&params);
         let mut engine = QueryEngine::new(g);
         let mut cursor = QueryCursor::new(queries.clone());
         b.iter(|| {
-            black_box(engine.query_indexed(&mut idx, cursor.next(), 10, BoundConfig::ALL).unwrap())
+            black_box(
+                engine
+                    .query_indexed(&mut idx, cursor.next(), 10, BoundConfig::ALL)
+                    .unwrap(),
+            )
         });
     });
 
     group.bench_function("warmed_index", |b| {
         let engine_ro = QueryEngine::new(g);
-        let params = IndexParams { k_max: 100, ..Default::default() };
+        let params = IndexParams {
+            k_max: 100,
+            ..Default::default()
+        };
         let (mut idx, _) = engine_ro.build_index(&params);
         let mut engine = QueryEngine::new(g);
         // Absorb 256 queries' worth of refinement knowledge first.
         for &q in &warmup {
-            engine.query_indexed(&mut idx, q, 10, BoundConfig::ALL).unwrap();
+            engine
+                .query_indexed(&mut idx, q, 10, BoundConfig::ALL)
+                .unwrap();
         }
         let mut cursor = QueryCursor::new(queries.clone());
         b.iter(|| {
-            black_box(engine.query_indexed(&mut idx, cursor.next(), 10, BoundConfig::ALL).unwrap())
+            black_box(
+                engine
+                    .query_indexed(&mut idx, cursor.next(), 10, BoundConfig::ALL)
+                    .unwrap(),
+            )
         });
     });
     group.finish();

@@ -13,7 +13,9 @@ fn naive_vs_framework(c: &mut Criterion) {
     let g = epinions();
     let queries = bench_queries(g, 16, |_| true);
     let mut group = c.benchmark_group("naive_baseline/epinions_k1");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     group.bench_function("naive", |b| {
         let mut engine = QueryEngine::new(g);
@@ -28,7 +30,13 @@ fn naive_vs_framework(c: &mut Criterion) {
     group.bench_function("dynamic", |b| {
         let mut engine = QueryEngine::new(g);
         let mut cursor = QueryCursor::new(queries.clone());
-        b.iter(|| black_box(engine.query_dynamic(cursor.next(), 1, BoundConfig::ALL).unwrap()));
+        b.iter(|| {
+            black_box(
+                engine
+                    .query_dynamic(cursor.next(), 1, BoundConfig::ALL)
+                    .unwrap(),
+            )
+        });
     });
     group.finish();
 }

@@ -32,7 +32,9 @@ fn refine_ablation(c: &mut Criterion) {
     assert!(!pairs.is_empty());
 
     let mut group = c.benchmark_group("refine/dblp");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
 
     group.bench_function("bounded_with_krank", |b| {
         let mut ws = DijkstraWorkspace::new(g.num_nodes());

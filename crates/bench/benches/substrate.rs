@@ -45,7 +45,9 @@ fn substrate(c: &mut Criterion) {
     let g = dblp();
     let queries = bench_queries(g, 32, |_| true);
     let mut group = c.benchmark_group("substrate/sssp");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
 
     group.bench_function("indexed_heap_reused_workspace", |b| {
         let mut ws = DijkstraWorkspace::new(g.num_nodes());

@@ -5,8 +5,8 @@
 //! module adds the brute-force reference used by tests and a filtered rank
 //! helper mirroring Definition 3.
 
-use rkranks_graph::{DijkstraWorkspace, DistanceBrowser, Graph, NodeId};
 use rkranks_graph::rank::RankCounter;
+use rkranks_graph::{DijkstraWorkspace, DistanceBrowser, Graph, NodeId};
 
 use crate::result::{QueryResult, ResultEntry};
 use crate::spec::{Partition, QuerySpec};
@@ -58,7 +58,10 @@ pub fn bichromatic_brute_force(
     }
     all.sort_unstable_by_key(|e| (e.rank, e.node));
     all.truncate(k as usize);
-    QueryResult { entries: all, stats: QueryStats::default() }
+    QueryResult {
+        entries: all,
+        stats: QueryStats::default(),
+    }
 }
 
 #[cfg(test)]
@@ -83,11 +86,23 @@ mod tests {
         let (g, p) = line_with_stores();
         let mut ws = DijkstraWorkspace::new(g.num_nodes());
         // From community 1: store 0 at distance 1 (rank 1), store 4 at 3 (rank 2).
-        assert_eq!(bichromatic_rank(&g, &p, &mut ws, NodeId(1), NodeId(0)), Some(1));
-        assert_eq!(bichromatic_rank(&g, &p, &mut ws, NodeId(1), NodeId(4)), Some(2));
+        assert_eq!(
+            bichromatic_rank(&g, &p, &mut ws, NodeId(1), NodeId(0)),
+            Some(1)
+        );
+        assert_eq!(
+            bichromatic_rank(&g, &p, &mut ws, NodeId(1), NodeId(4)),
+            Some(2)
+        );
         // From community 2 (the middle): both stores at distance 2 → shared rank 1.
-        assert_eq!(bichromatic_rank(&g, &p, &mut ws, NodeId(2), NodeId(0)), Some(1));
-        assert_eq!(bichromatic_rank(&g, &p, &mut ws, NodeId(2), NodeId(4)), Some(1));
+        assert_eq!(
+            bichromatic_rank(&g, &p, &mut ws, NodeId(2), NodeId(0)),
+            Some(1)
+        );
+        assert_eq!(
+            bichromatic_rank(&g, &p, &mut ws, NodeId(2), NodeId(4)),
+            Some(1)
+        );
     }
 
     #[test]
@@ -127,14 +142,18 @@ mod tests {
     fn engine_rejects_community_query() {
         let (g, p) = line_with_stores();
         let mut engine = QueryEngine::bichromatic(&g, p);
-        assert!(engine.query_dynamic(NodeId(2), 1, BoundConfig::ALL).is_err());
+        assert!(engine
+            .query_dynamic(NodeId(2), 1, BoundConfig::ALL)
+            .is_err());
     }
 
     #[test]
     fn v2_nodes_never_appear_in_results() {
         let (g, p) = line_with_stores();
         let mut engine = QueryEngine::bichromatic(&g, p.clone());
-        let r = engine.query_dynamic(NodeId(0), 5, BoundConfig::ALL).unwrap();
+        let r = engine
+            .query_dynamic(NodeId(0), 5, BoundConfig::ALL)
+            .unwrap();
         for e in &r.entries {
             assert!(!p.is_v2(e.node), "store {} leaked into results", e.node);
         }

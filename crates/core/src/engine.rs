@@ -19,9 +19,7 @@
 
 use std::time::Instant;
 
-use rkranks_graph::{
-    DijkstraWorkspace, Distance, Graph, GraphError, NodeId, RelaxOutcome, Result,
-};
+use rkranks_graph::{DijkstraWorkspace, Distance, Graph, GraphError, NodeId, RelaxOutcome, Result};
 
 use crate::index::{IndexBuildStats, IndexParams, RkrIndex};
 use crate::refine::{refine_rank, refine_rank_unbounded, RefineHooks, RefineOutcome};
@@ -47,13 +45,25 @@ pub struct BoundConfig {
 
 impl BoundConfig {
     /// The paper's "Dynamic-Parent".
-    pub const PARENT_ONLY: BoundConfig = BoundConfig { use_height: false, use_count: false };
+    pub const PARENT_ONLY: BoundConfig = BoundConfig {
+        use_height: false,
+        use_count: false,
+    };
     /// The paper's "Dynamic-Count" (parent + count).
-    pub const PARENT_COUNT: BoundConfig = BoundConfig { use_height: false, use_count: true };
+    pub const PARENT_COUNT: BoundConfig = BoundConfig {
+        use_height: false,
+        use_count: true,
+    };
     /// The paper's "Dynamic-Height" (parent + height).
-    pub const PARENT_HEIGHT: BoundConfig = BoundConfig { use_height: true, use_count: false };
+    pub const PARENT_HEIGHT: BoundConfig = BoundConfig {
+        use_height: true,
+        use_count: false,
+    };
     /// The paper's "Dynamic-Three" (all components).
-    pub const ALL: BoundConfig = BoundConfig { use_height: true, use_count: true };
+    pub const ALL: BoundConfig = BoundConfig {
+        use_height: true,
+        use_count: true,
+    };
 
     /// Name matching Tables 12–13.
     pub fn name(self) -> &'static str {
@@ -173,21 +183,20 @@ impl<'g> QueryEngine<'g> {
         let start = Instant::now();
         let mut stats = QueryStats::default();
         let mut collector = TopKCollector::new(k);
-        let QueryEngine { graph, partition, refine_ws, .. } = self;
+        let QueryEngine {
+            graph,
+            partition,
+            refine_ws,
+            ..
+        } = self;
         let spec = spec_of(partition);
         for p in graph.nodes() {
             if p == q || !spec.is_candidate(p) {
                 continue;
             }
-            if let Some(RefineOutcome::Exact(r)) = refine_rank_unbounded(
-                graph,
-                spec,
-                refine_ws,
-                p,
-                q,
-                collector.k_rank(),
-                &mut stats,
-            ) {
+            if let Some(RefineOutcome::Exact(r)) =
+                refine_rank_unbounded(graph, spec, refine_ws, p, q, collector.k_rank(), &mut stats)
+            {
                 collector.offer(p, r);
             }
         }
@@ -300,9 +309,8 @@ impl<'g> QueryEngine<'g> {
         let spec = spec_of(partition);
         let tgraph: &Graph = transpose.as_ref().unwrap_or(graph);
         // Lemma 4 is proven for undirected monochromatic graphs only.
-        let count_enabled = dynamic.is_some_and(|b| b.use_count)
-            && !graph.is_directed()
-            && !spec.is_bichromatic();
+        let count_enabled =
+            dynamic.is_some_and(|b| b.use_count) && !graph.is_directed() && !spec.is_bichromatic();
 
         pred.reset();
         depth2.reset();
@@ -321,7 +329,11 @@ impl<'g> QueryEngine<'g> {
 
         let record = |trace: &mut Option<&mut QueryTrace>, node: NodeId, distance, decision| {
             if let Some(t) = trace.as_deref_mut() {
-                t.events.push(TraceEvent { node, distance, decision });
+                t.events.push(TraceEvent {
+                    node,
+                    distance,
+                    decision,
+                });
             }
         };
 
@@ -377,14 +389,30 @@ impl<'g> QueryEngine<'g> {
                 }
 
                 // Theorem 2 (+ check dictionary) lower bound.
-                let height_b = if bounds.use_height { depth2.get(u.index()) + 1 } else { 0 };
-                let count_b = if count_enabled { lcount.get(u.index()) } else { 0 };
+                let height_b = if bounds.use_height {
+                    depth2.get(u.index()) + 1
+                } else {
+                    0
+                };
+                let count_b = if count_enabled {
+                    lcount.get(u.index())
+                } else {
+                    0
+                };
                 let check_b = index.as_deref().map_or(0, |idx| idx.check(u));
                 record_bound_win(&mut stats, parent_lb, height_b, count_b, check_b);
                 let lb = parent_lb.max(height_b).max(count_b).max(check_b);
                 if lb >= k_rank {
                     stats.pruned_by_bound += 1;
-                    record(&mut trace, u, d, PopDecision::BoundPruned { lower_bound: lb, k_rank });
+                    record(
+                        &mut trace,
+                        u,
+                        d,
+                        PopDecision::BoundPruned {
+                            lower_bound: lb,
+                            k_rank,
+                        },
+                    );
                     eff_lb.set(u.index(), lb);
                     continue; // Theorem 1: the subtree is pruned with it
                 }
@@ -395,7 +423,9 @@ impl<'g> QueryEngine<'g> {
                 lcount: count_enabled.then_some(&mut *lcount),
                 index: index.as_deref_mut(),
             };
-            match refine_rank(graph, spec, refine_ws, u, q, d, k_rank, &mut hooks, &mut stats) {
+            match refine_rank(
+                graph, spec, refine_ws, u, q, d, k_rank, &mut hooks, &mut stats,
+            ) {
                 RefineOutcome::Exact(r) => {
                     eff_lb.set(u.index(), r);
                     let entered = collector.offer(u, r);
@@ -406,13 +436,21 @@ impl<'g> QueryEngine<'g> {
                         &mut trace,
                         u,
                         d,
-                        PopDecision::Refined { rank: r, entered_result: entered },
+                        PopDecision::Refined {
+                            rank: r,
+                            entered_result: entered,
+                        },
                     );
                     // Algorithm 1/3: completed refinement ⇒ expand.
                     expand(tgraph, spec, q, sds_ws, pred, depth2, &mut stats, u, d);
                 }
                 RefineOutcome::Pruned { lower_bound } => {
-                    record(&mut trace, u, d, PopDecision::RefinementPruned { lower_bound });
+                    record(
+                        &mut trace,
+                        u,
+                        d,
+                        PopDecision::RefinementPruned { lower_bound },
+                    );
                     eff_lb.set(u.index(), lower_bound.max(parent_lb));
                     // Theorem 1: no expansion.
                 }
@@ -537,7 +575,9 @@ mod tests {
     fn k_larger_than_graph_returns_all_candidates() {
         let g = star_tail();
         let mut engine = QueryEngine::new(&g);
-        let r = engine.query_dynamic(NodeId(0), 10, BoundConfig::ALL).unwrap();
+        let r = engine
+            .query_dynamic(NodeId(0), 10, BoundConfig::ALL)
+            .unwrap();
         assert_eq!(r.entries.len(), 4); // everyone but q
     }
 
@@ -546,8 +586,12 @@ mod tests {
         let g = star_tail();
         let mut engine = QueryEngine::new(&g);
         let mut idx = RkrIndex::empty(g.num_nodes(), 2);
-        assert!(engine.query_indexed(&mut idx, NodeId(0), 3, BoundConfig::ALL).is_err());
-        assert!(engine.query_indexed(&mut idx, NodeId(0), 2, BoundConfig::ALL).is_ok());
+        assert!(engine
+            .query_indexed(&mut idx, NodeId(0), 3, BoundConfig::ALL)
+            .is_err());
+        assert!(engine
+            .query_indexed(&mut idx, NodeId(0), 2, BoundConfig::ALL)
+            .is_ok());
     }
 
     #[test]
@@ -557,14 +601,20 @@ mod tests {
         let mut idx = RkrIndex::empty(g.num_nodes(), 10);
         for q in g.nodes() {
             let expect = engine.query_dynamic(q, 2, BoundConfig::ALL).unwrap();
-            let got = engine.query_indexed(&mut idx, q, 2, BoundConfig::ALL).unwrap();
+            let got = engine
+                .query_indexed(&mut idx, q, 2, BoundConfig::ALL)
+                .unwrap();
             assert_eq!(expect.ranks(), got.ranks(), "q={q}");
         }
         // the index absorbed refinement results
         assert!(idx.rrd_entries() > 0);
         // a repeat query must still be correct
-        let expect = engine.query_dynamic(NodeId(0), 2, BoundConfig::ALL).unwrap();
-        let got = engine.query_indexed(&mut idx, NodeId(0), 2, BoundConfig::ALL).unwrap();
+        let expect = engine
+            .query_dynamic(NodeId(0), 2, BoundConfig::ALL)
+            .unwrap();
+        let got = engine
+            .query_indexed(&mut idx, NodeId(0), 2, BoundConfig::ALL)
+            .unwrap();
         assert_eq!(expect.ranks(), got.ranks());
     }
 
@@ -589,7 +639,9 @@ mod tests {
         // 1 -> 0: only node 1 can reach 0; node 2 cannot.
         let g = graph_from_edges(EdgeDirection::Directed, [(1, 0, 1.0), (0, 2, 1.0)]).unwrap();
         let mut engine = QueryEngine::new(&g);
-        let r = engine.query_dynamic(NodeId(0), 3, BoundConfig::ALL).unwrap();
+        let r = engine
+            .query_dynamic(NodeId(0), 3, BoundConfig::ALL)
+            .unwrap();
         assert_eq!(r.nodes(), vec![NodeId(1)]);
         let n = engine.query_naive(NodeId(0), 3).unwrap();
         assert_eq!(n.nodes(), vec![NodeId(1)]);
@@ -599,7 +651,9 @@ mod tests {
     fn bound_wins_are_recorded_in_dynamic_mode() {
         let g = star_tail();
         let mut engine = QueryEngine::new(&g);
-        let r = engine.query_dynamic(NodeId(0), 1, BoundConfig::ALL).unwrap();
+        let r = engine
+            .query_dynamic(NodeId(0), 1, BoundConfig::ALL)
+            .unwrap();
         assert!(r.stats.bound_wins.total() > 0);
         let s = engine.query_static(NodeId(0), 1).unwrap();
         assert_eq!(s.stats.bound_wins.total(), 0);
@@ -625,13 +679,16 @@ mod tests {
         let mut idx = RkrIndex::empty(g.num_nodes(), 10);
         let q = NodeId(0);
         let direct = engine.query_dynamic(q, 2, BoundConfig::ALL).unwrap();
-        let via_enum = engine.query(Algorithm::Dynamic(BoundConfig::ALL), q, 2).unwrap();
+        let via_enum = engine
+            .query(Algorithm::Dynamic(BoundConfig::ALL), q, 2)
+            .unwrap();
         assert_eq!(direct.entries, via_enum.entries);
         let direct = engine.query_naive(q, 2).unwrap();
         let via_enum = engine.query(Algorithm::Naive, q, 2).unwrap();
         assert_eq!(direct.entries, via_enum.entries);
-        let via_enum =
-            engine.query(Algorithm::Indexed(&mut idx, BoundConfig::ALL), q, 2).unwrap();
+        let via_enum = engine
+            .query(Algorithm::Indexed(&mut idx, BoundConfig::ALL), q, 2)
+            .unwrap();
         assert_eq!(direct.ranks(), via_enum.ranks());
         let via_enum = engine.query(Algorithm::Static, q, 2).unwrap();
         assert_eq!(direct.ranks(), via_enum.ranks());
@@ -653,13 +710,15 @@ mod tests {
             let (traced, _) = engine.query_static_traced(q, 2).unwrap();
             assert_eq!(plain.entries, traced.entries);
 
-            let (traced, _) =
-                engine.query_indexed_traced(&mut idx, q, 2, BoundConfig::ALL).unwrap();
+            let (traced, _) = engine
+                .query_indexed_traced(&mut idx, q, 2, BoundConfig::ALL)
+                .unwrap();
             assert_eq!(plain.ranks(), traced.ranks());
         }
         // warm index produces index-hit events on a repeat query
-        let (_, trace) =
-            engine.query_indexed_traced(&mut idx, NodeId(0), 2, BoundConfig::ALL).unwrap();
+        let (_, trace) = engine
+            .query_indexed_traced(&mut idx, NodeId(0), 2, BoundConfig::ALL)
+            .unwrap();
         assert!(
             !trace.index_hit_nodes().is_empty(),
             "repeat indexed query should hit the dictionary"

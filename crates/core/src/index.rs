@@ -130,7 +130,11 @@ impl RkrIndex {
     /// Build the index by running an `M`-truncated SSSP from each hub
     /// (§5.2). `spec` controls the bichromatic variant: hubs come from the
     /// candidate class and only counted nodes are enumerated/ranked.
-    pub fn build(graph: &Graph, spec: QuerySpec<'_>, params: &IndexParams) -> (RkrIndex, IndexBuildStats) {
+    pub fn build(
+        graph: &Graph,
+        spec: QuerySpec<'_>,
+        params: &IndexParams,
+    ) -> (RkrIndex, IndexBuildStats) {
         Self::build_parallel(graph, spec, params, 1)
     }
 
@@ -175,8 +179,7 @@ impl RkrIndex {
                             let mut ws = DijkstraWorkspace::new(n);
                             let mut settles = 0u64;
                             for &hub in chunk {
-                                settles +=
-                                    part.enumerate_from(graph, spec, &mut ws, hub, prefix);
+                                settles += part.enumerate_from(graph, spec, &mut ws, hub, prefix);
                             }
                             (part, settles)
                         })
@@ -203,7 +206,11 @@ impl RkrIndex {
     /// Fold another index's knowledge into this one (both must cover the
     /// same node universe and `k_max`).
     pub fn merge_from(&mut self, other: &RkrIndex) {
-        assert_eq!(self.num_nodes(), other.num_nodes(), "node universe mismatch");
+        assert_eq!(
+            self.num_nodes(),
+            other.num_nodes(),
+            "node universe mismatch"
+        );
         assert_eq!(self.k_max, other.k_max, "k_max mismatch");
         for (u, c) in other.check_entries() {
             self.raise_check(u, c);
@@ -284,7 +291,10 @@ impl RkrIndex {
     /// Exact `Rank(source, target)` if the index knows it.
     #[inline]
     pub fn lookup(&self, target: NodeId, source: NodeId) -> Option<u32> {
-        self.rrd[target.index()].iter().find(|&&(_, s)| s == source).map(|&(r, _)| r)
+        self.rrd[target.index()]
+            .iter()
+            .find(|&&(_, s)| s == source)
+            .map(|&(r, _)| r)
     }
 
     /// The best `limit` known `(rank, source)` pairs for `target`.
@@ -383,7 +393,13 @@ fn select_hubs(
             if spec.is_bichromatic() {
                 let scores: Vec<f64> = graph
                     .nodes()
-                    .map(|u| if spec.is_candidate(u) { graph.degree(u) as f64 } else { -1.0 })
+                    .map(|u| {
+                        if spec.is_candidate(u) {
+                            graph.degree(u) as f64
+                        } else {
+                            -1.0
+                        }
+                    })
                     .collect();
                 top_by_score(&scores, count)
             } else {
@@ -422,10 +438,16 @@ mod tests {
         idx.offer(NodeId(0), NodeId(1), 5);
         idx.offer(NodeId(0), NodeId(2), 3);
         idx.offer(NodeId(0), NodeId(1), 5); // duplicate source ignored
-        assert_eq!(idx.top_entries(NodeId(0), 10), &[(3, NodeId(2)), (5, NodeId(1))]);
+        assert_eq!(
+            idx.top_entries(NodeId(0), 10),
+            &[(3, NodeId(2)), (5, NodeId(1))]
+        );
         // better entry evicts the worst
         idx.offer(NodeId(0), NodeId(0), 1);
-        assert_eq!(idx.top_entries(NodeId(0), 10), &[(1, NodeId(0)), (3, NodeId(2))]);
+        assert_eq!(
+            idx.top_entries(NodeId(0), 10),
+            &[(1, NodeId(0)), (3, NodeId(2))]
+        );
         // worse entry rejected
         idx.offer(NodeId(0), NodeId(1), 9);
         assert_eq!(idx.rrd_entries(), 2);
@@ -452,7 +474,7 @@ mod tests {
     fn build_on_line_graph() {
         let g = line();
         let params = IndexParams {
-            hub_fraction: 0.4, // 2 hubs
+            hub_fraction: 0.4,    // 2 hubs
             prefix_fraction: 0.4, // prefix 2
             k_max: 3,
             strategy: HubStrategy::DegreeFirst,
@@ -476,7 +498,7 @@ mod tests {
     fn build_enumerates_exact_ranks() {
         let g = line();
         let params = IndexParams {
-            hub_fraction: 0.2, // 1 hub
+            hub_fraction: 0.2,    // 1 hub
             prefix_fraction: 1.0, // full enumeration
             k_max: 5,
             strategy: HubStrategy::DegreeFirst,
@@ -504,7 +526,10 @@ mod tests {
                 seed,
                 ..Default::default()
             };
-            RkrIndex::build(&g, QuerySpec::Mono, &params).0.hubs().to_vec()
+            RkrIndex::build(&g, QuerySpec::Mono, &params)
+                .0
+                .hubs()
+                .to_vec()
         };
         assert_eq!(mk(1), mk(1));
     }
@@ -582,7 +607,10 @@ mod tests {
         b.offer(NodeId(0), NodeId(2), 1);
         b.raise_check(NodeId(1), 5);
         a.merge_from(&b);
-        assert_eq!(a.top_entries(NodeId(0), 10), &[(1, NodeId(2)), (2, NodeId(1))]);
+        assert_eq!(
+            a.top_entries(NodeId(0), 10),
+            &[(1, NodeId(2)), (2, NodeId(1))]
+        );
         assert_eq!(a.check(NodeId(1)), 5);
     }
 

@@ -55,7 +55,10 @@ pub fn save_index<P: AsRef<Path>>(index: &RkrIndex, path: P) -> Result<()> {
 pub fn read_index<R: Read>(input: R) -> Result<RkrIndex> {
     let reader = BufReader::new(input);
     let mut lines = reader.lines().enumerate();
-    let parse_err = |line: usize, message: String| GraphError::Parse { line: line + 1, message };
+    let parse_err = |line: usize, message: String| GraphError::Parse {
+        line: line + 1,
+        message,
+    };
 
     let (num_nodes, k_max) = loop {
         let (idx, line) = lines
@@ -68,7 +71,10 @@ pub fn read_index<R: Read>(input: R) -> Result<RkrIndex> {
         }
         let mut parts = t.split_whitespace();
         if parts.next() != Some("rkr-index") || parts.next() != Some("v1") {
-            return Err(parse_err(idx, "expected 'rkr-index v1 <nodes> <k_max>' header".into()));
+            return Err(parse_err(
+                idx,
+                "expected 'rkr-index v1 <nodes> <k_max>' header".into(),
+            ));
         }
         let n: u32 = parts
             .next()
@@ -86,7 +92,10 @@ pub fn read_index<R: Read>(input: R) -> Result<RkrIndex> {
         if v < num_nodes {
             Ok(NodeId(v))
         } else {
-            Err(parse_err(line, format!("node {v} out of range (n = {num_nodes})")))
+            Err(parse_err(
+                line,
+                format!("node {v} out of range (n = {num_nodes})"),
+            ))
         }
     };
     for (idx, line) in lines {
@@ -178,7 +187,10 @@ mod tests {
         assert_eq!(back.rrd_entries(), idx.rrd_entries());
         for u in 0..idx.num_nodes() {
             assert_eq!(back.check(NodeId(u)), idx.check(NodeId(u)));
-            assert_eq!(back.top_entries(NodeId(u), 10), idx.top_entries(NodeId(u), 10));
+            assert_eq!(
+                back.top_entries(NodeId(u), 10),
+                idx.top_entries(NodeId(u), 10)
+            );
         }
     }
 
@@ -186,20 +198,32 @@ mod tests {
     fn round_trip_after_query_updates() {
         let g = graph_from_edges(
             EdgeDirection::Undirected,
-            [(0, 1, 1.0), (1, 2, 0.5), (2, 3, 2.0), (3, 0, 1.5), (0, 2, 3.0)],
+            [
+                (0, 1, 1.0),
+                (1, 2, 0.5),
+                (2, 3, 2.0),
+                (3, 0, 1.5),
+                (0, 2, 3.0),
+            ],
         )
         .unwrap();
         let mut engine = QueryEngine::new(&g);
         let mut idx = RkrIndex::empty(g.num_nodes(), 4);
         for q in g.nodes() {
-            engine.query_indexed(&mut idx, q, 2, BoundConfig::ALL).unwrap();
+            engine
+                .query_indexed(&mut idx, q, 2, BoundConfig::ALL)
+                .unwrap();
         }
         let back = round_trip(&idx);
         // and the loaded index answers identically
         let mut loaded = back;
         for q in g.nodes() {
-            let a = engine.query_indexed(&mut idx, q, 2, BoundConfig::ALL).unwrap();
-            let b = engine.query_indexed(&mut loaded, q, 2, BoundConfig::ALL).unwrap();
+            let a = engine
+                .query_indexed(&mut idx, q, 2, BoundConfig::ALL)
+                .unwrap();
+            let b = engine
+                .query_indexed(&mut loaded, q, 2, BoundConfig::ALL)
+                .unwrap();
             assert_eq!(a.entries, b.entries, "q={q}");
         }
     }

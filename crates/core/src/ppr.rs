@@ -30,8 +30,10 @@ use std::time::Instant;
 pub fn ppr_rank(graph: &Graph, s: NodeId, t: NodeId, params: &PprParams) -> Option<u32> {
     let scores = ppr_push(graph, s, params);
     let t_score = scores.iter().find(|&&(v, _)| v == t).map(|&(_, p)| p)?;
-    let higher =
-        scores.iter().filter(|&&(v, p)| v != s && v != t && p > t_score).count() as u32;
+    let higher = scores
+        .iter()
+        .filter(|&&(v, p)| v != s && v != t && p > t_score)
+        .count() as u32;
     Some(higher + 1)
 }
 
@@ -88,7 +90,10 @@ mod tests {
     use rkranks_graph::{graph_from_edges, EdgeDirection};
 
     fn params() -> PprParams {
-        PprParams { alpha: 0.15, epsilon: 1e-9 }
+        PprParams {
+            alpha: 0.15,
+            epsilon: 1e-9,
+        }
     }
 
     /// Hub 0 strongly tied to 1, weakly to 2 and 3; 2-3 tied to each other.
@@ -133,7 +138,10 @@ mod tests {
             .collect();
         expect.sort_unstable();
         expect.truncate(2);
-        assert_eq!(res.ranks(), expect.iter().map(|&(r, _)| r).collect::<Vec<_>>());
+        assert_eq!(
+            res.ranks(),
+            expect.iter().map(|&(r, _)| r).collect::<Vec<_>>()
+        );
     }
 
     #[test]

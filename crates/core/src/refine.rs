@@ -54,7 +54,10 @@ pub struct RefineHooks<'a> {
 impl RefineHooks<'_> {
     /// No side effects (Algorithm 2 as written).
     pub fn none() -> RefineHooks<'static> {
-        RefineHooks { lcount: None, index: None }
+        RefineHooks {
+            lcount: None,
+            index: None,
+        }
     }
 }
 
@@ -147,7 +150,9 @@ fn prune(
         let next = ws.peek_frontier().map(|(_, d)| d);
         idx.raise_check(p, counter.unsettled_rank_lower_bound(next));
     }
-    RefineOutcome::Pruned { lower_bound: k_rank.saturating_add(1) }
+    RefineOutcome::Pruned {
+        lower_bound: k_rank.saturating_add(1),
+    }
 }
 
 /// Unbounded refinement for the naive baseline (§2): browse from `p` until
@@ -199,7 +204,13 @@ mod tests {
         // 0 - 1 (1.0), 1 - 2 (1.0), 0 - 3 (0.5), 3 - 2 (1.0), 2 - 4 (2.0)
         graph_from_edges(
             EdgeDirection::Undirected,
-            [(0, 1, 1.0), (1, 2, 1.0), (0, 3, 0.5), (3, 2, 1.0), (2, 4, 2.0)],
+            [
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (0, 3, 0.5),
+                (3, 2, 1.0),
+                (2, 4, 2.0),
+            ],
         )
         .unwrap()
     }
@@ -289,7 +300,10 @@ mod tests {
         lcount.reset();
         let mut stats = QueryStats::default();
         let dpq = distance(&g, NodeId(4), NodeId(0));
-        let mut hooks = RefineHooks { lcount: Some(&mut lcount), index: None };
+        let mut hooks = RefineHooks {
+            lcount: Some(&mut lcount),
+            index: None,
+        };
         let out = refine_rank(
             &g,
             QuerySpec::Mono,
@@ -316,7 +330,10 @@ mod tests {
         let mut idx = RkrIndex::empty(g.num_nodes(), 10);
         let mut stats = QueryStats::default();
         let dpq = distance(&g, NodeId(4), NodeId(0));
-        let mut hooks = RefineHooks { lcount: None, index: Some(&mut idx) };
+        let mut hooks = RefineHooks {
+            lcount: None,
+            index: Some(&mut idx),
+        };
         let out = refine_rank(
             &g,
             QuerySpec::Mono,
@@ -346,7 +363,10 @@ mod tests {
         let mut idx = RkrIndex::empty(g.num_nodes(), 10);
         let mut stats = QueryStats::default();
         let dpq = distance(&g, NodeId(4), NodeId(0));
-        let mut hooks = RefineHooks { lcount: None, index: Some(&mut idx) };
+        let mut hooks = RefineHooks {
+            lcount: None,
+            index: Some(&mut idx),
+        };
         refine_rank(
             &g,
             QuerySpec::Mono,
@@ -417,7 +437,10 @@ mod tests {
                     &mut stats,
                 )
                 .unwrap();
-                assert_eq!(out, RefineOutcome::Exact(m[p as usize][q as usize].unwrap()));
+                assert_eq!(
+                    out,
+                    RefineOutcome::Exact(m[p as usize][q as usize].unwrap())
+                );
             }
         }
     }
@@ -477,11 +500,7 @@ mod tests {
     #[test]
     fn zero_distance_candidate() {
         // p at distance 0 from q (zero-weight edge): rank must be 1.
-        let g = graph_from_edges(
-            EdgeDirection::Undirected,
-            [(0, 1, 0.0), (1, 2, 1.0)],
-        )
-        .unwrap();
+        let g = graph_from_edges(EdgeDirection::Undirected, [(0, 1, 0.0), (1, 2, 1.0)]).unwrap();
         let out = {
             let mut ws = DijkstraWorkspace::new(3);
             let mut stats = QueryStats::default();

@@ -60,7 +60,10 @@ pub struct TopKCollector {
 impl TopKCollector {
     /// Collector for `k ≥ 1` results.
     pub fn new(k: u32) -> Self {
-        TopKCollector { k: k as usize, heap: BinaryHeap::with_capacity(k as usize + 1) }
+        TopKCollector {
+            k: k as usize,
+            heap: BinaryHeap::with_capacity(k as usize + 1),
+        }
     }
 
     /// Current `kRank` bound: the k-th smallest rank seen so far, or
@@ -110,8 +113,11 @@ impl TopKCollector {
 
     /// Finish: produce the sorted result with the given stats.
     pub fn into_result(self, stats: QueryStats) -> QueryResult {
-        let mut entries: Vec<ResultEntry> =
-            self.heap.into_iter().map(|(rank, node)| ResultEntry { node, rank }).collect();
+        let mut entries: Vec<ResultEntry> = self
+            .heap
+            .into_iter()
+            .map(|(rank, node)| ResultEntry { node, rank })
+            .collect();
         entries.sort_unstable_by_key(|e| (e.rank, e.node));
         QueryResult { entries, stats }
     }

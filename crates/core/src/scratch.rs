@@ -21,7 +21,12 @@ pub struct Stamped<T: Copy> {
 impl<T: Copy> Stamped<T> {
     /// Create with capacity `n` and the given default value.
     pub fn new(n: usize, default: T) -> Self {
-        Stamped { vals: vec![default; n], stamps: vec![0; n], generation: 0, default }
+        Stamped {
+            vals: vec![default; n],
+            stamps: vec![0; n],
+            generation: 0,
+            default,
+        }
     }
 
     /// Logically reset every slot to the default.

@@ -74,7 +74,10 @@ mod tests {
     use rkranks_graph::{graph_from_edges, EdgeDirection};
 
     fn params() -> SimRankParams {
-        SimRankParams { decay: 0.8, iterations: 8 }
+        SimRankParams {
+            decay: 0.8,
+            iterations: 8,
+        }
     }
 
     /// 3 -> {0, 1}; {0, 1} -> 2: nodes 0 and 1 are structural twins.
@@ -115,7 +118,10 @@ mod tests {
             .collect();
         expect.sort_unstable();
         expect.truncate(2);
-        assert_eq!(res.ranks(), expect.iter().map(|&(r, _)| r).collect::<Vec<_>>());
+        assert_eq!(
+            res.ranks(),
+            expect.iter().map(|&(r, _)| r).collect::<Vec<_>>()
+        );
         // the structural twin is the top answer
         assert_eq!(res.entries[0].node, NodeId(0));
     }

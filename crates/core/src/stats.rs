@@ -37,7 +37,12 @@ impl BoundWins {
             return (0.0, 0.0, 0.0, 0.0);
         }
         let pct = |v: u64| 100.0 * v as f64 / t as f64;
-        (pct(self.parent), pct(self.height), pct(self.count), pct(self.check))
+        (
+            pct(self.parent),
+            pct(self.height),
+            pct(self.count),
+            pct(self.check),
+        )
     }
 }
 
@@ -129,7 +134,12 @@ mod tests {
 
     #[test]
     fn bound_shares_sum_to_100() {
-        let w = BoundWins { parent: 60, height: 30, count: 10, check: 0 };
+        let w = BoundWins {
+            parent: 60,
+            height: 30,
+            count: 10,
+            check: 0,
+        };
         let (p, h, c, k) = w.shares();
         assert!((p + h + c + k - 100.0).abs() < 1e-9);
         assert!((p - 60.0).abs() < 1e-9);
@@ -142,7 +152,10 @@ mod tests {
 
     #[test]
     fn absorb_accumulates() {
-        let mut a = QueryStats { refinement_calls: 2, ..Default::default() };
+        let mut a = QueryStats {
+            refinement_calls: 2,
+            ..Default::default()
+        };
         let b = QueryStats {
             refinement_calls: 3,
             pruned_by_bound: 5,

@@ -74,7 +74,13 @@ pub fn reverse_k_ranks_by_doubling(graph: &Graph, q: NodeId, k: u32) -> Result<D
     members.sort_unstable_by_key(|e| (e.rank, e.node));
     members.truncate(k as usize);
     stats.elapsed = start.elapsed();
-    Ok(DoublingOutcome { result: QueryResult { entries: members, stats }, rounds })
+    Ok(DoublingOutcome {
+        result: QueryResult {
+            entries: members,
+            stats,
+        },
+        rounds,
+    })
 }
 
 #[cfg(test)]
@@ -87,7 +93,14 @@ mod tests {
     fn sample() -> Graph {
         graph_from_edges(
             EdgeDirection::Undirected,
-            [(0, 1, 1.0), (1, 2, 0.4), (2, 3, 2.0), (3, 4, 0.7), (4, 0, 1.1), (1, 3, 3.0)],
+            [
+                (0, 1, 1.0),
+                (1, 2, 0.4),
+                (2, 3, 2.0),
+                (3, 4, 0.7),
+                (4, 0, 1.1),
+                (1, 3, 3.0),
+            ],
         )
         .unwrap()
     }
@@ -125,7 +138,9 @@ mod tests {
         // The whole point of the paper's critique: count refinement calls.
         let g = sample();
         let mut engine = QueryEngine::new(&g);
-        let framework = engine.query_dynamic(NodeId(0), 2, crate::BoundConfig::ALL).unwrap();
+        let framework = engine
+            .query_dynamic(NodeId(0), 2, crate::BoundConfig::ALL)
+            .unwrap();
         let doubled = reverse_k_ranks_by_doubling(&g, NodeId(0), 2).unwrap();
         assert!(
             doubled.result.stats.refinement_calls > framework.stats.refinement_calls,

@@ -109,21 +109,37 @@ impl QueryTrace {
         for e in &self.events {
             let what = match e.decision {
                 PopDecision::Root => "root".to_string(),
-                PopDecision::Refined { rank, entered_result } => {
+                PopDecision::Refined {
+                    rank,
+                    entered_result,
+                } => {
                     format!(
                         "refined -> rank {rank}{}",
                         if entered_result { " (entered R)" } else { "" }
                     )
                 }
                 PopDecision::RefinementPruned { lower_bound } => {
-                    format!("refinement pruned (rank > {})", lower_bound.saturating_sub(1))
+                    format!(
+                        "refinement pruned (rank > {})",
+                        lower_bound.saturating_sub(1)
+                    )
                 }
-                PopDecision::BoundPruned { lower_bound, k_rank } => {
+                PopDecision::BoundPruned {
+                    lower_bound,
+                    k_rank,
+                } => {
                     format!("bound-pruned (LB {lower_bound} >= kRank {k_rank})")
                 }
                 PopDecision::IndexHit { rank } => format!("index hit -> rank {rank}"),
                 PopDecision::Conduit { subtree_pruned } => {
-                    format!("conduit{}", if subtree_pruned { " (subtree pruned)" } else { "" })
+                    format!(
+                        "conduit{}",
+                        if subtree_pruned {
+                            " (subtree pruned)"
+                        } else {
+                            ""
+                        }
+                    )
                 }
             };
             let _ = writeln!(out, "pop {:<10} d={:<8.4} {what}", name(e.node), e.distance);
@@ -139,16 +155,26 @@ mod tests {
     fn sample() -> QueryTrace {
         QueryTrace {
             events: vec![
-                TraceEvent { node: NodeId(0), distance: 0.0, decision: PopDecision::Root },
+                TraceEvent {
+                    node: NodeId(0),
+                    distance: 0.0,
+                    decision: PopDecision::Root,
+                },
                 TraceEvent {
                     node: NodeId(1),
                     distance: 1.0,
-                    decision: PopDecision::Refined { rank: 3, entered_result: true },
+                    decision: PopDecision::Refined {
+                        rank: 3,
+                        entered_result: true,
+                    },
                 },
                 TraceEvent {
                     node: NodeId(2),
                     distance: 1.5,
-                    decision: PopDecision::BoundPruned { lower_bound: 5, k_rank: 4 },
+                    decision: PopDecision::BoundPruned {
+                        lower_bound: 5,
+                        k_rank: 4,
+                    },
                 },
                 TraceEvent {
                     node: NodeId(3),

@@ -24,7 +24,11 @@ pub fn results_equivalent(a: &QueryResult, b: &QueryResult) -> bool {
     };
     // Below the boundary rank the node sets must be identical.
     let below = |r: &QueryResult| {
-        r.entries.iter().filter(|e| e.rank < boundary).map(|e| e.node).collect::<Vec<_>>()
+        r.entries
+            .iter()
+            .filter(|e| e.rank < boundary)
+            .map(|e| e.node)
+            .collect::<Vec<_>>()
     };
     below(a) == below(b)
 }
@@ -51,7 +55,10 @@ mod tests {
         QueryResult {
             entries: entries
                 .iter()
-                .map(|&(node, rank)| ResultEntry { node: NodeId(node), rank })
+                .map(|&(node, rank)| ResultEntry {
+                    node: NodeId(node),
+                    rank,
+                })
                 .collect(),
             stats: QueryStats::default(),
         }

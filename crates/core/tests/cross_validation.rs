@@ -24,10 +24,13 @@ fn arb_graph(
             (0.1f64..10.0).boxed()
         };
         let backbone = proptest::collection::vec(weight.clone(), (n - 1) as usize);
-        let extra =
-            proptest::collection::vec((0..n, 0..n, weight), 0..=max_extra);
+        let extra = proptest::collection::vec((0..n, 0..n, weight), 0..=max_extra);
         (Just(n), backbone, extra).prop_map(move |(n, bb, extra)| {
-            let dir = if directed { EdgeDirection::Directed } else { EdgeDirection::Undirected };
+            let dir = if directed {
+                EdgeDirection::Directed
+            } else {
+                EdgeDirection::Undirected
+            };
             let mut b = GraphBuilder::new(dir);
             b.reserve_nodes(n);
             for (i, w) in bb.into_iter().enumerate() {
@@ -82,11 +85,15 @@ fn check_all_algorithms(g: &Graph, k: u32) -> Result<(), TestCaseError> {
         }
         check(
             "indexed-evolving",
-            &engine.query_indexed(&mut evolving, q, k, BoundConfig::ALL).unwrap(),
+            &engine
+                .query_indexed(&mut evolving, q, k, BoundConfig::ALL)
+                .unwrap(),
         )?;
         check(
             "indexed-prebuilt",
-            &engine.query_indexed(&mut prebuilt, q, k, BoundConfig::ALL).unwrap(),
+            &engine
+                .query_indexed(&mut prebuilt, q, k, BoundConfig::ALL)
+                .unwrap(),
         )?;
     }
     Ok(())

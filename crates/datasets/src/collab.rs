@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 
 use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use rkranks_graph::{EdgeDirection, Graph, GraphBuilder};
 
 /// Tuning knobs for the collaboration process.
@@ -37,7 +37,12 @@ pub struct CollabParams {
 impl CollabParams {
     /// Reasonable defaults for `authors` authors.
     pub fn with_authors(authors: u32, seed: u64) -> CollabParams {
-        CollabParams { authors, papers: authors.saturating_mul(4), max_team: 6, seed }
+        CollabParams {
+            authors,
+            papers: authors.saturating_mul(4),
+            max_team: 6,
+            seed,
+        }
     }
 }
 
@@ -46,7 +51,12 @@ impl CollabParams {
 /// Guarantees: undirected, weakly connected (every author's first paper
 /// includes an established author), no self-loops, all weights positive.
 pub fn collab_graph(params: &CollabParams) -> Graph {
-    let CollabParams { authors, papers, max_team, seed } = *params;
+    let CollabParams {
+        authors,
+        papers,
+        max_team,
+        seed,
+    } = *params;
     assert!(authors >= 2, "need at least two authors");
     assert!(max_team >= 2, "teams need at least two authors");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -176,7 +186,10 @@ mod tests {
     fn average_degree_in_dblp_regime() {
         let g = collab_graph(&CollabParams::with_authors(1000, 3));
         let avg = g.average_degree();
-        assert!((4.0..40.0).contains(&avg), "average degree {avg} out of range");
+        assert!(
+            (4.0..40.0).contains(&avg),
+            "average degree {avg} out of range"
+        );
     }
 
     #[test]
@@ -223,6 +236,9 @@ mod tests {
                 max_w = max_w.max(w);
             }
         }
-        assert!(max_w - min_w > 0.1, "weights suspiciously uniform: [{min_w}, {max_w}]");
+        assert!(
+            max_w - min_w > 0.1,
+            "weights suspiciously uniform: [{min_w}, {max_w}]"
+        );
     }
 }

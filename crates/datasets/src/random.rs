@@ -1,7 +1,7 @@
 //! Seeded random graph generators for fuzzing and property tests.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use rkranks_graph::{EdgeDirection, Graph, GraphBuilder};
 
 /// G(n, m): `n` nodes, about `m` distinct random edges, plus a random

@@ -13,7 +13,7 @@
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use rkranks_graph::{EdgeDirection, Graph, GraphBuilder, NodeId};
 
 /// Tuning knobs for the road-network generator.
@@ -37,7 +37,14 @@ pub struct RoadParams {
 impl RoadParams {
     /// Defaults for a `width × height` grid with `stores` stores.
     pub fn grid(width: u32, height: u32, stores: u32, seed: u64) -> RoadParams {
-        RoadParams { width, height, knockout: 0.55, stores, jitter: 0.3, seed }
+        RoadParams {
+            width,
+            height,
+            knockout: 0.55,
+            stores,
+            jitter: 0.3,
+            seed,
+        }
     }
 }
 
@@ -59,9 +66,19 @@ pub struct RoadNetwork {
 /// Guarantees: undirected, connected (spanning tree retained), positive
 /// travel-time weights, exactly `min(stores, nodes)` distinct stores.
 pub fn road_network(params: &RoadParams) -> RoadNetwork {
-    let RoadParams { width, height, knockout, stores, jitter, seed } = *params;
+    let RoadParams {
+        width,
+        height,
+        knockout,
+        stores,
+        jitter,
+        seed,
+    } = *params;
     assert!(width >= 2 && height >= 2, "grid must be at least 2×2");
-    assert!((0.0..=1.0).contains(&knockout), "knockout must be a fraction");
+    assert!(
+        (0.0..=1.0).contains(&knockout),
+        "knockout must be a fraction"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let n = width * height;
     let id = |x: u32, y: u32| y * width + x;
@@ -122,7 +139,12 @@ pub fn road_network(params: &RoadParams) -> RoadNetwork {
         is_store[s.index()] = true;
     }
 
-    RoadNetwork { graph, positions, stores: store_ids, is_store }
+    RoadNetwork {
+        graph,
+        positions,
+        stores: store_ids,
+        is_store,
+    }
 }
 
 /// Minimal union–find for the spanning-tree construction.
@@ -132,7 +154,9 @@ struct Dsu {
 
 impl Dsu {
     fn new(n: u32) -> Dsu {
-        Dsu { parent: (0..n).collect() }
+        Dsu {
+            parent: (0..n).collect(),
+        }
     }
 
     fn find(&mut self, mut x: u32) -> u32 {
@@ -202,8 +226,10 @@ mod tests {
                 let (bx, by) = r.positions[v.index()];
                 let dist = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
                 assert!(w > 0.0);
-                assert!(w >= dist * 0.8 - 1e-9 && w <= dist * 1.6 + 1e-9,
-                    "weight {w} outside speed band for length {dist}");
+                assert!(
+                    w >= dist * 0.8 - 1e-9 && w <= dist * 1.6 + 1e-9,
+                    "weight {w} outside speed band for length {dist}"
+                );
             }
         }
     }

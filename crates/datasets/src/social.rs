@@ -12,7 +12,7 @@
 //! footnote applies to undirected graphs only).
 
 use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use rkranks_graph::{DedupPolicy, EdgeDirection, Graph, GraphBuilder};
 
 use crate::zipf::Zipf;
@@ -35,7 +35,13 @@ pub struct TrustParams {
 impl TrustParams {
     /// Defaults matching the Epinions regime for `users` users.
     pub fn with_users(users: u32, seed: u64) -> TrustParams {
-        TrustParams { users, arcs_per_user: 6.7, zipf_n: 100, zipf_alpha: 2.0, seed }
+        TrustParams {
+            users,
+            arcs_per_user: 6.7,
+            zipf_n: 100,
+            zipf_alpha: 2.0,
+            seed,
+        }
     }
 }
 
@@ -59,7 +65,13 @@ pub fn trust_graph(params: &TrustParams) -> Graph {
 }
 
 fn build_trust(params: &TrustParams, direction: EdgeDirection) -> Graph {
-    let TrustParams { users, arcs_per_user, zipf_n, zipf_alpha, seed } = *params;
+    let TrustParams {
+        users,
+        arcs_per_user,
+        zipf_n,
+        zipf_alpha,
+        seed,
+    } = *params;
     assert!(users >= 2, "need at least two users");
     assert!(arcs_per_user >= 1.0, "need at least one arc per user");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -69,8 +81,8 @@ fn build_trust(params: &TrustParams, direction: EdgeDirection) -> Graph {
     // Preferential-attachment slots over *in*-degree; every node gets one
     // base slot so newcomers can be trusted too.
     let mut slots: Vec<u32> = Vec::with_capacity(target_arcs + users as usize);
-    let mut b = GraphBuilder::with_capacity(direction, target_arcs)
-        .dedup_policy(DedupPolicy::KeepMin);
+    let mut b =
+        GraphBuilder::with_capacity(direction, target_arcs).dedup_policy(DedupPolicy::KeepMin);
     b.reserve_nodes(users);
 
     slots.push(0);
@@ -168,7 +180,10 @@ mod tests {
             }
         }
         // α = 2 puts ~61 % of the mass on 1
-        assert!(ones as f64 > 0.4 * total as f64, "{ones}/{total} weight-1 arcs");
+        assert!(
+            ones as f64 > 0.4 * total as f64,
+            "{ones}/{total} weight-1 arcs"
+        );
     }
 
     #[test]

@@ -48,13 +48,13 @@ pub fn paper_example() -> Graph {
 /// diagonal (undefined there; the paper leaves it blank).
 pub const TABLE1: [[u32; 7]; 7] = [
     // Alice  Bob  Caroline  Sid  Eric  Frank  George
-    [0, 1, 3, 5, 2, 4, 6],       // from Alice
-    [3, 0, 2, 5, 1, 4, 6],       // from Bob
-    [4, 1, 0, 3, 2, 5, 6],       // from Caroline
-    [6, 2, 2, 0, 1, 4, 5],       // from Sid
-    [6, 1, 2, 4, 0, 3, 5],       // from Eric
-    [6, 3, 4, 5, 2, 0, 1],       // from Frank
-    [6, 3, 4, 5, 2, 1, 0],       // from George
+    [0, 1, 3, 5, 2, 4, 6], // from Alice
+    [3, 0, 2, 5, 1, 4, 6], // from Bob
+    [4, 1, 0, 3, 2, 5, 6], // from Caroline
+    [6, 2, 2, 0, 1, 4, 5], // from Sid
+    [6, 1, 2, 4, 0, 3, 5], // from Eric
+    [6, 3, 4, 5, 2, 0, 1], // from Frank
+    [6, 3, 4, 5, 2, 1, 0], // from George
 ];
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! search over the precomputed cumulative table), which is exact and O(log n)
 //! per draw.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Zipf sampler over `{1, …, n}` with exponent `alpha`.
 #[derive(Clone, Debug)]

@@ -10,7 +10,12 @@ use rkranks_graph::traversal::is_weakly_connected;
 use rkranks_graph::{EdgeDirection, Graph};
 
 fn weights_valid(g: &Graph) -> bool {
-    g.nodes().all(|u| g.out_neighbors(u).1.iter().all(|w| w.is_finite() && *w >= 0.0))
+    g.nodes().all(|u| {
+        g.out_neighbors(u)
+            .1
+            .iter()
+            .all(|w| w.is_finite() && *w >= 0.0)
+    })
 }
 
 fn no_self_loops(g: &Graph) -> bool {

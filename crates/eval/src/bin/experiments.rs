@@ -39,7 +39,11 @@ const USAGE: &str = "usage: experiments <list|all|NAME...> \
 
 enum Command {
     List,
-    Run { names: Vec<String>, ctx: ExpContext, out: Option<PathBuf> },
+    Run {
+        names: Vec<String>,
+        ctx: ExpContext,
+        out: Option<PathBuf>,
+    },
 }
 
 fn parse(args: &[String]) -> Result<Command, String> {
@@ -52,7 +56,9 @@ fn parse(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut flag_value = |flag: &str| {
-            it.next().map(|s| s.to_string()).ok_or(format!("{flag} needs a value"))
+            it.next()
+                .map(|s| s.to_string())
+                .ok_or(format!("{flag} needs a value"))
         };
         match arg.as_str() {
             "list" => return Ok(Command::List),
@@ -61,15 +67,19 @@ fn parse(args: &[String]) -> Result<Command, String> {
                 ctx.scale = Scale::parse(&v).ok_or(format!("unknown scale '{v}'"))?;
             }
             "--seed" => {
-                ctx.seed = flag_value("--seed")?.parse().map_err(|e| format!("bad seed: {e}"))?;
+                ctx.seed = flag_value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
             }
             "--queries" => {
-                ctx.queries =
-                    flag_value("--queries")?.parse().map_err(|e| format!("bad queries: {e}"))?;
+                ctx.queries = flag_value("--queries")?
+                    .parse()
+                    .map_err(|e| format!("bad queries: {e}"))?;
             }
             "--threads" => {
-                ctx.threads =
-                    flag_value("--threads")?.parse().map_err(|e| format!("bad threads: {e}"))?;
+                ctx.threads = flag_value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad threads: {e}"))?;
             }
             "--out" => out = Some(PathBuf::from(flag_value("--out")?)),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),

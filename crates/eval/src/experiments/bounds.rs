@@ -23,12 +23,22 @@ pub fn bound_wins(ctx: &ExpContext) -> Vec<Table> {
     let g = epinions_like_undirected(ctx.scale, ctx.seed);
     let queries = random_queries(&g, ctx.queries, ctx.seed ^ 0xB0, |_| true);
     let mut t = Table::new(
-        format!("Bound component wins (Epinions-like undirected, {} nodes)", g.num_nodes()),
+        format!(
+            "Bound component wins (Epinions-like undirected, {} nodes)",
+            g.num_nodes()
+        ),
         "Table 11",
         &["k", "Height wins", "Count wins", "Parent wins"],
     );
     for k in BOUND_KS {
-        let out = run_batch(&g, None, &queries, k, BatchAlgo::Dynamic(BoundConfig::ALL), ctx.threads);
+        let out = run_batch(
+            &g,
+            None,
+            &queries,
+            k,
+            BatchAlgo::Dynamic(BoundConfig::ALL),
+            ctx.threads,
+        );
         let (parent, height, count, _) = out.totals.bound_wins.shares();
         t.push_row(vec![
             k.to_string(),
@@ -67,7 +77,10 @@ fn strategy_table(
     note: &str,
 ) -> Table {
     let mut t = Table::new(
-        format!("Bound strategies, {label} (Epinions-like undirected, {} nodes)", g.num_nodes()),
+        format!(
+            "Bound strategies, {label} (Epinions-like undirected, {} nodes)",
+            g.num_nodes()
+        ),
         paper_ref,
         &["strategy", "k", "query time", "rank refinements"],
     );
@@ -97,7 +110,11 @@ mod tests {
     use rkranks_datasets::Scale;
 
     fn tiny_ctx() -> ExpContext {
-        ExpContext { scale: Scale::Tiny, queries: 10, ..ExpContext::default() }
+        ExpContext {
+            scale: Scale::Tiny,
+            queries: 10,
+            ..ExpContext::default()
+        }
     }
 
     #[test]
@@ -119,10 +136,22 @@ mod tests {
         let ctx = tiny_ctx();
         let g = epinions_like_undirected(ctx.scale, ctx.seed);
         let queries = max_degree_queries(&g, 5, |_| true);
-        let parent =
-            run_batch(&g, None, &queries, 1, BatchAlgo::Dynamic(BoundConfig::PARENT_ONLY), 1);
-        let height =
-            run_batch(&g, None, &queries, 1, BatchAlgo::Dynamic(BoundConfig::PARENT_HEIGHT), 1);
+        let parent = run_batch(
+            &g,
+            None,
+            &queries,
+            1,
+            BatchAlgo::Dynamic(BoundConfig::PARENT_ONLY),
+            1,
+        );
+        let height = run_batch(
+            &g,
+            None,
+            &queries,
+            1,
+            BatchAlgo::Dynamic(BoundConfig::PARENT_HEIGHT),
+            1,
+        );
         assert!(
             height.totals.refinement_calls <= parent.totals.refinement_calls,
             "height {} > parent {}",

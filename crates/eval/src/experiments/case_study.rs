@@ -32,7 +32,13 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
             net.stores.len()
         ),
         "Figure 5",
-        &["store", "top-1 community", "reverse top-1 size", "reverse 1-ranks result", "its rank"],
+        &[
+            "store",
+            "top-1 community",
+            "reverse top-1 size",
+            "reverse 1-ranks result",
+            "its rank",
+        ],
     );
 
     for store in [store_a, store_b] {
@@ -98,7 +104,10 @@ mod tests {
 
     #[test]
     fn case_study_produces_two_store_rows() {
-        let ctx = ExpContext { scale: Scale::Tiny, ..ExpContext::default() };
+        let ctx = ExpContext {
+            scale: Scale::Tiny,
+            ..ExpContext::default()
+        };
         let tables = run(&ctx);
         assert_eq!(tables.len(), 1);
         assert_eq!(tables[0].rows.len(), 2);

@@ -23,7 +23,15 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
     let mut t = Table::new(
         format!("Dataset statistics at scale '{}'", ctx.scale.name()),
         "Table 2",
-        &["dataset", "nodes", "edges", "avg degree", "max degree", "directed", "connected"],
+        &[
+            "dataset",
+            "nodes",
+            "edges",
+            "avg degree",
+            "max degree",
+            "directed",
+            "connected",
+        ],
     );
     let mut push = |name: &str, g: &Graph| {
         let deg = degree_stats(g).expect("non-empty dataset");
@@ -43,7 +51,9 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
     push("Epinions-like", &epin);
     push("SF-like roads", &road.graph);
     for (name, nodes, edges, avg) in PAPER {
-        t.note(format!("paper: {name} = {nodes} nodes, {edges} edges, avg degree {avg}"));
+        t.note(format!(
+            "paper: {name} = {nodes} nodes, {edges} edges, avg degree {avg}"
+        ));
     }
     t.note(format!("SF-like stores marked: {}", road.stores.len()));
     vec![t]
@@ -56,7 +66,10 @@ mod tests {
 
     #[test]
     fn table2_has_three_connected_datasets() {
-        let ctx = ExpContext { scale: Scale::Tiny, ..ExpContext::default() };
+        let ctx = ExpContext {
+            scale: Scale::Tiny,
+            ..ExpContext::default()
+        };
         let tables = run(&ctx);
         assert_eq!(tables[0].rows.len(), 3);
         for row in &tables[0].rows {
@@ -70,10 +83,19 @@ mod tests {
 
     #[test]
     fn degree_regimes_match_paper_targets() {
-        let ctx = ExpContext { scale: Scale::Small, ..ExpContext::default() };
+        let ctx = ExpContext {
+            scale: Scale::Small,
+            ..ExpContext::default()
+        };
         let epin = epinions_like(ctx.scale, ctx.seed);
         let road = sf_like(ctx.scale, ctx.seed);
-        assert!((4.0..9.0).contains(&epin.average_degree()), "epinions regime ~6.7");
-        assert!((2.0..3.2).contains(&road.graph.average_degree()), "road regime ~2.5");
+        assert!(
+            (4.0..9.0).contains(&epin.average_degree()),
+            "epinions regime ~6.7"
+        );
+        assert!(
+            (2.0..3.2).contains(&road.graph.average_degree()),
+            "road regime ~2.5"
+        );
     }
 }

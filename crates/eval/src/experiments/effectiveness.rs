@@ -28,7 +28,14 @@ pub fn table3(ctx: &ExpContext) -> Vec<Table> {
     let mut t = Table::new(
         format!("Reverse top-k result set sizes (DBLP-like, {n} nodes)"),
         "Table 3",
-        &["k", "largest set", "# empty", "# small (<=5)", "# large (>=100)", "empty %"],
+        &[
+            "k",
+            "largest set",
+            "# empty",
+            "# small (<=5)",
+            "# large (>=100)",
+            "empty %",
+        ],
     );
     for k in K_VALUES {
         let sizes = reverse_top_k_sizes(&g, k);
@@ -44,14 +51,21 @@ pub fn table3(ctx: &ExpContext) -> Vec<Table> {
     }
     t.note("shape target: a large share of nodes keeps an empty set at every k, while the largest set grows by ~20x from k=5 to k=100");
     for (k, largest, empty) in PAPER_TABLE3 {
-        t.note(format!("paper (DBLP 1.31M): k={k} -> largest {largest}, empty {empty}"));
+        t.note(format!(
+            "paper (DBLP 1.31M): k={k} -> largest {largest}, empty {empty}"
+        ));
     }
     vec![t]
 }
 
 /// Paper's Table 4 agreement rates.
-const PAPER_TABLE4: [(u32, f64); 5] =
-    [(5, 48.53), (10, 44.65), (20, 41.10), (50, 37.88), (100, 35.65)];
+const PAPER_TABLE4: [(u32, f64); 5] = [
+    (5, 48.53),
+    (10, 44.65),
+    (20, 41.10),
+    (50, 37.88),
+    (100, 35.65),
+];
 
 /// Table 4: agreement rate of top-k queries.
 pub fn table4(ctx: &ExpContext) -> Vec<Table> {
@@ -78,7 +92,10 @@ mod tests {
     use rkranks_datasets::Scale;
 
     fn tiny_ctx() -> ExpContext {
-        ExpContext { scale: Scale::Tiny, ..ExpContext::default() }
+        ExpContext {
+            scale: Scale::Tiny,
+            ..ExpContext::default()
+        }
     }
 
     #[test]

@@ -15,7 +15,10 @@ use crate::ExpContext;
 pub fn run(ctx: &ExpContext) -> Vec<Table> {
     let dblp = dblp_like(ctx.scale, ctx.seed);
     let epin = epinions_like(ctx.scale, ctx.seed);
-    vec![one_dataset(ctx, "DBLP-like", &dblp), one_dataset(ctx, "Epinions-like", &epin)]
+    vec![
+        one_dataset(ctx, "DBLP-like", &dblp),
+        one_dataset(ctx, "Epinions-like", &epin),
+    ]
 }
 
 fn one_dataset(ctx: &ExpContext, label: &str, g: &Graph) -> Table {
@@ -44,8 +47,14 @@ fn one_dataset(ctx: &ExpContext, label: &str, g: &Graph) -> Table {
             fmt_secs(s.mean_seconds()),
             fmt_f64(s.mean_refinements()),
         ]);
-        let d =
-            run_batch(g, None, &queries, k, BatchAlgo::Dynamic(BoundConfig::ALL), ctx.threads);
+        let d = run_batch(
+            g,
+            None,
+            &queries,
+            k,
+            BatchAlgo::Dynamic(BoundConfig::ALL),
+            ctx.threads,
+        );
         t.push_row(vec![
             k.to_string(),
             "Dynamic".into(),
@@ -73,7 +82,11 @@ mod tests {
 
     #[test]
     fn fig6_rows_cover_methods_and_ks() {
-        let ctx = ExpContext { scale: Scale::Tiny, queries: 8, ..ExpContext::default() };
+        let ctx = ExpContext {
+            scale: Scale::Tiny,
+            queries: 8,
+            ..ExpContext::default()
+        };
         let tables = run(&ctx);
         assert_eq!(tables.len(), 2);
         for t in &tables {
@@ -85,11 +98,22 @@ mod tests {
 
     #[test]
     fn dynamic_prunes_at_least_as_well_as_static() {
-        let ctx = ExpContext { scale: Scale::Tiny, queries: 10, ..ExpContext::default() };
+        let ctx = ExpContext {
+            scale: Scale::Tiny,
+            queries: 10,
+            ..ExpContext::default()
+        };
         let g = dblp_like(ctx.scale, ctx.seed);
         let queries = random_queries(&g, ctx.queries, 1, |_| true);
         let s = run_batch(&g, None, &queries, 10, BatchAlgo::Static, 2);
-        let d = run_batch(&g, None, &queries, 10, BatchAlgo::Dynamic(BoundConfig::ALL), 2);
+        let d = run_batch(
+            &g,
+            None,
+            &queries,
+            10,
+            BatchAlgo::Dynamic(BoundConfig::ALL),
+            2,
+        );
         assert!(d.totals.refinement_calls <= s.totals.refinement_calls);
     }
 }

@@ -29,7 +29,11 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
         &["k", "method", "query time", "rank refinements"],
     );
     let engine = QueryEngine::bichromatic(g, part.clone());
-    let params = IndexParams { k_max: 100, seed: ctx.seed, ..Default::default() };
+    let params = IndexParams {
+        k_max: 100,
+        seed: ctx.seed,
+        ..Default::default()
+    };
     for k in K_VALUES {
         let s = run_batch(g, Some(&part), &queries, k, BatchAlgo::Static, ctx.threads);
         t.push_row(vec![
@@ -72,7 +76,11 @@ mod tests {
 
     #[test]
     fn fig7_emits_three_methods_per_k() {
-        let ctx = ExpContext { scale: Scale::Tiny, queries: 5, ..ExpContext::default() };
+        let ctx = ExpContext {
+            scale: Scale::Tiny,
+            queries: 5,
+            ..ExpContext::default()
+        };
         let tables = run(&ctx);
         assert_eq!(tables[0].rows.len(), 3 * K_VALUES.len());
     }

@@ -31,7 +31,14 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
             epin.num_nodes()
         ),
         "Table 15",
-        &["h", "m", "DBLP build", "DBLP size", "Epinions build", "Epinions size"],
+        &[
+            "h",
+            "m",
+            "DBLP build",
+            "DBLP size",
+            "Epinions build",
+            "Epinions size",
+        ],
     );
     for (h, m) in GRID {
         let mut cells = vec![format!("{h}"), format!("{m}")];
@@ -61,14 +68,20 @@ mod tests {
 
     #[test]
     fn grid_is_fully_reported() {
-        let ctx = ExpContext { scale: Scale::Tiny, ..ExpContext::default() };
+        let ctx = ExpContext {
+            scale: Scale::Tiny,
+            ..ExpContext::default()
+        };
         let tables = run(&ctx);
         assert_eq!(tables[0].rows.len(), GRID.len());
     }
 
     #[test]
     fn build_cost_grows_with_h() {
-        let ctx = ExpContext { scale: Scale::Tiny, ..ExpContext::default() };
+        let ctx = ExpContext {
+            scale: Scale::Tiny,
+            ..ExpContext::default()
+        };
         let g = dblp_like(ctx.scale, ctx.seed);
         let engine = QueryEngine::new(&g);
         let build = |h: f64| {

@@ -11,20 +11,20 @@ use crate::runner::run_indexed_batch;
 use crate::workload::random_queries;
 use crate::ExpContext;
 
-fn sweep(
-    ctx: &ExpContext,
-    label: &str,
-    g: &Graph,
-    paper_ref: &str,
-    vary_hub: bool,
-) -> Table {
+fn sweep(ctx: &ExpContext, label: &str, g: &Graph, paper_ref: &str, vary_hub: bool) -> Table {
     let queries = random_queries(g, ctx.queries, ctx.seed ^ 0x1d, |_| true);
     let engine = QueryEngine::new(g);
     let col = if vary_hub { "h" } else { "m" };
     let mut t = Table::new(
         format!("Effect of {col} ({label}, {} nodes)", g.num_nodes()),
         paper_ref,
-        &[col, "index size", "build time", "query time", "rank refinements"],
+        &[
+            col,
+            "index size",
+            "build time",
+            "query time",
+            "rank refinements",
+        ],
     );
     for f in FRACTIONS {
         let params = IndexParams {
@@ -72,19 +72,25 @@ pub fn index_pct(ctx: &ExpContext) -> Vec<Table> {
 /// Table 10: hub-selection strategies.
 pub fn hub_strategy(ctx: &ExpContext) -> Vec<Table> {
     let mut tables = Vec::new();
-    for (label, g) in
-        [("DBLP-like", dblp_like(ctx.scale, ctx.seed)), ("Epinions-like", epinions_like(ctx.scale, ctx.seed))]
-    {
+    for (label, g) in [
+        ("DBLP-like", dblp_like(ctx.scale, ctx.seed)),
+        ("Epinions-like", epinions_like(ctx.scale, ctx.seed)),
+    ] {
         let queries = random_queries(&g, ctx.queries, ctx.seed ^ 0x10, |_| true);
         let engine = QueryEngine::new(&g);
         let mut t = Table::new(
-            format!("Hub selection strategies ({label}, {} nodes)", g.num_nodes()),
+            format!(
+                "Hub selection strategies ({label}, {} nodes)",
+                g.num_nodes()
+            ),
             "Table 10",
             &["strategy", "query time", "rank refinements"],
         );
-        for strategy in
-            [HubStrategy::Random, HubStrategy::DegreeFirst, HubStrategy::ClosenessFirst]
-        {
+        for strategy in [
+            HubStrategy::Random,
+            HubStrategy::DegreeFirst,
+            HubStrategy::ClosenessFirst,
+        ] {
             let params = IndexParams {
                 strategy,
                 k_max: 100,
@@ -92,8 +98,7 @@ pub fn hub_strategy(ctx: &ExpContext) -> Vec<Table> {
                 ..Default::default()
             };
             let (mut idx, _) = engine.build_index(&params);
-            let out =
-                run_indexed_batch(&g, None, &mut idx, &queries, DEFAULT_K, BoundConfig::ALL);
+            let out = run_indexed_batch(&g, None, &mut idx, &queries, DEFAULT_K, BoundConfig::ALL);
             t.push_row(vec![
                 strategy.name().into(),
                 fmt_secs(out.mean_seconds()),
@@ -112,7 +117,11 @@ mod tests {
     use rkranks_datasets::Scale;
 
     fn tiny_ctx() -> ExpContext {
-        ExpContext { scale: Scale::Tiny, queries: 6, ..ExpContext::default() }
+        ExpContext {
+            scale: Scale::Tiny,
+            queries: 6,
+            ..ExpContext::default()
+        }
     }
 
     #[test]

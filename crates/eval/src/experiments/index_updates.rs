@@ -18,7 +18,10 @@ use crate::ExpContext;
 pub fn run(ctx: &ExpContext) -> Vec<Table> {
     let dblp = dblp_like(ctx.scale, ctx.seed);
     let epin = epinions_like(ctx.scale, ctx.seed);
-    vec![one_dataset(ctx, "DBLP-like", &dblp), one_dataset(ctx, "Epinions-like", &epin)]
+    vec![
+        one_dataset(ctx, "DBLP-like", &dblp),
+        one_dataset(ctx, "Epinions-like", &epin),
+    ]
 }
 
 fn one_dataset(ctx: &ExpContext, label: &str, g: &Graph) -> Table {
@@ -27,10 +30,17 @@ fn one_dataset(ctx: &ExpContext, label: &str, g: &Graph) -> Table {
     let total = ctx.queries * 6;
     let stream = random_queries(g, total, ctx.seed ^ 0x14, |_| true);
     let engine = QueryEngine::new(g);
-    let params = IndexParams { k_max: 100, seed: ctx.seed, ..Default::default() };
+    let params = IndexParams {
+        k_max: 100,
+        seed: ctx.seed,
+        ..Default::default()
+    };
 
     let mut t = Table::new(
-        format!("Index updates ({label}, {} nodes, {total} queries)", g.num_nodes()),
+        format!(
+            "Index updates ({label}, {} nodes, {total} queries)",
+            g.num_nodes()
+        ),
         "Table 14",
         &["segment size", "query time", "rank refinements"],
     );
@@ -61,7 +71,11 @@ mod tests {
 
     #[test]
     fn longer_segments_reduce_refinements() {
-        let ctx = ExpContext { scale: Scale::Tiny, queries: 20, ..ExpContext::default() };
+        let ctx = ExpContext {
+            scale: Scale::Tiny,
+            queries: 20,
+            ..ExpContext::default()
+        };
         let g = dblp_like(ctx.scale, ctx.seed);
         let t = one_dataset(&ctx, "t", &g);
         assert_eq!(t.rows.len(), 4);

@@ -162,8 +162,19 @@ mod tests {
     fn registry_covers_every_paper_exhibit() {
         let refs: Vec<&str> = all().iter().map(|e| e.paper_ref).collect();
         for expected in [
-            "Table 2", "Table 3", "Table 4", "Figure 5", "Figure 6", "Tables 6-7", "Tables 8-9",
-            "Table 10", "Table 11", "Table 12", "Table 13", "Table 14", "Table 15",
+            "Table 2",
+            "Table 3",
+            "Table 4",
+            "Figure 5",
+            "Figure 6",
+            "Tables 6-7",
+            "Tables 8-9",
+            "Table 10",
+            "Table 11",
+            "Table 12",
+            "Table 13",
+            "Table 14",
+            "Table 15",
             "Figure 7",
         ] {
             assert!(refs.contains(&expected), "missing {expected}");

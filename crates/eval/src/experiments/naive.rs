@@ -18,7 +18,10 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
     // enough to show the gap.
     let queries = random_queries(&g, ctx.queries.min(10), ctx.seed ^ 0xA1, |_| true);
     let mut t = Table::new(
-        format!("Naive vs framework, k=1 (Epinions-like, {} nodes)", g.num_nodes()),
+        format!(
+            "Naive vs framework, k=1 (Epinions-like, {} nodes)",
+            g.num_nodes()
+        ),
         "§6.3.1",
         &["method", "query time", "rank refinements"],
     );
@@ -46,7 +49,11 @@ mod tests {
 
     #[test]
     fn naive_refines_everything() {
-        let ctx = ExpContext { scale: Scale::Tiny, queries: 3, ..ExpContext::default() };
+        let ctx = ExpContext {
+            scale: Scale::Tiny,
+            queries: 3,
+            ..ExpContext::default()
+        };
         let tables = run(&ctx);
         let rows = &tables[0].rows;
         let naive_ref: f64 = rows[0][2].parse().unwrap();

@@ -22,11 +22,7 @@ pub struct Table {
 
 impl Table {
     /// Create an empty table.
-    pub fn new(
-        title: impl Into<String>,
-        paper_ref: impl Into<String>,
-        headers: &[&str],
-    ) -> Table {
+    pub fn new(title: impl Into<String>, paper_ref: impl Into<String>, headers: &[&str]) -> Table {
         Table {
             title: title.into(),
             paper_ref: paper_ref.into(),
@@ -38,7 +34,12 @@ impl Table {
 
     /// Append a row (must match the header count).
     pub fn push_row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.headers.len(), "row width mismatch in '{}'", self.title);
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width mismatch in '{}'",
+            self.title
+        );
         self.rows.push(row);
     }
 
@@ -89,8 +90,7 @@ impl Table {
                 cell.to_string()
             }
         };
-        let line =
-            |cells: &[String]| cells.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",");
+        let line = |cells: &[String]| cells.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",");
         body.push_str(&line(&self.headers));
         body.push('\n');
         for row in &self.rows {

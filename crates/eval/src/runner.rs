@@ -116,7 +116,9 @@ pub fn run_indexed_batch(
     let mut engine = make_engine(graph, partition);
     let mut out = BatchOutcome::default();
     for &q in queries {
-        let r = engine.query_indexed(index, q, k, bounds).expect("valid indexed query");
+        let r = engine
+            .query_indexed(index, q, k, bounds)
+            .expect("valid indexed query");
         out.absorb(&r.stats);
     }
     out
@@ -146,7 +148,10 @@ fn run_one(
 /// Default worker count: the machine's parallelism, capped to 8 (query
 /// batches are memory-bandwidth-bound beyond that on laptop hardware).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
 }
 
 #[cfg(test)]
@@ -172,8 +177,22 @@ mod tests {
     fn sequential_and_parallel_agree_on_counters() {
         let g = grid();
         let queries: Vec<NodeId> = g.nodes().collect();
-        let seq = run_batch(&g, None, &queries, 2, BatchAlgo::Dynamic(BoundConfig::ALL), 1);
-        let par = run_batch(&g, None, &queries, 2, BatchAlgo::Dynamic(BoundConfig::ALL), 3);
+        let seq = run_batch(
+            &g,
+            None,
+            &queries,
+            2,
+            BatchAlgo::Dynamic(BoundConfig::ALL),
+            1,
+        );
+        let par = run_batch(
+            &g,
+            None,
+            &queries,
+            2,
+            BatchAlgo::Dynamic(BoundConfig::ALL),
+            3,
+        );
         assert_eq!(seq.queries, par.queries);
         assert_eq!(seq.totals.refinement_calls, par.totals.refinement_calls);
         assert_eq!(seq.totals.sds_popped, par.totals.sds_popped);
@@ -195,11 +214,13 @@ mod tests {
         let g = grid();
         let queries: Vec<NodeId> = g.nodes().chain(g.nodes()).collect();
         let mut idx = RkrIndex::empty(g.num_nodes(), 16);
-        let out =
-            run_indexed_batch(&g, None, &mut idx, &queries, 2, BoundConfig::ALL);
+        let out = run_indexed_batch(&g, None, &mut idx, &queries, 2, BoundConfig::ALL);
         assert_eq!(out.queries, 8);
         assert!(idx.rrd_entries() > 0);
-        assert!(out.totals.index_exact_hits > 0, "second pass should hit the index");
+        assert!(
+            out.totals.index_exact_hits > 0,
+            "second pass should hit the index"
+        );
     }
 
     #[test]

@@ -58,8 +58,10 @@ pub fn min_degree_queries(
     count: usize,
     valid: impl Fn(NodeId) -> bool,
 ) -> Vec<NodeId> {
-    let mut pool: Vec<NodeId> =
-        graph.nodes().filter(|&v| valid(v) && graph.degree(v) > 0).collect();
+    let mut pool: Vec<NodeId> = graph
+        .nodes()
+        .filter(|&v| valid(v) && graph.degree(v) > 0)
+        .collect();
     pool.sort_by_key(|&v| (graph.degree(v), v));
     pool.truncate(count);
     pool

@@ -55,7 +55,12 @@ pub enum DedupPolicy {
 impl GraphBuilder {
     /// Create an empty builder.
     pub fn new(direction: EdgeDirection) -> Self {
-        GraphBuilder { direction, edges: Vec::new(), max_node: None, dedup: DedupPolicy::KeepMin }
+        GraphBuilder {
+            direction,
+            edges: Vec::new(),
+            max_node: None,
+            dedup: DedupPolicy::KeepMin,
+        }
     }
 
     /// Create a builder that pre-allocates for `edges` edges.
@@ -93,7 +98,9 @@ impl GraphBuilder {
         if u == v {
             return Err(GraphError::SelfLoop { node: u });
         }
-        let w = Weight::new(w).ok_or(GraphError::InvalidWeight { u, v, weight: w })?.get();
+        let w = Weight::new(w)
+            .ok_or(GraphError::InvalidWeight { u, v, weight: w })?
+            .get();
         self.touch(u);
         self.touch(v);
         self.edges.push((u, v, w));
@@ -107,7 +114,12 @@ impl GraphBuilder {
 
     /// Finalize into a CSR [`Graph`].
     pub fn build(self) -> Result<Graph> {
-        let GraphBuilder { direction, edges, max_node, dedup } = self;
+        let GraphBuilder {
+            direction,
+            edges,
+            max_node,
+            dedup,
+        } = self;
         let num_nodes = match max_node {
             None => 0u32,
             Some(m) => {
@@ -190,7 +202,9 @@ mod tests {
 
     #[test]
     fn empty_build() {
-        let g = GraphBuilder::new(EdgeDirection::Undirected).build().unwrap();
+        let g = GraphBuilder::new(EdgeDirection::Undirected)
+            .build()
+            .unwrap();
         assert_eq!(g.num_nodes(), 0);
         assert_eq!(g.num_arcs(), 0);
     }
@@ -222,15 +236,27 @@ mod tests {
     #[test]
     fn rejects_self_loops_and_bad_weights() {
         let mut b = GraphBuilder::new(EdgeDirection::Directed);
-        assert!(matches!(b.add_edge(3, 3, 1.0), Err(GraphError::SelfLoop { node: 3 })));
-        assert!(matches!(b.add_edge(0, 1, -1.0), Err(GraphError::InvalidWeight { .. })));
-        assert!(matches!(b.add_edge(0, 1, f64::NAN), Err(GraphError::InvalidWeight { .. })));
+        assert!(matches!(
+            b.add_edge(3, 3, 1.0),
+            Err(GraphError::SelfLoop { node: 3 })
+        ));
+        assert!(matches!(
+            b.add_edge(0, 1, -1.0),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            b.add_edge(0, 1, f64::NAN),
+            Err(GraphError::InvalidWeight { .. })
+        ));
     }
 
     #[test]
     fn keep_min_dedup() {
-        let g = graph_from_edges(EdgeDirection::Directed, [(0, 1, 5.0), (0, 1, 2.0), (0, 1, 3.0)])
-            .unwrap();
+        let g = graph_from_edges(
+            EdgeDirection::Directed,
+            [(0, 1, 5.0), (0, 1, 2.0), (0, 1, 3.0)],
+        )
+        .unwrap();
         assert_eq!(g.num_arcs(), 1);
         let (_, w) = g.out_neighbors(NodeId(0));
         assert_eq!(w, &[2.0]);
@@ -268,8 +294,11 @@ mod tests {
 
     #[test]
     fn neighbor_lists_are_sorted() {
-        let g = graph_from_edges(EdgeDirection::Directed, [(0, 3, 1.0), (0, 1, 1.0), (0, 2, 1.0)])
-            .unwrap();
+        let g = graph_from_edges(
+            EdgeDirection::Directed,
+            [(0, 3, 1.0), (0, 1, 1.0), (0, 2, 1.0)],
+        )
+        .unwrap();
         let (t, _) = g.out_neighbors(NodeId(0));
         assert_eq!(t, &[NodeId(1), NodeId(2), NodeId(3)]);
     }

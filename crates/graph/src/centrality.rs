@@ -36,7 +36,11 @@ pub fn closeness_exact(graph: &Graph) -> Vec<f64> {
             farness += d;
             reached += 1;
         }
-        out[v.index()] = if farness > 0.0 { reached as f64 / farness } else { 0.0 };
+        out[v.index()] = if farness > 0.0 {
+            reached as f64 / farness
+        } else {
+            0.0
+        };
     }
     out
 }
@@ -78,7 +82,9 @@ pub fn closeness_sampled(graph: &Graph, samples: usize, seed: u64) -> Vec<f64> {
 pub fn top_by_score(scores: &[f64], count: usize) -> Vec<NodeId> {
     let mut ids: Vec<NodeId> = (0..scores.len() as u32).map(NodeId).collect();
     ids.sort_unstable_by(|a, b| {
-        scores[b.index()].total_cmp(&scores[a.index()]).then(a.0.cmp(&b.0))
+        scores[b.index()]
+            .total_cmp(&scores[a.index()])
+            .then(a.0.cmp(&b.0))
     });
     ids.truncate(count);
     ids
@@ -97,8 +103,11 @@ mod tests {
     use crate::builder::{graph_from_edges, EdgeDirection};
 
     fn path() -> Graph {
-        graph_from_edges(EdgeDirection::Undirected, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
-            .unwrap()
+        graph_from_edges(
+            EdgeDirection::Undirected,
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)],
+        )
+        .unwrap()
     }
 
     #[test]

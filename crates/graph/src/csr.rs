@@ -22,7 +22,10 @@ impl Csr {
     /// `arcs` must be sorted by source (this is an internal constructor; the
     /// public entry point is [`crate::builder::GraphBuilder`]).
     pub(crate) fn from_sorted_arcs(num_nodes: u32, arcs: &[(u32, u32, f64)]) -> Csr {
-        debug_assert!(arcs.windows(2).all(|w| w[0].0 <= w[1].0), "arcs must be sorted by source");
+        debug_assert!(
+            arcs.windows(2).all(|w| w[0].0 <= w[1].0),
+            "arcs must be sorted by source"
+        );
         let n = num_nodes as usize;
         let mut offsets = vec![0u32; n + 1];
         for &(u, _, _) in arcs {
@@ -37,7 +40,11 @@ impl Csr {
             targets.push(NodeId(v));
             weights.push(w);
         }
-        Csr { offsets, targets, weights }
+        Csr {
+            offsets,
+            targets,
+            weights,
+        }
     }
 
     /// Number of nodes.
@@ -97,7 +104,11 @@ impl Csr {
                 cursor[t.index()] += 1;
             }
         }
-        Csr { offsets, targets, weights }
+        Csr {
+            offsets,
+            targets,
+            weights,
+        }
     }
 
     /// Heap memory footprint in bytes (used by index-size accounting).

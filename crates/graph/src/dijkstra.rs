@@ -219,10 +219,7 @@ pub fn distance(graph: &Graph, s: NodeId, t: NodeId) -> Distance {
 /// shortest path from `source` (`None` for the source and unreachable
 /// nodes), `dist[v]` the distance. Run on the transpose this is exactly
 /// the paper's complete SDS-tree (Figure 2).
-pub fn shortest_path_tree(
-    graph: &Graph,
-    source: NodeId,
-) -> (Vec<Option<NodeId>>, Vec<Distance>) {
+pub fn shortest_path_tree(graph: &Graph, source: NodeId) -> (Vec<Option<NodeId>>, Vec<Distance>) {
     let n = graph.num_nodes() as usize;
     let mut parents: Vec<Option<NodeId>> = vec![None; n];
     let mut dist = vec![INF; n];
@@ -253,7 +250,10 @@ pub fn k_nearest(
     source: NodeId,
     k: usize,
 ) -> Vec<(NodeId, Distance)> {
-    DistanceBrowser::new(graph, ws, source).filter(|&(v, _)| v != source).take(k).collect()
+    DistanceBrowser::new(graph, ws, source)
+        .filter(|&(v, _)| v != source)
+        .take(k)
+        .collect()
 }
 
 #[cfg(test)]
@@ -266,7 +266,13 @@ mod tests {
         // beaten by 0-2-1 (1+2).
         graph_from_edges(
             EdgeDirection::Undirected,
-            [(0, 1, 4.0), (0, 2, 1.0), (2, 1, 2.0), (1, 3, 1.0), (2, 3, 5.0)],
+            [
+                (0, 1, 4.0),
+                (0, 2, 1.0),
+                (2, 1, 2.0),
+                (1, 3, 1.0),
+                (2, 3, 5.0),
+            ],
         )
         .unwrap()
     }
@@ -282,8 +288,9 @@ mod tests {
     fn browser_yields_nondecreasing() {
         let g = paperish();
         let mut ws = DijkstraWorkspace::new(g.num_nodes());
-        let dists: Vec<f64> =
-            DistanceBrowser::new(&g, &mut ws, NodeId(0)).map(|(_, d)| d).collect();
+        let dists: Vec<f64> = DistanceBrowser::new(&g, &mut ws, NodeId(0))
+            .map(|(_, d)| d)
+            .collect();
         assert!(dists.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(dists.len(), 4);
     }

@@ -31,7 +31,10 @@ impl fmt::Display for GraphError {
                 write!(f, "edge ({u},{v}) has invalid weight {weight}; weights must be finite and non-negative")
             }
             GraphError::NodeOutOfBounds { node, num_nodes } => {
-                write!(f, "node {node} out of bounds for graph with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node {node} out of bounds for graph with {num_nodes} nodes"
+                )
             }
             GraphError::TooManyNodes(n) => {
                 write!(f, "{n} nodes exceeds the u32 node limit")
@@ -70,11 +73,18 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = GraphError::InvalidWeight { u: 1, v: 2, weight: -0.5 };
+        let e = GraphError::InvalidWeight {
+            u: 1,
+            v: 2,
+            weight: -0.5,
+        };
         assert!(e.to_string().contains("(1,2)"));
         assert!(e.to_string().contains("-0.5"));
 
-        let e = GraphError::NodeOutOfBounds { node: 9, num_nodes: 3 };
+        let e = GraphError::NodeOutOfBounds {
+            node: 9,
+            num_nodes: 3,
+        };
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains('3'));
     }

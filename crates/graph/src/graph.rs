@@ -95,7 +95,10 @@ impl Graph {
         if u.0 < self.num_nodes() {
             Ok(())
         } else {
-            Err(GraphError::NodeOutOfBounds { node: u.0, num_nodes: self.num_nodes() })
+            Err(GraphError::NodeOutOfBounds {
+                node: u.0,
+                num_nodes: self.num_nodes(),
+            })
         }
     }
 
@@ -105,9 +108,10 @@ impl Graph {
     pub fn transpose(&self) -> Graph {
         match self.direction {
             EdgeDirection::Undirected => self.clone(),
-            EdgeDirection::Directed => {
-                Graph { csr: self.csr.transpose(), direction: EdgeDirection::Directed }
-            }
+            EdgeDirection::Directed => Graph {
+                csr: self.csr.transpose(),
+                direction: EdgeDirection::Directed,
+            },
         }
     }
 
@@ -118,12 +122,16 @@ impl Graph {
 
     /// Maximum out-degree and one node attaining it.
     pub fn max_degree(&self) -> Option<(NodeId, u32)> {
-        self.nodes().map(|u| (u, self.degree(u))).max_by_key(|&(u, d)| (d, std::cmp::Reverse(u)))
+        self.nodes()
+            .map(|u| (u, self.degree(u)))
+            .max_by_key(|&(u, d)| (d, std::cmp::Reverse(u)))
     }
 
     /// Total edge weight (each arc counted once).
     pub fn total_arc_weight(&self) -> f64 {
-        self.nodes().map(|u| self.out_neighbors(u).1.iter().sum::<f64>()).sum()
+        self.nodes()
+            .map(|u| self.out_neighbors(u).1.iter().sum::<f64>())
+            .sum()
     }
 }
 
@@ -153,8 +161,7 @@ mod tests {
 
     #[test]
     fn directed_counts() {
-        let g =
-            graph_from_edges(EdgeDirection::Directed, [(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let g = graph_from_edges(EdgeDirection::Directed, [(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
         assert_eq!(g.num_edges(), 2);
         assert_eq!(g.num_arcs(), 2);
         assert!(g.is_directed());

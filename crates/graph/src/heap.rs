@@ -193,7 +193,10 @@ impl IndexedHeap {
             );
         }
         for (slot, &it) in self.items.iter().enumerate() {
-            assert_eq!(self.pos[it as usize], slot as u32, "pos map stale for item {it}");
+            assert_eq!(
+                self.pos[it as usize], slot as u32,
+                "pos map stale for item {it}"
+            );
         }
     }
 }
@@ -202,7 +205,7 @@ impl IndexedHeap {
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn push_pop_sorted() {

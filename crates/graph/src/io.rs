@@ -20,7 +20,11 @@ use crate::graph::Graph;
 /// Serialize a graph to the text format.
 pub fn write_graph<W: Write>(graph: &Graph, out: W) -> Result<()> {
     let mut w = BufWriter::new(out);
-    let dir = if graph.is_directed() { "directed" } else { "undirected" };
+    let dir = if graph.is_directed() {
+        "directed"
+    } else {
+        "undirected"
+    };
     writeln!(w, "{dir} {}", graph.num_nodes())?;
     for u in graph.nodes() {
         for (v, weight) in graph.edges(u) {
@@ -50,7 +54,10 @@ pub fn read_graph<R: Read>(input: R) -> Result<Graph> {
         let (idx, line) = match lines.next() {
             Some((idx, line)) => (idx, line?),
             None => {
-                return Err(GraphError::Parse { line: 0, message: "missing header".into() })
+                return Err(GraphError::Parse {
+                    line: 0,
+                    message: "missing header".into(),
+                })
             }
         };
         let trimmed = line.trim();
@@ -68,13 +75,14 @@ pub fn read_graph<R: Read>(input: R) -> Result<Graph> {
                 })
             }
         };
-        let n: u32 = parts
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| GraphError::Parse {
-                line: idx + 1,
-                message: "header must be '<direction> <num_nodes>'".into(),
-            })?;
+        let n: u32 =
+            parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| GraphError::Parse {
+                    line: idx + 1,
+                    message: "header must be '<direction> <num_nodes>'".into(),
+                })?;
         break (dir, n);
     };
 
@@ -87,7 +95,10 @@ pub fn read_graph<R: Read>(input: R) -> Result<Graph> {
             continue;
         }
         let mut parts = trimmed.split_whitespace();
-        let parse_err = |message: String| GraphError::Parse { line: idx + 1, message };
+        let parse_err = |message: String| GraphError::Parse {
+            line: idx + 1,
+            message,
+        };
         let u: u32 = parts
             .next()
             .and_then(|s| s.parse().ok())
@@ -134,8 +145,7 @@ mod tests {
 
     #[test]
     fn round_trip_directed() {
-        let g =
-            graph_from_edges(EdgeDirection::Directed, [(0, 1, 1.0), (1, 0, 2.0)]).unwrap();
+        let g = graph_from_edges(EdgeDirection::Directed, [(0, 1, 1.0), (1, 0, 2.0)]).unwrap();
         let mut buf = Vec::new();
         write_graph(&g, &mut buf).unwrap();
         let g2 = read_graph(&buf[..]).unwrap();
@@ -174,13 +184,19 @@ mod tests {
             read_graph("sideways 3\n".as_bytes()),
             Err(GraphError::Parse { line: 1, .. })
         ));
-        assert!(matches!(read_graph("".as_bytes()), Err(GraphError::Parse { .. })));
+        assert!(matches!(
+            read_graph("".as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
     }
 
     #[test]
     fn negative_weight_in_file_is_rejected() {
         let text = "directed 2\n0 1 -3.0\n";
-        assert!(matches!(read_graph(text.as_bytes()), Err(GraphError::InvalidWeight { .. })));
+        assert!(matches!(
+            read_graph(text.as_bytes()),
+            Err(GraphError::InvalidWeight { .. })
+        ));
     }
 
     #[test]

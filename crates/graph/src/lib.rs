@@ -46,8 +46,7 @@ pub mod weight;
 
 pub use builder::{graph_from_edges, DedupPolicy, EdgeDirection, GraphBuilder};
 pub use dijkstra::{
-    distance, k_nearest, shortest_path_tree, sssp, DijkstraWorkspace, DistanceBrowser,
-    RelaxOutcome,
+    distance, k_nearest, shortest_path_tree, sssp, DijkstraWorkspace, DistanceBrowser, RelaxOutcome,
 };
 pub use error::{GraphError, Result};
 pub use graph::Graph;

@@ -77,7 +77,11 @@ pub fn weight_stats(graph: &Graph) -> Option<WeightStats> {
             count += 1;
         }
     }
-    (count > 0).then(|| WeightStats { min, max, mean: sum / count as f64 })
+    (count > 0).then(|| WeightStats {
+        min,
+        max,
+        mean: sum / count as f64,
+    })
 }
 
 /// Weighted-eccentricity lower bound on the diameter by the double-sweep

@@ -71,11 +71,7 @@ pub fn bidirectional_distance(
 /// Reconstruct the route `s → … → t` from a parents array produced by
 /// [`crate::dijkstra::shortest_path_tree`] rooted at `s`. Returns `None`
 /// when `t` is unreachable.
-pub fn reconstruct_path(
-    parents: &[Option<NodeId>],
-    s: NodeId,
-    t: NodeId,
-) -> Option<Vec<NodeId>> {
+pub fn reconstruct_path(parents: &[Option<NodeId>], s: NodeId, t: NodeId) -> Option<Vec<NodeId>> {
     if s == t {
         return Some(vec![s]);
     }
@@ -121,7 +117,14 @@ mod tests {
     fn sample() -> Graph {
         graph_from_edges(
             EdgeDirection::Undirected,
-            [(0, 1, 4.0), (0, 2, 1.0), (2, 1, 2.0), (1, 3, 1.0), (2, 3, 5.0), (3, 4, 2.0)],
+            [
+                (0, 1, 4.0),
+                (0, 2, 1.0),
+                (2, 1, 2.0),
+                (1, 3, 1.0),
+                (2, 3, 5.0),
+                (3, 4, 2.0),
+            ],
         )
         .unwrap()
     }
@@ -154,8 +157,14 @@ mod tests {
         let t = g.transpose();
         let mut fwd = DijkstraWorkspace::new(g.num_nodes());
         let mut bwd = DijkstraWorkspace::new(g.num_nodes());
-        assert_eq!(bidirectional_distance(&g, &t, &mut fwd, &mut bwd, NodeId(0), NodeId(2)), 2.0);
-        assert_eq!(bidirectional_distance(&g, &t, &mut fwd, &mut bwd, NodeId(2), NodeId(1)), 11.0);
+        assert_eq!(
+            bidirectional_distance(&g, &t, &mut fwd, &mut bwd, NodeId(0), NodeId(2)),
+            2.0
+        );
+        assert_eq!(
+            bidirectional_distance(&g, &t, &mut fwd, &mut bwd, NodeId(2), NodeId(1)),
+            11.0
+        );
     }
 
     #[test]
@@ -164,7 +173,10 @@ mod tests {
         let t = g.transpose();
         let mut fwd = DijkstraWorkspace::new(2);
         let mut bwd = DijkstraWorkspace::new(2);
-        assert_eq!(bidirectional_distance(&g, &t, &mut fwd, &mut bwd, NodeId(1), NodeId(0)), INF);
+        assert_eq!(
+            bidirectional_distance(&g, &t, &mut fwd, &mut bwd, NodeId(1), NodeId(0)),
+            INF
+        );
     }
 
     #[test]
@@ -176,7 +188,11 @@ mod tests {
             assert_eq!(path.first(), Some(&NodeId(0)));
             assert_eq!(path.last(), Some(&t));
             let len = path_length(&g, &path).unwrap();
-            assert!((len - dist[t.index()]).abs() < 1e-12, "t={t}: {len} vs {}", dist[t.index()]);
+            assert!(
+                (len - dist[t.index()]).abs() < 1e-12,
+                "t={t}: {len} vs {}",
+                dist[t.index()]
+            );
         }
     }
 

@@ -28,7 +28,10 @@ pub struct PprParams {
 
 impl Default for PprParams {
     fn default() -> Self {
-        PprParams { alpha: 0.15, epsilon: 1e-7 }
+        PprParams {
+            alpha: 0.15,
+            epsilon: 1e-7,
+        }
     }
 }
 
@@ -124,8 +127,10 @@ pub fn ppr_power_iteration(
     let n = graph.num_nodes() as usize;
     let mut p = vec![0.0f64; n];
     p[source.index()] = 1.0;
-    let out_weight: Vec<f64> =
-        graph.nodes().map(|u| graph.out_neighbors(u).1.iter().sum()).collect();
+    let out_weight: Vec<f64> = graph
+        .nodes()
+        .map(|u| graph.out_neighbors(u).1.iter().sum())
+        .collect();
     let mut next = vec![0.0f64; n];
     for _ in 0..iterations {
         next.fill(0.0);
@@ -183,7 +188,14 @@ mod tests {
     fn push_approximates_power_iteration() {
         let g = triangle();
         let exact = ppr_power_iteration(&g, NodeId(0), 0.15, 500, 1e-14);
-        let approx = ppr_push(&g, NodeId(0), &PprParams { alpha: 0.15, epsilon: 1e-9 });
+        let approx = ppr_push(
+            &g,
+            NodeId(0),
+            &PprParams {
+                alpha: 0.15,
+                epsilon: 1e-9,
+            },
+        );
         let mut approx_dense = [0.0; 3];
         for (v, s) in approx {
             approx_dense[v.index()] = s;
@@ -208,9 +220,20 @@ mod tests {
         .unwrap();
         let p = ppr_power_iteration(&g, NodeId(0), 0.2, 300, 1e-13);
         assert!(p[1] > p[2]);
-        let approx = ppr_push(&g, NodeId(0), &PprParams { alpha: 0.2, epsilon: 1e-9 });
+        let approx = ppr_push(
+            &g,
+            NodeId(0),
+            &PprParams {
+                alpha: 0.2,
+                epsilon: 1e-9,
+            },
+        );
         let score = |n: u32| {
-            approx.iter().find(|(v, _)| v.0 == n).map(|(_, s)| *s).unwrap_or(0.0)
+            approx
+                .iter()
+                .find(|(v, _)| v.0 == n)
+                .map(|(_, s)| *s)
+                .unwrap_or(0.0)
         };
         assert!(score(1) > score(2));
     }

@@ -31,7 +31,11 @@ impl Default for RankCounter {
 impl RankCounter {
     /// Fresh counter.
     pub fn new() -> Self {
-        RankCounter { settled: 0, strictly_closer: 0, last_dist: f64::NEG_INFINITY }
+        RankCounter {
+            settled: 0,
+            strictly_closer: 0,
+            last_dist: f64::NEG_INFINITY,
+        }
     }
 
     /// Record a settle at distance `d` and return that node's exact rank.
@@ -39,7 +43,10 @@ impl RankCounter {
     /// `d` must be nondecreasing across calls (debug-asserted).
     #[inline]
     pub fn on_settle(&mut self, d: Distance) -> u32 {
-        debug_assert!(d >= self.last_dist, "settles must arrive in nondecreasing order");
+        debug_assert!(
+            d >= self.last_dist,
+            "settles must arrive in nondecreasing order"
+        );
         if d > self.last_dist {
             self.strictly_closer = self.settled;
             self.last_dist = d;
@@ -178,8 +185,11 @@ mod tests {
     }
 
     fn path_graph() -> Graph {
-        graph_from_edges(EdgeDirection::Undirected, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
-            .unwrap()
+        graph_from_edges(
+            EdgeDirection::Undirected,
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -232,8 +242,11 @@ mod tests {
 
     #[test]
     fn rank_matrix_directed_asymmetry() {
-        let g = graph_from_edges(EdgeDirection::Directed, [(0, 1, 1.0), (1, 0, 5.0), (1, 2, 1.0)])
-            .unwrap();
+        let g = graph_from_edges(
+            EdgeDirection::Directed,
+            [(0, 1, 1.0), (1, 0, 5.0), (1, 2, 1.0)],
+        )
+        .unwrap();
         let m = rank_matrix(&g);
         assert_eq!(m[0][1], Some(1));
         assert_eq!(m[1][0], Some(2)); // 2 (dist 1) beats 0 (dist 5)

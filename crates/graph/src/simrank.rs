@@ -28,7 +28,10 @@ pub struct SimRankParams {
 
 impl Default for SimRankParams {
     fn default() -> Self {
-        SimRankParams { decay: 0.8, iterations: 10 }
+        SimRankParams {
+            decay: 0.8,
+            iterations: 10,
+        }
     }
 }
 
@@ -138,7 +141,10 @@ mod tests {
     #[test]
     fn one_iteration_matches_hand_computation() {
         let g = two_fans();
-        let p = SimRankParams { decay: 0.6, iterations: 1 };
+        let p = SimRankParams {
+            decay: 0.6,
+            iterations: 1,
+        };
         let m = simrank_matrix(&g, &p);
         // after 1 iteration: s(0,1) = 0.6 · s(3,3) = 0.6
         assert!((m[0][1] - 0.6).abs() < 1e-12);
@@ -149,9 +155,11 @@ mod tests {
     #[test]
     fn undirected_uses_all_neighbors() {
         // path 0-1-2: 0 and 2 share neighbor 1.
-        let g = graph_from_edges(EdgeDirection::Undirected, [(0, 1, 1.0), (1, 2, 1.0)])
-            .unwrap();
-        let p = SimRankParams { decay: 0.8, iterations: 5 };
+        let g = graph_from_edges(EdgeDirection::Undirected, [(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let p = SimRankParams {
+            decay: 0.8,
+            iterations: 5,
+        };
         let m = simrank_matrix(&g, &p);
         assert!(m[0][2] > 0.0);
         assert!(m[0][2] > m[0][1] - 1.0); // sanity: defined
@@ -160,8 +168,24 @@ mod tests {
     #[test]
     fn more_iterations_monotone_for_this_graph() {
         let g = two_fans();
-        let s1 = simrank(&g, NodeId(0), NodeId(1), &SimRankParams { decay: 0.8, iterations: 1 });
-        let s5 = simrank(&g, NodeId(0), NodeId(1), &SimRankParams { decay: 0.8, iterations: 5 });
+        let s1 = simrank(
+            &g,
+            NodeId(0),
+            NodeId(1),
+            &SimRankParams {
+                decay: 0.8,
+                iterations: 1,
+            },
+        );
+        let s5 = simrank(
+            &g,
+            NodeId(0),
+            NodeId(1),
+            &SimRankParams {
+                decay: 0.8,
+                iterations: 5,
+            },
+        );
         assert!(s5 >= s1 - 1e-12);
     }
 
@@ -169,6 +193,12 @@ mod tests {
     #[should_panic(expected = "decay")]
     fn decay_must_be_valid() {
         let g = two_fans();
-        simrank_matrix(&g, &SimRankParams { decay: 1.5, iterations: 1 });
+        simrank_matrix(
+            &g,
+            &SimRankParams {
+                decay: 1.5,
+                iterations: 1,
+            },
+        );
     }
 }

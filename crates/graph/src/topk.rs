@@ -14,12 +14,7 @@ use crate::rank::RankCounter;
 /// The top-k set of `source`: every node `u` with `Rank(source,u) ≤ k`, in
 /// nondecreasing distance order. May exceed `k` elements when ties straddle
 /// the boundary.
-pub fn top_k_set(
-    graph: &Graph,
-    ws: &mut DijkstraWorkspace,
-    source: NodeId,
-    k: u32,
-) -> Vec<NodeId> {
+pub fn top_k_set(graph: &Graph, ws: &mut DijkstraWorkspace, source: NodeId, k: u32) -> Vec<NodeId> {
     let mut counter = RankCounter::new();
     let mut out = Vec::with_capacity(k as usize);
     for (v, d) in DistanceBrowser::new(graph, ws, source) {
@@ -38,7 +33,10 @@ pub fn top_k_set(
 /// its effectiveness analysis (§6.2.1).
 pub fn all_top_k_sets(graph: &Graph, k: u32) -> Vec<Vec<NodeId>> {
     let mut ws = DijkstraWorkspace::new(graph.num_nodes());
-    graph.nodes().map(|u| top_k_set(graph, &mut ws, u, k)).collect()
+    graph
+        .nodes()
+        .map(|u| top_k_set(graph, &mut ws, u, k))
+        .collect()
 }
 
 /// Reverse top-k of `q`: all nodes `v` with `Rank(v,q) ≤ k`.
@@ -102,7 +100,13 @@ pub struct ReverseTopKStats {
 
 /// Compute Table 3's row for one `k` from precomputed sizes.
 pub fn reverse_top_k_stats(k: u32, sizes: &[u32]) -> ReverseTopKStats {
-    let mut s = ReverseTopKStats { k, largest_set: 0, empty_sets: 0, small_sets: 0, large_sets: 0 };
+    let mut s = ReverseTopKStats {
+        k,
+        largest_set: 0,
+        empty_sets: 0,
+        small_sets: 0,
+        large_sets: 0,
+    };
     for &c in sizes {
         s.largest_set = s.largest_set.max(c);
         if c == 0 {
@@ -170,7 +174,10 @@ mod tests {
     fn top_k_set_orders_by_distance() {
         let g = star();
         let mut ws = DijkstraWorkspace::new(g.num_nodes());
-        assert_eq!(top_k_set(&g, &mut ws, NodeId(0), 2), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(
+            top_k_set(&g, &mut ws, NodeId(0), 2),
+            vec![NodeId(1), NodeId(2)]
+        );
         // from a leaf, the center is 1st
         assert_eq!(top_k_set(&g, &mut ws, NodeId(4), 1), vec![NodeId(0)]);
     }

@@ -90,7 +90,9 @@ pub fn largest_component(graph: &Graph) -> Vec<NodeId> {
     for &l in &labels {
         sizes[l as usize] += 1;
     }
-    let biggest = (0..count).max_by_key(|&c| (sizes[c as usize], std::cmp::Reverse(c))).unwrap();
+    let biggest = (0..count)
+        .max_by_key(|&c| (sizes[c as usize], std::cmp::Reverse(c)))
+        .unwrap();
     labels
         .iter()
         .enumerate()

@@ -6,8 +6,8 @@
 
 use proptest::prelude::*;
 use rkranks_graph::{
-    rank_between, rank_matrix, sssp, DijkstraWorkspace, DistanceBrowser,
-    EdgeDirection, Graph, NodeId, INF,
+    rank_between, rank_matrix, sssp, DijkstraWorkspace, DistanceBrowser, EdgeDirection, Graph,
+    NodeId, INF,
 };
 
 /// Generator: a connected-ish random graph as (node count, edge list).
@@ -19,7 +19,10 @@ fn arb_edges(
         // a random spanning-tree-ish backbone keeps most graphs connected
         let backbone = proptest::collection::vec(0.0f64..10.0, (n - 1) as usize).prop_map(
             move |ws| -> Vec<(u32, u32, f64)> {
-                ws.iter().enumerate().map(|(i, &w)| (i as u32 + 1, (i as u32) / 2, w)).collect()
+                ws.iter()
+                    .enumerate()
+                    .map(|(i, &w)| (i as u32 + 1, (i as u32) / 2, w))
+                    .collect()
             },
         );
         let extra = proptest::collection::vec((0..n, 0..n, 0.0f64..10.0), 0..=max_extra_edges);
@@ -185,6 +188,35 @@ proptest! {
                 .filter(|&v| v != q && matches!(m[v.index()][q.index()], Some(r) if r <= k))
                 .count() as u32;
             prop_assert_eq!(sizes[q.index()], expect, "q={} k={}", q, k);
+        }
+    }
+
+    /// Distance browsing (§4 of the paper) leans on the Dijkstra invariant
+    /// that settled distances never decrease: every pop from
+    /// [`DistanceBrowser`] must be >= the previous pop, from every source,
+    /// on directed and undirected graphs alike.
+    #[test]
+    fn browser_pop_order_is_monotone((n, edges) in arb_edges(14, 22), directed in any::<bool>()) {
+        let dir = if directed { EdgeDirection::Directed } else { EdgeDirection::Undirected };
+        let g = build(dir, n, &edges);
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        for s in g.nodes() {
+            let mut browser = DistanceBrowser::new(&g, &mut ws, s);
+            let (first, mut prev) = match browser.next() {
+                Some((v, d)) => (v, d),
+                None => continue,
+            };
+            // the source itself is always the first pop, at distance 0
+            prop_assert_eq!(first, s);
+            prop_assert_eq!(prev, 0.0);
+            for (v, d) in browser {
+                prop_assert!(
+                    d >= prev,
+                    "pop order regressed at {v}: {d} < {prev} (source {s})"
+                );
+                prop_assert!(d.is_finite(), "unreachable node {v} was yielded");
+                prev = d;
+            }
         }
     }
 }

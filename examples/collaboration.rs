@@ -48,7 +48,9 @@ fn main() {
 
     for (label, q) in [("cold", cold), ("hot", hot)] {
         let rtk = reverse_top_k(&g, q, k);
-        let rkr = engine.query_indexed(&mut index, q, k, BoundConfig::ALL).unwrap();
+        let rkr = engine
+            .query_indexed(&mut index, q, k, BoundConfig::ALL)
+            .unwrap();
         println!("=== {label} author {q} ===");
         println!("  reverse top-{k}: {} interested author(s)", rtk.len());
         println!("  reverse {k}-ranks (who ranks {q} highest):");

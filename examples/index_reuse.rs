@@ -46,7 +46,9 @@ fn main() {
         let mut refinements = 0u64;
         let mut hits = 0u64;
         for &q in &queries {
-            let r = engine.query_indexed(&mut index, q, k, BoundConfig::ALL).unwrap();
+            let r = engine
+                .query_indexed(&mut index, q, k, BoundConfig::ALL)
+                .unwrap();
             refinements += r.stats.refinement_calls;
             hits += r.stats.index_exact_hits;
         }
@@ -61,7 +63,9 @@ fn main() {
 
     // Bonus: the §8 future-work extension — same query, PPR proximity.
     let q = queries[0];
-    let shortest = engine.query_indexed(&mut index, q, 5, BoundConfig::ALL).unwrap();
+    let shortest = engine
+        .query_indexed(&mut index, q, 5, BoundConfig::ALL)
+        .unwrap();
     let ppr = reverse_k_ranks_ppr(&g, q, 5, &PprParams::default()).unwrap();
     println!("\nquery {q}: shortest-path vs personalized-PageRank proximity");
     println!("  shortest-path reverse 5-ranks: {:?}", shortest.nodes());

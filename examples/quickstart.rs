@@ -15,7 +15,11 @@ use rkranks_graph::{rank_matrix, reverse_top_k};
 
 fn main() {
     let g = toy::paper_example();
-    println!("Figure 1 graph: {} researchers, {} edges\n", g.num_nodes(), g.num_edges());
+    println!(
+        "Figure 1 graph: {} researchers, {} edges\n",
+        g.num_nodes(),
+        g.num_edges()
+    );
 
     // Table 1: the rank matrix.
     println!("Rank matrix (rows: from, columns: of — Table 1):");
@@ -44,12 +48,18 @@ fn main() {
         println!(
             "reverse top-2   -> {} result(s): [{}]",
             rt2.len(),
-            rt2.iter().map(|v| NAMES[v.index()]).collect::<Vec<_>>().join(", ")
+            rt2.iter()
+                .map(|v| NAMES[v.index()])
+                .collect::<Vec<_>>()
+                .join(", ")
         );
         for (label, result) in [
             ("naive", engine.query_naive(q, 2).unwrap()),
             ("static SDS", engine.query_static(q, 2).unwrap()),
-            ("dynamic SDS", engine.query_dynamic(q, 2, BoundConfig::ALL).unwrap()),
+            (
+                "dynamic SDS",
+                engine.query_dynamic(q, 2, BoundConfig::ALL).unwrap(),
+            ),
         ] {
             let pretty: Vec<String> = result
                 .entries

@@ -29,7 +29,9 @@ fn main() {
 
     let mut engine = QueryEngine::new(&g);
     let k = 5;
-    let result = engine.query_dynamic(influencer, k, BoundConfig::ALL).unwrap();
+    let result = engine
+        .query_dynamic(influencer, k, BoundConfig::ALL)
+        .unwrap();
     println!("\nreverse {k}-ranks of {influencer} — the users who trust them most strongly:");
     let mut ws = DijkstraWorkspace::new(g.num_nodes());
     for e in &result.entries {

@@ -47,7 +47,11 @@ struct Flags {
 
 impl Flags {
     fn parse(args: Vec<String>) -> Result<Flags, String> {
-        let mut f = Flags { positional: Vec::new(), pairs: Vec::new(), switches: Vec::new() };
+        let mut f = Flags {
+            positional: Vec::new(),
+            pairs: Vec::new(),
+            switches: Vec::new(),
+        };
         let mut it = args.into_iter().peekable();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
@@ -65,13 +69,19 @@ impl Flags {
     }
 
     fn get(&self, name: &str) -> Option<&str> {
-        self.pairs.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("bad value for --{name}: '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for --{name}: '{v}'")),
         }
     }
 
@@ -92,7 +102,10 @@ fn run(args: Vec<String>) -> Result<(), String> {
 }
 
 fn graph_arg(flags: &Flags) -> Result<Graph, String> {
-    let path = flags.positional.get(1).ok_or("missing graph file argument")?;
+    let path = flags
+        .positional
+        .get(1)
+        .ok_or("missing graph file argument")?;
     load_graph(path).map_err(|e| format!("cannot load {path}: {e}"))
 }
 
@@ -121,7 +134,11 @@ fn cmd_gen(flags: &Flags) -> Result<(), String> {
         out.display(),
         g.num_nodes(),
         g.num_edges(),
-        if g.is_directed() { "directed" } else { "undirected" }
+        if g.is_directed() {
+            "directed"
+        } else {
+            "undirected"
+        }
     );
     Ok(())
 }
@@ -139,7 +156,10 @@ fn cmd_stats(flags: &Flags) -> Result<(), String> {
         );
     }
     if let Some(w) = weight_stats(&g) {
-        println!("weights:    min {:.4} / mean {:.4} / max {:.4}", w.min, w.mean, w.max);
+        println!(
+            "weights:    min {:.4} / mean {:.4} / max {:.4}",
+            w.min, w.mean, w.max
+        );
     }
     Ok(())
 }
@@ -161,8 +181,7 @@ fn cmd_build_index(flags: &Flags) -> Result<(), String> {
         ..Default::default()
     };
     let threads: usize = flags.get_parsed("threads", 1)?;
-    let (index, stats) =
-        RkrIndex::build_parallel(&g, QuerySpec::Mono, &params, threads.max(1));
+    let (index, stats) = RkrIndex::build_parallel(&g, QuerySpec::Mono, &params, threads.max(1));
     save_index(&index, out).map_err(|e| e.to_string())?;
     println!(
         "built index: {} hubs x prefix {} in {:.2?} ({} rrd entries, ~{} bytes) -> {out}",
@@ -188,7 +207,10 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
     let (result, index_to_save) = match algo {
         "naive" => (engine.query_naive(NodeId(node), k), None),
         "static" => (engine.query_static(NodeId(node), k), None),
-        "dynamic" => (engine.query_dynamic(NodeId(node), k, BoundConfig::ALL), None),
+        "dynamic" => (
+            engine.query_dynamic(NodeId(node), k, BoundConfig::ALL),
+            None,
+        ),
         "indexed" => {
             let mut index = match flags.get("index") {
                 Some(path) => load_index(path).map_err(|e| e.to_string())?,
@@ -203,7 +225,10 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
         other => return Err(format!("unknown algorithm '{other}'")),
     };
     let result = result.map_err(|e| e.to_string())?;
-    println!("reverse {k}-ranks of node {node} ({algo}, {:.2?}):", start.elapsed());
+    println!(
+        "reverse {k}-ranks of node {node} ({algo}, {:.2?}):",
+        start.elapsed()
+    );
     for e in &result.entries {
         println!("  node {:>8}  rank {}", e.node.to_string(), e.rank);
     }

@@ -1,0 +1,199 @@
+//! End-to-end smoke test for the `rkr` binary: generate a dataset, inspect
+//! it, build and persist an index, and query it with every algorithm —
+//! the full round-trip a user runs, at toy/tiny scale.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn rkr(dir: &std::path::Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rkr"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("failed to spawn rkr")
+}
+
+fn rkr_ok(dir: &std::path::Path, args: &[&str]) -> String {
+    let out = rkr(dir, args);
+    assert!(
+        out.status.success(),
+        "rkr {args:?} failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+/// Parse the `node N rank R` result lines of `rkr query` output.
+fn parse_result(stdout: &str) -> BTreeMap<u32, u32> {
+    stdout
+        .lines()
+        .filter_map(|l| {
+            let l = l.trim();
+            let rest = l.strip_prefix("node ")?;
+            let mut it = rest.split_whitespace();
+            let node: u32 = it.next()?.parse().ok()?;
+            let rank: u32 = match (it.next()?, it.next()?) {
+                ("rank", r) => r.parse().ok()?,
+                _ => return None,
+            };
+            Some((node, rank))
+        })
+        .collect()
+}
+
+/// Tie-aware equivalence (Definition 1 allows any choice among equal
+/// ranks): the rank multisets must match, and any node both algorithms
+/// returned must be assigned the same rank.
+fn assert_equivalent(label: &str, got: &BTreeMap<u32, u32>, want: &BTreeMap<u32, u32>) {
+    let mut got_ranks: Vec<u32> = got.values().copied().collect();
+    let mut want_ranks: Vec<u32> = want.values().copied().collect();
+    got_ranks.sort_unstable();
+    want_ranks.sort_unstable();
+    assert_eq!(
+        got_ranks, want_ranks,
+        "{label}: rank multiset diverged\n got: {got:?}\n want: {want:?}"
+    );
+    for (node, rank) in got {
+        if let Some(w) = want.get(node) {
+            assert_eq!(rank, w, "{label}: node {node} rank diverged");
+        }
+    }
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("rkr-cli-smoke").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn gen_stats_index_query_round_trip() {
+    let dir = scratch_dir("round-trip");
+
+    // gen
+    let out = rkr_ok(
+        &dir,
+        &[
+            "gen", "dblp", "--scale", "tiny", "--seed", "3", "--out", "g.edges",
+        ],
+    );
+    assert!(out.contains("300 nodes"), "gen output: {out}");
+    assert!(dir.join("g.edges").is_file());
+
+    // stats
+    let out = rkr_ok(&dir, &["stats", "g.edges"]);
+    assert!(out.contains("nodes:      300"), "stats output: {out}");
+    assert!(out.contains("directed:   false"), "stats output: {out}");
+    assert!(out.contains("connected:  true"), "stats output: {out}");
+
+    // build-index
+    let out = rkr_ok(
+        &dir,
+        &[
+            "build-index",
+            "g.edges",
+            "--out",
+            "g.rkri",
+            "--h",
+            "0.1",
+            "--m",
+            "0.2",
+            "--kmax",
+            "32",
+            "--strategy",
+            "degree",
+        ],
+    );
+    assert!(out.contains("built index"), "build-index output: {out}");
+    assert!(dir.join("g.rkri").is_file());
+
+    // query: every algorithm must agree on the result set.
+    let naive = parse_result(&rkr_ok(
+        &dir,
+        &[
+            "query", "g.edges", "--node", "17", "--k", "5", "--algo", "naive",
+        ],
+    ));
+    assert_eq!(naive.len(), 5, "naive returned {naive:?}");
+    for algo in ["static", "dynamic"] {
+        let got = parse_result(&rkr_ok(
+            &dir,
+            &[
+                "query", "g.edges", "--node", "17", "--k", "5", "--algo", algo,
+            ],
+        ));
+        assert_equivalent(algo, &got, &naive);
+    }
+    let indexed = parse_result(&rkr_ok(
+        &dir,
+        &[
+            "query",
+            "g.edges",
+            "--node",
+            "17",
+            "--k",
+            "5",
+            "--algo",
+            "indexed",
+            "--index",
+            "g.rkri",
+            "--save-index",
+        ],
+    ));
+    assert_equivalent("indexed", &indexed, &naive);
+
+    // --save-index wrote the refined index back; it must still load and agree.
+    let again = parse_result(&rkr_ok(
+        &dir,
+        &[
+            "query", "g.edges", "--node", "17", "--k", "5", "--algo", "indexed", "--index",
+            "g.rkri",
+        ],
+    ));
+    assert_equivalent("indexed-reloaded", &again, &naive);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn road_gen_and_directed_epinions_stats() {
+    let dir = scratch_dir("datasets");
+    rkr_ok(
+        &dir,
+        &[
+            "gen", "road", "--scale", "tiny", "--seed", "5", "--out", "r.edges",
+        ],
+    );
+    let out = rkr_ok(&dir, &["stats", "r.edges"]);
+    assert!(out.contains("nodes:      300"), "road stats: {out}");
+
+    rkr_ok(
+        &dir,
+        &[
+            "gen", "epinions", "--scale", "tiny", "--seed", "5", "--out", "e.edges",
+        ],
+    );
+    let out = rkr_ok(&dir, &["stats", "e.edges"]);
+    assert!(out.contains("directed:   true"), "epinions stats: {out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_usage_fails_with_usage_message() {
+    let dir = scratch_dir("usage");
+    for args in [
+        &[][..],
+        &["frobnicate"][..],
+        &["gen", "dblp"][..],                        // missing --out
+        &["query", "missing.edges", "--k", "3"][..], // missing graph + --node
+    ] {
+        let out = rkr(&dir, args);
+        assert!(!out.status.success(), "rkr {args:?} unexpectedly succeeded");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("usage:"), "stderr for {args:?}: {stderr}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -24,13 +24,18 @@ fn verify_result_ranks(g: &Graph, q: NodeId, result: &rkranks_core::QueryResult)
 fn dblp_like_all_algorithms_agree() {
     let g = dblp_like(Scale::Tiny, 5);
     let mut engine = QueryEngine::new(&g);
-    let (mut idx, _) = engine.build_index(&IndexParams { k_max: 20, ..Default::default() });
+    let (mut idx, _) = engine.build_index(&IndexParams {
+        k_max: 20,
+        ..Default::default()
+    });
     for q in [NodeId(0), NodeId(7), NodeId(150), NodeId(299)] {
         let naive = engine.query_naive(q, 10).unwrap();
         verify_result_ranks(&g, q, &naive);
         let s = engine.query_static(q, 10).unwrap();
         let d = engine.query_dynamic(q, 10, BoundConfig::ALL).unwrap();
-        let i = engine.query_indexed(&mut idx, q, 10, BoundConfig::ALL).unwrap();
+        let i = engine
+            .query_indexed(&mut idx, q, 10, BoundConfig::ALL)
+            .unwrap();
         assert!(results_equivalent(&naive, &s), "static q={q}");
         assert!(results_equivalent(&naive, &d), "dynamic q={q}");
         assert!(results_equivalent(&naive, &i), "indexed q={q}");
@@ -56,11 +61,16 @@ fn road_network_bichromatic_agreement() {
     let g = &net.graph;
     let part = Partition::from_v2_nodes(g.num_nodes(), &net.stores);
     let mut engine = QueryEngine::bichromatic(g, part.clone());
-    let (mut idx, _) = engine.build_index(&IndexParams { k_max: 20, ..Default::default() });
+    let (mut idx, _) = engine.build_index(&IndexParams {
+        k_max: 20,
+        ..Default::default()
+    });
     for &q in net.stores.iter().take(4) {
         let expect = rkranks_core::bichromatic::bichromatic_brute_force(g, &part, q, 5);
         let d = engine.query_dynamic(q, 5, BoundConfig::ALL).unwrap();
-        let i = engine.query_indexed(&mut idx, q, 5, BoundConfig::ALL).unwrap();
+        let i = engine
+            .query_indexed(&mut idx, q, 5, BoundConfig::ALL)
+            .unwrap();
         assert!(results_equivalent(&expect, &d), "dynamic q={q}");
         assert!(results_equivalent(&expect, &i), "indexed q={q}");
         // no store ever appears among the community results
@@ -86,7 +96,9 @@ fn same_seed_same_results() {
 fn k_exceeding_candidates_returns_everyone_reachable() {
     let g = dblp_like(Scale::Tiny, 2);
     let mut engine = QueryEngine::new(&g);
-    let r = engine.query_dynamic(NodeId(0), 10_000, BoundConfig::ALL).unwrap();
+    let r = engine
+        .query_dynamic(NodeId(0), 10_000, BoundConfig::ALL)
+        .unwrap();
     // the graph is connected: every other node ranks q somewhere
     assert_eq!(r.entries.len() as u32, g.num_nodes() - 1);
 }
@@ -103,6 +115,8 @@ fn engine_reuse_across_queries_is_clean() {
     }
     let q = NodeId(123 % g.num_nodes());
     let reused = engine.query_dynamic(q, 5, BoundConfig::ALL).unwrap();
-    let fresh = QueryEngine::new(&g).query_dynamic(q, 5, BoundConfig::ALL).unwrap();
+    let fresh = QueryEngine::new(&g)
+        .query_dynamic(q, 5, BoundConfig::ALL)
+        .unwrap();
     assert_eq!(reused.entries, fresh.entries);
 }

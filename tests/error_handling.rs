@@ -14,15 +14,21 @@ fn invalid_k_is_rejected_by_every_algorithm() {
     let mut idx = RkrIndex::empty(g.num_nodes(), 10);
     assert!(engine.query_naive(toy::ALICE, 0).is_err());
     assert!(engine.query_static(toy::ALICE, 0).is_err());
-    assert!(engine.query_dynamic(toy::ALICE, 0, BoundConfig::ALL).is_err());
-    assert!(engine.query_indexed(&mut idx, toy::ALICE, 0, BoundConfig::ALL).is_err());
+    assert!(engine
+        .query_dynamic(toy::ALICE, 0, BoundConfig::ALL)
+        .is_err());
+    assert!(engine
+        .query_indexed(&mut idx, toy::ALICE, 0, BoundConfig::ALL)
+        .is_err());
 }
 
 #[test]
 fn out_of_range_query_node_is_rejected() {
     let g = toy::paper_example();
     let mut engine = QueryEngine::new(&g);
-    let err = engine.query_dynamic(NodeId(999), 2, BoundConfig::ALL).unwrap_err();
+    let err = engine
+        .query_dynamic(NodeId(999), 2, BoundConfig::ALL)
+        .unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("999"), "message should name the node: {msg}");
 }
@@ -32,9 +38,14 @@ fn indexed_k_above_k_max_is_rejected_with_explanation() {
     let g = toy::paper_example();
     let mut engine = QueryEngine::new(&g);
     let mut idx = RkrIndex::empty(g.num_nodes(), 3);
-    let err = engine.query_indexed(&mut idx, toy::ALICE, 5, BoundConfig::ALL).unwrap_err();
+    let err = engine
+        .query_indexed(&mut idx, toy::ALICE, 5, BoundConfig::ALL)
+        .unwrap_err();
     let msg = err.to_string();
-    assert!(msg.contains('5') && msg.contains('3'), "message should cite k and K: {msg}");
+    assert!(
+        msg.contains('5') && msg.contains('3'),
+        "message should cite k and K: {msg}"
+    );
     assert!(msg.contains("unsound"), "message should explain why: {msg}");
 }
 
@@ -45,7 +56,9 @@ fn bichromatic_query_from_candidate_class_is_rejected() {
     let part = Partition::from_v2_nodes(g.num_nodes(), &[toy::ERIC]);
     let mut engine = QueryEngine::bichromatic(&g, part);
     assert!(engine.query_dynamic(toy::ERIC, 1, BoundConfig::ALL).is_ok());
-    let err = engine.query_dynamic(toy::ALICE, 1, BoundConfig::ALL).unwrap_err();
+    let err = engine
+        .query_dynamic(toy::ALICE, 1, BoundConfig::ALL)
+        .unwrap_err();
     assert!(err.to_string().contains("V2"), "{err}");
 }
 
@@ -84,7 +97,10 @@ fn index_file_corruption_is_detected() {
 
     let g = toy::paper_example();
     let engine = QueryEngine::new(&g);
-    let (idx, _) = engine.build_index(&IndexParams { k_max: 4, ..Default::default() });
+    let (idx, _) = engine.build_index(&IndexParams {
+        k_max: 4,
+        ..Default::default()
+    });
     save_index(&idx, &path).unwrap();
 
     // Corrupt: append an out-of-range record.

@@ -15,7 +15,10 @@ fn ppr_reverse_ranks_on_collab_graph() {
     let g = collab_graph(&CollabParams::with_authors(60, 3));
     // ε trades push work for precision; 1e-6 keeps the (debug-build) test
     // fast while the rank check below still verifies exact consistency.
-    let params = PprParams { alpha: 0.15, epsilon: 1e-6 };
+    let params = PprParams {
+        alpha: 0.15,
+        epsilon: 1e-6,
+    };
     let q = NodeId(5);
     let result = reverse_k_ranks_ppr(&g, q, 5, &params).unwrap();
     assert_eq!(result.entries.len(), 5);
@@ -23,7 +26,11 @@ fn ppr_reverse_ranks_on_collab_graph() {
     let ranks = result.ranks();
     assert!(ranks.windows(2).all(|w| w[0] <= w[1]));
     for e in &result.entries {
-        assert_eq!(ppr_rank(&g, e.node, q, &params), Some(e.rank), "entry {e:?}");
+        assert_eq!(
+            ppr_rank(&g, e.node, q, &params),
+            Some(e.rank),
+            "entry {e:?}"
+        );
     }
 }
 
@@ -33,7 +40,9 @@ fn ppr_and_shortest_path_results_can_differ() {
     // different treatments — and they produce different answers.
     let g = toy::paper_example();
     let mut engine = QueryEngine::new(&g);
-    let sp = engine.query_dynamic(toy::ALICE, 2, BoundConfig::ALL).unwrap();
+    let sp = engine
+        .query_dynamic(toy::ALICE, 2, BoundConfig::ALL)
+        .unwrap();
     let ppr = reverse_k_ranks_ppr(&g, toy::ALICE, 2, &PprParams::default()).unwrap();
     assert_eq!(sp.entries.len(), 2);
     assert_eq!(ppr.entries.len(), 2);
@@ -44,7 +53,10 @@ fn ppr_and_shortest_path_results_can_differ() {
 #[test]
 fn simrank_reverse_ranks_on_small_collab_graph() {
     let g = collab_graph(&CollabParams::with_authors(40, 9));
-    let params = SimRankParams { decay: 0.8, iterations: 6 };
+    let params = SimRankParams {
+        decay: 0.8,
+        iterations: 6,
+    };
     let q = NodeId(7);
     let result = reverse_k_ranks_simrank(&g, q, 4, &params).unwrap();
     assert!(!result.entries.is_empty());
@@ -85,8 +97,15 @@ fn all_three_measures_return_fixed_size_results_for_cold_nodes() {
         .unwrap();
     let mut engine = QueryEngine::new(&g);
     let sp = engine.query_dynamic(cold, 4, BoundConfig::ALL).unwrap();
-    assert_eq!(sp.entries.len(), 4, "shortest-path reverse 4-ranks must fill");
-    let params = PprParams { alpha: 0.15, epsilon: 1e-6 };
+    assert_eq!(
+        sp.entries.len(),
+        4,
+        "shortest-path reverse 4-ranks must fill"
+    );
+    let params = PprParams {
+        alpha: 0.15,
+        epsilon: 1e-6,
+    };
     let ppr = reverse_k_ranks_ppr(&g, cold, 4, &params).unwrap();
     assert_eq!(ppr.entries.len(), 4, "PPR reverse 4-ranks must fill");
 }

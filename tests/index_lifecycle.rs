@@ -56,7 +56,9 @@ fn toy_index_invariants_hold_through_queries() {
     check_index_invariants(&g, &idx);
     let mut engine = QueryEngine::new(&g);
     for q in g.nodes() {
-        engine.query_indexed(&mut idx, q, 2, BoundConfig::ALL).unwrap();
+        engine
+            .query_indexed(&mut idx, q, 2, BoundConfig::ALL)
+            .unwrap();
         check_index_invariants(&g, &idx);
     }
 }
@@ -65,17 +67,27 @@ fn toy_index_invariants_hold_through_queries() {
 fn warm_index_reduces_refinements() {
     let g = dblp_like(Scale::Tiny, 4);
     let mut engine = QueryEngine::new(&g);
-    let (mut idx, _) = engine.build_index(&IndexParams { k_max: 20, ..Default::default() });
+    let (mut idx, _) = engine.build_index(&IndexParams {
+        k_max: 20,
+        ..Default::default()
+    });
     let queries: Vec<NodeId> = (0..60u32).map(|i| NodeId(i * 5 % g.num_nodes())).collect();
 
     let mut first_pass = 0u64;
     for &q in &queries {
-        first_pass += engine.query_indexed(&mut idx, q, 10, BoundConfig::ALL).unwrap().stats.refinement_calls;
+        first_pass += engine
+            .query_indexed(&mut idx, q, 10, BoundConfig::ALL)
+            .unwrap()
+            .stats
+            .refinement_calls;
     }
     let mut second_pass = 0u64;
     for &q in &queries {
-        second_pass +=
-            engine.query_indexed(&mut idx, q, 10, BoundConfig::ALL).unwrap().stats.refinement_calls;
+        second_pass += engine
+            .query_indexed(&mut idx, q, 10, BoundConfig::ALL)
+            .unwrap()
+            .stats
+            .refinement_calls;
     }
     assert!(
         second_pass < first_pass,
@@ -88,8 +100,14 @@ fn all_hub_strategies_build_and_answer() {
     let g = dblp_like(Scale::Tiny, 4);
     let engine_ro = QueryEngine::new(&g);
     let mut engine = QueryEngine::new(&g);
-    let expect = engine.query_dynamic(NodeId(5), 10, BoundConfig::ALL).unwrap();
-    for strategy in [HubStrategy::Random, HubStrategy::DegreeFirst, HubStrategy::ClosenessFirst] {
+    let expect = engine
+        .query_dynamic(NodeId(5), 10, BoundConfig::ALL)
+        .unwrap();
+    for strategy in [
+        HubStrategy::Random,
+        HubStrategy::DegreeFirst,
+        HubStrategy::ClosenessFirst,
+    ] {
         let (mut idx, stats) = engine_ro.build_index(&IndexParams {
             strategy,
             k_max: 20,
@@ -97,7 +115,9 @@ fn all_hub_strategies_build_and_answer() {
         });
         assert!(stats.hubs > 0);
         assert!(idx.rrd_entries() > 0, "{strategy:?} built an empty index");
-        let got = engine.query_indexed(&mut idx, NodeId(5), 10, BoundConfig::ALL).unwrap();
+        let got = engine
+            .query_indexed(&mut idx, NodeId(5), 10, BoundConfig::ALL)
+            .unwrap();
         assert!(
             rkranks_core::results_equivalent(&expect, &got),
             "{strategy:?} index changed the answer"
@@ -109,7 +129,10 @@ fn all_hub_strategies_build_and_answer() {
 fn index_entries_survive_and_stay_exact_on_dblp() {
     let g = dblp_like(Scale::Tiny, 4);
     let mut engine = QueryEngine::new(&g);
-    let (mut idx, _) = engine.build_index(&IndexParams { k_max: 10, ..Default::default() });
+    let (mut idx, _) = engine.build_index(&IndexParams {
+        k_max: 10,
+        ..Default::default()
+    });
     // Hammer it with queries.
     for i in 0..40u32 {
         engine

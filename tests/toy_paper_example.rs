@@ -63,9 +63,18 @@ fn section3_walkthrough_rank_refinements() {
     // Rank(Caroline,Alice)=4.
     let g = toy::paper_example();
     let mut ws = DijkstraWorkspace::new(g.num_nodes());
-    assert_eq!(rkranks_graph::rank_between(&g, &mut ws, BOB, ALICE), Some(3));
-    assert_eq!(rkranks_graph::rank_between(&g, &mut ws, ERIC, ALICE), Some(6));
-    assert_eq!(rkranks_graph::rank_between(&g, &mut ws, CAROLINE, ALICE), Some(4));
+    assert_eq!(
+        rkranks_graph::rank_between(&g, &mut ws, BOB, ALICE),
+        Some(3)
+    );
+    assert_eq!(
+        rkranks_graph::rank_between(&g, &mut ws, ERIC, ALICE),
+        Some(6)
+    );
+    assert_eq!(
+        rkranks_graph::rank_between(&g, &mut ws, CAROLINE, ALICE),
+        Some(4)
+    );
 }
 
 #[test]
@@ -77,14 +86,20 @@ fn section4_dynamic_prunes_frank_sid_george() {
     let mut engine = QueryEngine::new(&g);
     let s = engine.query_static(ALICE, 2).unwrap();
     let d = engine.query_dynamic(ALICE, 2, BoundConfig::ALL).unwrap();
-    assert_eq!(d.stats.refinement_calls, 3, "dynamic refines Bob, Eric, Caroline only");
+    assert_eq!(
+        d.stats.refinement_calls, 3,
+        "dynamic refines Bob, Eric, Caroline only"
+    );
     assert!(
         s.stats.refinement_calls > d.stats.refinement_calls,
         "static refines more ({} vs {})",
         s.stats.refinement_calls,
         d.stats.refinement_calls
     );
-    assert!(d.stats.pruned_by_bound >= 3, "Frank, Sid, George pruned by bounds");
+    assert!(
+        d.stats.pruned_by_bound >= 3,
+        "Frank, Sid, George pruned by bounds"
+    );
 }
 
 #[test]
@@ -121,7 +136,7 @@ fn section5_index_walkthrough() {
     assert_eq!(idx.lookup(BOB, ERIC), Some(1)); // Bob: {Eric: 1, ...}
     assert_eq!(idx.lookup(BOB, SID), Some(2)); // ... {Sid: 2}
     assert_eq!(idx.lookup(GEORGE, FRANK), Some(1)); // George: {Frank: 1}
-    // Check Dictionary: {Sid:3, Frank:3, Bob:3, Eric:3}
+                                                    // Check Dictionary: {Sid:3, Frank:3, Bob:3, Eric:3}
     for hub in [SID, FRANK, BOB, ERIC] {
         assert_eq!(idx.check(hub), 3);
     }
@@ -130,12 +145,18 @@ fn section5_index_walkthrough() {
     // algorithm and must update the index along the way (Figure 4).
     let mut engine = QueryEngine::new(&g);
     let expect = engine.query_dynamic(ALICE, 2, BoundConfig::ALL).unwrap();
-    let got = engine.query_indexed(&mut idx, ALICE, 2, BoundConfig::ALL).unwrap();
+    let got = engine
+        .query_indexed(&mut idx, ALICE, 2, BoundConfig::ALL)
+        .unwrap();
     assert_eq!(expect.nodes(), got.nodes());
     // Figure 4 "Finish" state: Eric's refinement pushed {Eric: 6} into
     // Alice's list and raised check(Eric) to 6; Caroline's refinement
     // recorded {Caroline: 4}.
-    assert_eq!(idx.lookup(ALICE, ERIC), None, "Eric:6 loses to Bob:3 / Caroline:4 at K=2");
+    assert_eq!(
+        idx.lookup(ALICE, ERIC),
+        None,
+        "Eric:6 loses to Bob:3 / Caroline:4 at K=2"
+    );
     assert_eq!(idx.lookup(ALICE, CAROLINE), Some(4));
     assert_eq!(idx.check(ERIC), 6);
     assert_eq!(idx.check(CAROLINE), 4);
@@ -158,7 +179,12 @@ fn figure2_sds_tree_structure() {
     assert_eq!(parents[GEORGE.index()], Some(ERIC));
     let expected = [0.0, 1.0, 1.3, 2.2, 1.2, 2.1, 2.3];
     for (i, &d) in expected.iter().enumerate() {
-        assert!((dist[i] - d).abs() < 1e-12, "dist[{}] = {} != {d}", NAMES[i], dist[i]);
+        assert!(
+            (dist[i] - d).abs() < 1e-12,
+            "dist[{}] = {} != {d}",
+            NAMES[i],
+            dist[i]
+        );
     }
 }
 
@@ -171,7 +197,9 @@ fn section4_walkthrough_trace_matches_paper_narrative() {
     // already larger than kRank."
     let g = toy::paper_example();
     let mut engine = QueryEngine::new(&g);
-    let (result, trace) = engine.query_dynamic_traced(ALICE, 2, BoundConfig::ALL).unwrap();
+    let (result, trace) = engine
+        .query_dynamic_traced(ALICE, 2, BoundConfig::ALL)
+        .unwrap();
     assert_eq!(result.nodes(), vec![BOB, CAROLINE]);
     // refined: exactly Bob (rank 3), Eric (rank 6), Caroline (rank 4), in
     // distance order (Bob 1.0, Eric 1.2, Caroline 1.3)
@@ -183,11 +211,35 @@ fn section4_walkthrough_trace_matches_paper_narrative() {
     use rkranks_core::PopDecision;
     let decisions: Vec<_> = trace.events.iter().map(|e| (e.node, e.decision)).collect();
     assert_eq!(decisions[0], (ALICE, PopDecision::Root));
-    assert_eq!(decisions[1], (BOB, PopDecision::Refined { rank: 3, entered_result: true }));
-    assert_eq!(decisions[2], (ERIC, PopDecision::Refined { rank: 6, entered_result: true }));
+    assert_eq!(
+        decisions[1],
+        (
+            BOB,
+            PopDecision::Refined {
+                rank: 3,
+                entered_result: true
+            }
+        )
+    );
+    assert_eq!(
+        decisions[2],
+        (
+            ERIC,
+            PopDecision::Refined {
+                rank: 6,
+                entered_result: true
+            }
+        )
+    );
     assert_eq!(
         decisions[3],
-        (CAROLINE, PopDecision::Refined { rank: 4, entered_result: true })
+        (
+            CAROLINE,
+            PopDecision::Refined {
+                rank: 4,
+                entered_result: true
+            }
+        )
     );
     for (node, d) in &decisions[4..] {
         assert!(
@@ -210,8 +262,7 @@ fn doubling_baseline_agrees_on_toy() {
     let mut engine = QueryEngine::new(&g);
     for q in g.nodes() {
         let framework = engine.query_dynamic(q, 2, BoundConfig::ALL).unwrap();
-        let doubled =
-            rkranks_core::topk_baseline::reverse_k_ranks_by_doubling(&g, q, 2).unwrap();
+        let doubled = rkranks_core::topk_baseline::reverse_k_ranks_by_doubling(&g, q, 2).unwrap();
         assert!(
             rkranks_core::results_equivalent(&framework, &doubled.result),
             "q={q}"

@@ -1,0 +1,380 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! API subset its benches use: [`Criterion`], [`BenchmarkGroup`],
+//! [`Bencher::iter`], [`BenchmarkId`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros, with `harness = false` bench targets exactly
+//! like the real crate.
+//!
+//! Measurement is deliberately simple: per benchmark it warms up, picks an
+//! iteration count targeting `measurement_time / sample_size` per sample,
+//! collects `sample_size` wall-clock samples, and prints median and spread.
+//! No plots, no statistics beyond that — enough to compare hot paths locally
+//! and to keep `cargo bench` runs bounded.
+//!
+//! CLI: a single optional positional argument filters benchmarks by
+//! substring (like real criterion); `--bench`, `--quick`, and unknown flags
+//! are accepted and ignored (cargo passes `--bench` to harness-less bench
+//! binaries).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level bench context; hands out groups and runs benchmarks.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    quick: bool,
+}
+
+impl Criterion {
+    /// Apply command-line configuration (benchmark name filter, `--quick`).
+    pub fn configure_from_args(mut self) -> Self {
+        // Real-criterion flags that take a value: skip the value too, so it
+        // is not mistaken for a name filter.
+        const VALUE_FLAGS: [&str; 9] = [
+            "--save-baseline",
+            "--baseline",
+            "--load-baseline",
+            "--sample-size",
+            "--measurement-time",
+            "--warm-up-time",
+            "--profile-time",
+            "--output-format",
+            "--color",
+        ];
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => self.quick = true,
+                s if VALUE_FLAGS.contains(&s) => {
+                    args.next();
+                }
+                s if s.starts_with('-') => {} // --bench and friends: ignore
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        if let Some(f) = &self.filter {
+            println!("(filtering benchmarks by substring '{f}')");
+        }
+        self
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let settings = GroupSettings::default();
+        self.run_one(&id.into().full_name(None), settings, f);
+        self
+    }
+
+    /// Start a named group sharing sample-count / measurement-time settings.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            settings: GroupSettings::default(),
+        }
+    }
+
+    fn run_one<F>(&mut self, name: &str, mut settings: GroupSettings, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.quick {
+            settings.sample_size = settings.sample_size.min(10);
+            settings.measurement_time = settings.measurement_time.min(Duration::from_millis(500));
+        }
+
+        // Invoke the benchmark closure exactly ONCE, like real criterion:
+        // any setup written outside `b.iter()` must not be re-run per
+        // sample. `Bencher::iter` executes calibration + all samples.
+        let mut b = Bencher {
+            settings,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let mut samples = b.samples;
+        if samples.is_empty() {
+            println!("{name:<60} (no b.iter() call — nothing measured)");
+            return;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let lo = samples[samples.len() / 10];
+        let hi = samples[samples.len() - 1 - samples.len() / 10];
+        println!(
+            "{name:<60} time: [{} {} {}]",
+            format_time(lo),
+            format_time(median),
+            format_time(hi),
+        );
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+#[derive(Clone, Copy)]
+struct GroupSettings {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for GroupSettings {
+    fn default() -> Self {
+        GroupSettings {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A named set of benchmarks sharing settings (see
+/// [`Criterion::benchmark_group`]).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    settings: GroupSettings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into().full_name(Some(&self.name));
+        self.criterion.run_one(&name, self.settings, f);
+        self
+    }
+
+    /// Run one parameterized benchmark; the closure receives `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = id.into().full_name(Some(&self.name));
+        self.criterion
+            .run_one(&name, self.settings, |b| f(b, input));
+        self
+    }
+
+    /// End the group (accepted for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Times the closure handed to `bench_function` / `bench_with_input`.
+/// One `iter` call runs the whole sampling plan (calibration plus every
+/// sample), so benchmark setup outside `iter` executes once.
+pub struct Bencher {
+    settings: GroupSettings,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `routine`: calibrate an iteration count, then collect
+    /// `sample_size` wall-clock samples within the measurement-time budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let time_batch = |routine: &mut F, iters: u64| -> Duration {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            start.elapsed()
+        };
+
+        // Calibration: grow the batch until one timed batch is long enough
+        // to trust the clock.
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let elapsed = time_batch(&mut routine, iters);
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break elapsed.as_secs_f64() / iters as f64;
+            }
+            iters *= 4;
+        };
+
+        // Per-sample iterations so all samples fit the time budget.
+        let budget =
+            self.settings.measurement_time.as_secs_f64() / self.settings.sample_size as f64;
+        let iters = ((budget / per_iter.max(1e-12)) as u64).clamp(1, 1 << 24);
+
+        self.samples = (0..self.settings.sample_size)
+            .map(|_| time_batch(&mut routine, iters).as_secs_f64() / iters as f64)
+            .collect();
+    }
+}
+
+/// A benchmark identifier: function name, optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Parameter only (function name comes from the group).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn full_name(&self, group: Option<&str>) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        if let Some(g) = group {
+            parts.push(g);
+        }
+        if let Some(f) = &self.function {
+            parts.push(f);
+        }
+        if let Some(p) = &self.parameter {
+            parts.push(p);
+        }
+        parts.join("/")
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: Some(s.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: Some(s),
+            parameter: None,
+        }
+    }
+}
+
+/// Re-export for call sites that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundle benchmark functions into a group runner (same shape as real
+/// criterion).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_names() {
+        assert_eq!(BenchmarkId::new("f", 32).full_name(Some("g")), "g/f/32");
+        assert_eq!(BenchmarkId::from_parameter(8).full_name(Some("g")), "g/8");
+        assert_eq!(BenchmarkId::from("solo").full_name(None), "solo");
+    }
+
+    #[test]
+    fn bencher_runs_calibration_and_all_samples() {
+        let settings = GroupSettings {
+            sample_size: 5,
+            measurement_time: Duration::from_millis(20),
+        };
+        let mut b = Bencher {
+            settings,
+            samples: Vec::new(),
+        };
+        let mut calls = 0u64;
+        b.iter(|| calls += 1);
+        assert_eq!(b.samples.len(), 5);
+        assert!(calls > 0);
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn setup_outside_iter_runs_once() {
+        // The real-criterion contract the benches rely on: expensive setup
+        // written before `b.iter()` must not be re-run per sample.
+        let mut c = Criterion {
+            filter: None,
+            quick: true,
+        };
+        let mut setups = 0u32;
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(8)
+            .measurement_time(Duration::from_millis(10));
+        group.bench_function("setup_once", |b| {
+            setups += 1;
+            b.iter(|| std::hint::black_box(1 + 1));
+        });
+        group.finish();
+        assert_eq!(setups, 1, "bench closure must be invoked exactly once");
+    }
+}

@@ -1,0 +1,158 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! subset of the proptest API its test suites use: [`Strategy`] with
+//! `prop_map` / `prop_flat_map` / `boxed`, range and tuple strategies,
+//! [`collection::vec`], [`arbitrary::any`], the [`proptest!`] macro, and the
+//! `prop_assert*` family.
+//!
+//! Semantics differ from real proptest in one deliberate way: **no
+//! shrinking**. Each test runs `ProptestConfig::cases` deterministic seeded
+//! cases; a failure reports the case number and RNG seed so it can be
+//! replayed, but the failing input is not minimized.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define seeded property tests.
+///
+/// Supported grammar (the subset real proptest accepts that this workspace
+/// uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn name(pattern in strategy, x in 0u32..10) { body }
+/// }
+/// ```
+///
+/// The body may use `?` on `Result<_, TestCaseError>` and the `prop_assert*`
+/// macros.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = ($cfg:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __strategy = ($($strat,)+);
+                let __test_name = concat!(module_path!(), "::", stringify!($name));
+                for __case in 0..__config.cases {
+                    let mut __rng =
+                        $crate::test_runner::TestRng::for_case(__test_name, __case);
+                    let __seed = __rng.seed();
+                    let ($($pat,)+) =
+                        $crate::strategy::Strategy::generate(&__strategy, &mut __rng);
+                    let __outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(__e) = __outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{} (rng seed {:#x}): {}",
+                            __test_name, __case, __config.cases, __seed, __e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Like `assert!`, but fails the proptest case via `Err(TestCaseError)`
+/// instead of panicking, so it works inside closures returning
+/// `Result<_, TestCaseError>`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` analogue of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n {}",
+            __l,
+            __r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// `assert_ne!` analogue of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `left != right`\n  both: `{:?}`\n {}",
+            __l,
+            format!($($fmt)*)
+        );
+    }};
+}

@@ -1,0 +1,99 @@
+//! Config, error type, and the seeded per-case RNG.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of seeded cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed test case (carried by `prop_assert*` and `?`).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    /// Real proptest distinguishes rejects from failures; the stand-in
+    /// treats both as failures.
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self::fail(message)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The RNG handed to strategies: deterministic per (test name, case index),
+/// so failures replay without any persistence files.
+pub struct TestRng {
+    seed: u64,
+    rng: StdRng,
+}
+
+/// FNV-1a, so each test gets a distinct but stable stream.
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl TestRng {
+    /// RNG for one case of one named test.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let seed = hash_name(test_name) ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        TestRng {
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The seed this case was generated from (for failure reports).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}

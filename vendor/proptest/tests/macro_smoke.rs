@@ -1,0 +1,66 @@
+//! End-to-end checks of the `proptest!` macro: values are really generated,
+//! failures really fail, and `?` / closure-based `prop_assert` compile.
+
+use proptest::prelude::*;
+
+fn helper_that_uses_question_mark(x: u32) -> Result<(), TestCaseError> {
+    prop_assert!(x < 1_000_000, "x out of range: {x}");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ranges_stay_in_bounds(x in 3u32..17, f in -2.0f64..2.0, n in 1usize..=4) {
+        prop_assert!((3..17).contains(&x));
+        prop_assert!((-2.0..2.0).contains(&f));
+        prop_assert!((1..=4).contains(&n));
+        helper_that_uses_question_mark(x)?;
+    }
+
+    #[test]
+    fn tuples_and_vec_strategies_compose(
+        (n, pairs) in (2u32..=8).prop_flat_map(|n| {
+            (Just(n), proptest::collection::vec((0..n, 0..n), 0..=12))
+        }),
+        flags in proptest::collection::vec(any::<bool>(), 5),
+    ) {
+        prop_assert!(n >= 2);
+        for (a, b) in pairs {
+            prop_assert!(a < n && b < n, "pair ({a}, {b}) out of range for n={n}");
+        }
+        prop_assert_eq!(flags.len(), 5);
+    }
+
+    #[test]
+    fn boxed_strategies_clone_and_generate(w in (1u32..=3).prop_map(|x| x as f64).boxed()) {
+        prop_assert!((1.0..=3.0).contains(&w));
+        prop_assert_eq!(w, w.trunc(), "integer-valued weights only");
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest")]
+    fn failing_property_actually_fails(x in 0u32..100) {
+        // Values 0..100 are generated, so this must trip within 32 cases.
+        prop_assert!(x < 2, "saw x themselves = {x}");
+    }
+}
+
+#[test]
+fn cases_see_distinct_values() {
+    // The same strategy generates different values across cases: run the
+    // generator directly and count distinct outputs.
+    use proptest::strategy::Strategy;
+    let strat = 0u64..u64::MAX;
+    let mut seen = std::collections::HashSet::new();
+    for case in 0..16 {
+        let mut rng = proptest::test_runner::TestRng::for_case("distinct", case);
+        seen.insert(strat.generate(&mut rng));
+    }
+    assert!(
+        seen.len() >= 15,
+        "only {} distinct values in 16 cases",
+        seen.len()
+    );
+}
