@@ -1,0 +1,111 @@
+//! Serving throughput: queries/second vs worker-thread count.
+//!
+//! One shared `EngineContext` serves every worker; each sample runs a
+//! fixed batch of queries, so sample time is inversely proportional to
+//! throughput — compare the per-thread-count medians directly. Covered
+//! modes: dynamic batches (embarrassingly parallel), indexed
+//! sequential-dynamic (the paper's single-threaded stream, the 1-thread
+//! baseline for the snapshot rows), and snapshot-indexed with per-epoch
+//! delta merges at two cadences.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rkranks_bench::{bench_queries, dblp};
+use rkranks_core::{BoundConfig, IndexParams, QueryEngine};
+use rkranks_eval::runner::{run_batch, run_indexed_batch, BatchAlgo, IndexedMode};
+
+const K: u32 = 10;
+const BATCH: usize = 64;
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn throughput(c: &mut Criterion) {
+    let g = dblp();
+    let queries = bench_queries(g, BATCH, |_| true);
+
+    let mut group = c.benchmark_group("throughput/dynamic");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for t in THREADS {
+        group.bench_with_input(BenchmarkId::new("threads", t), &t, |b, &t| {
+            b.iter(|| {
+                black_box(
+                    run_batch(
+                        g,
+                        None,
+                        &queries,
+                        K,
+                        BatchAlgo::Dynamic(BoundConfig::ALL),
+                        t,
+                    )
+                    .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+
+    let engine = QueryEngine::new(g);
+    let (base_index, _) = engine.build_index(&IndexParams {
+        k_max: 100,
+        ..Default::default()
+    });
+
+    let mut group = c.benchmark_group("throughput/indexed");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    // The paper's sequential-dynamic stream: the 1-thread reference point.
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut idx = base_index.clone();
+            black_box(
+                run_indexed_batch(
+                    g,
+                    None,
+                    &mut idx,
+                    &queries,
+                    K,
+                    BoundConfig::ALL,
+                    IndexedMode::Sequential,
+                )
+                .unwrap(),
+            )
+        });
+    });
+    for t in THREADS {
+        for merge_every in [0usize, 16] {
+            let label = if merge_every == 0 {
+                format!("snapshot_merge_end/{t}")
+            } else {
+                format!("snapshot_merge_{merge_every}/{t}")
+            };
+            group.bench_function(BenchmarkId::new("threads", label), |b| {
+                b.iter(|| {
+                    let mut idx = base_index.clone();
+                    black_box(
+                        run_indexed_batch(
+                            g,
+                            None,
+                            &mut idx,
+                            &queries,
+                            K,
+                            BoundConfig::ALL,
+                            IndexedMode::Snapshot {
+                                threads: t,
+                                merge_every,
+                            },
+                        )
+                        .unwrap(),
+                    )
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, throughput);
+criterion_main!(benches);

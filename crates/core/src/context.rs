@@ -1,0 +1,746 @@
+//! Shared engine context and per-worker query scratch.
+//!
+//! Concurrent serving splits the old monolithic `QueryEngine` state along
+//! its sharing boundary:
+//!
+//! * [`EngineContext`] — everything a query only *reads*: the graph, the
+//!   transpose (built lazily, at most once, even under concurrency), and
+//!   the mono/bichromatic partition. It is `Sync`, so one context behind an
+//!   `Arc` (or a plain `&`) serves any number of worker threads.
+//! * [`QueryScratch`] — everything a query *writes*: the two Dijkstra
+//!   workspaces and the generation-stamped per-node arrays. One per worker;
+//!   cheap to create relative to the context (no `O(m)` transpose copy)
+//!   and reusable across queries so steady-state queries allocate nothing.
+//!
+//! One private SDS driver (`run_sds`) is the single implementation
+//! behind the static, dynamic, and indexed variants; the public
+//! `query_*` methods are thin configurations of it. Indexed queries take an
+//! [`IndexAccess`], which either mutates a live [`RkrIndex`] in place (the
+//! paper's sequential-dynamic mode) or reads a frozen snapshot and logs
+//! discoveries to a private [`crate::index::IndexDelta`] for a later
+//! merge — the shape that lets indexed serving run on many threads.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use rkranks_graph::{DijkstraWorkspace, Distance, Graph, GraphError, NodeId, RelaxOutcome, Result};
+
+use crate::engine::BoundConfig;
+use crate::index::{IndexAccess, IndexBuildStats, IndexDelta, IndexParams, RkrIndex};
+use crate::refine::{refine_rank, refine_rank_unbounded, RefineHooks, RefineOutcome};
+use crate::result::{QueryResult, TopKCollector};
+use crate::scratch::Stamped;
+use crate::spec::{Partition, QuerySpec};
+use crate::stats::QueryStats;
+use crate::trace::{PopDecision, QueryTrace, TraceEvent};
+
+/// Immutable, `Sync` query-evaluation state bound to one graph: share it
+/// across worker threads via `&` or `Arc`, give each worker its own
+/// [`QueryScratch`].
+pub struct EngineContext<'g> {
+    graph: &'g Graph,
+    /// Built lazily on the first query that needs it, exactly once even
+    /// when many workers race (undirected graphs are their own transpose;
+    /// the cell stays empty and the copy is never paid).
+    transpose: OnceLock<Graph>,
+    partition: Option<Partition>,
+}
+
+impl<'g> EngineContext<'g> {
+    /// Monochromatic context (Definition 2).
+    pub fn new(graph: &'g Graph) -> Self {
+        Self::with_partition(graph, None)
+    }
+
+    /// Bichromatic context (Definitions 3–4): `partition`'s `V2` is the
+    /// counted/query class, its complement the candidate class.
+    pub fn bichromatic(graph: &'g Graph, partition: Partition) -> Self {
+        Self::with_partition(graph, Some(partition))
+    }
+
+    fn with_partition(graph: &'g Graph, partition: Option<Partition>) -> Self {
+        EngineContext {
+            graph,
+            transpose: OnceLock::new(),
+            partition,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The bichromatic partition, if any.
+    pub fn partition(&self) -> Option<&Partition> {
+        self.partition.as_ref()
+    }
+
+    /// The active query specification.
+    pub fn spec(&self) -> QuerySpec<'_> {
+        match &self.partition {
+            Some(p) => QuerySpec::Bichromatic(p),
+            None => QuerySpec::Mono,
+        }
+    }
+
+    /// The graph the SDS-tree Dijkstra runs on: the transpose for directed
+    /// graphs (built on first use), the graph itself otherwise.
+    ///
+    /// Latency-sensitive callers should invoke this once before timing
+    /// queries — otherwise the first query on a directed graph pays the
+    /// O(n+m) transpose build inside its `stats.elapsed`. The batch
+    /// drivers and the `QueryEngine` facade do this automatically.
+    pub fn sds_graph(&self) -> &Graph {
+        if self.graph.is_directed() {
+            self.transpose.get_or_init(|| self.graph.transpose())
+        } else {
+            self.graph
+        }
+    }
+
+    /// A fresh per-worker scratch sized for this context's graph.
+    pub fn new_scratch(&self) -> QueryScratch {
+        QueryScratch::new(self.graph.num_nodes())
+    }
+
+    /// Build an index matching this context's query spec.
+    pub fn build_index(&self, params: &IndexParams) -> (RkrIndex, IndexBuildStats) {
+        RkrIndex::build(self.graph, self.spec(), params)
+    }
+
+    fn validate(&self, q: NodeId, k: u32) -> Result<()> {
+        self.graph.check_node(q)?;
+        if k == 0 {
+            return Err(GraphError::InvalidQuery("k must be positive".into()));
+        }
+        self.spec().validate_query(q)?;
+        Ok(())
+    }
+
+    /// §2 naive baseline: refine every candidate (with `kRank` early
+    /// termination), no SDS-tree.
+    pub fn query_naive(
+        &self,
+        scratch: &mut QueryScratch,
+        q: NodeId,
+        k: u32,
+    ) -> Result<QueryResult> {
+        self.validate(q, k)?;
+        scratch.ensure_capacity(self.graph.num_nodes());
+        let start = Instant::now();
+        let mut stats = QueryStats::default();
+        let mut collector = TopKCollector::new(k);
+        let spec = self.spec();
+        for p in self.graph.nodes() {
+            if p == q || !spec.is_candidate(p) {
+                continue;
+            }
+            if let Some(RefineOutcome::Exact(r)) = refine_rank_unbounded(
+                self.graph,
+                spec,
+                &mut scratch.refine_ws,
+                p,
+                q,
+                collector.k_rank(),
+                &mut stats,
+            ) {
+                collector.offer(p, r);
+            }
+        }
+        stats.elapsed = start.elapsed();
+        Ok(collector.into_result(stats))
+    }
+
+    /// §3 static SDS-tree (Algorithm 1).
+    pub fn query_static(
+        &self,
+        scratch: &mut QueryScratch,
+        q: NodeId,
+        k: u32,
+    ) -> Result<QueryResult> {
+        self.run_sds(scratch, q, k, None, None, None)
+    }
+
+    /// §4 dynamic bounded SDS-tree.
+    pub fn query_dynamic(
+        &self,
+        scratch: &mut QueryScratch,
+        q: NodeId,
+        k: u32,
+        bounds: BoundConfig,
+    ) -> Result<QueryResult> {
+        self.run_sds(scratch, q, k, Some(bounds), None, None)
+    }
+
+    /// §5 dynamic SDS-tree with the index mutated in place — the paper's
+    /// sequential-dynamic mode, where each query's discoveries sharpen the
+    /// index for the next.
+    pub fn query_indexed(
+        &self,
+        scratch: &mut QueryScratch,
+        index: &mut RkrIndex,
+        q: NodeId,
+        k: u32,
+        bounds: BoundConfig,
+    ) -> Result<QueryResult> {
+        check_k_max(index, k)?;
+        self.run_sds(
+            scratch,
+            q,
+            k,
+            Some(bounds),
+            Some(&mut IndexAccess::Live(index)),
+            None,
+        )
+    }
+
+    /// §5 dynamic SDS-tree against a *frozen* index snapshot, logging every
+    /// discovery to `delta` instead of mutating the snapshot.
+    ///
+    /// Because the index only ever *prunes* work (result correctness never
+    /// depends on its contents), the result ranks are identical to
+    /// [`EngineContext::query_dynamic`]; what the snapshot loses versus the
+    /// sequential-dynamic mode is only the intra-batch sharpening. Many
+    /// workers can therefore query one snapshot concurrently and merge
+    /// their deltas back later via [`RkrIndex::merge_delta`].
+    pub fn query_indexed_snapshot(
+        &self,
+        scratch: &mut QueryScratch,
+        snapshot: &RkrIndex,
+        delta: &mut IndexDelta,
+        q: NodeId,
+        k: u32,
+        bounds: BoundConfig,
+    ) -> Result<QueryResult> {
+        check_k_max(snapshot, k)?;
+        self.run_sds(
+            scratch,
+            q,
+            k,
+            Some(bounds),
+            Some(&mut IndexAccess::Snapshot { snapshot, delta }),
+            None,
+        )
+    }
+
+    /// [`EngineContext::query_static`] with a full decision trace.
+    pub fn query_static_traced(
+        &self,
+        scratch: &mut QueryScratch,
+        q: NodeId,
+        k: u32,
+    ) -> Result<(QueryResult, QueryTrace)> {
+        let mut trace = QueryTrace::default();
+        let result = self.run_sds(scratch, q, k, None, None, Some(&mut trace))?;
+        Ok((result, trace))
+    }
+
+    /// [`EngineContext::query_dynamic`] with a full decision trace (see
+    /// [`crate::trace`]).
+    pub fn query_dynamic_traced(
+        &self,
+        scratch: &mut QueryScratch,
+        q: NodeId,
+        k: u32,
+        bounds: BoundConfig,
+    ) -> Result<(QueryResult, QueryTrace)> {
+        let mut trace = QueryTrace::default();
+        let result = self.run_sds(scratch, q, k, Some(bounds), None, Some(&mut trace))?;
+        Ok((result, trace))
+    }
+
+    /// [`EngineContext::query_indexed`] with a full decision trace.
+    pub fn query_indexed_traced(
+        &self,
+        scratch: &mut QueryScratch,
+        index: &mut RkrIndex,
+        q: NodeId,
+        k: u32,
+        bounds: BoundConfig,
+    ) -> Result<(QueryResult, QueryTrace)> {
+        check_k_max(index, k)?;
+        let mut trace = QueryTrace::default();
+        let result = self.run_sds(
+            scratch,
+            q,
+            k,
+            Some(bounds),
+            Some(&mut IndexAccess::Live(index)),
+            Some(&mut trace),
+        )?;
+        Ok((result, trace))
+    }
+
+    /// The shared SDS driver. `dynamic = None` is the static algorithm.
+    fn run_sds(
+        &self,
+        scratch: &mut QueryScratch,
+        q: NodeId,
+        k: u32,
+        dynamic: Option<BoundConfig>,
+        mut index: Option<&mut IndexAccess<'_>>,
+        mut trace: Option<&mut QueryTrace>,
+    ) -> Result<QueryResult> {
+        self.validate(q, k)?;
+        scratch.ensure_capacity(self.graph.num_nodes());
+        let start = Instant::now();
+        let mut stats = QueryStats::default();
+        let mut collector = TopKCollector::new(k);
+
+        let graph = self.graph;
+        let spec = self.spec();
+        let tgraph = self.sds_graph();
+        let QueryScratch {
+            sds_ws,
+            refine_ws,
+            pred,
+            depth2,
+            eff_lb,
+            lcount,
+            in_result,
+        } = scratch;
+        // Lemma 4 is proven for undirected monochromatic graphs only.
+        let count_enabled =
+            dynamic.is_some_and(|b| b.use_count) && !graph.is_directed() && !spec.is_bichromatic();
+
+        pred.reset();
+        depth2.reset();
+        eff_lb.reset();
+        lcount.reset();
+        in_result.reset();
+
+        // §5.3: seed R (and hence kRank) from the Reverse Rank Dictionary.
+        if let Some(idx) = index.as_deref() {
+            for &(r, s) in idx.top_entries(q, k) {
+                if collector.offer(s, r) {
+                    in_result.set(s.index(), true);
+                }
+            }
+        }
+
+        let record = |trace: &mut Option<&mut QueryTrace>, node: NodeId, distance, decision| {
+            if let Some(t) = trace.as_deref_mut() {
+                t.events.push(TraceEvent {
+                    node,
+                    distance,
+                    decision,
+                });
+            }
+        };
+
+        sds_ws.begin(q);
+        while let Some((u, d)) = sds_ws.settle_next() {
+            stats.sds_popped += 1;
+            if u == q {
+                record(&mut trace, u, d, PopDecision::Root);
+                expand(tgraph, spec, q, sds_ws, pred, depth2, &mut stats, u, d);
+                continue;
+            }
+            let parent_lb = match pred.get(u.index()) {
+                p if p == u32::MAX || NodeId(p) == q => 0,
+                p => eff_lb.get(p as usize),
+            };
+            let k_rank = collector.k_rank();
+
+            if !spec.is_candidate(u) {
+                // Conduit node (bichromatic only): it cannot be a result,
+                // but shortest paths run through it. Propagate the ancestor
+                // bound; prune the subtree when even the weakest candidate
+                // descendant bound meets kRank.
+                eff_lb.set(u.index(), parent_lb);
+                let descendant_lb = if dynamic.is_some_and(|b| b.use_height) {
+                    // any candidate below u has at least depth2(u) + [u
+                    // counted] counted intermediates
+                    parent_lb.max(depth2.get(u.index()) + spec.is_counted(u) as u32 + 1)
+                } else {
+                    parent_lb
+                };
+                let subtree_pruned = dynamic.is_some() && descendant_lb >= k_rank;
+                record(&mut trace, u, d, PopDecision::Conduit { subtree_pruned });
+                if !subtree_pruned {
+                    expand(tgraph, spec, q, sds_ws, pred, depth2, &mut stats, u, d);
+                }
+                continue;
+            }
+
+            if let Some(bounds) = dynamic {
+                // Index fast path: the exact rank is already known.
+                if let Some(r) = index.as_deref().and_then(|idx| idx.lookup(q, u)) {
+                    stats.index_exact_hits += 1;
+                    record(&mut trace, u, d, PopDecision::IndexHit { rank: r });
+                    eff_lb.set(u.index(), r);
+                    if !in_result.get(u.index()) && collector.offer(u, r) {
+                        in_result.set(u.index(), true);
+                    }
+                    if r <= collector.k_rank() {
+                        expand(tgraph, spec, q, sds_ws, pred, depth2, &mut stats, u, d);
+                    }
+                    continue;
+                }
+
+                // Theorem 2 (+ check dictionary) lower bound.
+                let height_b = if bounds.use_height {
+                    depth2.get(u.index()) + 1
+                } else {
+                    0
+                };
+                let count_b = if count_enabled {
+                    lcount.get(u.index())
+                } else {
+                    0
+                };
+                let check_b = index.as_deref().map_or(0, |idx| idx.check(u));
+                record_bound_win(&mut stats, parent_lb, height_b, count_b, check_b);
+                let lb = parent_lb.max(height_b).max(count_b).max(check_b);
+                if lb >= k_rank {
+                    stats.pruned_by_bound += 1;
+                    record(
+                        &mut trace,
+                        u,
+                        d,
+                        PopDecision::BoundPruned {
+                            lower_bound: lb,
+                            k_rank,
+                        },
+                    );
+                    eff_lb.set(u.index(), lb);
+                    continue; // Theorem 1: the subtree is pruned with it
+                }
+            }
+
+            // Rank refinement (Algorithm 2 / 4).
+            let mut hooks = RefineHooks {
+                lcount: count_enabled.then_some(&mut *lcount),
+                index: index.as_deref_mut(),
+            };
+            match refine_rank(
+                graph, spec, refine_ws, u, q, d, k_rank, &mut hooks, &mut stats,
+            ) {
+                RefineOutcome::Exact(r) => {
+                    eff_lb.set(u.index(), r);
+                    let entered = collector.offer(u, r);
+                    if entered {
+                        in_result.set(u.index(), true);
+                    }
+                    record(
+                        &mut trace,
+                        u,
+                        d,
+                        PopDecision::Refined {
+                            rank: r,
+                            entered_result: entered,
+                        },
+                    );
+                    // Algorithm 1/3: completed refinement ⇒ expand.
+                    expand(tgraph, spec, q, sds_ws, pred, depth2, &mut stats, u, d);
+                }
+                RefineOutcome::Pruned { lower_bound } => {
+                    record(
+                        &mut trace,
+                        u,
+                        d,
+                        PopDecision::RefinementPruned { lower_bound },
+                    );
+                    eff_lb.set(u.index(), lower_bound.max(parent_lb));
+                    // Theorem 1: no expansion.
+                }
+            }
+        }
+
+        stats.elapsed = start.elapsed();
+        Ok(collector.into_result(stats))
+    }
+}
+
+fn check_k_max(index: &RkrIndex, k: u32) -> Result<()> {
+    if k > index.k_max() {
+        return Err(GraphError::InvalidQuery(format!(
+            "k = {k} exceeds the index's K = {} (the check-dictionary prune would be unsound)",
+            index.k_max()
+        )));
+    }
+    Ok(())
+}
+
+/// Per-worker mutable query state: the Dijkstra workspaces and the
+/// generation-stamped per-node arrays. Everything resets in O(1) between
+/// queries, so a long-lived scratch makes queries allocation-free after
+/// warm-up.
+#[derive(Debug)]
+pub struct QueryScratch {
+    /// SDS-tree (transpose) Dijkstra state.
+    pub(crate) sds_ws: DijkstraWorkspace,
+    /// Rank-refinement Dijkstra state.
+    pub(crate) refine_ws: DijkstraWorkspace,
+    /// SDS-tree parent of each frontier/settled node.
+    pub(crate) pred: Stamped<u32>,
+    /// Counted-class intermediate-node depth (degenerates to `depth - 1`
+    /// monochromatically); the Lemma-2 bound is `depth2 + 1`.
+    pub(crate) depth2: Stamped<u32>,
+    /// Effective rank lower bound of each processed node (exact rank when
+    /// refined) — what descendants inherit as their "parent rank".
+    pub(crate) eff_lb: Stamped<u32>,
+    /// Lemma-4 visit counters.
+    pub(crate) lcount: Stamped<u32>,
+    /// Marks nodes currently credited in `R` (prevents double offers when
+    /// the index seeds the collector).
+    pub(crate) in_result: Stamped<bool>,
+}
+
+impl QueryScratch {
+    /// Scratch for graphs with up to `n` nodes (it grows on demand if a
+    /// larger graph shows up).
+    pub fn new(n: u32) -> Self {
+        QueryScratch {
+            sds_ws: DijkstraWorkspace::new(n),
+            refine_ws: DijkstraWorkspace::new(n),
+            pred: Stamped::new(n as usize, u32::MAX),
+            depth2: Stamped::new(n as usize, 0),
+            eff_lb: Stamped::new(n as usize, 0),
+            lcount: Stamped::new(n as usize, 0),
+            in_result: Stamped::new(n as usize, false),
+        }
+    }
+
+    /// Grow every component to hold at least `n` nodes.
+    pub fn ensure_capacity(&mut self, n: u32) {
+        self.sds_ws.ensure_capacity(n);
+        self.refine_ws.ensure_capacity(n);
+        self.pred.ensure_capacity(n as usize);
+        self.depth2.ensure_capacity(n as usize);
+        self.eff_lb.ensure_capacity(n as usize);
+        self.lcount.ensure_capacity(n as usize);
+        self.in_result.ensure_capacity(n as usize);
+    }
+}
+
+/// Relax `u`'s out-edges in the transpose graph, recording tree parents and
+/// counted-depths for Theorem 2.
+#[allow(clippy::too_many_arguments)]
+fn expand(
+    tgraph: &Graph,
+    spec: QuerySpec<'_>,
+    q: NodeId,
+    sds_ws: &mut DijkstraWorkspace,
+    pred: &mut Stamped<u32>,
+    depth2: &mut Stamped<u32>,
+    stats: &mut QueryStats,
+    u: NodeId,
+    d: Distance,
+) {
+    // `u` becomes an intermediate node of everything routed through it; it
+    // contributes to the Lemma-2 bound only if it is counted and not `q`
+    // (ranks never count the query node or the candidate itself).
+    let child_depth2 = depth2.get(u.index()) + (u != q && spec.is_counted(u)) as u32;
+    let (targets, weights) = tgraph.out_neighbors(u);
+    for (t, w) in targets.iter().zip(weights.iter()) {
+        stats.sds_relaxations += 1;
+        match sds_ws.relax(*t, d + *w) {
+            RelaxOutcome::Inserted | RelaxOutcome::Decreased => {
+                pred.set(t.index(), u.0);
+                depth2.set(t.index(), child_depth2);
+            }
+            RelaxOutcome::Unchanged => {}
+        }
+    }
+}
+
+/// Table 11 bookkeeping: which component supplied the max. Ties resolve in
+/// the paper's "tight-most first" narrative order: parent, height, count,
+/// check.
+fn record_bound_win(stats: &mut QueryStats, parent: u32, height: u32, count: u32, check: u32) {
+    let best = parent.max(height).max(count).max(check);
+    let w = &mut stats.bound_wins;
+    if parent == best {
+        w.parent += 1;
+    } else if height == best {
+        w.height += 1;
+    } else if count == best {
+        w.count += 1;
+    } else {
+        w.check += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexDelta;
+    use rkranks_graph::{graph_from_edges, EdgeDirection};
+
+    fn star_tail() -> Graph {
+        graph_from_edges(
+            EdgeDirection::Undirected,
+            [(0, 1, 1.0), (0, 2, 2.0), (0, 3, 3.0), (3, 4, 1.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn context_is_sync_and_shareable() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<EngineContext<'static>>();
+    }
+
+    #[test]
+    fn one_context_serves_many_scratches() {
+        let g = star_tail();
+        let ctx = EngineContext::new(&g);
+        let mut a = ctx.new_scratch();
+        let mut b = ctx.new_scratch();
+        let ra = ctx
+            .query_dynamic(&mut a, NodeId(0), 2, BoundConfig::ALL)
+            .unwrap();
+        let rb = ctx
+            .query_dynamic(&mut b, NodeId(0), 2, BoundConfig::ALL)
+            .unwrap();
+        assert_eq!(ra.entries, rb.entries);
+    }
+
+    #[test]
+    fn concurrent_workers_share_one_context() {
+        // Directed so the lazily-built transpose is exercised under racing
+        // first use.
+        let g = graph_from_edges(
+            EdgeDirection::Directed,
+            [
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 0, 1.0),
+                (1, 3, 2.0),
+            ],
+        )
+        .unwrap();
+        // Expected values come from a separate context so the shared one
+        // below still has an uninitialized transpose when the workers race
+        // on its first use.
+        let expected: Vec<_> = {
+            let ref_ctx = EngineContext::new(&g);
+            let mut s = ref_ctx.new_scratch();
+            g.nodes()
+                .map(|q| {
+                    ref_ctx
+                        .query_dynamic(&mut s, q, 2, BoundConfig::ALL)
+                        .unwrap()
+                        .entries
+                })
+                .collect()
+        };
+        let ctx = EngineContext::new(&g);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let mut s = ctx.new_scratch();
+                    for (q, want) in g.nodes().zip(&expected) {
+                        let got = ctx.query_dynamic(&mut s, q, 2, BoundConfig::ALL).unwrap();
+                        assert_eq!(&got.entries, want, "q={q}");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn snapshot_queries_match_dynamic_and_merge_back() {
+        let g = star_tail();
+        let ctx = EngineContext::new(&g);
+        let mut scratch = ctx.new_scratch();
+        let mut index = RkrIndex::empty(g.num_nodes(), 10);
+        let mut delta = IndexDelta::for_index(&index);
+        for q in g.nodes() {
+            let want = ctx
+                .query_dynamic(&mut scratch, q, 2, BoundConfig::ALL)
+                .unwrap();
+            let got = ctx
+                .query_indexed_snapshot(&mut scratch, &index, &mut delta, q, 2, BoundConfig::ALL)
+                .unwrap();
+            assert_eq!(want.ranks(), got.ranks(), "q={q}");
+        }
+        // The snapshot itself never changed...
+        assert_eq!(index.rrd_entries(), 0);
+        // ...but the delta captured the discoveries, and merging them makes
+        // a repeat query hit the dictionary.
+        assert!(!delta.is_empty());
+        index.merge_delta(&delta);
+        assert!(index.rrd_entries() > 0);
+        let r = ctx
+            .query_indexed(&mut scratch, &mut index, NodeId(0), 2, BoundConfig::ALL)
+            .unwrap();
+        assert!(r.stats.index_exact_hits > 0);
+    }
+
+    #[test]
+    fn parallel_snapshot_workers_match_dynamic() {
+        let g = star_tail();
+        let ctx = EngineContext::new(&g);
+        let (index, _) = ctx.build_index(&IndexParams {
+            hub_fraction: 0.5,
+            prefix_fraction: 0.5,
+            k_max: 8,
+            ..Default::default()
+        });
+        let expected: Vec<_> = {
+            let mut s = ctx.new_scratch();
+            g.nodes()
+                .map(|q| {
+                    ctx.query_dynamic(&mut s, q, 3, BoundConfig::ALL)
+                        .unwrap()
+                        .ranks()
+                })
+                .collect()
+        };
+        let index = &index;
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let mut s = ctx.new_scratch();
+                    let mut delta = IndexDelta::for_index(index);
+                    for (q, want) in g.nodes().zip(&expected) {
+                        let got = ctx
+                            .query_indexed_snapshot(
+                                &mut s,
+                                index,
+                                &mut delta,
+                                q,
+                                3,
+                                BoundConfig::ALL,
+                            )
+                            .unwrap();
+                        assert_eq!(&got.ranks(), want, "q={q}");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn record_bound_win_tie_precedence() {
+        let mut stats = QueryStats::default();
+        record_bound_win(&mut stats, 2, 2, 1, 0);
+        assert_eq!(stats.bound_wins.parent, 1); // parent wins ties
+        record_bound_win(&mut stats, 1, 2, 2, 2);
+        assert_eq!(stats.bound_wins.height, 1); // then height
+        record_bound_win(&mut stats, 0, 1, 2, 2);
+        assert_eq!(stats.bound_wins.count, 1); // then count
+        record_bound_win(&mut stats, 0, 0, 0, 1);
+        assert_eq!(stats.bound_wins.check, 1);
+    }
+
+    #[test]
+    fn scratch_grows_to_larger_graphs() {
+        let small = star_tail();
+        let big = graph_from_edges(
+            EdgeDirection::Undirected,
+            (0..20u32).map(|i| (i, i + 1, 1.0)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let mut scratch = QueryScratch::new(small.num_nodes());
+        let ctx = EngineContext::new(&big);
+        let r = ctx
+            .query_dynamic(&mut scratch, NodeId(0), 2, BoundConfig::ALL)
+            .unwrap();
+        assert_eq!(r.entries.len(), 2);
+    }
+}

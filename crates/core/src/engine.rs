@@ -1,4 +1,4 @@
-//! The query engine: SDS-tree construction and the three evaluation
+//! The query engine facade: bound configuration and the three evaluation
 //! strategies of the paper.
 //!
 //! * [`QueryEngine::query_naive`] — §2's brute force: refine every node.
@@ -13,21 +13,20 @@
 //!   prune on the Check Dictionary, and write every refinement discovery
 //!   back into the index.
 //!
-//! One driver implements all SDS variants; the differences are a bound
-//! configuration and an optional index. The engine owns all per-query
-//! scratch (generation-stamped), so queries allocate nothing after warm-up.
+//! [`QueryEngine`] is a convenience bundle of the two halves the engine is
+//! really made of: a shared, `Sync` [`EngineContext`] (graph, lazily built
+//! transpose, partition) and a per-worker [`QueryScratch`] (Dijkstra
+//! workspaces, stamped arrays). Single-threaded callers use the facade and
+//! never see the split; concurrent callers build one [`EngineContext`] and
+//! hand each worker its own [`QueryScratch`] — see [`crate::context`].
 
-use std::time::Instant;
+use rkranks_graph::{Graph, NodeId, Result};
 
-use rkranks_graph::{DijkstraWorkspace, Distance, Graph, GraphError, NodeId, RelaxOutcome, Result};
-
-use crate::index::{IndexBuildStats, IndexParams, RkrIndex};
-use crate::refine::{refine_rank, refine_rank_unbounded, RefineHooks, RefineOutcome};
-use crate::result::{QueryResult, TopKCollector};
-use crate::scratch::Stamped;
+use crate::context::{EngineContext, QueryScratch};
+use crate::index::{IndexBuildStats, IndexDelta, IndexParams, RkrIndex};
+use crate::result::QueryResult;
 use crate::spec::{Partition, QuerySpec};
-use crate::stats::QueryStats;
-use crate::trace::{PopDecision, QueryTrace, TraceEvent};
+use crate::trace::QueryTrace;
 
 /// Which Theorem-2 components the dynamic search uses. The parent-rank
 /// bound (Lemma 1) is always on — it is what makes the SDS-tree a
@@ -95,75 +94,60 @@ pub enum Algorithm<'i> {
     Indexed(&'i mut RkrIndex, BoundConfig),
 }
 
-/// Reusable query-evaluation state bound to one graph.
+/// Reusable query-evaluation state bound to one graph: a thin facade over
+/// an [`EngineContext`] + [`QueryScratch`] pair for single-threaded use.
 pub struct QueryEngine<'g> {
-    graph: &'g Graph,
-    /// `Some` only for directed graphs (undirected graphs are their own
-    /// transpose; we avoid the copy).
-    transpose: Option<Graph>,
-    partition: Option<Partition>,
-    sds_ws: DijkstraWorkspace,
-    refine_ws: DijkstraWorkspace,
-    /// SDS-tree parent of each frontier/settled node.
-    pred: Stamped<u32>,
-    /// Counted-class intermediate-node depth (degenerates to `depth - 1`
-    /// monochromatically); the Lemma-2 bound is `depth2 + 1`.
-    depth2: Stamped<u32>,
-    /// Effective rank lower bound of each processed node (exact rank when
-    /// refined) — what descendants inherit as their "parent rank".
-    eff_lb: Stamped<u32>,
-    /// Lemma-4 visit counters.
-    lcount: Stamped<u32>,
-    /// Marks nodes currently credited in `R` (prevents double offers when
-    /// the index seeds the collector).
-    in_result: Stamped<bool>,
+    ctx: EngineContext<'g>,
+    scratch: QueryScratch,
 }
 
 impl<'g> QueryEngine<'g> {
     /// Monochromatic engine (Definition 2).
     pub fn new(graph: &'g Graph) -> Self {
-        Self::with_partition(graph, None)
+        Self::from_context(EngineContext::new(graph))
     }
 
     /// Bichromatic engine (Definitions 3–4): `partition`'s `V2` is the
     /// counted/query class, its complement the candidate class.
     pub fn bichromatic(graph: &'g Graph, partition: Partition) -> Self {
-        Self::with_partition(graph, Some(partition))
+        Self::from_context(EngineContext::bichromatic(graph, partition))
     }
 
-    fn with_partition(graph: &'g Graph, partition: Option<Partition>) -> Self {
-        let n = graph.num_nodes();
-        let transpose = graph.is_directed().then(|| graph.transpose());
-        QueryEngine {
-            graph,
-            transpose,
-            partition,
-            sds_ws: DijkstraWorkspace::new(n),
-            refine_ws: DijkstraWorkspace::new(n),
-            pred: Stamped::new(n as usize, u32::MAX),
-            depth2: Stamped::new(n as usize, 0),
-            eff_lb: Stamped::new(n as usize, 0),
-            lcount: Stamped::new(n as usize, 0),
-            in_result: Stamped::new(n as usize, false),
-        }
+    /// Wrap an existing context with a fresh scratch.
+    ///
+    /// The transpose is materialized here (as the pre-split `QueryEngine`
+    /// did at construction) so no query's `stats.elapsed` includes the
+    /// one-off O(n+m) build.
+    pub fn from_context(ctx: EngineContext<'g>) -> Self {
+        ctx.sds_graph();
+        let scratch = ctx.new_scratch();
+        QueryEngine { ctx, scratch }
+    }
+
+    /// The shared read-only half (borrow it to spawn concurrent workers
+    /// alongside this engine).
+    pub fn context(&self) -> &EngineContext<'g> {
+        &self.ctx
+    }
+
+    /// Take the context back, dropping the scratch.
+    pub fn into_context(self) -> EngineContext<'g> {
+        self.ctx
     }
 
     /// The underlying graph.
     pub fn graph(&self) -> &Graph {
-        self.graph
+        self.ctx.graph()
     }
 
     /// The active query specification.
     pub fn spec(&self) -> QuerySpec<'_> {
-        match &self.partition {
-            Some(p) => QuerySpec::Bichromatic(p),
-            None => QuerySpec::Mono,
-        }
+        self.ctx.spec()
     }
 
     /// Build an index matching this engine's query spec.
     pub fn build_index(&self, params: &IndexParams) -> (RkrIndex, IndexBuildStats) {
-        RkrIndex::build(self.graph, self.spec(), params)
+        self.ctx.build_index(params)
     }
 
     /// Dispatch on an [`Algorithm`] value (used by the experiment harness).
@@ -179,78 +163,17 @@ impl<'g> QueryEngine<'g> {
     /// §2 naive baseline: refine every candidate (with `kRank` early
     /// termination), no SDS-tree.
     pub fn query_naive(&mut self, q: NodeId, k: u32) -> Result<QueryResult> {
-        self.validate(q, k)?;
-        let start = Instant::now();
-        let mut stats = QueryStats::default();
-        let mut collector = TopKCollector::new(k);
-        let QueryEngine {
-            graph,
-            partition,
-            refine_ws,
-            ..
-        } = self;
-        let spec = spec_of(partition);
-        for p in graph.nodes() {
-            if p == q || !spec.is_candidate(p) {
-                continue;
-            }
-            if let Some(RefineOutcome::Exact(r)) =
-                refine_rank_unbounded(graph, spec, refine_ws, p, q, collector.k_rank(), &mut stats)
-            {
-                collector.offer(p, r);
-            }
-        }
-        stats.elapsed = start.elapsed();
-        Ok(collector.into_result(stats))
+        self.ctx.query_naive(&mut self.scratch, q, k)
     }
 
     /// §3 static SDS-tree (Algorithm 1).
     pub fn query_static(&mut self, q: NodeId, k: u32) -> Result<QueryResult> {
-        self.run_sds(q, k, None, None, None)
+        self.ctx.query_static(&mut self.scratch, q, k)
     }
 
     /// §4 dynamic bounded SDS-tree.
     pub fn query_dynamic(&mut self, q: NodeId, k: u32, bounds: BoundConfig) -> Result<QueryResult> {
-        self.run_sds(q, k, Some(bounds), None, None)
-    }
-
-    /// [`QueryEngine::query_dynamic`] with a full decision trace (see
-    /// [`crate::trace`]).
-    pub fn query_dynamic_traced(
-        &mut self,
-        q: NodeId,
-        k: u32,
-        bounds: BoundConfig,
-    ) -> Result<(QueryResult, QueryTrace)> {
-        let mut trace = QueryTrace::default();
-        let result = self.run_sds(q, k, Some(bounds), None, Some(&mut trace))?;
-        Ok((result, trace))
-    }
-
-    /// [`QueryEngine::query_static`] with a full decision trace.
-    pub fn query_static_traced(&mut self, q: NodeId, k: u32) -> Result<(QueryResult, QueryTrace)> {
-        let mut trace = QueryTrace::default();
-        let result = self.run_sds(q, k, None, None, Some(&mut trace))?;
-        Ok((result, trace))
-    }
-
-    /// [`QueryEngine::query_indexed`] with a full decision trace.
-    pub fn query_indexed_traced(
-        &mut self,
-        index: &mut RkrIndex,
-        q: NodeId,
-        k: u32,
-        bounds: BoundConfig,
-    ) -> Result<(QueryResult, QueryTrace)> {
-        if k > index.k_max() {
-            return Err(GraphError::InvalidQuery(format!(
-                "k = {k} exceeds the index's K = {} (the check-dictionary prune would be unsound)",
-                index.k_max()
-            )));
-        }
-        let mut trace = QueryTrace::default();
-        let result = self.run_sds(q, k, Some(bounds), Some(index), Some(&mut trace))?;
-        Ok((result, trace))
+        self.ctx.query_dynamic(&mut self.scratch, q, k, bounds)
     }
 
     /// §5 dynamic SDS-tree with index (Algorithms 3–4). The index is
@@ -262,258 +185,54 @@ impl<'g> QueryEngine<'g> {
         k: u32,
         bounds: BoundConfig,
     ) -> Result<QueryResult> {
-        if k > index.k_max() {
-            return Err(GraphError::InvalidQuery(format!(
-                "k = {k} exceeds the index's K = {} (the check-dictionary prune would be unsound)",
-                index.k_max()
-            )));
-        }
-        self.run_sds(q, k, Some(bounds), Some(index), None)
+        self.ctx
+            .query_indexed(&mut self.scratch, index, q, k, bounds)
     }
 
-    fn validate(&self, q: NodeId, k: u32) -> Result<()> {
-        self.graph.check_node(q)?;
-        if k == 0 {
-            return Err(GraphError::InvalidQuery("k must be positive".into()));
-        }
-        self.spec().validate_query(q)?;
-        Ok(())
+    /// §5 against a frozen index snapshot: reads consult `snapshot`, every
+    /// discovery is logged to `delta` for a later
+    /// [`RkrIndex::merge_delta`]. Result ranks are identical to
+    /// [`QueryEngine::query_dynamic`] — see
+    /// [`EngineContext::query_indexed_snapshot`].
+    pub fn query_indexed_snapshot(
+        &mut self,
+        snapshot: &RkrIndex,
+        delta: &mut IndexDelta,
+        q: NodeId,
+        k: u32,
+        bounds: BoundConfig,
+    ) -> Result<QueryResult> {
+        self.ctx
+            .query_indexed_snapshot(&mut self.scratch, snapshot, delta, q, k, bounds)
     }
 
-    /// The shared SDS driver. `dynamic = None` is the static algorithm.
-    fn run_sds(
+    /// [`QueryEngine::query_static`] with a full decision trace.
+    pub fn query_static_traced(&mut self, q: NodeId, k: u32) -> Result<(QueryResult, QueryTrace)> {
+        self.ctx.query_static_traced(&mut self.scratch, q, k)
+    }
+
+    /// [`QueryEngine::query_dynamic`] with a full decision trace (see
+    /// [`crate::trace`]).
+    pub fn query_dynamic_traced(
         &mut self,
         q: NodeId,
         k: u32,
-        dynamic: Option<BoundConfig>,
-        mut index: Option<&mut RkrIndex>,
-        mut trace: Option<&mut QueryTrace>,
-    ) -> Result<QueryResult> {
-        self.validate(q, k)?;
-        let start = Instant::now();
-        let mut stats = QueryStats::default();
-        let mut collector = TopKCollector::new(k);
-
-        let QueryEngine {
-            graph,
-            transpose,
-            partition,
-            sds_ws,
-            refine_ws,
-            pred,
-            depth2,
-            eff_lb,
-            lcount,
-            in_result,
-        } = self;
-        let spec = spec_of(partition);
-        let tgraph: &Graph = transpose.as_ref().unwrap_or(graph);
-        // Lemma 4 is proven for undirected monochromatic graphs only.
-        let count_enabled =
-            dynamic.is_some_and(|b| b.use_count) && !graph.is_directed() && !spec.is_bichromatic();
-
-        pred.reset();
-        depth2.reset();
-        eff_lb.reset();
-        lcount.reset();
-        in_result.reset();
-
-        // §5.3: seed R (and hence kRank) from the Reverse Rank Dictionary.
-        if let Some(idx) = index.as_deref() {
-            for &(r, s) in idx.top_entries(q, k) {
-                if collector.offer(s, r) {
-                    in_result.set(s.index(), true);
-                }
-            }
-        }
-
-        let record = |trace: &mut Option<&mut QueryTrace>, node: NodeId, distance, decision| {
-            if let Some(t) = trace.as_deref_mut() {
-                t.events.push(TraceEvent {
-                    node,
-                    distance,
-                    decision,
-                });
-            }
-        };
-
-        sds_ws.ensure_capacity(graph.num_nodes());
-        sds_ws.begin(q);
-        while let Some((u, d)) = sds_ws.settle_next() {
-            stats.sds_popped += 1;
-            if u == q {
-                record(&mut trace, u, d, PopDecision::Root);
-                expand(tgraph, spec, q, sds_ws, pred, depth2, &mut stats, u, d);
-                continue;
-            }
-            let parent_lb = match pred.get(u.index()) {
-                p if p == u32::MAX || NodeId(p) == q => 0,
-                p => eff_lb.get(p as usize),
-            };
-            let k_rank = collector.k_rank();
-
-            if !spec.is_candidate(u) {
-                // Conduit node (bichromatic only): it cannot be a result,
-                // but shortest paths run through it. Propagate the ancestor
-                // bound; prune the subtree when even the weakest candidate
-                // descendant bound meets kRank.
-                eff_lb.set(u.index(), parent_lb);
-                let descendant_lb = if dynamic.is_some_and(|b| b.use_height) {
-                    // any candidate below u has at least depth2(u) + [u
-                    // counted] counted intermediates
-                    parent_lb.max(depth2.get(u.index()) + spec.is_counted(u) as u32 + 1)
-                } else {
-                    parent_lb
-                };
-                let subtree_pruned = dynamic.is_some() && descendant_lb >= k_rank;
-                record(&mut trace, u, d, PopDecision::Conduit { subtree_pruned });
-                if !subtree_pruned {
-                    expand(tgraph, spec, q, sds_ws, pred, depth2, &mut stats, u, d);
-                }
-                continue;
-            }
-
-            if let Some(bounds) = dynamic {
-                // Index fast path: the exact rank is already known.
-                if let Some(r) = index.as_deref().and_then(|idx| idx.lookup(q, u)) {
-                    stats.index_exact_hits += 1;
-                    record(&mut trace, u, d, PopDecision::IndexHit { rank: r });
-                    eff_lb.set(u.index(), r);
-                    if !in_result.get(u.index()) && collector.offer(u, r) {
-                        in_result.set(u.index(), true);
-                    }
-                    if r <= collector.k_rank() {
-                        expand(tgraph, spec, q, sds_ws, pred, depth2, &mut stats, u, d);
-                    }
-                    continue;
-                }
-
-                // Theorem 2 (+ check dictionary) lower bound.
-                let height_b = if bounds.use_height {
-                    depth2.get(u.index()) + 1
-                } else {
-                    0
-                };
-                let count_b = if count_enabled {
-                    lcount.get(u.index())
-                } else {
-                    0
-                };
-                let check_b = index.as_deref().map_or(0, |idx| idx.check(u));
-                record_bound_win(&mut stats, parent_lb, height_b, count_b, check_b);
-                let lb = parent_lb.max(height_b).max(count_b).max(check_b);
-                if lb >= k_rank {
-                    stats.pruned_by_bound += 1;
-                    record(
-                        &mut trace,
-                        u,
-                        d,
-                        PopDecision::BoundPruned {
-                            lower_bound: lb,
-                            k_rank,
-                        },
-                    );
-                    eff_lb.set(u.index(), lb);
-                    continue; // Theorem 1: the subtree is pruned with it
-                }
-            }
-
-            // Rank refinement (Algorithm 2 / 4).
-            let mut hooks = RefineHooks {
-                lcount: count_enabled.then_some(&mut *lcount),
-                index: index.as_deref_mut(),
-            };
-            match refine_rank(
-                graph, spec, refine_ws, u, q, d, k_rank, &mut hooks, &mut stats,
-            ) {
-                RefineOutcome::Exact(r) => {
-                    eff_lb.set(u.index(), r);
-                    let entered = collector.offer(u, r);
-                    if entered {
-                        in_result.set(u.index(), true);
-                    }
-                    record(
-                        &mut trace,
-                        u,
-                        d,
-                        PopDecision::Refined {
-                            rank: r,
-                            entered_result: entered,
-                        },
-                    );
-                    // Algorithm 1/3: completed refinement ⇒ expand.
-                    expand(tgraph, spec, q, sds_ws, pred, depth2, &mut stats, u, d);
-                }
-                RefineOutcome::Pruned { lower_bound } => {
-                    record(
-                        &mut trace,
-                        u,
-                        d,
-                        PopDecision::RefinementPruned { lower_bound },
-                    );
-                    eff_lb.set(u.index(), lower_bound.max(parent_lb));
-                    // Theorem 1: no expansion.
-                }
-            }
-        }
-
-        stats.elapsed = start.elapsed();
-        Ok(collector.into_result(stats))
+        bounds: BoundConfig,
+    ) -> Result<(QueryResult, QueryTrace)> {
+        self.ctx
+            .query_dynamic_traced(&mut self.scratch, q, k, bounds)
     }
-}
 
-fn spec_of(partition: &Option<Partition>) -> QuerySpec<'_> {
-    match partition {
-        Some(p) => QuerySpec::Bichromatic(p),
-        None => QuerySpec::Mono,
-    }
-}
-
-/// Relax `u`'s out-edges in the transpose graph, recording tree parents and
-/// counted-depths for Theorem 2.
-#[allow(clippy::too_many_arguments)]
-fn expand(
-    tgraph: &Graph,
-    spec: QuerySpec<'_>,
-    q: NodeId,
-    sds_ws: &mut DijkstraWorkspace,
-    pred: &mut Stamped<u32>,
-    depth2: &mut Stamped<u32>,
-    stats: &mut QueryStats,
-    u: NodeId,
-    d: Distance,
-) {
-    // `u` becomes an intermediate node of everything routed through it; it
-    // contributes to the Lemma-2 bound only if it is counted and not `q`
-    // (ranks never count the query node or the candidate itself).
-    let child_depth2 = depth2.get(u.index()) + (u != q && spec.is_counted(u)) as u32;
-    let (targets, weights) = tgraph.out_neighbors(u);
-    for (t, w) in targets.iter().zip(weights.iter()) {
-        stats.sds_relaxations += 1;
-        match sds_ws.relax(*t, d + *w) {
-            RelaxOutcome::Inserted | RelaxOutcome::Decreased => {
-                pred.set(t.index(), u.0);
-                depth2.set(t.index(), child_depth2);
-            }
-            RelaxOutcome::Unchanged => {}
-        }
-    }
-}
-
-/// Table 11 bookkeeping: which component supplied the max. Ties resolve in
-/// the paper's "tight-most first" narrative order: parent, height, count,
-/// check.
-fn record_bound_win(stats: &mut QueryStats, parent: u32, height: u32, count: u32, check: u32) {
-    let best = parent.max(height).max(count).max(check);
-    let w = &mut stats.bound_wins;
-    if parent == best {
-        w.parent += 1;
-    } else if height == best {
-        w.height += 1;
-    } else if count == best {
-        w.count += 1;
-    } else {
-        w.check += 1;
+    /// [`QueryEngine::query_indexed`] with a full decision trace.
+    pub fn query_indexed_traced(
+        &mut self,
+        index: &mut RkrIndex,
+        q: NodeId,
+        k: u32,
+        bounds: BoundConfig,
+    ) -> Result<(QueryResult, QueryTrace)> {
+        self.ctx
+            .query_indexed_traced(&mut self.scratch, index, q, k, bounds)
     }
 }
 
@@ -592,6 +311,11 @@ mod tests {
         assert!(engine
             .query_indexed(&mut idx, NodeId(0), 2, BoundConfig::ALL)
             .is_ok());
+        // snapshot mode enforces the same K bound
+        let mut delta = IndexDelta::for_index(&idx);
+        assert!(engine
+            .query_indexed_snapshot(&idx, &mut delta, NodeId(0), 3, BoundConfig::ALL)
+            .is_err());
     }
 
     #[test]
@@ -616,6 +340,23 @@ mod tests {
             .query_indexed(&mut idx, NodeId(0), 2, BoundConfig::ALL)
             .unwrap();
         assert_eq!(expect.ranks(), got.ranks());
+    }
+
+    #[test]
+    fn snapshot_mode_matches_dynamic_via_facade() {
+        let g = star_tail();
+        let mut engine = QueryEngine::new(&g);
+        let idx = RkrIndex::empty(g.num_nodes(), 10);
+        let mut delta = IndexDelta::for_index(&idx);
+        for q in g.nodes() {
+            let expect = engine.query_dynamic(q, 2, BoundConfig::ALL).unwrap();
+            let got = engine
+                .query_indexed_snapshot(&idx, &mut delta, q, 2, BoundConfig::ALL)
+                .unwrap();
+            assert_eq!(expect.ranks(), got.ranks(), "q={q}");
+        }
+        assert!(!delta.is_empty());
+        assert_eq!(idx.rrd_entries(), 0); // the snapshot never mutates
     }
 
     #[test]
@@ -657,19 +398,6 @@ mod tests {
         assert!(r.stats.bound_wins.total() > 0);
         let s = engine.query_static(NodeId(0), 1).unwrap();
         assert_eq!(s.stats.bound_wins.total(), 0);
-    }
-
-    #[test]
-    fn record_bound_win_tie_precedence() {
-        let mut stats = QueryStats::default();
-        record_bound_win(&mut stats, 2, 2, 1, 0);
-        assert_eq!(stats.bound_wins.parent, 1); // parent wins ties
-        record_bound_win(&mut stats, 1, 2, 2, 2);
-        assert_eq!(stats.bound_wins.height, 1); // then height
-        record_bound_win(&mut stats, 0, 1, 2, 2);
-        assert_eq!(stats.bound_wins.count, 1); // then count
-        record_bound_win(&mut stats, 0, 0, 0, 1);
-        assert_eq!(stats.bound_wins.check, 1);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! Both cases make the §5.3 prune safe; this is why [`RkrIndex`] refuses
 //! queries with `k > k_max`.
 
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -203,6 +204,36 @@ impl RkrIndex {
         (index, stats)
     }
 
+    /// Apply a write-log produced by snapshot-mode queries
+    /// ([`crate::EngineContext::query_indexed_snapshot`]).
+    ///
+    /// Merge order cannot affect the merged state: the Reverse Rank
+    /// Dictionary keeps the K smallest `(rank, source)` pairs and the
+    /// Check Dictionary is a per-node max. Soundness of the §5.3 prune is
+    /// preserved too — every check raise logged by a refinement of `p` is
+    /// accompanied by offers for all newly enumerated nodes below it, and
+    /// nodes below the *snapshot's* `check[p]` were already offered to the
+    /// snapshot (that is the check dictionary's own invariant), so the
+    /// merged index never claims a bound it cannot prove.
+    ///
+    /// **Precondition:** `self` must contain the knowledge of the snapshot
+    /// the delta was logged against — i.e. be that snapshot's owner, or an
+    /// index that has since absorbed more offers/raises. Merging into an
+    /// unrelated index of the same dimensions (e.g. a fresh
+    /// [`RkrIndex::empty`]) imports check raises whose below-the-raise rrd
+    /// offers live only in the original snapshot, which breaks the prune
+    /// invariant above. The shape asserts below cannot detect that misuse.
+    pub fn merge_delta(&mut self, delta: &IndexDelta) {
+        assert_eq!(self.num_nodes(), delta.num_nodes, "node universe mismatch");
+        assert_eq!(self.k_max, delta.k_max, "k_max mismatch");
+        for (&u, &c) in &delta.check_raises {
+            self.raise_check(u, c);
+        }
+        for &(target, source, rank) in &delta.offers {
+            self.offer(target, source, rank);
+        }
+    }
+
     /// Fold another index's knowledge into this one (both must cover the
     /// same node universe and `k_max`).
     pub fn merge_from(&mut self, other: &RkrIndex) {
@@ -368,6 +399,158 @@ impl RkrIndex {
                 .iter()
                 .map(|l| l.capacity() * size_of::<(u32, NodeId)>())
                 .sum::<usize>()
+    }
+}
+
+/// A per-query (or per-worker) write-log of index discoveries.
+///
+/// Snapshot-mode queries read a frozen [`RkrIndex`] and append every
+/// would-be mutation here; [`RkrIndex::merge_delta`] folds the log back in
+/// at a cadence the batch driver chooses. Logs from concurrent workers can
+/// be merged in any order — the index state they produce is identical.
+#[derive(Clone, Debug)]
+pub struct IndexDelta {
+    k_max: u32,
+    num_nodes: u32,
+    /// `(target, source, rank)` exact-rank observations (Algorithm 4's
+    /// Reverse Rank Dictionary writes).
+    offers: Vec<(NodeId, NodeId, u32)>,
+    /// Max Check Dictionary raise per node. Kept as a per-node max (not a
+    /// log) so the worker's own raises can suppress re-offers of already
+    /// enumerated nodes within an epoch, like the live index's check does.
+    check_raises: HashMap<NodeId, u32>,
+}
+
+impl IndexDelta {
+    /// An empty delta compatible with `index` (same node universe and `K`).
+    pub fn for_index(index: &RkrIndex) -> IndexDelta {
+        IndexDelta {
+            k_max: index.k_max(),
+            num_nodes: index.num_nodes(),
+            offers: Vec::new(),
+            check_raises: HashMap::new(),
+        }
+    }
+
+    /// Log an exact `(source, rank)` observation for `target`.
+    #[inline]
+    pub fn offer(&mut self, target: NodeId, source: NodeId, rank: u32) {
+        self.offers.push((target, source, rank));
+    }
+
+    /// Log a Check Dictionary raise for `u` (per-node max).
+    #[inline]
+    pub fn raise_check(&mut self, u: NodeId, val: u32) {
+        let slot = self.check_raises.entry(u).or_insert(0);
+        if val > *slot {
+            *slot = val;
+        }
+    }
+
+    /// The max raise logged for `u` (0 when none).
+    #[inline]
+    pub fn check_raise(&self, u: NodeId) -> u32 {
+        self.check_raises.get(&u).copied().unwrap_or(0)
+    }
+
+    /// Number of logged entries (offers + check raises).
+    pub fn len(&self) -> usize {
+        self.offers.len() + self.check_raises.len()
+    }
+
+    /// `true` when nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.offers.is_empty() && self.check_raises.is_empty()
+    }
+
+    /// Forget everything logged so far (the delta stays compatible with
+    /// its index and can be reused for the next epoch).
+    pub fn clear(&mut self) {
+        self.offers.clear();
+        self.check_raises.clear();
+    }
+}
+
+/// How a query touches index state: the live paper-faithful mode mutates
+/// the one [`RkrIndex`] in place; snapshot mode reads a frozen index and
+/// logs writes to a private [`IndexDelta`].
+#[derive(Debug)]
+pub enum IndexAccess<'a> {
+    /// §5 as written: reads and writes go to the same evolving index.
+    Live(&'a mut RkrIndex),
+    /// Concurrent serving: reads come from an immutable snapshot, writes
+    /// go to the worker's delta for a later [`RkrIndex::merge_delta`].
+    Snapshot {
+        /// The frozen index all reads consult.
+        snapshot: &'a RkrIndex,
+        /// The private write-log.
+        delta: &'a mut IndexDelta,
+    },
+}
+
+impl IndexAccess<'_> {
+    fn read(&self) -> &RkrIndex {
+        match self {
+            IndexAccess::Live(idx) => idx,
+            IndexAccess::Snapshot { snapshot, .. } => snapshot,
+        }
+    }
+
+    /// Check-dictionary value for `u`, as usable for the §5.3 *prune*.
+    ///
+    /// Snapshot reads deliberately ignore the delta here: a delta raise's
+    /// below-the-raise offers are not in the snapshot's rrd, so pruning on
+    /// them could drop a true result. A stale bound only costs pruning
+    /// power, never soundness.
+    #[inline]
+    pub fn check(&self, u: NodeId) -> u32 {
+        self.read().check(u)
+    }
+
+    /// The floor below which refinements of `u` skip re-offering
+    /// enumerations (the §5.3 "until the rank value exceeds `Check[u]`"
+    /// rule). Unlike [`IndexAccess::check`], this *does* consult the
+    /// delta's own raises: anything below a raise this worker logged was
+    /// already offered to this same delta, so suppressing the duplicate is
+    /// safe — and keeps the delta O(distinct discoveries) instead of
+    /// O(total refinement settles) within an epoch.
+    #[inline]
+    pub fn offer_floor(&self, u: NodeId) -> u32 {
+        match self {
+            IndexAccess::Live(idx) => idx.check(u),
+            IndexAccess::Snapshot { snapshot, delta } => {
+                snapshot.check(u).max(delta.check_raise(u))
+            }
+        }
+    }
+
+    /// Exact `Rank(source, target)` if the readable index knows it.
+    #[inline]
+    pub fn lookup(&self, target: NodeId, source: NodeId) -> Option<u32> {
+        self.read().lookup(target, source)
+    }
+
+    /// The best `limit` known `(rank, source)` pairs for `target`.
+    pub fn top_entries(&self, target: NodeId, limit: u32) -> &[(u32, NodeId)] {
+        self.read().top_entries(target, limit)
+    }
+
+    /// Record an exact `(source, rank)` observation for `target`.
+    #[inline]
+    pub fn offer(&mut self, target: NodeId, source: NodeId, rank: u32) {
+        match self {
+            IndexAccess::Live(idx) => idx.offer(target, source, rank),
+            IndexAccess::Snapshot { delta, .. } => delta.offer(target, source, rank),
+        }
+    }
+
+    /// Raise `check[u]` to at least `val`.
+    #[inline]
+    pub fn raise_check(&mut self, u: NodeId, val: u32) {
+        match self {
+            IndexAccess::Live(idx) => idx.raise_check(u, val),
+            IndexAccess::Snapshot { delta, .. } => delta.raise_check(u, val),
+        }
     }
 }
 
@@ -612,6 +795,108 @@ mod tests {
             &[(1, NodeId(2)), (2, NodeId(1))]
         );
         assert_eq!(a.check(NodeId(1)), 5);
+    }
+
+    #[test]
+    fn delta_logs_and_merges() {
+        let mut idx = RkrIndex::empty(3, 2);
+        let mut delta = IndexDelta::for_index(&idx);
+        assert!(delta.is_empty());
+        delta.offer(NodeId(0), NodeId(1), 2);
+        delta.offer(NodeId(0), NodeId(2), 1);
+        delta.raise_check(NodeId(1), 2);
+        delta.raise_check(NodeId(1), 5); // coalesced with the previous raise
+        delta.raise_check(NodeId(2), 4);
+        assert_eq!(delta.len(), 4);
+        idx.merge_delta(&delta);
+        assert_eq!(
+            idx.top_entries(NodeId(0), 10),
+            &[(1, NodeId(2)), (2, NodeId(1))]
+        );
+        assert_eq!(idx.check(NodeId(1)), 5);
+        assert_eq!(idx.check(NodeId(2)), 4);
+        delta.clear();
+        assert!(delta.is_empty());
+    }
+
+    #[test]
+    fn offer_floor_includes_own_delta_raises() {
+        let snapshot = RkrIndex::empty(3, 4);
+        let mut delta = IndexDelta::for_index(&snapshot);
+        {
+            let access = IndexAccess::Snapshot {
+                snapshot: &snapshot,
+                delta: &mut delta,
+            };
+            assert_eq!(access.offer_floor(NodeId(1)), 0);
+        }
+        delta.raise_check(NodeId(1), 5);
+        let access = IndexAccess::Snapshot {
+            snapshot: &snapshot,
+            delta: &mut delta,
+        };
+        // A later refinement of node 1 in the same epoch skips re-offering
+        // everything below its own earlier raise...
+        assert_eq!(access.offer_floor(NodeId(1)), 5);
+        // ...but the prune-side read still sees only the frozen snapshot.
+        assert_eq!(access.check(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn delta_merge_order_is_immaterial() {
+        let mk = || RkrIndex::empty(4, 2);
+        let mut a = IndexDelta::for_index(&mk());
+        a.offer(NodeId(0), NodeId(1), 3);
+        a.raise_check(NodeId(1), 2);
+        let mut b = IndexDelta::for_index(&mk());
+        b.offer(NodeId(0), NodeId(2), 1);
+        b.offer(NodeId(0), NodeId(3), 2);
+        b.raise_check(NodeId(1), 4);
+        let mut ab = mk();
+        ab.merge_delta(&a);
+        ab.merge_delta(&b);
+        let mut ba = mk();
+        ba.merge_delta(&b);
+        ba.merge_delta(&a);
+        for u in 0..4 {
+            assert_eq!(ab.check(NodeId(u)), ba.check(NodeId(u)));
+            assert_eq!(ab.top_entries(NodeId(u), 10), ba.top_entries(NodeId(u), 10));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k_max mismatch")]
+    fn merge_delta_rejects_incompatible_k_max() {
+        let mut a = RkrIndex::empty(3, 2);
+        let d = IndexDelta::for_index(&RkrIndex::empty(3, 4));
+        a.merge_delta(&d);
+    }
+
+    #[test]
+    fn index_access_routes_reads_and_writes() {
+        let mut live = RkrIndex::empty(3, 4);
+        live.offer(NodeId(1), NodeId(0), 2);
+        live.raise_check(NodeId(0), 3);
+        let snapshot = live.clone();
+        let mut delta = IndexDelta::for_index(&snapshot);
+        let mut access = IndexAccess::Snapshot {
+            snapshot: &snapshot,
+            delta: &mut delta,
+        };
+        // reads come from the snapshot
+        assert_eq!(access.lookup(NodeId(1), NodeId(0)), Some(2));
+        assert_eq!(access.check(NodeId(0)), 3);
+        assert_eq!(access.top_entries(NodeId(1), 4).len(), 1);
+        // writes go to the delta, not the snapshot
+        access.offer(NodeId(2), NodeId(0), 1);
+        access.raise_check(NodeId(0), 7);
+        assert_eq!(access.lookup(NodeId(2), NodeId(0)), None);
+        assert_eq!(access.check(NodeId(0)), 3);
+        assert_eq!(delta.len(), 2);
+        // live mode writes through immediately
+        let mut access = IndexAccess::Live(&mut live);
+        access.offer(NodeId(2), NodeId(0), 1);
+        assert_eq!(access.lookup(NodeId(2), NodeId(0)), Some(1));
     }
 
     #[test]

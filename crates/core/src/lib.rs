@@ -42,6 +42,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod bichromatic;
+pub mod context;
 pub mod engine;
 pub mod index;
 pub mod index_io;
@@ -56,8 +57,9 @@ pub mod topk_baseline;
 pub mod trace;
 pub mod validate;
 
+pub use context::{EngineContext, QueryScratch};
 pub use engine::{Algorithm, BoundConfig, QueryEngine};
-pub use index::{HubStrategy, IndexBuildStats, IndexParams, RkrIndex};
+pub use index::{HubStrategy, IndexAccess, IndexBuildStats, IndexDelta, IndexParams, RkrIndex};
 pub use index_io::{load_index, read_index, save_index, write_index};
 pub use result::{QueryResult, ResultEntry, TopKCollector};
 pub use spec::{Partition, QuerySpec};

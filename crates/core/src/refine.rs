@@ -23,7 +23,7 @@
 use rkranks_graph::rank::RankCounter;
 use rkranks_graph::{DijkstraWorkspace, Distance, Graph, NodeId, RelaxOutcome};
 
-use crate::index::RkrIndex;
+use crate::index::IndexAccess;
 use crate::scratch::Stamped;
 use crate::spec::QuerySpec;
 use crate::stats::QueryStats;
@@ -43,17 +43,18 @@ pub enum RefineOutcome {
 }
 
 /// Optional side-effect hooks threaded through refinement.
-pub struct RefineHooks<'a> {
+pub struct RefineHooks<'a, 'i> {
     /// Lemma-4 visit counters (`None` on directed graphs and in
     /// bichromatic mode, where the bound is unsound).
     pub lcount: Option<&'a mut Stamped<u32>>,
-    /// The dynamic index to update (Algorithm 4), if any.
-    pub index: Option<&'a mut RkrIndex>,
+    /// Index state to read and update (Algorithm 4), if any — either the
+    /// live index or a snapshot + write-log pair.
+    pub index: Option<&'a mut IndexAccess<'i>>,
 }
 
-impl RefineHooks<'_> {
+impl RefineHooks<'_, '_> {
     /// No side effects (Algorithm 2 as written).
-    pub fn none() -> RefineHooks<'static> {
+    pub fn none() -> RefineHooks<'static, 'static> {
         RefineHooks {
             lcount: None,
             index: None,
@@ -74,7 +75,7 @@ pub fn refine_rank(
     q: NodeId,
     dpq: Distance,
     k_rank: u32,
-    hooks: &mut RefineHooks<'_>,
+    hooks: &mut RefineHooks<'_, '_>,
     stats: &mut QueryStats,
 ) -> RefineOutcome {
     debug_assert_ne!(p, q, "the query node is never refined");
@@ -86,8 +87,9 @@ pub fn refine_rank(
     // Counted frontier insertions: a monotone lower bound on |S ∩ counted|.
     let mut inserted_counted: u32 = 0;
     // Offers below the pre-existing check value were made by earlier runs
-    // from p (the §5.3 "until the rank value exceeds Check[u]" rule).
-    let check_at_start = hooks.index.as_ref().map_or(0, |idx| idx.check(p));
+    // from p (the §5.3 "until the rank value exceeds Check[u]" rule); in
+    // snapshot mode the floor includes this worker's own logged raises.
+    let check_at_start = hooks.index.as_deref().map_or(0, |idx| idx.offer_floor(p));
 
     while let Some((v, d)) = ws.settle_next() {
         stats.refinement_settles += 1;
@@ -142,7 +144,7 @@ fn prune(
     counter: &RankCounter,
     k_rank: u32,
     p: NodeId,
-    hooks: &mut RefineHooks<'_>,
+    hooks: &mut RefineHooks<'_, '_>,
     stats: &mut QueryStats,
 ) -> RefineOutcome {
     stats.refinements_pruned += 1;
@@ -198,6 +200,7 @@ pub fn refine_rank_unbounded(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::index::RkrIndex;
     use rkranks_graph::{distance, graph_from_edges, rank_matrix, EdgeDirection};
 
     fn sample() -> Graph {
@@ -330,9 +333,10 @@ mod tests {
         let mut idx = RkrIndex::empty(g.num_nodes(), 10);
         let mut stats = QueryStats::default();
         let dpq = distance(&g, NodeId(4), NodeId(0));
+        let mut access = IndexAccess::Live(&mut idx);
         let mut hooks = RefineHooks {
             lcount: None,
-            index: Some(&mut idx),
+            index: Some(&mut access),
         };
         let out = refine_rank(
             &g,
@@ -363,9 +367,10 @@ mod tests {
         let mut idx = RkrIndex::empty(g.num_nodes(), 10);
         let mut stats = QueryStats::default();
         let dpq = distance(&g, NodeId(4), NodeId(0));
+        let mut access = IndexAccess::Live(&mut idx);
         let mut hooks = RefineHooks {
             lcount: None,
-            index: Some(&mut idx),
+            index: Some(&mut access),
         };
         refine_rank(
             &g,

@@ -38,7 +38,8 @@ pub fn bound_wins(ctx: &ExpContext) -> Vec<Table> {
             k,
             BatchAlgo::Dynamic(BoundConfig::ALL),
             ctx.threads,
-        );
+        )
+        .expect("bound-wins batch");
         let (parent, height, count, _) = out.totals.bound_wins.shares();
         t.push_row(vec![
             k.to_string(),
@@ -91,7 +92,8 @@ fn strategy_table(
         BoundConfig::ALL,
     ] {
         for k in BOUND_KS {
-            let out = run_batch(g, None, queries, k, BatchAlgo::Dynamic(bounds), ctx.threads);
+            let out = run_batch(g, None, queries, k, BatchAlgo::Dynamic(bounds), ctx.threads)
+                .expect("bound-strategy batch");
             t.push_row(vec![
                 bounds.name().into(),
                 k.to_string(),
@@ -143,7 +145,8 @@ mod tests {
             1,
             BatchAlgo::Dynamic(BoundConfig::PARENT_ONLY),
             1,
-        );
+        )
+        .unwrap();
         let height = run_batch(
             &g,
             None,
@@ -151,7 +154,8 @@ mod tests {
             1,
             BatchAlgo::Dynamic(BoundConfig::PARENT_HEIGHT),
             1,
-        );
+        )
+        .unwrap();
         assert!(
             height.totals.refinement_calls <= parent.totals.refinement_calls,
             "height {} > parent {}",

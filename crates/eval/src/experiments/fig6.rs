@@ -7,9 +7,20 @@ use rkranks_graph::Graph;
 
 use crate::experiments::{DEFAULT_FRACTION, K_VALUES};
 use crate::report::{fmt_f64, fmt_secs, Table};
-use crate::runner::{run_batch, run_indexed_batch, BatchAlgo};
+use crate::runner::{run_batch, run_indexed_batch, BatchAlgo, BatchOutcome, IndexedMode};
 use crate::workload::random_queries;
 use crate::ExpContext;
+
+/// `p50 / p95 / p99` cell for the latency column.
+fn fmt_latency(out: &BatchOutcome) -> String {
+    let p = out.latency_percentiles();
+    format!(
+        "{} / {} / {}",
+        fmt_secs(p.p50),
+        fmt_secs(p.p95),
+        fmt_secs(p.p99)
+    )
+}
 
 /// Run Figure 6 for both datasets.
 pub fn run(ctx: &ExpContext) -> Vec<Table> {
@@ -26,7 +37,13 @@ fn one_dataset(ctx: &ExpContext, label: &str, g: &Graph) -> Table {
     let mut t = Table::new(
         format!("{label} ({} nodes, {} edges)", g.num_nodes(), g.num_edges()),
         "Figure 6",
-        &["k", "method", "query time", "rank refinements"],
+        &[
+            "k",
+            "method",
+            "query time",
+            "latency p50 / p95 / p99",
+            "rank refinements",
+        ],
     );
     let engine = QueryEngine::new(g);
     let params = IndexParams {
@@ -40,11 +57,13 @@ fn one_dataset(ctx: &ExpContext, label: &str, g: &Graph) -> Table {
         if k >= g.num_nodes() {
             continue;
         }
-        let s = run_batch(g, None, &queries, k, BatchAlgo::Static, ctx.threads);
+        let s =
+            run_batch(g, None, &queries, k, BatchAlgo::Static, ctx.threads).expect("static batch");
         t.push_row(vec![
             k.to_string(),
             "Static".into(),
             fmt_secs(s.mean_seconds()),
+            fmt_latency(&s),
             fmt_f64(s.mean_refinements()),
         ]);
         let d = run_batch(
@@ -54,24 +73,59 @@ fn one_dataset(ctx: &ExpContext, label: &str, g: &Graph) -> Table {
             k,
             BatchAlgo::Dynamic(BoundConfig::ALL),
             ctx.threads,
-        );
+        )
+        .expect("dynamic batch");
         t.push_row(vec![
             k.to_string(),
             "Dynamic".into(),
             fmt_secs(d.mean_seconds()),
+            fmt_latency(&d),
             fmt_f64(d.mean_refinements()),
         ]);
         // Fresh index per k so measurements are independent, as in the paper.
         let (mut idx, _) = engine.build_index(&params);
-        let i = run_indexed_batch(g, None, &mut idx, &queries, k, BoundConfig::ALL);
+        let i = run_indexed_batch(
+            g,
+            None,
+            &mut idx,
+            &queries,
+            k,
+            BoundConfig::ALL,
+            IndexedMode::Sequential,
+        )
+        .expect("indexed batch");
         t.push_row(vec![
             k.to_string(),
             "Dynamic Indexed".into(),
             fmt_secs(i.mean_seconds()),
+            fmt_latency(&i),
             fmt_f64(i.mean_refinements()),
+        ]);
+        // The concurrent-serving mode: frozen snapshot + per-worker deltas.
+        let (mut idx, _) = engine.build_index(&params);
+        let p = run_indexed_batch(
+            g,
+            None,
+            &mut idx,
+            &queries,
+            k,
+            BoundConfig::ALL,
+            IndexedMode::Snapshot {
+                threads: ctx.threads,
+                merge_every: 0,
+            },
+        )
+        .expect("snapshot-indexed batch");
+        t.push_row(vec![
+            k.to_string(),
+            format!("Indexed snapshot x{}", ctx.threads),
+            fmt_secs(p.mean_seconds()),
+            fmt_latency(&p),
+            fmt_f64(p.mean_refinements()),
         ]);
     }
     t.note("shape target (paper Fig. 6): cost grows with k; Dynamic cuts refinements vs Static by orders of magnitude; the index cuts them further, with the biggest relative win at small k");
+    t.note("Indexed snapshot runs the same queries concurrently against a frozen index (deltas merged at batch end): per-query ranks match Dynamic exactly; refinements can exceed the sequential-dynamic mode because intra-batch learning is deferred");
     t
 }
 
@@ -90,8 +144,8 @@ mod tests {
         let tables = run(&ctx);
         assert_eq!(tables.len(), 2);
         for t in &tables {
-            // 3 methods per k (k values below the 300-node tiny graphs: all 5)
-            assert_eq!(t.rows.len() % 3, 0);
+            // 4 methods per k (k values below the 300-node tiny graphs: all 5)
+            assert_eq!(t.rows.len() % 4, 0);
             assert!(!t.rows.is_empty());
         }
     }
@@ -105,7 +159,7 @@ mod tests {
         };
         let g = dblp_like(ctx.scale, ctx.seed);
         let queries = random_queries(&g, ctx.queries, 1, |_| true);
-        let s = run_batch(&g, None, &queries, 10, BatchAlgo::Static, 2);
+        let s = run_batch(&g, None, &queries, 10, BatchAlgo::Static, 2).unwrap();
         let d = run_batch(
             &g,
             None,
@@ -113,7 +167,8 @@ mod tests {
             10,
             BatchAlgo::Dynamic(BoundConfig::ALL),
             2,
-        );
+        )
+        .unwrap();
         assert!(d.totals.refinement_calls <= s.totals.refinement_calls);
     }
 }

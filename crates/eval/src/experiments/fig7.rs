@@ -9,7 +9,7 @@ use rkranks_datasets::sf_like;
 
 use crate::experiments::K_VALUES;
 use crate::report::{fmt_f64, fmt_secs, Table};
-use crate::runner::{run_batch, run_indexed_batch, BatchAlgo};
+use crate::runner::{run_batch, run_indexed_batch, BatchAlgo, IndexedMode};
 use crate::workload::random_queries;
 use crate::ExpContext;
 
@@ -35,7 +35,8 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
         ..Default::default()
     };
     for k in K_VALUES {
-        let s = run_batch(g, Some(&part), &queries, k, BatchAlgo::Static, ctx.threads);
+        let s = run_batch(g, Some(&part), &queries, k, BatchAlgo::Static, ctx.threads)
+            .expect("static batch");
         t.push_row(vec![
             k.to_string(),
             "Static".into(),
@@ -49,7 +50,8 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
             k,
             BatchAlgo::Dynamic(BoundConfig::ALL),
             ctx.threads,
-        );
+        )
+        .expect("dynamic batch");
         t.push_row(vec![
             k.to_string(),
             "Dynamic".into(),
@@ -57,7 +59,16 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
             fmt_f64(d.mean_refinements()),
         ]);
         let (mut idx, _) = engine.build_index(&params);
-        let i = run_indexed_batch(g, Some(&part), &mut idx, &queries, k, BoundConfig::ALL);
+        let i = run_indexed_batch(
+            g,
+            Some(&part),
+            &mut idx,
+            &queries,
+            k,
+            BoundConfig::ALL,
+            IndexedMode::Sequential,
+        )
+        .expect("indexed batch");
         t.push_row(vec![
             k.to_string(),
             "Dynamic Indexed".into(),

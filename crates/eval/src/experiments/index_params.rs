@@ -7,7 +7,7 @@ use rkranks_graph::Graph;
 
 use crate::experiments::{DEFAULT_FRACTION, DEFAULT_K, FRACTIONS};
 use crate::report::{fmt_bytes, fmt_f64, fmt_secs, Table};
-use crate::runner::run_indexed_batch;
+use crate::runner::{run_indexed_batch, IndexedMode};
 use crate::workload::random_queries;
 use crate::ExpContext;
 
@@ -36,7 +36,16 @@ fn sweep(ctx: &ExpContext, label: &str, g: &Graph, paper_ref: &str, vary_hub: bo
         };
         let (mut idx, build) = engine.build_index(&params);
         let size = idx.heap_bytes();
-        let out = run_indexed_batch(g, None, &mut idx, &queries, DEFAULT_K, BoundConfig::ALL);
+        let out = run_indexed_batch(
+            g,
+            None,
+            &mut idx,
+            &queries,
+            DEFAULT_K,
+            BoundConfig::ALL,
+            IndexedMode::Sequential,
+        )
+        .expect("index-params batch");
         t.push_row(vec![
             format!("{f}"),
             fmt_bytes(size),
@@ -98,7 +107,16 @@ pub fn hub_strategy(ctx: &ExpContext) -> Vec<Table> {
                 ..Default::default()
             };
             let (mut idx, _) = engine.build_index(&params);
-            let out = run_indexed_batch(&g, None, &mut idx, &queries, DEFAULT_K, BoundConfig::ALL);
+            let out = run_indexed_batch(
+                &g,
+                None,
+                &mut idx,
+                &queries,
+                DEFAULT_K,
+                BoundConfig::ALL,
+                IndexedMode::Sequential,
+            )
+            .expect("hub-strategy batch");
             t.push_row(vec![
                 strategy.name().into(),
                 fmt_secs(out.mean_seconds()),

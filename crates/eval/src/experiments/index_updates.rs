@@ -10,7 +10,7 @@ use rkranks_graph::Graph;
 
 use crate::experiments::DEFAULT_K;
 use crate::report::{fmt_f64, fmt_secs, Table};
-use crate::runner::run_indexed_batch;
+use crate::runner::{run_indexed_batch, IndexedMode};
 use crate::workload::random_queries;
 use crate::ExpContext;
 
@@ -50,7 +50,16 @@ fn one_dataset(ctx: &ExpContext, label: &str, g: &Graph) -> Table {
         let mut queries = 0u64;
         for chunk in stream.chunks(seg_len) {
             let (mut idx, _) = engine.build_index(&params); // reset
-            let out = run_indexed_batch(g, None, &mut idx, chunk, DEFAULT_K, BoundConfig::ALL);
+            let out = run_indexed_batch(
+                g,
+                None,
+                &mut idx,
+                chunk,
+                DEFAULT_K,
+                BoundConfig::ALL,
+                IndexedMode::Sequential,
+            )
+            .expect("index-updates batch");
             totals.absorb(&out.totals);
             queries += out.queries;
         }

@@ -30,7 +30,7 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
         ("Static", BatchAlgo::Static),
         ("Dynamic", BatchAlgo::Dynamic(BoundConfig::ALL)),
     ] {
-        let out = run_batch(&g, None, &queries, 1, algo, ctx.threads);
+        let out = run_batch(&g, None, &queries, 1, algo, ctx.threads).expect("naive batch");
         t.push_row(vec![
             name.into(),
             fmt_secs(out.mean_seconds()),

@@ -1,14 +1,27 @@
 //! Batch query drivers.
 //!
-//! Naive/static/dynamic queries are independent, so the driver fans them
-//! out over `std::thread::scope` with one [`QueryEngine`] per thread
-//! (engines share the immutable graph; all scratch is per-engine). Indexed
-//! queries mutate the shared index — the paper's index is explicitly
-//! sequential-dynamic (each query's updates help the next), so those run
-//! on one thread in stream order.
+//! All drivers share one immutable [`EngineContext`] across workers — the
+//! graph and its transpose are materialized once per batch, and each
+//! worker thread only allocates a cheap [`rkranks_core::QueryScratch`].
+//! Naive / static /
+//! dynamic queries are embarrassingly parallel. Indexed queries come in
+//! two modes ([`IndexedMode`]): the paper's sequential-dynamic stream,
+//! where each query's updates help the next, and a snapshot mode where
+//! workers query a frozen index concurrently, log discoveries to private
+//! [`IndexDelta`]s, and merge them back at a configurable cadence.
+//! Snapshot results are rank-identical to `query_dynamic` — the index only
+//! ever prunes work — so parallelism never costs correctness, only some
+//! intra-epoch sharpening.
+//!
+//! Errors (an invalid query node, `k > K`) propagate out of the batch as
+//! `Err` instead of panicking inside worker threads.
 
-use rkranks_core::{BoundConfig, Partition, QueryEngine, QueryStats, RkrIndex};
-use rkranks_graph::{Graph, NodeId};
+use std::time::Duration;
+
+use rkranks_core::{
+    BoundConfig, EngineContext, IndexDelta, Partition, QueryResult, QueryStats, RkrIndex,
+};
+use rkranks_graph::{Graph, NodeId, Result};
 
 /// Which algorithm a batch runs.
 #[derive(Clone, Copy, Debug)]
@@ -32,6 +45,36 @@ impl BatchAlgo {
     }
 }
 
+/// How an indexed batch is executed.
+#[derive(Clone, Copy, Debug)]
+pub enum IndexedMode {
+    /// The paper's §5 mode: one thread, the index mutates in stream order,
+    /// every query sees everything earlier queries learned.
+    Sequential,
+    /// Concurrent serving: `threads` workers query a frozen snapshot of
+    /// the index and log discoveries to private deltas, which are merged
+    /// back into the index every `merge_every` queries (`0` = merge once
+    /// at the end of the batch). Larger cadences mean less merge overhead
+    /// but staler pruning state within the batch.
+    Snapshot {
+        /// Worker thread count.
+        threads: usize,
+        /// Queries per merge epoch (`0` = single epoch).
+        merge_every: usize,
+    },
+}
+
+/// Tail-latency percentiles over a batch (seconds).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyPercentiles {
+    /// Median per-query seconds.
+    pub p50: f64,
+    /// 95th-percentile per-query seconds.
+    pub p95: f64,
+    /// 99th-percentile per-query seconds.
+    pub p99: f64,
+}
+
 /// Aggregated counters for a batch of queries.
 #[derive(Clone, Debug, Default)]
 pub struct BatchOutcome {
@@ -39,6 +82,9 @@ pub struct BatchOutcome {
     pub totals: QueryStats,
     /// Number of queries executed.
     pub queries: u64,
+    /// Per-query wall-clock seconds (unordered across workers; percentile
+    /// queries sort a copy).
+    pub latencies: Vec<f64>,
 }
 
 impl BatchOutcome {
@@ -52,13 +98,47 @@ impl BatchOutcome {
         self.totals.refinement_calls as f64 / self.queries.max(1) as f64
     }
 
+    /// p50/p95/p99 per-query latency (nearest-rank on the sorted sample).
+    pub fn latency_percentiles(&self) -> LatencyPercentiles {
+        let mut sorted = self.latencies.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        LatencyPercentiles {
+            p50: percentile(&sorted, 50.0),
+            p95: percentile(&sorted, 95.0),
+            p99: percentile(&sorted, 99.0),
+        }
+    }
+
+    /// Queries per wall-clock second, given the batch's wall time (the
+    /// summed `totals.elapsed` double-counts concurrent workers).
+    pub fn throughput(&self, wall: Duration) -> f64 {
+        self.queries as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+
     fn absorb(&mut self, stats: &QueryStats) {
+        self.latencies.push(stats.elapsed.as_secs_f64());
         self.totals.absorb(stats);
         self.queries += 1;
     }
+
+    fn merge(&mut self, other: BatchOutcome) {
+        self.totals.absorb(&other.totals);
+        self.queries += other.queries;
+        self.latencies.extend(other.latencies);
+    }
 }
 
-/// Run a batch of independent queries, parallel over `threads`.
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Run a batch of independent queries, parallel over `threads` workers
+/// sharing one engine context.
 pub fn run_batch(
     graph: &Graph,
     partition: Option<&Partition>,
@@ -66,29 +146,31 @@ pub fn run_batch(
     k: u32,
     algo: BatchAlgo,
     threads: usize,
-) -> BatchOutcome {
+) -> Result<BatchOutcome> {
+    let ctx = make_context(graph, partition);
     let threads = threads.clamp(1, queries.len().max(1));
     if threads == 1 {
-        let mut engine = make_engine(graph, partition);
+        let mut scratch = ctx.new_scratch();
         let mut out = BatchOutcome::default();
         for &q in queries {
-            out.absorb(&run_one(&mut engine, q, k, algo).stats);
+            out.absorb(&run_one(&ctx, &mut scratch, q, k, algo)?.stats);
         }
-        return out;
+        return Ok(out);
     }
     let chunk = queries.len().div_ceil(threads);
-    let mut partials: Vec<BatchOutcome> = Vec::new();
+    let mut partials: Vec<Result<BatchOutcome>> = Vec::new();
     std::thread::scope(|s| {
+        let ctx = &ctx;
         let handles: Vec<_> = queries
             .chunks(chunk)
             .map(|chunk| {
                 s.spawn(move || {
-                    let mut engine = make_engine(graph, partition);
+                    let mut scratch = ctx.new_scratch();
                     let mut out = BatchOutcome::default();
                     for &q in chunk {
-                        out.absorb(&run_one(&mut engine, q, k, algo).stats);
+                        out.absorb(&run_one(ctx, &mut scratch, q, k, algo)?.stats);
                     }
-                    out
+                    Ok(out)
                 })
             })
             .collect();
@@ -98,13 +180,13 @@ pub fn run_batch(
     });
     let mut out = BatchOutcome::default();
     for p in partials {
-        out.totals.absorb(&p.totals);
-        out.queries += p.queries;
+        out.merge(p?);
     }
-    out
+    Ok(out)
 }
 
-/// Run an indexed batch sequentially against one evolving index.
+/// Run an indexed batch in the given [`IndexedMode`], keeping only the
+/// aggregate outcome (per-query results are never materialized).
 pub fn run_indexed_batch(
     graph: &Graph,
     partition: Option<&Partition>,
@@ -112,46 +194,162 @@ pub fn run_indexed_batch(
     queries: &[NodeId],
     k: u32,
     bounds: BoundConfig,
-) -> BatchOutcome {
-    let mut engine = make_engine(graph, partition);
-    let mut out = BatchOutcome::default();
-    for &q in queries {
-        let r = engine
-            .query_indexed(index, q, k, bounds)
-            .expect("valid indexed query");
-        out.absorb(&r.stats);
-    }
-    out
+    mode: IndexedMode,
+) -> Result<BatchOutcome> {
+    run_indexed_inner(graph, partition, index, queries, k, bounds, mode, false).map(|(out, _)| out)
 }
 
-fn make_engine<'g>(graph: &'g Graph, partition: Option<&Partition>) -> QueryEngine<'g> {
-    match partition {
-        Some(p) => QueryEngine::bichromatic(graph, p.clone()),
-        None => QueryEngine::new(graph),
+/// [`run_indexed_batch`], additionally returning each query's result in
+/// input order (equivalence tests compare these against `query_dynamic`).
+pub fn run_indexed_batch_collect(
+    graph: &Graph,
+    partition: Option<&Partition>,
+    index: &mut RkrIndex,
+    queries: &[NodeId],
+    k: u32,
+    bounds: BoundConfig,
+    mode: IndexedMode,
+) -> Result<(BatchOutcome, Vec<QueryResult>)> {
+    run_indexed_inner(graph, partition, index, queries, k, bounds, mode, true)
+}
+
+/// The one indexed-batch driver. `collect` gates whether per-query results
+/// are retained (an O(queries) cost nothing but equivalence tests want).
+#[allow(clippy::too_many_arguments)]
+fn run_indexed_inner(
+    graph: &Graph,
+    partition: Option<&Partition>,
+    index: &mut RkrIndex,
+    queries: &[NodeId],
+    k: u32,
+    bounds: BoundConfig,
+    mode: IndexedMode,
+    collect: bool,
+) -> Result<(BatchOutcome, Vec<QueryResult>)> {
+    let ctx = make_context(graph, partition);
+    let mut out = BatchOutcome::default();
+    let mut results = Vec::with_capacity(if collect { queries.len() } else { 0 });
+    match mode {
+        IndexedMode::Sequential => {
+            let mut scratch = ctx.new_scratch();
+            for &q in queries {
+                let r = ctx.query_indexed(&mut scratch, index, q, k, bounds)?;
+                out.absorb(&r.stats);
+                if collect {
+                    results.push(r);
+                }
+            }
+        }
+        IndexedMode::Snapshot {
+            threads,
+            merge_every,
+        } => {
+            let epoch_len = if merge_every == 0 {
+                queries.len().max(1)
+            } else {
+                merge_every
+            };
+            // Scratches and deltas are allocated once and reused across
+            // epochs — per-epoch cost is the thread spawn, not the O(n)
+            // workspace arrays. No epoch can occupy more workers than it
+            // has queries, so cap the pool at the epoch length too.
+            let threads = threads.clamp(1, queries.len().max(1)).min(epoch_len);
+            let mut scratches: Vec<_> = (0..threads).map(|_| ctx.new_scratch()).collect();
+            let mut deltas: Vec<_> = (0..threads).map(|_| IndexDelta::for_index(index)).collect();
+            for epoch in queries.chunks(epoch_len) {
+                let shard = epoch.len().div_ceil(threads);
+                let snapshot = &*index;
+                let mut partials: Vec<Result<(BatchOutcome, Vec<QueryResult>)>> = Vec::new();
+                std::thread::scope(|s| {
+                    let ctx = &ctx;
+                    let handles: Vec<_> = epoch
+                        .chunks(shard)
+                        .zip(scratches.iter_mut())
+                        .zip(deltas.iter_mut())
+                        .map(|((shard, scratch), delta)| {
+                            s.spawn(move || {
+                                let mut out = BatchOutcome::default();
+                                let mut results =
+                                    Vec::with_capacity(if collect { shard.len() } else { 0 });
+                                for &q in shard {
+                                    let r = ctx.query_indexed_snapshot(
+                                        scratch, snapshot, delta, q, k, bounds,
+                                    )?;
+                                    out.absorb(&r.stats);
+                                    if collect {
+                                        results.push(r);
+                                    }
+                                }
+                                Ok((out, results))
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        partials.push(h.join().expect("indexed batch worker panicked"));
+                    }
+                });
+                for p in partials {
+                    let (partial, shard_results) = p?;
+                    out.merge(partial);
+                    results.extend(shard_results);
+                }
+                for delta in &mut deltas {
+                    index.merge_delta(delta);
+                    delta.clear();
+                }
+            }
+        }
     }
+    Ok((out, results))
+}
+
+fn make_context<'g>(graph: &'g Graph, partition: Option<&Partition>) -> EngineContext<'g> {
+    let ctx = match partition {
+        Some(p) => EngineContext::bichromatic(graph, p.clone()),
+        None => EngineContext::new(graph),
+    };
+    // Materialize the transpose now so the one-off O(n+m) build is never
+    // charged to the first query's latency sample.
+    ctx.sds_graph();
+    ctx
 }
 
 fn run_one(
-    engine: &mut QueryEngine<'_>,
+    ctx: &EngineContext<'_>,
+    scratch: &mut rkranks_core::QueryScratch,
     q: NodeId,
     k: u32,
     algo: BatchAlgo,
-) -> rkranks_core::QueryResult {
+) -> Result<QueryResult> {
     match algo {
-        BatchAlgo::Naive => engine.query_naive(q, k),
-        BatchAlgo::Static => engine.query_static(q, k),
-        BatchAlgo::Dynamic(b) => engine.query_dynamic(q, k, b),
+        BatchAlgo::Naive => ctx.query_naive(scratch, q, k),
+        BatchAlgo::Static => ctx.query_static(scratch, q, k),
+        BatchAlgo::Dynamic(b) => ctx.query_dynamic(scratch, q, k, b),
     }
-    .expect("valid batch query")
 }
 
 /// Default worker count: the machine's parallelism, capped to 8 (query
 /// batches are memory-bandwidth-bound beyond that on laptop hardware).
+/// The `RKR_THREADS` environment variable overrides it.
 pub fn default_threads() -> usize {
+    if let Some(n) = env_threads("RKR_THREADS") {
+        return n;
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(8)
+}
+
+/// A positive thread count from the environment (`None` when the variable
+/// is unset or unparseable). CI uses `RKR_TEST_THREADS` to rerun the test
+/// suite with a different batch parallelism.
+pub fn env_threads(var: &str) -> Option<usize> {
+    std::env::var(var)
+        .ok()?
+        .parse()
+        .ok()
+        .filter(|&n: &usize| n > 0)
 }
 
 #[cfg(test)]
@@ -173,6 +371,10 @@ mod tests {
         .unwrap()
     }
 
+    fn test_threads() -> usize {
+        env_threads("RKR_TEST_THREADS").unwrap_or(3)
+    }
+
     #[test]
     fn sequential_and_parallel_agree_on_counters() {
         let g = grid();
@@ -184,15 +386,17 @@ mod tests {
             2,
             BatchAlgo::Dynamic(BoundConfig::ALL),
             1,
-        );
+        )
+        .unwrap();
         let par = run_batch(
             &g,
             None,
             &queries,
             2,
             BatchAlgo::Dynamic(BoundConfig::ALL),
-            3,
-        );
+            test_threads(),
+        )
+        .unwrap();
         assert_eq!(seq.queries, par.queries);
         assert_eq!(seq.totals.refinement_calls, par.totals.refinement_calls);
         assert_eq!(seq.totals.sds_popped, par.totals.sds_popped);
@@ -202,7 +406,7 @@ mod tests {
     fn naive_batch_runs() {
         let g = grid();
         let queries: Vec<NodeId> = g.nodes().collect();
-        let out = run_batch(&g, None, &queries, 1, BatchAlgo::Naive, 2);
+        let out = run_batch(&g, None, &queries, 1, BatchAlgo::Naive, 2).unwrap();
         assert_eq!(out.queries, 4);
         // naive refines every other node for every query
         assert_eq!(out.totals.refinement_calls, 4 * 3);
@@ -210,11 +414,41 @@ mod tests {
     }
 
     #[test]
+    fn invalid_query_node_is_an_error_not_a_panic() {
+        let g = grid();
+        let queries = vec![NodeId(0), NodeId(99)];
+        for threads in [1, 2] {
+            let r = run_batch(&g, None, &queries, 2, BatchAlgo::Static, threads);
+            assert!(r.is_err(), "threads={threads}");
+        }
+        let mut idx = RkrIndex::empty(g.num_nodes(), 4);
+        for mode in [
+            IndexedMode::Sequential,
+            IndexedMode::Snapshot {
+                threads: 2,
+                merge_every: 1,
+            },
+        ] {
+            let r = run_indexed_batch(&g, None, &mut idx, &queries, 2, BoundConfig::ALL, mode);
+            assert!(r.is_err(), "mode={mode:?}");
+        }
+    }
+
+    #[test]
     fn indexed_batch_learns_across_queries() {
         let g = grid();
         let queries: Vec<NodeId> = g.nodes().chain(g.nodes()).collect();
         let mut idx = RkrIndex::empty(g.num_nodes(), 16);
-        let out = run_indexed_batch(&g, None, &mut idx, &queries, 2, BoundConfig::ALL);
+        let out = run_indexed_batch(
+            &g,
+            None,
+            &mut idx,
+            &queries,
+            2,
+            BoundConfig::ALL,
+            IndexedMode::Sequential,
+        )
+        .unwrap();
         assert_eq!(out.queries, 8);
         assert!(idx.rrd_entries() > 0);
         assert!(
@@ -224,10 +458,104 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_mode_matches_dynamic_ranks_and_merges() {
+        let g = grid();
+        let queries: Vec<NodeId> = g.nodes().chain(g.nodes()).collect();
+        let expected: Vec<Vec<u32>> = {
+            let ctx = EngineContext::new(&g);
+            let mut s = ctx.new_scratch();
+            queries
+                .iter()
+                .map(|&q| {
+                    ctx.query_dynamic(&mut s, q, 2, BoundConfig::ALL)
+                        .unwrap()
+                        .ranks()
+                })
+                .collect()
+        };
+        for merge_every in [0, 1, 3] {
+            let mut idx = RkrIndex::empty(g.num_nodes(), 16);
+            let (out, results) = run_indexed_batch_collect(
+                &g,
+                None,
+                &mut idx,
+                &queries,
+                2,
+                BoundConfig::ALL,
+                IndexedMode::Snapshot {
+                    threads: test_threads(),
+                    merge_every,
+                },
+            )
+            .unwrap();
+            assert_eq!(out.queries, queries.len() as u64);
+            assert_eq!(results.len(), queries.len());
+            for (i, r) in results.iter().enumerate() {
+                assert_eq!(r.ranks(), expected[i], "merge_every={merge_every} i={i}");
+            }
+            // the merged deltas made it into the live index
+            assert!(idx.rrd_entries() > 0, "merge_every={merge_every}");
+        }
+    }
+
+    #[test]
+    fn snapshot_merge_cadence_enables_intra_batch_hits() {
+        let g = grid();
+        // Same queries twice: with per-query merging on one worker the
+        // second pass must hit the dictionary, like sequential mode.
+        let queries: Vec<NodeId> = g.nodes().chain(g.nodes()).collect();
+        let mut idx = RkrIndex::empty(g.num_nodes(), 16);
+        let out = run_indexed_batch(
+            &g,
+            None,
+            &mut idx,
+            &queries,
+            2,
+            BoundConfig::ALL,
+            IndexedMode::Snapshot {
+                threads: 1,
+                merge_every: 1,
+            },
+        )
+        .unwrap();
+        assert!(out.totals.index_exact_hits > 0);
+    }
+
+    #[test]
     fn empty_query_list() {
         let g = grid();
-        let out = run_batch(&g, None, &[], 2, BatchAlgo::Static, 4);
+        let out = run_batch(&g, None, &[], 2, BatchAlgo::Static, 4).unwrap();
         assert_eq!(out.queries, 0);
         assert_eq!(out.mean_seconds(), 0.0);
+        assert_eq!(out.latency_percentiles(), LatencyPercentiles::default());
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let g = grid();
+        let queries: Vec<NodeId> = g.nodes().collect();
+        let out = run_batch(
+            &g,
+            None,
+            &queries,
+            2,
+            BatchAlgo::Dynamic(BoundConfig::ALL),
+            2,
+        )
+        .unwrap();
+        assert_eq!(out.latencies.len(), queries.len());
+        let p = out.latency_percentiles();
+        assert!(p.p50 > 0.0);
+        assert!(p.p50 <= p.p95 && p.p95 <= p.p99);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50.0);
+        assert_eq!(percentile(&sorted, 95.0), 95.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
     }
 }

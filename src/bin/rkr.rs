@@ -7,10 +7,15 @@
 //!                 [--strategy random|degree|closeness] [--threads N]
 //! rkr query <graph.edges> --node Q --k K [--algo naive|static|dynamic|indexed]
 //!                 [--index index.rkri] [--save-index]
+//! rkr batch <graph.edges> --queries N --k K [--algo naive|static|dynamic|indexed] [--threads T]
+//!                 [--indexed-mode sequential|snapshot] [--merge-every M]
+//!                 [--index index.rkri] [--seed S]
 //! ```
 //!
-//! A thin shell over the library — everything it does is three calls into
-//! the public API.
+//! A thin shell over the library — everything it does is a few calls into
+//! the public API. `batch` drives the eval runner: one shared
+//! `EngineContext`, per-worker scratch, and (for `--indexed-mode snapshot`)
+//! concurrent indexed serving against a frozen index with delta merges.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -19,6 +24,8 @@ use std::time::Instant;
 use reverse_k_ranks::prelude::*;
 use rkranks_core::{load_index, save_index};
 use rkranks_datasets::{dblp_like, epinions_like, sf_like};
+use rkranks_eval::runner::{self, run_batch, run_indexed_batch, BatchAlgo, IndexedMode};
+use rkranks_eval::workload::random_queries;
 use rkranks_graph::io::{load_graph, save_graph};
 use rkranks_graph::metrics::{degree_stats, weight_stats};
 use rkranks_graph::traversal::is_weakly_connected;
@@ -27,7 +34,9 @@ const USAGE: &str = "usage:
   rkr gen <dblp|epinions|road> [--scale S] [--seed N] --out FILE
   rkr stats <graph.edges>
   rkr build-index <graph.edges> --out FILE [--h F] [--m F] [--kmax K] [--strategy S] [--threads N]
-  rkr query <graph.edges> --node Q --k K [--algo A] [--index FILE] [--save-index]";
+  rkr query <graph.edges> --node Q --k K [--algo A] [--index FILE] [--save-index]
+  rkr batch <graph.edges> --queries N --k K [--algo naive|static|dynamic|indexed] [--threads T]
+            [--indexed-mode sequential|snapshot] [--merge-every M] [--index FILE] [--seed S]";
 
 fn main() -> ExitCode {
     match run(std::env::args().skip(1).collect()) {
@@ -97,6 +106,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         Some("stats") => cmd_stats(&flags),
         Some("build-index") => cmd_build_index(&flags),
         Some("query") => cmd_query(&flags),
+        Some("batch") => cmd_batch(&flags),
         _ => Err("missing or unknown command".into()),
     }
 }
@@ -190,6 +200,78 @@ fn cmd_build_index(flags: &Flags) -> Result<(), String> {
         stats.build_time,
         index.rrd_entries(),
         index.heap_bytes()
+    );
+    Ok(())
+}
+
+fn cmd_batch(flags: &Flags) -> Result<(), String> {
+    let g = graph_arg(flags)?;
+    let count: usize = flags.get_parsed("queries", 100)?;
+    let k: u32 = flags.get_parsed("k", 10)?;
+    let seed: u64 = flags.get_parsed("seed", 42)?;
+    let threads: usize =
+        flags
+            .get_parsed("threads", 0)
+            .map(|t: usize| if t == 0 { runner::default_threads() } else { t })?;
+    let queries = random_queries(&g, count, seed, |_| true);
+    let algo = flags.get("algo").unwrap_or("dynamic");
+    // Index preparation happens outside the timed region so wall time and
+    // throughput measure serving only, comparable across --algo values.
+    let batch_algo = match algo {
+        "naive" => Some(BatchAlgo::Naive),
+        "static" => Some(BatchAlgo::Static),
+        "dynamic" => Some(BatchAlgo::Dynamic(BoundConfig::ALL)),
+        "indexed" => None,
+        other => return Err(format!("unknown algorithm '{other}'")),
+    };
+    let (out, detail, wall) = match batch_algo {
+        Some(a) => {
+            let start = Instant::now();
+            let out = run_batch(&g, None, &queries, k, a, threads).map_err(|e| e.to_string())?;
+            (out, format!("{algo}, {threads} threads"), start.elapsed())
+        }
+        None => {
+            let mut index = match flags.get("index") {
+                Some(path) => load_index(path).map_err(|e| e.to_string())?,
+                None => {
+                    eprintln!("(no --index given; building a default one)");
+                    let params = IndexParams {
+                        k_max: k.max(IndexParams::default().k_max),
+                        ..Default::default()
+                    };
+                    EngineContext::new(&g).build_index(&params).0
+                }
+            };
+            let mode = match flags.get("indexed-mode").unwrap_or("snapshot") {
+                "sequential" => IndexedMode::Sequential,
+                "snapshot" => IndexedMode::Snapshot {
+                    threads,
+                    merge_every: flags.get_parsed("merge-every", 0)?,
+                },
+                other => return Err(format!("unknown indexed mode '{other}'")),
+            };
+            let start = Instant::now();
+            let out = run_indexed_batch(&g, None, &mut index, &queries, k, BoundConfig::ALL, mode)
+                .map_err(|e| e.to_string())?;
+            (out, format!("indexed {mode:?}"), start.elapsed())
+        }
+    };
+    let p = out.latency_percentiles();
+    println!("batch: {} queries, k={k} ({detail})", out.queries);
+    println!("wall time:    {wall:.2?}");
+    println!("throughput:   {:.1} queries/s", out.throughput(wall));
+    println!(
+        "latency:      mean {:.3}ms / p50 {:.3}ms / p95 {:.3}ms / p99 {:.3}ms",
+        out.mean_seconds() * 1e3,
+        p.p50 * 1e3,
+        p.p95 * 1e3,
+        p.p99 * 1e3
+    );
+    println!(
+        "work:         {:.1} refinements/query, {} bound-pruned, {} index hits",
+        out.mean_refinements(),
+        out.totals.pruned_by_bound,
+        out.totals.index_exact_hits
     );
     Ok(())
 }

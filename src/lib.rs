@@ -27,13 +27,14 @@
 
 pub use rkranks_core as core;
 pub use rkranks_datasets as datasets;
+pub use rkranks_eval as eval;
 pub use rkranks_graph as graph;
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use rkranks_core::{
-        Algorithm, BoundConfig, HubStrategy, IndexParams, Partition, QueryEngine, QueryResult,
-        QuerySpec, RkrIndex,
+        Algorithm, BoundConfig, EngineContext, HubStrategy, IndexDelta, IndexParams, Partition,
+        QueryEngine, QueryResult, QueryScratch, QuerySpec, RkrIndex,
     };
     pub use rkranks_datasets::{toy, Scale};
     pub use rkranks_graph::{

@@ -6,7 +6,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use rand::Rng;
 
-/// Length specification for [`vec`]: an exact size or a range of sizes.
+/// Length specification for [`vec()`]: an exact size or a range of sizes.
 #[derive(Clone, Debug)]
 pub struct SizeRange {
     lo: usize,
@@ -50,7 +50,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Clone)]
 pub struct VecStrategy<S> {
     element: S,

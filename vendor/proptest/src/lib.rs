@@ -1,7 +1,7 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! The build environment has no network access, so the workspace vendors the
-//! subset of the proptest API its test suites use: [`Strategy`] with
+//! subset of the proptest API its test suites use: [`strategy::Strategy`] with
 //! `prop_map` / `prop_flat_map` / `boxed`, range and tuple strategies,
 //! [`collection::vec`], [`arbitrary::any`], the [`proptest!`] macro, and the
 //! `prop_assert*` family.
