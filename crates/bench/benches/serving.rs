@@ -1,0 +1,119 @@
+//! Serving-layer costs: the LRU result cache in isolation, and the full
+//! `rkrd` loopback round-trip for a cache hit vs an uncached query.
+//!
+//! The hit/uncached gap is the value the cache adds per repeated query
+//! *including* the protocol round-trip — on a warmed daemon a hit skips
+//! the whole SDS-tree search, so the remaining cost is TCP + JSON, which
+//! is also (roughly) the floor any transport-level optimization competes
+//! against.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rkranks_bench::{bench_queries, dblp};
+use rkranks_core::RkrIndex;
+use rkranks_server::{spawn, CacheKey, Client, ResultCache, ServerConfig};
+
+const K: u32 = 10;
+
+fn cache_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving/cache");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+
+    let key = |node: u32, epoch: u64| CacheKey {
+        node,
+        k: K,
+        bounds: 3,
+        epoch,
+    };
+    let value: Vec<(u32, u32)> = (0..K).map(|i| (i, i + 1)).collect();
+
+    // steady-state insert into a full cache (every insert evicts)
+    group.bench_function("insert_evicting", |b| {
+        let mut cache = ResultCache::new(1024);
+        for n in 0..1024 {
+            cache.insert(key(n, 0), value.clone());
+        }
+        let mut n = 1024u32;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            cache.insert(key(n, 0), value.clone());
+        });
+    });
+
+    group.bench_function("hit", |b| {
+        let mut cache = ResultCache::new(1024);
+        for n in 0..1024 {
+            cache.insert(key(n, 0), value.clone());
+        }
+        let mut n = 0u32;
+        b.iter(|| {
+            n = (n + 1) % 1024;
+            black_box(cache.get(&key(n, 0)).is_some());
+        });
+    });
+
+    group.bench_function("purge_stale_1024", |b| {
+        b.iter(|| {
+            let mut cache = ResultCache::new(1024);
+            for n in 0..1024 {
+                cache.insert(key(n, 0), value.clone());
+            }
+            black_box(cache.purge_stale(1));
+        });
+    });
+    group.finish();
+}
+
+fn loopback_round_trip(c: &mut Criterion) {
+    let g = dblp().clone();
+    let queries = bench_queries(&g, 64, |_| true);
+    let handle = spawn(
+        g,
+        None,
+        RkrIndex::empty(dblp().num_nodes(), 100),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            cache_capacity: 4096,
+            merge_every: 0, // no cadence merges: keep the epoch stable
+            ..Default::default()
+        },
+    )
+    .expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // warm every query so the "hit" bench measures pure cache + transport
+    for q in &queries {
+        client.query(q.0, K).expect("warm-up query");
+    }
+
+    let mut group = c.benchmark_group("serving/loopback");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let mut i = 0;
+    group.bench_function("cache_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            black_box(client.query(queries[i].0, K).expect("hit query"));
+        })
+    });
+    let mut j = 0;
+    group.bench_function("uncached", |b| {
+        b.iter(|| {
+            j = (j + 1) % queries.len();
+            black_box(client.query_uncached(queries[j].0, K).expect("uncached"));
+        })
+    });
+    group.finish();
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+criterion_group!(benches, cache_ops, loopback_round_trip);
+criterion_main!(benches);

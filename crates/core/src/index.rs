@@ -114,6 +114,12 @@ pub struct RkrIndex {
     /// `rrd[v]`: best `K` known `(rank, source)` pairs, sorted ascending.
     rrd: Vec<Vec<(u32, NodeId)>>,
     hubs: Vec<NodeId>,
+    /// Version counter: bumped once per [`RkrIndex::merge_delta`] that
+    /// changed index state. Serving layers key result caches on it, so
+    /// every state-changing merge invalidates exactly the entries computed
+    /// against older index states — while no-op merges (warm queries
+    /// re-discovering known ranks) leave caches warm.
+    epoch: u64,
 }
 
 impl RkrIndex {
@@ -125,6 +131,7 @@ impl RkrIndex {
             check: vec![0; num_nodes as usize],
             rrd: vec![Vec::new(); num_nodes as usize],
             hubs: Vec::new(),
+            epoch: 0,
         }
     }
 
@@ -226,11 +233,19 @@ impl RkrIndex {
     pub fn merge_delta(&mut self, delta: &IndexDelta) {
         assert_eq!(self.num_nodes(), delta.num_nodes, "node universe mismatch");
         assert_eq!(self.k_max, delta.k_max, "k_max mismatch");
+        let mut changed = false;
         for (&u, &c) in &delta.check_raises {
-            self.raise_check(u, c);
+            changed |= self.raise_check(u, c);
         }
         for &(target, source, rank) in &delta.offers {
-            self.offer(target, source, rank);
+            changed |= self.offer(target, source, rank);
+        }
+        // A no-op merge (a warm query re-discovering known ranks) must not
+        // advance the epoch: downstream caches key on it, and invalidating
+        // them over a merge that changed nothing would churn them forever
+        // on a steady-state workload.
+        if changed {
+            self.epoch += 1;
         }
     }
 
@@ -299,6 +314,20 @@ impl RkrIndex {
         self.k_max
     }
 
+    /// Index version: the number of state-changing write-log merges this
+    /// index has absorbed via [`RkrIndex::merge_delta`].
+    ///
+    /// The epoch orders index states for serving-side caches: a result
+    /// computed (or cached) at epoch `e` reflects everything the index knew
+    /// through its `e`-th effective merge, and an unchanged epoch
+    /// guarantees an unchanged index. It is runtime state —
+    /// [`crate::index_io`] does not persist it, so a freshly loaded index
+    /// restarts at 0 — and build-time merges ([`RkrIndex::merge_from`])
+    /// leave it alone.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// The hub nodes used at build time.
     pub fn hubs(&self) -> &[NodeId] {
         &self.hubs
@@ -311,11 +340,15 @@ impl RkrIndex {
     }
 
     /// Raise `check[u]` to at least `val` (check values only ever grow).
+    /// Returns whether the stored value actually moved.
     #[inline]
-    pub fn raise_check(&mut self, u: NodeId, val: u32) {
+    pub fn raise_check(&mut self, u: NodeId, val: u32) -> bool {
         let slot = &mut self.check[u.index()];
         if val > *slot {
             *slot = val;
+            true
+        } else {
+            false
         }
     }
 
@@ -336,23 +369,24 @@ impl RkrIndex {
 
     /// Offer an exact `(source, rank)` observation for `target`, keeping
     /// the best `K` entries. Duplicate sources keep their (identical —
-    /// ranks are exact) first entry.
-    pub fn offer(&mut self, target: NodeId, source: NodeId, rank: u32) {
+    /// ranks are exact) first entry. Returns whether the list changed.
+    pub fn offer(&mut self, target: NodeId, source: NodeId, rank: u32) -> bool {
         let list = &mut self.rrd[target.index()];
         // Fast reject: full and not better than the current worst.
         if list.len() == self.k_max as usize {
             if let Some(&(worst, _)) = list.last() {
                 if rank >= worst && !list.iter().any(|&(_, s)| s == source) {
-                    return;
+                    return false;
                 }
             }
         }
         if list.iter().any(|&(_, s)| s == source) {
-            return;
+            return false;
         }
         let pos = list.partition_point(|&(r, s)| (r, s) < (rank, source));
         list.insert(pos, (rank, source));
         list.truncate(self.k_max as usize);
+        true
     }
 
     /// Number of entries across all Reverse Rank Dictionary lists.
@@ -496,6 +530,14 @@ impl IndexAccess<'_> {
         }
     }
 
+    /// The epoch of the readable index ([`RkrIndex::epoch`]): the live
+    /// index's own version in live mode, the frozen snapshot's version in
+    /// snapshot mode (a worker's unmerged delta never advances it).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.read().epoch()
+    }
+
     /// Check-dictionary value for `u`, as usable for the §5.3 *prune*.
     ///
     /// Snapshot reads deliberately ignore the delta here: a delta raise's
@@ -539,7 +581,9 @@ impl IndexAccess<'_> {
     #[inline]
     pub fn offer(&mut self, target: NodeId, source: NodeId, rank: u32) {
         match self {
-            IndexAccess::Live(idx) => idx.offer(target, source, rank),
+            IndexAccess::Live(idx) => {
+                idx.offer(target, source, rank);
+            }
             IndexAccess::Snapshot { delta, .. } => delta.offer(target, source, rank),
         }
     }
@@ -548,7 +592,9 @@ impl IndexAccess<'_> {
     #[inline]
     pub fn raise_check(&mut self, u: NodeId, val: u32) {
         match self {
-            IndexAccess::Live(idx) => idx.raise_check(u, val),
+            IndexAccess::Live(idx) => {
+                idx.raise_check(u, val);
+            }
             IndexAccess::Snapshot { delta, .. } => delta.raise_check(u, val),
         }
     }
@@ -861,6 +907,131 @@ mod tests {
         for u in 0..4 {
             assert_eq!(ab.check(NodeId(u)), ba.check(NodeId(u)));
             assert_eq!(ab.top_entries(NodeId(u), 10), ba.top_entries(NodeId(u), 10));
+        }
+    }
+
+    #[test]
+    fn epoch_counts_state_changing_merges_only() {
+        let mut idx = RkrIndex::empty(3, 2);
+        assert_eq!(idx.epoch(), 0);
+        let empty = IndexDelta::for_index(&idx);
+        idx.merge_delta(&empty);
+        assert_eq!(idx.epoch(), 0, "empty merges must not invalidate caches");
+        let mut delta = IndexDelta::for_index(&idx);
+        delta.offer(NodeId(0), NodeId(1), 2);
+        idx.merge_delta(&delta);
+        assert_eq!(idx.epoch(), 1);
+        idx.merge_delta(&delta);
+        assert_eq!(
+            idx.epoch(),
+            1,
+            "re-merging known facts must not invalidate caches"
+        );
+        let mut raise_only = IndexDelta::for_index(&idx);
+        raise_only.raise_check(NodeId(2), 3);
+        idx.merge_delta(&raise_only);
+        assert_eq!(idx.epoch(), 2);
+        idx.merge_delta(&raise_only);
+        assert_eq!(idx.epoch(), 2, "an already-held check raise is a no-op");
+        // build-time merges and clones do not disturb the counter
+        let snapshot = idx.clone();
+        assert_eq!(snapshot.epoch(), 2);
+        let mut fresh = RkrIndex::empty(3, 2);
+        fresh.merge_from(&idx);
+        assert_eq!(fresh.epoch(), 0);
+    }
+
+    #[test]
+    fn index_access_reports_snapshot_epoch() {
+        let mut live = RkrIndex::empty(3, 2);
+        let mut d = IndexDelta::for_index(&live);
+        d.offer(NodeId(0), NodeId(1), 1);
+        live.merge_delta(&d);
+        let snapshot = live.clone();
+        let mut delta = IndexDelta::for_index(&snapshot);
+        let mut access = IndexAccess::Snapshot {
+            snapshot: &snapshot,
+            delta: &mut delta,
+        };
+        assert_eq!(access.epoch(), 1);
+        // logging to the delta never advances the visible epoch
+        access.offer(NodeId(2), NodeId(0), 1);
+        assert_eq!(access.epoch(), 1);
+        assert_eq!(IndexAccess::Live(&mut live).epoch(), 1);
+    }
+
+    /// Merging the same delta twice must not change pruning behavior: the
+    /// check dictionary is a per-node max and the Reverse Rank Dictionary
+    /// rejects duplicate sources, so a re-merge is a no-op on both
+    /// pruning inputs (only the epoch counter moves).
+    #[test]
+    fn merge_delta_is_idempotent() {
+        let mut idx = RkrIndex::empty(5, 3);
+        idx.offer(NodeId(0), NodeId(4), 2);
+        idx.raise_check(NodeId(4), 1);
+        let mut delta = IndexDelta::for_index(&idx);
+        delta.offer(NodeId(0), NodeId(1), 3);
+        delta.offer(NodeId(0), NodeId(2), 1);
+        delta.offer(NodeId(1), NodeId(0), 2);
+        delta.raise_check(NodeId(1), 4);
+        delta.raise_check(NodeId(4), 2);
+        idx.merge_delta(&delta);
+        let once = idx.clone();
+        idx.merge_delta(&delta);
+        assert_eq!(idx.rrd_entries(), once.rrd_entries());
+        for u in 0..5 {
+            assert_eq!(idx.check(NodeId(u)), once.check(NodeId(u)), "check[{u}]");
+            assert_eq!(
+                idx.top_entries(NodeId(u), 10),
+                once.top_entries(NodeId(u), 10),
+                "rrd[{u}]"
+            );
+        }
+    }
+
+    /// Idempotence on a real query-produced delta: replaying a worker's
+    /// write-log (e.g. an at-least-once merge queue) leaves every pruning
+    /// decision identical.
+    #[test]
+    fn merge_delta_idempotent_for_query_deltas() {
+        use crate::context::EngineContext;
+        use crate::engine::BoundConfig;
+        let g = line();
+        let ctx = EngineContext::new(&g);
+        let mut scratch = ctx.new_scratch();
+        let index = RkrIndex::empty(g.num_nodes(), 8);
+        let mut delta = IndexDelta::for_index(&index);
+        for q in g.nodes() {
+            ctx.query_indexed_snapshot(&mut scratch, &index, &mut delta, q, 2, BoundConfig::ALL)
+                .unwrap();
+        }
+        assert!(!delta.is_empty());
+        let mut merged_once = index.clone();
+        merged_once.merge_delta(&delta);
+        let mut merged_twice = merged_once.clone();
+        merged_twice.merge_delta(&delta);
+        for u in g.nodes() {
+            assert_eq!(merged_once.check(u), merged_twice.check(u), "check[{u}]");
+            assert_eq!(
+                merged_once.top_entries(u, 10),
+                merged_twice.top_entries(u, 10),
+                "rrd[{u}]"
+            );
+        }
+        // and the double-merged index answers queries identically
+        let mut s2 = ctx.new_scratch();
+        for q in g.nodes() {
+            let mut d1 = IndexDelta::for_index(&merged_once);
+            let mut d2 = IndexDelta::for_index(&merged_twice);
+            let a = ctx
+                .query_indexed_snapshot(&mut scratch, &merged_once, &mut d1, q, 2, BoundConfig::ALL)
+                .unwrap();
+            let b = ctx
+                .query_indexed_snapshot(&mut s2, &merged_twice, &mut d2, q, 2, BoundConfig::ALL)
+                .unwrap();
+            assert_eq!(a.entries, b.entries, "q={q}");
+            assert_eq!(a.stats.pruned_by_bound, b.stats.pruned_by_bound, "q={q}");
+            assert_eq!(a.stats.index_exact_hits, b.stats.index_exact_hits, "q={q}");
         }
     }
 

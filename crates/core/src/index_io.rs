@@ -247,6 +247,54 @@ mod tests {
         assert!(read_index("rkr-index v1 5 3\nR 0 1 0\n".as_bytes()).is_err()); // rank 0
     }
 
+    /// A write interrupted mid-stream (partial header, record cut short,
+    /// or numeric garbage where a field was truncated) must be a parse
+    /// error, never a silently mis-pruning index.
+    #[test]
+    fn rejects_truncated_and_corrupt_files() {
+        // a real serialized index whose final record lost its last field
+        // (the classic interrupted-write shape)
+        let mut buf = Vec::new();
+        write_index(&sample_index(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let last = text.lines().last().unwrap();
+        assert!(last.starts_with('R'), "expected an R record last: {last:?}");
+        let cut_field = last.rsplit_once(' ').unwrap().0;
+        let truncated = format!("{}{cut_field}\n", &text[..text.len() - last.len() - 1]);
+        assert!(
+            read_index(truncated.as_bytes()).is_err(),
+            "accepted a record truncated to {cut_field:?}"
+        );
+        // header truncated before the dimensions
+        assert!(read_index("rkr-index\n".as_bytes()).is_err());
+        assert!(read_index("rkr-index v1\n".as_bytes()).is_err());
+        // records with missing fields
+        assert!(read_index("rkr-index v1 5 3\nC 1\n".as_bytes()).is_err());
+        assert!(read_index("rkr-index v1 5 3\nR 0 1\n".as_bytes()).is_err());
+        // numeric garbage
+        assert!(read_index("rkr-index v1 5 3\nC x 2\n".as_bytes()).is_err());
+        assert!(read_index("rkr-index v1 5 3\nR 0 1 abc\n".as_bytes()).is_err());
+        assert!(read_index("rkr-index v1 5 3\nH 1 x\n".as_bytes()).is_err());
+        // hub id out of range
+        assert!(read_index("rkr-index v1 5 3\nH 9\n".as_bytes()).is_err());
+        // check-dictionary node out of range
+        assert!(read_index("rkr-index v1 5 3\nC 9 1\n".as_bytes()).is_err());
+        // non-UTF-8 bytes mid-file surface as an error, not a panic
+        let mut bad = b"rkr-index v1 5 3\nC 1 ".to_vec();
+        bad.extend_from_slice(&[0xFF, 0xFE, b'\n']);
+        assert!(read_index(&bad[..]).is_err());
+    }
+
+    /// Parse errors carry the 1-based line number of the offending record.
+    #[test]
+    fn parse_errors_point_at_the_bad_line() {
+        let text = "rkr-index v1 5 3\nC 1 2\nR 0 1 oops\n";
+        match read_index(text.as_bytes()) {
+            Err(rkranks_graph::GraphError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+    }
+
     #[test]
     fn comments_and_blanks_allowed() {
         let text = "# persisted index\n\nrkr-index v1 3 2\nC 1 4\nR 0 1 2\n";

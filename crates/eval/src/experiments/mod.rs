@@ -13,6 +13,7 @@ pub mod index_build;
 pub mod index_params;
 pub mod index_updates;
 pub mod naive;
+pub mod serving;
 
 /// A registered experiment.
 pub struct Experiment {
@@ -118,6 +119,12 @@ pub fn all() -> Vec<Experiment> {
             paper_ref: "Figure 7",
             description: "bichromatic queries on the road network",
             run: fig7::run,
+        },
+        Experiment {
+            name: "serving",
+            paper_ref: "beyond the paper",
+            description: "rkrd daemon: cache hit rate and tail latency under a Zipf workload",
+            run: serving::run,
         },
     ]
 }

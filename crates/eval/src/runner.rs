@@ -98,15 +98,10 @@ impl BatchOutcome {
         self.totals.refinement_calls as f64 / self.queries.max(1) as f64
     }
 
-    /// p50/p95/p99 per-query latency (nearest-rank on the sorted sample).
+    /// p50/p95/p99 per-query latency (linear interpolation on the sorted
+    /// sample — see [`LatencyPercentiles::from_samples`]).
     pub fn latency_percentiles(&self) -> LatencyPercentiles {
-        let mut sorted = self.latencies.clone();
-        sorted.sort_by(|a, b| a.total_cmp(b));
-        LatencyPercentiles {
-            p50: percentile(&sorted, 50.0),
-            p95: percentile(&sorted, 95.0),
-            p99: percentile(&sorted, 99.0),
-        }
+        LatencyPercentiles::from_samples(&self.latencies)
     }
 
     /// Queries per wall-clock second, given the batch's wall time (the
@@ -128,13 +123,33 @@ impl BatchOutcome {
     }
 }
 
-/// Nearest-rank percentile of an ascending-sorted sample.
+impl LatencyPercentiles {
+    /// Compute p50/p95/p99 from an unordered latency sample (seconds).
+    ///
+    /// Percentiles interpolate linearly between order statistics (the
+    /// position is `p/100 · (n-1)`), so small samples behave sensibly:
+    /// nearest-rank on `n < 100` degenerated p99 to the max sample, which
+    /// made tail latencies jump discontinuously as batches shrank.
+    pub fn from_samples(samples: &[f64]) -> LatencyPercentiles {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        LatencyPercentiles {
+            p50: percentile(&sorted, 50.0),
+            p95: percentile(&sorted, 95.0),
+            p99: percentile(&sorted, 99.0),
+        }
+    }
+}
+
+/// Linear-interpolation percentile of an ascending-sorted sample.
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    let pos = (p / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
 }
 
 /// Run a batch of independent queries, parallel over `threads` workers
@@ -550,12 +565,56 @@ mod tests {
     }
 
     #[test]
-    fn percentile_nearest_rank() {
-        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
-        assert_eq!(percentile(&sorted, 50.0), 50.0);
-        assert_eq!(percentile(&sorted, 95.0), 95.0);
-        assert_eq!(percentile(&sorted, 99.0), 99.0);
-        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    fn percentile_single_sample() {
+        // n = 1: every percentile is the sample itself
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[7.0], p), 7.0);
+        }
         assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_two_samples_interpolates() {
+        // n = 2: p sweeps linearly from the min to the max — p99 must be
+        // *near* the max, not equal to it
+        let s = [1.0, 2.0];
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 50.0), 1.5);
+        assert!((percentile(&s, 95.0) - 1.95).abs() < 1e-12);
+        assert!((percentile(&s, 99.0) - 1.99).abs() < 1e-12);
+        assert_eq!(percentile(&s, 100.0), 2.0);
+    }
+
+    #[test]
+    fn percentile_five_samples() {
+        // n = 5: positions land at p/100 · 4
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&s, 50.0), 3.0);
+        assert!((percentile(&s, 95.0) - 4.8).abs() < 1e-12);
+        assert!((percentile(&s, 99.0) - 4.96).abs() < 1e-12);
+        assert!(
+            percentile(&s, 99.0) < 5.0,
+            "p99 on tiny samples must not degenerate to the max"
+        );
+    }
+
+    #[test]
+    fn percentile_hundred_samples() {
+        let s: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert!((percentile(&s, 50.0) - 50.5).abs() < 1e-9);
+        assert!((percentile(&s, 95.0) - 95.05).abs() < 1e-9);
+        assert!((percentile(&s, 99.0) - 99.01).abs() < 1e-9);
+        assert_eq!(percentile(&s, 100.0), 100.0);
+        // monotone in p
+        for w in [0.0, 25.0, 50.0, 75.0, 95.0, 99.0, 100.0].windows(2) {
+            assert!(percentile(&s, w[0]) <= percentile(&s, w[1]));
+        }
+    }
+
+    #[test]
+    fn from_samples_sorts_first() {
+        let p = LatencyPercentiles::from_samples(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(p.p50, 3.0);
+        assert!(p.p50 <= p.p95 && p.p95 <= p.p99);
     }
 }

@@ -1,0 +1,353 @@
+//! The serving-side result cache: a hand-rolled O(1) LRU keyed by
+//! `(node, k, bound-config, epoch)`.
+//!
+//! Because the index epoch is part of the key, a merge that bumps the
+//! epoch makes every older entry unreachable *immediately* — a lookup for
+//! the new epoch can never return a result computed against a staler
+//! index, so cached answers are exactly as fresh as recomputed ones. The
+//! unreachable entries are reclaimed two ways: lazily by ordinary LRU
+//! eviction, and eagerly by [`ResultCache::purge_stale`], which the
+//! merger calls right after publishing a new snapshot.
+//!
+//! (For reverse k-ranks specifically, results from older epochs are still
+//! *correct* — the index only prunes work, never changes ranks — but the
+//! epoch key is what makes the cache safe for any future index whose
+//! merges can change answers, e.g. after graph updates, and it gives the
+//! `stats` op a crisp invalidation signal to assert on.)
+
+use std::collections::HashMap;
+
+/// Everything that distinguishes one cacheable answer from another.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Query node.
+    pub node: u32,
+    /// Result size.
+    pub k: u32,
+    /// Encoded [`rkranks_core::BoundConfig`] (different bound settings
+    /// explore differently and must not share entries with each other).
+    pub bounds: u8,
+    /// Index epoch the answer was computed against.
+    pub epoch: u64,
+}
+
+/// One cached `(node, rank)` result list.
+type Entry = Vec<(u32, u32)>;
+
+const NIL: usize = usize::MAX;
+
+struct Slot {
+    key: CacheKey,
+    value: Entry,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity LRU map from [`CacheKey`] to result lists, with the
+/// hit/miss/eviction counters the `stats` op reports.
+pub struct ResultCache {
+    capacity: usize,
+    map: HashMap<CacheKey, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    /// Most recently used slot (NIL when empty).
+    head: usize,
+    /// Least recently used slot (NIL when empty).
+    tail: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    stale_evicted: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` — a disabled cache is represented by not
+    /// constructing one at all, so a zero here is a caller bug.
+    pub fn new(capacity: usize) -> ResultCache {
+        assert!(capacity > 0, "use no cache instead of a zero-capacity one");
+        ResultCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 16)),
+            slots: Vec::with_capacity(capacity.min(1 << 16)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            stale_evicted: 0,
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Counters in stats order: `(hits, misses, evictions, stale_evicted)`.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (self.hits, self.misses, self.evictions, self.stale_evicted)
+    }
+
+    /// Look `key` up, refreshing its recency on a hit. Counts one hit or
+    /// one miss.
+    pub fn get(&mut self, key: &CacheKey) -> Option<&Entry> {
+        match self.map.get(key).copied() {
+            Some(slot) => {
+                self.hits += 1;
+                self.detach(slot);
+                self.push_front(slot);
+                Some(&self.slots[slot].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) an entry, evicting the least recently used one
+    /// if the cache is full.
+    pub fn insert(&mut self, key: CacheKey, value: Entry) {
+        if let Some(&slot) = self.map.get(&key) {
+            self.slots[slot].value = value;
+            self.detach(slot);
+            self.push_front(slot);
+            return;
+        }
+        if self.map.len() == self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.detach(lru);
+            self.map.remove(&self.slots[lru].key);
+            self.free.push(lru);
+            self.evictions += 1;
+        }
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Slot {
+                    key,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.slots.push(Slot {
+                    key,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+    }
+
+    /// Drop every entry whose epoch is not `current_epoch`, returning how
+    /// many were dropped. Called by the merger after an epoch bump so
+    /// stale entries release their memory immediately instead of waiting
+    /// to age out of the LRU order.
+    pub fn purge_stale(&mut self, current_epoch: u64) -> usize {
+        let stale: Vec<CacheKey> = self
+            .map
+            .keys()
+            .filter(|k| k.epoch != current_epoch)
+            .copied()
+            .collect();
+        for key in &stale {
+            let slot = self.map.remove(key).expect("key just listed");
+            self.detach(slot);
+            self.slots[slot].value = Vec::new();
+            self.free.push(slot);
+        }
+        self.stale_evicted += stale.len() as u64;
+        stale.len()
+    }
+
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev == NIL {
+            if self.head == slot {
+                self.head = next;
+            }
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            if self.tail == slot {
+                self.tail = prev;
+            }
+        } else {
+            self.slots[next].prev = prev;
+        }
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = NIL;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(node: u32, epoch: u64) -> CacheKey {
+        CacheKey {
+            node,
+            k: 2,
+            bounds: 3,
+            epoch,
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let mut c = ResultCache::new(4);
+        assert!(c.is_empty());
+        assert_eq!(c.get(&key(1, 0)), None);
+        c.insert(key(1, 0), vec![(2, 1)]);
+        assert_eq!(c.get(&key(1, 0)), Some(&vec![(2, 1)]));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.counters(), (1, 1, 0, 0));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = ResultCache::new(3);
+        for n in 0..3 {
+            c.insert(key(n, 0), vec![(n, 1)]);
+        }
+        // touch 0 so 1 becomes the LRU
+        assert!(c.get(&key(0, 0)).is_some());
+        c.insert(key(3, 0), vec![(3, 1)]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(&key(1, 0)), None, "LRU entry should be gone");
+        assert!(c.get(&key(0, 0)).is_some());
+        assert!(c.get(&key(2, 0)).is_some());
+        assert!(c.get(&key(3, 0)).is_some());
+        let (_, _, evictions, _) = c.counters();
+        assert_eq!(evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(1, 0), vec![(9, 9)]);
+        c.insert(key(2, 0), vec![(8, 8)]);
+        c.insert(key(1, 0), vec![(7, 7)]); // refresh: 2 is now LRU
+        c.insert(key(3, 0), vec![(6, 6)]);
+        assert_eq!(c.get(&key(1, 0)), Some(&vec![(7, 7)]));
+        assert_eq!(c.get(&key(2, 0)), None);
+    }
+
+    #[test]
+    fn epoch_is_part_of_the_key() {
+        let mut c = ResultCache::new(4);
+        c.insert(key(1, 0), vec![(1, 1)]);
+        assert_eq!(c.get(&key(1, 1)), None, "new epoch must miss");
+        c.insert(key(1, 1), vec![(2, 2)]);
+        assert_eq!(c.get(&key(1, 0)), Some(&vec![(1, 1)]));
+        assert_eq!(c.get(&key(1, 1)), Some(&vec![(2, 2)]));
+    }
+
+    #[test]
+    fn purge_stale_drops_only_old_epochs() {
+        let mut c = ResultCache::new(8);
+        for n in 0..3 {
+            c.insert(key(n, 0), vec![(n, 1)]);
+        }
+        c.insert(key(9, 1), vec![(9, 1)]);
+        assert_eq!(c.purge_stale(1), 3);
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&key(9, 1)).is_some());
+        let (_, _, _, stale) = c.counters();
+        assert_eq!(stale, 3);
+        // purged slots are reused
+        for n in 0..7 {
+            c.insert(key(n, 1), vec![(n, 1)]);
+        }
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn single_slot_cache() {
+        let mut c = ResultCache::new(1);
+        c.insert(key(1, 0), vec![(1, 1)]);
+        c.insert(key(2, 0), vec![(2, 2)]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&key(2, 0)), Some(&vec![(2, 2)]));
+        assert_eq!(c.get(&key(1, 0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_is_a_bug() {
+        let _ = ResultCache::new(0);
+    }
+
+    /// Exercise the linked-list bookkeeping hard: a pseudo-random
+    /// insert/get/purge storm must keep map and list consistent.
+    #[test]
+    fn stress_consistency() {
+        let mut c = ResultCache::new(7);
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut step = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        for i in 0..2000 {
+            let n = (step() % 20) as u32;
+            let e = step() % 3;
+            match step() % 4 {
+                0 | 1 => c.insert(key(n, e), vec![(n, 1)]),
+                2 => {
+                    let _ = c.get(&key(n, e));
+                }
+                _ => {
+                    let _ = c.purge_stale(e);
+                }
+            }
+            assert!(c.len() <= 7, "overfull at step {i}");
+            // walk the list forward and compare against the map
+            let mut count = 0;
+            let mut slot = c.head;
+            let mut prev = NIL;
+            while slot != NIL {
+                assert_eq!(c.slots[slot].prev, prev, "broken back-link");
+                assert_eq!(c.map.get(&c.slots[slot].key), Some(&slot));
+                prev = slot;
+                slot = c.slots[slot].next;
+                count += 1;
+            }
+            assert_eq!(prev, c.tail);
+            assert_eq!(count, c.len(), "list/map diverged at step {i}");
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! A blocking client for the `rkrd` protocol.
+//!
+//! One [`Client`] wraps one TCP connection; requests on it are answered in
+//! order. It is deliberately synchronous — callers that want concurrency
+//! open one client per thread, exactly like the daemon's workers own one
+//! connection each.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{BatchReply, QueryReply, Reply, Request, StatsReply};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection broke (or could not be established).
+    Io(io::Error),
+    /// The server answered, but not in the protocol's shape.
+    Protocol(String),
+    /// The server reported the request failed (`{"ok":false,...}`).
+    Server(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to an `rkrd` daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn round_trip(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        let mut line = req.to_json().render();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut reply_line = String::new();
+        if self.reader.read_line(&mut reply_line)? == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        match Reply::from_line(reply_line.trim()) {
+            Ok(Reply::Error(msg)) => Err(ClientError::Server(msg)),
+            Ok(reply) => Ok(reply),
+            Err(msg) => Err(ClientError::Protocol(msg)),
+        }
+    }
+
+    /// One reverse k-ranks query.
+    pub fn query(&mut self, node: u32, k: u32) -> Result<QueryReply, ClientError> {
+        self.query_with_cache(node, k, true)
+    }
+
+    /// [`Client::query`] bypassing the server-side result cache (no
+    /// lookup, no insert) — for measurement traffic.
+    pub fn query_uncached(&mut self, node: u32, k: u32) -> Result<QueryReply, ClientError> {
+        self.query_with_cache(node, k, false)
+    }
+
+    fn query_with_cache(
+        &mut self,
+        node: u32,
+        k: u32,
+        cache: bool,
+    ) -> Result<QueryReply, ClientError> {
+        match self.round_trip(&Request::Query { node, k, cache })? {
+            Reply::Query(q) => Ok(q),
+            other => Err(unexpected("query", &other)),
+        }
+    }
+
+    /// Several queries in one round-trip; results come back in order.
+    pub fn batch(&mut self, nodes: &[u32], k: u32) -> Result<BatchReply, ClientError> {
+        let req = Request::Batch {
+            nodes: nodes.to_vec(),
+            k,
+        };
+        match self.round_trip(&req)? {
+            Reply::Batch(b) => Ok(b),
+            other => Err(unexpected("batch", &other)),
+        }
+    }
+
+    /// Read the serving counters.
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        match self.round_trip(&Request::Stats)? {
+            Reply::Stats(s) => Ok(s),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Force a merge of all pending write-logs; returns `(epoch, merged)`
+    /// — the index epoch after the merge and how many logs it folded.
+    pub fn flush(&mut self) -> Result<(u64, u64), ClientError> {
+        match self.round_trip(&Request::Flush)? {
+            Reply::Flush { epoch, merged } => Ok((epoch, merged)),
+            other => Err(unexpected("flush", &other)),
+        }
+    }
+
+    /// Ask the daemon to shut down; consumes the client (the server
+    /// closes the connection after acknowledging).
+    pub fn shutdown(mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Shutdown)? {
+            Reply::Shutdown => Ok(()),
+            other => Err(unexpected("shutdown", &other)),
+        }
+    }
+}
+
+fn unexpected(op: &str, reply: &Reply) -> ClientError {
+    ClientError::Protocol(format!("unexpected reply to '{op}': {reply:?}"))
+}

@@ -1,0 +1,59 @@
+//! # rkranks-server
+//!
+//! `rkrd` — a network serving subsystem for reverse k-ranks queries: a
+//! hand-rolled TCP daemon (the build environment is offline, so no tokio —
+//! a fixed worker-thread pool over `std::net::TcpListener`) speaking a
+//! newline-delimited JSON protocol, plus the blocking [`Client`] the
+//! `rkr serve` / `rkr query --remote` CLI paths use.
+//!
+//! On top of the transport sits the serving-side performance layer:
+//!
+//! * an **LRU result cache** keyed by `(node, k, bound-config, epoch)`
+//!   ([`cache::ResultCache`]) answering repeated queries for hot nodes
+//!   without touching the graph, and
+//! * **epoch-based invalidation**: a background merger folds the
+//!   [`rkranks_core::IndexDelta`] write-logs produced by served queries
+//!   into the master [`rkranks_core::RkrIndex`] at a configurable cadence;
+//!   each non-empty merge bumps the index epoch, which keys the cache — so
+//!   cached results are never staler than the index while the index keeps
+//!   learning from the traffic it serves.
+//!
+//! ## Loopback quickstart
+//!
+//! ```
+//! use rkranks_core::RkrIndex;
+//! use rkranks_graph::{graph_from_edges, EdgeDirection};
+//! use rkranks_server::{spawn, Client, ServerConfig};
+//!
+//! let g = graph_from_edges(EdgeDirection::Undirected, [
+//!     (0, 1, 1.0), (1, 2, 0.2), (1, 3, 0.3), (2, 4, 1.0),
+//! ]).unwrap();
+//! let index = RkrIndex::empty(g.num_nodes(), 16);
+//! let handle = spawn(g, None, index, "127.0.0.1:0", ServerConfig::default()).unwrap();
+//!
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let reply = client.query(0, 2).unwrap();
+//! assert_eq!(reply.entries.len(), 2);
+//! assert!(client.query(0, 2).unwrap().cached); // hot node: cache hit
+//!
+//! client.shutdown().unwrap();
+//! let learned = handle.join(); // the index kept what the queries taught it
+//! assert!(learned.rrd_entries() > 0);
+//! ```
+//!
+//! See [`protocol`] for the wire format and [`server`] for the serving
+//! architecture (workers, snapshots, the merger).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheKey, ResultCache};
+pub use client::{Client, ClientError};
+pub use protocol::{BatchReply, QueryReply, Reply, Request, StatsReply};
+pub use server::{serve, spawn, ServerConfig, ServerHandle};

@@ -1,0 +1,503 @@
+//! The `rkrd` wire protocol: newline-delimited JSON, one request and one
+//! reply per line.
+//!
+//! Requests (`op` selects the operation):
+//!
+//! ```text
+//! {"op":"query","node":17,"k":10}            single reverse k-ranks query
+//! {"op":"query","node":17,"k":10,"cache":false}   ... bypassing the cache
+//! {"op":"batch","nodes":[3,17,5],"k":10}     several queries, one round-trip
+//! {"op":"stats"}                             serving counters + epoch
+//! {"op":"flush"}                             fold pending deltas now
+//! {"op":"shutdown"}                          drain and stop the daemon
+//! ```
+//!
+//! Replies always carry `"ok"`; failures are `{"ok":false,"error":"..."}`
+//! and keep the connection open. Successful shapes:
+//!
+//! ```text
+//! {"ok":true,"result":[[node,rank],...],"cached":false,"epoch":3}
+//! {"ok":true,"results":[[[node,rank],...],...],"cached":2,"epoch":3}
+//! {"ok":true,"stats":{"queries":12,"cache_hits":4,...,"epoch":3}}
+//! {"ok":true,"epoch":4,"merged":2}           flush
+//! {"ok":true,"bye":true}                     shutdown
+//! ```
+//!
+//! Both ends of the protocol live here — [`Request`] / [`Reply`] encode to
+//! and decode from [`Json`] symmetrically — so the daemon and the
+//! [`crate::Client`] cannot drift apart.
+
+use crate::json::Json;
+
+/// A decoded client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// One reverse k-ranks query for `node`.
+    Query {
+        /// The query node id.
+        node: u32,
+        /// Result size `k`.
+        k: u32,
+        /// `false` bypasses the result cache for this request (both the
+        /// lookup and the insert) — e.g. for measurement traffic.
+        cache: bool,
+    },
+    /// Several queries amortizing one round-trip; each node is answered
+    /// (and cached) exactly as a standalone `Query` would be.
+    Batch {
+        /// Query node ids, answered in order.
+        nodes: Vec<u32>,
+        /// Result size `k` shared by the batch.
+        k: u32,
+    },
+    /// Read the serving counters.
+    Stats,
+    /// Synchronously fold all pending write-logs into the index.
+    Flush,
+    /// Stop the daemon (pending deltas are merged first).
+    Shutdown,
+}
+
+impl Request {
+    /// Encode for the wire (without the trailing newline).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Query { node, k, cache } => {
+                let mut fields = vec![
+                    ("op".into(), Json::Str("query".into())),
+                    ("node".into(), Json::num(*node)),
+                    ("k".into(), Json::num(*k)),
+                ];
+                if !cache {
+                    fields.push(("cache".into(), Json::Bool(false)));
+                }
+                Json::Obj(fields)
+            }
+            Request::Batch { nodes, k } => Json::Obj(vec![
+                ("op".into(), Json::Str("batch".into())),
+                (
+                    "nodes".into(),
+                    Json::Arr(nodes.iter().map(|&n| Json::num(n)).collect()),
+                ),
+                ("k".into(), Json::num(*k)),
+            ]),
+            Request::Stats => op_only("stats"),
+            Request::Flush => op_only("flush"),
+            Request::Shutdown => op_only("shutdown"),
+        }
+    }
+
+    /// Decode one request line.
+    pub fn from_line(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line).map_err(|e| e.to_string())?;
+        let op = v
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("missing string field 'op'")?;
+        match op {
+            "query" => Ok(Request::Query {
+                node: field_u32(&v, "node")?,
+                k: field_u32(&v, "k")?,
+                cache: v.get("cache").and_then(Json::as_bool).unwrap_or(true),
+            }),
+            "batch" => {
+                let nodes = v
+                    .get("nodes")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing array field 'nodes'")?
+                    .iter()
+                    .map(|n| n.as_u32().ok_or("non-integer entry in 'nodes'"))
+                    .collect::<Result<Vec<u32>, _>>()?;
+                Ok(Request::Batch {
+                    nodes,
+                    k: field_u32(&v, "k")?,
+                })
+            }
+            "stats" => Ok(Request::Stats),
+            "flush" => Ok(Request::Flush),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op '{other}'")),
+        }
+    }
+}
+
+fn op_only(op: &str) -> Json {
+    Json::Obj(vec![("op".into(), Json::Str(op.into()))])
+}
+
+fn field_u32(v: &Json, name: &str) -> Result<u32, String> {
+    v.get(name)
+        .and_then(Json::as_u32)
+        .ok_or_else(|| format!("missing integer field '{name}'"))
+}
+
+/// A successful single-query answer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryReply {
+    /// `(node, rank)` pairs, best rank first.
+    pub entries: Vec<(u32, u32)>,
+    /// Whether the result came from the cache.
+    pub cached: bool,
+    /// The index epoch the result was computed (or cached) against.
+    pub epoch: u64,
+}
+
+/// A successful batch answer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchReply {
+    /// Per-node `(node, rank)` result lists, in request order.
+    pub results: Vec<Vec<(u32, u32)>>,
+    /// How many of the batch's answers were cache hits.
+    pub cached: u64,
+    /// The index epoch the *last* answer saw (a merge may land mid-batch).
+    pub epoch: u64,
+}
+
+/// The serving counters returned by the `stats` op.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Queries answered (batch ops count each node).
+    pub queries: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses (lookups only; `cache:false` traffic counts
+    /// neither a hit nor a miss).
+    pub cache_misses: u64,
+    /// Entries currently cached.
+    pub cache_entries: u64,
+    /// Entries evicted by LRU capacity pressure.
+    pub cache_evictions: u64,
+    /// Entries evicted because their epoch went stale.
+    pub cache_stale_evicted: u64,
+    /// Result-cache capacity (0 = caching disabled).
+    pub cache_capacity: u64,
+    /// Current index epoch ([`rkranks_core::RkrIndex::epoch`]).
+    pub epoch: u64,
+    /// Merge rounds performed (cadence-triggered, flush, and shutdown).
+    pub merges: u64,
+    /// Non-empty write-logs folded across all merge rounds.
+    pub deltas_merged: u64,
+    /// Worker threads serving connections.
+    pub workers: u64,
+}
+
+impl StatsReply {
+    const FIELDS: [&'static str; 11] = [
+        "queries",
+        "cache_hits",
+        "cache_misses",
+        "cache_entries",
+        "cache_evictions",
+        "cache_stale_evicted",
+        "cache_capacity",
+        "epoch",
+        "merges",
+        "deltas_merged",
+        "workers",
+    ];
+
+    fn values(&self) -> [u64; 11] {
+        [
+            self.queries,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_entries,
+            self.cache_evictions,
+            self.cache_stale_evicted,
+            self.cache_capacity,
+            self.epoch,
+            self.merges,
+            self.deltas_merged,
+            self.workers,
+        ]
+    }
+
+    fn to_json(self) -> Json {
+        Json::Obj(
+            Self::FIELDS
+                .iter()
+                .zip(self.values())
+                .map(|(&f, v)| (f.to_string(), Json::num(v as f64)))
+                .collect(),
+        )
+    }
+
+    fn from_json(v: &Json) -> Result<StatsReply, String> {
+        let mut out = StatsReply::default();
+        let slots: [&mut u64; 11] = [
+            &mut out.queries,
+            &mut out.cache_hits,
+            &mut out.cache_misses,
+            &mut out.cache_entries,
+            &mut out.cache_evictions,
+            &mut out.cache_stale_evicted,
+            &mut out.cache_capacity,
+            &mut out.epoch,
+            &mut out.merges,
+            &mut out.deltas_merged,
+            &mut out.workers,
+        ];
+        for (field, slot) in Self::FIELDS.iter().zip(slots) {
+            *slot = v
+                .get(field)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing counter '{field}'"))?;
+        }
+        Ok(out)
+    }
+}
+
+/// A decoded server reply.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// Answer to a `query` op.
+    Query(QueryReply),
+    /// Answer to a `batch` op.
+    Batch(BatchReply),
+    /// Answer to a `stats` op.
+    Stats(StatsReply),
+    /// Answer to a `flush` op: the epoch after the merge and how many
+    /// write-logs it folded.
+    Flush {
+        /// Index epoch after the merge.
+        epoch: u64,
+        /// Number of pending deltas folded (0 = nothing to do).
+        merged: u64,
+    },
+    /// Acknowledgement of a `shutdown` op.
+    Shutdown,
+    /// The request failed; the connection stays usable.
+    Error(String),
+}
+
+impl Reply {
+    /// Encode for the wire (without the trailing newline).
+    pub fn to_json(&self) -> Json {
+        let ok = |mut fields: Vec<(String, Json)>| {
+            fields.insert(0, ("ok".into(), Json::Bool(true)));
+            Json::Obj(fields)
+        };
+        match self {
+            Reply::Query(q) => ok(vec![
+                ("result".into(), entries_to_json(&q.entries)),
+                ("cached".into(), Json::Bool(q.cached)),
+                ("epoch".into(), Json::num(q.epoch as f64)),
+            ]),
+            Reply::Batch(b) => ok(vec![
+                (
+                    "results".into(),
+                    Json::Arr(b.results.iter().map(|r| entries_to_json(r)).collect()),
+                ),
+                ("cached".into(), Json::num(b.cached as f64)),
+                ("epoch".into(), Json::num(b.epoch as f64)),
+            ]),
+            Reply::Stats(s) => ok(vec![("stats".into(), s.to_json())]),
+            Reply::Flush { epoch, merged } => ok(vec![
+                ("epoch".into(), Json::num(*epoch as f64)),
+                ("merged".into(), Json::num(*merged as f64)),
+            ]),
+            Reply::Shutdown => ok(vec![("bye".into(), Json::Bool(true))]),
+            Reply::Error(msg) => Json::Obj(vec![
+                ("ok".into(), Json::Bool(false)),
+                ("error".into(), Json::Str(msg.clone())),
+            ]),
+        }
+    }
+
+    /// Decode one reply line.
+    pub fn from_line(line: &str) -> Result<Reply, String> {
+        let v = Json::parse(line).map_err(|e| e.to_string())?;
+        match v.get("ok").and_then(Json::as_bool) {
+            Some(true) => {}
+            Some(false) => {
+                let msg = v
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified server error");
+                return Ok(Reply::Error(msg.to_string()));
+            }
+            None => return Err("missing boolean field 'ok'".into()),
+        }
+        if let Some(result) = v.get("result") {
+            return Ok(Reply::Query(QueryReply {
+                entries: entries_from_json(result)?,
+                cached: v
+                    .get("cached")
+                    .and_then(Json::as_bool)
+                    .ok_or("missing boolean field 'cached'")?,
+                epoch: field_u64(&v, "epoch")?,
+            }));
+        }
+        if let Some(results) = v.get("results") {
+            let results = results
+                .as_arr()
+                .ok_or("'results' is not an array")?
+                .iter()
+                .map(entries_from_json)
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(Reply::Batch(BatchReply {
+                results,
+                cached: field_u64(&v, "cached")?,
+                epoch: field_u64(&v, "epoch")?,
+            }));
+        }
+        if let Some(stats) = v.get("stats") {
+            return Ok(Reply::Stats(StatsReply::from_json(stats)?));
+        }
+        if v.get("bye").is_some() {
+            return Ok(Reply::Shutdown);
+        }
+        if v.get("merged").is_some() {
+            return Ok(Reply::Flush {
+                epoch: field_u64(&v, "epoch")?,
+                merged: field_u64(&v, "merged")?,
+            });
+        }
+        Err("unrecognized reply shape".into())
+    }
+}
+
+fn field_u64(v: &Json, name: &str) -> Result<u64, String> {
+    v.get(name)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing integer field '{name}'"))
+}
+
+fn entries_to_json(entries: &[(u32, u32)]) -> Json {
+    Json::Arr(
+        entries
+            .iter()
+            .map(|&(n, r)| Json::Arr(vec![Json::num(n), Json::num(r)]))
+            .collect(),
+    )
+}
+
+fn entries_from_json(v: &Json) -> Result<Vec<(u32, u32)>, String> {
+    v.as_arr()
+        .ok_or("result list is not an array")?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_arr().filter(|p| p.len() == 2).ok_or("bad entry")?;
+            Ok((
+                pair[0].as_u32().ok_or("bad node id")?,
+                pair[1].as_u32().ok_or("bad rank")?,
+            ))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let line = req.to_json().render();
+        assert_eq!(Request::from_line(&line).unwrap(), req, "line: {line}");
+    }
+
+    fn round_trip_reply(reply: Reply) {
+        let line = reply.to_json().render();
+        assert_eq!(Reply::from_line(&line).unwrap(), reply, "line: {line}");
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Query {
+            node: 17,
+            k: 10,
+            cache: true,
+        });
+        round_trip_request(Request::Query {
+            node: 0,
+            k: 1,
+            cache: false,
+        });
+        round_trip_request(Request::Batch {
+            nodes: vec![3, 17, 5],
+            k: 10,
+        });
+        round_trip_request(Request::Batch {
+            nodes: vec![],
+            k: 2,
+        });
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::Flush);
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        round_trip_reply(Reply::Query(QueryReply {
+            entries: vec![(1, 2), (3, 2)],
+            cached: true,
+            epoch: 7,
+        }));
+        round_trip_reply(Reply::Query(QueryReply {
+            entries: vec![],
+            cached: false,
+            epoch: 0,
+        }));
+        round_trip_reply(Reply::Batch(BatchReply {
+            results: vec![vec![(1, 1)], vec![]],
+            cached: 1,
+            epoch: 3,
+        }));
+        round_trip_reply(Reply::Stats(StatsReply {
+            queries: 12,
+            cache_hits: 4,
+            cache_misses: 8,
+            cache_entries: 6,
+            cache_evictions: 2,
+            cache_stale_evicted: 1,
+            cache_capacity: 64,
+            epoch: 3,
+            merges: 2,
+            deltas_merged: 5,
+            workers: 4,
+        }));
+        round_trip_reply(Reply::Flush {
+            epoch: 4,
+            merged: 2,
+        });
+        round_trip_reply(Reply::Shutdown);
+        round_trip_reply(Reply::Error("k = 9 exceeds the index's K = 4".into()));
+    }
+
+    #[test]
+    fn missing_cache_field_defaults_to_cached() {
+        let req = Request::from_line(r#"{"op":"query","node":1,"k":2}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Query {
+                node: 1,
+                k: 2,
+                cache: true
+            }
+        );
+    }
+
+    #[test]
+    fn bad_requests_are_errors() {
+        for line in [
+            "",
+            "not json",
+            r#"{"node":1,"k":2}"#,
+            r#"{"op":"query","k":2}"#,
+            r#"{"op":"query","node":1}"#,
+            r#"{"op":"query","node":-1,"k":2}"#,
+            r#"{"op":"query","node":1.5,"k":2}"#,
+            r#"{"op":"batch","k":2}"#,
+            r#"{"op":"batch","nodes":[1,"x"],"k":2}"#,
+            r#"{"op":"explode"}"#,
+        ] {
+            assert!(Request::from_line(line).is_err(), "accepted {line:?}");
+        }
+    }
+
+    #[test]
+    fn bad_replies_are_errors() {
+        for line in ["{}", r#"{"ok":true}"#, r#"{"ok":true,"result":[[1]]}"#] {
+            assert!(Reply::from_line(line).is_err(), "accepted {line:?}");
+        }
+    }
+}

@@ -1,0 +1,739 @@
+//! The `rkrd` daemon: a fixed pool of worker threads serving the
+//! newline-delimited JSON protocol over TCP against one shared
+//! [`EngineContext`].
+//!
+//! ## Serving architecture
+//!
+//! * **Workers** accept connections from a shared non-blocking listener
+//!   and multiplex *all* of their accepted connections with non-blocking
+//!   round-robin reads — an idle keep-alive connection never pins a
+//!   worker, so control ops stay reachable no matter how many clients are
+//!   parked. Requests on one connection are served in order. Each worker
+//!   has its own [`QueryScratch`], so steady-state queries allocate
+//!   almost nothing.
+//! * **Index snapshots**: queries run against a frozen `Arc<RkrIndex>`
+//!   snapshot ([`EngineContext::query_indexed_snapshot`]) and log their
+//!   discoveries to per-query [`IndexDelta`] write-logs, which are queued
+//!   for the merger. Reads never block writes and vice versa.
+//! * **The merger** owns the master index. At a configurable cadence
+//!   (every `merge_every` queries, on a `flush` op, and at shutdown) it
+//!   folds the queued write-logs into the master, publishes a fresh
+//!   snapshot, and — because [`RkrIndex::merge_delta`] bumps the index
+//!   epoch — implicitly invalidates every cached result computed against
+//!   the old state. The cache is purged eagerly right after.
+//! * **The result cache** is an LRU keyed by
+//!   `(node, k, bounds, epoch)` ([`crate::cache::ResultCache`]); repeated
+//!   queries for hot nodes are answered without touching the graph.
+//!
+//! Query results are rank-identical to [`EngineContext::query_dynamic`]
+//! regardless of snapshot staleness or cache state — the index only ever
+//! prunes work — so caching and concurrency never cost correctness.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Duration;
+
+use rkranks_core::{BoundConfig, EngineContext, IndexDelta, Partition, QueryScratch, RkrIndex};
+use rkranks_graph::{Graph, NodeId};
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::protocol::{BatchReply, QueryReply, Reply, Request, StatsReply};
+
+/// How long a fully idle worker sleeps between event-loop passes (after
+/// the yield ramp) — bounds both idle CPU and how quickly shutdown is
+/// observed.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Daemon configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads; each serves one connection at a time.
+    pub workers: usize,
+    /// Result-cache entries (`0` disables caching entirely).
+    pub cache_capacity: usize,
+    /// Queries per merge epoch: the merger folds pending write-logs after
+    /// every `merge_every` served queries (cache hits included — under
+    /// hit-heavy traffic pending discoveries must still land). `0` means
+    /// merges happen only on an explicit `flush` op and at shutdown.
+    pub merge_every: u64,
+    /// Bound configuration every served query runs with (part of the
+    /// cache key, so it is fixed per daemon, not per request).
+    pub bounds: BoundConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            cache_capacity: 4096,
+            merge_every: 64,
+            bounds: BoundConfig::ALL,
+        }
+    }
+}
+
+/// Deltas waiting for the merger, plus the cadence bookkeeping.
+#[derive(Default)]
+struct PendingMerge {
+    deltas: Vec<IndexDelta>,
+    queries_since_merge: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    queries: AtomicU64,
+    merges: AtomicU64,
+    deltas_merged: AtomicU64,
+}
+
+/// Everything the worker, merger, and control paths share.
+struct Shared<'g> {
+    ctx: EngineContext<'g>,
+    config: ServerConfig,
+    /// The frozen index all queries read. Swapped wholesale by the merger.
+    snapshot: RwLock<Arc<RkrIndex>>,
+    /// The evolving master the merger folds write-logs into.
+    master: Mutex<RkrIndex>,
+    pending: Mutex<PendingMerge>,
+    merge_signal: Condvar,
+    cache: Option<Mutex<ResultCache>>,
+    counters: Counters,
+    shutdown: AtomicBool,
+}
+
+/// Serve until a client sends `shutdown`. Blocks the calling thread; use
+/// [`spawn`] for a background daemon. Returns the master index with every
+/// merged discovery (callers can persist it — the index keeps learning
+/// from served queries).
+pub fn serve(
+    graph: &Graph,
+    partition: Option<Partition>,
+    index: RkrIndex,
+    listener: TcpListener,
+    config: &ServerConfig,
+) -> RkrIndex {
+    let mut config = *config;
+    config.workers = config.workers.max(1);
+    let ctx = match partition {
+        Some(p) => EngineContext::bichromatic(graph, p),
+        None => EngineContext::new(graph),
+    };
+    // Pay the one-off transpose build before the first query is timed.
+    ctx.sds_graph();
+    let shared = Shared {
+        snapshot: RwLock::new(Arc::new(index.clone())),
+        master: Mutex::new(index),
+        pending: Mutex::new(PendingMerge::default()),
+        merge_signal: Condvar::new(),
+        cache: (config.cache_capacity > 0)
+            .then(|| Mutex::new(ResultCache::new(config.cache_capacity))),
+        counters: Counters::default(),
+        shutdown: AtomicBool::new(false),
+        config,
+        ctx,
+    };
+    listener
+        .set_nonblocking(true)
+        .expect("cannot poll the listener");
+    std::thread::scope(|s| {
+        s.spawn(|| merger_loop(&shared));
+        for _ in 0..shared.config.workers {
+            s.spawn(|| worker_loop(&shared, &listener));
+        }
+    });
+    // Every worker has joined, so every in-flight query has pushed its
+    // write-log; this final fold (here, not in the merger, which can
+    // observe the shutdown flag while workers are still mid-query) is
+    // what makes the returned index own everything the served queries
+    // discovered.
+    merge_pending(&shared);
+    shared.master.into_inner().expect("master lock poisoned")
+}
+
+/// A handle to a daemon running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    thread: std::thread::JoinHandle<RkrIndex>,
+}
+
+impl ServerHandle {
+    /// The address the daemon is listening on (with the real port when the
+    /// bind address asked for an ephemeral one).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Wait for the daemon to shut down (a client must send the `shutdown`
+    /// op) and return the final merged index.
+    pub fn join(self) -> RkrIndex {
+        self.thread.join().expect("server thread panicked")
+    }
+}
+
+/// Bind `addr` and serve on a background thread. The daemon owns the
+/// graph; it stops when a client sends the `shutdown` op.
+pub fn spawn(
+    graph: Graph,
+    partition: Option<Partition>,
+    index: RkrIndex,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let thread = std::thread::spawn(move || serve(&graph, partition, index, listener, &config));
+    Ok(ServerHandle { addr, thread })
+}
+
+/// Encode a [`BoundConfig`] for the cache key.
+fn bounds_bits(b: BoundConfig) -> u8 {
+    b.use_height as u8 | (b.use_count as u8) << 1
+}
+
+/// One multiplexed client connection: a non-blocking stream plus the
+/// bytes of a not-yet-complete request line.
+struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+/// What one poll of a connection produced.
+enum ConnPoll {
+    /// No bytes available.
+    Idle,
+    /// Served at least one request or made read progress.
+    Progressed,
+    /// EOF, I/O error, or an acknowledged `shutdown` — drop it.
+    Closed,
+}
+
+/// Each worker owns a *set* of connections and round-robins over them
+/// with non-blocking reads, so idle keep-alive connections never pin a
+/// worker — a `ctl shutdown` can always get accepted and served no
+/// matter how many clients are parked. Requests on one connection are
+/// still answered in order. When a pass over accept + every connection
+/// makes no progress, the worker yields briefly, then sleeps — the yield
+/// ramp keeps request/reply ping-pong latency low (the peer usually runs
+/// and responds within a few yields) without busy-burning an idle core.
+fn worker_loop(shared: &Shared<'_>, listener: &TcpListener) {
+    let mut scratch = shared.ctx.new_scratch();
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut idle_passes = 0u32;
+    while !shared.shutdown.load(Ordering::Acquire) {
+        let mut progressed = false;
+        // Drain the accept queue (the listener is non-blocking; any error
+        // — WouldBlock included — just ends the drain for this pass).
+        while let Ok((stream, _)) = listener.accept() {
+            if stream.set_nonblocking(true).is_ok() {
+                let _ = stream.set_nodelay(true);
+                conns.push(Conn {
+                    stream,
+                    buf: Vec::new(),
+                });
+                progressed = true;
+            }
+        }
+        let mut i = 0;
+        while i < conns.len() {
+            match poll_connection(shared, &mut scratch, &mut conns[i]) {
+                ConnPoll::Idle => i += 1,
+                ConnPoll::Progressed => {
+                    progressed = true;
+                    i += 1;
+                }
+                ConnPoll::Closed => {
+                    progressed = true;
+                    conns.swap_remove(i);
+                }
+            }
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+        }
+        if progressed {
+            idle_passes = 0;
+        } else {
+            idle_passes += 1;
+            if idle_passes < 256 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(POLL);
+            }
+        }
+    }
+}
+
+/// Read whatever `conn` has available and answer every complete request
+/// line in it. Never blocks.
+fn poll_connection(shared: &Shared<'_>, scratch: &mut QueryScratch, conn: &mut Conn) -> ConnPoll {
+    let mut chunk = [0u8; 4096];
+    let mut progressed = false;
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => return ConnPoll::Closed,
+            Ok(n) => {
+                progressed = true;
+                conn.buf.extend_from_slice(&chunk[..n]);
+                while let Some(pos) = conn.buf.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = conn.buf.drain(..=pos).collect();
+                    let text = String::from_utf8_lossy(&line);
+                    let text = text.trim();
+                    if text.is_empty() {
+                        continue;
+                    }
+                    let reply = match Request::from_line(text) {
+                        Ok(req) => execute(shared, scratch, req),
+                        Err(msg) => Reply::Error(format!("bad request: {msg}")),
+                    };
+                    let is_shutdown = matches!(reply, Reply::Shutdown);
+                    let mut out = reply.to_json().render();
+                    out.push('\n');
+                    if write_all_nonblocking(&mut conn.stream, out.as_bytes()).is_err()
+                        || is_shutdown
+                    {
+                        return ConnPoll::Closed;
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                return if progressed {
+                    ConnPoll::Progressed
+                } else {
+                    ConnPoll::Idle
+                };
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return ConnPoll::Closed,
+        }
+    }
+}
+
+/// `write_all` for a non-blocking stream: replies are small, so a full
+/// send buffer is rare — wait it out politely instead of dropping data.
+fn write_all_nonblocking(stream: &mut TcpStream, mut buf: &[u8]) -> io::Result<()> {
+    while !buf.is_empty() {
+        match stream.write(buf) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    stream.flush()
+}
+
+fn execute(shared: &Shared<'_>, scratch: &mut QueryScratch, req: Request) -> Reply {
+    match req {
+        Request::Query { node, k, cache } => match run_query(shared, scratch, node, k, cache) {
+            Ok(q) => Reply::Query(q),
+            Err(msg) => Reply::Error(msg),
+        },
+        Request::Batch { nodes, k } => {
+            let mut results = Vec::with_capacity(nodes.len());
+            let mut cached = 0u64;
+            let mut epoch = 0u64;
+            for node in nodes {
+                match run_query(shared, scratch, node, k, true) {
+                    Ok(q) => {
+                        cached += q.cached as u64;
+                        epoch = q.epoch;
+                        results.push(q.entries);
+                    }
+                    Err(msg) => return Reply::Error(msg),
+                }
+            }
+            Reply::Batch(BatchReply {
+                results,
+                cached,
+                epoch,
+            })
+        }
+        Request::Stats => Reply::Stats(stats_snapshot(shared)),
+        Request::Flush => {
+            let (epoch, merged) = merge_pending(shared);
+            Reply::Flush { epoch, merged }
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::Release);
+            // Wake the merger so it notices the flag and exits promptly.
+            shared.merge_signal.notify_all();
+            Reply::Shutdown
+        }
+    }
+}
+
+fn run_query(
+    shared: &Shared<'_>,
+    scratch: &mut QueryScratch,
+    node: u32,
+    k: u32,
+    use_cache: bool,
+) -> Result<QueryReply, String> {
+    shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+    let snapshot = shared
+        .snapshot
+        .read()
+        .expect("snapshot lock poisoned")
+        .clone();
+    let epoch = snapshot.epoch();
+    let key = CacheKey {
+        node,
+        k,
+        bounds: bounds_bits(shared.config.bounds),
+        epoch,
+    };
+    if use_cache {
+        if let Some(cache) = &shared.cache {
+            let hit = cache
+                .lock()
+                .expect("cache lock poisoned")
+                .get(&key)
+                .cloned();
+            if let Some(entries) = hit {
+                // Hits count toward the merge cadence too: "merge every N
+                // served queries" must hold under hit-heavy traffic, or
+                // pending deltas could sit unmerged indefinitely.
+                note_query_for_cadence(shared, None);
+                return Ok(QueryReply {
+                    entries,
+                    cached: true,
+                    epoch,
+                });
+            }
+        }
+    }
+    let mut delta = IndexDelta::for_index(&snapshot);
+    let result = shared
+        .ctx
+        .query_indexed_snapshot(
+            scratch,
+            &snapshot,
+            &mut delta,
+            NodeId(node),
+            k,
+            shared.config.bounds,
+        )
+        .map_err(|e| e.to_string())?;
+    let entries: Vec<(u32, u32)> = result.entries.iter().map(|e| (e.node.0, e.rank)).collect();
+    note_query_for_cadence(shared, Some(delta));
+    if use_cache {
+        if let Some(cache) = &shared.cache {
+            cache
+                .lock()
+                .expect("cache lock poisoned")
+                .insert(key, entries.clone());
+        }
+    }
+    Ok(QueryReply {
+        entries,
+        cached: false,
+        epoch,
+    })
+}
+
+/// Count one served query toward the merge cadence (queuing its
+/// write-log, if it produced a non-empty one) and wake the merger when
+/// the cadence is due.
+fn note_query_for_cadence(shared: &Shared<'_>, delta: Option<IndexDelta>) {
+    let merge_due = {
+        let mut pending = shared.pending.lock().expect("pending lock poisoned");
+        if let Some(delta) = delta {
+            if !delta.is_empty() {
+                pending.deltas.push(delta);
+            }
+        }
+        pending.queries_since_merge += 1;
+        shared.config.merge_every > 0
+            && pending.queries_since_merge >= shared.config.merge_every
+            && !pending.deltas.is_empty()
+    };
+    if merge_due {
+        shared.merge_signal.notify_one();
+    }
+}
+
+/// Fold every pending write-log into the master index, publish a fresh
+/// snapshot, and purge newly stale cache entries. Returns the resulting
+/// epoch and how many deltas were folded. Safe to call from any thread.
+fn merge_pending(shared: &Shared<'_>) -> (u64, u64) {
+    let deltas: Vec<IndexDelta> = {
+        let mut pending = shared.pending.lock().expect("pending lock poisoned");
+        pending.queries_since_merge = 0;
+        std::mem::take(&mut pending.deltas)
+    };
+    // The master lock is held through snapshot publication so two
+    // concurrent merges cannot publish out of order.
+    let mut master = shared.master.lock().expect("master lock poisoned");
+    if deltas.is_empty() {
+        return (master.epoch(), 0);
+    }
+    for delta in &deltas {
+        master.merge_delta(delta);
+    }
+    let snapshot = Arc::new(master.clone());
+    let epoch = snapshot.epoch();
+    *shared.snapshot.write().expect("snapshot lock poisoned") = snapshot;
+    if let Some(cache) = &shared.cache {
+        cache
+            .lock()
+            .expect("cache lock poisoned")
+            .purge_stale(epoch);
+    }
+    shared.counters.merges.fetch_add(1, Ordering::Relaxed);
+    shared
+        .counters
+        .deltas_merged
+        .fetch_add(deltas.len() as u64, Ordering::Relaxed);
+    (epoch, deltas.len() as u64)
+}
+
+fn merger_loop(shared: &Shared<'_>) {
+    let mut pending = shared.pending.lock().expect("pending lock poisoned");
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let due = shared.config.merge_every > 0
+            && pending.queries_since_merge >= shared.config.merge_every
+            && !pending.deltas.is_empty();
+        if due {
+            drop(pending);
+            merge_pending(shared);
+            pending = shared.pending.lock().expect("pending lock poisoned");
+            continue;
+        }
+        // Timed wait: a notify can be missed between the check and the
+        // wait, and shutdown may happen without a signal.
+        let (guard, _) = shared
+            .merge_signal
+            .wait_timeout(pending, Duration::from_millis(50))
+            .expect("pending lock poisoned");
+        pending = guard;
+    }
+    // The final shutdown fold happens in `serve` after every worker has
+    // joined — a fold here could race with workers still finishing their
+    // last queries and silently drop their write-logs.
+}
+
+fn stats_snapshot(shared: &Shared<'_>) -> StatsReply {
+    let (cache_hits, cache_misses, cache_evictions, cache_stale_evicted, cache_entries) =
+        match &shared.cache {
+            Some(cache) => {
+                let cache = cache.lock().expect("cache lock poisoned");
+                let (h, m, e, s) = cache.counters();
+                (h, m, e, s, cache.len() as u64)
+            }
+            None => (0, 0, 0, 0, 0),
+        };
+    StatsReply {
+        queries: shared.counters.queries.load(Ordering::Relaxed),
+        cache_hits,
+        cache_misses,
+        cache_entries,
+        cache_evictions,
+        cache_stale_evicted,
+        cache_capacity: shared.config.cache_capacity as u64,
+        epoch: shared
+            .snapshot
+            .read()
+            .expect("snapshot lock poisoned")
+            .epoch(),
+        merges: shared.counters.merges.load(Ordering::Relaxed),
+        deltas_merged: shared.counters.deltas_merged.load(Ordering::Relaxed),
+        workers: shared.config.workers as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Client;
+    use rkranks_graph::{graph_from_edges, EdgeDirection};
+
+    fn grid() -> Graph {
+        graph_from_edges(
+            EdgeDirection::Undirected,
+            [
+                (0, 1, 1.0),
+                (1, 2, 1.5),
+                (2, 3, 0.5),
+                (3, 0, 2.0),
+                (1, 3, 1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn spawn_grid(config: ServerConfig) -> ServerHandle {
+        let g = grid();
+        let index = RkrIndex::empty(g.num_nodes(), 16);
+        spawn(g, None, index, "127.0.0.1:0", config).expect("bind loopback")
+    }
+
+    #[test]
+    fn query_stats_flush_shutdown_round_trip() {
+        let handle = spawn_grid(ServerConfig {
+            workers: 2,
+            cache_capacity: 16,
+            merge_every: 0, // merges only via flush → deterministic epochs
+            bounds: BoundConfig::ALL,
+        });
+        let mut client = Client::connect(handle.addr()).unwrap();
+
+        let first = client.query(0, 2).unwrap();
+        assert_eq!(first.entries.len(), 2);
+        assert!(!first.cached);
+        assert_eq!(first.epoch, 0);
+
+        // repeat: served from cache, same entries
+        let second = client.query(0, 2).unwrap();
+        assert!(second.cached);
+        assert_eq!(second.entries, first.entries);
+
+        // flush merges the first query's discoveries and bumps the epoch
+        let (epoch, merged) = client.flush().unwrap();
+        assert!(merged >= 1);
+        assert!(epoch >= 1);
+
+        // the cached entry is stale now → a fresh miss, same ranks
+        let third = client.query(0, 2).unwrap();
+        assert!(!third.cached, "epoch bump must evict the cached result");
+        assert_eq!(third.epoch, epoch);
+        let ranks = |e: &[(u32, u32)]| e.iter().map(|&(_, r)| r).collect::<Vec<_>>();
+        assert_eq!(ranks(&third.entries), ranks(&first.entries));
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 2);
+        assert!(stats.cache_stale_evicted >= 1);
+        assert_eq!(stats.epoch, epoch);
+        assert_eq!(stats.merges, 1);
+
+        client.shutdown().unwrap();
+        let final_index = handle.join();
+        assert!(final_index.rrd_entries() > 0, "served discoveries persist");
+    }
+
+    #[test]
+    fn batch_and_error_replies() {
+        let handle = spawn_grid(ServerConfig {
+            workers: 1,
+            cache_capacity: 8,
+            // merges only on flush, so the repeated node's cache hit is
+            // deterministic (a cadence merge could bump the epoch mid-batch)
+            merge_every: 0,
+            bounds: BoundConfig::ALL,
+        });
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let batch = client.batch(&[0, 1, 0], 2).unwrap();
+        assert_eq!(batch.results.len(), 3);
+        assert_eq!(batch.results[0].len(), 2);
+        assert!(batch.cached >= 1, "the repeated node should hit the cache");
+
+        // an invalid node is an error, and the connection survives it
+        let err = client.query(99, 2).unwrap_err();
+        assert!(err.to_string().contains("out of bounds"), "{err}");
+        let err = client.query(0, 99).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+        assert!(client.stats().is_ok(), "connection must stay usable");
+
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn uncached_queries_skip_the_cache() {
+        let handle = spawn_grid(ServerConfig {
+            workers: 1,
+            cache_capacity: 8,
+            merge_every: 0,
+            bounds: BoundConfig::ALL,
+        });
+        let mut client = Client::connect(handle.addr()).unwrap();
+        client.query_uncached(0, 2).unwrap();
+        let reply = client.query_uncached(0, 2).unwrap();
+        assert!(!reply.cached);
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.cache_hits + stats.cache_misses, 0);
+        assert_eq!(stats.cache_entries, 0);
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn cacheless_server_works() {
+        let handle = spawn_grid(ServerConfig {
+            workers: 2,
+            cache_capacity: 0,
+            merge_every: 1,
+            bounds: BoundConfig::ALL,
+        });
+        let mut client = Client::connect(handle.addr()).unwrap();
+        for _ in 0..4 {
+            let r = client.query(0, 2).unwrap();
+            assert!(!r.cached);
+        }
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.cache_capacity, 0);
+        assert_eq!(stats.cache_hits, 0);
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    /// Regression: idle keep-alive connections must not starve the pool.
+    /// With a single worker, parked clients and active clients share it —
+    /// control ops (and shutdown!) stay reachable.
+    #[test]
+    fn idle_connections_do_not_starve_the_worker_pool() {
+        let handle = spawn_grid(ServerConfig {
+            workers: 1,
+            cache_capacity: 8,
+            merge_every: 0,
+            bounds: BoundConfig::ALL,
+        });
+        let addr = handle.addr();
+        // two clients connect and go idle without sending anything
+        let mut idle_a = Client::connect(addr).unwrap();
+        let mut idle_b = Client::connect(addr).unwrap();
+        // a third client must still be served by the one worker
+        let mut active = Client::connect(addr).unwrap();
+        let reply = active.query(0, 2).unwrap();
+        assert_eq!(reply.entries.len(), 2);
+        // the parked clients wake up and get served too
+        assert_eq!(idle_a.query(1, 2).unwrap().entries.len(), 2);
+        assert!(idle_b.stats().unwrap().queries >= 2);
+        // shutdown is reachable while the idle connections are still open
+        active.shutdown().unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn malformed_lines_get_error_replies() {
+        use std::io::{BufRead, BufReader, Write};
+        let handle = spawn_grid(ServerConfig::default());
+        let stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        writer.write_all(b"this is not json\n").unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"ok\":false"), "{line}");
+        assert!(line.contains("bad request"), "{line}");
+        // the same connection still serves valid requests
+        line.clear();
+        writer
+            .write_all(b"{\"op\":\"query\",\"node\":0,\"k\":1}\n")
+            .unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"ok\":true"), "{line}");
+        line.clear();
+        writer.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("bye"), "{line}");
+        handle.join();
+    }
+}

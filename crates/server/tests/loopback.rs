@@ -1,0 +1,205 @@
+//! Loopback integration: concurrent clients issuing a Zipf-skewed workload
+//! against a live `rkrd` daemon must get results rank-identical to
+//! in-process `query_dynamic`, across cache on/off and multiple merge
+//! cadences — and the `stats` op's hit/miss and epoch counters must show
+//! the cache and the epoch-based invalidation actually working.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rkranks_core::{BoundConfig, EngineContext, RkrIndex};
+use rkranks_datasets::zipf::Zipf;
+use rkranks_datasets::{collab_graph, CollabParams};
+use rkranks_graph::Graph;
+use rkranks_server::{spawn, Client, ServerConfig};
+
+const K: u32 = 5;
+const K_MAX: u32 = 16;
+const CLIENTS: usize = 4;
+const QUERIES_PER_CLIENT: usize = 40;
+
+fn test_graph() -> Graph {
+    collab_graph(&CollabParams::with_authors(150, 0xC0FFEE))
+}
+
+/// A Zipf(α = 1.2) workload over the node ids: a few hot nodes dominate,
+/// like real recommendation traffic — exactly what a result cache exists
+/// for.
+fn zipf_workload(n: u32, count: usize, seed: u64) -> Vec<u32> {
+    let z = Zipf::new(n as usize, 1.2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (z.sample(&mut rng) - 1) as u32)
+        .collect()
+}
+
+/// Ground truth: per-node ranks from the plain dynamic search.
+fn expected_ranks(g: &Graph) -> BTreeMap<u32, Vec<u32>> {
+    let ctx = EngineContext::new(g);
+    let mut scratch = ctx.new_scratch();
+    g.nodes()
+        .map(|q| {
+            let r = ctx
+                .query_dynamic(&mut scratch, q, K, BoundConfig::ALL)
+                .unwrap();
+            (q.0, r.ranks())
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_zipf_clients_match_query_dynamic() {
+    let g = test_graph();
+    let n = g.num_nodes();
+    let expected = expected_ranks(&g);
+
+    // cache on/off × two merge cadences (tight and coarse)
+    for (cache_capacity, merge_every) in [(0, 1), (0, 16), (1024, 1), (1024, 16)] {
+        let handle = spawn(
+            test_graph(),
+            None,
+            RkrIndex::empty(n, K_MAX),
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: CLIENTS,
+                cache_capacity,
+                merge_every,
+                bounds: BoundConfig::ALL,
+            },
+        )
+        .expect("bind loopback");
+        let addr = handle.addr();
+
+        std::thread::scope(|s| {
+            for client_id in 0..CLIENTS {
+                let expected = &expected;
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let workload = zipf_workload(n, QUERIES_PER_CLIENT, 0xBEEF ^ client_id as u64);
+                    for (i, node) in workload.into_iter().enumerate() {
+                        let reply = client.query(node, K).expect("query");
+                        let got: Vec<u32> = reply.entries.iter().map(|&(_, r)| r).collect();
+                        assert_eq!(
+                            &got, &expected[&node],
+                            "cache={cache_capacity} merge_every={merge_every} \
+                             client={client_id} i={i} node={node}: ranks diverged"
+                        );
+                    }
+                });
+            }
+        });
+
+        let mut client = Client::connect(addr).expect("connect for stats");
+        let stats = client.stats().expect("stats");
+        let total = (CLIENTS * QUERIES_PER_CLIENT) as u64;
+        assert_eq!(
+            stats.queries, total,
+            "merge_every={merge_every}: lost queries"
+        );
+        if cache_capacity > 0 {
+            assert_eq!(
+                stats.cache_hits + stats.cache_misses,
+                total,
+                "every cached-path query is a hit or a miss"
+            );
+            assert!(
+                stats.cache_hits > 0,
+                "a Zipf workload must produce repeat hits (misses={})",
+                stats.cache_misses
+            );
+        } else {
+            assert_eq!(stats.cache_hits + stats.cache_misses, 0);
+            assert_eq!(stats.cache_entries, 0);
+        }
+        // queries on a fresh empty index discover ranks, so merges must
+        // have happened and advanced the epoch
+        assert!(
+            stats.epoch > 0,
+            "merge_every={merge_every}: cadence merges never ran"
+        );
+        assert!(stats.merges > 0);
+        assert!(stats.deltas_merged > 0);
+        if cache_capacity > 0 {
+            assert!(
+                stats.cache_stale_evicted > 0,
+                "epoch bumps must evict stale cache entries"
+            );
+        }
+
+        client.shutdown().expect("shutdown");
+        let learned = handle.join();
+        assert!(learned.rrd_entries() > 0, "served queries teach the index");
+        // the shutdown fold may absorb a few last deltas, never lose any
+        assert!(learned.epoch() >= stats.epoch);
+    }
+}
+
+/// Deterministic epoch-invalidation walk-through: hit, bump, miss — the
+/// `stats` counters tell the story at every step.
+#[test]
+fn epoch_bump_evicts_stale_entries() {
+    let g = test_graph();
+    let n = g.num_nodes();
+    let handle = spawn(
+        g,
+        None,
+        RkrIndex::empty(n, K_MAX),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            cache_capacity: 64,
+            merge_every: 0, // merges only on flush → epochs move on command
+            bounds: BoundConfig::ALL,
+        },
+    )
+    .expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let cold = client.query(0, K).expect("cold query");
+    assert!(!cold.cached);
+    assert_eq!(cold.epoch, 0);
+    let warm = client.query(0, K).expect("warm query");
+    assert!(warm.cached, "repeat query must be served from the cache");
+    assert_eq!(warm.entries, cold.entries);
+
+    let before = client.stats().expect("stats");
+    assert_eq!((before.cache_hits, before.cache_misses), (1, 1));
+    assert_eq!(before.epoch, 0);
+    assert_eq!(before.cache_stale_evicted, 0);
+
+    // the cold query discovered ranks → flushing folds them and bumps
+    // the epoch, which strands the cached entry
+    let (epoch, merged) = client.flush().expect("flush");
+    assert!(merged >= 1, "the cold query must have produced a delta");
+    assert!(epoch > 0);
+
+    let after_flush = client.stats().expect("stats");
+    assert_eq!(after_flush.epoch, epoch);
+    assert!(after_flush.merges >= 1);
+    assert!(
+        after_flush.cache_stale_evicted >= 1,
+        "the merge must purge the epoch-0 entry"
+    );
+
+    let reheat = client.query(0, K).expect("post-bump query");
+    assert!(!reheat.cached, "stale entry must not serve the new epoch");
+    assert_eq!(reheat.epoch, epoch);
+    let ranks = |e: &[(u32, u32)]| e.iter().map(|&(_, r)| r).collect::<Vec<_>>();
+    assert_eq!(ranks(&reheat.entries), ranks(&cold.entries));
+
+    // a second flush with nothing pending must NOT bump the epoch (the
+    // reheat query may or may not have discovered anything new, so flush
+    // twice: the second is guaranteed empty)
+    client.flush().expect("drain flush");
+    let (epoch2, merged2) = client.flush().expect("empty flush");
+    assert_eq!(merged2, 0);
+    let final_stats = client.stats().expect("stats");
+    assert_eq!(
+        final_stats.epoch, epoch2,
+        "empty merges must not invalidate"
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}

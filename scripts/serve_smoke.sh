@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Loopback serving smoke: start rkrd on an ephemeral port, run a remote
+# query, assert it is rank-identical to the in-process dynamic query, and
+# shut the daemon down cleanly. Mirrors tests/serve_smoke.rs for CI logs
+# that show the real binary doing the real round-trip.
+set -euo pipefail
+
+RKR="${RKR:-target/release/rkr}"
+WORK="$(mktemp -d)"
+trap 'kill "${SERVE_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+"$RKR" gen dblp --scale tiny --seed 7 --out "$WORK/g.edges"
+
+"$RKR" serve "$WORK/g.edges" --addr 127.0.0.1:0 --workers 2 --cache 256 \
+    --merge-every 8 > "$WORK/serve.log" &
+SERVE_PID=$!
+
+# wait for the banner and scrape the bound address
+for _ in $(seq 1 100); do
+    ADDR="$(grep -oE '127\.0\.0\.1:[0-9]+' "$WORK/serve.log" | head -1 || true)"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "${ADDR:-}" ] || { echo "rkrd never printed its address"; cat "$WORK/serve.log"; exit 1; }
+echo "rkrd up at $ADDR"
+
+# remote result must be rank-identical to the in-process dynamic query
+"$RKR" query --remote "$ADDR" --node 5 --k 4 | grep ' rank ' | sort > "$WORK/remote.txt"
+"$RKR" query "$WORK/g.edges" --node 5 --k 4 --algo dynamic | grep ' rank ' | sort > "$WORK/local.txt"
+diff -u "$WORK/local.txt" "$WORK/remote.txt"
+echo "remote == in-process"
+
+# a repeat is a cache hit
+"$RKR" query --remote "$ADDR" --node 5 --k 4 | grep -q 'cached: true'
+echo "cache hit observed"
+
+"$RKR" ctl "$ADDR" stats
+"$RKR" ctl "$ADDR" flush
+"$RKR" ctl "$ADDR" shutdown
+
+# clean exit
+wait "$SERVE_PID"
+SERVE_PID=""
+cat "$WORK/serve.log"
+echo "serve smoke OK"

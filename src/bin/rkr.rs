@@ -10,12 +10,19 @@
 //! rkr batch <graph.edges> --queries N --k K [--algo naive|static|dynamic|indexed] [--threads T]
 //!                 [--indexed-mode sequential|snapshot] [--merge-every M]
 //!                 [--index index.rkri] [--seed S]
+//! rkr serve <graph.edges> [--addr HOST:PORT] [--workers N] [--cache N] [--merge-every M]
+//!                 [--index index.rkri] [--kmax K] [--save-index]
+//! rkr query --remote HOST:PORT --node Q --k K [--no-cache]
+//! rkr ctl <HOST:PORT> stats|flush|shutdown
 //! ```
 //!
 //! A thin shell over the library — everything it does is a few calls into
 //! the public API. `batch` drives the eval runner: one shared
 //! `EngineContext`, per-worker scratch, and (for `--indexed-mode snapshot`)
 //! concurrent indexed serving against a frozen index with delta merges.
+//! `serve` runs the `rkrd` daemon (see `rkranks_server`): a worker pool
+//! answering the line-delimited JSON protocol with an LRU result cache and
+//! epoch-based invalidation; `query --remote` and `ctl` are its clients.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -29,14 +36,19 @@ use rkranks_eval::workload::random_queries;
 use rkranks_graph::io::{load_graph, save_graph};
 use rkranks_graph::metrics::{degree_stats, weight_stats};
 use rkranks_graph::traversal::is_weakly_connected;
+use rkranks_server::{Client, ServerConfig};
 
 const USAGE: &str = "usage:
   rkr gen <dblp|epinions|road> [--scale S] [--seed N] --out FILE
   rkr stats <graph.edges>
   rkr build-index <graph.edges> --out FILE [--h F] [--m F] [--kmax K] [--strategy S] [--threads N]
   rkr query <graph.edges> --node Q --k K [--algo A] [--index FILE] [--save-index]
+  rkr query --remote HOST:PORT --node Q --k K [--no-cache]
   rkr batch <graph.edges> --queries N --k K [--algo naive|static|dynamic|indexed] [--threads T]
-            [--indexed-mode sequential|snapshot] [--merge-every M] [--index FILE] [--seed S]";
+            [--indexed-mode sequential|snapshot] [--merge-every M] [--index FILE] [--seed S]
+  rkr serve <graph.edges> [--addr HOST:PORT] [--workers N] [--cache N] [--merge-every M]
+            [--index FILE] [--kmax K] [--save-index]
+  rkr ctl <HOST:PORT> stats|flush|shutdown";
 
 fn main() -> ExitCode {
     match run(std::env::args().skip(1).collect()) {
@@ -107,6 +119,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
         Some("build-index") => cmd_build_index(&flags),
         Some("query") => cmd_query(&flags),
         Some("batch") => cmd_batch(&flags),
+        Some("serve") => cmd_serve(&flags),
+        Some("ctl") => cmd_ctl(&flags),
         _ => Err("missing or unknown command".into()),
     }
 }
@@ -231,6 +245,18 @@ fn cmd_batch(flags: &Flags) -> Result<(), String> {
             (out, format!("{algo}, {threads} threads"), start.elapsed())
         }
         None => {
+            // Validate the mode flags before paying for index preparation.
+            let mode = match flags.get("indexed-mode").unwrap_or("snapshot") {
+                "sequential" => IndexedMode::Sequential,
+                "snapshot" => IndexedMode::Snapshot {
+                    threads,
+                    // The internal 0 sentinel means "merge once at the end
+                    // of the batch"; it is reachable only by omitting the
+                    // flag, never by passing an explicit 0.
+                    merge_every: parse_merge_every(flags, 0)?,
+                },
+                other => return Err(format!("unknown indexed mode '{other}'")),
+            };
             let mut index = match flags.get("index") {
                 Some(path) => load_index(path).map_err(|e| e.to_string())?,
                 None => {
@@ -241,14 +267,6 @@ fn cmd_batch(flags: &Flags) -> Result<(), String> {
                     };
                     EngineContext::new(&g).build_index(&params).0
                 }
-            };
-            let mode = match flags.get("indexed-mode").unwrap_or("snapshot") {
-                "sequential" => IndexedMode::Sequential,
-                "snapshot" => IndexedMode::Snapshot {
-                    threads,
-                    merge_every: flags.get_parsed("merge-every", 0)?,
-                },
-                other => return Err(format!("unknown indexed mode '{other}'")),
             };
             let start = Instant::now();
             let out = run_indexed_batch(&g, None, &mut index, &queries, k, BoundConfig::ALL, mode)
@@ -276,7 +294,154 @@ fn cmd_batch(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `--merge-every` with an explicit `0` rejected: zero would mean "merge
+/// never" (batch) or "merge only on ctl flush" (serve), both of which are
+/// better expressed by omitting the flag — and an accidental 0 silently
+/// disabling merging is exactly the kind of foot-gun args validation
+/// exists for.
+fn parse_merge_every(flags: &Flags, default: usize) -> Result<usize, String> {
+    let merge_every: usize = flags.get_parsed("merge-every", default)?;
+    if flags.get("merge-every").is_some() && merge_every == 0 {
+        return Err(
+            "--merge-every must be at least 1 (omit the flag for the default cadence)".into(),
+        );
+    }
+    Ok(merge_every)
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let g = graph_arg(flags)?;
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7878");
+    let workers: usize = flags.get_parsed("workers", 4)?;
+    let cache: usize = flags.get_parsed("cache", 4096)?;
+    let merge_every = parse_merge_every(flags, 64)? as u64;
+    let kmax: u32 = flags.get_parsed("kmax", 100)?;
+    // Validate the write-back path *before* serving: discovering the
+    // missing --index only at shutdown would throw away everything the
+    // daemon learned over its whole run.
+    let save_path = if flags.has("save-index") {
+        Some(
+            flags
+                .get("index")
+                .ok_or("--save-index needs --index FILE to write back to")?
+                .to_string(),
+        )
+    } else {
+        None
+    };
+    let index = match flags.get("index") {
+        Some(path) => load_index(path).map_err(|e| e.to_string())?,
+        // No prebuilt index: start empty and let the daemon learn from the
+        // queries it serves (every merge sharpens the snapshot).
+        None => RkrIndex::empty(g.num_nodes(), kmax),
+    };
+    let config = ServerConfig {
+        workers: workers.max(1),
+        cache_capacity: cache,
+        merge_every,
+        bounds: BoundConfig::ALL,
+    };
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "rkrd listening on {local} ({} workers, cache {}, merge every {}, k <= {})",
+        config.workers,
+        if cache > 0 {
+            cache.to_string()
+        } else {
+            "off".into()
+        },
+        if merge_every > 0 {
+            merge_every.to_string()
+        } else {
+            "flush-only".into()
+        },
+        index.k_max(),
+    );
+    let final_index = rkranks_server::serve(&g, None, index, listener, &config);
+    println!(
+        "rkrd stopped (epoch {}, {} rrd entries learned)",
+        final_index.epoch(),
+        final_index.rrd_entries()
+    );
+    if let Some(path) = save_path {
+        save_index(&final_index, &path).map_err(|e| e.to_string())?;
+        println!("learned index written back to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_ctl(flags: &Flags) -> Result<(), String> {
+    let addr = flags.positional.get(1).ok_or("ctl needs a HOST:PORT")?;
+    let op = flags
+        .positional
+        .get(2)
+        .ok_or("ctl needs an operation (stats|flush|shutdown)")?;
+    let mut client =
+        Client::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    match op.as_str() {
+        "stats" => {
+            let s = client.stats().map_err(|e| e.to_string())?;
+            println!("queries:        {}", s.queries);
+            println!(
+                "cache:          {} hits / {} misses ({} entries, capacity {})",
+                s.cache_hits, s.cache_misses, s.cache_entries, s.cache_capacity
+            );
+            println!(
+                "evictions:      {} lru, {} stale",
+                s.cache_evictions, s.cache_stale_evicted
+            );
+            println!("epoch:          {}", s.epoch);
+            println!(
+                "merges:         {} ({} deltas folded)",
+                s.merges, s.deltas_merged
+            );
+            println!("workers:        {}", s.workers);
+        }
+        "flush" => {
+            let (epoch, merged) = client.flush().map_err(|e| e.to_string())?;
+            println!("flushed {merged} deltas (epoch {epoch})");
+        }
+        "shutdown" => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("rkrd at {addr} shut down");
+        }
+        other => return Err(format!("unknown ctl operation '{other}'")),
+    }
+    Ok(())
+}
+
+fn cmd_query_remote(flags: &Flags, addr: &str) -> Result<(), String> {
+    let node: u32 = flags.get_parsed("node", u32::MAX)?;
+    if node == u32::MAX {
+        return Err("query needs --node Q".into());
+    }
+    let k: u32 = flags.get_parsed("k", 10)?;
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let start = Instant::now();
+    let reply = if flags.has("no-cache") {
+        client.query_uncached(node, k)
+    } else {
+        client.query(node, k)
+    }
+    .map_err(|e| e.to_string())?;
+    println!(
+        "reverse {k}-ranks of node {node} (remote {addr}, {:.2?}, cached: {}, epoch {}):",
+        start.elapsed(),
+        reply.cached,
+        reply.epoch
+    );
+    for (n, rank) in &reply.entries {
+        println!("  node {n:>8}  rank {rank}");
+    }
+    Ok(())
+}
+
 fn cmd_query(flags: &Flags) -> Result<(), String> {
+    if let Some(addr) = flags.get("remote") {
+        return cmd_query_remote(flags, addr);
+    }
     let g = graph_arg(flags)?;
     let node: u32 = flags.get_parsed("node", u32::MAX)?;
     if node == u32::MAX {

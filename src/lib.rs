@@ -29,6 +29,7 @@ pub use rkranks_core as core;
 pub use rkranks_datasets as datasets;
 pub use rkranks_eval as eval;
 pub use rkranks_graph as graph;
+pub use rkranks_server as server;
 
 /// One-stop imports for applications.
 pub mod prelude {
@@ -41,4 +42,5 @@ pub mod prelude {
         graph_from_edges, DijkstraWorkspace, DistanceBrowser, EdgeDirection, Graph, GraphBuilder,
         NodeId,
     };
+    pub use rkranks_server::{Client, ServerConfig};
 }

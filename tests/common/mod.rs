@@ -1,0 +1,64 @@
+//! Helpers shared by the `rkr` binary smoke suites (`cli_smoke`,
+//! `serve_smoke`): spawning the CLI, parsing its `node N rank R` output,
+//! and comparing results under Definition-1 tie semantics.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::{Command, Output};
+
+/// Run the `rkr` binary with `args` in `dir`.
+pub fn rkr(dir: &Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rkr"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("failed to spawn rkr")
+}
+
+/// [`rkr`], asserting success and returning stdout.
+pub fn rkr_ok(dir: &Path, args: &[&str]) -> String {
+    let out = rkr(dir, args);
+    assert!(
+        out.status.success(),
+        "rkr {args:?} failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+/// Parse the `node N rank R` result lines of `rkr query` output.
+pub fn parse_result(stdout: &str) -> BTreeMap<u32, u32> {
+    stdout
+        .lines()
+        .filter_map(|l| {
+            let rest = l.trim().strip_prefix("node ")?;
+            let mut it = rest.split_whitespace();
+            let node: u32 = it.next()?.parse().ok()?;
+            let rank: u32 = match (it.next()?, it.next()?) {
+                ("rank", r) => r.parse().ok()?,
+                _ => return None,
+            };
+            Some((node, rank))
+        })
+        .collect()
+}
+
+/// Tie-aware equivalence (Definition 1 allows any choice among equal
+/// ranks): the rank multisets must match, and any node both algorithms
+/// returned must be assigned the same rank.
+pub fn assert_equivalent(label: &str, got: &BTreeMap<u32, u32>, want: &BTreeMap<u32, u32>) {
+    let mut got_ranks: Vec<u32> = got.values().copied().collect();
+    let mut want_ranks: Vec<u32> = want.values().copied().collect();
+    got_ranks.sort_unstable();
+    want_ranks.sort_unstable();
+    assert_eq!(
+        got_ranks, want_ranks,
+        "{label}: rank multiset diverged\n got: {got:?}\n want: {want:?}"
+    );
+    for (node, rank) in got {
+        if let Some(w) = want.get(node) {
+            assert_eq!(rank, w, "{label}: node {node} rank diverged");
+        }
+    }
+}

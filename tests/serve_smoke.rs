@@ -1,0 +1,190 @@
+//! End-to-end smoke test of the serving path through the real `rkr`
+//! binary: start `rkrd` on an ephemeral port, query it remotely, check the
+//! result is rank-identical to the in-process dynamic query, exercise the
+//! cache and the control ops, and shut it down cleanly. The CI loopback
+//! smoke job runs this same scenario via `scripts/serve_smoke.sh`.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+mod common;
+use common::{assert_equivalent, parse_result, rkr, rkr_ok};
+
+/// Kills the daemon on drop so a failing assertion never leaks a process.
+struct DaemonGuard(Child);
+
+impl Drop for DaemonGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rkr-serve-smoke-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn remote_queries_match_in_process_and_shutdown_is_clean() {
+    let dir = temp_dir("loop");
+    rkr_ok(
+        &dir,
+        &[
+            "gen", "dblp", "--scale", "tiny", "--seed", "7", "--out", "g.edges",
+        ],
+    );
+
+    // start the daemon on an ephemeral port and scrape the bound address
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rkr"))
+        .current_dir(&dir)
+        .args([
+            "serve",
+            "g.edges",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--cache",
+            "256",
+            "--merge-every",
+            "8",
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("failed to spawn rkrd");
+    let stdout = child.stdout.take().expect("rkrd stdout piped");
+    let mut guard = DaemonGuard(child);
+    let mut reader = BufReader::new(stdout);
+    let mut banner = String::new();
+    reader.read_line(&mut banner).expect("rkrd banner");
+    let addr = banner
+        .split_whitespace()
+        .find(|tok| tok.starts_with("127.0.0.1:"))
+        .unwrap_or_else(|| panic!("no address in banner: {banner:?}"))
+        .to_string();
+
+    // remote vs in-process: rank-identical (tie-aware)
+    for node in ["0", "5", "17"] {
+        let remote = rkr_ok(
+            &dir,
+            &["query", "--remote", &addr, "--node", node, "--k", "4"],
+        );
+        let local = rkr_ok(
+            &dir,
+            &[
+                "query", "g.edges", "--node", node, "--k", "4", "--algo", "dynamic",
+            ],
+        );
+        assert_equivalent(
+            &format!("node {node}"),
+            &parse_result(&remote),
+            &parse_result(&local),
+        );
+    }
+
+    // a repeat of the last query is served from the cache
+    let repeat = rkr_ok(
+        &dir,
+        &["query", "--remote", &addr, "--node", "17", "--k", "4"],
+    );
+    assert!(repeat.contains("cached: true"), "expected a hit:\n{repeat}");
+
+    // control plane: stats shows traffic, flush reports an epoch
+    let stats = rkr_ok(&dir, &["ctl", &addr, "stats"]);
+    assert!(stats.contains("queries:"), "{stats}");
+    assert!(stats.contains("epoch:"), "{stats}");
+    let flush = rkr_ok(&dir, &["ctl", &addr, "flush"]);
+    assert!(flush.contains("epoch"), "{flush}");
+
+    // clean shutdown: the ctl op succeeds and the daemon exits 0
+    rkr_ok(&dir, &["ctl", &addr, "shutdown"]);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let status = loop {
+        if let Some(status) = guard.0.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "rkrd did not exit after shutdown"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(status.success(), "rkrd exited with {status}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_rejects_explicit_merge_every_zero() {
+    let dir = temp_dir("args");
+    rkr_ok(
+        &dir,
+        &["gen", "dblp", "--scale", "tiny", "--out", "g.edges"],
+    );
+    let out = rkr(
+        &dir,
+        &[
+            "batch",
+            "g.edges",
+            "--queries",
+            "4",
+            "--k",
+            "2",
+            "--algo",
+            "indexed",
+            "--indexed-mode",
+            "snapshot",
+            "--merge-every",
+            "0",
+        ],
+    );
+    assert!(
+        !out.status.success(),
+        "an explicit --merge-every 0 must be rejected"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--merge-every must be at least 1"),
+        "unhelpful error: {stderr}"
+    );
+    // serve validates the same flag
+    let out = rkr(
+        &dir,
+        &[
+            "serve",
+            "g.edges",
+            "--addr",
+            "127.0.0.1:0",
+            "--merge-every",
+            "0",
+        ],
+    );
+    assert!(!out.status.success());
+    // omitting the flag still works (merge once at the end)
+    let out = rkr(
+        &dir,
+        &[
+            "batch",
+            "g.edges",
+            "--queries",
+            "4",
+            "--k",
+            "2",
+            "--algo",
+            "indexed",
+            "--indexed-mode",
+            "snapshot",
+        ],
+    );
+    assert!(
+        out.status.success(),
+        "default cadence broke: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
