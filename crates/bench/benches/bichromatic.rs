@@ -6,7 +6,9 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rkranks_bench::{bench_queries, road, QueryCursor};
-use rkranks_core::{BoundConfig, IndexParams, Partition, QueryEngine};
+use rkranks_core::{
+    BoundConfig, IndexAccess, IndexParams, Partition, QueryEngine, QueryRequest, Strategy,
+};
 
 const KS: [u32; 2] = [5, 100];
 
@@ -27,7 +29,10 @@ fn bichromatic(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("static", k), &k, |b, &k| {
             let mut engine = QueryEngine::bichromatic(g, part.clone());
             let mut cursor = QueryCursor::new(queries.clone());
-            b.iter(|| black_box(engine.query_static(cursor.next(), k).unwrap()));
+            b.iter(|| {
+                let req = QueryRequest::new(cursor.next(), k).with_strategy(Strategy::Static);
+                black_box(engine.execute(&req).unwrap())
+            });
         });
         group.bench_with_input(BenchmarkId::new("dynamic", k), &k, |b, &k| {
             let mut engine = QueryEngine::bichromatic(g, part.clone());
@@ -35,7 +40,7 @@ fn bichromatic(c: &mut Criterion) {
             b.iter(|| {
                 black_box(
                     engine
-                        .query_dynamic(cursor.next(), k, BoundConfig::ALL)
+                        .execute(&QueryRequest::new(cursor.next(), k))
                         .unwrap(),
                 )
             });
@@ -49,9 +54,11 @@ fn bichromatic(c: &mut Criterion) {
             let (mut idx, _) = engine.build_index(&params);
             let mut cursor = QueryCursor::new(queries.clone());
             b.iter(|| {
+                let req = QueryRequest::new(cursor.next(), k)
+                    .with_strategy(Strategy::Indexed(BoundConfig::ALL));
                 black_box(
                     engine
-                        .query_indexed(&mut idx, cursor.next(), k, BoundConfig::ALL)
+                        .execute_with(Some(&mut IndexAccess::Live(&mut idx)), &req)
                         .unwrap(),
                 )
             });

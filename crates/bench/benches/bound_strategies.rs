@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rkranks_bench::{epinions_undirected, QueryCursor};
-use rkranks_core::{BoundConfig, QueryEngine};
+use rkranks_core::{BoundConfig, QueryEngine, QueryRequest, Strategy};
 use rkranks_eval::workload::{max_degree_queries, min_degree_queries};
 use rkranks_graph::NodeId;
 
@@ -28,7 +28,11 @@ fn bench_workload(c: &mut Criterion, label: &str, queries: Vec<NodeId>) {
             group.bench_with_input(BenchmarkId::new(bounds.name(), k), &k, |b, &k| {
                 let mut engine = QueryEngine::new(g);
                 let mut cursor = QueryCursor::new(queries.clone());
-                b.iter(|| black_box(engine.query_dynamic(cursor.next(), k, bounds).unwrap()));
+                b.iter(|| {
+                    let req = QueryRequest::new(cursor.next(), k)
+                        .with_strategy(Strategy::Dynamic(bounds));
+                    black_box(engine.execute(&req).unwrap())
+                });
             });
         }
     }

@@ -1,0 +1,60 @@
+//! Dispatch overhead: the unified `QueryRequest`/`execute` entry point
+//! vs the direct (now deprecated) `query_dynamic` call.
+//!
+//! `execute` adds one enum match, a `Limits` materialization (two
+//! `Option`s; no clock read when no deadline is set), and one
+//! per-pop `Limits::exceeded` check to the inner loop. This bench proves
+//! the total is not measurable against real query work — the two paths
+//! must be within noise of each other.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rkranks_bench::{bench_queries, dblp, QueryCursor};
+use rkranks_core::{BoundConfig, QueryEngine, QueryRequest, Strategy};
+
+fn bench_dispatch(c: &mut Criterion) {
+    let g = dblp();
+    let mut engine = QueryEngine::new(g);
+    let mut cursor = QueryCursor::new(bench_queries(g, 16, |_| true));
+    let k = 10;
+
+    let mut group = c.benchmark_group("dispatch");
+
+    // The old direct surface, kept as the baseline the shim must match.
+    #[allow(deprecated)]
+    group.bench_function("query_dynamic_direct", |b| {
+        b.iter(|| {
+            black_box(
+                engine
+                    .query_dynamic(cursor.next(), k, BoundConfig::ALL)
+                    .unwrap(),
+            )
+        });
+    });
+
+    // Same algorithm through the unified entry point, request built per
+    // call (the serving daemon's shape).
+    group.bench_function("execute_request_per_call", |b| {
+        b.iter(|| {
+            let req = QueryRequest::new(cursor.next(), k)
+                .with_strategy(Strategy::Dynamic(BoundConfig::ALL));
+            black_box(engine.execute(&req).unwrap())
+        });
+    });
+
+    // With a (never-tripping) deadline: the per-pop clock checks are the
+    // only addition.
+    group.bench_function("execute_with_deadline", |b| {
+        b.iter(|| {
+            let req = QueryRequest::new(cursor.next(), k)
+                .with_deadline(std::time::Duration::from_secs(3600));
+            black_box(engine.execute(&req).unwrap())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

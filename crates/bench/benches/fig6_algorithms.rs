@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rkranks_bench::{bench_queries, dblp, epinions, QueryCursor};
-use rkranks_core::{BoundConfig, IndexParams, QueryEngine};
+use rkranks_core::{BoundConfig, IndexAccess, IndexParams, QueryEngine, QueryRequest, Strategy};
 use rkranks_graph::Graph;
 
 const KS: [u32; 3] = [5, 20, 100];
@@ -22,7 +22,10 @@ fn bench_dataset(c: &mut Criterion, label: &str, g: &'static Graph) {
         group.bench_with_input(BenchmarkId::new("static", k), &k, |b, &k| {
             let mut engine = QueryEngine::new(g);
             let mut cursor = QueryCursor::new(queries.clone());
-            b.iter(|| black_box(engine.query_static(cursor.next(), k).unwrap()));
+            b.iter(|| {
+                let req = QueryRequest::new(cursor.next(), k).with_strategy(Strategy::Static);
+                black_box(engine.execute(&req).unwrap())
+            });
         });
         group.bench_with_input(BenchmarkId::new("dynamic", k), &k, |b, &k| {
             let mut engine = QueryEngine::new(g);
@@ -30,7 +33,7 @@ fn bench_dataset(c: &mut Criterion, label: &str, g: &'static Graph) {
             b.iter(|| {
                 black_box(
                     engine
-                        .query_dynamic(cursor.next(), k, BoundConfig::ALL)
+                        .execute(&QueryRequest::new(cursor.next(), k))
                         .unwrap(),
                 )
             });
@@ -44,9 +47,11 @@ fn bench_dataset(c: &mut Criterion, label: &str, g: &'static Graph) {
             let (mut idx, _) = engine.build_index(&params);
             let mut cursor = QueryCursor::new(queries.clone());
             b.iter(|| {
+                let req = QueryRequest::new(cursor.next(), k)
+                    .with_strategy(Strategy::Indexed(BoundConfig::ALL));
                 black_box(
                     engine
-                        .query_indexed(&mut idx, cursor.next(), k, BoundConfig::ALL)
+                        .execute_with(Some(&mut IndexAccess::Live(&mut idx)), &req)
                         .unwrap(),
                 )
             });

@@ -6,7 +6,9 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rkranks_bench::{bench_queries, dblp, epinions, QueryCursor};
-use rkranks_core::{BoundConfig, HubStrategy, IndexParams, QueryEngine};
+use rkranks_core::{
+    BoundConfig, HubStrategy, IndexAccess, IndexParams, QueryEngine, QueryRequest, Strategy,
+};
 use rkranks_graph::Graph;
 
 fn bench_dataset(c: &mut Criterion, label: &str, g: &'static Graph) {
@@ -34,9 +36,11 @@ fn bench_dataset(c: &mut Criterion, label: &str, g: &'static Graph) {
                 let mut engine = QueryEngine::new(g);
                 let mut cursor = QueryCursor::new(queries.clone());
                 b.iter(|| {
+                    let req = QueryRequest::new(cursor.next(), 10)
+                        .with_strategy(Strategy::Indexed(BoundConfig::ALL));
                     black_box(
                         engine
-                            .query_indexed(&mut idx, cursor.next(), 10, BoundConfig::ALL)
+                            .execute_with(Some(&mut IndexAccess::Live(&mut idx)), &req)
                             .unwrap(),
                     )
                 });

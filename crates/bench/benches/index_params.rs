@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rkranks_bench::{bench_queries, dblp, QueryCursor};
-use rkranks_core::{BoundConfig, IndexParams, QueryEngine};
+use rkranks_core::{BoundConfig, IndexAccess, IndexParams, QueryEngine, QueryRequest, Strategy};
 
 fn index_params(c: &mut Criterion) {
     let g = dblp();
@@ -32,9 +32,11 @@ fn index_params(c: &mut Criterion) {
                 let mut engine = QueryEngine::new(g);
                 let mut cursor = QueryCursor::new(queries.clone());
                 b.iter(|| {
+                    let req = QueryRequest::new(cursor.next(), 10)
+                        .with_strategy(Strategy::Indexed(BoundConfig::ALL));
                     black_box(
                         engine
-                            .query_indexed(&mut idx, cursor.next(), 10, BoundConfig::ALL)
+                            .execute_with(Some(&mut IndexAccess::Live(&mut idx)), &req)
                             .unwrap(),
                     )
                 });
@@ -57,9 +59,11 @@ fn index_params(c: &mut Criterion) {
                 let mut engine = QueryEngine::new(g);
                 let mut cursor = QueryCursor::new(queries.clone());
                 b.iter(|| {
+                    let req = QueryRequest::new(cursor.next(), 10)
+                        .with_strategy(Strategy::Indexed(BoundConfig::ALL));
                     black_box(
                         engine
-                            .query_indexed(&mut idx, cursor.next(), 10, BoundConfig::ALL)
+                            .execute_with(Some(&mut IndexAccess::Live(&mut idx)), &req)
                             .unwrap(),
                     )
                 });

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rkranks_bench::{bench_queries, epinions, QueryCursor};
-use rkranks_core::{BoundConfig, QueryEngine};
+use rkranks_core::{QueryEngine, QueryRequest, Strategy};
 
 fn naive_vs_framework(c: &mut Criterion) {
     let g = epinions();
@@ -20,12 +20,14 @@ fn naive_vs_framework(c: &mut Criterion) {
     group.bench_function("naive", |b| {
         let mut engine = QueryEngine::new(g);
         let mut cursor = QueryCursor::new(queries.clone());
-        b.iter(|| black_box(engine.query_naive(cursor.next(), 1).unwrap()));
+        let req = |q| QueryRequest::new(q, 1).with_strategy(Strategy::Naive);
+        b.iter(|| black_box(engine.execute(&req(cursor.next())).unwrap()));
     });
     group.bench_function("static", |b| {
         let mut engine = QueryEngine::new(g);
         let mut cursor = QueryCursor::new(queries.clone());
-        b.iter(|| black_box(engine.query_static(cursor.next(), 1).unwrap()));
+        let req = |q| QueryRequest::new(q, 1).with_strategy(Strategy::Static);
+        b.iter(|| black_box(engine.execute(&req(cursor.next())).unwrap()));
     });
     group.bench_function("dynamic", |b| {
         let mut engine = QueryEngine::new(g);
@@ -33,7 +35,7 @@ fn naive_vs_framework(c: &mut Criterion) {
         b.iter(|| {
             black_box(
                 engine
-                    .query_dynamic(cursor.next(), 1, BoundConfig::ALL)
+                    .execute(&QueryRequest::new(cursor.next(), 1))
                     .unwrap(),
             )
         });

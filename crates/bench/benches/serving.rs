@@ -26,7 +26,7 @@ fn cache_ops(c: &mut Criterion) {
     let key = |node: u32, epoch: u64| CacheKey {
         node,
         k: K,
-        bounds: 3,
+        strategy: 3,
         epoch,
     };
     let value: Vec<(u32, u32)> = (0..K).map(|i| (i, i + 1)).collect();

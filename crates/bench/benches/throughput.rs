@@ -13,8 +13,8 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rkranks_bench::{bench_queries, dblp};
-use rkranks_core::{BoundConfig, IndexParams, QueryEngine};
-use rkranks_eval::runner::{run_batch, run_indexed_batch, BatchAlgo, IndexedMode};
+use rkranks_core::{BoundConfig, IndexParams, QueryEngine, Strategy};
+use rkranks_eval::runner::{run_batch, run_indexed_batch, IndexedMode};
 
 const K: u32 = 10;
 const BATCH: usize = 64;
@@ -32,15 +32,8 @@ fn throughput(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("threads", t), &t, |b, &t| {
             b.iter(|| {
                 black_box(
-                    run_batch(
-                        g,
-                        None,
-                        &queries,
-                        K,
-                        BatchAlgo::Dynamic(BoundConfig::ALL),
-                        t,
-                    )
-                    .unwrap(),
+                    run_batch(g, None, &queries, K, Strategy::Dynamic(BoundConfig::ALL), t)
+                        .unwrap(),
                 )
             });
         });

@@ -66,6 +66,10 @@ pub fn bichromatic_brute_force(
 
 #[cfg(test)]
 mod tests {
+    // Deprecated query_* shims exercised on purpose: equivalence tests
+    // for the execute path they delegate to.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::engine::{BoundConfig, QueryEngine};
     use rkranks_graph::{graph_from_edges, EdgeDirection};

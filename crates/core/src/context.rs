@@ -28,6 +28,7 @@ use rkranks_graph::{DijkstraWorkspace, Distance, Graph, GraphError, NodeId, Rela
 use crate::engine::BoundConfig;
 use crate::index::{IndexAccess, IndexBuildStats, IndexDelta, IndexParams, RkrIndex};
 use crate::refine::{refine_rank, refine_rank_unbounded, RefineHooks, RefineOutcome};
+use crate::request::{Completion, Limits, QueryOutcome, QueryRequest, Strategy};
 use crate::result::{QueryResult, TopKCollector};
 use crate::scratch::Stamped;
 use crate::spec::{Partition, QuerySpec};
@@ -118,23 +119,100 @@ impl<'g> EngineContext<'g> {
         Ok(())
     }
 
+    /// Execute a [`QueryRequest`] that needs no index — the single entry
+    /// point behind every `query_*` shim.
+    ///
+    /// [`Strategy::Indexed`] requests are rejected here (the strategy
+    /// needs an index binding); hand them to
+    /// [`EngineContext::execute_with`].
+    pub fn execute(&self, scratch: &mut QueryScratch, req: &QueryRequest) -> Result<QueryOutcome> {
+        self.execute_with(scratch, None, req)
+    }
+
+    /// Execute a [`QueryRequest`] with an optional index binding.
+    ///
+    /// The binding decides where [`Strategy::Indexed`] reads and writes:
+    /// [`IndexAccess::Live`] is the paper's sequential-dynamic mode (the
+    /// index sharpens in place), [`IndexAccess::Snapshot`] reads a frozen
+    /// snapshot and logs discoveries to a per-worker delta for a later
+    /// [`RkrIndex::merge_delta`] — the shape concurrent serving uses.
+    /// Non-indexed strategies ignore the binding entirely. An `Indexed`
+    /// request without a binding is an error.
+    pub fn execute_with(
+        &self,
+        scratch: &mut QueryScratch,
+        index: Option<&mut IndexAccess<'_>>,
+        req: &QueryRequest,
+    ) -> Result<QueryOutcome> {
+        let limits = Limits::for_request(req);
+        let mut trace = req.trace.then(QueryTrace::default);
+        let (result, completion) = match req.strategy {
+            Strategy::Naive => self.run_naive(scratch, req.q, req.k, &limits)?,
+            Strategy::Static => {
+                self.run_sds(scratch, req.q, req.k, None, None, trace.as_mut(), &limits)?
+            }
+            Strategy::Dynamic(bounds) => self.run_sds(
+                scratch,
+                req.q,
+                req.k,
+                Some(bounds),
+                None,
+                trace.as_mut(),
+                &limits,
+            )?,
+            Strategy::Indexed(bounds) => {
+                let Some(access) = index else {
+                    return Err(GraphError::InvalidQuery(
+                        "the indexed strategy needs an index binding \
+                         (EngineContext::execute_with an IndexAccess)"
+                            .into(),
+                    ));
+                };
+                check_k_max(access.k_max(), req.k)?;
+                self.run_sds(
+                    scratch,
+                    req.q,
+                    req.k,
+                    Some(bounds),
+                    Some(access),
+                    trace.as_mut(),
+                    &limits,
+                )?
+            }
+        };
+        Ok(QueryOutcome {
+            result,
+            trace,
+            completion,
+        })
+    }
+
     /// §2 naive baseline: refine every candidate (with `kRank` early
     /// termination), no SDS-tree.
-    pub fn query_naive(
+    fn run_naive(
         &self,
         scratch: &mut QueryScratch,
         q: NodeId,
         k: u32,
-    ) -> Result<QueryResult> {
+        limits: &Limits,
+    ) -> Result<(QueryResult, Completion)> {
         self.validate(q, k)?;
         scratch.ensure_capacity(self.graph.num_nodes());
         let start = Instant::now();
         let mut stats = QueryStats::default();
         let mut collector = TopKCollector::new(k);
+        let mut completion = Completion::Complete;
         let spec = self.spec();
         for p in self.graph.nodes() {
             if p == q || !spec.is_candidate(p) {
                 continue;
+            }
+            if let Some(reason) = limits.exceeded(&stats) {
+                completion = Completion::Partial {
+                    reason,
+                    k_rank_bound: collector.k_rank(),
+                };
+                break;
             }
             if let Some(RefineOutcome::Exact(r)) = refine_rank_unbounded(
                 self.graph,
@@ -149,20 +227,37 @@ impl<'g> EngineContext<'g> {
             }
         }
         stats.elapsed = start.elapsed();
-        Ok(collector.into_result(stats))
+        Ok((collector.into_result(stats), completion))
     }
 
-    /// §3 static SDS-tree (Algorithm 1).
+    /// §2 naive baseline (deprecated shim over [`EngineContext::execute`]).
+    #[deprecated(note = "build a QueryRequest with Strategy::Naive and call execute")]
+    pub fn query_naive(
+        &self,
+        scratch: &mut QueryScratch,
+        q: NodeId,
+        k: u32,
+    ) -> Result<QueryResult> {
+        let req = QueryRequest::new(q, k).with_strategy(Strategy::Naive);
+        Ok(self.execute(scratch, &req)?.result)
+    }
+
+    /// §3 static SDS-tree (deprecated shim over
+    /// [`EngineContext::execute`]).
+    #[deprecated(note = "build a QueryRequest with Strategy::Static and call execute")]
     pub fn query_static(
         &self,
         scratch: &mut QueryScratch,
         q: NodeId,
         k: u32,
     ) -> Result<QueryResult> {
-        self.run_sds(scratch, q, k, None, None, None)
+        let req = QueryRequest::new(q, k).with_strategy(Strategy::Static);
+        Ok(self.execute(scratch, &req)?.result)
     }
 
-    /// §4 dynamic bounded SDS-tree.
+    /// §4 dynamic bounded SDS-tree (deprecated shim over
+    /// [`EngineContext::execute`]).
+    #[deprecated(note = "build a QueryRequest with Strategy::Dynamic and call execute")]
     pub fn query_dynamic(
         &self,
         scratch: &mut QueryScratch,
@@ -170,12 +265,14 @@ impl<'g> EngineContext<'g> {
         k: u32,
         bounds: BoundConfig,
     ) -> Result<QueryResult> {
-        self.run_sds(scratch, q, k, Some(bounds), None, None)
+        let req = QueryRequest::new(q, k).with_strategy(Strategy::Dynamic(bounds));
+        Ok(self.execute(scratch, &req)?.result)
     }
 
     /// §5 dynamic SDS-tree with the index mutated in place — the paper's
-    /// sequential-dynamic mode, where each query's discoveries sharpen the
-    /// index for the next.
+    /// sequential-dynamic mode (deprecated shim over
+    /// [`EngineContext::execute_with`] + [`IndexAccess::Live`]).
+    #[deprecated(note = "build a QueryRequest with Strategy::Indexed and call execute_with")]
     pub fn query_indexed(
         &self,
         scratch: &mut QueryScratch,
@@ -184,26 +281,24 @@ impl<'g> EngineContext<'g> {
         k: u32,
         bounds: BoundConfig,
     ) -> Result<QueryResult> {
-        check_k_max(index, k)?;
-        self.run_sds(
-            scratch,
-            q,
-            k,
-            Some(bounds),
-            Some(&mut IndexAccess::Live(index)),
-            None,
-        )
+        let req = QueryRequest::new(q, k).with_strategy(Strategy::Indexed(bounds));
+        Ok(self
+            .execute_with(scratch, Some(&mut IndexAccess::Live(index)), &req)?
+            .result)
     }
 
     /// §5 dynamic SDS-tree against a *frozen* index snapshot, logging every
-    /// discovery to `delta` instead of mutating the snapshot.
+    /// discovery to `delta` instead of mutating the snapshot (deprecated
+    /// shim over [`EngineContext::execute_with`] +
+    /// [`IndexAccess::Snapshot`]).
     ///
     /// Because the index only ever *prunes* work (result correctness never
-    /// depends on its contents), the result ranks are identical to
-    /// [`EngineContext::query_dynamic`]; what the snapshot loses versus the
+    /// depends on its contents), the result ranks are identical to the
+    /// dynamic strategy; what the snapshot loses versus the
     /// sequential-dynamic mode is only the intra-batch sharpening. Many
     /// workers can therefore query one snapshot concurrently and merge
     /// their deltas back later via [`RkrIndex::merge_delta`].
+    #[deprecated(note = "build a QueryRequest with Strategy::Indexed and call execute_with")]
     pub fn query_indexed_snapshot(
         &self,
         scratch: &mut QueryScratch,
@@ -213,31 +308,29 @@ impl<'g> EngineContext<'g> {
         k: u32,
         bounds: BoundConfig,
     ) -> Result<QueryResult> {
-        check_k_max(snapshot, k)?;
-        self.run_sds(
-            scratch,
-            q,
-            k,
-            Some(bounds),
-            Some(&mut IndexAccess::Snapshot { snapshot, delta }),
-            None,
-        )
+        let req = QueryRequest::new(q, k).with_strategy(Strategy::Indexed(bounds));
+        let access = &mut IndexAccess::Snapshot { snapshot, delta };
+        Ok(self.execute_with(scratch, Some(access), &req)?.result)
     }
 
-    /// [`EngineContext::query_static`] with a full decision trace.
+    /// Static SDS-tree with a full decision trace (deprecated shim).
+    #[deprecated(note = "set QueryRequest::trace and call execute")]
     pub fn query_static_traced(
         &self,
         scratch: &mut QueryScratch,
         q: NodeId,
         k: u32,
     ) -> Result<(QueryResult, QueryTrace)> {
-        let mut trace = QueryTrace::default();
-        let result = self.run_sds(scratch, q, k, None, None, Some(&mut trace))?;
-        Ok((result, trace))
+        let req = QueryRequest::new(q, k)
+            .with_strategy(Strategy::Static)
+            .with_trace();
+        let out = self.execute(scratch, &req)?;
+        Ok((out.result, out.trace.expect("trace was requested")))
     }
 
-    /// [`EngineContext::query_dynamic`] with a full decision trace (see
+    /// Dynamic SDS-tree with a full decision trace (deprecated shim; see
     /// [`crate::trace`]).
+    #[deprecated(note = "set QueryRequest::trace and call execute")]
     pub fn query_dynamic_traced(
         &self,
         scratch: &mut QueryScratch,
@@ -245,12 +338,15 @@ impl<'g> EngineContext<'g> {
         k: u32,
         bounds: BoundConfig,
     ) -> Result<(QueryResult, QueryTrace)> {
-        let mut trace = QueryTrace::default();
-        let result = self.run_sds(scratch, q, k, Some(bounds), None, Some(&mut trace))?;
-        Ok((result, trace))
+        let req = QueryRequest::new(q, k)
+            .with_strategy(Strategy::Dynamic(bounds))
+            .with_trace();
+        let out = self.execute(scratch, &req)?;
+        Ok((out.result, out.trace.expect("trace was requested")))
     }
 
-    /// [`EngineContext::query_indexed`] with a full decision trace.
+    /// Live-indexed SDS-tree with a full decision trace (deprecated shim).
+    #[deprecated(note = "set QueryRequest::trace and call execute_with")]
     pub fn query_indexed_traced(
         &self,
         scratch: &mut QueryScratch,
@@ -259,20 +355,15 @@ impl<'g> EngineContext<'g> {
         k: u32,
         bounds: BoundConfig,
     ) -> Result<(QueryResult, QueryTrace)> {
-        check_k_max(index, k)?;
-        let mut trace = QueryTrace::default();
-        let result = self.run_sds(
-            scratch,
-            q,
-            k,
-            Some(bounds),
-            Some(&mut IndexAccess::Live(index)),
-            Some(&mut trace),
-        )?;
-        Ok((result, trace))
+        let req = QueryRequest::new(q, k)
+            .with_strategy(Strategy::Indexed(bounds))
+            .with_trace();
+        let out = self.execute_with(scratch, Some(&mut IndexAccess::Live(index)), &req)?;
+        Ok((out.result, out.trace.expect("trace was requested")))
     }
 
     /// The shared SDS driver. `dynamic = None` is the static algorithm.
+    #[allow(clippy::too_many_arguments)] // the private hub every strategy configures
     fn run_sds(
         &self,
         scratch: &mut QueryScratch,
@@ -281,12 +372,14 @@ impl<'g> EngineContext<'g> {
         dynamic: Option<BoundConfig>,
         mut index: Option<&mut IndexAccess<'_>>,
         mut trace: Option<&mut QueryTrace>,
-    ) -> Result<QueryResult> {
+        limits: &Limits,
+    ) -> Result<(QueryResult, Completion)> {
         self.validate(q, k)?;
         scratch.ensure_capacity(self.graph.num_nodes());
         let start = Instant::now();
         let mut stats = QueryStats::default();
         let mut collector = TopKCollector::new(k);
+        let mut completion = Completion::Complete;
 
         let graph = self.graph;
         let spec = self.spec();
@@ -331,6 +424,17 @@ impl<'g> EngineContext<'g> {
 
         sds_ws.begin(q);
         while let Some((u, d)) = sds_ws.settle_next() {
+            // Best-effort limits, checked at refinement granularity: a
+            // tripped limit keeps everything refined so far (all entries
+            // in `R` carry exact ranks) and reports the current `kRank`
+            // as the bound the complete answer cannot exceed.
+            if let Some(reason) = limits.exceeded(&stats) {
+                completion = Completion::Partial {
+                    reason,
+                    k_rank_bound: collector.k_rank(),
+                };
+                break;
+            }
             stats.sds_popped += 1;
             if u == q {
                 record(&mut trace, u, d, PopDecision::Root);
@@ -449,15 +553,14 @@ impl<'g> EngineContext<'g> {
         }
 
         stats.elapsed = start.elapsed();
-        Ok(collector.into_result(stats))
+        Ok((collector.into_result(stats), completion))
     }
 }
 
-fn check_k_max(index: &RkrIndex, k: u32) -> Result<()> {
-    if k > index.k_max() {
+fn check_k_max(k_max: u32, k: u32) -> Result<()> {
+    if k > k_max {
         return Err(GraphError::InvalidQuery(format!(
-            "k = {k} exceeds the index's K = {} (the check-dictionary prune would be unsound)",
-            index.k_max()
+            "k = {k} exceeds the index's K = {k_max} (the check-dictionary prune would be unsound)"
         )));
     }
     Ok(())
@@ -565,6 +668,11 @@ fn record_bound_win(stats: &mut QueryStats, parent: u32, height: u32, count: u32
 
 #[cfg(test)]
 mod tests {
+    // The deprecated `query_*` shims are exercised on purpose: these
+    // tests double as equivalence tests between the old surface and the
+    // `execute` path it now delegates to.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::index::IndexDelta;
     use rkranks_graph::{graph_from_edges, EdgeDirection};

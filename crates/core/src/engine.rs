@@ -1,17 +1,25 @@
-//! The query engine facade: bound configuration and the three evaluation
-//! strategies of the paper.
+//! The query engine facade: bound configuration and the single-threaded
+//! entry point for [`QueryRequest`] execution.
 //!
-//! * [`QueryEngine::query_naive`] — §2's brute force: refine every node.
-//! * [`QueryEngine::query_static`] — §3 / Algorithm 1: build the SDS-tree
+//! The paper's strategies are selected by [`Strategy`] inside a
+//! [`QueryRequest`] and run by [`QueryEngine::execute`] (or
+//! [`QueryEngine::execute_with`] when an index is bound):
+//!
+//! * [`Strategy::Naive`] — §2's brute force: refine every node.
+//! * [`Strategy::Static`] — §3 / Algorithm 1: build the SDS-tree
 //!   (Dijkstra on the transpose rooted at `q`), refine every popped node,
 //!   and expand only nodes whose refinement completed (Theorem 1).
-//! * [`QueryEngine::query_dynamic`] — §4: delay the candidate decision to
+//! * [`Strategy::Dynamic`] — §4: delay the candidate decision to
 //!   pop time and skip refinement when the Theorem-2 lower bound
 //!   `max(height, parent-rank, lcount)` already meets `kRank`.
-//! * [`QueryEngine::query_indexed`] — §5 / Algorithms 3–4: additionally
+//! * [`Strategy::Indexed`] — §5 / Algorithms 3–4: additionally
 //!   seed `R` from the Reverse Rank Dictionary, take exact ranks from it,
 //!   prune on the Check Dictionary, and write every refinement discovery
-//!   back into the index.
+//!   back into the index (live mode) or a write-log (snapshot mode).
+//!
+//! The old `query_*` methods survive as `#[deprecated]` one-line shims
+//! over `execute`, so code (and tests) written against them keeps
+//! working — and doubles as an equivalence suite for the new path.
 //!
 //! [`QueryEngine`] is a convenience bundle of the two halves the engine is
 //! really made of: a shared, `Sync` [`EngineContext`] (graph, lazily built
@@ -23,7 +31,8 @@
 use rkranks_graph::{Graph, NodeId, Result};
 
 use crate::context::{EngineContext, QueryScratch};
-use crate::index::{IndexBuildStats, IndexDelta, IndexParams, RkrIndex};
+use crate::index::{IndexAccess, IndexBuildStats, IndexDelta, IndexParams, RkrIndex};
+use crate::request::{QueryOutcome, QueryRequest, Strategy};
 use crate::result::QueryResult;
 use crate::spec::{Partition, QuerySpec};
 use crate::trace::QueryTrace;
@@ -81,7 +90,30 @@ impl Default for BoundConfig {
     }
 }
 
-/// Algorithm selector for the convenience dispatcher [`QueryEngine::query`].
+impl std::str::FromStr for BoundConfig {
+    type Err = String;
+
+    /// Parse a bound configuration, case-insensitively: either the
+    /// Tables-12/13 name (`"Dynamic-Height"`, …) or its bare suffix
+    /// (`"parent"`, `"height"`, `"count"`, `"three"`; `"all"` is an
+    /// alias for `"three"`). Round-trips with [`BoundConfig::name`].
+    fn from_str(s: &str) -> std::result::Result<BoundConfig, String> {
+        let lower = s.to_ascii_lowercase();
+        let suffix = lower.strip_prefix("dynamic-").unwrap_or(&lower);
+        match suffix {
+            "parent" => Ok(BoundConfig::PARENT_ONLY),
+            "height" => Ok(BoundConfig::PARENT_HEIGHT),
+            "count" => Ok(BoundConfig::PARENT_COUNT),
+            "three" | "all" => Ok(BoundConfig::ALL),
+            _ => Err(format!(
+                "unknown bound configuration '{s}' (expected parent, height, count, or three)"
+            )),
+        }
+    }
+}
+
+/// Algorithm selector for the deprecated dispatcher [`QueryEngine::query`].
+#[deprecated(note = "use rkranks_core::Strategy with QueryRequest instead")]
 #[derive(Debug)]
 pub enum Algorithm<'i> {
     /// §2 brute force.
@@ -150,7 +182,26 @@ impl<'g> QueryEngine<'g> {
         self.ctx.build_index(params)
     }
 
-    /// Dispatch on an [`Algorithm`] value (used by the experiment harness).
+    /// Execute a [`QueryRequest`] that needs no index — the facade over
+    /// [`EngineContext::execute`] using this engine's own scratch.
+    pub fn execute(&mut self, req: &QueryRequest) -> Result<QueryOutcome> {
+        self.ctx.execute(&mut self.scratch, req)
+    }
+
+    /// Execute a [`QueryRequest`] with an index binding — the facade over
+    /// [`EngineContext::execute_with`] using this engine's own scratch.
+    pub fn execute_with(
+        &mut self,
+        index: Option<&mut IndexAccess<'_>>,
+        req: &QueryRequest,
+    ) -> Result<QueryOutcome> {
+        self.ctx.execute_with(&mut self.scratch, index, req)
+    }
+
+    /// Dispatch on an [`Algorithm`] value (deprecated; used by old
+    /// experiment harnesses).
+    #[allow(deprecated)]
+    #[deprecated(note = "build a QueryRequest with a Strategy and call execute/execute_with")]
     pub fn query(&mut self, algorithm: Algorithm<'_>, q: NodeId, k: u32) -> Result<QueryResult> {
         match algorithm {
             Algorithm::Naive => self.query_naive(q, k),
@@ -160,24 +211,31 @@ impl<'g> QueryEngine<'g> {
         }
     }
 
-    /// §2 naive baseline: refine every candidate (with `kRank` early
-    /// termination), no SDS-tree.
+    /// §2 naive baseline (deprecated shim over [`QueryEngine::execute`]).
+    #[deprecated(note = "build a QueryRequest with Strategy::Naive and call execute")]
     pub fn query_naive(&mut self, q: NodeId, k: u32) -> Result<QueryResult> {
-        self.ctx.query_naive(&mut self.scratch, q, k)
+        let req = QueryRequest::new(q, k).with_strategy(Strategy::Naive);
+        Ok(self.execute(&req)?.result)
     }
 
-    /// §3 static SDS-tree (Algorithm 1).
+    /// §3 static SDS-tree (deprecated shim over [`QueryEngine::execute`]).
+    #[deprecated(note = "build a QueryRequest with Strategy::Static and call execute")]
     pub fn query_static(&mut self, q: NodeId, k: u32) -> Result<QueryResult> {
-        self.ctx.query_static(&mut self.scratch, q, k)
+        let req = QueryRequest::new(q, k).with_strategy(Strategy::Static);
+        Ok(self.execute(&req)?.result)
     }
 
-    /// §4 dynamic bounded SDS-tree.
+    /// §4 dynamic bounded SDS-tree (deprecated shim over
+    /// [`QueryEngine::execute`]).
+    #[deprecated(note = "build a QueryRequest with Strategy::Dynamic and call execute")]
     pub fn query_dynamic(&mut self, q: NodeId, k: u32, bounds: BoundConfig) -> Result<QueryResult> {
-        self.ctx.query_dynamic(&mut self.scratch, q, k, bounds)
+        let req = QueryRequest::new(q, k).with_strategy(Strategy::Dynamic(bounds));
+        Ok(self.execute(&req)?.result)
     }
 
-    /// §5 dynamic SDS-tree with index (Algorithms 3–4). The index is
-    /// updated in place with everything the query learns.
+    /// §5 dynamic SDS-tree with the index updated in place (deprecated
+    /// shim over [`QueryEngine::execute_with`] + [`IndexAccess::Live`]).
+    #[deprecated(note = "build a QueryRequest with Strategy::Indexed and call execute_with")]
     pub fn query_indexed(
         &mut self,
         index: &mut RkrIndex,
@@ -185,15 +243,17 @@ impl<'g> QueryEngine<'g> {
         k: u32,
         bounds: BoundConfig,
     ) -> Result<QueryResult> {
-        self.ctx
-            .query_indexed(&mut self.scratch, index, q, k, bounds)
+        let req = QueryRequest::new(q, k).with_strategy(Strategy::Indexed(bounds));
+        Ok(self
+            .execute_with(Some(&mut IndexAccess::Live(index)), &req)?
+            .result)
     }
 
     /// §5 against a frozen index snapshot: reads consult `snapshot`, every
     /// discovery is logged to `delta` for a later
-    /// [`RkrIndex::merge_delta`]. Result ranks are identical to
-    /// [`QueryEngine::query_dynamic`] — see
-    /// [`EngineContext::query_indexed_snapshot`].
+    /// [`RkrIndex::merge_delta`] (deprecated shim over
+    /// [`QueryEngine::execute_with`] + [`IndexAccess::Snapshot`]).
+    #[deprecated(note = "build a QueryRequest with Strategy::Indexed and call execute_with")]
     pub fn query_indexed_snapshot(
         &mut self,
         snapshot: &RkrIndex,
@@ -202,28 +262,39 @@ impl<'g> QueryEngine<'g> {
         k: u32,
         bounds: BoundConfig,
     ) -> Result<QueryResult> {
-        self.ctx
-            .query_indexed_snapshot(&mut self.scratch, snapshot, delta, q, k, bounds)
+        let req = QueryRequest::new(q, k).with_strategy(Strategy::Indexed(bounds));
+        let access = &mut IndexAccess::Snapshot { snapshot, delta };
+        Ok(self.execute_with(Some(access), &req)?.result)
     }
 
-    /// [`QueryEngine::query_static`] with a full decision trace.
+    /// Static query with a full decision trace (deprecated shim).
+    #[deprecated(note = "set QueryRequest::trace and call execute")]
     pub fn query_static_traced(&mut self, q: NodeId, k: u32) -> Result<(QueryResult, QueryTrace)> {
-        self.ctx.query_static_traced(&mut self.scratch, q, k)
+        let req = QueryRequest::new(q, k)
+            .with_strategy(Strategy::Static)
+            .with_trace();
+        let out = self.execute(&req)?;
+        Ok((out.result, out.trace.expect("trace was requested")))
     }
 
-    /// [`QueryEngine::query_dynamic`] with a full decision trace (see
+    /// Dynamic query with a full decision trace (deprecated shim; see
     /// [`crate::trace`]).
+    #[deprecated(note = "set QueryRequest::trace and call execute")]
     pub fn query_dynamic_traced(
         &mut self,
         q: NodeId,
         k: u32,
         bounds: BoundConfig,
     ) -> Result<(QueryResult, QueryTrace)> {
-        self.ctx
-            .query_dynamic_traced(&mut self.scratch, q, k, bounds)
+        let req = QueryRequest::new(q, k)
+            .with_strategy(Strategy::Dynamic(bounds))
+            .with_trace();
+        let out = self.execute(&req)?;
+        Ok((out.result, out.trace.expect("trace was requested")))
     }
 
-    /// [`QueryEngine::query_indexed`] with a full decision trace.
+    /// Live-indexed query with a full decision trace (deprecated shim).
+    #[deprecated(note = "set QueryRequest::trace and call execute_with")]
     pub fn query_indexed_traced(
         &mut self,
         index: &mut RkrIndex,
@@ -231,13 +302,21 @@ impl<'g> QueryEngine<'g> {
         k: u32,
         bounds: BoundConfig,
     ) -> Result<(QueryResult, QueryTrace)> {
-        self.ctx
-            .query_indexed_traced(&mut self.scratch, index, q, k, bounds)
+        let req = QueryRequest::new(q, k)
+            .with_strategy(Strategy::Indexed(bounds))
+            .with_trace();
+        let out = self.execute_with(Some(&mut IndexAccess::Live(index)), &req)?;
+        Ok((out.result, out.trace.expect("trace was requested")))
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated `query_*` shims are exercised on purpose: these
+    // tests double as equivalence tests between the old surface and the
+    // `execute` path it now delegates to.
+    #![allow(deprecated)]
+
     use super::*;
     use rkranks_graph::{graph_from_edges, EdgeDirection};
 

@@ -566,6 +566,13 @@ impl IndexAccess<'_> {
         }
     }
 
+    /// Largest query `k` the readable index supports
+    /// ([`RkrIndex::k_max`]).
+    #[inline]
+    pub fn k_max(&self) -> u32 {
+        self.read().k_max()
+    }
+
     /// Exact `Rank(source, target)` if the readable index knows it.
     #[inline]
     pub fn lookup(&self, target: NodeId, source: NodeId) -> Option<u32> {
@@ -649,6 +656,10 @@ fn select_hubs(
 
 #[cfg(test)]
 mod tests {
+    // Deprecated query_* shims exercised on purpose: equivalence tests
+    // for the execute path they delegate to.
+    #![allow(deprecated)]
+
     use super::*;
     use rkranks_graph::{graph_from_edges, EdgeDirection};
 

@@ -150,6 +150,10 @@ pub fn load_index<P: AsRef<Path>>(path: P) -> Result<RkrIndex> {
 
 #[cfg(test)]
 mod tests {
+    // Deprecated query_* shims exercised on purpose: equivalence tests
+    // for the execute path they delegate to.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::engine::{BoundConfig, QueryEngine};
     use crate::index::IndexParams;

@@ -11,8 +11,11 @@
 //!
 //! ## Quick start
 //!
+//! Every query is a [`QueryRequest`] — node, `k`, a [`Strategy`], and
+//! optional trace/deadline/budget — executed by one entry point:
+//!
 //! ```
-//! use rkranks_core::{QueryEngine, BoundConfig};
+//! use rkranks_core::{QueryEngine, QueryRequest};
 //! use rkranks_graph::{graph_from_edges, EdgeDirection, NodeId};
 //!
 //! // A little collaboration graph.
@@ -21,19 +24,28 @@
 //! ]).unwrap();
 //!
 //! let mut engine = QueryEngine::new(&g);
-//! let result = engine.query_dynamic(NodeId(0), 2, BoundConfig::ALL).unwrap();
-//! assert_eq!(result.entries.len(), 2);
-//! // result.entries[i].rank is the exact Rank(node, q)
+//! // Default strategy: §4 dynamic search with all Theorem-2 bounds.
+//! let outcome = engine.execute(&QueryRequest::new(NodeId(0), 2)).unwrap();
+//! assert!(outcome.is_complete());
+//! assert_eq!(outcome.result.entries.len(), 2);
+//! // outcome.result.entries[i].rank is the exact Rank(node, q)
 //! ```
 //!
-//! ## The three evaluation strategies
+//! ## The evaluation strategies
 //!
-//! | Method | Paper | Entry point |
+//! | [`Strategy`] | Paper | String form |
 //! |---|---|---|
-//! | Naive | §2 | [`QueryEngine::query_naive`] |
-//! | Static SDS-tree | §3 | [`QueryEngine::query_static`] |
-//! | Dynamic bounded SDS-tree | §4 | [`QueryEngine::query_dynamic`] |
-//! | Dynamic + index | §5 | [`QueryEngine::query_indexed`] with [`RkrIndex`] |
+//! | [`Strategy::Naive`] | §2 | `naive` |
+//! | [`Strategy::Static`] | §3 | `static` |
+//! | [`Strategy::Dynamic`] | §4 | `dynamic[-parent\|-height\|-count\|-three]` |
+//! | [`Strategy::Indexed`] | §5 | `indexed[-…]`, with an [`IndexAccess`] binding |
+//!
+//! The string forms round-trip through [`Strategy::name`] /
+//! [`std::str::FromStr`], so the same spelling selects algorithms in the
+//! `rkr` CLI, the serving protocol, and the eval harness. Requests with a
+//! [`QueryRequest::deadline`] or [`QueryRequest::refine_budget`] may
+//! return a [`Completion::Partial`] outcome whose entries are still exact
+//! — see [`request`].
 //!
 //! Bichromatic queries (§6.3.4) use [`QueryEngine::bichromatic`] with a
 //! [`Partition`]; the §8 future-work PPR variant lives in [`ppr`].
@@ -48,6 +60,7 @@ pub mod index;
 pub mod index_io;
 pub mod ppr;
 pub mod refine;
+pub mod request;
 pub mod result;
 pub mod scratch;
 pub mod simrank;
@@ -58,9 +71,12 @@ pub mod trace;
 pub mod validate;
 
 pub use context::{EngineContext, QueryScratch};
-pub use engine::{Algorithm, BoundConfig, QueryEngine};
+#[allow(deprecated)]
+pub use engine::Algorithm;
+pub use engine::{BoundConfig, QueryEngine};
 pub use index::{HubStrategy, IndexAccess, IndexBuildStats, IndexDelta, IndexParams, RkrIndex};
 pub use index_io::{load_index, read_index, save_index, write_index};
+pub use request::{Completion, PartialReason, QueryOutcome, QueryRequest, Strategy};
 pub use result::{QueryResult, ResultEntry, TopKCollector};
 pub use spec::{Partition, QuerySpec};
 pub use stats::{BoundWins, MeanStats, QueryStats};

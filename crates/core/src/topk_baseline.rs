@@ -85,6 +85,10 @@ pub fn reverse_k_ranks_by_doubling(graph: &Graph, q: NodeId, k: u32) -> Result<D
 
 #[cfg(test)]
 mod tests {
+    // Deprecated query_* shims exercised on purpose: equivalence tests
+    // for the execute path they delegate to.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::engine::QueryEngine;
     use crate::validate::results_equivalent;

@@ -3,6 +3,11 @@
 //! on randomized graphs — including directed graphs, tie-heavy integer
 //! weights, and evolving indexes across query streams.
 
+// NOTE: these tests deliberately keep driving the deprecated `query_*`
+// shims — they double as equivalence tests proving the shims and the
+// unified `QueryRequest`/`execute` path compute the same answers.
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use rkranks_core::{
     results_equivalent, BoundConfig, HubStrategy, IndexParams, Partition, QueryEngine, QueryResult,

@@ -3,6 +3,11 @@
 //! index to be byte-for-byte equivalent in behaviour — identical
 //! `query_indexed` results and identical pruning state.
 
+// NOTE: these tests deliberately keep driving the deprecated `query_*`
+// shims — they double as equivalence tests proving the shims and the
+// unified `QueryRequest`/`execute` path compute the same answers.
+#![allow(deprecated)]
+
 use rkranks_core::{
     load_index, save_index, BoundConfig, HubStrategy, IndexParams, QueryEngine, QuerySpec, RkrIndex,
 };

@@ -6,12 +6,12 @@
 //! Tables 11–13 report count-bound wins on Epinions, so their runs must
 //! have symmetrized it.
 
-use rkranks_core::BoundConfig;
+use rkranks_core::{BoundConfig, Strategy};
 use rkranks_datasets::epinions_like_undirected;
 use rkranks_graph::{Graph, NodeId};
 
 use crate::report::{fmt_f64, fmt_secs, Table};
-use crate::runner::{run_batch, BatchAlgo};
+use crate::runner::run_batch;
 use crate::workload::{max_degree_queries, min_degree_queries, random_queries};
 use crate::ExpContext;
 
@@ -36,7 +36,7 @@ pub fn bound_wins(ctx: &ExpContext) -> Vec<Table> {
             None,
             &queries,
             k,
-            BatchAlgo::Dynamic(BoundConfig::ALL),
+            Strategy::Dynamic(BoundConfig::ALL),
             ctx.threads,
         )
         .expect("bound-wins batch");
@@ -92,7 +92,7 @@ fn strategy_table(
         BoundConfig::ALL,
     ] {
         for k in BOUND_KS {
-            let out = run_batch(g, None, queries, k, BatchAlgo::Dynamic(bounds), ctx.threads)
+            let out = run_batch(g, None, queries, k, Strategy::Dynamic(bounds), ctx.threads)
                 .expect("bound-strategy batch");
             t.push_row(vec![
                 bounds.name().into(),
@@ -143,7 +143,7 @@ mod tests {
             None,
             &queries,
             1,
-            BatchAlgo::Dynamic(BoundConfig::PARENT_ONLY),
+            Strategy::Dynamic(BoundConfig::PARENT_ONLY),
             1,
         )
         .unwrap();
@@ -152,7 +152,7 @@ mod tests {
             None,
             &queries,
             1,
-            BatchAlgo::Dynamic(BoundConfig::PARENT_HEIGHT),
+            Strategy::Dynamic(BoundConfig::PARENT_HEIGHT),
             1,
         )
         .unwrap();

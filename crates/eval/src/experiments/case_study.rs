@@ -7,7 +7,7 @@
 //! each other (the "competing supermarkets"), then compare the three query
 //! types from each store's perspective.
 
-use rkranks_core::{bichromatic::bichromatic_rank, BoundConfig, Partition, QueryEngine};
+use rkranks_core::{bichromatic::bichromatic_rank, Partition, QueryEngine, QueryRequest};
 use rkranks_datasets::sf_like;
 use rkranks_graph::{DijkstraWorkspace, DistanceBrowser, NodeId};
 
@@ -57,7 +57,7 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
             }
         }
         // reverse 1-ranks: always exactly one community.
-        let r = engine.query_dynamic(store, 1, BoundConfig::ALL).unwrap();
+        let r = engine.execute(&QueryRequest::new(store, 1)).unwrap().result;
         let (winner, rank) = r
             .entries
             .first()

@@ -1,13 +1,13 @@
 //! Figure 6: query time and rank refinements vs `k` for the three
 //! framework variants on the DBLP-like and Epinions-like graphs.
 
-use rkranks_core::{BoundConfig, IndexParams, QueryEngine};
+use rkranks_core::{BoundConfig, IndexParams, QueryEngine, Strategy};
 use rkranks_datasets::{dblp_like, epinions_like};
 use rkranks_graph::Graph;
 
 use crate::experiments::{DEFAULT_FRACTION, K_VALUES};
 use crate::report::{fmt_f64, fmt_secs, Table};
-use crate::runner::{run_batch, run_indexed_batch, BatchAlgo, BatchOutcome, IndexedMode};
+use crate::runner::{run_batch, run_indexed_batch, BatchOutcome, IndexedMode};
 use crate::workload::random_queries;
 use crate::ExpContext;
 
@@ -58,7 +58,7 @@ fn one_dataset(ctx: &ExpContext, label: &str, g: &Graph) -> Table {
             continue;
         }
         let s =
-            run_batch(g, None, &queries, k, BatchAlgo::Static, ctx.threads).expect("static batch");
+            run_batch(g, None, &queries, k, Strategy::Static, ctx.threads).expect("static batch");
         t.push_row(vec![
             k.to_string(),
             "Static".into(),
@@ -71,7 +71,7 @@ fn one_dataset(ctx: &ExpContext, label: &str, g: &Graph) -> Table {
             None,
             &queries,
             k,
-            BatchAlgo::Dynamic(BoundConfig::ALL),
+            Strategy::Dynamic(BoundConfig::ALL),
             ctx.threads,
         )
         .expect("dynamic batch");
@@ -159,13 +159,13 @@ mod tests {
         };
         let g = dblp_like(ctx.scale, ctx.seed);
         let queries = random_queries(&g, ctx.queries, 1, |_| true);
-        let s = run_batch(&g, None, &queries, 10, BatchAlgo::Static, 2).unwrap();
+        let s = run_batch(&g, None, &queries, 10, Strategy::Static, 2).unwrap();
         let d = run_batch(
             &g,
             None,
             &queries,
             10,
-            BatchAlgo::Dynamic(BoundConfig::ALL),
+            Strategy::Dynamic(BoundConfig::ALL),
             2,
         )
         .unwrap();

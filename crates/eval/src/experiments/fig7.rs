@@ -4,12 +4,12 @@
 //! takeaway: on this sparse graph the index helps a lot, while the dynamic
 //! machinery's overhead can exceed its benefit at very small k.
 
-use rkranks_core::{BoundConfig, IndexParams, Partition, QueryEngine};
+use rkranks_core::{BoundConfig, IndexParams, Partition, QueryEngine, Strategy};
 use rkranks_datasets::sf_like;
 
 use crate::experiments::K_VALUES;
 use crate::report::{fmt_f64, fmt_secs, Table};
-use crate::runner::{run_batch, run_indexed_batch, BatchAlgo, IndexedMode};
+use crate::runner::{run_batch, run_indexed_batch, IndexedMode};
 use crate::workload::random_queries;
 use crate::ExpContext;
 
@@ -35,7 +35,7 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
         ..Default::default()
     };
     for k in K_VALUES {
-        let s = run_batch(g, Some(&part), &queries, k, BatchAlgo::Static, ctx.threads)
+        let s = run_batch(g, Some(&part), &queries, k, Strategy::Static, ctx.threads)
             .expect("static batch");
         t.push_row(vec![
             k.to_string(),
@@ -48,7 +48,7 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
             Some(&part),
             &queries,
             k,
-            BatchAlgo::Dynamic(BoundConfig::ALL),
+            Strategy::Dynamic(BoundConfig::ALL),
             ctx.threads,
         )
         .expect("dynamic batch");

@@ -3,11 +3,11 @@
 //! 75,878 refinements per naive query on Epinions vs milliseconds for the
 //! framework.
 
-use rkranks_core::BoundConfig;
+use rkranks_core::{BoundConfig, Strategy};
 use rkranks_datasets::epinions_like;
 
 use crate::report::{fmt_f64, fmt_secs, Table};
-use crate::runner::{run_batch, BatchAlgo};
+use crate::runner::run_batch;
 use crate::workload::random_queries;
 use crate::ExpContext;
 
@@ -26,9 +26,9 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
         &["method", "query time", "rank refinements"],
     );
     for (name, algo) in [
-        ("Naive", BatchAlgo::Naive),
-        ("Static", BatchAlgo::Static),
-        ("Dynamic", BatchAlgo::Dynamic(BoundConfig::ALL)),
+        ("Naive", Strategy::Naive),
+        ("Static", Strategy::Static),
+        ("Dynamic", Strategy::Dynamic(BoundConfig::ALL)),
     ] {
         let out = run_batch(&g, None, &queries, 1, algo, ctx.threads).expect("naive batch");
         t.push_row(vec![

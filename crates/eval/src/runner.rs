@@ -3,15 +3,16 @@
 //! All drivers share one immutable [`EngineContext`] across workers — the
 //! graph and its transpose are materialized once per batch, and each
 //! worker thread only allocates a cheap [`rkranks_core::QueryScratch`].
-//! Naive / static /
-//! dynamic queries are embarrassingly parallel. Indexed queries come in
+//! Batches dispatch on [`rkranks_core::Strategy`] values (the unified
+//! query API): naive / static / dynamic queries are embarrassingly
+//! parallel via [`run_batch`]. Indexed queries come in
 //! two modes ([`IndexedMode`]): the paper's sequential-dynamic stream,
 //! where each query's updates help the next, and a snapshot mode where
 //! workers query a frozen index concurrently, log discoveries to private
 //! [`IndexDelta`]s, and merge them back at a configurable cadence.
-//! Snapshot results are rank-identical to `query_dynamic` — the index only
-//! ever prunes work — so parallelism never costs correctness, only some
-//! intra-epoch sharpening.
+//! Snapshot results are rank-identical to the dynamic strategy — the index
+//! only ever prunes work — so parallelism never costs correctness, only
+//! some intra-epoch sharpening.
 //!
 //! Errors (an invalid query node, `k > K`) propagate out of the batch as
 //! `Err` instead of panicking inside worker threads.
@@ -19,31 +20,10 @@
 use std::time::Duration;
 
 use rkranks_core::{
-    BoundConfig, EngineContext, IndexDelta, Partition, QueryResult, QueryStats, RkrIndex,
+    BoundConfig, EngineContext, IndexAccess, IndexDelta, Partition, QueryRequest, QueryResult,
+    QueryStats, RkrIndex, Strategy,
 };
-use rkranks_graph::{Graph, NodeId, Result};
-
-/// Which algorithm a batch runs.
-#[derive(Clone, Copy, Debug)]
-pub enum BatchAlgo {
-    /// §2 naive baseline.
-    Naive,
-    /// §3 static SDS-tree.
-    Static,
-    /// §4 dynamic bounded SDS-tree.
-    Dynamic(BoundConfig),
-}
-
-impl BatchAlgo {
-    /// Display name for tables.
-    pub fn name(&self) -> &'static str {
-        match self {
-            BatchAlgo::Naive => "Naive",
-            BatchAlgo::Static => "Static",
-            BatchAlgo::Dynamic(_) => "Dynamic",
-        }
-    }
-}
+use rkranks_graph::{Graph, GraphError, NodeId, Result};
 
 /// How an indexed batch is executed.
 #[derive(Clone, Copy, Debug)]
@@ -154,21 +134,31 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 
 /// Run a batch of independent queries, parallel over `threads` workers
 /// sharing one engine context.
+///
+/// `strategy` must be index-free ([`Strategy::Naive`], [`Strategy::Static`]
+/// or [`Strategy::Dynamic`]); indexed batches need the index plumbing of
+/// [`run_indexed_batch`] and are rejected here.
 pub fn run_batch(
     graph: &Graph,
     partition: Option<&Partition>,
     queries: &[NodeId],
     k: u32,
-    algo: BatchAlgo,
+    strategy: Strategy,
     threads: usize,
 ) -> Result<BatchOutcome> {
+    if strategy.needs_index() {
+        return Err(GraphError::InvalidQuery(format!(
+            "strategy '{strategy}' needs an index; use run_indexed_batch"
+        )));
+    }
     let ctx = make_context(graph, partition);
     let threads = threads.clamp(1, queries.len().max(1));
     if threads == 1 {
         let mut scratch = ctx.new_scratch();
         let mut out = BatchOutcome::default();
         for &q in queries {
-            out.absorb(&run_one(&ctx, &mut scratch, q, k, algo)?.stats);
+            let req = QueryRequest::new(q, k).with_strategy(strategy);
+            out.absorb(&ctx.execute(&mut scratch, &req)?.result.stats);
         }
         return Ok(out);
     }
@@ -183,7 +173,8 @@ pub fn run_batch(
                     let mut scratch = ctx.new_scratch();
                     let mut out = BatchOutcome::default();
                     for &q in chunk {
-                        out.absorb(&run_one(ctx, &mut scratch, q, k, algo)?.stats);
+                        let req = QueryRequest::new(q, k).with_strategy(strategy);
+                        out.absorb(&ctx.execute(&mut scratch, &req)?.result.stats);
                     }
                     Ok(out)
                 })
@@ -248,7 +239,10 @@ fn run_indexed_inner(
         IndexedMode::Sequential => {
             let mut scratch = ctx.new_scratch();
             for &q in queries {
-                let r = ctx.query_indexed(&mut scratch, index, q, k, bounds)?;
+                let req = QueryRequest::new(q, k).with_strategy(Strategy::Indexed(bounds));
+                let r = ctx
+                    .execute_with(&mut scratch, Some(&mut IndexAccess::Live(index)), &req)?
+                    .result;
                 out.absorb(&r.stats);
                 if collect {
                     results.push(r);
@@ -286,10 +280,12 @@ fn run_indexed_inner(
                                 let mut out = BatchOutcome::default();
                                 let mut results =
                                     Vec::with_capacity(if collect { shard.len() } else { 0 });
+                                let mut access = IndexAccess::Snapshot { snapshot, delta };
                                 for &q in shard {
-                                    let r = ctx.query_indexed_snapshot(
-                                        scratch, snapshot, delta, q, k, bounds,
-                                    )?;
+                                    let req = QueryRequest::new(q, k)
+                                        .with_strategy(Strategy::Indexed(bounds));
+                                    let r =
+                                        ctx.execute_with(scratch, Some(&mut access), &req)?.result;
                                     out.absorb(&r.stats);
                                     if collect {
                                         results.push(r);
@@ -327,20 +323,6 @@ fn make_context<'g>(graph: &'g Graph, partition: Option<&Partition>) -> EngineCo
     // charged to the first query's latency sample.
     ctx.sds_graph();
     ctx
-}
-
-fn run_one(
-    ctx: &EngineContext<'_>,
-    scratch: &mut rkranks_core::QueryScratch,
-    q: NodeId,
-    k: u32,
-    algo: BatchAlgo,
-) -> Result<QueryResult> {
-    match algo {
-        BatchAlgo::Naive => ctx.query_naive(scratch, q, k),
-        BatchAlgo::Static => ctx.query_static(scratch, q, k),
-        BatchAlgo::Dynamic(b) => ctx.query_dynamic(scratch, q, k, b),
-    }
 }
 
 /// Default worker count: the machine's parallelism, capped to 8 (query
@@ -399,7 +381,7 @@ mod tests {
             None,
             &queries,
             2,
-            BatchAlgo::Dynamic(BoundConfig::ALL),
+            Strategy::Dynamic(BoundConfig::ALL),
             1,
         )
         .unwrap();
@@ -408,7 +390,7 @@ mod tests {
             None,
             &queries,
             2,
-            BatchAlgo::Dynamic(BoundConfig::ALL),
+            Strategy::Dynamic(BoundConfig::ALL),
             test_threads(),
         )
         .unwrap();
@@ -421,7 +403,7 @@ mod tests {
     fn naive_batch_runs() {
         let g = grid();
         let queries: Vec<NodeId> = g.nodes().collect();
-        let out = run_batch(&g, None, &queries, 1, BatchAlgo::Naive, 2).unwrap();
+        let out = run_batch(&g, None, &queries, 1, Strategy::Naive, 2).unwrap();
         assert_eq!(out.queries, 4);
         // naive refines every other node for every query
         assert_eq!(out.totals.refinement_calls, 4 * 3);
@@ -433,7 +415,7 @@ mod tests {
         let g = grid();
         let queries = vec![NodeId(0), NodeId(99)];
         for threads in [1, 2] {
-            let r = run_batch(&g, None, &queries, 2, BatchAlgo::Static, threads);
+            let r = run_batch(&g, None, &queries, 2, Strategy::Static, threads);
             assert!(r.is_err(), "threads={threads}");
         }
         let mut idx = RkrIndex::empty(g.num_nodes(), 4);
@@ -482,8 +464,9 @@ mod tests {
             queries
                 .iter()
                 .map(|&q| {
-                    ctx.query_dynamic(&mut s, q, 2, BoundConfig::ALL)
+                    ctx.execute(&mut s, &QueryRequest::new(q, 2))
                         .unwrap()
+                        .result
                         .ranks()
                 })
                 .collect()
@@ -539,7 +522,7 @@ mod tests {
     #[test]
     fn empty_query_list() {
         let g = grid();
-        let out = run_batch(&g, None, &[], 2, BatchAlgo::Static, 4).unwrap();
+        let out = run_batch(&g, None, &[], 2, Strategy::Static, 4).unwrap();
         assert_eq!(out.queries, 0);
         assert_eq!(out.mean_seconds(), 0.0);
         assert_eq!(out.latency_percentiles(), LatencyPercentiles::default());
@@ -554,7 +537,7 @@ mod tests {
             None,
             &queries,
             2,
-            BatchAlgo::Dynamic(BoundConfig::ALL),
+            Strategy::Dynamic(BoundConfig::ALL),
             2,
         )
         .unwrap();

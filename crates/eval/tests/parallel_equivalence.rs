@@ -7,6 +7,11 @@
 //! returns, for every thread count and delta-merge cadence. This is the
 //! invariant that makes the concurrent serving mode safe to deploy.
 
+// NOTE: these tests deliberately keep driving the deprecated `query_*`
+// shims — they double as equivalence tests proving the shims and the
+// unified `QueryRequest`/`execute` path compute the same answers.
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use rkranks_core::{BoundConfig, EngineContext, HubStrategy, IndexParams, RkrIndex};
 use rkranks_eval::runner::{env_threads, run_indexed_batch_collect, IndexedMode};

@@ -1,5 +1,5 @@
 //! The serving-side result cache: a hand-rolled O(1) LRU keyed by
-//! `(node, k, bound-config, epoch)`.
+//! `(node, k, strategy, epoch)`.
 //!
 //! Because the index epoch is part of the key, a merge that bumps the
 //! epoch makes every older entry unreachable *immediately* — a lookup for
@@ -17,6 +17,12 @@
 
 use std::collections::HashMap;
 
+/// Sentinel epoch for answers that do not depend on the index at all
+/// (naive/static/dynamic strategies read only the immutable graph):
+/// entries keyed with it are never considered stale by
+/// [`ResultCache::purge_stale`], so they survive index merges.
+pub const EPOCH_INDEPENDENT: u64 = u64::MAX;
+
 /// Everything that distinguishes one cacheable answer from another.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CacheKey {
@@ -24,10 +30,13 @@ pub struct CacheKey {
     pub node: u32,
     /// Result size.
     pub k: u32,
-    /// Encoded [`rkranks_core::BoundConfig`] (different bound settings
-    /// explore differently and must not share entries with each other).
-    pub bounds: u8,
-    /// Index epoch the answer was computed against.
+    /// Encoded [`rkranks_core::Strategy`] (different strategies and
+    /// bound settings explore differently and must not share entries with
+    /// each other). Derived from the request — see
+    /// `server::strategy_bits`.
+    pub strategy: u8,
+    /// Index epoch the answer was computed against, or
+    /// [`EPOCH_INDEPENDENT`] for strategies that never read the index.
     pub epoch: u64,
 }
 
@@ -163,12 +172,13 @@ impl ResultCache {
     /// Drop every entry whose epoch is not `current_epoch`, returning how
     /// many were dropped. Called by the merger after an epoch bump so
     /// stale entries release their memory immediately instead of waiting
-    /// to age out of the LRU order.
+    /// to age out of the LRU order. Entries keyed [`EPOCH_INDEPENDENT`]
+    /// (graph-only answers) are never stale and always survive.
     pub fn purge_stale(&mut self, current_epoch: u64) -> usize {
         let stale: Vec<CacheKey> = self
             .map
             .keys()
-            .filter(|k| k.epoch != current_epoch)
+            .filter(|k| k.epoch != current_epoch && k.epoch != EPOCH_INDEPENDENT)
             .copied()
             .collect();
         for key in &stale {
@@ -222,7 +232,7 @@ mod tests {
         CacheKey {
             node,
             k: 2,
-            bounds: 3,
+            strategy: 3,
             epoch,
         }
     }
@@ -289,9 +299,23 @@ mod tests {
         assert!(c.get(&key(9, 1)).is_some());
         let (_, _, _, stale) = c.counters();
         assert_eq!(stale, 3);
+    }
+
+    #[test]
+    fn epoch_independent_entries_survive_purges() {
+        let mut c = ResultCache::new(8);
+        c.insert(key(1, EPOCH_INDEPENDENT), vec![(1, 1)]);
+        c.insert(key(2, 0), vec![(2, 1)]);
+        assert_eq!(c.purge_stale(5), 1, "only the epoch-0 entry is stale");
+        assert!(
+            c.get(&key(1, EPOCH_INDEPENDENT)).is_some(),
+            "graph-only answers survive index merges"
+        );
+        let (_, _, _, stale) = c.counters();
+        assert_eq!(stale, 1);
         // purged slots are reused
         for n in 0..7 {
-            c.insert(key(n, 1), vec![(n, 1)]);
+            c.insert(key(n, 5), vec![(n, 1)]);
         }
         assert_eq!(c.len(), 8);
     }

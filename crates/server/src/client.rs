@@ -40,6 +40,31 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// Per-query options for [`Client::query_opts`] — the remote face of
+/// [`rkranks_core::QueryRequest`].
+#[derive(Clone, Debug)]
+pub struct QueryOptions {
+    /// Consult/populate the server-side result cache (default `true`).
+    pub cache: bool,
+    /// Evaluation strategy name ([`rkranks_core::Strategy`] string form,
+    /// e.g. `"dynamic-height"`); `None` uses the daemon's default.
+    pub strategy: Option<String>,
+    /// Best-effort server-side deadline in milliseconds; an exceeded
+    /// deadline answers with a partial result
+    /// ([`crate::protocol::QueryReply::partial`]).
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            cache: true,
+            strategy: None,
+            deadline_ms: None,
+        }
+    }
+}
+
 /// A blocking connection to an `rkrd` daemon.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -74,24 +99,41 @@ impl Client {
         }
     }
 
-    /// One reverse k-ranks query.
+    /// One reverse k-ranks query with the default options.
     pub fn query(&mut self, node: u32, k: u32) -> Result<QueryReply, ClientError> {
-        self.query_with_cache(node, k, true)
+        self.query_opts(node, k, &QueryOptions::default())
     }
 
     /// [`Client::query`] bypassing the server-side result cache (no
     /// lookup, no insert) — for measurement traffic.
     pub fn query_uncached(&mut self, node: u32, k: u32) -> Result<QueryReply, ClientError> {
-        self.query_with_cache(node, k, false)
+        self.query_opts(
+            node,
+            k,
+            &QueryOptions {
+                cache: false,
+                ..QueryOptions::default()
+            },
+        )
     }
 
-    fn query_with_cache(
+    /// One reverse k-ranks query with explicit [`QueryOptions`] —
+    /// strategy selection and deadlines travel over the wire, so the
+    /// remote path can express everything the local path can.
+    pub fn query_opts(
         &mut self,
         node: u32,
         k: u32,
-        cache: bool,
+        opts: &QueryOptions,
     ) -> Result<QueryReply, ClientError> {
-        match self.round_trip(&Request::Query { node, k, cache })? {
+        let req = Request::Query {
+            node,
+            k,
+            cache: opts.cache,
+            strategy: opts.strategy.clone(),
+            deadline_ms: opts.deadline_ms,
+        };
+        match self.round_trip(&req)? {
             Reply::Query(q) => Ok(q),
             other => Err(unexpected("query", &other)),
         }

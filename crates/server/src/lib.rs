@@ -54,6 +54,6 @@ pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheKey, ResultCache};
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, QueryOptions};
 pub use protocol::{BatchReply, QueryReply, Reply, Request, StatsReply};
 pub use server::{serve, spawn, ServerConfig, ServerHandle};

@@ -6,11 +6,21 @@
 //! ```text
 //! {"op":"query","node":17,"k":10}            single reverse k-ranks query
 //! {"op":"query","node":17,"k":10,"cache":false}   ... bypassing the cache
+//! {"op":"query","node":17,"k":10,"strategy":"dynamic-height"}
+//!                                            ... with an explicit strategy
+//! {"op":"query","node":17,"k":10,"deadline_ms":5}
+//!                                            ... best-effort within 5ms
 //! {"op":"batch","nodes":[3,17,5],"k":10}     several queries, one round-trip
 //! {"op":"stats"}                             serving counters + epoch
 //! {"op":"flush"}                             fold pending deltas now
 //! {"op":"shutdown"}                          drain and stop the daemon
 //! ```
+//!
+//! `strategy` takes the unified [`rkranks_core::Strategy`] string form —
+//! the same names `rkr query --algo` accepts locally — so the remote path
+//! can express every bound configuration the local path can. A query cut
+//! short by its `deadline_ms` answers with `"partial":true` and the
+//! refined-so-far entries (each rank still exact).
 //!
 //! Replies always carry `"ok"`; failures are `{"ok":false,"error":"..."}`
 //! and keep the connection open. Successful shapes:
@@ -41,6 +51,17 @@ pub enum Request {
         /// `false` bypasses the result cache for this request (both the
         /// lookup and the insert) — e.g. for measurement traffic.
         cache: bool,
+        /// Evaluation strategy name ([`rkranks_core::Strategy`] string
+        /// form, e.g. `"dynamic-height"`). `None` uses the daemon's
+        /// default (indexed with its configured bounds). This is the same
+        /// spelling the local CLI accepts, so remote queries can express
+        /// everything local ones can.
+        strategy: Option<String>,
+        /// Best-effort deadline in milliseconds: when it elapses the
+        /// daemon replies with the refined-so-far partial result
+        /// ([`QueryReply::partial`]) instead of risking unbounded tail
+        /// latency.
+        deadline_ms: Option<u64>,
     },
     /// Several queries amortizing one round-trip; each node is answered
     /// (and cached) exactly as a standalone `Query` would be.
@@ -62,7 +83,13 @@ impl Request {
     /// Encode for the wire (without the trailing newline).
     pub fn to_json(&self) -> Json {
         match self {
-            Request::Query { node, k, cache } => {
+            Request::Query {
+                node,
+                k,
+                cache,
+                strategy,
+                deadline_ms,
+            } => {
                 let mut fields = vec![
                     ("op".into(), Json::Str("query".into())),
                     ("node".into(), Json::num(*node)),
@@ -70,6 +97,12 @@ impl Request {
                 ];
                 if !cache {
                     fields.push(("cache".into(), Json::Bool(false)));
+                }
+                if let Some(s) = strategy {
+                    fields.push(("strategy".into(), Json::Str(s.clone())));
+                }
+                if let Some(ms) = deadline_ms {
+                    fields.push(("deadline_ms".into(), Json::num(*ms as f64)));
                 }
                 Json::Obj(fields)
             }
@@ -95,11 +128,23 @@ impl Request {
             .and_then(Json::as_str)
             .ok_or("missing string field 'op'")?;
         match op {
-            "query" => Ok(Request::Query {
-                node: field_u32(&v, "node")?,
-                k: field_u32(&v, "k")?,
-                cache: v.get("cache").and_then(Json::as_bool).unwrap_or(true),
-            }),
+            "query" => {
+                let deadline_ms = match v.get("deadline_ms") {
+                    None => None,
+                    Some(d) => Some(d.as_u64().ok_or("non-integer field 'deadline_ms'")?),
+                };
+                let strategy = match v.get("strategy") {
+                    None => None,
+                    Some(s) => Some(s.as_str().ok_or("non-string field 'strategy'")?.to_string()),
+                };
+                Ok(Request::Query {
+                    node: field_u32(&v, "node")?,
+                    k: field_u32(&v, "k")?,
+                    cache: v.get("cache").and_then(Json::as_bool).unwrap_or(true),
+                    strategy,
+                    deadline_ms,
+                })
+            }
             "batch" => {
                 let nodes = v
                     .get("nodes")
@@ -140,6 +185,10 @@ pub struct QueryReply {
     pub cached: bool,
     /// The index epoch the result was computed (or cached) against.
     pub epoch: u64,
+    /// `true` when a deadline cut the query short: `entries` is the
+    /// refined-so-far set (every rank in it is still exact), not the
+    /// complete answer. Partial answers are never cached.
+    pub partial: bool,
 }
 
 /// A successful batch answer.
@@ -179,10 +228,15 @@ pub struct StatsReply {
     pub deltas_merged: u64,
     /// Worker threads serving connections.
     pub workers: u64,
+    /// Queries answered with a partial (limit-tripped) result.
+    pub partial_results: u64,
+    /// Queries whose deadline elapsed before the search finished (a
+    /// subset of `partial_results`).
+    pub deadline_exceeded: u64,
 }
 
 impl StatsReply {
-    const FIELDS: [&'static str; 11] = [
+    const FIELDS: [&'static str; 13] = [
         "queries",
         "cache_hits",
         "cache_misses",
@@ -194,9 +248,11 @@ impl StatsReply {
         "merges",
         "deltas_merged",
         "workers",
+        "partial_results",
+        "deadline_exceeded",
     ];
 
-    fn values(&self) -> [u64; 11] {
+    fn values(&self) -> [u64; 13] {
         [
             self.queries,
             self.cache_hits,
@@ -209,6 +265,8 @@ impl StatsReply {
             self.merges,
             self.deltas_merged,
             self.workers,
+            self.partial_results,
+            self.deadline_exceeded,
         ]
     }
 
@@ -224,7 +282,7 @@ impl StatsReply {
 
     fn from_json(v: &Json) -> Result<StatsReply, String> {
         let mut out = StatsReply::default();
-        let slots: [&mut u64; 11] = [
+        let slots: [&mut u64; 13] = [
             &mut out.queries,
             &mut out.cache_hits,
             &mut out.cache_misses,
@@ -236,6 +294,8 @@ impl StatsReply {
             &mut out.merges,
             &mut out.deltas_merged,
             &mut out.workers,
+            &mut out.partial_results,
+            &mut out.deadline_exceeded,
         ];
         for (field, slot) in Self::FIELDS.iter().zip(slots) {
             *slot = v
@@ -278,11 +338,17 @@ impl Reply {
             Json::Obj(fields)
         };
         match self {
-            Reply::Query(q) => ok(vec![
-                ("result".into(), entries_to_json(&q.entries)),
-                ("cached".into(), Json::Bool(q.cached)),
-                ("epoch".into(), Json::num(q.epoch as f64)),
-            ]),
+            Reply::Query(q) => {
+                let mut fields = vec![
+                    ("result".into(), entries_to_json(&q.entries)),
+                    ("cached".into(), Json::Bool(q.cached)),
+                    ("epoch".into(), Json::num(q.epoch as f64)),
+                ];
+                if q.partial {
+                    fields.push(("partial".into(), Json::Bool(true)));
+                }
+                ok(fields)
+            }
             Reply::Batch(b) => ok(vec![
                 (
                     "results".into(),
@@ -326,6 +392,7 @@ impl Reply {
                     .and_then(Json::as_bool)
                     .ok_or("missing boolean field 'cached'")?,
                 epoch: field_u64(&v, "epoch")?,
+                partial: v.get("partial").and_then(Json::as_bool).unwrap_or(false),
             }));
         }
         if let Some(results) = v.get("results") {
@@ -406,11 +473,29 @@ mod tests {
             node: 17,
             k: 10,
             cache: true,
+            strategy: None,
+            deadline_ms: None,
         });
         round_trip_request(Request::Query {
             node: 0,
             k: 1,
             cache: false,
+            strategy: None,
+            deadline_ms: None,
+        });
+        round_trip_request(Request::Query {
+            node: 4,
+            k: 3,
+            cache: true,
+            strategy: Some("dynamic-height".into()),
+            deadline_ms: Some(25),
+        });
+        round_trip_request(Request::Query {
+            node: 4,
+            k: 3,
+            cache: false,
+            strategy: Some("naive".into()),
+            deadline_ms: Some(0),
         });
         round_trip_request(Request::Batch {
             nodes: vec![3, 17, 5],
@@ -431,11 +516,19 @@ mod tests {
             entries: vec![(1, 2), (3, 2)],
             cached: true,
             epoch: 7,
+            partial: false,
         }));
         round_trip_reply(Reply::Query(QueryReply {
             entries: vec![],
             cached: false,
             epoch: 0,
+            partial: false,
+        }));
+        round_trip_reply(Reply::Query(QueryReply {
+            entries: vec![(9, 1)],
+            cached: false,
+            epoch: 2,
+            partial: true,
         }));
         round_trip_reply(Reply::Batch(BatchReply {
             results: vec![vec![(1, 1)], vec![]],
@@ -454,6 +547,8 @@ mod tests {
             merges: 2,
             deltas_merged: 5,
             workers: 4,
+            partial_results: 3,
+            deadline_exceeded: 2,
         }));
         round_trip_reply(Reply::Flush {
             epoch: 4,
@@ -464,15 +559,33 @@ mod tests {
     }
 
     #[test]
-    fn missing_cache_field_defaults_to_cached() {
+    fn missing_optional_query_fields_default() {
         let req = Request::from_line(r#"{"op":"query","node":1,"k":2}"#).unwrap();
         assert_eq!(
             req,
             Request::Query {
                 node: 1,
                 k: 2,
-                cache: true
+                cache: true,
+                strategy: None,
+                deadline_ms: None,
             }
+        );
+    }
+
+    #[test]
+    fn missing_partial_field_defaults_to_complete() {
+        // Replies from daemons predating the partial flag stay decodable.
+        let reply =
+            Reply::from_line(r#"{"ok":true,"result":[[1,2]],"cached":false,"epoch":0}"#).unwrap();
+        assert_eq!(
+            reply,
+            Reply::Query(QueryReply {
+                entries: vec![(1, 2)],
+                cached: false,
+                epoch: 0,
+                partial: false,
+            })
         );
     }
 
@@ -486,6 +599,9 @@ mod tests {
             r#"{"op":"query","node":1}"#,
             r#"{"op":"query","node":-1,"k":2}"#,
             r#"{"op":"query","node":1.5,"k":2}"#,
+            r#"{"op":"query","node":1,"k":2,"deadline_ms":-4}"#,
+            r#"{"op":"query","node":1,"k":2,"deadline_ms":1.5}"#,
+            r#"{"op":"query","node":1,"k":2,"strategy":7}"#,
             r#"{"op":"batch","k":2}"#,
             r#"{"op":"batch","nodes":[1,"x"],"k":2}"#,
             r#"{"op":"explode"}"#,

@@ -22,10 +22,14 @@
 //!   epoch — implicitly invalidates every cached result computed against
 //!   the old state. The cache is purged eagerly right after.
 //! * **The result cache** is an LRU keyed by
-//!   `(node, k, bounds, epoch)` ([`crate::cache::ResultCache`]); repeated
-//!   queries for hot nodes are answered without touching the graph.
+//!   `(node, k, strategy, epoch)` ([`crate::cache::ResultCache`]), the
+//!   strategy byte derived from each request's parsed [`Strategy`];
+//!   repeated queries for hot nodes are answered without touching the
+//!   graph. Graph-only strategies (naive/static/dynamic) are keyed
+//!   epoch-independently so index merges never strand their entries;
+//!   partial (deadline-cut) answers are never cached.
 //!
-//! Query results are rank-identical to [`EngineContext::query_dynamic`]
+//! Query results are rank-identical to the plain dynamic strategy
 //! regardless of snapshot staleness or cache state — the index only ever
 //! prunes work — so caching and concurrency never cost correctness.
 
@@ -35,7 +39,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::Duration;
 
-use rkranks_core::{BoundConfig, EngineContext, IndexDelta, Partition, QueryScratch, RkrIndex};
+use rkranks_core::{
+    BoundConfig, Completion, EngineContext, IndexAccess, IndexDelta, PartialReason, Partition,
+    QueryRequest, QueryScratch, RkrIndex, Strategy,
+};
 use rkranks_graph::{Graph, NodeId};
 
 use crate::cache::{CacheKey, ResultCache};
@@ -58,8 +65,9 @@ pub struct ServerConfig {
     /// hit-heavy traffic pending discoveries must still land). `0` means
     /// merges happen only on an explicit `flush` op and at shutdown.
     pub merge_every: u64,
-    /// Bound configuration every served query runs with (part of the
-    /// cache key, so it is fixed per daemon, not per request).
+    /// Bound configuration of the *default* strategy (snapshot-indexed
+    /// search) — used when a request names no `strategy` of its own;
+    /// requests with an explicit strategy carry their own bounds.
     pub bounds: BoundConfig,
 }
 
@@ -86,6 +94,10 @@ struct Counters {
     queries: AtomicU64,
     merges: AtomicU64,
     deltas_merged: AtomicU64,
+    /// Queries answered with a limit-tripped partial result.
+    partial_results: AtomicU64,
+    /// Queries whose deadline elapsed (subset of `partial_results`).
+    deadline_exceeded: AtomicU64,
 }
 
 /// Everything the worker, merger, and control paths share.
@@ -190,6 +202,18 @@ pub fn spawn(
 /// Encode a [`BoundConfig`] for the cache key.
 fn bounds_bits(b: BoundConfig) -> u8 {
     b.use_height as u8 | (b.use_count as u8) << 1
+}
+
+/// Derive the cache-key strategy byte from a request's [`Strategy`]:
+/// distinct strategies (and distinct bound configurations within one)
+/// must never share cache entries.
+fn strategy_bits(s: Strategy) -> u8 {
+    match s {
+        Strategy::Naive => 0x10,
+        Strategy::Static => 0x20,
+        Strategy::Dynamic(b) => 0x40 | bounds_bits(b),
+        Strategy::Indexed(b) => 0x80 | bounds_bits(b),
+    }
 }
 
 /// One multiplexed client connection: a non-blocking stream plus the
@@ -327,7 +351,21 @@ fn write_all_nonblocking(stream: &mut TcpStream, mut buf: &[u8]) -> io::Result<(
 
 fn execute(shared: &Shared<'_>, scratch: &mut QueryScratch, req: Request) -> Reply {
     match req {
-        Request::Query { node, k, cache } => match run_query(shared, scratch, node, k, cache) {
+        Request::Query {
+            node,
+            k,
+            cache,
+            strategy,
+            deadline_ms,
+        } => match run_query(
+            shared,
+            scratch,
+            node,
+            k,
+            cache,
+            strategy.as_deref(),
+            deadline_ms,
+        ) {
             Ok(q) => Reply::Query(q),
             Err(msg) => Reply::Error(msg),
         },
@@ -336,7 +374,7 @@ fn execute(shared: &Shared<'_>, scratch: &mut QueryScratch, req: Request) -> Rep
             let mut cached = 0u64;
             let mut epoch = 0u64;
             for node in nodes {
-                match run_query(shared, scratch, node, k, true) {
+                match run_query(shared, scratch, node, k, true, None, None) {
                     Ok(q) => {
                         cached += q.cached as u64;
                         epoch = q.epoch;
@@ -365,13 +403,23 @@ fn execute(shared: &Shared<'_>, scratch: &mut QueryScratch, req: Request) -> Rep
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_query(
     shared: &Shared<'_>,
     scratch: &mut QueryScratch,
     node: u32,
     k: u32,
     use_cache: bool,
+    strategy: Option<&str>,
+    deadline_ms: Option<u64>,
 ) -> Result<QueryReply, String> {
+    // The request's strategy string maps straight onto the unified
+    // Strategy; absent, the daemon serves its configured default — the
+    // snapshot-indexed search.
+    let strategy = match strategy {
+        Some(name) => name.parse::<Strategy>()?,
+        None => Strategy::Indexed(shared.config.bounds),
+    };
     shared.counters.queries.fetch_add(1, Ordering::Relaxed);
     let snapshot = shared
         .snapshot
@@ -382,8 +430,15 @@ fn run_query(
     let key = CacheKey {
         node,
         k,
-        bounds: bounds_bits(shared.config.bounds),
-        epoch,
+        strategy: strategy_bits(strategy),
+        // Graph-only strategies never read the index: key them with the
+        // epoch-independent sentinel so their entries survive merges
+        // instead of being stranded and re-computed every epoch bump.
+        epoch: if strategy.needs_index() {
+            epoch
+        } else {
+            crate::cache::EPOCH_INDEPENDENT
+        },
     };
     if use_cache {
         if let Some(cache) = &shared.cache {
@@ -397,29 +452,60 @@ fn run_query(
                 // served queries" must hold under hit-heavy traffic, or
                 // pending deltas could sit unmerged indefinitely.
                 note_query_for_cadence(shared, None);
+                // A cached entry is always a *complete* answer (partial
+                // results are never inserted), so it satisfies any
+                // deadline trivially.
                 return Ok(QueryReply {
                     entries,
                     cached: true,
                     epoch,
+                    partial: false,
                 });
             }
         }
     }
+    let mut req = QueryRequest::new(NodeId(node), k).with_strategy(strategy);
+    if let Some(ms) = deadline_ms {
+        req = req.with_deadline(Duration::from_millis(ms));
+    }
     let mut delta = IndexDelta::for_index(&snapshot);
-    let result = shared
-        .ctx
-        .query_indexed_snapshot(
-            scratch,
-            &snapshot,
-            &mut delta,
-            NodeId(node),
-            k,
-            shared.config.bounds,
-        )
-        .map_err(|e| e.to_string())?;
-    let entries: Vec<(u32, u32)> = result.entries.iter().map(|e| (e.node.0, e.rank)).collect();
+    let outcome = if strategy.needs_index() {
+        let mut access = IndexAccess::Snapshot {
+            snapshot: &snapshot,
+            delta: &mut delta,
+        };
+        shared.ctx.execute_with(scratch, Some(&mut access), &req)
+    } else {
+        shared.ctx.execute(scratch, &req)
+    }
+    .map_err(|e| e.to_string())?;
+    let entries: Vec<(u32, u32)> = outcome
+        .result
+        .entries
+        .iter()
+        .map(|e| (e.node.0, e.rank))
+        .collect();
     note_query_for_cadence(shared, Some(delta));
-    if use_cache {
+    let partial = match outcome.completion {
+        Completion::Complete => false,
+        Completion::Partial { reason, .. } => {
+            shared
+                .counters
+                .partial_results
+                .fetch_add(1, Ordering::Relaxed);
+            if reason == PartialReason::DeadlineExceeded {
+                shared
+                    .counters
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            true
+        }
+    };
+    // Partial answers are never cached: a later, un-deadlined query for
+    // the same key must not be short-changed by an earlier caller's
+    // latency budget.
+    if use_cache && !partial {
         if let Some(cache) = &shared.cache {
             cache
                 .lock()
@@ -431,6 +517,7 @@ fn run_query(
         entries,
         cached: false,
         epoch,
+        partial,
     })
 }
 
@@ -544,6 +631,8 @@ fn stats_snapshot(shared: &Shared<'_>) -> StatsReply {
         merges: shared.counters.merges.load(Ordering::Relaxed),
         deltas_merged: shared.counters.deltas_merged.load(Ordering::Relaxed),
         workers: shared.config.workers as u64,
+        partial_results: shared.counters.partial_results.load(Ordering::Relaxed),
+        deadline_exceeded: shared.counters.deadline_exceeded.load(Ordering::Relaxed),
     }
 }
 

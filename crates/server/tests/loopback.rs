@@ -8,7 +8,7 @@ use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rkranks_core::{BoundConfig, EngineContext, RkrIndex};
+use rkranks_core::{BoundConfig, EngineContext, QueryRequest, RkrIndex, Strategy};
 use rkranks_datasets::zipf::Zipf;
 use rkranks_datasets::{collab_graph, CollabParams};
 use rkranks_graph::Graph;
@@ -41,8 +41,9 @@ fn expected_ranks(g: &Graph) -> BTreeMap<u32, Vec<u32>> {
     g.nodes()
         .map(|q| {
             let r = ctx
-                .query_dynamic(&mut scratch, q, K, BoundConfig::ALL)
-                .unwrap();
+                .execute(&mut scratch, &QueryRequest::new(q, K))
+                .unwrap()
+                .result;
             (q.0, r.ranks())
         })
         .collect()
@@ -198,6 +199,110 @@ fn epoch_bump_evicts_stale_entries() {
     assert_eq!(
         final_stats.epoch, epoch2,
         "empty merges must not invalidate"
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+/// The unified strategy strings travel over the wire: a remote query can
+/// select any algorithm/bound configuration the local path accepts, the
+/// ranks agree across all of them, deadline-bounded queries come back
+/// flagged partial, and the `stats` op reports the partial/deadline
+/// counters.
+#[test]
+fn strategies_and_deadlines_over_the_wire() {
+    use rkranks_server::QueryOptions;
+
+    let g = test_graph();
+    let n = g.num_nodes();
+    let expected = expected_ranks(&g);
+    let handle = spawn(
+        g,
+        None,
+        RkrIndex::empty(n, K_MAX),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            cache_capacity: 64,
+            merge_every: 0,
+            bounds: BoundConfig::ALL,
+        },
+    )
+    .expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Every strategy name resolves remotely and returns the same ranks
+    // the local dynamic search computes. Distinct strategies must not
+    // share cache entries, so each first call is a miss.
+    for strategy in Strategy::ALL {
+        let reply = client
+            .query_opts(
+                7,
+                K,
+                &QueryOptions {
+                    strategy: Some(strategy.name().into()),
+                    ..QueryOptions::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", strategy.name()));
+        assert!(!reply.cached, "{strategy}: fresh key must miss");
+        assert!(!reply.partial, "{strategy}: no limits were set");
+        let got: Vec<u32> = reply.entries.iter().map(|&(_, r)| r).collect();
+        assert_eq!(&got, &expected[&7], "{strategy}: ranks diverged");
+    }
+
+    // An unknown strategy is a protocol-level error, not a dropped
+    // connection.
+    let err = client
+        .query_opts(
+            7,
+            K,
+            &QueryOptions {
+                strategy: Some("turbo".into()),
+                ..QueryOptions::default()
+            },
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("unknown strategy"), "{err}");
+
+    // A zero deadline always trips: the reply is flagged partial. Node 9
+    // is fresh (never cached above), so the lookup misses and the
+    // partial computation runs. (Partial-answer exactness invariants are
+    // covered by core's partial-result tests; here we assert the wire
+    // semantics.)
+    let partial = client
+        .query_opts(
+            9,
+            K,
+            &QueryOptions {
+                deadline_ms: Some(0),
+                ..QueryOptions::default()
+            },
+        )
+        .expect("deadline query");
+    assert!(partial.partial, "a 0ms deadline must trip");
+
+    // Partial answers are never cached: the same key queried again
+    // without a deadline is a miss that computes the complete answer.
+    let complete = client.query(9, K).expect("follow-up query");
+    assert!(!complete.cached, "partial result must not have been cached");
+    assert!(!complete.partial);
+    let got: Vec<u32> = complete.entries.iter().map(|&(_, r)| r).collect();
+    assert_eq!(&got, &expected[&9]);
+
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.partial_results >= 1,
+        "partial counter missing: {stats:?}"
+    );
+    assert!(
+        stats.deadline_exceeded >= 1,
+        "deadline counter missing: {stats:?}"
+    );
+    assert!(
+        stats.deadline_exceeded <= stats.partial_results,
+        "deadline-exceeded is a subset of partial"
     );
 
     client.shutdown().expect("shutdown");

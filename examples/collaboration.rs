@@ -48,9 +48,11 @@ fn main() {
 
     for (label, q) in [("cold", cold), ("hot", hot)] {
         let rtk = reverse_top_k(&g, q, k);
+        let req = QueryRequest::new(q, k).with_strategy(Strategy::Indexed(BoundConfig::ALL));
         let rkr = engine
-            .query_indexed(&mut index, q, k, BoundConfig::ALL)
-            .unwrap();
+            .execute_with(Some(&mut IndexAccess::Live(&mut index)), &req)
+            .unwrap()
+            .result;
         println!("=== {label} author {q} ===");
         println!("  reverse top-{k}: {} interested author(s)", rtk.len());
         println!("  reverse {k}-ranks (who ranks {q} highest):");

@@ -46,9 +46,11 @@ fn main() {
         let mut refinements = 0u64;
         let mut hits = 0u64;
         for &q in &queries {
+            let req = QueryRequest::new(q, k).with_strategy(Strategy::Indexed(BoundConfig::ALL));
             let r = engine
-                .query_indexed(&mut index, q, k, BoundConfig::ALL)
-                .unwrap();
+                .execute_with(Some(&mut IndexAccess::Live(&mut index)), &req)
+                .unwrap()
+                .result;
             refinements += r.stats.refinement_calls;
             hits += r.stats.index_exact_hits;
         }
@@ -63,9 +65,11 @@ fn main() {
 
     // Bonus: the §8 future-work extension — same query, PPR proximity.
     let q = queries[0];
+    let req = QueryRequest::new(q, 5).with_strategy(Strategy::Indexed(BoundConfig::ALL));
     let shortest = engine
-        .query_indexed(&mut index, q, 5, BoundConfig::ALL)
-        .unwrap();
+        .execute_with(Some(&mut IndexAccess::Live(&mut index)), &req)
+        .unwrap()
+        .result;
     let ppr = reverse_k_ranks_ppr(&g, q, 5, &PprParams::default()).unwrap();
     println!("\nquery {q}: shortest-path vs personalized-PageRank proximity");
     println!("  shortest-path reverse 5-ranks: {:?}", shortest.nodes());

@@ -53,14 +53,13 @@ fn main() {
                 .collect::<Vec<_>>()
                 .join(", ")
         );
-        for (label, result) in [
-            ("naive", engine.query_naive(q, 2).unwrap()),
-            ("static SDS", engine.query_static(q, 2).unwrap()),
-            (
-                "dynamic SDS",
-                engine.query_dynamic(q, 2, BoundConfig::ALL).unwrap(),
-            ),
+        for (label, strategy) in [
+            ("naive", Strategy::Naive),
+            ("static SDS", Strategy::Static),
+            ("dynamic SDS", Strategy::Dynamic(BoundConfig::ALL)),
         ] {
+            let req = QueryRequest::new(q, 2).with_strategy(strategy);
+            let result = engine.execute(&req).unwrap().result;
             let pretty: Vec<String> = result
                 .entries
                 .iter()
@@ -77,9 +76,8 @@ fn main() {
     // The §4 walkthrough, as an execution trace: Bob, Eric, Caroline are
     // refined; Frank, Sid, George are pruned by the Theorem-2 bounds.
     println!("\ndynamic SDS decision trace for Alice (the paper's §4 walkthrough):");
-    let (_, trace) = engine
-        .query_dynamic_traced(toy::ALICE, 2, BoundConfig::ALL)
-        .expect("valid query");
+    let req = QueryRequest::new(toy::ALICE, 2).with_trace();
+    let trace = engine.execute(&req).expect("valid query").trace.unwrap();
     print!("{}", trace.render(Some(&NAMES)));
 
     println!("\nThe paper's point: Alice's reverse top-2 is empty and Eric's would be");

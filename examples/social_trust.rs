@@ -30,8 +30,9 @@ fn main() {
     let mut engine = QueryEngine::new(&g);
     let k = 5;
     let result = engine
-        .query_dynamic(influencer, k, BoundConfig::ALL)
-        .unwrap();
+        .execute(&QueryRequest::new(influencer, k))
+        .unwrap()
+        .result;
     println!("\nreverse {k}-ranks of {influencer} — the users who trust them most strongly:");
     let mut ws = DijkstraWorkspace::new(g.num_nodes());
     for e in &result.entries {
@@ -58,7 +59,7 @@ fn main() {
         .filter(|&v| transpose.degree(v) == 1 && g.degree(v) > 0)
         .min_by_key(|&v| (transpose.degree(v), v));
     if let Some(cold) = cold {
-        let r = engine.query_dynamic(cold, k, BoundConfig::ALL).unwrap();
+        let r = engine.execute(&QueryRequest::new(cold, k)).unwrap().result;
         println!(
             "\ncold user {cold} (in-degree {}): reverse {k}-ranks still returns {} users",
             transpose.degree(cold),

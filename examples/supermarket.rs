@@ -48,7 +48,7 @@ fn main() {
 
     for store in [wellcome, parknshop] {
         let k = 3;
-        let result = engine.query_dynamic(store, k, BoundConfig::ALL).unwrap();
+        let result = engine.execute(&QueryRequest::new(store, k)).unwrap().result;
         println!("=== store {store}: top {k} communities to target ===");
         // routes for the promotion team: a shortest-path tree from the store
         let (parents, dists) = rkranks_graph::shortest_path_tree(g, store);

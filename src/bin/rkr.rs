@@ -5,50 +5,64 @@
 //! rkr stats <graph.edges>
 //! rkr build-index <graph.edges> --out index.rkri [--h 0.1] [--m 0.1] [--kmax 100]
 //!                 [--strategy random|degree|closeness] [--threads N]
-//! rkr query <graph.edges> --node Q --k K [--algo naive|static|dynamic|indexed]
-//!                 [--index index.rkri] [--save-index]
-//! rkr batch <graph.edges> --queries N --k K [--algo naive|static|dynamic|indexed] [--threads T]
+//! rkr query <graph.edges> --node Q --k K [--algo STRATEGY] [--deadline-ms MS]
+//!                 [--refine-budget N] [--trace] [--index index.rkri] [--save-index]
+//! rkr query --remote HOST:PORT --node Q --k K [--algo STRATEGY] [--deadline-ms MS]
+//!                 [--no-cache]
+//! rkr batch <graph.edges> --queries N --k K [--algo STRATEGY] [--threads T]
 //!                 [--indexed-mode sequential|snapshot] [--merge-every M]
 //!                 [--index index.rkri] [--seed S]
 //! rkr serve <graph.edges> [--addr HOST:PORT] [--workers N] [--cache N] [--merge-every M]
 //!                 [--index index.rkri] [--kmax K] [--save-index]
-//! rkr query --remote HOST:PORT --node Q --k K [--no-cache]
 //! rkr ctl <HOST:PORT> stats|flush|shutdown
 //! ```
 //!
+//! `STRATEGY` is the unified `rkranks_core::Strategy` string form —
+//! `naive`, `static`, `dynamic[-parent|-height|-count|-three]`,
+//! `indexed[-parent|-height|-count|-three]` — and the *same* spelling
+//! works locally, over the wire (`--remote`), and in `batch`, so e.g.
+//! `--algo dynamic-height` replaces the old ad-hoc flag combinations.
+//!
 //! A thin shell over the library — everything it does is a few calls into
-//! the public API. `batch` drives the eval runner: one shared
-//! `EngineContext`, per-worker scratch, and (for `--indexed-mode snapshot`)
-//! concurrent indexed serving against a frozen index with delta merges.
-//! `serve` runs the `rkrd` daemon (see `rkranks_server`): a worker pool
-//! answering the line-delimited JSON protocol with an LRU result cache and
-//! epoch-based invalidation; `query --remote` and `ctl` are its clients.
+//! the public API. Queries build a `QueryRequest` and go through the one
+//! `execute` entry point; `--deadline-ms` / `--refine-budget` make them
+//! best-effort (partial results are flagged). `batch` drives the eval
+//! runner: one shared `EngineContext`, per-worker scratch, and (for
+//! `--indexed-mode snapshot`) concurrent indexed serving against a frozen
+//! index with delta merges. `serve` runs the `rkrd` daemon (see
+//! `rkranks_server`): a worker pool answering the line-delimited JSON
+//! protocol with an LRU result cache and epoch-based invalidation;
+//! `query --remote` and `ctl` are its clients.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use reverse_k_ranks::prelude::*;
-use rkranks_core::{load_index, save_index};
+use rkranks_core::{load_index, save_index, Completion, QueryOutcome, QueryRequest, Strategy};
 use rkranks_datasets::{dblp_like, epinions_like, sf_like};
-use rkranks_eval::runner::{self, run_batch, run_indexed_batch, BatchAlgo, IndexedMode};
+use rkranks_eval::runner::{self, run_batch, run_indexed_batch, IndexedMode};
 use rkranks_eval::workload::random_queries;
 use rkranks_graph::io::{load_graph, save_graph};
 use rkranks_graph::metrics::{degree_stats, weight_stats};
 use rkranks_graph::traversal::is_weakly_connected;
-use rkranks_server::{Client, ServerConfig};
+use rkranks_server::{Client, QueryOptions, ServerConfig};
 
 const USAGE: &str = "usage:
   rkr gen <dblp|epinions|road> [--scale S] [--seed N] --out FILE
   rkr stats <graph.edges>
   rkr build-index <graph.edges> --out FILE [--h F] [--m F] [--kmax K] [--strategy S] [--threads N]
-  rkr query <graph.edges> --node Q --k K [--algo A] [--index FILE] [--save-index]
-  rkr query --remote HOST:PORT --node Q --k K [--no-cache]
-  rkr batch <graph.edges> --queries N --k K [--algo naive|static|dynamic|indexed] [--threads T]
+  rkr query <graph.edges> --node Q --k K [--algo STRATEGY] [--deadline-ms MS]
+            [--refine-budget N] [--trace] [--index FILE] [--save-index]
+  rkr query --remote HOST:PORT --node Q --k K [--algo STRATEGY] [--deadline-ms MS] [--no-cache]
+  rkr batch <graph.edges> --queries N --k K [--algo STRATEGY] [--threads T]
             [--indexed-mode sequential|snapshot] [--merge-every M] [--index FILE] [--seed S]
   rkr serve <graph.edges> [--addr HOST:PORT] [--workers N] [--cache N] [--merge-every M]
             [--index FILE] [--kmax K] [--save-index]
-  rkr ctl <HOST:PORT> stats|flush|shutdown";
+  rkr ctl <HOST:PORT> stats|flush|shutdown
+
+STRATEGY: naive | static | dynamic[-parent|-height|-count|-three]
+        | indexed[-parent|-height|-count|-three]";
 
 fn main() -> ExitCode {
     match run(std::env::args().skip(1).collect()) {
@@ -228,23 +242,21 @@ fn cmd_batch(flags: &Flags) -> Result<(), String> {
             .get_parsed("threads", 0)
             .map(|t: usize| if t == 0 { runner::default_threads() } else { t })?;
     let queries = random_queries(&g, count, seed, |_| true);
-    let algo = flags.get("algo").unwrap_or("dynamic");
+    let strategy: Strategy = flags.get("algo").unwrap_or("dynamic").parse()?;
     // Index preparation happens outside the timed region so wall time and
     // throughput measure serving only, comparable across --algo values.
-    let batch_algo = match algo {
-        "naive" => Some(BatchAlgo::Naive),
-        "static" => Some(BatchAlgo::Static),
-        "dynamic" => Some(BatchAlgo::Dynamic(BoundConfig::ALL)),
-        "indexed" => None,
-        other => return Err(format!("unknown algorithm '{other}'")),
-    };
-    let (out, detail, wall) = match batch_algo {
-        Some(a) => {
+    let (out, detail, wall) = match strategy {
+        Strategy::Naive | Strategy::Static | Strategy::Dynamic(_) => {
             let start = Instant::now();
-            let out = run_batch(&g, None, &queries, k, a, threads).map_err(|e| e.to_string())?;
-            (out, format!("{algo}, {threads} threads"), start.elapsed())
+            let out =
+                run_batch(&g, None, &queries, k, strategy, threads).map_err(|e| e.to_string())?;
+            (
+                out,
+                format!("{strategy}, {threads} threads"),
+                start.elapsed(),
+            )
         }
-        None => {
+        Strategy::Indexed(bounds) => {
             // Validate the mode flags before paying for index preparation.
             let mode = match flags.get("indexed-mode").unwrap_or("snapshot") {
                 "sequential" => IndexedMode::Sequential,
@@ -269,9 +281,9 @@ fn cmd_batch(flags: &Flags) -> Result<(), String> {
                 }
             };
             let start = Instant::now();
-            let out = run_indexed_batch(&g, None, &mut index, &queries, k, BoundConfig::ALL, mode)
+            let out = run_indexed_batch(&g, None, &mut index, &queries, k, bounds, mode)
                 .map_err(|e| e.to_string())?;
-            (out, format!("indexed {mode:?}"), start.elapsed())
+            (out, format!("{strategy} {mode:?}"), start.elapsed())
         }
     };
     let p = out.latency_percentiles();
@@ -418,19 +430,48 @@ fn cmd_query_remote(flags: &Flags, addr: &str) -> Result<(), String> {
         return Err("query needs --node Q".into());
     }
     let k: u32 = flags.get_parsed("k", 10)?;
+    // The wire protocol carries strategy + deadline_ms; a silently
+    // dropped budget would look like an unbounded query, so refuse it.
+    if flags.get("refine-budget").is_some() {
+        return Err(
+            "--refine-budget is not supported over --remote (the wire protocol carries \
+             --algo and --deadline-ms only)"
+                .into(),
+        );
+    }
+    // Parity with the local path: the unified strategy string is
+    // validated here for a fast error, then sent verbatim over the wire.
+    let strategy = match flags.get("algo") {
+        Some(name) => Some(name.parse::<Strategy>()?.name().to_string()),
+        None => None,
+    };
+    let deadline_ms = match flags.get("deadline-ms") {
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("bad value for --deadline-ms: '{v}'"))?,
+        ),
+        None => None,
+    };
+    let opts = QueryOptions {
+        cache: !flags.has("no-cache"),
+        strategy,
+        deadline_ms,
+    };
     let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let start = Instant::now();
-    let reply = if flags.has("no-cache") {
-        client.query_uncached(node, k)
-    } else {
-        client.query(node, k)
-    }
-    .map_err(|e| e.to_string())?;
+    let reply = client
+        .query_opts(node, k, &opts)
+        .map_err(|e| e.to_string())?;
     println!(
-        "reverse {k}-ranks of node {node} (remote {addr}, {:.2?}, cached: {}, epoch {}):",
+        "reverse {k}-ranks of node {node} (remote {addr}, {:.2?}, cached: {}, epoch {}{}):",
         start.elapsed(),
         reply.cached,
-        reply.epoch
+        reply.epoch,
+        if reply.partial {
+            ", PARTIAL (deadline exceeded)"
+        } else {
+            ""
+        }
     );
     for (n, rank) in &reply.entries {
         println!("  node {n:>8}  rank {rank}");
@@ -448,36 +489,62 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
         return Err("query needs --node Q".into());
     }
     let k: u32 = flags.get_parsed("k", 10)?;
-    let algo = flags.get("algo").unwrap_or("dynamic");
+    let strategy: Strategy = flags.get("algo").unwrap_or("dynamic").parse()?;
+    let mut req = QueryRequest::new(NodeId(node), k).with_strategy(strategy);
+    if let Some(ms) = flags.get("deadline-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("bad value for --deadline-ms: '{ms}'"))?;
+        req = req.with_deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(budget) = flags.get("refine-budget") {
+        let budget: u64 = budget
+            .parse()
+            .map_err(|_| format!("bad value for --refine-budget: '{budget}'"))?;
+        req = req.with_refine_budget(budget);
+    }
+    if flags.has("trace") {
+        req = req.with_trace();
+    }
     let mut engine = QueryEngine::new(&g);
     let start = Instant::now();
-    let (result, index_to_save) = match algo {
-        "naive" => (engine.query_naive(NodeId(node), k), None),
-        "static" => (engine.query_static(NodeId(node), k), None),
-        "dynamic" => (
-            engine.query_dynamic(NodeId(node), k, BoundConfig::ALL),
-            None,
-        ),
-        "indexed" => {
-            let mut index = match flags.get("index") {
-                Some(path) => load_index(path).map_err(|e| e.to_string())?,
-                None => {
-                    eprintln!("(no --index given; building a default one)");
-                    engine.build_index(&IndexParams::default()).0
-                }
-            };
-            let r = engine.query_indexed(&mut index, NodeId(node), k, BoundConfig::ALL);
-            (r, Some(index))
-        }
-        other => return Err(format!("unknown algorithm '{other}'")),
+    let (outcome, index_to_save): (QueryOutcome, Option<RkrIndex>) = if strategy.needs_index() {
+        let mut index = match flags.get("index") {
+            Some(path) => load_index(path).map_err(|e| e.to_string())?,
+            None => {
+                eprintln!("(no --index given; building a default one)");
+                engine.build_index(&IndexParams::default()).0
+            }
+        };
+        let out = engine
+            .execute_with(Some(&mut rkranks_core::IndexAccess::Live(&mut index)), &req)
+            .map_err(|e| e.to_string())?;
+        (out, Some(index))
+    } else {
+        (engine.execute(&req).map_err(|e| e.to_string())?, None)
     };
-    let result = result.map_err(|e| e.to_string())?;
+    let result = &outcome.result;
     println!(
-        "reverse {k}-ranks of node {node} ({algo}, {:.2?}):",
+        "reverse {k}-ranks of node {node} ({strategy}, {:.2?}):",
         start.elapsed()
     );
     for e in &result.entries {
         println!("  node {:>8}  rank {}", e.node.to_string(), e.rank);
+    }
+    if let Completion::Partial {
+        reason,
+        k_rank_bound,
+    } = outcome.completion
+    {
+        println!(
+            "PARTIAL result ({reason}): entries above are exact; the complete \
+             answer's k-th rank is at most {}",
+            if k_rank_bound == u32::MAX {
+                "unbounded".to_string()
+            } else {
+                k_rank_bound.to_string()
+            }
+        );
     }
     println!(
         "stats: {} refinements ({} pruned early), {} bound-pruned, {} index hits",
@@ -486,6 +553,10 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
         result.stats.pruned_by_bound,
         result.stats.index_exact_hits
     );
+    if let Some(trace) = &outcome.trace {
+        println!("decision trace:");
+        print!("{}", trace.render(None));
+    }
     if flags.has("save-index") {
         if let (Some(index), Some(path)) = (index_to_save, flags.get("index")) {
             save_index(&index, path).map_err(|e| e.to_string())?;

@@ -17,9 +17,9 @@
 //! // link; who is most likely to collaborate with her?
 //! let g = toy::paper_example();
 //! let mut engine = QueryEngine::new(&g);
-//! let result = engine.query_dynamic(toy::ALICE, 2, BoundConfig::ALL).unwrap();
+//! let outcome = engine.execute(&QueryRequest::new(toy::ALICE, 2)).unwrap();
 //! // Example 1: the reverse 2-ranks of Alice are Bob and Caroline.
-//! assert_eq!(result.nodes(), vec![toy::BOB, toy::CAROLINE]);
+//! assert_eq!(outcome.result.nodes(), vec![toy::BOB, toy::CAROLINE]);
 //! ```
 
 #![warn(missing_docs)]
@@ -34,13 +34,14 @@ pub use rkranks_server as server;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use rkranks_core::{
-        Algorithm, BoundConfig, EngineContext, HubStrategy, IndexDelta, IndexParams, Partition,
-        QueryEngine, QueryResult, QueryScratch, QuerySpec, RkrIndex,
+        BoundConfig, Completion, EngineContext, HubStrategy, IndexAccess, IndexDelta, IndexParams,
+        PartialReason, Partition, QueryEngine, QueryOutcome, QueryRequest, QueryResult,
+        QueryScratch, QuerySpec, RkrIndex, Strategy,
     };
     pub use rkranks_datasets::{toy, Scale};
     pub use rkranks_graph::{
         graph_from_edges, DijkstraWorkspace, DistanceBrowser, EdgeDirection, Graph, GraphBuilder,
         NodeId,
     };
-    pub use rkranks_server::{Client, ServerConfig};
+    pub use rkranks_server::{Client, QueryOptions, ServerConfig};
 }

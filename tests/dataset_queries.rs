@@ -2,6 +2,11 @@
 //! agree, results verify against independently computed ranks, and
 //! everything is deterministic per seed.
 
+// NOTE: these tests deliberately keep driving the deprecated `query_*`
+// shims — they double as equivalence tests proving the shims and the
+// unified `QueryRequest`/`execute` path compute the same answers.
+#![allow(deprecated)]
+
 use reverse_k_ranks::prelude::*;
 use rkranks_core::results_equivalent;
 use rkranks_datasets::{dblp_like, epinions_like, sf_like};

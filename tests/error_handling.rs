@@ -1,6 +1,11 @@
 //! Error-path integration: every misuse of the public API must fail loudly
 //! and descriptively, never silently return a wrong answer.
 
+// NOTE: these tests deliberately keep driving the deprecated `query_*`
+// shims — they double as equivalence tests proving the shims and the
+// unified `QueryRequest`/`execute` path compute the same answers.
+#![allow(deprecated)]
+
 use reverse_k_ranks::prelude::*;
 use rkranks_core::{load_index, save_index};
 use rkranks_datasets::toy;

@@ -2,6 +2,11 @@
 //! proximity) and the §2 doubling baseline, run against the realistic
 //! dataset generators rather than hand-built graphs.
 
+// NOTE: these tests deliberately keep driving the deprecated `query_*`
+// shims — they double as equivalence tests proving the shims and the
+// unified `QueryRequest`/`execute` path compute the same answers.
+#![allow(deprecated)]
+
 use reverse_k_ranks::prelude::*;
 use rkranks_core::ppr::{ppr_rank, reverse_k_ranks_ppr};
 use rkranks_core::simrank::reverse_k_ranks_simrank;

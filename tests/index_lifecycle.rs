@@ -1,6 +1,11 @@
 //! Index lifecycle integration: build → query → update → re-query, with
 //! the §5 invariants checked against ground truth at every step.
 
+// NOTE: these tests deliberately keep driving the deprecated `query_*`
+// shims — they double as equivalence tests proving the shims and the
+// unified `QueryRequest`/`execute` path compute the same answers.
+#![allow(deprecated)]
+
 use reverse_k_ranks::prelude::*;
 use rkranks_datasets::{dblp_like, toy};
 use rkranks_graph::{rank_between, rank_matrix};

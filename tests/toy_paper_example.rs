@@ -1,6 +1,11 @@
 //! Integration test: every claim the paper makes about the Figure 1 toy
 //! example, verified end to end through the public facade.
 
+// NOTE: these tests deliberately keep driving the deprecated `query_*`
+// shims — they double as equivalence tests proving the shims and the
+// unified `QueryRequest`/`execute` path compute the same answers.
+#![allow(deprecated)]
+
 use reverse_k_ranks::prelude::*;
 use rkranks_datasets::toy::{self, ALICE, BOB, CAROLINE, ERIC, FRANK, GEORGE, NAMES, SID, TABLE1};
 use rkranks_graph::{rank_matrix, reverse_top_k};
