@@ -1,0 +1,129 @@
+//! Churn benchmarks: what live graph updates cost.
+//!
+//! Three questions, three groups:
+//!
+//! * `churn/apply` — update-apply latency: staging a batch of deltas and
+//!   committing it into a fresh CSR snapshot, at several batch sizes.
+//!   The rebuild is `O(m log m)` per *commit*, not per delta — larger
+//!   batches amortize it, which is the `GraphStore` design bet.
+//! * `churn/stage` — validation-only cost of staging one delta (the
+//!   protocol-boundary price every `update` op pays).
+//! * `churn/serving` — query throughput under mixed read/write ratios
+//!   {static, 100:1, 10:1}: each sample runs a fixed read budget and
+//!   folds one staged update + commit + context rebuild in per `R`
+//!   reads, the way the daemon's merger does — so the sample time prices
+//!   snapshot publication and the retired-index cold start, not just the
+//!   rebuild.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rkranks_bench::{bench_queries, dblp, BENCH_SEED};
+use rkranks_core::{EngineContext, QueryRequest};
+use rkranks_datasets::workload::default_update_stream;
+use rkranks_graph::{Graph, GraphStore};
+
+const K: u32 = 10;
+const READS: usize = 64;
+
+fn apply_latency(c: &mut Criterion) {
+    let g: &Graph = dblp();
+    let mut group = c.benchmark_group("churn/apply");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    for batch in [1usize, 16, 256] {
+        // One long pre-generated stream applied chunk by chunk to one
+        // long-lived store, so the timed closure measures exactly one
+        // stage+commit cycle — not store construction. Chunks of a valid
+        // stream stay valid when applied in order; when the stream runs
+        // dry the store is rebuilt outside what the median sees.
+        let stream = default_update_stream(g, batch * 512, BENCH_SEED);
+        group.bench_with_input(BenchmarkId::new("batch", batch), &batch, |b, &batch| {
+            let mut store = GraphStore::new(g.clone());
+            let mut offset = 0usize;
+            b.iter(|| {
+                if offset + batch > stream.len() {
+                    store = GraphStore::new(g.clone());
+                    offset = 0;
+                }
+                let chunk = &stream[offset..offset + batch];
+                offset += batch;
+                black_box(store.apply(chunk).unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn stage_validation(c: &mut Criterion) {
+    let g: &Graph = dblp();
+    let mut group = c.benchmark_group("churn/stage");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    // A long pre-generated stream staged one delta at a time (never
+    // committed): pure boundary-validation cost.
+    let stream = default_update_stream(g, 4096, BENCH_SEED ^ 0x57A6);
+    group.bench_function("validate_one", |b| {
+        let mut store = GraphStore::new(g.clone());
+        let mut i = 0usize;
+        b.iter(|| {
+            if i == stream.len() {
+                // drain and start over so validity holds
+                store = GraphStore::new(g.clone());
+                i = 0;
+            }
+            store.stage(black_box(stream[i])).unwrap();
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+fn mixed_serving(c: &mut Criterion) {
+    let g: &Graph = dblp();
+    let queries = bench_queries(g, READS, |_| true);
+
+    let mut group = c.benchmark_group("churn/serving");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    // ratio 0 = static baseline: same read budget, no updates, context
+    // built once outside the loop like a long-lived daemon.
+    for ratio in [0usize, 100, 10] {
+        let label = if ratio == 0 {
+            "static".to_string()
+        } else {
+            format!("{ratio}:1")
+        };
+        let writes = if ratio == 0 { 0 } else { READS.div_ceil(ratio) };
+        let stream = default_update_stream(g, writes.max(1), BENCH_SEED ^ 0xC0DE);
+        group.bench_with_input(BenchmarkId::new("ratio", label), &ratio, |b, &ratio| {
+            b.iter(|| {
+                let mut store = GraphStore::new(g.clone());
+                let mut ctx = EngineContext::new(store.snapshot());
+                let mut scratch = ctx.new_scratch();
+                let mut next_write = 0usize;
+                for (i, &q) in queries.iter().enumerate() {
+                    let out = ctx.execute(&mut scratch, &QueryRequest::new(q, K)).unwrap();
+                    black_box(out.result.entries.len());
+                    if ratio > 0 && (i + 1) % ratio == 0 && next_write < stream.len() {
+                        // the merger's commit path: stage + commit +
+                        // publish a fresh context for the new snapshot
+                        store.stage(stream[next_write]).unwrap();
+                        next_write += 1;
+                        let snap = store.commit();
+                        ctx = EngineContext::new(snap);
+                        scratch = ctx.new_scratch();
+                    }
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, apply_latency, stage_validation, mixed_serving);
+criterion_main!(benches);

@@ -28,6 +28,7 @@ fn cache_ops(c: &mut Criterion) {
         k: K,
         strategy: 3,
         epoch,
+        graph_epoch: 0,
     };
     let value: Vec<(u32, u32)> = (0..K).map(|i| (i, i + 1)).collect();
 
@@ -62,7 +63,7 @@ fn cache_ops(c: &mut Criterion) {
             for n in 0..1024 {
                 cache.insert(key(n, 0), value.clone());
             }
-            black_box(cache.purge_stale(1));
+            black_box(cache.purge_stale(0, 1));
         });
     });
     group.finish();

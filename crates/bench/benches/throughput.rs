@@ -9,6 +9,7 @@
 //! delta merges at two cadences.
 
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -22,6 +23,10 @@ const THREADS: [usize; 3] = [1, 2, 4];
 
 fn throughput(c: &mut Criterion) {
     let g = dblp();
+    // One Arc for the whole target: b.iter closures clone the Arc, not
+    // the CSR — the samples measure query work, not graph copies.
+    let ga: Arc<rkranks_graph::Graph> = g.into();
+    let g = &ga;
     let queries = bench_queries(g, BATCH, |_| true);
 
     let mut group = c.benchmark_group("throughput/dynamic");
@@ -32,15 +37,22 @@ fn throughput(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("threads", t), &t, |b, &t| {
             b.iter(|| {
                 black_box(
-                    run_batch(g, None, &queries, K, Strategy::Dynamic(BoundConfig::ALL), t)
-                        .unwrap(),
+                    run_batch(
+                        Arc::clone(g),
+                        None,
+                        &queries,
+                        K,
+                        Strategy::Dynamic(BoundConfig::ALL),
+                        t,
+                    )
+                    .unwrap(),
                 )
             });
         });
     }
     group.finish();
 
-    let engine = QueryEngine::new(g);
+    let engine = QueryEngine::new(Arc::clone(g));
     let (base_index, _) = engine.build_index(&IndexParams {
         k_max: 100,
         ..Default::default()
@@ -56,7 +68,7 @@ fn throughput(c: &mut Criterion) {
             let mut idx = base_index.clone();
             black_box(
                 run_indexed_batch(
-                    g,
+                    Arc::clone(g),
                     None,
                     &mut idx,
                     &queries,
@@ -80,7 +92,7 @@ fn throughput(c: &mut Criterion) {
                     let mut idx = base_index.clone();
                     black_box(
                         run_indexed_batch(
-                            g,
+                            Arc::clone(g),
                             None,
                             &mut idx,
                             &queries,

@@ -20,7 +20,7 @@
 //! discoveries to a private [`crate::index::IndexDelta`] for a later
 //! merge — the shape that lets indexed serving run on many threads.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use rkranks_graph::{DijkstraWorkspace, Distance, Graph, GraphError, NodeId, RelaxOutcome, Result};
@@ -35,11 +35,19 @@ use crate::spec::{Partition, QuerySpec};
 use crate::stats::QueryStats;
 use crate::trace::{PopDecision, QueryTrace, TraceEvent};
 
-/// Immutable, `Sync` query-evaluation state bound to one graph: share it
-/// across worker threads via `&` or `Arc`, give each worker its own
-/// [`QueryScratch`].
-pub struct EngineContext<'g> {
-    graph: &'g Graph,
+/// Immutable, `Sync` query-evaluation state bound to one graph snapshot:
+/// share it across worker threads via `&` or `Arc`, give each worker its
+/// own [`QueryScratch`].
+///
+/// The context *owns* its graph as an `Arc<Graph>`, so it is cheap to
+/// re-create per published snapshot when the graph itself evolves (see
+/// `rkranks_graph::GraphStore`): a fresh context is one `Arc` clone plus
+/// an empty transpose cell — the `O(n + m)` transpose is paid lazily, and
+/// only for directed graphs. Constructors accept anything convertible
+/// into `Arc<Graph>`: an `Arc<Graph>` (cheap, the serving path), an owned
+/// `Graph`, or a `&Graph` (clones — fine for one-off contexts).
+pub struct EngineContext {
+    graph: Arc<Graph>,
     /// Built lazily on the first query that needs it, exactly once even
     /// when many workers race (undirected graphs are their own transpose;
     /// the cell stays empty and the copy is never paid).
@@ -47,19 +55,19 @@ pub struct EngineContext<'g> {
     partition: Option<Partition>,
 }
 
-impl<'g> EngineContext<'g> {
+impl EngineContext {
     /// Monochromatic context (Definition 2).
-    pub fn new(graph: &'g Graph) -> Self {
-        Self::with_partition(graph, None)
+    pub fn new(graph: impl Into<Arc<Graph>>) -> Self {
+        Self::with_partition(graph.into(), None)
     }
 
     /// Bichromatic context (Definitions 3–4): `partition`'s `V2` is the
     /// counted/query class, its complement the candidate class.
-    pub fn bichromatic(graph: &'g Graph, partition: Partition) -> Self {
-        Self::with_partition(graph, Some(partition))
+    pub fn bichromatic(graph: impl Into<Arc<Graph>>, partition: Partition) -> Self {
+        Self::with_partition(graph.into(), Some(partition))
     }
 
-    fn with_partition(graph: &'g Graph, partition: Option<Partition>) -> Self {
+    fn with_partition(graph: Arc<Graph>, partition: Option<Partition>) -> Self {
         EngineContext {
             graph,
             transpose: OnceLock::new(),
@@ -68,8 +76,13 @@ impl<'g> EngineContext<'g> {
     }
 
     /// The underlying graph.
-    pub fn graph(&self) -> &'g Graph {
-        self.graph
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The underlying graph's `Arc` (cheap to clone and hand elsewhere).
+    pub fn graph_arc(&self) -> &Arc<Graph> {
+        &self.graph
     }
 
     /// The bichromatic partition, if any.
@@ -96,7 +109,7 @@ impl<'g> EngineContext<'g> {
         if self.graph.is_directed() {
             self.transpose.get_or_init(|| self.graph.transpose())
         } else {
-            self.graph
+            &self.graph
         }
     }
 
@@ -107,7 +120,7 @@ impl<'g> EngineContext<'g> {
 
     /// Build an index matching this context's query spec.
     pub fn build_index(&self, params: &IndexParams) -> (RkrIndex, IndexBuildStats) {
-        RkrIndex::build(self.graph, self.spec(), params)
+        RkrIndex::build(&self.graph, self.spec(), params)
     }
 
     fn validate(&self, q: NodeId, k: u32) -> Result<()> {
@@ -215,7 +228,7 @@ impl<'g> EngineContext<'g> {
                 break;
             }
             if let Some(RefineOutcome::Exact(r)) = refine_rank_unbounded(
-                self.graph,
+                &self.graph,
                 spec,
                 &mut scratch.refine_ws,
                 p,
@@ -381,7 +394,7 @@ impl<'g> EngineContext<'g> {
         let mut collector = TopKCollector::new(k);
         let mut completion = Completion::Complete;
 
-        let graph = self.graph;
+        let graph = &*self.graph;
         let spec = self.spec();
         let tgraph = self.sds_graph();
         let QueryScratch {
@@ -688,7 +701,7 @@ mod tests {
     #[test]
     fn context_is_sync_and_shareable() {
         fn assert_sync<T: Sync>() {}
-        assert_sync::<EngineContext<'static>>();
+        assert_sync::<EngineContext>();
     }
 
     #[test]

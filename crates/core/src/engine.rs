@@ -28,6 +28,8 @@
 //! never see the split; concurrent callers build one [`EngineContext`] and
 //! hand each worker its own [`QueryScratch`] — see [`crate::context`].
 
+use std::sync::Arc;
+
 use rkranks_graph::{Graph, NodeId, Result};
 
 use crate::context::{EngineContext, QueryScratch};
@@ -128,20 +130,20 @@ pub enum Algorithm<'i> {
 
 /// Reusable query-evaluation state bound to one graph: a thin facade over
 /// an [`EngineContext`] + [`QueryScratch`] pair for single-threaded use.
-pub struct QueryEngine<'g> {
-    ctx: EngineContext<'g>,
+pub struct QueryEngine {
+    ctx: EngineContext,
     scratch: QueryScratch,
 }
 
-impl<'g> QueryEngine<'g> {
+impl QueryEngine {
     /// Monochromatic engine (Definition 2).
-    pub fn new(graph: &'g Graph) -> Self {
+    pub fn new(graph: impl Into<Arc<Graph>>) -> Self {
         Self::from_context(EngineContext::new(graph))
     }
 
     /// Bichromatic engine (Definitions 3–4): `partition`'s `V2` is the
     /// counted/query class, its complement the candidate class.
-    pub fn bichromatic(graph: &'g Graph, partition: Partition) -> Self {
+    pub fn bichromatic(graph: impl Into<Arc<Graph>>, partition: Partition) -> Self {
         Self::from_context(EngineContext::bichromatic(graph, partition))
     }
 
@@ -150,7 +152,7 @@ impl<'g> QueryEngine<'g> {
     /// The transpose is materialized here (as the pre-split `QueryEngine`
     /// did at construction) so no query's `stats.elapsed` includes the
     /// one-off O(n+m) build.
-    pub fn from_context(ctx: EngineContext<'g>) -> Self {
+    pub fn from_context(ctx: EngineContext) -> Self {
         ctx.sds_graph();
         let scratch = ctx.new_scratch();
         QueryEngine { ctx, scratch }
@@ -158,12 +160,12 @@ impl<'g> QueryEngine<'g> {
 
     /// The shared read-only half (borrow it to spawn concurrent workers
     /// alongside this engine).
-    pub fn context(&self) -> &EngineContext<'g> {
+    pub fn context(&self) -> &EngineContext {
         &self.ctx
     }
 
     /// Take the context back, dropping the scratch.
-    pub fn into_context(self) -> EngineContext<'g> {
+    pub fn into_context(self) -> EngineContext {
         self.ctx
     }
 

@@ -120,6 +120,10 @@ pub struct RkrIndex {
     /// against older index states — while no-op merges (warm queries
     /// re-discovering known ranks) leave caches warm.
     epoch: u64,
+    /// The graph epoch (`rkranks_graph::GraphStore::graph_epoch`) this
+    /// index's knowledge is valid for. Every entry is a claim about *one*
+    /// graph; see [`RkrIndex::graph_epoch`] for the invalidation rule.
+    graph_epoch: u64,
 }
 
 impl RkrIndex {
@@ -132,6 +136,7 @@ impl RkrIndex {
             rrd: vec![Vec::new(); num_nodes as usize],
             hubs: Vec::new(),
             epoch: 0,
+            graph_epoch: 0,
         }
     }
 
@@ -230,9 +235,31 @@ impl RkrIndex {
     /// [`RkrIndex::empty`]) imports check raises whose below-the-raise rrd
     /// offers live only in the original snapshot, which breaks the prune
     /// invariant above. The shape asserts below cannot detect that misuse.
+    ///
+    /// **Graph-epoch soundness.** Order-independence (above) holds only
+    /// *within one graph*. A delta logged against a different graph epoch
+    /// is **silently dropped** here, and that is the only sound choice:
+    /// index entries are claims of the form "`Rank(p, q) = r` on graph
+    /// `G`" (exact-rank dictionary hits) and "`Rank(u, v) ≥ check[u]` for
+    /// every unenumerated `v`" (check prunes). An edge insertion can only
+    /// *shrink* shortest-path distances, so a rank recorded on the old
+    /// graph can be wrong in either direction on the new one — stale
+    /// entries would be served as exact answers and stale check bounds
+    /// would prune true results. There is no delta that "repairs" an index
+    /// across a graph change, which is why a graph-epoch bump must
+    /// **retire** the index (start a fresh [`RkrIndex::empty`] tagged with
+    /// the new epoch via [`RkrIndex::set_graph_epoch`]) rather than merge
+    /// into it — dropping knowledge is always sound, the index being a
+    /// pure prune-accelerator that queries never *depend* on for
+    /// correctness of the search itself.
     pub fn merge_delta(&mut self, delta: &IndexDelta) {
         assert_eq!(self.num_nodes(), delta.num_nodes, "node universe mismatch");
         assert_eq!(self.k_max, delta.k_max, "k_max mismatch");
+        if delta.graph_epoch != self.graph_epoch {
+            // Logged against a different graph: unsound to merge, safe to
+            // drop (see the doc-comment above).
+            return;
+        }
         let mut changed = false;
         for (&u, &c) in &delta.check_raises {
             changed |= self.raise_check(u, c);
@@ -326,6 +353,26 @@ impl RkrIndex {
     /// leave it alone.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The graph epoch this index is valid for (0 for indexes built or
+    /// loaded against a static graph).
+    ///
+    /// The invalidation rule: when the serving graph commits to a new
+    /// epoch, this index — and every unmerged [`IndexDelta`] logged
+    /// against it — is *retired*, never merged forward (the soundness
+    /// argument lives on [`RkrIndex::merge_delta`]). [`crate::index_io`]
+    /// does not persist this tag: a loaded index belongs to whatever graph
+    /// the caller loads next, which restarts at epoch 0.
+    pub fn graph_epoch(&self) -> u64 {
+        self.graph_epoch
+    }
+
+    /// Tag this index as valid for graph epoch `e` (used when retiring an
+    /// index after a graph commit: the replacement `empty` index carries
+    /// the new epoch so stale deltas can never fold into it).
+    pub fn set_graph_epoch(&mut self, e: u64) {
+        self.graph_epoch = e;
     }
 
     /// The hub nodes used at build time.
@@ -446,6 +493,11 @@ impl RkrIndex {
 pub struct IndexDelta {
     k_max: u32,
     num_nodes: u32,
+    /// Graph epoch of the snapshot this delta was logged against
+    /// (inherited by [`IndexDelta::for_index`]). A delta only ever merges
+    /// into an index of the same graph epoch — see
+    /// [`RkrIndex::merge_delta`].
+    graph_epoch: u64,
     /// `(target, source, rank)` exact-rank observations (Algorithm 4's
     /// Reverse Rank Dictionary writes).
     offers: Vec<(NodeId, NodeId, u32)>,
@@ -461,9 +513,15 @@ impl IndexDelta {
         IndexDelta {
             k_max: index.k_max(),
             num_nodes: index.num_nodes(),
+            graph_epoch: index.graph_epoch(),
             offers: Vec::new(),
             check_raises: HashMap::new(),
         }
+    }
+
+    /// The graph epoch of the index this delta was created for.
+    pub fn graph_epoch(&self) -> u64 {
+        self.graph_epoch
     }
 
     /// Log an exact `(source, rank)` observation for `target`.
@@ -919,6 +977,39 @@ mod tests {
             assert_eq!(ab.check(NodeId(u)), ba.check(NodeId(u)));
             assert_eq!(ab.top_entries(NodeId(u), 10), ba.top_entries(NodeId(u), 10));
         }
+    }
+
+    /// The graph-epoch guard: a delta logged against one graph epoch is
+    /// silently dropped by an index tagged with another — merging stale
+    /// rank claims across a graph change would be unsound (the doc on
+    /// `merge_delta` argues why retirement is the only correct move).
+    #[test]
+    fn merge_delta_drops_cross_graph_epoch_deltas() {
+        let mut old_index = RkrIndex::empty(3, 2);
+        let mut stale = IndexDelta::for_index(&old_index);
+        stale.offer(NodeId(0), NodeId(1), 2);
+        stale.raise_check(NodeId(1), 4);
+        assert_eq!(stale.graph_epoch(), 0);
+
+        // the graph committed: the serving layer retires to a fresh index
+        // tagged with the new epoch
+        let mut retired = RkrIndex::empty(3, 2);
+        retired.set_graph_epoch(1);
+        retired.merge_delta(&stale);
+        assert_eq!(retired.rrd_entries(), 0, "stale offers must not land");
+        assert_eq!(retired.check(NodeId(1)), 0, "stale raises must not land");
+        assert_eq!(retired.epoch(), 0, "a dropped delta is a no-op merge");
+
+        // same-epoch deltas still merge, and for_index inherits the tag
+        let mut fresh = IndexDelta::for_index(&retired);
+        assert_eq!(fresh.graph_epoch(), 1);
+        fresh.offer(NodeId(0), NodeId(1), 2);
+        retired.merge_delta(&fresh);
+        assert_eq!(retired.rrd_entries(), 1);
+
+        // ...and the old index still accepts its own-epoch delta
+        old_index.merge_delta(&stale);
+        assert_eq!(old_index.rrd_entries(), 1);
     }
 
     #[test]

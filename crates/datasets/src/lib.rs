@@ -23,12 +23,14 @@ pub mod random;
 pub mod road;
 pub mod social;
 pub mod toy;
+pub mod workload;
 pub mod zipf;
 
 pub use collab::{collab_graph, CollabParams};
 pub use random::{barabasi_albert, gnm_graph};
 pub use road::{road_network, RoadNetwork, RoadParams};
 pub use social::{trust_graph, trust_graph_undirected, TrustParams};
+pub use workload::{default_update_stream, update_stream, UpdateStreamParams};
 pub use zipf::Zipf;
 
 use rkranks_graph::Graph;

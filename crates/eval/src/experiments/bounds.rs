@@ -6,6 +6,8 @@
 //! Tables 11–13 report count-bound wins on Epinions, so their runs must
 //! have symmetrized it.
 
+use std::sync::Arc;
+
 use rkranks_core::{BoundConfig, Strategy};
 use rkranks_datasets::epinions_like_undirected;
 use rkranks_graph::{Graph, NodeId};
@@ -20,7 +22,9 @@ const BOUND_KS: [u32; 6] = [1, 5, 10, 20, 50, 100];
 
 /// Table 11: share of bound evaluations won by each Theorem-2 component.
 pub fn bound_wins(ctx: &ExpContext) -> Vec<Table> {
-    let g = epinions_like_undirected(ctx.scale, ctx.seed);
+    // One Arc up front: the per-k batches below then share the graph
+    // instead of cloning the CSR per call.
+    let g = Arc::new(epinions_like_undirected(ctx.scale, ctx.seed));
     let queries = random_queries(&g, ctx.queries, ctx.seed ^ 0xB0, |_| true);
     let mut t = Table::new(
         format!(
@@ -32,7 +36,7 @@ pub fn bound_wins(ctx: &ExpContext) -> Vec<Table> {
     );
     for k in BOUND_KS {
         let out = run_batch(
-            &g,
+            Arc::clone(&g),
             None,
             &queries,
             k,
@@ -55,7 +59,7 @@ pub fn bound_wins(ctx: &ExpContext) -> Vec<Table> {
 
 /// Table 12: the four bound strategies on the highest-degree queries.
 pub fn max_degree(ctx: &ExpContext) -> Vec<Table> {
-    let g = epinions_like_undirected(ctx.scale, ctx.seed);
+    let g = Arc::new(epinions_like_undirected(ctx.scale, ctx.seed));
     let queries = max_degree_queries(&g, ctx.queries, |_| true);
     vec![strategy_table(ctx, &g, &queries, "max-degree queries", "Table 12",
         "shape target (paper Table 12): the Height component slashes refinements for hub queries, especially at small k (1.0 refinement at k=1 vs 124 for Parent-only)")]
@@ -63,7 +67,7 @@ pub fn max_degree(ctx: &ExpContext) -> Vec<Table> {
 
 /// Table 13: the four bound strategies on the lowest-degree queries.
 pub fn min_degree(ctx: &ExpContext) -> Vec<Table> {
-    let g = epinions_like_undirected(ctx.scale, ctx.seed);
+    let g = Arc::new(epinions_like_undirected(ctx.scale, ctx.seed));
     let queries = min_degree_queries(&g, ctx.queries, |_| true);
     vec![strategy_table(ctx, &g, &queries, "min-degree queries", "Table 13",
         "shape target (paper Table 13): differences are smaller; the Count component helps most at large k on cold queries")]
@@ -71,7 +75,7 @@ pub fn min_degree(ctx: &ExpContext) -> Vec<Table> {
 
 fn strategy_table(
     ctx: &ExpContext,
-    g: &Graph,
+    g: &Arc<Graph>,
     queries: &[NodeId],
     label: &str,
     paper_ref: &str,
@@ -92,8 +96,15 @@ fn strategy_table(
         BoundConfig::ALL,
     ] {
         for k in BOUND_KS {
-            let out = run_batch(g, None, queries, k, Strategy::Dynamic(bounds), ctx.threads)
-                .expect("bound-strategy batch");
+            let out = run_batch(
+                Arc::clone(g),
+                None,
+                queries,
+                k,
+                Strategy::Dynamic(bounds),
+                ctx.threads,
+            )
+            .expect("bound-strategy batch");
             t.push_row(vec![
                 bounds.name().into(),
                 k.to_string(),

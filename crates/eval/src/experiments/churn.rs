@@ -1,0 +1,181 @@
+//! Churn experiment (beyond the paper's §6): query serving while the
+//! graph itself changes.
+//!
+//! The serving experiment measures a *static* graph under load; real
+//! large graphs also ingest edge updates. Each row runs a fresh `rkrd`
+//! daemon on the loopback interface: `ctx.threads` clients issue a
+//! Zipf-skewed query stream, and in the mixed rows one of them is a
+//! *writer* that interleaves one live update (from the
+//! [`rkranks_datasets::workload::update_stream`] generator) per `R` of
+//! its own reads — so the writer's read:write mix is exactly `R:1`.
+//! Every committed update batch bumps the graph epoch, strands the
+//! result cache, and retires the learned index, which is precisely the
+//! cost this experiment prices against the static baseline.
+
+use std::time::Instant;
+
+use rkranks_core::RkrIndex;
+use rkranks_datasets::dblp_like;
+use rkranks_datasets::workload::default_update_stream;
+use rkranks_server::{spawn, Client, ServerConfig, UpdateOp};
+
+use crate::report::{fmt_f64, fmt_secs, Table};
+use crate::runner::LatencyPercentiles;
+use crate::workload::zipf_queries;
+use crate::ExpContext;
+
+const K: u32 = 10;
+const K_MAX: u32 = 100;
+const ALPHA: f64 = 1.2;
+
+/// Run the churn experiment.
+pub fn run(ctx: &ExpContext) -> Vec<Table> {
+    let clients = ctx.threads.max(2); // at least one reader next to the writer
+    let per_client = ctx.queries.max(1);
+
+    let mut t = Table::new(
+        format!(
+            "rkrd churn: Zipf(α={ALPHA}) reads + live updates, {clients} clients x {per_client} \
+             queries, k={K}"
+        ),
+        "churn (beyond the paper)",
+        &[
+            "writer mix",
+            "updates",
+            "commits",
+            "graph epoch",
+            "hit rate",
+            "throughput",
+            "q p50",
+            "q p95",
+            "q p99",
+            "upd p50",
+        ],
+    );
+
+    // read:write 0 = static baseline (no writer).
+    for ratio in [0usize, 100, 10] {
+        let graph = dblp_like(ctx.scale, ctx.seed);
+        let updates = if ratio == 0 {
+            Vec::new()
+        } else {
+            default_update_stream(&graph, per_client.div_ceil(ratio), ctx.seed ^ 0xC4A2)
+                .into_iter()
+                .map(UpdateOp::from)
+                .collect::<Vec<_>>()
+        };
+        let workloads: Vec<Vec<u32>> = (0..clients)
+            .map(|c| {
+                zipf_queries(
+                    &graph,
+                    per_client,
+                    ctx.seed ^ (0x31EA + c as u64),
+                    ALPHA,
+                    |_| true,
+                )
+                .into_iter()
+                .map(|q| q.0)
+                .collect()
+            })
+            .collect();
+        let index = RkrIndex::empty(graph.num_nodes(), K_MAX);
+        let handle = spawn(
+            graph,
+            None,
+            index,
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: clients,
+                merge_every: 16,
+                ..Default::default()
+            },
+        )
+        .expect("bind loopback for the churn experiment");
+        let addr = handle.addr();
+
+        let started = Instant::now();
+        let mut query_lat: Vec<f64> = Vec::with_capacity(clients * per_client);
+        let mut update_lat: Vec<f64> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = workloads
+                .iter()
+                .enumerate()
+                .map(|(c, workload)| {
+                    let updates = &updates;
+                    s.spawn(move || {
+                        let mut client = Client::connect(addr).expect("connect");
+                        let mut q_lat = Vec::with_capacity(workload.len());
+                        let mut u_lat = Vec::new();
+                        // client 0 is the writer in the mixed rows
+                        let mut next_update = 0usize;
+                        for (i, &node) in workload.iter().enumerate() {
+                            let q = Instant::now();
+                            client.query(node, K).expect("churn query failed");
+                            q_lat.push(q.elapsed().as_secs_f64());
+                            if c == 0 && ratio > 0 && (i + 1) % ratio == 0 {
+                                if let Some(&op) = updates.get(next_update) {
+                                    next_update += 1;
+                                    let u = Instant::now();
+                                    client.update(&[op]).expect("churn update failed");
+                                    u_lat.push(u.elapsed().as_secs_f64());
+                                }
+                            }
+                        }
+                        (q_lat, u_lat)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (q, u) = h.join().expect("churn client panicked");
+                query_lat.extend(q);
+                update_lat.extend(u);
+            }
+        });
+        let wall = started.elapsed();
+
+        let mut client = Client::connect(addr).expect("connect for stats");
+        client.flush().expect("final flush");
+        let stats = client.stats().expect("stats");
+        client.shutdown().expect("shutdown");
+        handle.join();
+
+        let qp = LatencyPercentiles::from_samples(&query_lat);
+        let up = LatencyPercentiles::from_samples(&update_lat);
+        let looked_up = stats.cache_hits + stats.cache_misses;
+        let hit_rate = if looked_up > 0 {
+            stats.cache_hits as f64 / looked_up as f64
+        } else {
+            0.0
+        };
+        t.push_row(vec![
+            if ratio == 0 {
+                "static".into()
+            } else {
+                format!("{ratio}:1")
+            },
+            stats.updates_applied.to_string(),
+            stats.graph_commits.to_string(),
+            stats.graph_epoch.to_string(),
+            format!("{:.1}%", hit_rate * 100.0),
+            format!(
+                "{} q/s",
+                fmt_f64(query_lat.len() as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE))
+            ),
+            fmt_secs(qp.p50),
+            fmt_secs(qp.p95),
+            fmt_secs(qp.p99),
+            if update_lat.is_empty() {
+                "-".into()
+            } else {
+                fmt_secs(up.p50)
+            },
+        ]);
+    }
+    t.note(
+        "one writer client interleaves 1 staged update per R reads; the merger commits staged \
+         updates on its next pass, each commit bumping the graph epoch, stranding the cache, \
+         and retiring the index",
+    );
+    t.note("upd p50 is the update round-trip (validate + stage), not the commit/rebuild itself");
+    vec![t]
+}

@@ -1,6 +1,8 @@
 //! Figure 6: query time and rank refinements vs `k` for the three
 //! framework variants on the DBLP-like and Epinions-like graphs.
 
+use std::sync::Arc;
+
 use rkranks_core::{BoundConfig, IndexParams, QueryEngine, Strategy};
 use rkranks_datasets::{dblp_like, epinions_like};
 use rkranks_graph::Graph;
@@ -24,15 +26,15 @@ fn fmt_latency(out: &BatchOutcome) -> String {
 
 /// Run Figure 6 for both datasets.
 pub fn run(ctx: &ExpContext) -> Vec<Table> {
-    let dblp = dblp_like(ctx.scale, ctx.seed);
-    let epin = epinions_like(ctx.scale, ctx.seed);
+    let dblp = Arc::new(dblp_like(ctx.scale, ctx.seed));
+    let epin = Arc::new(epinions_like(ctx.scale, ctx.seed));
     vec![
         one_dataset(ctx, "DBLP-like", &dblp),
         one_dataset(ctx, "Epinions-like", &epin),
     ]
 }
 
-fn one_dataset(ctx: &ExpContext, label: &str, g: &Graph) -> Table {
+fn one_dataset(ctx: &ExpContext, label: &str, g: &Arc<Graph>) -> Table {
     let queries = random_queries(g, ctx.queries, ctx.seed ^ 0xF16, |_| true);
     let mut t = Table::new(
         format!("{label} ({} nodes, {} edges)", g.num_nodes(), g.num_edges()),
@@ -45,7 +47,7 @@ fn one_dataset(ctx: &ExpContext, label: &str, g: &Graph) -> Table {
             "rank refinements",
         ],
     );
-    let engine = QueryEngine::new(g);
+    let engine = QueryEngine::new(Arc::clone(g));
     let params = IndexParams {
         hub_fraction: DEFAULT_FRACTION,
         prefix_fraction: DEFAULT_FRACTION,
@@ -57,8 +59,15 @@ fn one_dataset(ctx: &ExpContext, label: &str, g: &Graph) -> Table {
         if k >= g.num_nodes() {
             continue;
         }
-        let s =
-            run_batch(g, None, &queries, k, Strategy::Static, ctx.threads).expect("static batch");
+        let s = run_batch(
+            Arc::clone(g),
+            None,
+            &queries,
+            k,
+            Strategy::Static,
+            ctx.threads,
+        )
+        .expect("static batch");
         t.push_row(vec![
             k.to_string(),
             "Static".into(),
@@ -67,7 +76,7 @@ fn one_dataset(ctx: &ExpContext, label: &str, g: &Graph) -> Table {
             fmt_f64(s.mean_refinements()),
         ]);
         let d = run_batch(
-            g,
+            Arc::clone(g),
             None,
             &queries,
             k,
@@ -85,7 +94,7 @@ fn one_dataset(ctx: &ExpContext, label: &str, g: &Graph) -> Table {
         // Fresh index per k so measurements are independent, as in the paper.
         let (mut idx, _) = engine.build_index(&params);
         let i = run_indexed_batch(
-            g,
+            Arc::clone(g),
             None,
             &mut idx,
             &queries,
@@ -104,7 +113,7 @@ fn one_dataset(ctx: &ExpContext, label: &str, g: &Graph) -> Table {
         // The concurrent-serving mode: frozen snapshot + per-worker deltas.
         let (mut idx, _) = engine.build_index(&params);
         let p = run_indexed_batch(
-            g,
+            Arc::clone(g),
             None,
             &mut idx,
             &queries,

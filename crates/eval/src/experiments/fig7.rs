@@ -4,6 +4,8 @@
 //! takeaway: on this sparse graph the index helps a lot, while the dynamic
 //! machinery's overhead can exceed its benefit at very small k.
 
+use std::sync::Arc;
+
 use rkranks_core::{BoundConfig, IndexParams, Partition, QueryEngine, Strategy};
 use rkranks_datasets::sf_like;
 
@@ -16,27 +18,36 @@ use crate::ExpContext;
 /// Run Figure 7.
 pub fn run(ctx: &ExpContext) -> Vec<Table> {
     let net = sf_like(ctx.scale, ctx.seed);
-    let g = &net.graph;
-    let part = Partition::from_v2_nodes(g.num_nodes(), &net.stores);
+    let stores = net.stores;
+    let g = Arc::new(net.graph);
+    let g = &g;
+    let part = Partition::from_v2_nodes(g.num_nodes(), &stores);
     let queries = random_queries(g, ctx.queries, ctx.seed ^ 0xF7, |v| part.is_v2(v));
     let mut t = Table::new(
         format!(
             "Bichromatic queries (road network, {} nodes, {} stores)",
             g.num_nodes(),
-            net.stores.len()
+            stores.len()
         ),
         "Figure 7",
         &["k", "method", "query time", "rank refinements"],
     );
-    let engine = QueryEngine::bichromatic(g, part.clone());
+    let engine = QueryEngine::bichromatic(Arc::clone(g), part.clone());
     let params = IndexParams {
         k_max: 100,
         seed: ctx.seed,
         ..Default::default()
     };
     for k in K_VALUES {
-        let s = run_batch(g, Some(&part), &queries, k, Strategy::Static, ctx.threads)
-            .expect("static batch");
+        let s = run_batch(
+            Arc::clone(g),
+            Some(&part),
+            &queries,
+            k,
+            Strategy::Static,
+            ctx.threads,
+        )
+        .expect("static batch");
         t.push_row(vec![
             k.to_string(),
             "Static".into(),
@@ -44,7 +55,7 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
             fmt_f64(s.mean_refinements()),
         ]);
         let d = run_batch(
-            g,
+            Arc::clone(g),
             Some(&part),
             &queries,
             k,
@@ -60,7 +71,7 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
         ]);
         let (mut idx, _) = engine.build_index(&params);
         let i = run_indexed_batch(
-            g,
+            Arc::clone(g),
             Some(&part),
             &mut idx,
             &queries,

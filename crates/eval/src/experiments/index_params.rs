@@ -1,6 +1,8 @@
 //! Index parameter studies: hub percentage `h` (Tables 6–7), prefix
 //! percentage `m` (Tables 8–9), and hub-selection strategy (Table 10).
 
+use std::sync::Arc;
+
 use rkranks_core::{BoundConfig, HubStrategy, IndexParams, QueryEngine};
 use rkranks_datasets::{dblp_like, epinions_like};
 use rkranks_graph::Graph;
@@ -11,9 +13,9 @@ use crate::runner::{run_indexed_batch, IndexedMode};
 use crate::workload::random_queries;
 use crate::ExpContext;
 
-fn sweep(ctx: &ExpContext, label: &str, g: &Graph, paper_ref: &str, vary_hub: bool) -> Table {
+fn sweep(ctx: &ExpContext, label: &str, g: &Arc<Graph>, paper_ref: &str, vary_hub: bool) -> Table {
     let queries = random_queries(g, ctx.queries, ctx.seed ^ 0x1d, |_| true);
-    let engine = QueryEngine::new(g);
+    let engine = QueryEngine::new(Arc::clone(g));
     let col = if vary_hub { "h" } else { "m" };
     let mut t = Table::new(
         format!("Effect of {col} ({label}, {} nodes)", g.num_nodes()),
@@ -37,7 +39,7 @@ fn sweep(ctx: &ExpContext, label: &str, g: &Graph, paper_ref: &str, vary_hub: bo
         let (mut idx, build) = engine.build_index(&params);
         let size = idx.heap_bytes();
         let out = run_indexed_batch(
-            g,
+            Arc::clone(g),
             None,
             &mut idx,
             &queries,
@@ -60,8 +62,8 @@ fn sweep(ctx: &ExpContext, label: &str, g: &Graph, paper_ref: &str, vary_hub: bo
 
 /// Tables 6–7: hub percentage sweep on both datasets.
 pub fn hub_pct(ctx: &ExpContext) -> Vec<Table> {
-    let dblp = dblp_like(ctx.scale, ctx.seed);
-    let epin = epinions_like(ctx.scale, ctx.seed);
+    let dblp = Arc::new(dblp_like(ctx.scale, ctx.seed));
+    let epin = Arc::new(epinions_like(ctx.scale, ctx.seed));
     vec![
         sweep(ctx, "DBLP-like", &dblp, "Tables 6-7", true),
         sweep(ctx, "Epinions-like", &epin, "Tables 6-7", true),
@@ -70,8 +72,8 @@ pub fn hub_pct(ctx: &ExpContext) -> Vec<Table> {
 
 /// Tables 8–9: prefix percentage sweep on both datasets.
 pub fn index_pct(ctx: &ExpContext) -> Vec<Table> {
-    let dblp = dblp_like(ctx.scale, ctx.seed);
-    let epin = epinions_like(ctx.scale, ctx.seed);
+    let dblp = Arc::new(dblp_like(ctx.scale, ctx.seed));
+    let epin = Arc::new(epinions_like(ctx.scale, ctx.seed));
     vec![
         sweep(ctx, "DBLP-like", &dblp, "Tables 8-9", false),
         sweep(ctx, "Epinions-like", &epin, "Tables 8-9", false),
@@ -82,11 +84,14 @@ pub fn index_pct(ctx: &ExpContext) -> Vec<Table> {
 pub fn hub_strategy(ctx: &ExpContext) -> Vec<Table> {
     let mut tables = Vec::new();
     for (label, g) in [
-        ("DBLP-like", dblp_like(ctx.scale, ctx.seed)),
-        ("Epinions-like", epinions_like(ctx.scale, ctx.seed)),
+        ("DBLP-like", Arc::new(dblp_like(ctx.scale, ctx.seed))),
+        (
+            "Epinions-like",
+            Arc::new(epinions_like(ctx.scale, ctx.seed)),
+        ),
     ] {
         let queries = random_queries(&g, ctx.queries, ctx.seed ^ 0x10, |_| true);
-        let engine = QueryEngine::new(&g);
+        let engine = QueryEngine::new(Arc::clone(&g));
         let mut t = Table::new(
             format!(
                 "Hub selection strategies ({label}, {} nodes)",
@@ -108,7 +113,7 @@ pub fn hub_strategy(ctx: &ExpContext) -> Vec<Table> {
             };
             let (mut idx, _) = engine.build_index(&params);
             let out = run_indexed_batch(
-                &g,
+                Arc::clone(&g),
                 None,
                 &mut idx,
                 &queries,

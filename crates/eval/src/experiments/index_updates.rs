@@ -4,6 +4,8 @@
 //! re-initialized at each segment boundary. Fewer resets = more accumulated
 //! knowledge = fewer refinements and faster queries.
 
+use std::sync::Arc;
+
 use rkranks_core::{BoundConfig, IndexParams, QueryEngine};
 use rkranks_datasets::{dblp_like, epinions_like};
 use rkranks_graph::Graph;
@@ -16,20 +18,20 @@ use crate::ExpContext;
 
 /// Run the Table 14 protocol on both datasets.
 pub fn run(ctx: &ExpContext) -> Vec<Table> {
-    let dblp = dblp_like(ctx.scale, ctx.seed);
-    let epin = epinions_like(ctx.scale, ctx.seed);
+    let dblp = Arc::new(dblp_like(ctx.scale, ctx.seed));
+    let epin = Arc::new(epinions_like(ctx.scale, ctx.seed));
     vec![
         one_dataset(ctx, "DBLP-like", &dblp),
         one_dataset(ctx, "Epinions-like", &epin),
     ]
 }
 
-fn one_dataset(ctx: &ExpContext, label: &str, g: &Graph) -> Table {
+fn one_dataset(ctx: &ExpContext, label: &str, g: &Arc<Graph>) -> Table {
     // 6 × the base query budget, split into 6 / 3 / 2 / 1 segments — the
     // paper's 1000/2000/3000/6000 protocol scaled to our budget.
     let total = ctx.queries * 6;
     let stream = random_queries(g, total, ctx.seed ^ 0x14, |_| true);
-    let engine = QueryEngine::new(g);
+    let engine = QueryEngine::new(Arc::clone(g));
     let params = IndexParams {
         k_max: 100,
         seed: ctx.seed,
@@ -51,7 +53,7 @@ fn one_dataset(ctx: &ExpContext, label: &str, g: &Graph) -> Table {
         for chunk in stream.chunks(seg_len) {
             let (mut idx, _) = engine.build_index(&params); // reset
             let out = run_indexed_batch(
-                g,
+                Arc::clone(g),
                 None,
                 &mut idx,
                 chunk,
@@ -85,7 +87,7 @@ mod tests {
             queries: 20,
             ..ExpContext::default()
         };
-        let g = dblp_like(ctx.scale, ctx.seed);
+        let g = Arc::new(dblp_like(ctx.scale, ctx.seed));
         let t = one_dataset(&ctx, "t", &g);
         assert_eq!(t.rows.len(), 4);
         let first: f64 = t.rows[0][2].parse().unwrap();

@@ -5,6 +5,7 @@ use crate::ExpContext;
 
 pub mod bounds;
 pub mod case_study;
+pub mod churn;
 pub mod datasets_table;
 pub mod effectiveness;
 pub mod fig6;
@@ -125,6 +126,13 @@ pub fn all() -> Vec<Experiment> {
             paper_ref: "beyond the paper",
             description: "rkrd daemon: cache hit rate and tail latency under a Zipf workload",
             run: serving::run,
+        },
+        Experiment {
+            name: "churn",
+            paper_ref: "beyond the paper",
+            description: "rkrd daemon under mixed read/write traffic: live updates vs the \
+                          static-graph baseline",
+            run: churn::run,
         },
     ]
 }

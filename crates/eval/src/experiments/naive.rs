@@ -3,6 +3,8 @@
 //! 75,878 refinements per naive query on Epinions vs milliseconds for the
 //! framework.
 
+use std::sync::Arc;
+
 use rkranks_core::{BoundConfig, Strategy};
 use rkranks_datasets::epinions_like;
 
@@ -13,7 +15,7 @@ use crate::ExpContext;
 
 /// Compare naive vs static vs dynamic at k = 1.
 pub fn run(ctx: &ExpContext) -> Vec<Table> {
-    let g = epinions_like(ctx.scale, ctx.seed);
+    let g = Arc::new(epinions_like(ctx.scale, ctx.seed));
     // The naive method is brutally slow by design; a handful of queries is
     // enough to show the gap.
     let queries = random_queries(&g, ctx.queries.min(10), ctx.seed ^ 0xA1, |_| true);
@@ -30,7 +32,8 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
         ("Static", Strategy::Static),
         ("Dynamic", Strategy::Dynamic(BoundConfig::ALL)),
     ] {
-        let out = run_batch(&g, None, &queries, 1, algo, ctx.threads).expect("naive batch");
+        let out =
+            run_batch(Arc::clone(&g), None, &queries, 1, algo, ctx.threads).expect("naive batch");
         t.push_row(vec![
             name.into(),
             fmt_secs(out.mean_seconds()),

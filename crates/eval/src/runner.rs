@@ -17,6 +17,7 @@
 //! Errors (an invalid query node, `k > K`) propagate out of the batch as
 //! `Err` instead of panicking inside worker threads.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use rkranks_core::{
@@ -138,8 +139,14 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 /// `strategy` must be index-free ([`Strategy::Naive`], [`Strategy::Static`]
 /// or [`Strategy::Dynamic`]); indexed batches need the index plumbing of
 /// [`run_indexed_batch`] and are rejected here.
+///
+/// `graph` is anything convertible into an `Arc<Graph>`. Passing a
+/// `&Graph` clones the CSR once per call — negligible next to a batch of
+/// queries, but callers that batch repeatedly over one graph (benches,
+/// experiment loops over parameter grids) should hold an `Arc<Graph>`
+/// and pass it to skip the copy entirely.
 pub fn run_batch(
-    graph: &Graph,
+    graph: impl Into<Arc<Graph>>,
     partition: Option<&Partition>,
     queries: &[NodeId],
     k: u32,
@@ -151,7 +158,7 @@ pub fn run_batch(
             "strategy '{strategy}' needs an index; use run_indexed_batch"
         )));
     }
-    let ctx = make_context(graph, partition);
+    let ctx = make_context(graph.into(), partition);
     let threads = threads.clamp(1, queries.len().max(1));
     if threads == 1 {
         let mut scratch = ctx.new_scratch();
@@ -192,9 +199,10 @@ pub fn run_batch(
 }
 
 /// Run an indexed batch in the given [`IndexedMode`], keeping only the
-/// aggregate outcome (per-query results are never materialized).
+/// aggregate outcome (per-query results are never materialized). See
+/// [`run_batch`] for the `graph` conversion cost.
 pub fn run_indexed_batch(
-    graph: &Graph,
+    graph: impl Into<Arc<Graph>>,
     partition: Option<&Partition>,
     index: &mut RkrIndex,
     queries: &[NodeId],
@@ -208,7 +216,7 @@ pub fn run_indexed_batch(
 /// [`run_indexed_batch`], additionally returning each query's result in
 /// input order (equivalence tests compare these against `query_dynamic`).
 pub fn run_indexed_batch_collect(
-    graph: &Graph,
+    graph: impl Into<Arc<Graph>>,
     partition: Option<&Partition>,
     index: &mut RkrIndex,
     queries: &[NodeId],
@@ -223,7 +231,7 @@ pub fn run_indexed_batch_collect(
 /// are retained (an O(queries) cost nothing but equivalence tests want).
 #[allow(clippy::too_many_arguments)]
 fn run_indexed_inner(
-    graph: &Graph,
+    graph: impl Into<Arc<Graph>>,
     partition: Option<&Partition>,
     index: &mut RkrIndex,
     queries: &[NodeId],
@@ -232,7 +240,7 @@ fn run_indexed_inner(
     mode: IndexedMode,
     collect: bool,
 ) -> Result<(BatchOutcome, Vec<QueryResult>)> {
-    let ctx = make_context(graph, partition);
+    let ctx = make_context(graph.into(), partition);
     let mut out = BatchOutcome::default();
     let mut results = Vec::with_capacity(if collect { queries.len() } else { 0 });
     match mode {
@@ -314,7 +322,7 @@ fn run_indexed_inner(
     Ok((out, results))
 }
 
-fn make_context<'g>(graph: &'g Graph, partition: Option<&Partition>) -> EngineContext<'g> {
+fn make_context(graph: Arc<Graph>, partition: Option<&Partition>) -> EngineContext {
     let ctx = match partition {
         Some(p) => EngineContext::bichromatic(graph, p.clone()),
         None => EngineContext::new(graph),

@@ -16,6 +16,11 @@ pub enum GraphError {
     /// A self-loop was rejected (they never affect shortest-path ranks and
     /// the builder refuses them to keep degree statistics honest).
     SelfLoop { node: u32 },
+    /// A staged update would add an edge that already exists (use a
+    /// reweight instead).
+    EdgeExists { u: u32, v: u32 },
+    /// A staged update referenced an edge the graph does not have.
+    UnknownEdge { u: u32, v: u32 },
     /// Underlying I/O failure.
     Io(io::Error),
     /// A line of an edge-list file could not be parsed.
@@ -40,6 +45,13 @@ impl fmt::Display for GraphError {
                 write!(f, "{n} nodes exceeds the u32 node limit")
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop on node {node} rejected"),
+            GraphError::EdgeExists { u, v } => {
+                write!(
+                    f,
+                    "edge ({u},{v}) already exists; use reweight to change it"
+                )
+            }
+            GraphError::UnknownEdge { u, v } => write!(f, "no edge ({u},{v}) in the graph"),
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")

@@ -135,6 +135,19 @@ impl Graph {
     }
 }
 
+/// Clone a borrowed graph into a fresh `Arc` — the bridge that lets
+/// `Arc<Graph>`-based APIs (e.g. `rkranks-core`'s `EngineContext`) keep
+/// accepting `&Graph` at call sites that only ever build one context.
+///
+/// This pays a full `O(n + m)` CSR copy. Callers that create contexts per
+/// snapshot (the serving path) should hold an `Arc<Graph>` — e.g. from
+/// [`crate::GraphStore::snapshot`] — and clone the `Arc` instead.
+impl From<&Graph> for std::sync::Arc<Graph> {
+    fn from(g: &Graph) -> Self {
+        std::sync::Arc::new(g.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

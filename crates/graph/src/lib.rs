@@ -6,6 +6,10 @@
 //!
 //! * CSR weighted graphs ([`Graph`], [`GraphBuilder`]) with transpose views
 //!   for directed SDS-trees;
+//! * versioned live graphs ([`GraphStore`]): staged [`GraphDelta`] batches
+//!   (add/remove edge, add node, reweight) committed into immutable
+//!   epoch-tagged `Arc<Graph>` snapshots — the substrate for serving
+//!   queries while the graph changes;
 //! * a decrease-key [`IndexedHeap`] — the priority queue of Algorithms 1–4;
 //! * reusable, generation-stamped [`DijkstraWorkspace`]s and the lazy
 //!   [`DistanceBrowser`] ("distance browsing") that rank refinement,
@@ -40,6 +44,7 @@ pub mod path;
 pub mod ppr;
 pub mod rank;
 pub mod simrank;
+pub mod store;
 pub mod topk;
 pub mod traversal;
 pub mod weight;
@@ -53,6 +58,7 @@ pub use graph::Graph;
 pub use heap::{IndexedHeap, PushOutcome};
 pub use node::NodeId;
 pub use rank::{rank_between, rank_matrix, RankCounter};
+pub use store::{GraphDelta, GraphStore};
 pub use topk::{
     agreement_rate, all_top_k_sets, reverse_top_k, reverse_top_k_sizes, reverse_top_k_stats,
     top_k_set, ReverseTopKStats,

@@ -1,0 +1,594 @@
+//! [`GraphStore`]: versioned copy-on-write graph snapshots for live
+//! updates.
+//!
+//! The query stack reads immutable CSR [`Graph`]s — that is what makes the
+//! SDS-tree, the transpose, and concurrent serving cheap. A mutable *live*
+//! graph therefore does not mutate the CSR in place; instead a
+//! `GraphStore` owns the canonical edge set, accumulates pending
+//! [`GraphDelta`]s (add/remove edge, add node, reweight), and on
+//! [`GraphStore::commit`] publishes a fresh immutable `Arc<Graph>`
+//! snapshot tagged with a monotonically increasing *graph epoch*.
+//!
+//! Readers keep whatever snapshot they cloned — queries in flight when a
+//! commit lands finish against the graph they started on, and the epoch
+//! tag tells every downstream layer (result caches, indexes) exactly which
+//! graph state an answer belongs to. Rebuild cost is amortized: deltas are
+//! staged in batches and one commit pays one `O(m log m)` CSR rebuild for
+//! the whole batch, reusing the same sorted-arc construction as
+//! [`crate::builder::GraphBuilder`].
+//!
+//! Staging validates eagerly against the *effective* state (committed
+//! edges plus already staged deltas), so a bad update is a one-line error
+//! at the boundary, never a panic mid-rebuild. [`GraphStore::stage_all`]
+//! is all-or-nothing for protocol batches.
+//!
+//! The committed snapshot is *identical* to a from-scratch
+//! [`crate::builder::graph_from_edges`] build of the final edge list —
+//! byte-for-byte CSR equality, which the equivalence proptests assert.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::builder::EdgeDirection;
+use crate::csr::Csr;
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+use crate::weight::Weight;
+
+/// One live graph update. A batch of these is the unit the serving layer
+/// stages and commits.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GraphDelta {
+    /// Append one isolated node (its id is the node count before the
+    /// commit; ids are dense and never reused).
+    AddNode,
+    /// Insert the edge `u – v` (or arc `u -> v` for directed stores) with
+    /// weight `w`. Errors if the edge already exists.
+    AddEdge {
+        /// Source endpoint.
+        u: u32,
+        /// Target endpoint.
+        v: u32,
+        /// Non-negative finite weight.
+        w: f64,
+    },
+    /// Delete the edge `u – v`. Errors if it does not exist.
+    RemoveEdge {
+        /// Source endpoint.
+        u: u32,
+        /// Target endpoint.
+        v: u32,
+    },
+    /// Change the weight of the existing edge `u – v`. Errors if it does
+    /// not exist.
+    Reweight {
+        /// Source endpoint.
+        u: u32,
+        /// Target endpoint.
+        v: u32,
+        /// New non-negative finite weight.
+        w: f64,
+    },
+}
+
+/// Owner of a live graph: canonical edge set + staged deltas, publishing
+/// immutable epoch-tagged [`Graph`] snapshots.
+///
+/// ```
+/// use std::sync::Arc;
+/// use rkranks_graph::{graph_from_edges, EdgeDirection, GraphDelta, GraphStore};
+/// let g = graph_from_edges(EdgeDirection::Undirected, [(0, 1, 1.0), (1, 2, 2.0)]).unwrap();
+/// let mut store = GraphStore::new(g);
+/// assert_eq!(store.graph_epoch(), 0);
+/// let before: Arc<_> = store.snapshot();
+/// store.stage(GraphDelta::AddEdge { u: 0, v: 2, w: 0.5 }).unwrap();
+/// let after = store.commit();
+/// assert_eq!(store.graph_epoch(), 1);
+/// assert_eq!(before.num_edges(), 2); // old snapshots are unaffected
+/// assert_eq!(after.num_edges(), 3);
+/// ```
+#[derive(Debug)]
+pub struct GraphStore {
+    direction: EdgeDirection,
+    /// Committed logical edges, canonically keyed (undirected stores key
+    /// by `(min, max)`). `BTreeMap` keeps the arc list sorted for free.
+    edges: BTreeMap<(u32, u32), f64>,
+    /// Committed node count (covers isolated nodes).
+    num_nodes: u32,
+    /// Staged overlay: `Some(w)` = edge present with weight `w` after the
+    /// next commit, `None` = edge deleted.
+    staged: BTreeMap<(u32, u32), Option<f64>>,
+    /// Nodes appended by staged [`GraphDelta::AddNode`]s.
+    staged_new_nodes: u32,
+    /// The current published snapshot.
+    snapshot: Arc<Graph>,
+    /// Bumped by every commit that changed the graph.
+    epoch: u64,
+}
+
+impl GraphStore {
+    /// Take ownership of `graph` as the epoch-0 snapshot.
+    pub fn new(graph: Graph) -> GraphStore {
+        let direction = graph.direction();
+        let mut edges = BTreeMap::new();
+        for u in graph.nodes() {
+            for (v, w) in graph.edges(u) {
+                // Undirected CSRs store both arcs; keep each edge once.
+                if direction == EdgeDirection::Undirected && v.0 < u.0 {
+                    continue;
+                }
+                edges.insert(canonical(direction, u.0, v.0), w);
+            }
+        }
+        GraphStore {
+            direction,
+            edges,
+            num_nodes: graph.num_nodes(),
+            staged: BTreeMap::new(),
+            staged_new_nodes: 0,
+            snapshot: Arc::new(graph),
+            epoch: 0,
+        }
+    }
+
+    /// The current published snapshot (cheap `Arc` clone; never reflects
+    /// staged-but-uncommitted deltas).
+    pub fn snapshot(&self) -> Arc<Graph> {
+        Arc::clone(&self.snapshot)
+    }
+
+    /// The epoch of the current snapshot: 0 for the initial graph, +1 per
+    /// state-changing [`GraphStore::commit`].
+    pub fn graph_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Edge direction mode (fixed at construction).
+    pub fn direction(&self) -> EdgeDirection {
+        self.direction
+    }
+
+    /// Committed node count.
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Node count after the staged deltas commit.
+    pub fn effective_num_nodes(&self) -> u32 {
+        self.num_nodes + self.staged_new_nodes
+    }
+
+    /// Committed logical edge count.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Staged deltas not yet committed (edge overlays + appended nodes).
+    pub fn pending_deltas(&self) -> usize {
+        self.staged.len() + self.staged_new_nodes as usize
+    }
+
+    /// Whether the *effective* state (committed + staged) has this edge.
+    pub fn contains_edge(&self, u: u32, v: u32) -> bool {
+        self.effective_weight(canonical(self.direction, u, v))
+            .is_some()
+    }
+
+    /// Iterate the committed logical edges in canonical order.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
+        self.edges.iter().map(|(&(u, v), &w)| (u, v, w))
+    }
+
+    fn effective_weight(&self, key: (u32, u32)) -> Option<f64> {
+        match self.staged.get(&key) {
+            Some(&overlay) => overlay,
+            None => self.edges.get(&key).copied(),
+        }
+    }
+
+    /// Validate one delta against the effective state and stage it.
+    ///
+    /// Every rejection is a one-line [`GraphError`]: self-loops, invalid
+    /// weights, out-of-range node ids, duplicate adds, and removals or
+    /// reweights of unknown edges all fail *here*, at the boundary —
+    /// nothing invalid ever reaches the rebuild.
+    pub fn stage(&mut self, delta: GraphDelta) -> Result<()> {
+        let n = self.effective_num_nodes();
+        let check_node = |node: u32| {
+            if node < n {
+                Ok(())
+            } else {
+                Err(GraphError::NodeOutOfBounds { node, num_nodes: n })
+            }
+        };
+        match delta {
+            GraphDelta::AddNode => {
+                if n as u64 + 1 > u32::MAX as u64 {
+                    return Err(GraphError::TooManyNodes(n as usize + 1));
+                }
+                self.staged_new_nodes += 1;
+            }
+            GraphDelta::AddEdge { u, v, w } => {
+                if u == v {
+                    return Err(GraphError::SelfLoop { node: u });
+                }
+                check_node(u)?;
+                check_node(v)?;
+                let w = Weight::new(w)
+                    .ok_or(GraphError::InvalidWeight { u, v, weight: w })?
+                    .get();
+                let key = canonical(self.direction, u, v);
+                if self.effective_weight(key).is_some() {
+                    return Err(GraphError::EdgeExists { u, v });
+                }
+                self.staged.insert(key, Some(w));
+            }
+            GraphDelta::RemoveEdge { u, v } => {
+                check_node(u)?;
+                check_node(v)?;
+                let key = canonical(self.direction, u, v);
+                if self.effective_weight(key).is_none() {
+                    return Err(GraphError::UnknownEdge { u, v });
+                }
+                self.staged.insert(key, None);
+            }
+            GraphDelta::Reweight { u, v, w } => {
+                check_node(u)?;
+                check_node(v)?;
+                let w = Weight::new(w)
+                    .ok_or(GraphError::InvalidWeight { u, v, weight: w })?
+                    .get();
+                let key = canonical(self.direction, u, v);
+                if self.effective_weight(key).is_none() {
+                    return Err(GraphError::UnknownEdge { u, v });
+                }
+                self.staged.insert(key, Some(w));
+            }
+        }
+        Ok(())
+    }
+
+    /// Stage a batch atomically: either every delta stages or none does
+    /// (the store is untouched when any delta is invalid). Returns how
+    /// many deltas were staged.
+    ///
+    /// Rollback cost is `O(batch)`, not `O(everything staged)`: only the
+    /// overlay entries this batch touched are remembered and restored, so
+    /// staging many batches between commits stays linear overall.
+    pub fn stage_all(&mut self, deltas: &[GraphDelta]) -> Result<usize> {
+        let nodes_before = self.staged_new_nodes;
+        // First-touch undo log: the overlay state each key had before this
+        // batch (`None` = the key was absent from the overlay, `Some`
+        // wraps the prior present-with-weight / deleted entry).
+        type PriorOverlay = Option<Option<f64>>;
+        let mut undo: Vec<((u32, u32), PriorOverlay)> = Vec::new();
+        let mut touched: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+        for &d in deltas {
+            if let Some(key) = delta_key(self.direction, d) {
+                if touched.insert(key) {
+                    undo.push((key, self.staged.get(&key).copied()));
+                }
+            }
+            if let Err(e) = self.stage(d) {
+                for (key, prior) in undo {
+                    match prior {
+                        Some(entry) => {
+                            self.staged.insert(key, entry);
+                        }
+                        None => {
+                            self.staged.remove(&key);
+                        }
+                    }
+                }
+                self.staged_new_nodes = nodes_before;
+                return Err(e);
+            }
+        }
+        Ok(deltas.len())
+    }
+
+    /// Apply every staged delta, rebuild the CSR, and publish a new
+    /// snapshot. One commit pays one rebuild no matter how many deltas
+    /// were staged. Returns the (possibly unchanged) current snapshot.
+    ///
+    /// The epoch bumps only when the graph actually changed: committing
+    /// nothing — or only no-op reweights — keeps the old snapshot and
+    /// epoch, so downstream caches are never invalidated for free.
+    pub fn commit(&mut self) -> Arc<Graph> {
+        let mut changed = self.staged_new_nodes > 0;
+        for (&key, &overlay) in &self.staged {
+            changed |= self.edges.get(&key).copied() != overlay;
+        }
+        if !changed {
+            self.staged.clear();
+            return self.snapshot();
+        }
+        for (key, overlay) in std::mem::take(&mut self.staged) {
+            match overlay {
+                Some(w) => {
+                    self.edges.insert(key, w);
+                }
+                None => {
+                    self.edges.remove(&key);
+                }
+            }
+        }
+        self.num_nodes += self.staged_new_nodes;
+        self.staged_new_nodes = 0;
+        self.epoch += 1;
+        self.snapshot = Arc::new(self.rebuild());
+        self.snapshot()
+    }
+
+    /// Stage a batch and commit it in one call (the batch must be valid as
+    /// a whole; see [`GraphStore::stage_all`]).
+    pub fn apply(&mut self, deltas: &[GraphDelta]) -> Result<Arc<Graph>> {
+        self.stage_all(deltas)?;
+        Ok(self.commit())
+    }
+
+    /// Rebuild the CSR from the canonical edge set — the same sorted-arc
+    /// construction `GraphBuilder` uses, so snapshots are identical to
+    /// from-scratch builds of the same edge list.
+    fn rebuild(&self) -> Graph {
+        let arcs: Vec<(u32, u32, f64)> = match self.direction {
+            // BTreeMap iteration is already (u, v)-sorted.
+            EdgeDirection::Directed => self.edges().collect(),
+            EdgeDirection::Undirected => {
+                let mut a = Vec::with_capacity(self.edges.len() * 2);
+                for (u, v, w) in self.edges() {
+                    a.push((u, v, w));
+                    a.push((v, u, w));
+                }
+                a.sort_unstable_by(|x, y| x.0.cmp(&y.0).then(x.1.cmp(&y.1)));
+                a
+            }
+        };
+        Graph::from_csr(Csr::from_sorted_arcs(self.num_nodes, &arcs), self.direction)
+    }
+}
+
+/// The overlay key a delta would touch (`None` for node arrivals, which
+/// touch only the node counter).
+#[inline]
+fn delta_key(direction: EdgeDirection, d: GraphDelta) -> Option<(u32, u32)> {
+    match d {
+        GraphDelta::AddNode => None,
+        GraphDelta::AddEdge { u, v, .. }
+        | GraphDelta::RemoveEdge { u, v }
+        | GraphDelta::Reweight { u, v, .. } => Some(canonical(direction, u, v)),
+    }
+}
+
+/// Canonical edge key: undirected stores are orientation-free.
+#[inline]
+fn canonical(direction: EdgeDirection, u: u32, v: u32) -> (u32, u32) {
+    match direction {
+        EdgeDirection::Directed => (u, v),
+        EdgeDirection::Undirected => (u.min(v), u.max(v)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{graph_from_edges, GraphBuilder};
+    use crate::node::NodeId;
+
+    fn diamond() -> Graph {
+        graph_from_edges(
+            EdgeDirection::Undirected,
+            [(0, 1, 1.0), (0, 2, 2.0), (1, 3, 1.0), (2, 3, 1.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn snapshot_is_initial_graph_at_epoch_zero() {
+        let g = diamond();
+        let store = GraphStore::new(g.clone());
+        assert_eq!(*store.snapshot(), g);
+        assert_eq!(store.graph_epoch(), 0);
+        assert_eq!(store.num_edges(), 4);
+        assert_eq!(store.pending_deltas(), 0);
+    }
+
+    #[test]
+    fn add_edge_commit_matches_from_scratch_build() {
+        let mut store = GraphStore::new(diamond());
+        store
+            .stage(GraphDelta::AddEdge { u: 1, v: 2, w: 0.5 })
+            .unwrap();
+        assert_eq!(store.pending_deltas(), 1);
+        let snap = store.commit();
+        assert_eq!(store.graph_epoch(), 1);
+        let scratch = graph_from_edges(
+            EdgeDirection::Undirected,
+            [
+                (0, 1, 1.0),
+                (0, 2, 2.0),
+                (1, 3, 1.0),
+                (2, 3, 1.0),
+                (1, 2, 0.5),
+            ],
+        )
+        .unwrap();
+        assert_eq!(*snap, scratch);
+    }
+
+    #[test]
+    fn old_snapshots_survive_commits() {
+        let mut store = GraphStore::new(diamond());
+        let before = store.snapshot();
+        store
+            .apply(&[GraphDelta::RemoveEdge { u: 0, v: 1 }])
+            .unwrap();
+        assert_eq!(before.num_edges(), 4);
+        assert_eq!(store.snapshot().num_edges(), 3);
+        assert_eq!(store.snapshot().degree(NodeId(0)), 1);
+    }
+
+    #[test]
+    fn remove_and_reweight_round_trip() {
+        let mut store = GraphStore::new(diamond());
+        store
+            .apply(&[
+                GraphDelta::Reweight {
+                    u: 0,
+                    v: 2,
+                    w: 0.25,
+                },
+                GraphDelta::RemoveEdge { u: 2, v: 3 },
+            ])
+            .unwrap();
+        let snap = store.snapshot();
+        let (_, w) = snap.out_neighbors(NodeId(2));
+        assert_eq!(w, &[0.25]); // only 0–2 left, reweighted
+        assert_eq!(snap.num_edges(), 3);
+    }
+
+    #[test]
+    fn add_node_then_connect() {
+        let mut store = GraphStore::new(diamond());
+        store.stage(GraphDelta::AddNode).unwrap();
+        // the new node's id is visible to later deltas in the same batch
+        store
+            .stage(GraphDelta::AddEdge { u: 4, v: 0, w: 1.0 })
+            .unwrap();
+        let snap = store.commit();
+        assert_eq!(snap.num_nodes(), 5);
+        assert_eq!(snap.degree(NodeId(4)), 1);
+        assert_eq!(store.graph_epoch(), 1);
+    }
+
+    #[test]
+    fn validation_is_one_line_errors() {
+        let mut store = GraphStore::new(diamond());
+        assert!(matches!(
+            store.stage(GraphDelta::AddEdge { u: 1, v: 1, w: 1.0 }),
+            Err(GraphError::SelfLoop { node: 1 })
+        ));
+        assert!(matches!(
+            store.stage(GraphDelta::AddEdge { u: 0, v: 9, w: 1.0 }),
+            Err(GraphError::NodeOutOfBounds { node: 9, .. })
+        ));
+        assert!(matches!(
+            store.stage(GraphDelta::AddEdge {
+                u: 0,
+                v: 3,
+                w: -1.0
+            }),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            store.stage(GraphDelta::AddEdge { u: 0, v: 1, w: 1.0 }),
+            Err(GraphError::EdgeExists { u: 0, v: 1 })
+        ));
+        // undirected: the reversed orientation is the same edge
+        assert!(matches!(
+            store.stage(GraphDelta::AddEdge { u: 1, v: 0, w: 1.0 }),
+            Err(GraphError::EdgeExists { .. })
+        ));
+        assert!(matches!(
+            store.stage(GraphDelta::RemoveEdge { u: 1, v: 2 }),
+            Err(GraphError::UnknownEdge { u: 1, v: 2 })
+        ));
+        assert!(matches!(
+            store.stage(GraphDelta::Reweight { u: 1, v: 2, w: 1.0 }),
+            Err(GraphError::UnknownEdge { .. })
+        ));
+        // nothing staged by any of the rejected deltas
+        assert_eq!(store.pending_deltas(), 0);
+        assert_eq!(store.graph_epoch(), 0);
+    }
+
+    #[test]
+    fn stage_all_is_atomic() {
+        let mut store = GraphStore::new(diamond());
+        let err = store
+            .stage_all(&[
+                GraphDelta::AddEdge { u: 1, v: 2, w: 1.0 }, // valid
+                GraphDelta::RemoveEdge { u: 0, v: 3 },      // unknown edge
+            ])
+            .unwrap_err();
+        assert!(matches!(err, GraphError::UnknownEdge { .. }));
+        assert_eq!(store.pending_deltas(), 0, "partial batch must roll back");
+        let snap = store.commit();
+        assert_eq!(store.graph_epoch(), 0, "rolled-back batch must not bump");
+        assert_eq!(*snap, diamond());
+    }
+
+    #[test]
+    fn staged_deltas_see_each_other() {
+        let mut store = GraphStore::new(diamond());
+        store.stage(GraphDelta::RemoveEdge { u: 0, v: 1 }).unwrap();
+        // re-adding the removed edge in the same batch is legal...
+        store
+            .stage(GraphDelta::AddEdge { u: 0, v: 1, w: 9.0 })
+            .unwrap();
+        // ...and removing it twice is not
+        store.stage(GraphDelta::RemoveEdge { u: 0, v: 1 }).unwrap();
+        assert!(matches!(
+            store.stage(GraphDelta::RemoveEdge { u: 0, v: 1 }),
+            Err(GraphError::UnknownEdge { .. })
+        ));
+        let snap = store.commit();
+        assert_eq!(snap.num_edges(), 3);
+        assert_eq!(store.graph_epoch(), 1);
+    }
+
+    #[test]
+    fn noop_commit_keeps_epoch_and_snapshot() {
+        let mut store = GraphStore::new(diamond());
+        let before = store.snapshot();
+        // empty commit
+        let same = store.commit();
+        assert!(Arc::ptr_eq(&before, &same));
+        assert_eq!(store.graph_epoch(), 0);
+        // reweight to the identical value is a no-op too
+        store
+            .stage(GraphDelta::Reweight { u: 0, v: 1, w: 1.0 })
+            .unwrap();
+        let same = store.commit();
+        assert!(Arc::ptr_eq(&before, &same), "no-op reweight must not bump");
+        assert_eq!(store.graph_epoch(), 0);
+        // ...but a real reweight does change state
+        store
+            .stage(GraphDelta::Reweight { u: 0, v: 1, w: 3.0 })
+            .unwrap();
+        store.commit();
+        assert_eq!(store.graph_epoch(), 1);
+    }
+
+    #[test]
+    fn directed_store_keeps_orientations_distinct() {
+        let g = graph_from_edges(EdgeDirection::Directed, [(0, 1, 1.0)]).unwrap();
+        let mut store = GraphStore::new(g);
+        // the reverse arc is a different edge in a directed store
+        store
+            .stage(GraphDelta::AddEdge { u: 1, v: 0, w: 2.0 })
+            .unwrap();
+        let snap = store.commit();
+        assert_eq!(snap.num_arcs(), 2);
+        assert!(store.contains_edge(0, 1));
+        assert!(store.contains_edge(1, 0));
+        store
+            .apply(&[GraphDelta::RemoveEdge { u: 0, v: 1 }])
+            .unwrap();
+        assert!(!store.contains_edge(0, 1));
+        assert!(store.contains_edge(1, 0));
+    }
+
+    #[test]
+    fn isolated_nodes_survive_round_trips() {
+        let mut b = GraphBuilder::new(EdgeDirection::Undirected);
+        b.reserve_nodes(6);
+        b.add_edge(0, 1, 1.0).unwrap();
+        let mut store = GraphStore::new(b.build().unwrap());
+        store
+            .apply(&[GraphDelta::AddEdge { u: 4, v: 5, w: 1.0 }])
+            .unwrap();
+        assert_eq!(store.snapshot().num_nodes(), 6);
+        assert_eq!(store.snapshot().num_edges(), 2);
+    }
+}

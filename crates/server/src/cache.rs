@@ -1,26 +1,30 @@
 //! The serving-side result cache: a hand-rolled O(1) LRU keyed by
-//! `(node, k, strategy, epoch)`.
+//! `(node, k, strategy, index epoch, graph epoch)`.
 //!
-//! Because the index epoch is part of the key, a merge that bumps the
-//! epoch makes every older entry unreachable *immediately* — a lookup for
-//! the new epoch can never return a result computed against a staler
-//! index, so cached answers are exactly as fresh as recomputed ones. The
+//! Because both epochs are part of the key, a merge that bumps the index
+//! epoch — or a committed graph update that bumps the graph epoch — makes
+//! every older entry unreachable *immediately*: a lookup for the new
+//! epochs can never return a result computed against staler state, so
+//! cached answers are exactly as fresh as recomputed ones. The
 //! unreachable entries are reclaimed two ways: lazily by ordinary LRU
 //! eviction, and eagerly by [`ResultCache::purge_stale`], which the
 //! merger calls right after publishing a new snapshot.
 //!
-//! (For reverse k-ranks specifically, results from older epochs are still
-//! *correct* — the index only prunes work, never changes ranks — but the
-//! epoch key is what makes the cache safe for any future index whose
-//! merges can change answers, e.g. after graph updates, and it gives the
-//! `stats` op a crisp invalidation signal to assert on.)
+//! The two components invalidate *different* things. Index merges change
+//! no answers (the index only prunes work), so graph-only strategies key
+//! their entries [`EPOCH_INDEPENDENT`] and survive them. Graph commits
+//! change the answers themselves, so the graph epoch is part of *every*
+//! key — there is no graph-independent result — and a graph-epoch bump
+//! strands the whole cache.
 
 use std::collections::HashMap;
 
-/// Sentinel epoch for answers that do not depend on the index at all
-/// (naive/static/dynamic strategies read only the immutable graph):
-/// entries keyed with it are never considered stale by
-/// [`ResultCache::purge_stale`], so they survive index merges.
+/// Sentinel *index* epoch for answers that do not depend on the index at
+/// all (naive/static/dynamic strategies read only the graph snapshot):
+/// entries keyed with it are never considered stale by an index-epoch
+/// bump, so they survive merges. They still carry a real graph epoch —
+/// every answer depends on the graph — and a graph-epoch bump evicts
+/// them like everything else.
 pub const EPOCH_INDEPENDENT: u64 = u64::MAX;
 
 /// Everything that distinguishes one cacheable answer from another.
@@ -38,6 +42,9 @@ pub struct CacheKey {
     /// Index epoch the answer was computed against, or
     /// [`EPOCH_INDEPENDENT`] for strategies that never read the index.
     pub epoch: u64,
+    /// Graph epoch the answer was computed against. Part of every key:
+    /// a graph commit changes answers, so nothing survives it.
+    pub graph_epoch: u64,
 }
 
 /// One cached `(node, rank)` result list.
@@ -169,16 +176,23 @@ impl ResultCache {
         self.push_front(slot);
     }
 
-    /// Drop every entry whose epoch is not `current_epoch`, returning how
-    /// many were dropped. Called by the merger after an epoch bump so
-    /// stale entries release their memory immediately instead of waiting
-    /// to age out of the LRU order. Entries keyed [`EPOCH_INDEPENDENT`]
-    /// (graph-only answers) are never stale and always survive.
-    pub fn purge_stale(&mut self, current_epoch: u64) -> usize {
+    /// Drop every entry that is stale for `(current_graph_epoch,
+    /// current_epoch)`, returning how many were dropped. Called by the
+    /// merger after an epoch bump so stale entries release their memory
+    /// immediately instead of waiting to age out of the LRU order.
+    ///
+    /// An entry is stale when its graph epoch differs (the graph changed;
+    /// *every* answer is invalid) or when its index epoch differs and is
+    /// not [`EPOCH_INDEPENDENT`] (index merges strand only index-derived
+    /// answers).
+    pub fn purge_stale(&mut self, current_graph_epoch: u64, current_epoch: u64) -> usize {
         let stale: Vec<CacheKey> = self
             .map
             .keys()
-            .filter(|k| k.epoch != current_epoch && k.epoch != EPOCH_INDEPENDENT)
+            .filter(|k| {
+                k.graph_epoch != current_graph_epoch
+                    || (k.epoch != current_epoch && k.epoch != EPOCH_INDEPENDENT)
+            })
             .copied()
             .collect();
         for key in &stale {
@@ -229,11 +243,16 @@ mod tests {
     use super::*;
 
     fn key(node: u32, epoch: u64) -> CacheKey {
+        gkey(node, epoch, 0)
+    }
+
+    fn gkey(node: u32, epoch: u64, graph_epoch: u64) -> CacheKey {
         CacheKey {
             node,
             k: 2,
             strategy: 3,
             epoch,
+            graph_epoch,
         }
     }
 
@@ -294,7 +313,7 @@ mod tests {
             c.insert(key(n, 0), vec![(n, 1)]);
         }
         c.insert(key(9, 1), vec![(9, 1)]);
-        assert_eq!(c.purge_stale(1), 3);
+        assert_eq!(c.purge_stale(0, 1), 3);
         assert_eq!(c.len(), 1);
         assert!(c.get(&key(9, 1)).is_some());
         let (_, _, _, stale) = c.counters();
@@ -302,11 +321,24 @@ mod tests {
     }
 
     #[test]
+    fn graph_epoch_bump_strands_everything() {
+        let mut c = ResultCache::new(8);
+        c.insert(gkey(1, 0, 0), vec![(1, 1)]);
+        c.insert(gkey(2, EPOCH_INDEPENDENT, 0), vec![(2, 1)]);
+        // a new graph epoch must miss on both keys...
+        assert_eq!(c.get(&gkey(1, 0, 1)), None);
+        assert_eq!(c.get(&gkey(2, EPOCH_INDEPENDENT, 1)), None);
+        // ...and the purge drops even the index-epoch-independent entry
+        assert_eq!(c.purge_stale(1, 0), 2);
+        assert!(c.is_empty());
+    }
+
+    #[test]
     fn epoch_independent_entries_survive_purges() {
         let mut c = ResultCache::new(8);
         c.insert(key(1, EPOCH_INDEPENDENT), vec![(1, 1)]);
         c.insert(key(2, 0), vec![(2, 1)]);
-        assert_eq!(c.purge_stale(5), 1, "only the epoch-0 entry is stale");
+        assert_eq!(c.purge_stale(0, 5), 1, "only the epoch-0 entry is stale");
         assert!(
             c.get(&key(1, EPOCH_INDEPENDENT)).is_some(),
             "graph-only answers survive index merges"
@@ -350,12 +382,12 @@ mod tests {
             let n = (step() % 20) as u32;
             let e = step() % 3;
             match step() % 4 {
-                0 | 1 => c.insert(key(n, e), vec![(n, 1)]),
+                0 | 1 => c.insert(gkey(n, e, e % 2), vec![(n, 1)]),
                 2 => {
-                    let _ = c.get(&key(n, e));
+                    let _ = c.get(&gkey(n, e, e % 2));
                 }
                 _ => {
-                    let _ = c.purge_stale(e);
+                    let _ = c.purge_stale(e % 2, e);
                 }
             }
             assert!(c.len() <= 7, "overfull at step {i}");

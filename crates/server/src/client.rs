@@ -9,7 +9,7 @@ use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use crate::protocol::{BatchReply, QueryReply, Reply, Request, StatsReply};
+use crate::protocol::{BatchReply, QueryReply, Reply, Request, StatsReply, UpdateOp};
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -148,6 +148,22 @@ impl Client {
         match self.round_trip(&req)? {
             Reply::Batch(b) => Ok(b),
             other => Err(unexpected("batch", &other)),
+        }
+    }
+
+    /// Stage live graph updates (validated server-side as a whole batch;
+    /// they go live at the daemon's next merge point — follow with
+    /// [`Client::flush`] to commit immediately). Returns
+    /// `(staged, graph_epoch)`: how many deltas were staged and the graph
+    /// epoch *before* the commit.
+    pub fn update(&mut self, ops: &[UpdateOp]) -> Result<(u64, u64), ClientError> {
+        let req = Request::Update { ops: ops.to_vec() };
+        match self.round_trip(&req)? {
+            Reply::Update {
+                staged,
+                graph_epoch,
+            } => Ok((staged, graph_epoch)),
+            other => Err(unexpected("update", &other)),
         }
     }
 

@@ -83,6 +83,15 @@ impl Json {
             .map(|v| v as u32)
     }
 
+    /// The raw number, if this is a `Num` (update ops carry edge weights,
+    /// which are genuine floats).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
     /// The string contents, if this is a `Str`.
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -8,7 +8,13 @@
 //!
 //! On top of the transport sits the serving-side performance layer:
 //!
-//! * an **LRU result cache** keyed by `(node, k, bound-config, epoch)`
+//! * a **live graph**: the daemon owns a [`rkranks_graph::GraphStore`];
+//!   `update` ops stage edge/node deltas that commit into fresh immutable
+//!   graph snapshots under a monotonically increasing *graph epoch* —
+//!   queries keep serving throughout, and every reply says which graph
+//!   epoch answered it;
+//! * an **LRU result cache** keyed by
+//!   `(node, k, strategy, index epoch, graph epoch)`
 //!   ([`cache::ResultCache`]) answering repeated queries for hot nodes
 //!   without touching the graph, and
 //! * **epoch-based invalidation**: a background merger folds the
@@ -16,7 +22,10 @@
 //!   into the master [`rkranks_core::RkrIndex`] at a configurable cadence;
 //!   each non-empty merge bumps the index epoch, which keys the cache — so
 //!   cached results are never staler than the index while the index keeps
-//!   learning from the traffic it serves.
+//!   learning from the traffic it serves. A committed graph update instead
+//!   *retires* the index and strands the whole cache: stale rank knowledge
+//!   is unsound on a changed graph ([`rkranks_core::RkrIndex::merge_delta`]
+//!   documents why).
 //!
 //! ## Loopback quickstart
 //!
@@ -37,8 +46,8 @@
 //! assert!(client.query(0, 2).unwrap().cached); // hot node: cache hit
 //!
 //! client.shutdown().unwrap();
-//! let learned = handle.join(); // the index kept what the queries taught it
-//! assert!(learned.rrd_entries() > 0);
+//! let outcome = handle.join(); // the index kept what the queries taught it
+//! assert!(outcome.index.rrd_entries() > 0);
 //! ```
 //!
 //! See [`protocol`] for the wire format and [`server`] for the serving
@@ -55,5 +64,5 @@ pub mod server;
 
 pub use cache::{CacheKey, ResultCache};
 pub use client::{Client, ClientError, QueryOptions};
-pub use protocol::{BatchReply, QueryReply, Reply, Request, StatsReply};
-pub use server::{serve, spawn, ServerConfig, ServerHandle};
+pub use protocol::{BatchReply, QueryReply, Reply, Request, StatsReply, UpdateOp};
+pub use server::{serve, spawn, ServeOutcome, ServerConfig, ServerHandle};

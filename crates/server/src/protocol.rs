@@ -11,10 +11,24 @@
 //! {"op":"query","node":17,"k":10,"deadline_ms":5}
 //!                                            ... best-effort within 5ms
 //! {"op":"batch","nodes":[3,17,5],"k":10}     several queries, one round-trip
-//! {"op":"stats"}                             serving counters + epoch
-//! {"op":"flush"}                             fold pending deltas now
+//! {"op":"update","ops":[["add",3,9,0.5]]}    stage live graph updates
+//! {"op":"stats"}                             serving counters + epochs
+//! {"op":"flush"}                             commit staged updates and fold
+//!                                            pending deltas now
 //! {"op":"shutdown"}                          drain and stop the daemon
 //! ```
+//!
+//! `update` stages one or more graph deltas, each encoded as a small
+//! array: `["add",u,v,w]`, `["rm",u,v]`, `["reweight",u,v,w]`, or
+//! `["add-node"]`. The batch is validated as a whole at the protocol
+//! boundary (self-loops, negative weights, out-of-range ids, duplicate or
+//! unknown edges are one-line errors and stage *nothing*); valid batches
+//! take effect at the daemon's next merge point, where it commits a fresh
+//! graph snapshot, bumps `graph_epoch`, and retires the rank index. With
+//! a merge cadence configured the merger commits staged updates on its
+//! next pass — promptly, with no query traffic required; with
+//! flush-only merging (`merge_every` 0) they wait for the next `flush`
+//! or shutdown.
 //!
 //! `strategy` takes the unified [`rkranks_core::Strategy`] string form —
 //! the same names `rkr query --algo` accepts locally — so the remote path
@@ -26,9 +40,10 @@
 //! and keep the connection open. Successful shapes:
 //!
 //! ```text
-//! {"ok":true,"result":[[node,rank],...],"cached":false,"epoch":3}
-//! {"ok":true,"results":[[[node,rank],...],...],"cached":2,"epoch":3}
-//! {"ok":true,"stats":{"queries":12,"cache_hits":4,...,"epoch":3}}
+//! {"ok":true,"result":[[node,rank],...],"cached":false,"epoch":3,"graph_epoch":1}
+//! {"ok":true,"results":[[[node,rank],...],...],"cached":2,"epoch":3,"graph_epoch":1}
+//! {"ok":true,"stats":{"queries":12,"cache_hits":4,...,"epoch":3,"graph_epoch":1,...}}
+//! {"ok":true,"staged":2,"graph_epoch":1}     update (staged, not yet live)
 //! {"ok":true,"epoch":4,"merged":2}           flush
 //! {"ok":true,"bye":true}                     shutdown
 //! ```
@@ -37,7 +52,151 @@
 //! and decode from [`Json`] symmetrically — so the daemon and the
 //! [`crate::Client`] cannot drift apart.
 
+use rkranks_graph::GraphDelta;
+
 use crate::json::Json;
+
+/// One live graph update on the wire — the protocol face of
+/// `rkranks_graph::GraphDelta`. Encoded as a compact array:
+/// `["add",u,v,w]` / `["rm",u,v]` / `["reweight",u,v,w]` /
+/// `["add-node"]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum UpdateOp {
+    /// Append one isolated node (its id is the node count at commit time).
+    AddNode,
+    /// Insert edge `u – v` with weight `w`.
+    AddEdge {
+        /// Source endpoint.
+        u: u32,
+        /// Target endpoint.
+        v: u32,
+        /// Non-negative finite weight.
+        w: f64,
+    },
+    /// Delete edge `u – v`.
+    RemoveEdge {
+        /// Source endpoint.
+        u: u32,
+        /// Target endpoint.
+        v: u32,
+    },
+    /// Set the weight of the existing edge `u – v` to `w`.
+    Reweight {
+        /// Source endpoint.
+        u: u32,
+        /// Target endpoint.
+        v: u32,
+        /// New non-negative finite weight.
+        w: f64,
+    },
+}
+
+impl UpdateOp {
+    fn to_json(self) -> Json {
+        match self {
+            UpdateOp::AddNode => Json::Arr(vec![Json::Str("add-node".into())]),
+            UpdateOp::AddEdge { u, v, w } => Json::Arr(vec![
+                Json::Str("add".into()),
+                Json::num(u),
+                Json::num(v),
+                Json::num(w),
+            ]),
+            UpdateOp::RemoveEdge { u, v } => {
+                Json::Arr(vec![Json::Str("rm".into()), Json::num(u), Json::num(v)])
+            }
+            UpdateOp::Reweight { u, v, w } => Json::Arr(vec![
+                Json::Str("reweight".into()),
+                Json::num(u),
+                Json::num(v),
+                Json::num(w),
+            ]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<UpdateOp, String> {
+        let arr = v.as_arr().ok_or("update op is not an array")?;
+        let kind = arr
+            .first()
+            .and_then(Json::as_str)
+            .ok_or("update op missing its kind tag")?;
+        let node = |i: usize| -> Result<u32, String> {
+            arr.get(i)
+                .and_then(Json::as_u32)
+                .ok_or_else(|| format!("'{kind}' op needs an integer node id at position {i}"))
+        };
+        let weight = |i: usize| -> Result<f64, String> {
+            arr.get(i)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("'{kind}' op needs a numeric weight at position {i}"))
+        };
+        let arity = |want: usize| -> Result<(), String> {
+            if arr.len() == want {
+                Ok(())
+            } else {
+                Err(format!(
+                    "'{kind}' op takes {} arguments, got {}",
+                    want - 1,
+                    arr.len() - 1
+                ))
+            }
+        };
+        match kind {
+            "add-node" => {
+                arity(1)?;
+                Ok(UpdateOp::AddNode)
+            }
+            "add" => {
+                arity(4)?;
+                Ok(UpdateOp::AddEdge {
+                    u: node(1)?,
+                    v: node(2)?,
+                    w: weight(3)?,
+                })
+            }
+            "rm" => {
+                arity(3)?;
+                Ok(UpdateOp::RemoveEdge {
+                    u: node(1)?,
+                    v: node(2)?,
+                })
+            }
+            "reweight" => {
+                arity(4)?;
+                Ok(UpdateOp::Reweight {
+                    u: node(1)?,
+                    v: node(2)?,
+                    w: weight(3)?,
+                })
+            }
+            other => Err(format!("unknown update op '{other}'")),
+        }
+    }
+}
+
+/// The wire op and the store delta carry the same four shapes; these are
+/// the one canonical pair of conversions (don't hand-roll the match at
+/// call sites — a new delta kind should only need these two arms added).
+impl From<UpdateOp> for GraphDelta {
+    fn from(op: UpdateOp) -> GraphDelta {
+        match op {
+            UpdateOp::AddNode => GraphDelta::AddNode,
+            UpdateOp::AddEdge { u, v, w } => GraphDelta::AddEdge { u, v, w },
+            UpdateOp::RemoveEdge { u, v } => GraphDelta::RemoveEdge { u, v },
+            UpdateOp::Reweight { u, v, w } => GraphDelta::Reweight { u, v, w },
+        }
+    }
+}
+
+impl From<GraphDelta> for UpdateOp {
+    fn from(d: GraphDelta) -> UpdateOp {
+        match d {
+            GraphDelta::AddNode => UpdateOp::AddNode,
+            GraphDelta::AddEdge { u, v, w } => UpdateOp::AddEdge { u, v, w },
+            GraphDelta::RemoveEdge { u, v } => UpdateOp::RemoveEdge { u, v },
+            GraphDelta::Reweight { u, v, w } => UpdateOp::Reweight { u, v, w },
+        }
+    }
+}
 
 /// A decoded client request.
 #[derive(Clone, Debug, PartialEq)]
@@ -71,9 +230,16 @@ pub enum Request {
         /// Result size `k` shared by the batch.
         k: u32,
     },
+    /// Stage live graph updates (validated as a whole; committed at the
+    /// next merge point).
+    Update {
+        /// The deltas, staged atomically in order.
+        ops: Vec<UpdateOp>,
+    },
     /// Read the serving counters.
     Stats,
-    /// Synchronously fold all pending write-logs into the index.
+    /// Commit staged graph updates and synchronously fold all pending
+    /// write-logs into the index.
     Flush,
     /// Stop the daemon (pending deltas are merged first).
     Shutdown,
@@ -113,6 +279,13 @@ impl Request {
                     Json::Arr(nodes.iter().map(|&n| Json::num(n)).collect()),
                 ),
                 ("k".into(), Json::num(*k)),
+            ]),
+            Request::Update { ops } => Json::Obj(vec![
+                ("op".into(), Json::Str("update".into())),
+                (
+                    "ops".into(),
+                    Json::Arr(ops.iter().map(|op| op.to_json()).collect()),
+                ),
             ]),
             Request::Stats => op_only("stats"),
             Request::Flush => op_only("flush"),
@@ -158,6 +331,19 @@ impl Request {
                     k: field_u32(&v, "k")?,
                 })
             }
+            "update" => {
+                let ops = v
+                    .get("ops")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing array field 'ops'")?
+                    .iter()
+                    .map(UpdateOp::from_json)
+                    .collect::<Result<Vec<UpdateOp>, _>>()?;
+                if ops.is_empty() {
+                    return Err("'ops' must contain at least one update".into());
+                }
+                Ok(Request::Update { ops })
+            }
             "stats" => Ok(Request::Stats),
             "flush" => Ok(Request::Flush),
             "shutdown" => Ok(Request::Shutdown),
@@ -185,6 +371,10 @@ pub struct QueryReply {
     pub cached: bool,
     /// The index epoch the result was computed (or cached) against.
     pub epoch: u64,
+    /// The graph epoch the result was computed (or cached) against: two
+    /// replies with different graph epochs answered against *different
+    /// graphs*.
+    pub graph_epoch: u64,
     /// `true` when a deadline cut the query short: `entries` is the
     /// refined-so-far set (every rank in it is still exact), not the
     /// complete answer. Partial answers are never cached.
@@ -200,6 +390,8 @@ pub struct BatchReply {
     pub cached: u64,
     /// The index epoch the *last* answer saw (a merge may land mid-batch).
     pub epoch: u64,
+    /// The graph epoch the *last* answer saw.
+    pub graph_epoch: u64,
 }
 
 /// The serving counters returned by the `stats` op.
@@ -233,10 +425,26 @@ pub struct StatsReply {
     /// Queries whose deadline elapsed before the search finished (a
     /// subset of `partial_results`).
     pub deadline_exceeded: u64,
+    /// Current graph epoch (`rkranks_graph::GraphStore::graph_epoch`):
+    /// bumps exactly when a committed update batch changed the graph —
+    /// query-only traffic never moves it.
+    pub graph_epoch: u64,
+    /// Commits that changed the graph (each bumped `graph_epoch`,
+    /// published a fresh snapshot, and retired the index).
+    pub graph_commits: u64,
+    /// Effective staged deltas committed into the live graph so far
+    /// (staged deltas are not counted until their commit, and a batch's
+    /// ops can collapse onto fewer effective deltas — e.g. removing and
+    /// re-adding the same edge counts once).
+    pub updates_applied: u64,
+    /// Nodes in the current graph snapshot.
+    pub graph_nodes: u64,
+    /// Logical edges in the current graph snapshot.
+    pub graph_edges: u64,
 }
 
 impl StatsReply {
-    const FIELDS: [&'static str; 13] = [
+    const FIELDS: [&'static str; 18] = [
         "queries",
         "cache_hits",
         "cache_misses",
@@ -250,9 +458,14 @@ impl StatsReply {
         "workers",
         "partial_results",
         "deadline_exceeded",
+        "graph_epoch",
+        "graph_commits",
+        "updates_applied",
+        "graph_nodes",
+        "graph_edges",
     ];
 
-    fn values(&self) -> [u64; 13] {
+    fn values(&self) -> [u64; 18] {
         [
             self.queries,
             self.cache_hits,
@@ -267,6 +480,11 @@ impl StatsReply {
             self.workers,
             self.partial_results,
             self.deadline_exceeded,
+            self.graph_epoch,
+            self.graph_commits,
+            self.updates_applied,
+            self.graph_nodes,
+            self.graph_edges,
         ]
     }
 
@@ -282,7 +500,7 @@ impl StatsReply {
 
     fn from_json(v: &Json) -> Result<StatsReply, String> {
         let mut out = StatsReply::default();
-        let slots: [&mut u64; 13] = [
+        let slots: [&mut u64; 18] = [
             &mut out.queries,
             &mut out.cache_hits,
             &mut out.cache_misses,
@@ -296,6 +514,11 @@ impl StatsReply {
             &mut out.workers,
             &mut out.partial_results,
             &mut out.deadline_exceeded,
+            &mut out.graph_epoch,
+            &mut out.graph_commits,
+            &mut out.updates_applied,
+            &mut out.graph_nodes,
+            &mut out.graph_edges,
         ];
         for (field, slot) in Self::FIELDS.iter().zip(slots) {
             *slot = v
@@ -316,6 +539,15 @@ pub enum Reply {
     Batch(BatchReply),
     /// Answer to a `stats` op.
     Stats(StatsReply),
+    /// Answer to an `update` op: the batch was validated and staged (it
+    /// goes live at the next merge point).
+    Update {
+        /// How many deltas this request staged.
+        staged: u64,
+        /// The graph epoch *before* the batch commits (the commit will
+        /// publish `graph_epoch + 1` if the batch changes the graph).
+        graph_epoch: u64,
+    },
     /// Answer to a `flush` op: the epoch after the merge and how many
     /// write-logs it folded.
     Flush {
@@ -343,6 +575,7 @@ impl Reply {
                     ("result".into(), entries_to_json(&q.entries)),
                     ("cached".into(), Json::Bool(q.cached)),
                     ("epoch".into(), Json::num(q.epoch as f64)),
+                    ("graph_epoch".into(), Json::num(q.graph_epoch as f64)),
                 ];
                 if q.partial {
                     fields.push(("partial".into(), Json::Bool(true)));
@@ -356,8 +589,16 @@ impl Reply {
                 ),
                 ("cached".into(), Json::num(b.cached as f64)),
                 ("epoch".into(), Json::num(b.epoch as f64)),
+                ("graph_epoch".into(), Json::num(b.graph_epoch as f64)),
             ]),
             Reply::Stats(s) => ok(vec![("stats".into(), s.to_json())]),
+            Reply::Update {
+                staged,
+                graph_epoch,
+            } => ok(vec![
+                ("staged".into(), Json::num(*staged as f64)),
+                ("graph_epoch".into(), Json::num(*graph_epoch as f64)),
+            ]),
             Reply::Flush { epoch, merged } => ok(vec![
                 ("epoch".into(), Json::num(*epoch as f64)),
                 ("merged".into(), Json::num(*merged as f64)),
@@ -392,6 +633,7 @@ impl Reply {
                     .and_then(Json::as_bool)
                     .ok_or("missing boolean field 'cached'")?,
                 epoch: field_u64(&v, "epoch")?,
+                graph_epoch: v.get("graph_epoch").and_then(Json::as_u64).unwrap_or(0),
                 partial: v.get("partial").and_then(Json::as_bool).unwrap_or(false),
             }));
         }
@@ -406,6 +648,7 @@ impl Reply {
                 results,
                 cached: field_u64(&v, "cached")?,
                 epoch: field_u64(&v, "epoch")?,
+                graph_epoch: v.get("graph_epoch").and_then(Json::as_u64).unwrap_or(0),
             }));
         }
         if let Some(stats) = v.get("stats") {
@@ -413,6 +656,12 @@ impl Reply {
         }
         if v.get("bye").is_some() {
             return Ok(Reply::Shutdown);
+        }
+        if v.get("staged").is_some() {
+            return Ok(Reply::Update {
+                staged: field_u64(&v, "staged")?,
+                graph_epoch: field_u64(&v, "graph_epoch")?,
+            });
         }
         if v.get("merged").is_some() {
             return Ok(Reply::Flush {
@@ -505,9 +754,35 @@ mod tests {
             nodes: vec![],
             k: 2,
         });
+        round_trip_request(Request::Update {
+            ops: vec![
+                UpdateOp::AddNode,
+                UpdateOp::AddEdge { u: 3, v: 9, w: 0.5 },
+                UpdateOp::RemoveEdge { u: 1, v: 2 },
+                UpdateOp::Reweight {
+                    u: 4,
+                    v: 5,
+                    w: 2.25,
+                },
+            ],
+        });
         round_trip_request(Request::Stats);
         round_trip_request(Request::Flush);
         round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn update_weights_survive_the_wire_exactly() {
+        // weights are genuine floats; the wire must not round them
+        let req = Request::Update {
+            ops: vec![UpdateOp::AddEdge {
+                u: 0,
+                v: 1,
+                w: 0.123456789,
+            }],
+        };
+        let line = req.to_json().render();
+        assert_eq!(Request::from_line(&line).unwrap(), req, "line: {line}");
     }
 
     #[test]
@@ -516,24 +791,28 @@ mod tests {
             entries: vec![(1, 2), (3, 2)],
             cached: true,
             epoch: 7,
+            graph_epoch: 2,
             partial: false,
         }));
         round_trip_reply(Reply::Query(QueryReply {
             entries: vec![],
             cached: false,
             epoch: 0,
+            graph_epoch: 0,
             partial: false,
         }));
         round_trip_reply(Reply::Query(QueryReply {
             entries: vec![(9, 1)],
             cached: false,
             epoch: 2,
+            graph_epoch: 0,
             partial: true,
         }));
         round_trip_reply(Reply::Batch(BatchReply {
             results: vec![vec![(1, 1)], vec![]],
             cached: 1,
             epoch: 3,
+            graph_epoch: 1,
         }));
         round_trip_reply(Reply::Stats(StatsReply {
             queries: 12,
@@ -549,7 +828,16 @@ mod tests {
             workers: 4,
             partial_results: 3,
             deadline_exceeded: 2,
+            graph_epoch: 1,
+            graph_commits: 1,
+            updates_applied: 7,
+            graph_nodes: 150,
+            graph_edges: 1043,
         }));
+        round_trip_reply(Reply::Update {
+            staged: 3,
+            graph_epoch: 1,
+        });
         round_trip_reply(Reply::Flush {
             epoch: 4,
             merged: 2,
@@ -584,6 +872,7 @@ mod tests {
                 entries: vec![(1, 2)],
                 cached: false,
                 epoch: 0,
+                graph_epoch: 0,
                 partial: false,
             })
         );
@@ -605,6 +894,17 @@ mod tests {
             r#"{"op":"batch","k":2}"#,
             r#"{"op":"batch","nodes":[1,"x"],"k":2}"#,
             r#"{"op":"explode"}"#,
+            r#"{"op":"update"}"#,
+            r#"{"op":"update","ops":[]}"#,
+            r#"{"op":"update","ops":["add"]}"#,
+            r#"{"op":"update","ops":[["boom",1,2]]}"#,
+            r#"{"op":"update","ops":[["add",1,2]]}"#,
+            r#"{"op":"update","ops":[["add",1,2,"x"]]}"#,
+            r#"{"op":"update","ops":[["add",-1,2,1.0]]}"#,
+            r#"{"op":"update","ops":[["rm",1]]}"#,
+            r#"{"op":"update","ops":[["rm",1,2,3]]}"#,
+            r#"{"op":"update","ops":[["add-node",1]]}"#,
+            r#"{"op":"update","ops":[["reweight",1,2]]}"#,
         ] {
             assert!(Request::from_line(line).is_err(), "accepted {line:?}");
         }

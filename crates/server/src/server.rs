@@ -1,6 +1,5 @@
 //! The `rkrd` daemon: a fixed pool of worker threads serving the
-//! newline-delimited JSON protocol over TCP against one shared
-//! [`EngineContext`].
+//! newline-delimited JSON protocol over TCP against a *live* graph.
 //!
 //! ## Serving architecture
 //!
@@ -11,27 +10,39 @@
 //!   parked. Requests on one connection are served in order. Each worker
 //!   has its own [`QueryScratch`], so steady-state queries allocate
 //!   almost nothing.
+//! * **The graph is versioned, not frozen.** A
+//!   [`rkranks_graph::GraphStore`] owns the canonical edge set; `update`
+//!   ops stage validated [`GraphDelta`] batches, and at every merge point
+//!   the merger commits them: it publishes a fresh immutable
+//!   `Arc<Graph>` snapshot tagged with a bumped *graph epoch*, builds a
+//!   new [`EngineContext`] for it, **retires** the rank index (fresh
+//!   empty index at the new graph epoch — see the soundness argument on
+//!   [`RkrIndex::merge_delta`]), and discards pending write-logs from the
+//!   old graph. Queries in flight keep the `(context, index)` pair they
+//!   started with and stay correct *for their epoch*.
 //! * **Index snapshots**: queries run against a frozen `Arc<RkrIndex>`
-//!   snapshot ([`EngineContext::query_indexed_snapshot`]) and log their
-//!   discoveries to per-query [`IndexDelta`] write-logs, which are queued
-//!   for the merger. Reads never block writes and vice versa.
-//! * **The merger** owns the master index. At a configurable cadence
-//!   (every `merge_every` queries, on a `flush` op, and at shutdown) it
-//!   folds the queued write-logs into the master, publishes a fresh
-//!   snapshot, and — because [`RkrIndex::merge_delta`] bumps the index
-//!   epoch — implicitly invalidates every cached result computed against
-//!   the old state. The cache is purged eagerly right after.
+//!   snapshot and log their discoveries to per-query [`IndexDelta`]
+//!   write-logs, which are queued for the merger. Reads never block
+//!   writes and vice versa.
+//! * **The merger** owns the master index and the graph store. It folds
+//!   queued same-epoch write-logs into the master at a configurable
+//!   cadence (every `merge_every` served queries, on a `flush` op, and
+//!   at shutdown) and commits staged graph deltas *promptly* — on its
+//!   next pass after they are staged, query traffic or not (with
+//!   `merge_every` 0, everything waits for `flush`/shutdown).
 //! * **The result cache** is an LRU keyed by
-//!   `(node, k, strategy, epoch)` ([`crate::cache::ResultCache`]), the
-//!   strategy byte derived from each request's parsed [`Strategy`];
-//!   repeated queries for hot nodes are answered without touching the
-//!   graph. Graph-only strategies (naive/static/dynamic) are keyed
-//!   epoch-independently so index merges never strand their entries;
-//!   partial (deadline-cut) answers are never cached.
+//!   `(node, k, strategy, index epoch, graph epoch)`
+//!   ([`crate::cache::ResultCache`]). Index merges strand only
+//!   index-derived entries (graph-only strategies are keyed
+//!   index-epoch-independently); a graph commit strands *every* entry —
+//!   the answers themselves changed. Partial (deadline-cut) answers are
+//!   never cached.
 //!
-//! Query results are rank-identical to the plain dynamic strategy
-//! regardless of snapshot staleness or cache state — the index only ever
-//! prunes work — so caching and concurrency never cost correctness.
+//! Within one graph epoch, query results are rank-identical to the plain
+//! dynamic strategy regardless of snapshot staleness or cache state — the
+//! index only ever prunes work — so caching and concurrency never cost
+//! correctness. Across graph epochs, the epoch tag on every reply says
+//! exactly which graph answered.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -43,10 +54,10 @@ use rkranks_core::{
     BoundConfig, Completion, EngineContext, IndexAccess, IndexDelta, PartialReason, Partition,
     QueryRequest, QueryScratch, RkrIndex, Strategy,
 };
-use rkranks_graph::{Graph, NodeId};
+use rkranks_graph::{Graph, GraphDelta, GraphStore, NodeId};
 
 use crate::cache::{CacheKey, ResultCache};
-use crate::protocol::{BatchReply, QueryReply, Reply, Request, StatsReply};
+use crate::protocol::{BatchReply, QueryReply, Reply, Request, StatsReply, UpdateOp};
 
 /// How long a fully idle worker sleeps between event-loop passes (after
 /// the yield ramp) — bounds both idle CPU and how quickly shutdown is
@@ -60,10 +71,13 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Result-cache entries (`0` disables caching entirely).
     pub cache_capacity: usize,
-    /// Queries per merge epoch: the merger folds pending write-logs after
-    /// every `merge_every` served queries (cache hits included — under
-    /// hit-heavy traffic pending discoveries must still land). `0` means
-    /// merges happen only on an explicit `flush` op and at shutdown.
+    /// Queries per merge epoch: the merger folds pending index
+    /// write-logs after every `merge_every` served queries (cache hits
+    /// included — under hit-heavy traffic pending work must still land).
+    /// Staged graph updates do not wait for the query cadence: with any
+    /// nonzero value here the merger commits them on its next pass. `0`
+    /// disables both paths — merges and update commits happen only on an
+    /// explicit `flush` op and at shutdown.
     pub merge_every: u64,
     /// Bound configuration of the *default* strategy (snapshot-indexed
     /// search) — used when a request names no `strategy` of its own;
@@ -82,6 +96,18 @@ impl Default for ServerConfig {
     }
 }
 
+/// What a finished daemon hands back: everything it learned and became.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// The final master index (with every same-epoch discovery folded in;
+    /// freshly retired — mostly empty — if a graph commit landed late).
+    pub index: RkrIndex,
+    /// The final committed graph snapshot.
+    pub graph: Arc<Graph>,
+    /// The final graph epoch (0 if no update ever committed).
+    pub graph_epoch: u64,
+}
+
 /// Deltas waiting for the merger, plus the cadence bookkeeping.
 #[derive(Default)]
 struct PendingMerge {
@@ -98,16 +124,40 @@ struct Counters {
     partial_results: AtomicU64,
     /// Queries whose deadline elapsed (subset of `partial_results`).
     deadline_exceeded: AtomicU64,
+    /// Commits that changed the graph (each bumped the graph epoch).
+    graph_commits: AtomicU64,
+    /// Effective staged deltas committed by graph-changing commits (a
+    /// batch's ops can collapse onto fewer deltas, and deltas drained by
+    /// a no-op commit are not counted; see `stage_updates`).
+    updates_applied: AtomicU64,
+    /// Effective deltas staged but not yet committed (merger `due` hint;
+    /// the authoritative count lives in the store, behind the write
+    /// lock, and this mirror is only ever touched under that lock).
+    updates_staged: AtomicU64,
+}
+
+/// The consistent `(context, index snapshot)` pair queries read. Swapped
+/// wholesale — under one lock — so a worker can never pair a new graph
+/// with a stale index or vice versa.
+struct LiveState {
+    ctx: Arc<EngineContext>,
+    snapshot: Arc<RkrIndex>,
+    graph_epoch: u64,
+}
+
+/// The write side the merger owns: the canonical graph and the evolving
+/// master index (always tagged with the store's current graph epoch).
+struct WriteState {
+    store: GraphStore,
+    master: RkrIndex,
 }
 
 /// Everything the worker, merger, and control paths share.
-struct Shared<'g> {
-    ctx: EngineContext<'g>,
+struct Shared {
     config: ServerConfig,
-    /// The frozen index all queries read. Swapped wholesale by the merger.
-    snapshot: RwLock<Arc<RkrIndex>>,
-    /// The evolving master the merger folds write-logs into.
-    master: Mutex<RkrIndex>,
+    partition: Option<Partition>,
+    live: RwLock<LiveState>,
+    write: Mutex<WriteState>,
     pending: Mutex<PendingMerge>,
     merge_signal: Condvar,
     cache: Option<Mutex<ResultCache>>,
@@ -116,35 +166,44 @@ struct Shared<'g> {
 }
 
 /// Serve until a client sends `shutdown`. Blocks the calling thread; use
-/// [`spawn`] for a background daemon. Returns the master index with every
-/// merged discovery (callers can persist it — the index keeps learning
-/// from served queries).
+/// [`spawn`] for a background daemon. Returns the final graph, graph
+/// epoch, and master index (callers can persist the index — it keeps
+/// learning from served queries until the graph changes).
 pub fn serve(
-    graph: &Graph,
+    graph: Graph,
     partition: Option<Partition>,
-    index: RkrIndex,
+    mut index: RkrIndex,
     listener: TcpListener,
     config: &ServerConfig,
-) -> RkrIndex {
+) -> ServeOutcome {
     let mut config = *config;
     config.workers = config.workers.max(1);
-    let ctx = match partition {
-        Some(p) => EngineContext::bichromatic(graph, p),
-        None => EngineContext::new(graph),
+    let store = GraphStore::new(graph);
+    index.set_graph_epoch(store.graph_epoch());
+    let ctx = match &partition {
+        Some(p) => EngineContext::bichromatic(store.snapshot(), p.clone()),
+        None => EngineContext::new(store.snapshot()),
     };
     // Pay the one-off transpose build before the first query is timed.
     ctx.sds_graph();
     let shared = Shared {
-        snapshot: RwLock::new(Arc::new(index.clone())),
-        master: Mutex::new(index),
+        live: RwLock::new(LiveState {
+            ctx: Arc::new(ctx),
+            snapshot: Arc::new(index.clone()),
+            graph_epoch: store.graph_epoch(),
+        }),
+        write: Mutex::new(WriteState {
+            store,
+            master: index,
+        }),
         pending: Mutex::new(PendingMerge::default()),
         merge_signal: Condvar::new(),
         cache: (config.cache_capacity > 0)
             .then(|| Mutex::new(ResultCache::new(config.cache_capacity))),
         counters: Counters::default(),
         shutdown: AtomicBool::new(false),
+        partition,
         config,
-        ctx,
     };
     listener
         .set_nonblocking(true)
@@ -156,18 +215,23 @@ pub fn serve(
         }
     });
     // Every worker has joined, so every in-flight query has pushed its
-    // write-log; this final fold (here, not in the merger, which can
-    // observe the shutdown flag while workers are still mid-query) is
-    // what makes the returned index own everything the served queries
-    // discovered.
+    // write-log and every accepted update is staged; this final fold
+    // (here, not in the merger, which can observe the shutdown flag while
+    // workers are still mid-query) commits them all, so the returned
+    // state owns everything the served traffic produced.
     merge_pending(&shared);
-    shared.master.into_inner().expect("master lock poisoned")
+    let write = shared.write.into_inner().expect("write lock poisoned");
+    ServeOutcome {
+        index: write.master,
+        graph: write.store.snapshot(),
+        graph_epoch: write.store.graph_epoch(),
+    }
 }
 
 /// A handle to a daemon running on a background thread.
 pub struct ServerHandle {
     addr: SocketAddr,
-    thread: std::thread::JoinHandle<RkrIndex>,
+    thread: std::thread::JoinHandle<ServeOutcome>,
 }
 
 impl ServerHandle {
@@ -178,8 +242,8 @@ impl ServerHandle {
     }
 
     /// Wait for the daemon to shut down (a client must send the `shutdown`
-    /// op) and return the final merged index.
-    pub fn join(self) -> RkrIndex {
+    /// op) and return its final state.
+    pub fn join(self) -> ServeOutcome {
         self.thread.join().expect("server thread panicked")
     }
 }
@@ -195,7 +259,7 @@ pub fn spawn(
 ) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
-    let thread = std::thread::spawn(move || serve(&graph, partition, index, listener, &config));
+    let thread = std::thread::spawn(move || serve(graph, partition, index, listener, &config));
     Ok(ServerHandle { addr, thread })
 }
 
@@ -241,8 +305,13 @@ enum ConnPoll {
 /// makes no progress, the worker yields briefly, then sleeps — the yield
 /// ramp keeps request/reply ping-pong latency low (the peer usually runs
 /// and responds within a few yields) without busy-burning an idle core.
-fn worker_loop(shared: &Shared<'_>, listener: &TcpListener) {
-    let mut scratch = shared.ctx.new_scratch();
+fn worker_loop(shared: &Shared, listener: &TcpListener) {
+    let mut scratch = shared
+        .live
+        .read()
+        .expect("live lock poisoned")
+        .ctx
+        .new_scratch();
     let mut conns: Vec<Conn> = Vec::new();
     let mut idle_passes = 0u32;
     while !shared.shutdown.load(Ordering::Acquire) {
@@ -291,7 +360,7 @@ fn worker_loop(shared: &Shared<'_>, listener: &TcpListener) {
 
 /// Read whatever `conn` has available and answer every complete request
 /// line in it. Never blocks.
-fn poll_connection(shared: &Shared<'_>, scratch: &mut QueryScratch, conn: &mut Conn) -> ConnPoll {
+fn poll_connection(shared: &Shared, scratch: &mut QueryScratch, conn: &mut Conn) -> ConnPoll {
     let mut chunk = [0u8; 4096];
     let mut progressed = false;
     loop {
@@ -349,7 +418,7 @@ fn write_all_nonblocking(stream: &mut TcpStream, mut buf: &[u8]) -> io::Result<(
     stream.flush()
 }
 
-fn execute(shared: &Shared<'_>, scratch: &mut QueryScratch, req: Request) -> Reply {
+fn execute(shared: &Shared, scratch: &mut QueryScratch, req: Request) -> Reply {
     match req {
         Request::Query {
             node,
@@ -373,11 +442,13 @@ fn execute(shared: &Shared<'_>, scratch: &mut QueryScratch, req: Request) -> Rep
             let mut results = Vec::with_capacity(nodes.len());
             let mut cached = 0u64;
             let mut epoch = 0u64;
+            let mut graph_epoch = 0u64;
             for node in nodes {
                 match run_query(shared, scratch, node, k, true, None, None) {
                     Ok(q) => {
                         cached += q.cached as u64;
                         epoch = q.epoch;
+                        graph_epoch = q.graph_epoch;
                         results.push(q.entries);
                     }
                     Err(msg) => return Reply::Error(msg),
@@ -387,8 +458,16 @@ fn execute(shared: &Shared<'_>, scratch: &mut QueryScratch, req: Request) -> Rep
                 results,
                 cached,
                 epoch,
+                graph_epoch,
             })
         }
+        Request::Update { ops } => match stage_updates(shared, &ops) {
+            Ok((staged, graph_epoch)) => Reply::Update {
+                staged,
+                graph_epoch,
+            },
+            Err(msg) => Reply::Error(msg),
+        },
         Request::Stats => Reply::Stats(stats_snapshot(shared)),
         Request::Flush => {
             let (epoch, merged) = merge_pending(shared);
@@ -403,9 +482,39 @@ fn execute(shared: &Shared<'_>, scratch: &mut QueryScratch, req: Request) -> Rep
     }
 }
 
+/// Validate and stage a batch of graph updates (all-or-nothing; the
+/// commit happens at the next merge point).
+fn stage_updates(shared: &Shared, ops: &[UpdateOp]) -> Result<(u64, u64), String> {
+    if shared.partition.is_some() {
+        // A partition is a fixed labelling of a fixed node set; growing or
+        // rewiring the graph under it has no defined semantics (yet).
+        return Err("live updates are not supported on bichromatic servers".into());
+    }
+    let deltas: Vec<GraphDelta> = ops.iter().map(|&op| op.into()).collect();
+    let mut write = shared.write.lock().expect("write lock poisoned");
+    let before = write.store.pending_deltas();
+    let staged = write.store.stage_all(&deltas).map_err(|e| e.to_string())? as u64;
+    // Count *effective* staged deltas, not ops: a batch's ops can collapse
+    // onto one overlay entry (rm X + re-add X), and the merger's `due`
+    // check and `updates_applied` must agree with what the store will
+    // actually hand to the commit — drift here would leave the merger
+    // waking forever on a count that can never drain.
+    shared.counters.updates_staged.fetch_add(
+        (write.store.pending_deltas() - before) as u64,
+        Ordering::Relaxed,
+    );
+    let graph_epoch = write.store.graph_epoch();
+    drop(write);
+    // Wake the merger: with a cadence configured, staged updates commit
+    // on its next pass without waiting for query traffic (or the 50ms
+    // poll timeout).
+    shared.merge_signal.notify_one();
+    Ok((staged, graph_epoch))
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_query(
-    shared: &Shared<'_>,
+    shared: &Shared,
     scratch: &mut QueryScratch,
     node: u32,
     k: u32,
@@ -421,24 +530,31 @@ fn run_query(
         None => Strategy::Indexed(shared.config.bounds),
     };
     shared.counters.queries.fetch_add(1, Ordering::Relaxed);
-    let snapshot = shared
-        .snapshot
-        .read()
-        .expect("snapshot lock poisoned")
-        .clone();
+    // One read lock, one consistent pair: the context and the index
+    // snapshot always belong to the same graph epoch.
+    let (ctx, snapshot, graph_epoch) = {
+        let live = shared.live.read().expect("live lock poisoned");
+        (
+            Arc::clone(&live.ctx),
+            Arc::clone(&live.snapshot),
+            live.graph_epoch,
+        )
+    };
     let epoch = snapshot.epoch();
     let key = CacheKey {
         node,
         k,
         strategy: strategy_bits(strategy),
         // Graph-only strategies never read the index: key them with the
-        // epoch-independent sentinel so their entries survive merges
-        // instead of being stranded and re-computed every epoch bump.
+        // index-epoch-independent sentinel so their entries survive index
+        // merges. The graph epoch is part of every key — nothing survives
+        // a graph commit.
         epoch: if strategy.needs_index() {
             epoch
         } else {
             crate::cache::EPOCH_INDEPENDENT
         },
+        graph_epoch,
     };
     if use_cache {
         if let Some(cache) = &shared.cache {
@@ -459,6 +575,7 @@ fn run_query(
                     entries,
                     cached: true,
                     epoch,
+                    graph_epoch,
                     partial: false,
                 });
             }
@@ -474,9 +591,9 @@ fn run_query(
             snapshot: &snapshot,
             delta: &mut delta,
         };
-        shared.ctx.execute_with(scratch, Some(&mut access), &req)
+        ctx.execute_with(scratch, Some(&mut access), &req)
     } else {
-        shared.ctx.execute(scratch, &req)
+        ctx.execute(scratch, &req)
     }
     .map_err(|e| e.to_string())?;
     let entries: Vec<(u32, u32)> = outcome
@@ -517,6 +634,7 @@ fn run_query(
         entries,
         cached: false,
         epoch,
+        graph_epoch,
         partial,
     })
 }
@@ -524,7 +642,7 @@ fn run_query(
 /// Count one served query toward the merge cadence (queuing its
 /// write-log, if it produced a non-empty one) and wake the merger when
 /// the cadence is due.
-fn note_query_for_cadence(shared: &Shared<'_>, delta: Option<IndexDelta>) {
+fn note_query_for_cadence(shared: &Shared, delta: Option<IndexDelta>) {
     let merge_due = {
         let mut pending = shared.pending.lock().expect("pending lock poisoned");
         if let Some(delta) = delta {
@@ -533,60 +651,125 @@ fn note_query_for_cadence(shared: &Shared<'_>, delta: Option<IndexDelta>) {
             }
         }
         pending.queries_since_merge += 1;
-        shared.config.merge_every > 0
-            && pending.queries_since_merge >= shared.config.merge_every
-            && !pending.deltas.is_empty()
+        merge_is_due(shared, &pending)
     };
     if merge_due {
         shared.merge_signal.notify_one();
     }
 }
 
-/// Fold every pending write-log into the master index, publish a fresh
-/// snapshot, and purge newly stale cache entries. Returns the resulting
-/// epoch and how many deltas were folded. Safe to call from any thread.
-fn merge_pending(shared: &Shared<'_>) -> (u64, u64) {
+/// Whether the merger has due work. Index write-logs wait for the query
+/// cadence (they only sharpen pruning, so batching them is free); staged
+/// graph updates are due *immediately* — an update must not wait for
+/// read traffic that may never come, so with any cadence configured the
+/// merger commits staged updates on its next pass. `merge_every == 0`
+/// disables both paths: only `flush` and shutdown merge.
+fn merge_is_due(shared: &Shared, pending: &PendingMerge) -> bool {
+    shared.config.merge_every > 0
+        && ((pending.queries_since_merge >= shared.config.merge_every
+            && !pending.deltas.is_empty())
+            || shared.counters.updates_staged.load(Ordering::Relaxed) > 0)
+}
+
+/// The one merge point: commit staged graph updates (publishing a new
+/// snapshot + context and retiring the index if the graph changed), then
+/// fold every same-epoch pending write-log into the master index, publish
+/// a fresh index snapshot, and purge newly stale cache entries. Returns
+/// the resulting index epoch and how many write-logs were folded. Safe to
+/// call from any thread.
+fn merge_pending(shared: &Shared) -> (u64, u64) {
     let deltas: Vec<IndexDelta> = {
         let mut pending = shared.pending.lock().expect("pending lock poisoned");
         pending.queries_since_merge = 0;
         std::mem::take(&mut pending.deltas)
     };
-    // The master lock is held through snapshot publication so two
+    // The write lock is held through snapshot publication so two
     // concurrent merges cannot publish out of order.
-    let mut master = shared.master.lock().expect("master lock poisoned");
-    if deltas.is_empty() {
-        return (master.epoch(), 0);
+    let mut write = shared.write.lock().expect("write lock poisoned");
+    let staged = write.store.pending_deltas();
+    if deltas.is_empty() && staged == 0 {
+        return (write.master.epoch(), 0);
     }
+
+    let mut new_ctx = None;
+    if staged > 0 {
+        let epoch_before = write.store.graph_epoch();
+        let snapshot = write.store.commit();
+        let graph_epoch = write.store.graph_epoch();
+        // The commit drained the store; every staging op happens under the
+        // write lock we still hold, so zero is the authoritative count.
+        shared.counters.updates_staged.store(0, Ordering::Relaxed);
+        if graph_epoch != epoch_before {
+            // Applied = committed by a graph-changing commit; a no-op
+            // commit (e.g. a reweight to the current weight) drains its
+            // staged deltas without counting them, so `updates_applied`
+            // always reconciles with `graph_commits`.
+            shared
+                .counters
+                .updates_applied
+                .fetch_add(staged as u64, Ordering::Relaxed);
+            // The graph changed: retire the index (merging stale
+            // knowledge forward is unsound — see RkrIndex::merge_delta)
+            // and build a context for the new snapshot.
+            let mut fresh = RkrIndex::empty(snapshot.num_nodes(), write.master.k_max());
+            fresh.set_graph_epoch(graph_epoch);
+            write.master = fresh;
+            let ctx = match &shared.partition {
+                Some(p) => EngineContext::bichromatic(snapshot, p.clone()),
+                None => EngineContext::new(snapshot),
+            };
+            // The merger pays the transpose build, not the first query.
+            ctx.sds_graph();
+            new_ctx = Some(Arc::new(ctx));
+            shared
+                .counters
+                .graph_commits
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    // Fold write-logs. Cross-epoch logs no-op inside merge_delta (the
+    // graph-epoch guard), so a delta raced past a graph commit is
+    // harmless; count only the ones that belong to the current epoch.
+    let mut folded = 0u64;
     for delta in &deltas {
-        master.merge_delta(delta);
+        if delta.graph_epoch() == write.master.graph_epoch() {
+            write.master.merge_delta(delta);
+            folded += 1;
+        }
     }
-    let snapshot = Arc::new(master.clone());
-    let epoch = snapshot.epoch();
-    *shared.snapshot.write().expect("snapshot lock poisoned") = snapshot;
+
+    let index_epoch = write.master.epoch();
+    let graph_epoch = write.store.graph_epoch();
+    {
+        let mut live = shared.live.write().expect("live lock poisoned");
+        if let Some(ctx) = new_ctx {
+            live.ctx = ctx;
+            live.graph_epoch = graph_epoch;
+        }
+        live.snapshot = Arc::new(write.master.clone());
+    }
     if let Some(cache) = &shared.cache {
         cache
             .lock()
             .expect("cache lock poisoned")
-            .purge_stale(epoch);
+            .purge_stale(graph_epoch, index_epoch);
     }
     shared.counters.merges.fetch_add(1, Ordering::Relaxed);
     shared
         .counters
         .deltas_merged
-        .fetch_add(deltas.len() as u64, Ordering::Relaxed);
-    (epoch, deltas.len() as u64)
+        .fetch_add(folded, Ordering::Relaxed);
+    (index_epoch, folded)
 }
 
-fn merger_loop(shared: &Shared<'_>) {
+fn merger_loop(shared: &Shared) {
     let mut pending = shared.pending.lock().expect("pending lock poisoned");
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             break;
         }
-        let due = shared.config.merge_every > 0
-            && pending.queries_since_merge >= shared.config.merge_every
-            && !pending.deltas.is_empty();
-        if due {
+        if merge_is_due(shared, &pending) {
             drop(pending);
             merge_pending(shared);
             pending = shared.pending.lock().expect("pending lock poisoned");
@@ -605,7 +788,7 @@ fn merger_loop(shared: &Shared<'_>) {
     // last queries and silently drop their write-logs.
 }
 
-fn stats_snapshot(shared: &Shared<'_>) -> StatsReply {
+fn stats_snapshot(shared: &Shared) -> StatsReply {
     let (cache_hits, cache_misses, cache_evictions, cache_stale_evicted, cache_entries) =
         match &shared.cache {
             Some(cache) => {
@@ -615,6 +798,15 @@ fn stats_snapshot(shared: &Shared<'_>) -> StatsReply {
             }
             None => (0, 0, 0, 0, 0),
         };
+    let (epoch, graph_epoch, graph_nodes, graph_edges) = {
+        let live = shared.live.read().expect("live lock poisoned");
+        (
+            live.snapshot.epoch(),
+            live.graph_epoch,
+            live.ctx.graph().num_nodes() as u64,
+            live.ctx.graph().num_edges() as u64,
+        )
+    };
     StatsReply {
         queries: shared.counters.queries.load(Ordering::Relaxed),
         cache_hits,
@@ -623,16 +815,17 @@ fn stats_snapshot(shared: &Shared<'_>) -> StatsReply {
         cache_evictions,
         cache_stale_evicted,
         cache_capacity: shared.config.cache_capacity as u64,
-        epoch: shared
-            .snapshot
-            .read()
-            .expect("snapshot lock poisoned")
-            .epoch(),
+        epoch,
         merges: shared.counters.merges.load(Ordering::Relaxed),
         deltas_merged: shared.counters.deltas_merged.load(Ordering::Relaxed),
         workers: shared.config.workers as u64,
         partial_results: shared.counters.partial_results.load(Ordering::Relaxed),
         deadline_exceeded: shared.counters.deadline_exceeded.load(Ordering::Relaxed),
+        graph_epoch,
+        graph_commits: shared.counters.graph_commits.load(Ordering::Relaxed),
+        updates_applied: shared.counters.updates_applied.load(Ordering::Relaxed),
+        graph_nodes,
+        graph_edges,
     }
 }
 
@@ -676,6 +869,7 @@ mod tests {
         assert_eq!(first.entries.len(), 2);
         assert!(!first.cached);
         assert_eq!(first.epoch, 0);
+        assert_eq!(first.graph_epoch, 0);
 
         // repeat: served from cache, same entries
         let second = client.query(0, 2).unwrap();
@@ -701,10 +895,16 @@ mod tests {
         assert!(stats.cache_stale_evicted >= 1);
         assert_eq!(stats.epoch, epoch);
         assert_eq!(stats.merges, 1);
+        assert_eq!(stats.graph_epoch, 0, "query-only traffic never bumps it");
+        assert_eq!(stats.graph_commits, 0);
 
         client.shutdown().unwrap();
-        let final_index = handle.join();
-        assert!(final_index.rrd_entries() > 0, "served discoveries persist");
+        let outcome = handle.join();
+        assert!(
+            outcome.index.rrd_entries() > 0,
+            "served discoveries persist"
+        );
+        assert_eq!(outcome.graph_epoch, 0);
     }
 
     #[test]
@@ -823,6 +1023,247 @@ mod tests {
         writer.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
         reader.read_line(&mut line).unwrap();
         assert!(line.contains("bye"), "{line}");
+        handle.join();
+    }
+
+    #[test]
+    fn update_flush_changes_answers_and_epochs() {
+        let handle = spawn_grid(ServerConfig {
+            workers: 2,
+            cache_capacity: 16,
+            merge_every: 0, // commits only on flush → deterministic epochs
+            bounds: BoundConfig::ALL,
+        });
+        let mut client = Client::connect(handle.addr()).unwrap();
+
+        let before = client.query(0, 2).unwrap();
+        assert_eq!(before.graph_epoch, 0);
+        // warm the cache
+        assert!(client.query(0, 2).unwrap().cached);
+
+        // a new node at distance 0.01 from node 0 must enter its answer
+        let (staged, graph_epoch) = client
+            .update(&[
+                UpdateOp::AddNode,
+                UpdateOp::AddEdge {
+                    u: 4,
+                    v: 0,
+                    w: 0.01,
+                },
+            ])
+            .unwrap();
+        assert_eq!(staged, 2);
+        assert_eq!(graph_epoch, 0, "staged, not yet committed");
+        // staged updates are invisible until the flush commits them
+        assert!(client.query(0, 2).unwrap().cached, "cache still valid");
+
+        client.flush().unwrap();
+        let after = client.query(0, 2).unwrap();
+        assert_eq!(after.graph_epoch, 1);
+        assert!(!after.cached, "graph commit must strand every cached entry");
+        assert_ne!(
+            after.entries, before.entries,
+            "the new nearest neighbor must change the answer"
+        );
+        assert!(
+            after.entries.iter().any(|&(n, _)| n == 4),
+            "node 4 sits at distance 0.01 from the query node and must              enter the answer: {:?}",
+            after.entries
+        );
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.graph_epoch, 1);
+        assert_eq!(stats.graph_commits, 1);
+        assert_eq!(stats.updates_applied, 2);
+        assert_eq!(stats.graph_nodes, 5);
+        assert_eq!(stats.graph_edges, 6);
+
+        client.shutdown().unwrap();
+        let outcome = handle.join();
+        assert_eq!(outcome.graph_epoch, 1);
+        assert_eq!(outcome.graph.num_nodes(), 5);
+        assert_eq!(outcome.index.graph_epoch(), 1);
+    }
+
+    #[test]
+    fn invalid_updates_are_one_line_errors_and_stage_nothing() {
+        let handle = spawn_grid(ServerConfig {
+            workers: 1,
+            cache_capacity: 8,
+            merge_every: 0,
+            bounds: BoundConfig::ALL,
+        });
+        let mut client = Client::connect(handle.addr()).unwrap();
+
+        for (ops, needle) in [
+            (vec![UpdateOp::AddEdge { u: 1, v: 1, w: 1.0 }], "self-loop"),
+            (
+                vec![UpdateOp::AddEdge {
+                    u: 0,
+                    v: 99,
+                    w: 1.0,
+                }],
+                "out of bounds",
+            ),
+            (
+                vec![UpdateOp::AddEdge {
+                    u: 0,
+                    v: 2,
+                    w: -3.0,
+                }],
+                "invalid weight",
+            ),
+            (
+                vec![UpdateOp::AddEdge { u: 0, v: 1, w: 1.0 }],
+                "already exists",
+            ),
+            (vec![UpdateOp::RemoveEdge { u: 0, v: 2 }], "no edge"),
+            (
+                // the valid first op must roll back with the invalid second
+                vec![
+                    UpdateOp::AddEdge { u: 0, v: 2, w: 1.0 },
+                    UpdateOp::AddEdge { u: 2, v: 0, w: 5.0 },
+                ],
+                "already exists",
+            ),
+        ] {
+            let err = client.update(&ops).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "ops {ops:?}: expected '{needle}' in '{err}'"
+            );
+            // the connection survives and nothing was staged
+            assert!(client.stats().is_ok());
+        }
+        client.flush().unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.graph_epoch, 0, "rejected batches must not commit");
+        assert_eq!(stats.updates_applied, 0);
+
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    /// Regression: a batch whose ops collapse onto one staged delta
+    /// (remove X, re-add X) must not leave the staged counter with a
+    /// remainder that can never drain — that would wake the merger on
+    /// every cadence boundary forever.
+    #[test]
+    fn collapsed_update_batches_do_not_strand_the_staged_counter() {
+        let handle = spawn_grid(ServerConfig {
+            workers: 1,
+            cache_capacity: 8,
+            merge_every: 0,
+            bounds: BoundConfig::ALL,
+        });
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let (staged, _) = client
+            .update(&[
+                UpdateOp::RemoveEdge { u: 0, v: 1 },
+                UpdateOp::AddEdge { u: 0, v: 1, w: 7.0 },
+            ])
+            .unwrap();
+        assert_eq!(staged, 2, "both ops were accepted");
+        client.flush().unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(
+            stats.updates_applied, 1,
+            "the two ops collapsed onto one effective delta"
+        );
+        assert_eq!(stats.graph_epoch, 1, "the reweight-by-collapse committed");
+        // a second flush has nothing graph-side left to do
+        client.flush().unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.graph_epoch, 1);
+        assert_eq!(stats.graph_commits, 1);
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn cadence_commits_staged_updates_without_flush() {
+        let handle = spawn_grid(ServerConfig {
+            workers: 1,
+            cache_capacity: 8,
+            merge_every: 2,
+            bounds: BoundConfig::ALL,
+        });
+        let mut client = Client::connect(handle.addr()).unwrap();
+        client
+            .update(&[UpdateOp::Reweight { u: 0, v: 1, w: 9.0 }])
+            .unwrap();
+        // enough queries to trip the cadence; the merger commits the
+        // staged reweight without any explicit flush
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            for n in 0..4 {
+                client.query(n, 2).unwrap();
+            }
+            let stats = client.stats().unwrap();
+            if stats.graph_epoch >= 1 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "cadence never committed the staged update: {stats:?}"
+            );
+        }
+        client.shutdown().unwrap();
+        assert_eq!(handle.join().graph_epoch, 1);
+    }
+
+    /// Liveness: an update-only client (no query traffic at all) must
+    /// still see its staged updates commit when a cadence is configured —
+    /// updates are not allowed to wait for reads that may never come.
+    #[test]
+    fn updates_commit_without_query_traffic() {
+        let handle = spawn_grid(ServerConfig {
+            workers: 1,
+            cache_capacity: 8,
+            merge_every: 64,
+            bounds: BoundConfig::ALL,
+        });
+        let mut client = Client::connect(handle.addr()).unwrap();
+        client
+            .update(&[UpdateOp::RemoveEdge { u: 0, v: 1 }])
+            .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let stats = client.stats().unwrap();
+            if stats.graph_epoch == 1 {
+                assert_eq!(stats.queries, 0, "stats must not count as queries");
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "update never committed without query traffic: {stats:?}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        client.shutdown().unwrap();
+        assert_eq!(handle.join().graph_epoch, 1);
+    }
+
+    #[test]
+    fn bichromatic_servers_reject_updates() {
+        let g = grid();
+        let n = g.num_nodes();
+        let index = RkrIndex::empty(n, 16);
+        let partition = Partition::from_v2_nodes(n, &[NodeId(0), NodeId(1)]);
+        let handle = spawn(
+            g,
+            Some(partition),
+            index,
+            "127.0.0.1:0",
+            ServerConfig::default(),
+        )
+        .expect("bind loopback");
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let err = client
+            .update(&[UpdateOp::RemoveEdge { u: 0, v: 1 }])
+            .unwrap_err();
+        assert!(err.to_string().contains("bichromatic"), "{err}");
+        client.shutdown().unwrap();
         handle.join();
     }
 }

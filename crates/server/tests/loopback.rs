@@ -9,10 +9,11 @@ use std::collections::BTreeMap;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rkranks_core::{BoundConfig, EngineContext, QueryRequest, RkrIndex, Strategy};
+use rkranks_datasets::workload::default_update_stream;
 use rkranks_datasets::zipf::Zipf;
 use rkranks_datasets::{collab_graph, CollabParams};
-use rkranks_graph::Graph;
-use rkranks_server::{spawn, Client, ServerConfig};
+use rkranks_graph::{Graph, GraphStore};
+use rkranks_server::{spawn, Client, ServerConfig, UpdateOp};
 
 const K: u32 = 5;
 const K_MAX: u32 = 16;
@@ -129,7 +130,7 @@ fn concurrent_zipf_clients_match_query_dynamic() {
         }
 
         client.shutdown().expect("shutdown");
-        let learned = handle.join();
+        let learned = handle.join().index;
         assert!(learned.rrd_entries() > 0, "served queries teach the index");
         // the shutdown fold may absorb a few last deltas, never lose any
         assert!(learned.epoch() >= stats.epoch);
@@ -306,5 +307,183 @@ fn strategies_and_deadlines_over_the_wire() {
     );
 
     client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+/// The mixed read/write acceptance scenario: a daemon ingesting update
+/// batches stays rank-identical to a single-threaded in-process replay
+/// of the same batches through a `GraphStore`, phase by phase — and the
+/// graph/index epochs move exactly when they should: query-only traffic
+/// never bumps the graph epoch, every committed batch bumps it once, and
+/// each commit retires the index (its epoch restarts at 0).
+#[test]
+fn updates_match_single_threaded_replay() {
+    const PHASE_OPS: usize = 12;
+    const PHASES: usize = 3;
+
+    let g = test_graph();
+    let stream = default_update_stream(&g, PHASE_OPS * PHASES, 0xD1CE);
+    // Single-threaded replay: ground truth ranks per graph epoch.
+    let mut store = GraphStore::new(g.clone());
+    let mut expected = vec![expected_ranks(&g)];
+    for batch in stream.chunks(PHASE_OPS) {
+        let snap = store.apply(batch).expect("valid stream");
+        assert_eq!(
+            store.graph_epoch(),
+            expected.len() as u64,
+            "each generated batch must actually change the graph"
+        );
+        expected.push(expected_ranks(&snap));
+    }
+
+    let handle = spawn(
+        g,
+        None,
+        RkrIndex::empty(store.snapshot().num_nodes(), K_MAX),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: CLIENTS,
+            cache_capacity: 1024,
+            merge_every: 0, // commits land exactly at our flushes
+            bounds: BoundConfig::ALL,
+        },
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+    let mut ctl = Client::connect(addr).expect("connect ctl");
+
+    for (phase, batch) in std::iter::once(None)
+        .chain(stream.chunks(PHASE_OPS).map(Some))
+        .enumerate()
+    {
+        if let Some(batch) = batch {
+            let ops: Vec<UpdateOp> = batch.iter().map(|&d| d.into()).collect();
+            let (staged, pre_epoch) = ctl.update(&ops).expect("update");
+            assert_eq!(staged, ops.len() as u64);
+            assert_eq!(pre_epoch, phase as u64 - 1, "staging reports the old epoch");
+            ctl.flush().expect("flush commits the batch");
+            let stats = ctl.stats().expect("stats");
+            assert_eq!(stats.graph_epoch, phase as u64, "one bump per commit");
+            assert_eq!(
+                stats.epoch, 0,
+                "a graph commit must retire the index, not merge into it"
+            );
+            assert_eq!(stats.graph_commits, phase as u64);
+        }
+        let n_phase = expected[phase].len() as u32;
+        std::thread::scope(|s| {
+            for client_id in 0..CLIENTS {
+                let expected = &expected[phase];
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let workload =
+                        zipf_workload(n_phase, QUERIES_PER_CLIENT, 0xFADE ^ client_id as u64);
+                    for node in workload {
+                        let reply = client.query(node, K).expect("query");
+                        assert_eq!(
+                            reply.graph_epoch, phase as u64,
+                            "no in-between commits exist in this phase"
+                        );
+                        let got: Vec<u32> = reply.entries.iter().map(|&(_, r)| r).collect();
+                        assert_eq!(
+                            &got, &expected[&node],
+                            "phase {phase} node {node}: daemon diverged from replay                              (cached={})",
+                            reply.cached
+                        );
+                    }
+                });
+            }
+        });
+        // Query-only traffic must not move the graph epoch.
+        let stats = ctl.stats().expect("stats");
+        assert_eq!(stats.graph_epoch, phase as u64);
+        assert_eq!(stats.graph_commits, phase as u64);
+    }
+
+    // Zipf traffic repeats nodes, so caching worked in every phase; the
+    // cross-phase evictions prove no entry survived a graph commit.
+    let stats = ctl.stats().expect("stats");
+    assert!(stats.cache_hits > 0, "zipf repeats must hit within a phase");
+    assert!(
+        stats.cache_stale_evicted > 0,
+        "graph commits must purge the cache"
+    );
+
+    ctl.shutdown().expect("shutdown");
+    let outcome = handle.join();
+    assert_eq!(outcome.graph_epoch, PHASES as u64);
+    assert_eq!(*outcome.graph, *store.snapshot(), "daemon == replay graph");
+}
+
+/// Readers hammering *while* commits land: every reply must match the
+/// ground truth of the graph epoch it reports — a cache entry served
+/// across a graph-epoch bump would pair a new epoch with old ranks and
+/// fail the lookup below.
+#[test]
+fn concurrent_readers_stay_consistent_across_commits() {
+    const PHASE_OPS: usize = 10;
+    const PHASES: usize = 3;
+    const READERS: usize = 3;
+    const READS: usize = 80;
+
+    let g = test_graph();
+    let n = g.num_nodes();
+    let stream = default_update_stream(&g, PHASE_OPS * PHASES, 0xFEED);
+    let mut store = GraphStore::new(g.clone());
+    let mut expected = vec![expected_ranks(&g)];
+    for batch in stream.chunks(PHASE_OPS) {
+        let snap = store.apply(batch).expect("valid stream");
+        expected.push(expected_ranks(&snap));
+    }
+    assert_eq!(store.graph_epoch(), PHASES as u64);
+
+    let handle = spawn(
+        g,
+        None,
+        RkrIndex::empty(n, K_MAX),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: READERS + 1,
+            cache_capacity: 1024,
+            merge_every: 0,
+            bounds: BoundConfig::ALL,
+        },
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+
+    std::thread::scope(|s| {
+        for reader in 0..READERS {
+            let expected = &expected;
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                // query only the original nodes: they exist in every epoch
+                let workload = zipf_workload(n, READS, 0xACE ^ reader as u64);
+                for node in workload {
+                    let reply = client.query(node, K).expect("query");
+                    let truth = &expected[reply.graph_epoch as usize];
+                    let got: Vec<u32> = reply.entries.iter().map(|&(_, r)| r).collect();
+                    assert_eq!(
+                        &got, &truth[&node],
+                        "epoch {} node {node}: reply inconsistent with its own epoch                          (cached={})",
+                        reply.graph_epoch, reply.cached
+                    );
+                }
+            });
+        }
+        // the writer commits the phases while the readers run
+        let mut writer = Client::connect(addr).expect("connect writer");
+        for batch in stream.chunks(PHASE_OPS) {
+            let ops: Vec<UpdateOp> = batch.iter().map(|&d| d.into()).collect();
+            writer.update(&ops).expect("update");
+            writer.flush().expect("flush");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    });
+
+    let mut ctl = Client::connect(addr).expect("connect ctl");
+    let stats = ctl.stats().expect("stats");
+    assert_eq!(stats.graph_epoch, PHASES as u64);
+    ctl.shutdown().expect("shutdown");
     handle.join();
 }

@@ -34,6 +34,36 @@ echo "remote == in-process"
 "$RKR" query --remote "$ADDR" --node 5 --k 4 | grep -q 'cached: true'
 echo "cache hit observed"
 
+# live update round-trip: a new node at distance 0.01 from node 5 has
+# rank 1 and must change the answer (the ctl ops stage + flush, so the
+# commit is immediate)
+NODES="$("$RKR" stats "$WORK/g.edges" | awk '/^nodes:/ {print $2}')"
+"$RKR" ctl "$ADDR" add-node
+"$RKR" ctl "$ADDR" add-edge 5 "$NODES" 0.01
+"$RKR" query --remote "$ADDR" --node 5 --k 4 > "$WORK/remote2.full"
+grep -q 'graph epoch 2' "$WORK/remote2.full" || {
+    echo "two commits must reach graph epoch 2"; cat "$WORK/remote2.full"; exit 1; }
+grep -q 'cached: false' "$WORK/remote2.full" || {
+    echo "graph commit must strand the cached answer"; exit 1; }
+grep ' rank ' "$WORK/remote2.full" | sort > "$WORK/remote2.txt"
+if diff -q "$WORK/remote.txt" "$WORK/remote2.txt" >/dev/null; then
+    echo "the committed update did not change the answer"; exit 1
+fi
+# the post-update remote answer must match an in-process rebuild of the
+# updated edge list
+awk -v n=$((NODES + 1)) 'NR==1 {$2=n} {print}' "$WORK/g.edges" > "$WORK/g2.edges"
+echo "5 $NODES 0.01" >> "$WORK/g2.edges"
+"$RKR" query "$WORK/g2.edges" --node 5 --k 4 --algo dynamic | grep ' rank ' | sort > "$WORK/local2.txt"
+diff -u "$WORK/local2.txt" "$WORK/remote2.txt"
+echo "update round-trip == in-process rebuild"
+
+# batched updates from a file land too
+printf 'add-node\n' > "$WORK/ups.txt"
+"$RKR" update "$ADDR" --from "$WORK/ups.txt"
+"$RKR" ctl "$ADDR" stats | grep -q "($((NODES + 2)) nodes" || {
+    echo "rkr update --from did not land"; "$RKR" ctl "$ADDR" stats; exit 1; }
+echo "file-driven updates applied"
+
 "$RKR" ctl "$ADDR" stats
 "$RKR" ctl "$ADDR" flush
 "$RKR" ctl "$ADDR" shutdown

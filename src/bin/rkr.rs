@@ -15,6 +15,8 @@
 //! rkr serve <graph.edges> [--addr HOST:PORT] [--workers N] [--cache N] [--merge-every M]
 //!                 [--index index.rkri] [--kmax K] [--save-index]
 //! rkr ctl <HOST:PORT> stats|flush|shutdown
+//! rkr ctl <HOST:PORT> add-edge U V W | rm-edge U V | reweight U V W | add-node
+//! rkr update <HOST:PORT> --from FILE [--batch N] [--no-flush]
 //! ```
 //!
 //! `STRATEGY` is the unified `rkranks_core::Strategy` string form —
@@ -32,7 +34,12 @@
 //! index with delta merges. `serve` runs the `rkrd` daemon (see
 //! `rkranks_server`): a worker pool answering the line-delimited JSON
 //! protocol with an LRU result cache and epoch-based invalidation;
-//! `query --remote` and `ctl` are its clients.
+//! `query --remote` and `ctl` are its clients. The daemon's graph is
+//! *live*: `ctl add-edge`/`rm-edge`/`reweight`/`add-node` stage single
+//! updates and `rkr update --from FILE` streams a whole update file in
+//! batches; each commit publishes a fresh graph snapshot under a bumped
+//! graph epoch and retires the learned index (stale rank knowledge is
+//! unsound on a changed graph).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -60,9 +67,12 @@ const USAGE: &str = "usage:
   rkr serve <graph.edges> [--addr HOST:PORT] [--workers N] [--cache N] [--merge-every M]
             [--index FILE] [--kmax K] [--save-index]
   rkr ctl <HOST:PORT> stats|flush|shutdown
+  rkr ctl <HOST:PORT> add-edge U V W | rm-edge U V | reweight U V W | add-node
+  rkr update <HOST:PORT> --from FILE [--batch N] [--no-flush]
 
 STRATEGY: naive | static | dynamic[-parent|-height|-count|-three]
-        | indexed[-parent|-height|-count|-three]";
+        | indexed[-parent|-height|-count|-three]
+update files: one op per line — add U V W | rm U V | reweight U V W | add-node";
 
 fn main() -> ExitCode {
     match run(std::env::args().skip(1).collect()) {
@@ -135,6 +145,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         Some("batch") => cmd_batch(&flags),
         Some("serve") => cmd_serve(&flags),
         Some("ctl") => cmd_ctl(&flags),
+        Some("update") => cmd_update(&flags),
         _ => Err("missing or unknown command".into()),
     }
 }
@@ -242,14 +253,24 @@ fn cmd_batch(flags: &Flags) -> Result<(), String> {
             .get_parsed("threads", 0)
             .map(|t: usize| if t == 0 { runner::default_threads() } else { t })?;
     let queries = random_queries(&g, count, seed, |_| true);
+    // One Arc for the whole batch: the drivers share it instead of
+    // deep-cloning the CSR per call.
+    let g = std::sync::Arc::new(g);
     let strategy: Strategy = flags.get("algo").unwrap_or("dynamic").parse()?;
     // Index preparation happens outside the timed region so wall time and
     // throughput measure serving only, comparable across --algo values.
     let (out, detail, wall) = match strategy {
         Strategy::Naive | Strategy::Static | Strategy::Dynamic(_) => {
             let start = Instant::now();
-            let out =
-                run_batch(&g, None, &queries, k, strategy, threads).map_err(|e| e.to_string())?;
+            let out = run_batch(
+                std::sync::Arc::clone(&g),
+                None,
+                &queries,
+                k,
+                strategy,
+                threads,
+            )
+            .map_err(|e| e.to_string())?;
             (
                 out,
                 format!("{strategy}, {threads} threads"),
@@ -277,12 +298,22 @@ fn cmd_batch(flags: &Flags) -> Result<(), String> {
                         k_max: k.max(IndexParams::default().k_max),
                         ..Default::default()
                     };
-                    EngineContext::new(&g).build_index(&params).0
+                    EngineContext::new(std::sync::Arc::clone(&g))
+                        .build_index(&params)
+                        .0
                 }
             };
             let start = Instant::now();
-            let out = run_indexed_batch(&g, None, &mut index, &queries, k, bounds, mode)
-                .map_err(|e| e.to_string())?;
+            let out = run_indexed_batch(
+                std::sync::Arc::clone(&g),
+                None,
+                &mut index,
+                &queries,
+                k,
+                bounds,
+                mode,
+            )
+            .map_err(|e| e.to_string())?;
             (out, format!("{strategy} {mode:?}"), start.elapsed())
         }
     };
@@ -371,15 +402,133 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         },
         index.k_max(),
     );
-    let final_index = rkranks_server::serve(&g, None, index, listener, &config);
+    let outcome = rkranks_server::serve(g, None, index, listener, &config);
     println!(
-        "rkrd stopped (epoch {}, {} rrd entries learned)",
-        final_index.epoch(),
-        final_index.rrd_entries()
+        "rkrd stopped (graph epoch {}, {} nodes / {} edges, index epoch {}, {} rrd entries learned)",
+        outcome.graph_epoch,
+        outcome.graph.num_nodes(),
+        outcome.graph.num_edges(),
+        outcome.index.epoch(),
+        outcome.index.rrd_entries()
     );
     if let Some(path) = save_path {
-        save_index(&final_index, &path).map_err(|e| e.to_string())?;
-        println!("learned index written back to {path}");
+        if outcome.graph_epoch > 0 {
+            // The learned index is a set of rank claims about the *final*
+            // graph, and the index file format carries no graph tag —
+            // reloading it against the original edge file would serve
+            // unsound exact-rank hits and check prunes (see
+            // RkrIndex::merge_delta). Refuse the silent mismatch.
+            eprintln!(
+                "warning: not writing the learned index back to {path}: the graph                  absorbed {} update commit(s) (graph epoch {}), so the index no                  longer matches the input edge file",
+                outcome.index.graph_epoch().max(outcome.graph_epoch),
+                outcome.graph_epoch
+            );
+        } else {
+            save_index(&outcome.index, &path).map_err(|e| e.to_string())?;
+            println!("learned index written back to {path}");
+        }
+    }
+    Ok(())
+}
+
+/// Parse the positional tail of a `ctl` update op into one wire op.
+fn parse_ctl_update(op: &str, args: &[String]) -> Result<rkranks_server::UpdateOp, String> {
+    use rkranks_server::UpdateOp;
+    let node = |i: usize| -> Result<u32, String> {
+        args.get(i)
+            .ok_or_else(|| format!("{op} is missing a node id"))?
+            .parse()
+            .map_err(|_| format!("bad node id '{}'", args[i]))
+    };
+    let weight = |i: usize| -> Result<f64, String> {
+        args.get(i)
+            .ok_or_else(|| format!("{op} is missing a weight"))?
+            .parse()
+            .map_err(|_| format!("bad weight '{}'", args[i]))
+    };
+    match op {
+        "add-edge" => Ok(UpdateOp::AddEdge {
+            u: node(0)?,
+            v: node(1)?,
+            w: weight(2)?,
+        }),
+        "rm-edge" => Ok(UpdateOp::RemoveEdge {
+            u: node(0)?,
+            v: node(1)?,
+        }),
+        "reweight" => Ok(UpdateOp::Reweight {
+            u: node(0)?,
+            v: node(1)?,
+            w: weight(2)?,
+        }),
+        "add-node" => Ok(UpdateOp::AddNode),
+        other => Err(format!("unknown ctl operation '{other}'")),
+    }
+}
+
+/// Parse one line of an update file (`rkr update --from FILE`).
+fn parse_update_line(line: &str) -> Result<rkranks_server::UpdateOp, String> {
+    let fields: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+    let (op, rest) = fields.split_first().ok_or("empty update line")?;
+    // The file spells ops like the wire ("add"/"rm"), the ctl like flags
+    // ("add-edge"/"rm-edge"); accept both spellings in both places.
+    let op = match op.as_str() {
+        "add" => "add-edge",
+        "rm" => "rm-edge",
+        other => other,
+    };
+    parse_ctl_update(op, rest)
+}
+
+fn cmd_update(flags: &Flags) -> Result<(), String> {
+    let addr = flags.positional.get(1).ok_or("update needs a HOST:PORT")?;
+    let path = flags.get("from").ok_or("update needs --from FILE")?;
+    // Default: the whole file in ONE update request, so the server's
+    // all-or-nothing batch validation covers the entire stream. An
+    // explicit --batch opts into chunked requests for huge streams —
+    // atomic per chunk only, so a mid-stream rejection leaves earlier
+    // chunks staged (the error message then says so).
+    let batch: usize = flags.get_parsed("batch", usize::MAX)?;
+    if batch == 0 {
+        return Err("--batch must be at least 1".into());
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut ops = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        ops.push(parse_update_line(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?);
+    }
+    if ops.is_empty() {
+        return Err(format!("{path} contains no update ops"));
+    }
+    let mut client =
+        Client::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut staged_total = 0u64;
+    for chunk in ops.chunks(batch) {
+        let (staged, _) = client.update(chunk).map_err(|e| {
+            if staged_total > 0 {
+                format!(
+                    "{e} ({staged_total} updates from earlier --batch chunks remain staged \
+                     and will commit at the daemon's next merge point)"
+                )
+            } else {
+                format!("{e} (nothing was staged)")
+            }
+        })?;
+        staged_total += staged;
+    }
+    if flags.has("no-flush") {
+        println!("staged {staged_total} updates (commit at the daemon's next merge point)");
+    } else {
+        client.flush().map_err(|e| e.to_string())?;
+        let stats = client.stats().map_err(|e| e.to_string())?;
+        println!(
+            "applied {staged_total} updates (graph epoch {}, {} nodes / {} edges)",
+            stats.graph_epoch, stats.graph_nodes, stats.graph_edges
+        );
     }
     Ok(())
 }
@@ -404,7 +553,15 @@ fn cmd_ctl(flags: &Flags) -> Result<(), String> {
                 "evictions:      {} lru, {} stale",
                 s.cache_evictions, s.cache_stale_evicted
             );
-            println!("epoch:          {}", s.epoch);
+            println!(
+                "graph:          epoch {} ({} nodes, {} edges)",
+                s.graph_epoch, s.graph_nodes, s.graph_edges
+            );
+            println!(
+                "updates:        {} applied over {} commits",
+                s.updates_applied, s.graph_commits
+            );
+            println!("index epoch:    {}", s.epoch);
             println!(
                 "merges:         {} ({} deltas folded)",
                 s.merges, s.deltas_merged
@@ -413,13 +570,24 @@ fn cmd_ctl(flags: &Flags) -> Result<(), String> {
         }
         "flush" => {
             let (epoch, merged) = client.flush().map_err(|e| e.to_string())?;
-            println!("flushed {merged} deltas (epoch {epoch})");
+            println!("flushed {merged} deltas (index epoch {epoch})");
         }
         "shutdown" => {
             client.shutdown().map_err(|e| e.to_string())?;
             println!("rkrd at {addr} shut down");
         }
-        other => return Err(format!("unknown ctl operation '{other}'")),
+        op => {
+            // single-op update path: stage it, then flush so the effect
+            // is visible to the next query
+            let update = parse_ctl_update(op, &flags.positional[3..])?;
+            client.update(&[update]).map_err(|e| e.to_string())?;
+            client.flush().map_err(|e| e.to_string())?;
+            let stats = client.stats().map_err(|e| e.to_string())?;
+            println!(
+                "applied {op} (graph epoch {}, {} nodes / {} edges)",
+                stats.graph_epoch, stats.graph_nodes, stats.graph_edges
+            );
+        }
     }
     Ok(())
 }
@@ -463,9 +631,11 @@ fn cmd_query_remote(flags: &Flags, addr: &str) -> Result<(), String> {
         .query_opts(node, k, &opts)
         .map_err(|e| e.to_string())?;
     println!(
-        "reverse {k}-ranks of node {node} (remote {addr}, {:.2?}, cached: {}, epoch {}{}):",
+        "reverse {k}-ranks of node {node} (remote {addr}, {:.2?}, cached: {}, graph epoch {}, \
+         index epoch {}{}):",
         start.elapsed(),
         reply.cached,
+        reply.graph_epoch,
         reply.epoch,
         if reply.partial {
             ", PARTIAL (deadline exceeded)"
@@ -506,7 +676,7 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
     if flags.has("trace") {
         req = req.with_trace();
     }
-    let mut engine = QueryEngine::new(&g);
+    let mut engine = QueryEngine::new(g);
     let start = Instant::now();
     let (outcome, index_to_save): (QueryOutcome, Option<RkrIndex>) = if strategy.needs_index() {
         let mut index = match flags.get("index") {

@@ -98,8 +98,78 @@ fn remote_queries_match_in_process_and_shutdown_is_clean() {
     let stats = rkr_ok(&dir, &["ctl", &addr, "stats"]);
     assert!(stats.contains("queries:"), "{stats}");
     assert!(stats.contains("epoch:"), "{stats}");
+    assert!(stats.contains("graph:"), "{stats}");
     let flush = rkr_ok(&dir, &["ctl", &addr, "flush"]);
     assert!(flush.contains("epoch"), "{flush}");
+
+    // live update round-trip: a new node at distance 0.01 from node 17
+    // has rank 1 and must change that query's answer (mirrors the
+    // scripts/serve_smoke.sh scenario)
+    let before = parse_result(&rkr_ok(
+        &dir,
+        &["query", "--remote", &addr, "--node", "17", "--k", "4"],
+    ));
+    let graph_stats = rkr_ok(&dir, &["stats", "g.edges"]);
+    let nodes: u32 = graph_stats
+        .lines()
+        .find_map(|l| l.strip_prefix("nodes:"))
+        .expect("stats prints the node count")
+        .trim()
+        .parse()
+        .unwrap();
+    rkr_ok(&dir, &["ctl", &addr, "add-node"]);
+    rkr_ok(
+        &dir,
+        &["ctl", &addr, "add-edge", "17", &nodes.to_string(), "0.01"],
+    );
+    let after_raw = rkr_ok(
+        &dir,
+        &["query", "--remote", &addr, "--node", "17", "--k", "4"],
+    );
+    assert!(
+        after_raw.contains("graph epoch 2"),
+        "two ctl commits must reach graph epoch 2:\n{after_raw}"
+    );
+    assert!(
+        after_raw.contains("cached: false"),
+        "a graph commit must strand the cached answer:\n{after_raw}"
+    );
+    let after = parse_result(&after_raw);
+    assert_ne!(before, after, "the committed update must change the answer");
+    assert!(
+        after.contains_key(&nodes),
+        "the new nearest node must enter the result: {after:?}"
+    );
+    // ...and the updated daemon must agree with an in-process rebuild of
+    // the updated edge list
+    let edges = std::fs::read_to_string(dir.join("g.edges")).unwrap();
+    let mut lines = edges.lines();
+    let header = lines.next().unwrap();
+    let mut rebuilt = format!("undirected {}\n", nodes + 1);
+    assert!(header.starts_with("undirected"), "{header}");
+    for l in lines {
+        rebuilt.push_str(l);
+        rebuilt.push('\n');
+    }
+    rebuilt.push_str(&format!("17 {nodes} 0.01\n"));
+    std::fs::write(dir.join("g2.edges"), rebuilt).unwrap();
+    let local = parse_result(&rkr_ok(
+        &dir,
+        &[
+            "query", "g2.edges", "--node", "17", "--k", "4", "--algo", "dynamic",
+        ],
+    ));
+    assert_equivalent("post-update node 17", &after, &local);
+
+    // file-driven batched updates land too
+    std::fs::write(dir.join("ups.txt"), "add-node\n").unwrap();
+    let update_out = rkr_ok(&dir, &["update", &addr, "--from", "ups.txt"]);
+    assert!(update_out.contains("applied 1 updates"), "{update_out}");
+    let stats = rkr_ok(&dir, &["ctl", &addr, "stats"]);
+    assert!(
+        stats.contains(&format!("({} nodes", nodes + 2)),
+        "rkr update --from did not land:\n{stats}"
+    );
 
     // clean shutdown: the ctl op succeeds and the daemon exits 0
     rkr_ok(&dir, &["ctl", &addr, "shutdown"]);

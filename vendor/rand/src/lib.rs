@@ -152,6 +152,17 @@ macro_rules! impl_sample_range_float {
                 self.start + u * (self.end - self.start)
             }
         }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                // Like the real crate, the closed upper bound of a float
+                // range is reachable only up to rounding; a degenerate
+                // lo == hi range is still legal and constant.
+                lo + <$t as StandardUniform>::sample(rng) * (hi - lo)
+            }
+        }
     )*};
 }
 
