@@ -375,6 +375,17 @@ impl RkrIndex {
         self.graph_epoch = e;
     }
 
+    /// Restore the version counter ([`RkrIndex::epoch`]) to `e`.
+    ///
+    /// Only snapshot restore uses this: the epoch is runtime state keying
+    /// serving-side caches, and a restarted daemon that resumes at the
+    /// persisted epoch keeps the "unchanged epoch ⇒ unchanged index"
+    /// guarantee across the restart. Everything else lets the counter
+    /// advance through [`RkrIndex::merge_delta`] alone.
+    pub fn set_epoch(&mut self, e: u64) {
+        self.epoch = e;
+    }
+
     /// The hub nodes used at build time.
     pub fn hubs(&self) -> &[NodeId] {
         &self.hubs

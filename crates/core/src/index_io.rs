@@ -12,21 +12,54 @@
 //! R <target> <source> <rank>
 //! ```
 //!
+//! ### The `v2` header and the graph-epoch tag
+//!
+//! A `v1` file carries no statement about *which* graph its ranks were
+//! measured on — fine for indexes built against a static edge file, and a
+//! silent-mismatch hazard the moment the serving graph absorbs live
+//! updates. Indexes whose [`RkrIndex::graph_epoch`] is non-zero therefore
+//! serialize with a `v2` header that carries the tag:
+//!
+//! ```text
+//! rkr-index v2 <num_nodes> <k_max> <graph_epoch>
+//! ```
+//!
+//! Record lines are identical in both versions. [`write_index`] emits `v1`
+//! whenever `graph_epoch == 0` (so epoch-0 files stay byte-identical to
+//! what older readers expect) and `v2` otherwise; [`read_index`] accepts
+//! both, restoring the tag. Callers that pair a loaded index with a plain
+//! edge file must refuse `graph_epoch > 0` indexes — those belong inside a
+//! snapshot bundle ([`crate::snapshot`]) where the matching graph travels
+//! alongside.
+//!
 //! Loading validates structure (ids in range, ranks ≥ 1, list caps) so a
 //! corrupted file cannot produce an index that silently mis-prunes.
+//! [`save_index`] writes atomically ([`rkranks_graph::write_atomic`]):
+//! a crash mid-save never truncates the previous good file.
 
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use rkranks_graph::{GraphError, NodeId, Result};
+use rkranks_graph::{write_atomic, GraphError, NodeId, Result};
 
 use crate::index::RkrIndex;
 
-/// Serialize an index.
+/// Serialize an index (`v1` header when `graph_epoch == 0`, `v2`
+/// otherwise; see the module docs).
 pub fn write_index<W: Write>(index: &RkrIndex, out: W) -> Result<()> {
     let mut w = BufWriter::new(out);
-    writeln!(w, "rkr-index v1 {} {}", index.num_nodes(), index.k_max())?;
+    if index.graph_epoch() == 0 {
+        writeln!(w, "rkr-index v1 {} {}", index.num_nodes(), index.k_max())?;
+    } else {
+        writeln!(
+            w,
+            "rkr-index v2 {} {} {}",
+            index.num_nodes(),
+            index.k_max(),
+            index.graph_epoch()
+        )?;
+    }
     if !index.hubs().is_empty() {
         write!(w, "H")?;
         for h in index.hubs() {
@@ -46,9 +79,10 @@ pub fn write_index<W: Write>(index: &RkrIndex, out: W) -> Result<()> {
     Ok(())
 }
 
-/// Save an index to a file.
+/// Save an index to a file (atomically; see
+/// [`rkranks_graph::write_atomic`]).
 pub fn save_index<P: AsRef<Path>>(index: &RkrIndex, path: P) -> Result<()> {
-    write_index(index, File::create(path)?)
+    write_atomic(path, |w| write_index(index, w))
 }
 
 /// Deserialize an index.
@@ -60,7 +94,7 @@ pub fn read_index<R: Read>(input: R) -> Result<RkrIndex> {
         message,
     };
 
-    let (num_nodes, k_max) = loop {
+    let (num_nodes, k_max, graph_epoch) = loop {
         let (idx, line) = lines
             .next()
             .ok_or_else(|| parse_err(0, "empty index file".into()))
@@ -70,12 +104,18 @@ pub fn read_index<R: Read>(input: R) -> Result<RkrIndex> {
             continue;
         }
         let mut parts = t.split_whitespace();
-        if parts.next() != Some("rkr-index") || parts.next() != Some("v1") {
-            return Err(parse_err(
-                idx,
-                "expected 'rkr-index v1 <nodes> <k_max>' header".into(),
-            ));
-        }
+        let version = match (parts.next(), parts.next()) {
+            (Some("rkr-index"), Some("v1")) => 1,
+            (Some("rkr-index"), Some("v2")) => 2,
+            _ => {
+                return Err(parse_err(
+                    idx,
+                    "expected 'rkr-index v1 <nodes> <k_max>' or \
+                     'rkr-index v2 <nodes> <k_max> <graph_epoch>' header"
+                        .into(),
+                ))
+            }
+        };
         let n: u32 = parts
             .next()
             .and_then(|s| s.parse().ok())
@@ -84,10 +124,21 @@ pub fn read_index<R: Read>(input: R) -> Result<RkrIndex> {
             .next()
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| parse_err(idx, "bad k_max".into()))?;
-        break (n, k);
+        // v1 files predate live graphs: their knowledge belongs to
+        // whatever static graph the caller pairs them with (epoch 0).
+        let ge: u64 = if version == 1 {
+            0
+        } else {
+            parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| parse_err(idx, "bad graph epoch".into()))?
+        };
+        break (n, k, ge);
     };
 
     let mut index = RkrIndex::empty(num_nodes, k_max);
+    index.set_graph_epoch(graph_epoch);
     let in_range = |line: usize, v: u32| {
         if v < num_nodes {
             Ok(NodeId(v))
@@ -305,6 +356,56 @@ mod tests {
         let idx = read_index(text.as_bytes()).unwrap();
         assert_eq!(idx.check(NodeId(1)), 4);
         assert_eq!(idx.lookup(NodeId(0), NodeId(1)), Some(2));
+    }
+
+    /// Epoch-0 indexes keep writing the `v1` header — old files and old
+    /// readers stay compatible — while a non-zero graph epoch switches to
+    /// `v2` and survives the round trip.
+    #[test]
+    fn graph_epoch_round_trips_through_the_v2_header() {
+        let mut idx = sample_index();
+        assert_eq!(idx.graph_epoch(), 0);
+        let mut buf = Vec::new();
+        write_index(&idx, &mut buf).unwrap();
+        assert!(buf.starts_with(b"rkr-index v1 "), "epoch 0 must stay v1");
+
+        idx.set_graph_epoch(3);
+        let mut buf = Vec::new();
+        write_index(&idx, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(
+            text.starts_with(&format!(
+                "rkr-index v2 {} {} 3\n",
+                idx.num_nodes(),
+                idx.k_max()
+            )),
+            "unexpected v2 header: {}",
+            text.lines().next().unwrap()
+        );
+        let back = read_index(&buf[..]).unwrap();
+        assert_eq!(back.graph_epoch(), 3);
+        assert_eq!(back.rrd_entries(), idx.rrd_entries());
+    }
+
+    #[test]
+    fn v1_files_load_at_graph_epoch_zero() {
+        let text = "rkr-index v1 3 2\nC 1 4\nR 0 1 2\n";
+        let idx = read_index(text.as_bytes()).unwrap();
+        assert_eq!(idx.graph_epoch(), 0);
+        assert_eq!(idx.check(NodeId(1)), 4);
+    }
+
+    #[test]
+    fn v2_header_is_validated() {
+        // missing epoch field
+        assert!(read_index("rkr-index v2 5 3\n".as_bytes()).is_err());
+        // numeric garbage in the epoch field
+        assert!(read_index("rkr-index v2 5 3 soon\n".as_bytes()).is_err());
+        // unknown versions are rejected outright
+        assert!(read_index("rkr-index v3 5 3 1\n".as_bytes()).is_err());
+        // well-formed v2 loads
+        let idx = read_index("rkr-index v2 5 3 9\nC 1 2\n".as_bytes()).unwrap();
+        assert_eq!(idx.graph_epoch(), 9);
     }
 
     #[test]

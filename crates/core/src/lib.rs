@@ -64,6 +64,7 @@ pub mod request;
 pub mod result;
 pub mod scratch;
 pub mod simrank;
+pub mod snapshot;
 pub mod spec;
 pub mod stats;
 pub mod topk_baseline;
@@ -78,6 +79,7 @@ pub use index::{HubStrategy, IndexAccess, IndexBuildStats, IndexDelta, IndexPara
 pub use index_io::{load_index, read_index, save_index, write_index};
 pub use request::{Completion, PartialReason, QueryOutcome, QueryRequest, Strategy};
 pub use result::{QueryResult, ResultEntry, TopKCollector};
+pub use snapshot::{load_snapshot, read_snapshot, save_snapshot, write_snapshot};
 pub use spec::{Partition, QuerySpec};
 pub use stats::{BoundWins, MeanStats, QueryStats};
 pub use trace::{PopDecision, QueryTrace, TraceEvent};

@@ -39,9 +39,54 @@ pub fn write_graph<W: Write>(graph: &Graph, out: W) -> Result<()> {
     Ok(())
 }
 
-/// Save a graph to a file.
+/// Save a graph to a file (atomically; see [`write_atomic`]).
 pub fn save_graph<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<()> {
-    write_graph(graph, File::create(path)?)
+    write_atomic(path, |w| write_graph(graph, w))
+}
+
+/// Write a file atomically: stream through `write` into a temp file in
+/// the same directory, fsync, and rename over `path`.
+///
+/// A crash mid-write therefore never clobbers the previous good state
+/// with a truncated file — the destination is either the old contents or
+/// the complete new ones. All the persistence entry points
+/// ([`save_graph`], the index and snapshot writers in `rkranks-core`)
+/// funnel through here.
+pub fn write_atomic<P, F>(path: P, write: F) -> Result<()>
+where
+    P: AsRef<Path>,
+    F: FnOnce(&mut dyn Write) -> Result<()>,
+{
+    let path = path.as_ref();
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let name = path.file_name().ok_or_else(|| {
+        GraphError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("not a file path: {}", path.display()),
+        ))
+    })?;
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}",
+        name.to_string_lossy(),
+        std::process::id()
+    ));
+    let result = (|| {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        write(&mut w)?;
+        w.flush()?;
+        w.into_inner()
+            .map_err(|e| GraphError::Io(e.into_error()))?
+            .sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// Parse a graph from the text format.
@@ -209,5 +254,37 @@ mod tests {
         let g2 = load_graph(&path).unwrap();
         assert_eq!(g, g2);
         std::fs::remove_file(&path).ok();
+    }
+
+    /// An interrupted write must leave the previous file intact and no
+    /// temp debris behind — the whole point of [`write_atomic`].
+    #[test]
+    fn failed_atomic_write_preserves_previous_contents() {
+        let dir = std::env::temp_dir().join(format!("rkranks-io-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.txt");
+        std::fs::write(&path, "good state\n").unwrap();
+
+        let err = write_atomic(&path, |w| {
+            w.write_all(b"partial garbage")?;
+            Err(GraphError::Parse {
+                line: 1,
+                message: "simulated crash mid-write".into(),
+            })
+        })
+        .unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "good state\n");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp debris left: {leftovers:?}");
+
+        // and a successful write replaces the contents
+        write_atomic(&path, |w| Ok(w.write_all(b"new state\n")?)).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "new state\n");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

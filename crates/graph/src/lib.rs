@@ -56,6 +56,7 @@ pub use dijkstra::{
 pub use error::{GraphError, Result};
 pub use graph::Graph;
 pub use heap::{IndexedHeap, PushOutcome};
+pub use io::{load_graph, read_graph, save_graph, write_atomic, write_graph};
 pub use node::NodeId;
 pub use rank::{rank_between, rank_matrix, RankCounter};
 pub use store::{GraphDelta, GraphStore};

@@ -71,6 +71,76 @@ pub enum GraphDelta {
     },
 }
 
+impl GraphDelta {
+    /// One-line write-ahead-log encoding, the shape the snapshot bundle's
+    /// `wal` section stores staged-but-uncommitted deltas in:
+    ///
+    /// ```text
+    /// add-node
+    /// add <u> <v> <w>
+    /// rm <u> <v>
+    /// reweight <u> <v> <w>
+    /// ```
+    ///
+    /// Weights use Rust's shortest-round-trip float formatting, so
+    /// [`GraphDelta::parse_wal_line`] recovers them bit-exactly.
+    pub fn to_wal_line(self) -> String {
+        match self {
+            GraphDelta::AddNode => "add-node".into(),
+            GraphDelta::AddEdge { u, v, w } => format!("add {u} {v} {w}"),
+            GraphDelta::RemoveEdge { u, v } => format!("rm {u} {v}"),
+            GraphDelta::Reweight { u, v, w } => format!("reweight {u} {v} {w}"),
+        }
+    }
+
+    /// Parse one WAL line (inverse of [`GraphDelta::to_wal_line`]).
+    /// `line_no` is the 1-based line number reported on parse errors.
+    pub fn parse_wal_line(text: &str, line_no: usize) -> Result<GraphDelta> {
+        let parse_err = |message: String| GraphError::Parse {
+            line: line_no,
+            message,
+        };
+        let mut parts = text.split_whitespace();
+        let op = parts
+            .next()
+            .ok_or_else(|| parse_err("empty WAL record".into()))?;
+        let mut node = |what: &str| -> Result<u32> {
+            parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| parse_err(format!("bad {what}")))
+        };
+        let delta = match op {
+            "add-node" => GraphDelta::AddNode,
+            "add" => {
+                let (u, v) = (node("source node")?, node("target node")?);
+                let w = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err("bad weight".into()))?;
+                GraphDelta::AddEdge { u, v, w }
+            }
+            "rm" => GraphDelta::RemoveEdge {
+                u: node("source node")?,
+                v: node("target node")?,
+            },
+            "reweight" => {
+                let (u, v) = (node("source node")?, node("target node")?);
+                let w = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err("bad weight".into()))?;
+                GraphDelta::Reweight { u, v, w }
+            }
+            other => return Err(parse_err(format!("unknown WAL op '{other}'"))),
+        };
+        if parts.next().is_some() {
+            return Err(parse_err("trailing tokens".into()));
+        }
+        Ok(delta)
+    }
+}
+
 /// Owner of a live graph: canonical edge set + staged deltas, publishing
 /// immutable epoch-tagged [`Graph`] snapshots.
 ///
@@ -129,6 +199,43 @@ impl GraphStore {
             snapshot: Arc::new(graph),
             epoch: 0,
         }
+    }
+
+    /// Rebuild a store from persisted state: `graph` becomes the current
+    /// snapshot at graph epoch `epoch` (instead of [`GraphStore::new`]'s
+    /// epoch 0). This is the snapshot-restore entry point — a restarted
+    /// daemon resumes exactly where the persisted store left off, so
+    /// epoch-tagged artifacts (indexes, cached results) stay valid.
+    pub fn restore(graph: Graph, epoch: u64) -> GraphStore {
+        let mut store = GraphStore::new(graph);
+        store.epoch = epoch;
+        store
+    }
+
+    /// The staged-but-uncommitted state as a replayable [`GraphDelta`]
+    /// batch: applying the returned batch (via [`GraphStore::stage_all`])
+    /// to a store holding only this store's *committed* state reproduces
+    /// the effective (committed + staged) state. This is what the snapshot
+    /// bundle persists as its WAL section.
+    ///
+    /// The batch is normalized, not a history: net no-ops (an edge added
+    /// and removed without an intervening commit) vanish, and staged
+    /// overwrites of committed edges come out as reweights.
+    pub fn staged_deltas(&self) -> Vec<GraphDelta> {
+        let mut wal = Vec::with_capacity(self.pending_deltas());
+        // Nodes first: staged edges may reference staged node ids.
+        wal.extend((0..self.staged_new_nodes).map(|_| GraphDelta::AddNode));
+        for (&(u, v), &overlay) in &self.staged {
+            let committed = self.edges.contains_key(&(u, v));
+            match overlay {
+                Some(w) if committed => wal.push(GraphDelta::Reweight { u, v, w }),
+                Some(w) => wal.push(GraphDelta::AddEdge { u, v, w }),
+                None if committed => wal.push(GraphDelta::RemoveEdge { u, v }),
+                // Staged add later staged away again: net no-op.
+                None => {}
+            }
+        }
+        wal
     }
 
     /// The current published snapshot (cheap `Arc` clone; never reflects
@@ -577,6 +684,82 @@ mod tests {
             .unwrap();
         assert!(!store.contains_edge(0, 1));
         assert!(store.contains_edge(1, 0));
+    }
+
+    #[test]
+    fn restore_pins_the_given_epoch() {
+        let store = GraphStore::restore(diamond(), 7);
+        assert_eq!(store.graph_epoch(), 7);
+        assert_eq!(*store.snapshot(), diamond());
+        // commits keep counting from the restored epoch
+        let mut store = store;
+        store
+            .apply(&[GraphDelta::AddEdge { u: 1, v: 2, w: 0.5 }])
+            .unwrap();
+        assert_eq!(store.graph_epoch(), 8);
+    }
+
+    #[test]
+    fn staged_deltas_replay_to_the_same_effective_state() {
+        let mut store = GraphStore::new(diamond());
+        store
+            .stage_all(&[
+                GraphDelta::AddNode,
+                GraphDelta::AddEdge { u: 4, v: 0, w: 0.5 },
+                GraphDelta::RemoveEdge { u: 2, v: 3 },
+                GraphDelta::Reweight { u: 0, v: 1, w: 9.0 },
+                // add-then-remove nets out to nothing
+                GraphDelta::AddEdge { u: 1, v: 2, w: 1.0 },
+                GraphDelta::RemoveEdge { u: 1, v: 2 },
+            ])
+            .unwrap();
+        let wal = store.staged_deltas();
+        let mut replayed = GraphStore::new(diamond());
+        replayed.stage_all(&wal).unwrap();
+        assert_eq!(*replayed.commit(), *store.commit());
+        assert_eq!(replayed.graph_epoch(), store.graph_epoch());
+    }
+
+    #[test]
+    fn wal_lines_round_trip() {
+        let deltas = [
+            GraphDelta::AddNode,
+            GraphDelta::AddEdge {
+                u: 1,
+                v: 2,
+                w: 0.30000000000000004, // bit-exactness matters
+            },
+            GraphDelta::RemoveEdge { u: 3, v: 4 },
+            GraphDelta::Reweight {
+                u: 5,
+                v: 6,
+                w: 1e-9,
+            },
+        ];
+        for d in deltas {
+            let line = d.to_wal_line();
+            assert_eq!(GraphDelta::parse_wal_line(&line, 1).unwrap(), d, "{line}");
+        }
+    }
+
+    #[test]
+    fn wal_parse_errors_are_one_liners() {
+        for bad in [
+            "",
+            "frobnicate 1 2",
+            "add 1 2",        // missing weight
+            "add 1 2 x",      // bad weight
+            "rm 1",           // missing target
+            "reweight 1 2",   // missing weight
+            "add 1 2 0.5 9",  // trailing tokens
+            "add-node extra", // trailing tokens
+        ] {
+            let err = GraphDelta::parse_wal_line(bad, 3).unwrap_err();
+            match err {
+                GraphError::Parse { line, .. } => assert_eq!(line, 3, "{bad:?}"),
+                other => panic!("expected parse error for {bad:?}, got {other:?}"),
+            }
+        }
     }
 
     #[test]

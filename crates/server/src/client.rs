@@ -184,6 +184,18 @@ impl Client {
         }
     }
 
+    /// Ask the daemon to persist its serving state as a snapshot bundle
+    /// (staged-but-uncommitted updates land in the bundle's WAL; nothing
+    /// is merged or committed); returns `(epoch, graph_epoch)` — the
+    /// epoch pair the bundle on disk now holds. Fails with a server
+    /// error on daemons running without a snapshot path.
+    pub fn checkpoint(&mut self) -> Result<(u64, u64), ClientError> {
+        match self.round_trip(&Request::Checkpoint)? {
+            Reply::Checkpoint { epoch, graph_epoch } => Ok((epoch, graph_epoch)),
+            other => Err(unexpected("checkpoint", &other)),
+        }
+    }
+
     /// Ask the daemon to shut down; consumes the client (the server
     /// closes the connection after acknowledging).
     pub fn shutdown(mut self) -> Result<(), ClientError> {

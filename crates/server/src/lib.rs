@@ -25,7 +25,14 @@
 //!   learning from the traffic it serves. A committed graph update instead
 //!   *retires* the index and strands the whole cache: stale rank knowledge
 //!   is unsound on a changed graph ([`rkranks_core::RkrIndex::merge_delta`]
-//!   documents why).
+//!   documents why);
+//! * **durable restarts**: with a snapshot path configured
+//!   ([`ServerConfig::snapshot`]) the daemon checkpoints its serving state
+//!   — committed graph, master index, epoch pair, and any staged WAL — as
+//!   a [`rkranks_core::snapshot`] bundle at every state-changing merge
+//!   point, on a `checkpoint` op, and at shutdown; a restart through
+//!   [`rkranks_core::load_snapshot`] + [`serve_store`] resumes serving
+//!   rank-identical answers at the same epochs.
 //!
 //! ## Loopback quickstart
 //!
@@ -65,4 +72,6 @@ pub mod server;
 pub use cache::{CacheKey, ResultCache};
 pub use client::{Client, ClientError, QueryOptions};
 pub use protocol::{BatchReply, QueryReply, Reply, Request, StatsReply, UpdateOp};
-pub use server::{serve, spawn, ServeOutcome, ServerConfig, ServerHandle};
+pub use server::{
+    serve, serve_store, spawn, spawn_store, ServeOutcome, ServerConfig, ServerHandle,
+};

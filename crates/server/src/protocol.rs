@@ -15,6 +15,8 @@
 //! {"op":"stats"}                             serving counters + epochs
 //! {"op":"flush"}                             commit staged updates and fold
 //!                                            pending deltas now
+//! {"op":"checkpoint"}                        persist the serving state as a
+//!                                            snapshot bundle
 //! {"op":"shutdown"}                          drain and stop the daemon
 //! ```
 //!
@@ -45,8 +47,16 @@
 //! {"ok":true,"stats":{"queries":12,"cache_hits":4,...,"epoch":3,"graph_epoch":1,...}}
 //! {"ok":true,"staged":2,"graph_epoch":1}     update (staged, not yet live)
 //! {"ok":true,"epoch":4,"merged":2}           flush
+//! {"ok":true,"checkpointed":true,"epoch":4,"graph_epoch":1}   checkpoint
 //! {"ok":true,"bye":true}                     shutdown
 //! ```
+//!
+//! `checkpoint` persists the serving state *as it stands* — committed
+//! graph, rank index, and staged-but-uncommitted updates as a WAL — and
+//! deliberately does not merge first, so forcing durability never changes
+//! commit semantics. It only succeeds on daemons started with a snapshot
+//! path (`rkr serve --snapshot FILE`); without one it is a one-line
+//! error.
 //!
 //! Both ends of the protocol live here — [`Request`] / [`Reply`] encode to
 //! and decode from [`Json`] symmetrically — so the daemon and the
@@ -241,6 +251,10 @@ pub enum Request {
     /// Commit staged graph updates and synchronously fold all pending
     /// write-logs into the index.
     Flush,
+    /// Persist the daemon's serving state as a snapshot bundle (no
+    /// implicit merge — staged updates land in the bundle's WAL).
+    /// Errors on daemons running without a snapshot path.
+    Checkpoint,
     /// Stop the daemon (pending deltas are merged first).
     Shutdown,
 }
@@ -289,6 +303,7 @@ impl Request {
             ]),
             Request::Stats => op_only("stats"),
             Request::Flush => op_only("flush"),
+            Request::Checkpoint => op_only("checkpoint"),
             Request::Shutdown => op_only("shutdown"),
         }
     }
@@ -346,6 +361,7 @@ impl Request {
             }
             "stats" => Ok(Request::Stats),
             "flush" => Ok(Request::Flush),
+            "checkpoint" => Ok(Request::Checkpoint),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown op '{other}'")),
         }
@@ -556,6 +572,14 @@ pub enum Reply {
         /// Number of pending deltas folded (0 = nothing to do).
         merged: u64,
     },
+    /// Answer to a `checkpoint` op: the snapshot bundle on disk now holds
+    /// exactly this epoch pair.
+    Checkpoint {
+        /// Index epoch captured by the bundle.
+        epoch: u64,
+        /// Graph epoch captured by the bundle.
+        graph_epoch: u64,
+    },
     /// Acknowledgement of a `shutdown` op.
     Shutdown,
     /// The request failed; the connection stays usable.
@@ -602,6 +626,11 @@ impl Reply {
             Reply::Flush { epoch, merged } => ok(vec![
                 ("epoch".into(), Json::num(*epoch as f64)),
                 ("merged".into(), Json::num(*merged as f64)),
+            ]),
+            Reply::Checkpoint { epoch, graph_epoch } => ok(vec![
+                ("checkpointed".into(), Json::Bool(true)),
+                ("epoch".into(), Json::num(*epoch as f64)),
+                ("graph_epoch".into(), Json::num(*graph_epoch as f64)),
             ]),
             Reply::Shutdown => ok(vec![("bye".into(), Json::Bool(true))]),
             Reply::Error(msg) => Json::Obj(vec![
@@ -667,6 +696,12 @@ impl Reply {
             return Ok(Reply::Flush {
                 epoch: field_u64(&v, "epoch")?,
                 merged: field_u64(&v, "merged")?,
+            });
+        }
+        if v.get("checkpointed").is_some() {
+            return Ok(Reply::Checkpoint {
+                epoch: field_u64(&v, "epoch")?,
+                graph_epoch: field_u64(&v, "graph_epoch")?,
             });
         }
         Err("unrecognized reply shape".into())
@@ -768,6 +803,7 @@ mod tests {
         });
         round_trip_request(Request::Stats);
         round_trip_request(Request::Flush);
+        round_trip_request(Request::Checkpoint);
         round_trip_request(Request::Shutdown);
     }
 
@@ -841,6 +877,10 @@ mod tests {
         round_trip_reply(Reply::Flush {
             epoch: 4,
             merged: 2,
+        });
+        round_trip_reply(Reply::Checkpoint {
+            epoch: 4,
+            graph_epoch: 1,
         });
         round_trip_reply(Reply::Shutdown);
         round_trip_reply(Reply::Error("k = 9 exceeds the index's K = 4".into()));

@@ -46,13 +46,14 @@
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::Duration;
 
 use rkranks_core::{
-    BoundConfig, Completion, EngineContext, IndexAccess, IndexDelta, PartialReason, Partition,
-    QueryRequest, QueryScratch, RkrIndex, Strategy,
+    save_snapshot, BoundConfig, Completion, EngineContext, IndexAccess, IndexDelta, PartialReason,
+    Partition, QueryRequest, QueryScratch, RkrIndex, Strategy,
 };
 use rkranks_graph::{Graph, GraphDelta, GraphStore, NodeId};
 
@@ -65,7 +66,7 @@ use crate::protocol::{BatchReply, QueryReply, Reply, Request, StatsReply, Update
 const POLL: Duration = Duration::from_millis(25);
 
 /// Daemon configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Worker threads; each serves one connection at a time.
     pub workers: usize,
@@ -83,6 +84,13 @@ pub struct ServerConfig {
     /// search) — used when a request names no `strategy` of its own;
     /// requests with an explicit strategy carry their own bounds.
     pub bounds: BoundConfig,
+    /// Snapshot bundle path (`rkranks_core::snapshot` format). When set,
+    /// the daemon checkpoints its serving state there — at every merge
+    /// point that changed state, on a `checkpoint` op, and at shutdown —
+    /// so a restart via [`rkranks_core::load_snapshot`] + [`serve_store`]
+    /// resumes at the same epoch pair. `None` (the default) serves purely
+    /// in memory.
+    pub snapshot: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +100,7 @@ impl Default for ServerConfig {
             cache_capacity: 4096,
             merge_every: 64,
             bounds: BoundConfig::ALL,
+            snapshot: None,
         }
     }
 }
@@ -176,10 +185,39 @@ pub fn serve(
     listener: TcpListener,
     config: &ServerConfig,
 ) -> ServeOutcome {
-    let mut config = *config;
-    config.workers = config.workers.max(1);
     let store = GraphStore::new(graph);
     index.set_graph_epoch(store.graph_epoch());
+    serve_store(store, partition, index, listener, config)
+}
+
+/// [`serve`] for a pre-built [`GraphStore`] — the restart path. A store
+/// restored from a snapshot bundle keeps its graph epoch, and any WAL
+/// deltas re-staged into it commit at the daemon's first merge point,
+/// exactly as the staged batch would have before the restart.
+///
+/// # Panics
+///
+/// The index must be tagged with the store's graph epoch — a bundle
+/// loaded through [`rkranks_core::load_snapshot`] guarantees this; a
+/// hand-assembled mismatched pair panics rather than serve ranks
+/// computed against a different graph.
+pub fn serve_store(
+    store: GraphStore,
+    partition: Option<Partition>,
+    index: RkrIndex,
+    listener: TcpListener,
+    config: &ServerConfig,
+) -> ServeOutcome {
+    assert_eq!(
+        index.graph_epoch(),
+        store.graph_epoch(),
+        "index/graph epoch mismatch: the index does not describe this graph"
+    );
+    let mut config = config.clone();
+    config.workers = config.workers.max(1);
+    // Restored WAL deltas are already staged in the store; mirror them
+    // into the merger's `due` hint so they commit on its first pass.
+    let staged_at_start = store.pending_deltas() as u64;
     let ctx = match &partition {
         Some(p) => EngineContext::bichromatic(store.snapshot(), p.clone()),
         None => EngineContext::new(store.snapshot()),
@@ -205,6 +243,10 @@ pub fn serve(
         partition,
         config,
     };
+    shared
+        .counters
+        .updates_staged
+        .store(staged_at_start, Ordering::Relaxed);
     listener
         .set_nonblocking(true)
         .expect("cannot poll the listener");
@@ -221,6 +263,15 @@ pub fn serve(
     // state owns everything the served traffic produced.
     merge_pending(&shared);
     let write = shared.write.into_inner().expect("write lock poisoned");
+    // The shutdown checkpoint is unconditional (the merge-point ones only
+    // fire when a merge changed state): even a daemon that served nothing
+    // leaves a loadable bundle behind, so `--snapshot FILE` is
+    // load-or-create across its first restart.
+    if shared.config.snapshot.is_some() {
+        if let Err(msg) = checkpoint_locked(&shared.config, &write) {
+            eprintln!("rkrd: {msg}");
+        }
+    }
     ServeOutcome {
         index: write.master,
         graph: write.store.snapshot(),
@@ -260,6 +311,22 @@ pub fn spawn(
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let thread = std::thread::spawn(move || serve(graph, partition, index, listener, &config));
+    Ok(ServerHandle { addr, thread })
+}
+
+/// [`spawn`] for a pre-built [`GraphStore`] — see [`serve_store`] for the
+/// restart semantics (and the epoch-mismatch panic).
+pub fn spawn_store(
+    store: GraphStore,
+    partition: Option<Partition>,
+    index: RkrIndex,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let thread =
+        std::thread::spawn(move || serve_store(store, partition, index, listener, &config));
     Ok(ServerHandle { addr, thread })
 }
 
@@ -472,6 +539,18 @@ fn execute(shared: &Shared, scratch: &mut QueryScratch, req: Request) -> Reply {
         Request::Flush => {
             let (epoch, merged) = merge_pending(shared);
             Reply::Flush { epoch, merged }
+        }
+        Request::Checkpoint => {
+            // Deliberately no merge first: a checkpoint persists the
+            // serving state *as it stands* — committed graph, master
+            // index, and staged-but-uncommitted deltas as the WAL — so
+            // forcing durability never changes commit semantics (with
+            // `merge_every` 0, staged updates still wait for `flush`).
+            let write = shared.write.lock().expect("write lock poisoned");
+            match checkpoint_locked(&shared.config, &write) {
+                Ok((epoch, graph_epoch)) => Reply::Checkpoint { epoch, graph_epoch },
+                Err(msg) => Reply::Error(msg),
+            }
         }
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::Release);
@@ -760,7 +839,31 @@ fn merge_pending(shared: &Shared) -> (u64, u64) {
         .counters
         .deltas_merged
         .fetch_add(folded, Ordering::Relaxed);
+    // A merge point that changed state refreshes the snapshot bundle
+    // (still under the write lock, so the bundle is a consistent cut): a
+    // crash after this point loses at most in-flight write-logs, which
+    // are pruning hints, never answers. Failures are logged and serving
+    // continues — durability is best-effort, availability is not.
+    if shared.config.snapshot.is_some() {
+        if let Err(msg) = checkpoint_locked(&shared.config, &write) {
+            eprintln!("rkrd: {msg}");
+        }
+    }
     (index_epoch, folded)
+}
+
+/// Persist the serving state — committed graph, master index, and any
+/// staged-but-uncommitted deltas as the WAL — to the configured snapshot
+/// path. The caller holds the write lock, so the bundle is a consistent
+/// cut. Returns the `(index epoch, graph epoch)` pair the bundle holds.
+fn checkpoint_locked(config: &ServerConfig, write: &WriteState) -> Result<(u64, u64), String> {
+    let path = config
+        .snapshot
+        .as_deref()
+        .ok_or("this daemon has no snapshot path (start it with --snapshot FILE)")?;
+    save_snapshot(&write.store, &write.master, path)
+        .map_err(|e| format!("checkpoint to {} failed: {e}", path.display()))?;
+    Ok((write.master.epoch(), write.store.graph_epoch()))
 }
 
 fn merger_loop(shared: &Shared) {
@@ -862,6 +965,7 @@ mod tests {
             cache_capacity: 16,
             merge_every: 0, // merges only via flush → deterministic epochs
             bounds: BoundConfig::ALL,
+            snapshot: None,
         });
         let mut client = Client::connect(handle.addr()).unwrap();
 
@@ -916,6 +1020,7 @@ mod tests {
             // deterministic (a cadence merge could bump the epoch mid-batch)
             merge_every: 0,
             bounds: BoundConfig::ALL,
+            snapshot: None,
         });
         let mut client = Client::connect(handle.addr()).unwrap();
         let batch = client.batch(&[0, 1, 0], 2).unwrap();
@@ -941,6 +1046,7 @@ mod tests {
             cache_capacity: 8,
             merge_every: 0,
             bounds: BoundConfig::ALL,
+            snapshot: None,
         });
         let mut client = Client::connect(handle.addr()).unwrap();
         client.query_uncached(0, 2).unwrap();
@@ -960,6 +1066,7 @@ mod tests {
             cache_capacity: 0,
             merge_every: 1,
             bounds: BoundConfig::ALL,
+            snapshot: None,
         });
         let mut client = Client::connect(handle.addr()).unwrap();
         for _ in 0..4 {
@@ -983,6 +1090,7 @@ mod tests {
             cache_capacity: 8,
             merge_every: 0,
             bounds: BoundConfig::ALL,
+            snapshot: None,
         });
         let addr = handle.addr();
         // two clients connect and go idle without sending anything
@@ -1033,6 +1141,7 @@ mod tests {
             cache_capacity: 16,
             merge_every: 0, // commits only on flush → deterministic epochs
             bounds: BoundConfig::ALL,
+            snapshot: None,
         });
         let mut client = Client::connect(handle.addr()).unwrap();
 
@@ -1092,6 +1201,7 @@ mod tests {
             cache_capacity: 8,
             merge_every: 0,
             bounds: BoundConfig::ALL,
+            snapshot: None,
         });
         let mut client = Client::connect(handle.addr()).unwrap();
 
@@ -1155,6 +1265,7 @@ mod tests {
             cache_capacity: 8,
             merge_every: 0,
             bounds: BoundConfig::ALL,
+            snapshot: None,
         });
         let mut client = Client::connect(handle.addr()).unwrap();
         let (staged, _) = client
@@ -1187,6 +1298,7 @@ mod tests {
             cache_capacity: 8,
             merge_every: 2,
             bounds: BoundConfig::ALL,
+            snapshot: None,
         });
         let mut client = Client::connect(handle.addr()).unwrap();
         client
@@ -1222,6 +1334,7 @@ mod tests {
             cache_capacity: 8,
             merge_every: 64,
             bounds: BoundConfig::ALL,
+            snapshot: None,
         });
         let mut client = Client::connect(handle.addr()).unwrap();
         client
@@ -1242,6 +1355,48 @@ mod tests {
         }
         client.shutdown().unwrap();
         assert_eq!(handle.join().graph_epoch, 1);
+    }
+
+    #[test]
+    fn checkpoint_requires_a_snapshot_path() {
+        let handle = spawn_grid(ServerConfig {
+            workers: 1,
+            cache_capacity: 8,
+            merge_every: 0,
+            bounds: BoundConfig::ALL,
+            snapshot: None,
+        });
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let err = client.checkpoint().unwrap_err();
+        assert!(err.to_string().contains("no snapshot path"), "{err}");
+        // the connection survives the refusal
+        assert!(client.stats().is_ok());
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    /// `--snapshot FILE` is load-or-create: even a daemon that served no
+    /// traffic at all must leave a loadable bundle at shutdown.
+    #[test]
+    fn shutdown_leaves_a_loadable_bundle_even_without_traffic() {
+        let path = std::env::temp_dir().join(format!("rkr-srv-{}.rkrsnap", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let handle = spawn_grid(ServerConfig {
+            workers: 1,
+            cache_capacity: 8,
+            merge_every: 0,
+            bounds: BoundConfig::ALL,
+            snapshot: Some(path.clone()),
+        });
+        let client = Client::connect(handle.addr()).unwrap();
+        client.shutdown().unwrap();
+        handle.join();
+        let (store, index) = rkranks_core::load_snapshot(&path).expect("bundle must load");
+        assert_eq!(store.graph_epoch(), 0);
+        assert_eq!(index.graph_epoch(), 0);
+        assert_eq!(store.snapshot().num_nodes(), grid().num_nodes());
+        assert_eq!(store.pending_deltas(), 0);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

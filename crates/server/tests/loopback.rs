@@ -68,6 +68,7 @@ fn concurrent_zipf_clients_match_query_dynamic() {
                 cache_capacity,
                 merge_every,
                 bounds: BoundConfig::ALL,
+                snapshot: None,
             },
         )
         .expect("bind loopback");
@@ -153,6 +154,7 @@ fn epoch_bump_evicts_stale_entries() {
             cache_capacity: 64,
             merge_every: 0, // merges only on flush → epochs move on command
             bounds: BoundConfig::ALL,
+            snapshot: None,
         },
     )
     .expect("bind loopback");
@@ -228,6 +230,7 @@ fn strategies_and_deadlines_over_the_wire() {
             cache_capacity: 64,
             merge_every: 0,
             bounds: BoundConfig::ALL,
+            snapshot: None,
         },
     )
     .expect("bind loopback");
@@ -346,6 +349,7 @@ fn updates_match_single_threaded_replay() {
             cache_capacity: 1024,
             merge_every: 0, // commits land exactly at our flushes
             bounds: BoundConfig::ALL,
+            snapshot: None,
         },
     )
     .expect("bind loopback");
@@ -447,6 +451,7 @@ fn concurrent_readers_stay_consistent_across_commits() {
             cache_capacity: 1024,
             merge_every: 0,
             bounds: BoundConfig::ALL,
+            snapshot: None,
         },
     )
     .expect("bind loopback");
@@ -486,4 +491,114 @@ fn concurrent_readers_stay_consistent_across_commits() {
     assert_eq!(stats.graph_epoch, PHASES as u64);
     ctl.shutdown().expect("shutdown");
     handle.join();
+}
+
+/// The durability acceptance scenario: a daemon that committed live
+/// updates, learned from queries, and has one more batch staged is
+/// checkpointed; a second daemon restored from that bundle serves
+/// rank-identical answers at the same `(index epoch, graph epoch)` pair,
+/// and its restored WAL commits to exactly the graph the first daemon's
+/// own commit produced.
+#[test]
+fn snapshot_restart_resumes_identical_serving_state() {
+    use rkranks_core::load_snapshot;
+    use rkranks_server::spawn_store;
+
+    let dir = std::env::temp_dir().join(format!("rkr-restart-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let bundle = dir.join("first.rkrsnap");
+    let bundle2 = dir.join("second.rkrsnap");
+    let config = |snapshot: &std::path::Path| ServerConfig {
+        workers: 2,
+        cache_capacity: 64,
+        merge_every: 0, // commits land exactly at our flushes
+        bounds: BoundConfig::ALL,
+        snapshot: Some(snapshot.to_path_buf()),
+    };
+
+    // First life: commit one update batch, learn from queries, then stage
+    // a second batch WITHOUT committing it.
+    let g = test_graph();
+    let n = g.num_nodes();
+    let stream = default_update_stream(&g, 8, 0xA11CE);
+    let handle = spawn(
+        g,
+        None,
+        RkrIndex::empty(n, K_MAX),
+        "127.0.0.1:0",
+        config(&bundle),
+    )
+    .expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let ops: Vec<UpdateOp> = stream.iter().map(|&d| d.into()).collect();
+    client.update(&ops).expect("stage batch A");
+    client.flush().expect("commit batch A");
+    let ranks = |e: &[(u32, u32)]| e.iter().map(|&(_, r)| r).collect::<Vec<u32>>();
+    let before: Vec<Vec<u32>> = (0..8)
+        .map(|node| ranks(&client.query(node, K).expect("query").entries))
+        .collect();
+    client.flush().expect("fold the queries' discoveries");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.graph_epoch, 1);
+    let committed_nodes = stats.graph_nodes as u32;
+    // Batch B stays staged: checkpoint must carry it as the WAL.
+    let batch_b = [
+        UpdateOp::AddNode,
+        UpdateOp::AddEdge {
+            u: 0,
+            v: committed_nodes,
+            w: 0.05,
+        },
+    ];
+    client.update(&batch_b).expect("stage batch B");
+    let (cp_epoch, cp_graph_epoch) = client.checkpoint().expect("checkpoint");
+    assert_eq!(cp_epoch, stats.epoch, "bundle holds the folded index");
+    assert_eq!(cp_graph_epoch, 1, "staged batch B must not have committed");
+
+    // The bundle is a consistent cut of the first life: epoch-1 graph,
+    // the learned index, and batch B's two effective deltas as the WAL.
+    let (store, index) = load_snapshot(&bundle).expect("load the checkpoint");
+    assert_eq!(store.graph_epoch(), 1);
+    assert_eq!(index.epoch(), cp_epoch);
+    assert_eq!(index.graph_epoch(), 1);
+    assert_eq!(store.pending_deltas(), 2, "batch B rides in the WAL");
+
+    // Second life, restored from the bundle while the first still runs.
+    let handle2 = spawn_store(store, None, index, "127.0.0.1:0", config(&bundle2))
+        .expect("bind second loopback");
+    let mut client2 = Client::connect(handle2.addr()).expect("connect restored");
+    let stats2 = client2.stats().expect("stats");
+    assert_eq!(stats2.epoch, cp_epoch, "index epoch survives the restart");
+    assert_eq!(stats2.graph_epoch, 1, "graph epoch survives the restart");
+    for node in 0..8 {
+        let reply = client2.query(node, K).expect("restored query");
+        assert_eq!(reply.graph_epoch, 1);
+        assert_eq!(
+            ranks(&reply.entries),
+            before[node as usize],
+            "node {node}: restored daemon diverged from its first life"
+        );
+    }
+
+    // The restored WAL commits at the next merge point, exactly as the
+    // staged batch would have before the restart...
+    client2.flush().expect("commit the restored WAL");
+    let stats2 = client2.stats().expect("stats");
+    assert_eq!(stats2.graph_epoch, 2, "the WAL batch commits once");
+    assert_eq!(stats2.updates_applied, 2);
+    client2.shutdown().expect("shutdown restored");
+    let outcome2 = handle2.join();
+
+    // ...and the first daemon commits its own staged copy at shutdown:
+    // both lives must land on the identical graph.
+    client.shutdown().expect("shutdown first");
+    let outcome1 = handle.join();
+    assert_eq!(outcome1.graph_epoch, 2);
+    assert_eq!(outcome2.graph_epoch, 2);
+    assert_eq!(
+        *outcome1.graph, *outcome2.graph,
+        "WAL replay must reproduce the commit it deferred"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
 }

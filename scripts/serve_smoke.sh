@@ -72,4 +72,71 @@ echo "file-driven updates applied"
 wait "$SERVE_PID"
 SERVE_PID=""
 cat "$WORK/serve.log"
+
+# ---- kill-and-restart leg: durability through a snapshot bundle --------
+# Start a snapshotted daemon, apply a live update, checkpoint, shut down,
+# restart from the bundle alone, and assert the answers and stats epochs
+# match the pre-restart serving state.
+"$RKR" serve "$WORK/g.edges" --addr 127.0.0.1:0 --workers 2 --cache 64 \
+    --merge-every 8 --snapshot "$WORK/state.rkrsnap" > "$WORK/serve2.log" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    ADDR="$(grep -oE '127\.0\.0\.1:[0-9]+' "$WORK/serve2.log" | head -1 || true)"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "${ADDR:-}" ] || { echo "snapshotted rkrd never printed its address"; cat "$WORK/serve2.log"; exit 1; }
+echo "snapshotted rkrd up at $ADDR"
+
+"$RKR" ctl "$ADDR" add-node
+"$RKR" ctl "$ADDR" add-edge 5 "$NODES" 0.01
+"$RKR" query --remote "$ADDR" --node 5 --k 4 > "$WORK/pre-restart.full"
+grep -q 'graph epoch 2' "$WORK/pre-restart.full" || {
+    echo "two commits must reach graph epoch 2"; cat "$WORK/pre-restart.full"; exit 1; }
+grep ' rank ' "$WORK/pre-restart.full" | sort > "$WORK/pre-restart.txt"
+"$RKR" ctl "$ADDR" checkpoint | grep -q 'graph epoch 2' || {
+    echo "checkpoint must report the committed epoch pair"; exit 1; }
+# drain pending merges so the index epoch is stable across the restart
+"$RKR" ctl "$ADDR" flush
+"$RKR" ctl "$ADDR" flush
+"$RKR" ctl "$ADDR" stats | awk -F: '/^index epoch/ {print $2}' | tr -d ' ' > "$WORK/epoch-before.txt"
+"$RKR" ctl "$ADDR" shutdown
+wait "$SERVE_PID"
+SERVE_PID=""
+[ -f "$WORK/state.rkrsnap" ] || { echo "shutdown left no snapshot bundle"; exit 1; }
+
+# restart from the bundle alone: no edge file argument at all
+"$RKR" serve --addr 127.0.0.1:0 --workers 2 --cache 64 \
+    --merge-every 8 --snapshot "$WORK/state.rkrsnap" > "$WORK/serve3.log" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    ADDR="$(grep -oE '127\.0\.0\.1:[0-9]+' "$WORK/serve3.log" | head -1 || true)"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "${ADDR:-}" ] || { echo "restarted rkrd never printed its address"; cat "$WORK/serve3.log"; exit 1; }
+grep -q 'restored snapshot' "$WORK/serve3.log" || {
+    echo "restart must announce the restore"; cat "$WORK/serve3.log"; exit 1; }
+echo "restarted rkrd up at $ADDR"
+
+# stats first: a query would stage discoveries the merger may fold, which
+# bumps the index epoch and would make this comparison racy
+"$RKR" ctl "$ADDR" stats > "$WORK/stats-after.txt"
+awk -F: '/^index epoch/ {print $2}' "$WORK/stats-after.txt" | tr -d ' ' > "$WORK/epoch-after.txt"
+diff -u "$WORK/epoch-before.txt" "$WORK/epoch-after.txt"
+grep -q 'epoch 2 (' "$WORK/stats-after.txt" || {
+    echo "stats must report graph epoch 2 after the restart"; cat "$WORK/stats-after.txt"; exit 1; }
+echo "epochs survived the restart"
+
+"$RKR" query --remote "$ADDR" --node 5 --k 4 > "$WORK/post-restart.full"
+grep -q 'graph epoch 2' "$WORK/post-restart.full" || {
+    echo "restart must resume at graph epoch 2"; cat "$WORK/post-restart.full"; exit 1; }
+grep ' rank ' "$WORK/post-restart.full" | sort > "$WORK/post-restart.txt"
+diff -u "$WORK/pre-restart.txt" "$WORK/post-restart.txt"
+echo "post-restart answers == pre-restart answers"
+
+"$RKR" ctl "$ADDR" shutdown
+wait "$SERVE_PID"
+SERVE_PID=""
+cat "$WORK/serve3.log"
 echo "serve smoke OK"

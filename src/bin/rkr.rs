@@ -12,9 +12,9 @@
 //! rkr batch <graph.edges> --queries N --k K [--algo STRATEGY] [--threads T]
 //!                 [--indexed-mode sequential|snapshot] [--merge-every M]
 //!                 [--index index.rkri] [--seed S]
-//! rkr serve <graph.edges> [--addr HOST:PORT] [--workers N] [--cache N] [--merge-every M]
-//!                 [--index index.rkri] [--kmax K] [--save-index]
-//! rkr ctl <HOST:PORT> stats|flush|shutdown
+//! rkr serve [<graph.edges>] [--addr HOST:PORT] [--workers N] [--cache N] [--merge-every M]
+//!                 [--index index.rkri] [--kmax K] [--save-index] [--snapshot FILE]
+//! rkr ctl <HOST:PORT> stats|flush|checkpoint|shutdown
 //! rkr ctl <HOST:PORT> add-edge U V W | rm-edge U V | reweight U V W | add-node
 //! rkr update <HOST:PORT> --from FILE [--batch N] [--no-flush]
 //! ```
@@ -40,19 +40,29 @@
 //! batches; each commit publishes a fresh graph snapshot under a bumped
 //! graph epoch and retires the learned index (stale rank knowledge is
 //! unsound on a changed graph).
+//!
+//! `serve --snapshot FILE` makes the daemon durable: load-or-create — an
+//! existing bundle restores the exact serving state (committed graph,
+//! learned index, epoch pair, staged-but-uncommitted WAL), a missing one
+//! is created at the first checkpoint. The daemon checkpoints at every
+//! state-changing merge point and at shutdown; `rkr ctl ADDR checkpoint`
+//! forces one over the wire.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use reverse_k_ranks::prelude::*;
-use rkranks_core::{load_index, save_index, Completion, QueryOutcome, QueryRequest, Strategy};
+use rkranks_core::{
+    load_index, load_snapshot, save_index, Completion, QueryOutcome, QueryRequest, Strategy,
+};
 use rkranks_datasets::{dblp_like, epinions_like, sf_like};
 use rkranks_eval::runner::{self, run_batch, run_indexed_batch, IndexedMode};
 use rkranks_eval::workload::random_queries;
 use rkranks_graph::io::{load_graph, save_graph};
 use rkranks_graph::metrics::{degree_stats, weight_stats};
 use rkranks_graph::traversal::is_weakly_connected;
+use rkranks_graph::GraphStore;
 use rkranks_server::{Client, QueryOptions, ServerConfig};
 
 const USAGE: &str = "usage:
@@ -64,9 +74,9 @@ const USAGE: &str = "usage:
   rkr query --remote HOST:PORT --node Q --k K [--algo STRATEGY] [--deadline-ms MS] [--no-cache]
   rkr batch <graph.edges> --queries N --k K [--algo STRATEGY] [--threads T]
             [--indexed-mode sequential|snapshot] [--merge-every M] [--index FILE] [--seed S]
-  rkr serve <graph.edges> [--addr HOST:PORT] [--workers N] [--cache N] [--merge-every M]
-            [--index FILE] [--kmax K] [--save-index]
-  rkr ctl <HOST:PORT> stats|flush|shutdown
+  rkr serve [<graph.edges>] [--addr HOST:PORT] [--workers N] [--cache N] [--merge-every M]
+            [--index FILE] [--kmax K] [--save-index] [--snapshot FILE]
+  rkr ctl <HOST:PORT> stats|flush|checkpoint|shutdown
   rkr ctl <HOST:PORT> add-edge U V W | rm-edge U V | reweight U V W | add-node
   rkr update <HOST:PORT> --from FILE [--batch N] [--no-flush]
 
@@ -291,7 +301,7 @@ fn cmd_batch(flags: &Flags) -> Result<(), String> {
                 other => return Err(format!("unknown indexed mode '{other}'")),
             };
             let mut index = match flags.get("index") {
-                Some(path) => load_index(path).map_err(|e| e.to_string())?,
+                Some(path) => load_index_for_edge_file(path)?,
                 None => {
                     eprintln!("(no --index given; building a default one)");
                     let params = IndexParams {
@@ -352,13 +362,31 @@ fn parse_merge_every(flags: &Flags, default: usize) -> Result<usize, String> {
     Ok(merge_every)
 }
 
+/// Load an `--index` file for use against a plain edge file. An index
+/// learned on an evolved graph (graph epoch > 0, tagged in its `v2`
+/// header) describes that evolved graph, not the edge file it was
+/// originally built from — pairing them would serve unsound exact-rank
+/// hits and check prunes, so refuse loudly.
+fn load_index_for_edge_file(path: &str) -> Result<RkrIndex, String> {
+    let index = load_index(path).map_err(|e| e.to_string())?;
+    if index.graph_epoch() > 0 {
+        return Err(format!(
+            "{path} was learned at graph epoch {} (a live-updated graph) and does not \
+             describe any plain edge file; restart from the snapshot bundle instead \
+             (rkr serve --snapshot FILE)",
+            index.graph_epoch()
+        ));
+    }
+    Ok(index)
+}
+
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
-    let g = graph_arg(flags)?;
     let addr = flags.get("addr").unwrap_or("127.0.0.1:7878");
     let workers: usize = flags.get_parsed("workers", 4)?;
     let cache: usize = flags.get_parsed("cache", 4096)?;
     let merge_every = parse_merge_every(flags, 64)? as u64;
     let kmax: u32 = flags.get_parsed("kmax", 100)?;
+    let snapshot = flags.get("snapshot").map(PathBuf::from);
     // Validate the write-back path *before* serving: discovering the
     // missing --index only at shutdown would throw away everything the
     // daemon learned over its whole run.
@@ -372,17 +400,59 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     } else {
         None
     };
-    let index = match flags.get("index") {
-        Some(path) => load_index(path).map_err(|e| e.to_string())?,
-        // No prebuilt index: start empty and let the daemon learn from the
-        // queries it serves (every merge sharpens the snapshot).
-        None => RkrIndex::empty(g.num_nodes(), kmax),
+    // Resolve the serving state. An existing --snapshot bundle wins: it
+    // restores the exact pre-shutdown state (committed graph, learned
+    // index, epoch pair, staged WAL). Otherwise start fresh from the edge
+    // file; a configured-but-missing bundle is created at the first
+    // checkpoint (load-or-create).
+    let (store, index) = match &snapshot {
+        Some(path) if path.exists() => {
+            if flags.get("index").is_some() {
+                return Err(format!(
+                    "--index cannot be combined with the existing snapshot bundle {}: \
+                     the bundle already holds the index it was checkpointed with",
+                    path.display()
+                ));
+            }
+            let (store, index) = load_snapshot(path)
+                .map_err(|e| format!("cannot restore snapshot {}: {e}", path.display()))?;
+            println!(
+                "restored snapshot {} (graph epoch {}, index epoch {}, {} nodes / {} edges, \
+                 {} staged WAL delta(s)){}",
+                path.display(),
+                store.graph_epoch(),
+                index.epoch(),
+                store.snapshot().num_nodes(),
+                store.snapshot().num_edges(),
+                store.pending_deltas(),
+                if flags.positional.get(1).is_some() {
+                    " — the bundle's graph wins over the edge-file argument"
+                } else {
+                    ""
+                }
+            );
+            (store, index)
+        }
+        _ => {
+            let g = graph_arg(flags)?;
+            let mut index = match flags.get("index") {
+                Some(path) => load_index_for_edge_file(path)?,
+                // No prebuilt index: start empty and let the daemon learn
+                // from the queries it serves (every merge sharpens the
+                // snapshot).
+                None => RkrIndex::empty(g.num_nodes(), kmax),
+            };
+            let store = GraphStore::new(g);
+            index.set_graph_epoch(store.graph_epoch());
+            (store, index)
+        }
     };
     let config = ServerConfig {
         workers: workers.max(1),
         cache_capacity: cache,
         merge_every,
         bounds: BoundConfig::ALL,
+        snapshot: snapshot.clone(),
     };
     let listener =
         std::net::TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
@@ -402,7 +472,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         },
         index.k_max(),
     );
-    let outcome = rkranks_server::serve(g, None, index, listener, &config);
+    let outcome = rkranks_server::serve_store(store, None, index, listener, &config);
     println!(
         "rkrd stopped (graph epoch {}, {} nodes / {} edges, index epoch {}, {} rrd entries learned)",
         outcome.graph_epoch,
@@ -411,20 +481,23 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         outcome.index.epoch(),
         outcome.index.rrd_entries()
     );
+    if let Some(path) = &snapshot {
+        println!("serving state checkpointed to {}", path.display());
+    }
     if let Some(path) = save_path {
+        // Always safe: the index file's v2 header tags the graph epoch the
+        // index was learned at, so loading it against a graph it does not
+        // describe fails at load time instead of silently serving wrong
+        // ranks.
+        save_index(&outcome.index, &path).map_err(|e| e.to_string())?;
         if outcome.graph_epoch > 0 {
-            // The learned index is a set of rank claims about the *final*
-            // graph, and the index file format carries no graph tag —
-            // reloading it against the original edge file would serve
-            // unsound exact-rank hits and check prunes (see
-            // RkrIndex::merge_delta). Refuse the silent mismatch.
-            eprintln!(
-                "warning: not writing the learned index back to {path}: the graph                  absorbed {} update commit(s) (graph epoch {}), so the index no                  longer matches the input edge file",
-                outcome.index.graph_epoch().max(outcome.graph_epoch),
+            println!(
+                "learned index written back to {path} (graph epoch {}: it describes the \
+                 daemon's final graph, not the original edge file — pair it with the \
+                 snapshot bundle, not --index on a plain edge file)",
                 outcome.graph_epoch
             );
         } else {
-            save_index(&outcome.index, &path).map_err(|e| e.to_string())?;
             println!("learned index written back to {path}");
         }
     }
@@ -538,7 +611,7 @@ fn cmd_ctl(flags: &Flags) -> Result<(), String> {
     let op = flags
         .positional
         .get(2)
-        .ok_or("ctl needs an operation (stats|flush|shutdown)")?;
+        .ok_or("ctl needs an operation (stats|flush|checkpoint|shutdown)")?;
     let mut client =
         Client::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     match op.as_str() {
@@ -571,6 +644,10 @@ fn cmd_ctl(flags: &Flags) -> Result<(), String> {
         "flush" => {
             let (epoch, merged) = client.flush().map_err(|e| e.to_string())?;
             println!("flushed {merged} deltas (index epoch {epoch})");
+        }
+        "checkpoint" => {
+            let (epoch, graph_epoch) = client.checkpoint().map_err(|e| e.to_string())?;
+            println!("checkpointed (index epoch {epoch}, graph epoch {graph_epoch})");
         }
         "shutdown" => {
             client.shutdown().map_err(|e| e.to_string())?;
@@ -680,7 +757,7 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
     let start = Instant::now();
     let (outcome, index_to_save): (QueryOutcome, Option<RkrIndex>) = if strategy.needs_index() {
         let mut index = match flags.get("index") {
-            Some(path) => load_index(path).map_err(|e| e.to_string())?,
+            Some(path) => load_index_for_edge_file(path)?,
             None => {
                 eprintln!("(no --index given; building a default one)");
                 engine.build_index(&IndexParams::default()).0

@@ -127,6 +127,56 @@ fn road_gen_and_directed_epinions_stats() {
 }
 
 #[test]
+fn evolved_index_is_rejected_against_a_plain_edge_file() {
+    // An index saved after live graph commits carries its graph epoch in a
+    // v2 header; pairing it with a plain edge file would silently serve
+    // ranks measured on a different graph, so every edge-file loader must
+    // refuse it with a pointer at the snapshot bundle.
+    let dir = scratch_dir("evolved-index");
+    rkr_ok(
+        &dir,
+        &[
+            "gen", "dblp", "--scale", "tiny", "--seed", "3", "--out", "g.edges",
+        ],
+    );
+    // Forge an evolved index the same way the daemon produces one: an
+    // empty index tagged with a non-zero graph epoch.
+    let idx = {
+        let mut idx = rkranks_core::RkrIndex::empty(300, 8);
+        idx.set_graph_epoch(3);
+        idx
+    };
+    rkranks_core::save_index(&idx, dir.join("evolved.rkri")).unwrap();
+
+    let out = rkr(
+        &dir,
+        &[
+            "query",
+            "g.edges",
+            "--node",
+            "17",
+            "--k",
+            "5",
+            "--algo",
+            "indexed",
+            "--index",
+            "evolved.rkri",
+        ],
+    );
+    assert!(!out.status.success(), "evolved index must be rejected");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("graph epoch 3"),
+        "must name the epoch: {stderr}"
+    );
+    assert!(
+        stderr.contains("--snapshot"),
+        "must point at the bundle workflow: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_usage_fails_with_usage_message() {
     let dir = scratch_dir("usage");
     for args in [

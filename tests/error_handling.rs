@@ -147,3 +147,52 @@ fn ppr_and_simrank_extensions_validate_inputs() {
     )
     .is_err());
 }
+
+#[test]
+fn snapshot_corruption_is_a_one_line_error() {
+    // The durability acceptance bar: a damaged bundle must fail loudly
+    // with a single descriptive line, never load into a wrong serving
+    // state. Exercised here through the facade re-exports.
+    use rkranks_core::{load_snapshot, save_snapshot};
+    use rkranks_graph::GraphStore;
+
+    let dir = std::env::temp_dir().join("rkranks-error-handling-snapshot");
+    std::fs::create_dir_all(&dir).unwrap();
+    let pid = std::process::id();
+
+    // Not a bundle at all.
+    let garbage = dir.join(format!("garbage-{pid}.rkrsnap"));
+    std::fs::write(&garbage, "definitely not a snapshot\n").unwrap();
+    let err = load_snapshot(&garbage).unwrap_err().to_string();
+    std::fs::remove_file(&garbage).ok();
+    assert!(!err.contains('\n'), "must be one line: {err:?}");
+    assert!(
+        err.contains("snapshot") || err.contains("header"),
+        "must name the problem: {err}"
+    );
+
+    // A real bundle with one flipped payload byte.
+    let store = GraphStore::new(toy::paper_example());
+    let idx = RkrIndex::empty(store.snapshot().num_nodes(), 4);
+    let bundle = dir.join(format!("flipped-{pid}.rkrsnap"));
+    save_snapshot(&store, &idx, &bundle).unwrap();
+    let mut bytes = std::fs::read(&bundle).unwrap();
+    let target = bytes
+        .windows(5)
+        .position(|w| w == b"nodes")
+        .unwrap_or(bytes.len() / 2);
+    bytes[target] ^= 0x01;
+    std::fs::write(&bundle, &bytes).unwrap();
+    let err = load_snapshot(&bundle).unwrap_err().to_string();
+    std::fs::remove_file(&bundle).ok();
+    assert!(!err.contains('\n'), "must be one line: {err:?}");
+
+    // Truncation mid-section.
+    let truncated = dir.join(format!("truncated-{pid}.rkrsnap"));
+    save_snapshot(&store, &idx, &truncated).unwrap();
+    let bytes = std::fs::read(&truncated).unwrap();
+    std::fs::write(&truncated, &bytes[..bytes.len() / 2]).unwrap();
+    let err = load_snapshot(&truncated).unwrap_err().to_string();
+    std::fs::remove_file(&truncated).ok();
+    assert!(!err.contains('\n'), "must be one line: {err:?}");
+}

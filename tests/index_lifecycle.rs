@@ -131,6 +131,52 @@ fn all_hub_strategies_build_and_answer() {
 }
 
 #[test]
+fn snapshot_bundle_preserves_index_invariants() {
+    // A warmed index that rides through a snapshot bundle (graph + index +
+    // staged WAL) must come back with the §5 invariants intact, the same
+    // epoch pair, and the staged deltas still pending.
+    use rkranks_core::{load_snapshot, save_snapshot};
+    use rkranks_graph::{GraphDelta, GraphStore};
+
+    let g = toy::paper_example();
+    let mut engine = QueryEngine::new(&g);
+    let (mut idx, _) = engine.build_index(&IndexParams {
+        hub_fraction: 0.6,
+        prefix_fraction: 0.5,
+        k_max: 2,
+        ..Default::default()
+    });
+    for q in g.nodes() {
+        engine
+            .query_indexed(&mut idx, q, 2, BoundConfig::ALL)
+            .unwrap();
+    }
+    check_index_invariants(&g, &idx);
+
+    let mut store = GraphStore::new(g);
+    store
+        .stage(GraphDelta::AddNode)
+        .expect("staging a node is always valid");
+
+    let dir = std::env::temp_dir().join("rkranks-index-lifecycle-snapshot");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("bundle-{}.rkrsnap", std::process::id()));
+    save_snapshot(&store, &idx, &path).unwrap();
+    let (restored_store, restored_idx) = load_snapshot(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(restored_store.graph_epoch(), store.graph_epoch());
+    assert_eq!(restored_idx.graph_epoch(), idx.graph_epoch());
+    assert_eq!(restored_idx.epoch(), idx.epoch());
+    assert_eq!(
+        restored_store.pending_deltas(),
+        1,
+        "the staged WAL delta must survive the round-trip"
+    );
+    check_index_invariants(&restored_store.snapshot(), &restored_idx);
+}
+
+#[test]
 fn index_entries_survive_and_stay_exact_on_dblp() {
     let g = dblp_like(Scale::Tiny, 4);
     let mut engine = QueryEngine::new(&g);

@@ -189,6 +189,155 @@ fn remote_queries_match_in_process_and_shutdown_is_clean() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Durability end-to-end through the real binary: a daemon started with
+/// `--snapshot` absorbs live updates, checkpoints, and shuts down; a
+/// second daemon restarted from the bundle (no edge file at all) serves
+/// rank-identical answers at the same graph/index epochs.
+#[test]
+fn snapshot_restart_serves_identical_answers() {
+    let dir = temp_dir("restart");
+    rkr_ok(
+        &dir,
+        &[
+            "gen", "dblp", "--scale", "tiny", "--seed", "7", "--out", "g.edges",
+        ],
+    );
+
+    // The reader must stay alive until the daemon exits: dropping it
+    // closes the pipe and the daemon's shutdown banner would hit EPIPE.
+    type Daemon = (DaemonGuard, String, BufReader<std::process::ChildStdout>);
+    let spawn_daemon = |args: &[&str]| -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_rkr"))
+            .current_dir(&dir)
+            .args(args)
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("failed to spawn rkrd");
+        let stdout = child.stdout.take().expect("rkrd stdout piped");
+        let guard = DaemonGuard(child);
+        let mut reader = BufReader::new(stdout);
+        // On restart a "restored snapshot ..." note precedes the listening
+        // banner; scan a few lines for the bound address.
+        for _ in 0..8 {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("rkrd banner");
+            if let Some(tok) = line
+                .split_whitespace()
+                .find(|tok| tok.starts_with("127.0.0.1:"))
+            {
+                let addr = tok.to_string();
+                return (guard, addr, reader);
+            }
+        }
+        panic!("rkrd never printed its bound address");
+    };
+    let wait_for_exit = |mut guard: DaemonGuard| {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Some(status) = guard.0.try_wait().expect("try_wait") {
+                assert!(status.success(), "rkrd exited with {status}");
+                return;
+            }
+            assert!(Instant::now() < deadline, "rkrd did not exit");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    };
+    let stat_field = |stats: &str, prefix: &str| -> String {
+        stats
+            .lines()
+            .find_map(|l| l.strip_prefix(prefix))
+            .unwrap_or_else(|| panic!("no '{prefix}' in stats:\n{stats}"))
+            .trim()
+            .to_string()
+    };
+
+    // First life: commit two live updates, checkpoint, shut down.
+    let (guard, addr, _keep_stdout) = spawn_daemon(&[
+        "serve",
+        "g.edges",
+        "--addr",
+        "127.0.0.1:0",
+        "--workers",
+        "2",
+        "--cache",
+        "64",
+        "--merge-every",
+        "8",
+        "--snapshot",
+        "state.rkrsnap",
+    ]);
+    let graph_stats = rkr_ok(&dir, &["stats", "g.edges"]);
+    let nodes: u32 = graph_stats
+        .lines()
+        .find_map(|l| l.strip_prefix("nodes:"))
+        .expect("stats prints the node count")
+        .trim()
+        .parse()
+        .unwrap();
+    rkr_ok(&dir, &["ctl", &addr, "add-node"]);
+    rkr_ok(
+        &dir,
+        &["ctl", &addr, "add-edge", "17", &nodes.to_string(), "0.01"],
+    );
+    let before_raw = rkr_ok(
+        &dir,
+        &["query", "--remote", &addr, "--node", "17", "--k", "4"],
+    );
+    assert!(before_raw.contains("graph epoch 2"), "{before_raw}");
+    let before = parse_result(&before_raw);
+    let checkpoint = rkr_ok(&dir, &["ctl", &addr, "checkpoint"]);
+    assert!(
+        checkpoint.contains("graph epoch 2"),
+        "checkpoint must report the committed epoch pair:\n{checkpoint}"
+    );
+    // Double flush drains pending work, so the shutdown checkpoint's
+    // index epoch is exactly what the next stats op reports.
+    rkr_ok(&dir, &["ctl", &addr, "flush"]);
+    rkr_ok(&dir, &["ctl", &addr, "flush"]);
+    let stats_before = rkr_ok(&dir, &["ctl", &addr, "stats"]);
+    let index_epoch_before = stat_field(&stats_before, "index epoch:");
+    rkr_ok(&dir, &["ctl", &addr, "shutdown"]);
+    wait_for_exit(guard);
+
+    // Second life: restart from the bundle alone — no edge file argument.
+    let (guard, addr, _keep_stdout2) = spawn_daemon(&[
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--workers",
+        "2",
+        "--cache",
+        "64",
+        "--merge-every",
+        "8",
+        "--snapshot",
+        "state.rkrsnap",
+    ]);
+    let after_raw = rkr_ok(
+        &dir,
+        &["query", "--remote", &addr, "--node", "17", "--k", "4"],
+    );
+    assert!(
+        after_raw.contains("graph epoch 2"),
+        "the restart must resume at the pre-shutdown graph epoch:\n{after_raw}"
+    );
+    assert_equivalent("post-restart node 17", &parse_result(&after_raw), &before);
+    let stats_after = rkr_ok(&dir, &["ctl", &addr, "stats"]);
+    assert!(
+        stat_field(&stats_after, "graph:").starts_with("epoch 2 "),
+        "{stats_after}"
+    );
+    assert_eq!(
+        stat_field(&stats_after, "index epoch:"),
+        index_epoch_before,
+        "the learned index's epoch must survive the restart:\n{stats_after}"
+    );
+    rkr_ok(&dir, &["ctl", &addr, "shutdown"]);
+    wait_for_exit(guard);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn batch_rejects_explicit_merge_every_zero() {
     let dir = temp_dir("args");
