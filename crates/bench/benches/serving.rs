@@ -8,14 +8,24 @@
 //! against.
 
 use std::hint::black_box;
+use std::net::TcpStream;
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rkranks_bench::{bench_queries, dblp};
 use rkranks_core::RkrIndex;
-use rkranks_server::{spawn, CacheKey, Client, ResultCache, ServerConfig};
+use rkranks_server::{spawn, CacheKey, Client, EventBackend, ResultCache, ServerConfig};
 
 const K: u32 = 10;
+
+/// Both event-loop backends the host can run.
+fn backends() -> Vec<EventBackend> {
+    let mut all = vec![EventBackend::Poll];
+    if EventBackend::epoll_supported() {
+        all.push(EventBackend::Epoll);
+    }
+    all
+}
 
 fn cache_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("serving/cache");
@@ -116,5 +126,72 @@ fn loopback_round_trip(c: &mut Criterion) {
     handle.join();
 }
 
-criterion_group!(benches, cache_ops, loopback_round_trip);
+/// The connection-count sweep: per-request latency with a crowd of
+/// parked, idle keep-alive connections. On the epoll backend the cost of
+/// a round-trip must not grow with the parked count (O(ready) wake-ups);
+/// the poll backend's O(open) scan is the contrast. `examples/
+/// serving_sweep.rs` runs the same sweep up to 10k connections and
+/// records `BENCH_serving.json`; this bench keeps the small end of the
+/// curve under criterion's eye.
+fn parked_connection_sweep(c: &mut Criterion) {
+    let n = dblp().num_nodes();
+    let queries = bench_queries(dblp(), 64, |_| true);
+
+    let mut group = c.benchmark_group("serving/parked");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
+    for backend in backends() {
+        for parked in [16usize, 256, 2048] {
+            let handle = spawn(
+                dblp().clone(),
+                None,
+                RkrIndex::empty(n, 100),
+                "127.0.0.1:0",
+                ServerConfig {
+                    workers: 2,
+                    cache_capacity: 4096,
+                    merge_every: 0,
+                    event_loop: backend,
+                    ..Default::default()
+                },
+            )
+            .expect("bind loopback");
+            let addr = handle.addr();
+            let idle: Vec<TcpStream> = (0..parked)
+                .map(|_| TcpStream::connect(addr).expect("park conn"))
+                .collect();
+            let mut client = Client::connect(addr).expect("connect");
+            for q in &queries {
+                client.query(q.0, K).expect("warm-up query");
+            }
+
+            let mut i = 0;
+            group.bench_function(
+                BenchmarkId::new(format!("query_hit/{backend}"), parked),
+                |b| {
+                    b.iter(|| {
+                        i = (i + 1) % queries.len();
+                        black_box(client.query(queries[i].0, K).expect("hit query"));
+                    })
+                },
+            );
+            group.bench_function(BenchmarkId::new(format!("stats/{backend}"), parked), |b| {
+                b.iter(|| black_box(client.stats().expect("stats")))
+            });
+
+            drop(idle);
+            client.shutdown().expect("shutdown");
+            handle.join();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    cache_ops,
+    loopback_round_trip,
+    parked_connection_sweep
+);
 criterion_main!(benches);

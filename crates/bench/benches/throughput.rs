@@ -112,5 +112,66 @@ fn throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, throughput);
+/// Daemon-side throughput: one `batch` op (64 queries, one round-trip)
+/// against a live `rkrd`, with and without a crowd of parked idle
+/// connections, on both event-loop backends. The batch executes as one
+/// adaptive shared-context pass server-side, so this is the serving
+/// counterpart of the in-process snapshot rows above — and the parked
+/// column shows whether idle connections tax it.
+fn serving_throughput(c: &mut Criterion) {
+    use rkranks_core::RkrIndex;
+    use rkranks_server::{spawn, Client, EventBackend, ServerConfig};
+    use std::net::TcpStream;
+
+    let backends = {
+        let mut all = vec![EventBackend::Poll];
+        if EventBackend::epoll_supported() {
+            all.push(EventBackend::Epoll);
+        }
+        all
+    };
+    let queries = bench_queries(dblp(), BATCH, |_| true);
+    let nodes: Vec<u32> = queries.iter().map(|q| q.0).collect();
+
+    let mut group = c.benchmark_group("throughput/serving");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for backend in backends {
+        for parked in [16usize, 2048] {
+            let handle = spawn(
+                dblp().clone(),
+                None,
+                RkrIndex::empty(dblp().num_nodes(), 100),
+                "127.0.0.1:0",
+                ServerConfig {
+                    workers: 2,
+                    cache_capacity: 0, // measure computed batches, not hits
+                    merge_every: 1024,
+                    event_loop: backend,
+                    ..Default::default()
+                },
+            )
+            .expect("bind loopback");
+            let addr = handle.addr();
+            let idle: Vec<TcpStream> = (0..parked)
+                .map(|_| TcpStream::connect(addr).expect("park conn"))
+                .collect();
+            let mut client = Client::connect(addr).expect("connect");
+            client.batch(&nodes, K).expect("warm-up batch");
+
+            group.bench_function(
+                BenchmarkId::new(format!("batch64/{backend}"), parked),
+                |b| b.iter(|| black_box(client.batch(&nodes, K).expect("batch"))),
+            );
+
+            drop(idle);
+            client.shutdown().expect("shutdown");
+            handle.join();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, throughput, serving_throughput);
 criterion_main!(benches);

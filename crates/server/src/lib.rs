@@ -2,9 +2,13 @@
 //!
 //! `rkrd` — a network serving subsystem for reverse k-ranks queries: a
 //! hand-rolled TCP daemon (the build environment is offline, so no tokio —
-//! a fixed worker-thread pool over `std::net::TcpListener`) speaking a
-//! newline-delimited JSON protocol, plus the blocking [`Client`] the
-//! `rkr serve` / `rkr query --remote` CLI paths use.
+//! a fixed pool of event-loop workers, `epoll` via raw syscalls on Linux
+//! with a portable non-blocking poll fallback, see [`EventBackend`])
+//! speaking a newline-delimited JSON protocol, plus the blocking
+//! [`Client`] the `rkr serve` / `rkr query --remote` CLI paths use.
+//! Connections get per-connection write backpressure and bounded request
+//! lines, and ready requests batch adaptively into shared-context engine
+//! passes ([`server`]).
 //!
 //! On top of the transport sits the serving-side performance layer:
 //!
@@ -65,12 +69,15 @@
 
 pub mod cache;
 pub mod client;
+pub(crate) mod conn;
+pub mod event;
 pub mod json;
 pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheKey, ResultCache};
 pub use client::{Client, ClientError, QueryOptions};
+pub use event::EventBackend;
 pub use protocol::{BatchReply, QueryReply, Reply, Request, StatsReply, UpdateOp};
 pub use server::{
     serve, serve_store, spawn, spawn_store, ServeOutcome, ServerConfig, ServerHandle,

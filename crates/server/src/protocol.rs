@@ -457,10 +457,30 @@ pub struct StatsReply {
     pub graph_nodes: u64,
     /// Logical edges in the current graph snapshot.
     pub graph_edges: u64,
+    /// Accept-queue drains that ended in a real error — `EMFILE`/`ENFILE`
+    /// fd exhaustion above all. Nonzero means clients are being turned
+    /// away at the listener; raise the fd limit or shed connections.
+    pub accept_errors: u64,
+    /// Event-loop wake-ups that surfaced ready work (epoll waits with
+    /// events, poll passes with progress).
+    pub wakeups: u64,
+    /// Wake-up passes that served at least one query.
+    pub batches: u64,
+    /// Queries served inside those passes — equals `queries` over time,
+    /// so `batch_queries / batches` is the realized adaptive-batching
+    /// factor (1.0 under request/response traffic, higher under
+    /// pipelining and fan-in).
+    pub batch_queries: u64,
+    /// Times a connection crossed the write high-water mark and had its
+    /// reads paused until the backlog drained.
+    pub backpressure_pauses: u64,
+    /// Request lines rejected (connection closed) for exceeding the
+    /// configured line cap.
+    pub oversize_lines: u64,
 }
 
 impl StatsReply {
-    const FIELDS: [&'static str; 18] = [
+    const FIELDS: [&'static str; 24] = [
         "queries",
         "cache_hits",
         "cache_misses",
@@ -479,9 +499,15 @@ impl StatsReply {
         "updates_applied",
         "graph_nodes",
         "graph_edges",
+        "accept_errors",
+        "wakeups",
+        "batches",
+        "batch_queries",
+        "backpressure_pauses",
+        "oversize_lines",
     ];
 
-    fn values(&self) -> [u64; 18] {
+    fn values(&self) -> [u64; 24] {
         [
             self.queries,
             self.cache_hits,
@@ -501,6 +527,12 @@ impl StatsReply {
             self.updates_applied,
             self.graph_nodes,
             self.graph_edges,
+            self.accept_errors,
+            self.wakeups,
+            self.batches,
+            self.batch_queries,
+            self.backpressure_pauses,
+            self.oversize_lines,
         ]
     }
 
@@ -516,7 +548,7 @@ impl StatsReply {
 
     fn from_json(v: &Json) -> Result<StatsReply, String> {
         let mut out = StatsReply::default();
-        let slots: [&mut u64; 18] = [
+        let slots: [&mut u64; 24] = [
             &mut out.queries,
             &mut out.cache_hits,
             &mut out.cache_misses,
@@ -535,6 +567,12 @@ impl StatsReply {
             &mut out.updates_applied,
             &mut out.graph_nodes,
             &mut out.graph_edges,
+            &mut out.accept_errors,
+            &mut out.wakeups,
+            &mut out.batches,
+            &mut out.batch_queries,
+            &mut out.backpressure_pauses,
+            &mut out.oversize_lines,
         ];
         for (field, slot) in Self::FIELDS.iter().zip(slots) {
             *slot = v
@@ -869,6 +907,12 @@ mod tests {
             updates_applied: 7,
             graph_nodes: 150,
             graph_edges: 1043,
+            accept_errors: 1,
+            wakeups: 40,
+            batches: 9,
+            batch_queries: 12,
+            backpressure_pauses: 2,
+            oversize_lines: 1,
         }));
         round_trip_reply(Reply::Update {
             staged: 3,

@@ -1,15 +1,37 @@
-//! The `rkrd` daemon: a fixed pool of worker threads serving the
-//! newline-delimited JSON protocol over TCP against a *live* graph.
+//! The `rkrd` daemon: a fixed pool of event-driven worker threads
+//! serving the newline-delimited JSON protocol over TCP against a *live*
+//! graph.
 //!
 //! ## Serving architecture
 //!
-//! * **Workers** accept connections from a shared non-blocking listener
-//!   and multiplex *all* of their accepted connections with non-blocking
-//!   round-robin reads — an idle keep-alive connection never pins a
-//!   worker, so control ops stay reachable no matter how many clients are
-//!   parked. Requests on one connection are served in order. Each worker
-//!   has its own [`QueryScratch`], so steady-state queries allocate
-//!   almost nothing.
+//! * **Workers are event loops, not per-connection threads.** Each
+//!   worker owns an [`crate::event`] backend — `epoll` on Linux (raw
+//!   syscalls, O(ready) per wake-up, kernel sleep when idle), a
+//!   non-blocking round-robin poll pass everywhere else — and multiplexes
+//!   *all* of its accepted connections on one thread. Ten thousand
+//!   parked keep-alive connections cost a wake-up nothing: only ready
+//!   sockets are touched, so control ops and queries stay fast no matter
+//!   how many clients idle. Requests on one connection are served in
+//!   order. Each worker has its own [`QueryScratch`], so steady-state
+//!   queries allocate almost nothing.
+//! * **Write backpressure.** Replies queue in a per-connection outbound
+//!   buffer (the `conn` module) drained as the socket accepts them
+//!   (`EPOLLOUT` re-arming on the epoll backend). A connection whose
+//!   backlog reaches the configured high-water mark stops being *read* —
+//!   and stops having its buffered requests parsed — until the backlog
+//!   fully drains, so a slow client throttles itself instead of growing
+//!   the daemon's memory. Inbound lines are bounded too: a line over
+//!   [`ServerConfig::max_line_bytes`] gets a one-line `bad request`
+//!   error and the connection is closed.
+//! * **Adaptive query batching.** One wake-up often surfaces many ready
+//!   requests (pipelined on one connection or spread across several).
+//!   The worker runs them as one *pass* (`QueryPass`): the live
+//!   `(context, index snapshot)` pair is acquired once per pass and
+//!   reused for every query in it, and the write-logs + merge-cadence
+//!   bookkeeping are flushed to the merger once at pass end — one lock
+//!   acquisition amortized over however many requests were ready, never
+//!   waiting on a timer. Control ops flush the pass first, so pipelined
+//!   `flush`/`update` sequences keep sequential semantics.
 //! * **The graph is versioned, not frozen.** A
 //!   [`rkranks_graph::GraphStore`] owns the canonical edge set; `update`
 //!   ops stage validated [`GraphDelta`] batches, and at every merge point
@@ -44,7 +66,7 @@
 //! correctness. Across graph epochs, the epoch tag on every reply says
 //! exactly which graph answered.
 
-use std::io::{self, Read, Write};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -58,6 +80,8 @@ use rkranks_core::{
 use rkranks_graph::{Graph, GraphDelta, GraphStore, NodeId};
 
 use crate::cache::{CacheKey, ResultCache};
+use crate::conn::{Conn, Fill, LineStatus};
+use crate::event::{Backend, EventBackend};
 use crate::protocol::{BatchReply, QueryReply, Reply, Request, StatsReply, UpdateOp};
 
 /// How long a fully idle worker sleeps between event-loop passes (after
@@ -91,6 +115,22 @@ pub struct ServerConfig {
     /// resumes at the same epoch pair. `None` (the default) serves purely
     /// in memory.
     pub snapshot: Option<PathBuf>,
+    /// Connection-multiplexing backend (`rkr serve --event-loop`):
+    /// [`EventBackend::Auto`] picks `epoll` where the kernel offers it
+    /// and the portable poll loop everywhere else.
+    pub event_loop: EventBackend,
+    /// Write-backpressure high-water mark (bytes). A connection whose
+    /// queued outbound replies reach this stops being read (and parsed)
+    /// until the backlog fully drains, so a slow client throttles itself
+    /// instead of growing the daemon's memory; the backlog itself is
+    /// bounded by one reply past the mark. `0` is the degenerate
+    /// pause-after-every-reply setting (valid, mostly for tests).
+    pub write_high_water: usize,
+    /// Maximum request-line length in bytes (newline excluded). Longer
+    /// lines get a one-line `bad request` error and the connection is
+    /// closed — a client streaming garbage without a newline cannot grow
+    /// a read buffer without limit.
+    pub max_line_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -101,6 +141,9 @@ impl Default for ServerConfig {
             merge_every: 64,
             bounds: BoundConfig::ALL,
             snapshot: None,
+            event_loop: EventBackend::Auto,
+            write_high_water: 256 * 1024,
+            max_line_bytes: 1024 * 1024,
         }
     }
 }
@@ -143,6 +186,22 @@ struct Counters {
     /// the authoritative count lives in the store, behind the write
     /// lock, and this mirror is only ever touched under that lock).
     updates_staged: AtomicU64,
+    /// Accept-queue drains that ended in a real error (`EMFILE`/`ENFILE`
+    /// fd exhaustion and kin) — `WouldBlock` is not an error.
+    accept_errors: AtomicU64,
+    /// Event-loop wake-ups that surfaced ready work.
+    wakeups: AtomicU64,
+    /// Wake-up passes that served at least one query.
+    batches: AtomicU64,
+    /// Queries served inside those passes (equals `queries` over time;
+    /// `batch_queries / batches` is the realized batching factor).
+    batch_queries: AtomicU64,
+    /// Times a connection crossed the write high-water mark and had its
+    /// reads paused.
+    backpressure_pauses: AtomicU64,
+    /// Request lines rejected (and connections closed) for exceeding
+    /// `max_line_bytes`.
+    oversize_lines: AtomicU64,
 }
 
 /// The consistent `(context, index snapshot)` pair queries read. Swapped
@@ -164,6 +223,11 @@ struct WriteState {
 /// Everything the worker, merger, and control paths share.
 struct Shared {
     config: ServerConfig,
+    /// The resolved event-loop backend every worker runs.
+    backend: Backend,
+    /// Burst guard for accept-error logging: set on the first error of a
+    /// burst (log it), cleared by the next successful accept.
+    accept_err_logged: AtomicBool,
     partition: Option<Partition>,
     live: RwLock<LiveState>,
     write: Mutex<WriteState>,
@@ -215,6 +279,10 @@ pub fn serve_store(
     );
     let mut config = config.clone();
     config.workers = config.workers.max(1);
+    let backend = config.event_loop.resolve();
+    if config.event_loop == EventBackend::Epoll && backend == Backend::Poll {
+        eprintln!("rkrd: epoll is not available on this host; serving with the poll backend");
+    }
     // Restored WAL deltas are already staged in the store; mirror them
     // into the merger's `due` hint so they commit on its first pass.
     let staged_at_start = store.pending_deltas() as u64;
@@ -240,6 +308,8 @@ pub fn serve_store(
             .then(|| Mutex::new(ResultCache::new(config.cache_capacity))),
         counters: Counters::default(),
         shutdown: AtomicBool::new(false),
+        backend,
+        accept_err_logged: AtomicBool::new(false),
         partition,
         config,
     };
@@ -347,32 +417,145 @@ fn strategy_bits(s: Strategy) -> u8 {
     }
 }
 
-/// One multiplexed client connection: a non-blocking stream plus the
-/// bytes of a not-yet-complete request line.
-struct Conn {
-    stream: TcpStream,
-    buf: Vec<u8>,
-}
-
-/// What one poll of a connection produced.
+/// What one service pass over a connection produced.
 enum ConnPoll {
-    /// No bytes available.
+    /// Nothing to do.
     Idle,
-    /// Served at least one request or made read progress.
+    /// Served requests, read bytes, or drained output.
     Progressed,
-    /// EOF, I/O error, or an acknowledged `shutdown` — drop it.
+    /// EOF, I/O error, an oversize line, or an acknowledged `shutdown` —
+    /// drop it.
     Closed,
 }
 
-/// Each worker owns a *set* of connections and round-robins over them
-/// with non-blocking reads, so idle keep-alive connections never pin a
-/// worker — a `ctl shutdown` can always get accepted and served no
-/// matter how many clients are parked. Requests on one connection are
-/// still answered in order. When a pass over accept + every connection
-/// makes no progress, the worker yields briefly, then sleeps — the yield
-/// ramp keeps request/reply ping-pong latency low (the peer usually runs
-/// and responds within a few yields) without busy-burning an idle core.
+/// One wake-up's worth of query work. The live `(context, snapshot)`
+/// pair is acquired lazily on the first query and reused for every ready
+/// query in the pass — one read-lock acquisition amortized over however
+/// many requests the wake-up surfaced — and the write-logs plus
+/// merge-cadence bookkeeping are flushed to the merger once at pass end
+/// instead of once per query. Batch size adapts to readiness: a lone
+/// request is a pass of one, a pipelined burst is one pass, and nothing
+/// ever waits on a timer.
+struct QueryPass {
+    live: Option<(Arc<EngineContext>, Arc<RkrIndex>, u64)>,
+    deltas: Vec<IndexDelta>,
+    queries: u64,
+}
+
+impl QueryPass {
+    fn new() -> QueryPass {
+        QueryPass {
+            live: None,
+            deltas: Vec::new(),
+            queries: 0,
+        }
+    }
+
+    /// The pass's consistent live pair (first call locks; the rest reuse).
+    fn live(&mut self, shared: &Shared) -> (Arc<EngineContext>, Arc<RkrIndex>, u64) {
+        if self.live.is_none() {
+            let live = shared.live.read().expect("live lock poisoned");
+            self.live = Some((
+                Arc::clone(&live.ctx),
+                Arc::clone(&live.snapshot),
+                live.graph_epoch,
+            ));
+        }
+        let (ctx, snapshot, graph_epoch) = self.live.as_ref().expect("just set");
+        (Arc::clone(ctx), Arc::clone(snapshot), *graph_epoch)
+    }
+
+    /// Drop the cached live pair so the next query re-reads it — called
+    /// after any control op that may have changed the published state.
+    fn invalidate(&mut self) {
+        self.live = None;
+    }
+
+    /// Hand the pass's write-logs and query count to the merger — one
+    /// pending-lock acquisition per wake-up, not per query — and wake it
+    /// if the cadence came due.
+    fn flush(&mut self, shared: &Shared) {
+        if self.queries == 0 && self.deltas.is_empty() {
+            return;
+        }
+        shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .counters
+            .batch_queries
+            .fetch_add(self.queries, Ordering::Relaxed);
+        let merge_due = {
+            let mut pending = shared.pending.lock().expect("pending lock poisoned");
+            pending.deltas.append(&mut self.deltas);
+            pending.queries_since_merge += self.queries;
+            merge_is_due(shared, &pending)
+        };
+        self.queries = 0;
+        if merge_due {
+            shared.merge_signal.notify_one();
+        }
+    }
+}
+
+/// Dispatch a worker to the resolved backend. A worker whose epoll setup
+/// fails at runtime degrades to the poll loop alone — the daemon keeps
+/// serving either way.
 fn worker_loop(shared: &Shared, listener: &TcpListener) {
+    match shared.backend {
+        Backend::Epoll => {
+            #[cfg(target_os = "linux")]
+            {
+                if epoll_worker(shared, listener) {
+                    return;
+                }
+                eprintln!("rkrd: worker falling back to the poll backend");
+            }
+            poll_worker(shared, listener);
+        }
+        Backend::Poll => poll_worker(shared, listener),
+    }
+}
+
+/// Drain the accept queue, registering each accepted stream via
+/// `on_conn`. `WouldBlock` ends the drain silently; real errors —
+/// `EMFILE`/`ENFILE` fd exhaustion above all — are counted in
+/// `accept_errors` and logged once per burst (the log re-arms on the
+/// next successful accept), so operators see fd-limit pressure without
+/// a log flood.
+fn accept_ready(shared: &Shared, listener: &TcpListener, mut on_conn: impl FnMut(TcpStream)) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.accept_err_logged.store(false, Ordering::Relaxed);
+                if stream.set_nonblocking(true).is_ok() {
+                    let _ = stream.set_nodelay(true);
+                    on_conn(stream);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                shared
+                    .counters
+                    .accept_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                if !shared.accept_err_logged.swap(true, Ordering::Relaxed) {
+                    eprintln!(
+                        "rkrd: accept failed: {e} (fd limit? counting, not logging, \
+                         further errors in this burst)"
+                    );
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// The portable fallback core: accept, then one non-blocking service
+/// pass over every connection — O(open connections) per pass. When a
+/// full pass makes no progress the worker yields briefly, then sleeps;
+/// the yield ramp keeps request/reply ping-pong latency low without
+/// busy-burning an idle core.
+fn poll_worker(shared: &Shared, listener: &TcpListener) {
     let mut scratch = shared
         .live
         .read()
@@ -383,21 +566,14 @@ fn worker_loop(shared: &Shared, listener: &TcpListener) {
     let mut idle_passes = 0u32;
     while !shared.shutdown.load(Ordering::Acquire) {
         let mut progressed = false;
-        // Drain the accept queue (the listener is non-blocking; any error
-        // — WouldBlock included — just ends the drain for this pass).
-        while let Ok((stream, _)) = listener.accept() {
-            if stream.set_nonblocking(true).is_ok() {
-                let _ = stream.set_nodelay(true);
-                conns.push(Conn {
-                    stream,
-                    buf: Vec::new(),
-                });
-                progressed = true;
-            }
-        }
+        accept_ready(shared, listener, |stream| {
+            conns.push(Conn::new(stream));
+            progressed = true;
+        });
+        let mut pass = QueryPass::new();
         let mut i = 0;
         while i < conns.len() {
-            match poll_connection(shared, &mut scratch, &mut conns[i]) {
+            match service_conn(shared, &mut scratch, &mut pass, &mut conns[i]) {
                 ConnPoll::Idle => i += 1,
                 ConnPoll::Progressed => {
                     progressed = true;
@@ -409,10 +585,13 @@ fn worker_loop(shared: &Shared, listener: &TcpListener) {
                 }
             }
             if shared.shutdown.load(Ordering::Acquire) {
+                pass.flush(shared);
                 return;
             }
         }
+        pass.flush(shared);
         if progressed {
+            shared.counters.wakeups.fetch_add(1, Ordering::Relaxed);
             idle_passes = 0;
         } else {
             idle_passes += 1;
@@ -425,67 +604,285 @@ fn worker_loop(shared: &Shared, listener: &TcpListener) {
     }
 }
 
-/// Read whatever `conn` has available and answer every complete request
-/// line in it. Never blocks.
-fn poll_connection(shared: &Shared, scratch: &mut QueryScratch, conn: &mut Conn) -> ConnPoll {
-    let mut chunk = [0u8; 4096];
-    let mut progressed = false;
-    loop {
-        match conn.stream.read(&mut chunk) {
-            Ok(0) => return ConnPoll::Closed,
-            Ok(n) => {
-                progressed = true;
-                conn.buf.extend_from_slice(&chunk[..n]);
-                while let Some(pos) = conn.buf.iter().position(|&b| b == b'\n') {
-                    let line: Vec<u8> = conn.buf.drain(..=pos).collect();
-                    let text = String::from_utf8_lossy(&line);
-                    let text = text.trim();
-                    if text.is_empty() {
-                        continue;
+/// The interest mask a connection's current state wants: reads unless
+/// paused (backpressure) or closing, writes while output is queued.
+#[cfg(target_os = "linux")]
+fn wanted_interest(conn: &Conn) -> u32 {
+    use crate::event::epoll::{EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+    let mut mask = EPOLLRDHUP;
+    if !conn.paused && !conn.closing {
+        mask |= EPOLLIN;
+    }
+    if conn.pending_out() > 0 {
+        mask |= EPOLLOUT;
+    }
+    mask
+}
+
+/// The readiness core: one epoll instance per worker, the shared
+/// listener registered `EPOLLEXCLUSIVE`, every connection level-triggered
+/// under a slab token. A wake-up touches only ready connections —
+/// O(ready), independent of how many thousands are parked — and an idle
+/// worker sleeps in `epoll_wait` (the short timeout is only so the
+/// shutdown flag is observed). Returns `false` if epoll setup failed and
+/// the caller should fall back to the poll loop.
+#[cfg(target_os = "linux")]
+fn epoll_worker(shared: &Shared, listener: &TcpListener) -> bool {
+    use crate::event::epoll::{self, Epoll};
+    use std::os::unix::io::AsRawFd;
+
+    /// Slab tokens are indices; the listener gets the one value no slab
+    /// slot can ever be.
+    const LISTENER: u64 = u64::MAX;
+    let ep = match Epoll::new() {
+        Ok(ep) => ep,
+        Err(e) => {
+            eprintln!("rkrd: epoll_create1 failed ({e})");
+            return false;
+        }
+    };
+    if let Err(e) = ep.add_listener(listener.as_raw_fd(), LISTENER) {
+        eprintln!("rkrd: epoll listener registration failed ({e})");
+        return false;
+    }
+    let mut scratch = shared
+        .live
+        .read()
+        .expect("live lock poisoned")
+        .ctx
+        .new_scratch();
+    // Connection slab: the epoll token is the slot index, so readiness
+    // dispatch is an array index, not a map lookup.
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut events = vec![epoll::Event { events: 0, data: 0 }; 1024];
+    while !shared.shutdown.load(Ordering::Acquire) {
+        let n = match ep.wait(&mut events, POLL.as_millis() as i32) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("rkrd: epoll_wait failed ({e}); worker exiting");
+                return true;
+            }
+        };
+        if n == 0 {
+            continue;
+        }
+        shared.counters.wakeups.fetch_add(1, Ordering::Relaxed);
+        let mut pass = QueryPass::new();
+        // Slots freed during this batch are not reused until the next
+        // wait: a queued event for a just-closed fd must never be
+        // delivered to a new tenant of its slot.
+        let mut freed: Vec<usize> = Vec::new();
+        for ev in events.iter().take(n) {
+            let (bits, token) = ({ ev.events }, { ev.data });
+            if token == LISTENER {
+                accept_ready(shared, listener, |stream| {
+                    let slot = free.pop().unwrap_or_else(|| {
+                        conns.push(None);
+                        conns.len() - 1
+                    });
+                    let mut conn = Conn::new(stream);
+                    conn.interest = epoll::EPOLLIN | epoll::EPOLLRDHUP;
+                    match ep.add(conn.stream.as_raw_fd(), slot as u64, conn.interest) {
+                        // Any bytes the client already sent surface on
+                        // the next (level-triggered) wait immediately.
+                        Ok(()) => conns[slot] = Some(conn),
+                        Err(_) => free.push(slot), // conn drops, fd closes
                     }
-                    let reply = match Request::from_line(text) {
-                        Ok(req) => execute(shared, scratch, req),
-                        Err(msg) => Reply::Error(format!("bad request: {msg}")),
-                    };
-                    let is_shutdown = matches!(reply, Reply::Shutdown);
-                    let mut out = reply.to_json().render();
-                    out.push('\n');
-                    if write_all_nonblocking(&mut conn.stream, out.as_bytes()).is_err()
-                        || is_shutdown
-                    {
-                        return ConnPoll::Closed;
+                });
+                continue;
+            }
+            let slot = token as usize;
+            let closed = match conns.get_mut(slot).and_then(Option::as_mut) {
+                // A connection closed earlier in this same batch can
+                // leave a second queued event behind — skip it.
+                None => continue,
+                Some(conn) => {
+                    if bits & (epoll::EPOLLERR | epoll::EPOLLHUP) != 0 {
+                        true
+                    } else {
+                        matches!(
+                            service_conn(shared, &mut scratch, &mut pass, conn),
+                            ConnPoll::Closed
+                        )
                     }
                 }
+            };
+            if closed {
+                if let Some(conn) = conns[slot].take() {
+                    let _ = ep.delete(conn.stream.as_raw_fd());
+                }
+                freed.push(slot);
+            } else if let Some(conn) = conns[slot].as_mut() {
+                // Re-arm interest only when it actually changed
+                // (backpressure pausing reads, queued output wanting
+                // EPOLLOUT) — the steady state costs no epoll_ctl.
+                let wanted = wanted_interest(conn);
+                if wanted != conn.interest
+                    && ep.modify(conn.stream.as_raw_fd(), token, wanted).is_ok()
+                {
+                    conn.interest = wanted;
+                }
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+            if shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+        }
+        pass.flush(shared);
+        free.append(&mut freed);
+    }
+    true
+}
+
+/// A parsed inbound line, decoupled from the buffer borrow.
+enum Parsed {
+    /// Blank line — consume and move on.
+    Empty,
+    /// A request line (or its parse error).
+    Req(Result<Request, String>),
+    /// Line over the cap: reject and close.
+    Oversize,
+}
+
+/// Serve everything a connection has ready: flush queued output, read
+/// what's available, answer every complete buffered line, re-flush.
+/// Never blocks (the one exception: the final shutdown ack is delivered
+/// with a blocking write — the daemon is exiting). Honors backpressure:
+/// a paused connection is only flushed until its backlog drains.
+fn service_conn(
+    shared: &Shared,
+    scratch: &mut QueryScratch,
+    pass: &mut QueryPass,
+    conn: &mut Conn,
+) -> ConnPoll {
+    let max_line = shared.config.max_line_bytes;
+    let mut progressed = false;
+    // Drain queued replies first, whatever woke us.
+    let backlog = conn.pending_out();
+    match conn.try_flush() {
+        Ok(left) => progressed |= left < backlog,
+        Err(_) => return ConnPoll::Closed,
+    }
+    loop {
+        if conn.closing {
+            // Terminal: the farewell line is out (or the peer is gone).
+            return if conn.pending_out() == 0 {
+                ConnPoll::Closed
+            } else if progressed {
+                ConnPoll::Progressed
+            } else {
+                ConnPoll::Idle
+            };
+        }
+        if conn.paused {
+            if conn.pending_out() > 0 {
+                // Still backed up: no reads, no parsing.
                 return if progressed {
                     ConnPoll::Progressed
                 } else {
                     ConnPoll::Idle
                 };
             }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            conn.paused = false; // fully drained: resume
+        }
+        let fill = match conn.fill(max_line) {
+            Ok(f) => f,
             Err(_) => return ConnPoll::Closed,
+        };
+        progressed |= fill == Fill::Progress;
+        while !conn.paused && !conn.closing {
+            let parsed = match conn.peek_line(max_line) {
+                LineStatus::Partial => break,
+                LineStatus::Oversize => Parsed::Oversize,
+                LineStatus::Line(bytes) => {
+                    let text = String::from_utf8_lossy(bytes);
+                    let text = text.trim();
+                    if text.is_empty() {
+                        Parsed::Empty
+                    } else {
+                        Parsed::Req(
+                            Request::from_line(text).map_err(|m| format!("bad request: {m}")),
+                        )
+                    }
+                }
+            };
+            progressed = true;
+            let result = match parsed {
+                Parsed::Oversize => {
+                    shared
+                        .counters
+                        .oversize_lines
+                        .fetch_add(1, Ordering::Relaxed);
+                    let mut line =
+                        Reply::Error(format!("bad request: line exceeds {max_line} bytes"))
+                            .to_json()
+                            .render();
+                    line.push('\n');
+                    if conn.send(line.as_bytes()).is_err() {
+                        return ConnPoll::Closed;
+                    }
+                    conn.closing = true;
+                    break;
+                }
+                Parsed::Empty => {
+                    conn.consume_line();
+                    continue;
+                }
+                Parsed::Req(result) => {
+                    conn.consume_line();
+                    result
+                }
+            };
+            let reply = match result {
+                Ok(req) => execute(shared, scratch, pass, req),
+                Err(msg) => Reply::Error(msg),
+            };
+            let is_shutdown = matches!(reply, Reply::Shutdown);
+            let mut out = reply.to_json().render();
+            out.push('\n');
+            if is_shutdown {
+                conn.send_final(out.as_bytes());
+                return ConnPoll::Closed;
+            }
+            if conn.send(out.as_bytes()).is_err() {
+                return ConnPoll::Closed;
+            }
+            if !conn.paused && conn.pending_out() >= shared.config.write_high_water {
+                conn.paused = true;
+                shared
+                    .counters
+                    .backpressure_pauses
+                    .fetch_add(1, Ordering::Relaxed);
+            }
         }
+        conn.compact();
+        if conn.try_flush().is_err() {
+            return ConnPoll::Closed;
+        }
+        if conn.closing || (conn.paused && conn.pending_out() == 0) {
+            // Re-evaluate at the top: a drained pause resumes parsing
+            // the lines still buffered; a closing connection may now be
+            // fully flushed and closable.
+            continue;
+        }
+        if fill == Fill::Eof {
+            // Orderly EOF, buffered lines all served: the peer is done.
+            return ConnPoll::Closed;
+        }
+        return if progressed {
+            ConnPoll::Progressed
+        } else {
+            ConnPoll::Idle
+        };
     }
 }
 
-/// `write_all` for a non-blocking stream: replies are small, so a full
-/// send buffer is rare — wait it out politely instead of dropping data.
-fn write_all_nonblocking(stream: &mut TcpStream, mut buf: &[u8]) -> io::Result<()> {
-    while !buf.is_empty() {
-        match stream.write(buf) {
-            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
-            Ok(n) => buf = &buf[n..],
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-    stream.flush()
-}
-
-fn execute(shared: &Shared, scratch: &mut QueryScratch, req: Request) -> Reply {
+fn execute(
+    shared: &Shared,
+    scratch: &mut QueryScratch,
+    pass: &mut QueryPass,
+    req: Request,
+) -> Reply {
     match req {
         Request::Query {
             node,
@@ -496,6 +893,7 @@ fn execute(shared: &Shared, scratch: &mut QueryScratch, req: Request) -> Reply {
         } => match run_query(
             shared,
             scratch,
+            pass,
             node,
             k,
             cache,
@@ -511,7 +909,7 @@ fn execute(shared: &Shared, scratch: &mut QueryScratch, req: Request) -> Reply {
             let mut epoch = 0u64;
             let mut graph_epoch = 0u64;
             for node in nodes {
-                match run_query(shared, scratch, node, k, true, None, None) {
+                match run_query(shared, scratch, pass, node, k, true, None, None) {
                     Ok(q) => {
                         cached += q.cached as u64;
                         epoch = q.epoch;
@@ -527,6 +925,24 @@ fn execute(shared: &Shared, scratch: &mut QueryScratch, req: Request) -> Reply {
                 epoch,
                 graph_epoch,
             })
+        }
+        // Every control op flushes the pass first and drops its cached
+        // live pair: pipelined `query → flush → query` in one wake-up
+        // keeps sequential semantics — the flush sees the first query's
+        // write-log, the second query sees the flushed state.
+        req => {
+            pass.flush(shared);
+            pass.invalidate();
+            execute_control(shared, req)
+        }
+    }
+}
+
+/// The non-query ops (already pass-flushed by [`execute`]).
+fn execute_control(shared: &Shared, req: Request) -> Reply {
+    match req {
+        Request::Query { .. } | Request::Batch { .. } => {
+            unreachable!("query ops are handled by execute")
         }
         Request::Update { ops } => match stage_updates(shared, &ops) {
             Ok((staged, graph_epoch)) => Reply::Update {
@@ -595,6 +1011,7 @@ fn stage_updates(shared: &Shared, ops: &[UpdateOp]) -> Result<(u64, u64), String
 fn run_query(
     shared: &Shared,
     scratch: &mut QueryScratch,
+    pass: &mut QueryPass,
     node: u32,
     k: u32,
     use_cache: bool,
@@ -609,16 +1026,10 @@ fn run_query(
         None => Strategy::Indexed(shared.config.bounds),
     };
     shared.counters.queries.fetch_add(1, Ordering::Relaxed);
-    // One read lock, one consistent pair: the context and the index
-    // snapshot always belong to the same graph epoch.
-    let (ctx, snapshot, graph_epoch) = {
-        let live = shared.live.read().expect("live lock poisoned");
-        (
-            Arc::clone(&live.ctx),
-            Arc::clone(&live.snapshot),
-            live.graph_epoch,
-        )
-    };
+    // One consistent pair per *pass*: the context and the index snapshot
+    // always belong to the same graph epoch, and every query the wake-up
+    // batched shares the one read-lock acquisition.
+    let (ctx, snapshot, graph_epoch) = pass.live(shared);
     let epoch = snapshot.epoch();
     let key = CacheKey {
         node,
@@ -646,7 +1057,7 @@ fn run_query(
                 // Hits count toward the merge cadence too: "merge every N
                 // served queries" must hold under hit-heavy traffic, or
                 // pending deltas could sit unmerged indefinitely.
-                note_query_for_cadence(shared, None);
+                pass.queries += 1;
                 // A cached entry is always a *complete* answer (partial
                 // results are never inserted), so it satisfies any
                 // deadline trivially.
@@ -681,7 +1092,10 @@ fn run_query(
         .iter()
         .map(|e| (e.node.0, e.rank))
         .collect();
-    note_query_for_cadence(shared, Some(delta));
+    pass.queries += 1;
+    if !delta.is_empty() {
+        pass.deltas.push(delta);
+    }
     let partial = match outcome.completion {
         Completion::Complete => false,
         Completion::Partial { reason, .. } => {
@@ -716,25 +1130,6 @@ fn run_query(
         graph_epoch,
         partial,
     })
-}
-
-/// Count one served query toward the merge cadence (queuing its
-/// write-log, if it produced a non-empty one) and wake the merger when
-/// the cadence is due.
-fn note_query_for_cadence(shared: &Shared, delta: Option<IndexDelta>) {
-    let merge_due = {
-        let mut pending = shared.pending.lock().expect("pending lock poisoned");
-        if let Some(delta) = delta {
-            if !delta.is_empty() {
-                pending.deltas.push(delta);
-            }
-        }
-        pending.queries_since_merge += 1;
-        merge_is_due(shared, &pending)
-    };
-    if merge_due {
-        shared.merge_signal.notify_one();
-    }
 }
 
 /// Whether the merger has due work. Index write-logs wait for the query
@@ -929,6 +1324,12 @@ fn stats_snapshot(shared: &Shared) -> StatsReply {
         updates_applied: shared.counters.updates_applied.load(Ordering::Relaxed),
         graph_nodes,
         graph_edges,
+        accept_errors: shared.counters.accept_errors.load(Ordering::Relaxed),
+        wakeups: shared.counters.wakeups.load(Ordering::Relaxed),
+        batches: shared.counters.batches.load(Ordering::Relaxed),
+        batch_queries: shared.counters.batch_queries.load(Ordering::Relaxed),
+        backpressure_pauses: shared.counters.backpressure_pauses.load(Ordering::Relaxed),
+        oversize_lines: shared.counters.oversize_lines.load(Ordering::Relaxed),
     }
 }
 
@@ -966,6 +1367,7 @@ mod tests {
             merge_every: 0, // merges only via flush → deterministic epochs
             bounds: BoundConfig::ALL,
             snapshot: None,
+            ..Default::default()
         });
         let mut client = Client::connect(handle.addr()).unwrap();
 
@@ -1021,6 +1423,7 @@ mod tests {
             merge_every: 0,
             bounds: BoundConfig::ALL,
             snapshot: None,
+            ..Default::default()
         });
         let mut client = Client::connect(handle.addr()).unwrap();
         let batch = client.batch(&[0, 1, 0], 2).unwrap();
@@ -1047,6 +1450,7 @@ mod tests {
             merge_every: 0,
             bounds: BoundConfig::ALL,
             snapshot: None,
+            ..Default::default()
         });
         let mut client = Client::connect(handle.addr()).unwrap();
         client.query_uncached(0, 2).unwrap();
@@ -1067,6 +1471,7 @@ mod tests {
             merge_every: 1,
             bounds: BoundConfig::ALL,
             snapshot: None,
+            ..Default::default()
         });
         let mut client = Client::connect(handle.addr()).unwrap();
         for _ in 0..4 {
@@ -1091,6 +1496,7 @@ mod tests {
             merge_every: 0,
             bounds: BoundConfig::ALL,
             snapshot: None,
+            ..Default::default()
         });
         let addr = handle.addr();
         // two clients connect and go idle without sending anything
@@ -1142,6 +1548,7 @@ mod tests {
             merge_every: 0, // commits only on flush → deterministic epochs
             bounds: BoundConfig::ALL,
             snapshot: None,
+            ..Default::default()
         });
         let mut client = Client::connect(handle.addr()).unwrap();
 
@@ -1202,6 +1609,7 @@ mod tests {
             merge_every: 0,
             bounds: BoundConfig::ALL,
             snapshot: None,
+            ..Default::default()
         });
         let mut client = Client::connect(handle.addr()).unwrap();
 
@@ -1266,6 +1674,7 @@ mod tests {
             merge_every: 0,
             bounds: BoundConfig::ALL,
             snapshot: None,
+            ..Default::default()
         });
         let mut client = Client::connect(handle.addr()).unwrap();
         let (staged, _) = client
@@ -1299,6 +1708,7 @@ mod tests {
             merge_every: 2,
             bounds: BoundConfig::ALL,
             snapshot: None,
+            ..Default::default()
         });
         let mut client = Client::connect(handle.addr()).unwrap();
         client
@@ -1335,6 +1745,7 @@ mod tests {
             merge_every: 64,
             bounds: BoundConfig::ALL,
             snapshot: None,
+            ..Default::default()
         });
         let mut client = Client::connect(handle.addr()).unwrap();
         client
@@ -1365,6 +1776,7 @@ mod tests {
             merge_every: 0,
             bounds: BoundConfig::ALL,
             snapshot: None,
+            ..Default::default()
         });
         let mut client = Client::connect(handle.addr()).unwrap();
         let err = client.checkpoint().unwrap_err();
@@ -1387,6 +1799,7 @@ mod tests {
             merge_every: 0,
             bounds: BoundConfig::ALL,
             snapshot: Some(path.clone()),
+            ..Default::default()
         });
         let client = Client::connect(handle.addr()).unwrap();
         client.shutdown().unwrap();

@@ -1,0 +1,228 @@
+//! Connection-count sweep for the `rkrd` event-loop core.
+//!
+//! ```text
+//! # self-contained (in-process daemon; parked counts the fd limit allows):
+//! cargo run --release --example serving_sweep > BENCH_serving.json
+//!
+//! # client mode against an external daemon (how scripts/bench_serving.sh
+//! # reaches the full 10k leg — daemon and sweep each hold their own half
+//! # of the socket pairs, so one process's fd limit is never doubled up):
+//! cargo run --release --example serving_sweep -- \
+//!     --remote 127.0.0.1:7878 --backend epoll --parked 16,256,2048,10000
+//! ```
+//!
+//! For each event-loop backend and each parked-connection count, the
+//! sweep opens that many idle keep-alive connections against the daemon,
+//! then measures per-request latency on one active client: cache-hit
+//! query round-trips, uncached query round-trips, and `stats` control
+//! ops. Self-contained mode prints a complete JSON document; client mode
+//! prints one JSON row per parked count (`scripts/bench_serving.sh`
+//! assembles the document).
+//!
+//! The number to watch: on the epoll backend the per-request latency
+//! must stay flat as the parked count grows 16 → 10000 — wake-ups are
+//! O(ready), and ten thousand silent sockets are never touched. The
+//! poll backend scans every open connection per pass, so its column
+//! grows with the crowd; that contrast is the point of the event-driven
+//! core.
+
+use std::net::TcpStream;
+use std::time::Instant;
+
+use rkranks_core::RkrIndex;
+use rkranks_datasets::{collab_graph, CollabParams};
+use rkranks_server::{spawn, Client, EventBackend, ServerConfig};
+
+const K: u32 = 10;
+const K_MAX: u32 = 32;
+const AUTHORS: u32 = 400;
+const PARKED: [usize; 4] = [16, 256, 2048, 10_000];
+const HIT_ROUNDS: usize = 300;
+const UNCACHED_ROUNDS: usize = 100;
+const STATS_ROUNDS: usize = 200;
+
+fn backends() -> Vec<EventBackend> {
+    let mut all = vec![EventBackend::Poll];
+    if EventBackend::epoll_supported() {
+        all.push(EventBackend::Epoll);
+    }
+    all
+}
+
+/// The soft fd limit, read from /proc (Linux) — `usize::MAX` elsewhere,
+/// where the sweep optimistically tries every parked count.
+fn fd_limit() -> usize {
+    std::fs::read_to_string("/proc/self/limits")
+        .ok()
+        .and_then(|limits| {
+            limits.lines().find_map(|l| {
+                l.strip_prefix("Max open files")?
+                    .split_whitespace()
+                    .next()?
+                    .parse()
+                    .ok()
+            })
+        })
+        .unwrap_or(usize::MAX)
+}
+
+/// `(p50, p99)` of a sample set, in microseconds.
+fn percentiles(samples: &mut [u128]) -> (f64, f64) {
+    samples.sort_unstable();
+    let at = |p: usize| samples[(samples.len() - 1) * p / 100] as f64 / 1000.0;
+    (at(50), at(99))
+}
+
+fn time_each(rounds: usize, mut op: impl FnMut(usize)) -> (f64, f64) {
+    let mut samples: Vec<u128> = Vec::with_capacity(rounds);
+    for i in 0..rounds {
+        let started = Instant::now();
+        op(i);
+        samples.push(started.elapsed().as_nanos());
+    }
+    percentiles(&mut samples)
+}
+
+/// Park `parked` idle connections, then measure the three per-request
+/// latencies on one active client. Returns one JSON row.
+fn measure(addr: std::net::SocketAddr, backend: &str, parked: usize, nodes: &[u32]) -> String {
+    eprintln!("sweep: backend={backend} parked={parked}");
+    let idle: Vec<TcpStream> = (0..parked)
+        .map(|_| TcpStream::connect(addr).expect("park conn"))
+        .collect();
+    let mut client = Client::connect(addr).expect("connect");
+    for &node in nodes {
+        client.query(node, K).expect("warm-up query");
+    }
+
+    let (hit_p50, hit_p99) = time_each(HIT_ROUNDS, |i| {
+        client.query(nodes[i % nodes.len()], K).expect("hit");
+    });
+    let (raw_p50, raw_p99) = time_each(UNCACHED_ROUNDS, |i| {
+        client
+            .query_uncached(nodes[i % nodes.len()], K)
+            .expect("uncached");
+    });
+    let (st_p50, st_p99) = time_each(STATS_ROUNDS, |_| {
+        client.stats().expect("stats");
+    });
+    drop(idle);
+
+    format!(
+        "{{\"backend\": \"{backend}\", \"parked_connections\": {parked}, \
+         \"query_hit_us\": {{\"p50\": {hit_p50:.1}, \"p99\": {hit_p99:.1}}}, \
+         \"query_uncached_us\": {{\"p50\": {raw_p50:.1}, \"p99\": {raw_p99:.1}}}, \
+         \"stats_us\": {{\"p50\": {st_p50:.1}, \"p99\": {st_p99:.1}}}}}"
+    )
+}
+
+/// Client mode: sweep an externally started daemon (its address, backend
+/// label, and parked counts come from the command line) and print one
+/// row per line. The daemon holds the other half of every socket pair in
+/// its own process, so parked counts up to the full fd limit fit.
+fn remote_sweep(addr: &str, backend: &str, parked_counts: &[usize]) {
+    let addr: std::net::SocketAddr = addr.parse().expect("--remote HOST:PORT");
+    let nodes: Vec<u32> = (0..64).collect();
+    let limit = fd_limit();
+    for &parked in parked_counts {
+        if parked + 64 > limit {
+            eprintln!("skipping {backend}/{parked}: fd limit {limit} is too low");
+            continue;
+        }
+        println!("{}", measure(addr, backend, parked, &nodes));
+    }
+}
+
+/// Self-contained mode: spawn an in-process daemon per (backend, parked)
+/// cell and print the full JSON document. Both halves of every parked
+/// socket pair live in this one process, so each cell needs ~2× its
+/// parked count in fds — cells over the limit are skipped (use
+/// `scripts/bench_serving.sh` for the full 10k leg).
+fn local_sweep() {
+    let g = collab_graph(&CollabParams::with_authors(AUTHORS, 0xBE7C));
+    let n = g.num_nodes();
+    let edges = g.num_edges();
+    let nodes: Vec<u32> = (0u32..64).map(|i| (i * 5) % n).collect();
+    let limit = fd_limit();
+
+    let mut rows = Vec::new();
+    for backend in backends() {
+        for parked in PARKED {
+            if 2 * parked + 64 > limit {
+                eprintln!(
+                    "skipping {backend}/{parked}: fd limit {limit} cannot hold both \
+                     halves of {parked} loopback socket pairs (scripts/bench_serving.sh \
+                     splits daemon and sweep into two processes for this leg)"
+                );
+                continue;
+            }
+            let handle = spawn(
+                g.clone(),
+                None,
+                RkrIndex::empty(n, K_MAX),
+                "127.0.0.1:0",
+                ServerConfig {
+                    workers: 2,
+                    cache_capacity: 4096,
+                    merge_every: 0, // keep the epoch (and the cache) stable
+                    event_loop: backend,
+                    ..Default::default()
+                },
+            )
+            .expect("bind loopback");
+            rows.push(format!(
+                "    {}",
+                measure(handle.addr(), backend.name(), parked, &nodes)
+            ));
+            let client = Client::connect(handle.addr()).expect("connect ctl");
+            client.shutdown().expect("shutdown");
+            handle.join();
+        }
+    }
+
+    println!("{{");
+    println!("  \"bench\": \"serving_sweep\",");
+    println!("  \"graph\": {{\"nodes\": {n}, \"edges\": {edges}}},");
+    println!(
+        "  \"k\": {K}, \"workers\": 2, \"rounds\": {{\"query_hit\": {HIT_ROUNDS}, \
+         \"query_uncached\": {UNCACHED_ROUNDS}, \"stats\": {STATS_ROUNDS}}},"
+    );
+    println!("  \"sweep\": [");
+    println!("{}", rows.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut remote = None;
+    let mut backend = String::from("unknown");
+    let mut parked: Vec<usize> = PARKED.to_vec();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--remote" => {
+                remote = Some(args.get(i + 1).expect("--remote HOST:PORT").clone());
+                i += 2;
+            }
+            "--backend" => {
+                backend = args.get(i + 1).expect("--backend NAME").clone();
+                i += 2;
+            }
+            "--parked" => {
+                parked = args
+                    .get(i + 1)
+                    .expect("--parked N,N,...")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--parked takes numbers"))
+                    .collect();
+                i += 2;
+            }
+            other => panic!("unknown argument {other} (see the doc comment)"),
+        }
+    }
+    match remote {
+        Some(addr) => remote_sweep(&addr, &backend, &parked),
+        None => local_sweep(),
+    }
+}

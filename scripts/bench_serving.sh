@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Serving-core perf snapshot: the connection-count sweep (per-request
+# p50/p99 with 16..10k parked idle connections, on every event-loop
+# backend the host supports), recorded as BENCH_serving.json at the repo
+# root so the serving perf trajectory is tracked in-tree from PR 7 on.
+#
+# The daemon runs as its own process (`rkr serve`) and the sweep
+# (examples/serving_sweep.rs --remote) as another: each holds only its
+# half of the parked socket pairs, so the 10k leg needs ~10k fds per
+# process instead of 20k in one — the in-process example alone cannot
+# reach 10k under a 20k fd limit.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+RKR=target/release/rkr
+SWEEP=target/release/examples/serving_sweep
+PARKED="${PARKED:-16,256,2048,10000}"
+
+echo "fd limit: $(ulimit -Sn)" >&2
+cargo build --release --bin rkr --example serving_sweep
+
+WORK="$(mktemp -d)"
+trap 'kill "${SERVE_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+"$RKR" gen dblp --scale tiny --seed 7 --out "$WORK/g.edges"
+NODES="$("$RKR" stats "$WORK/g.edges" | awk '/^nodes:/ {print $2}')"
+EDGES="$("$RKR" stats "$WORK/g.edges" | awk '/^edges:/ {print $2}')"
+
+BACKENDS="poll"
+[ "$(uname -s)" = "Linux" ] && BACKENDS="poll epoll"
+
+: > "$WORK/rows.txt"
+for BACKEND in $BACKENDS; do
+    "$RKR" serve "$WORK/g.edges" --addr 127.0.0.1:0 --workers 2 --cache 4096 \
+        --kmax 32 --merge-every 1000000 --event-loop "$BACKEND" \
+        > "$WORK/serve-$BACKEND.log" &
+    SERVE_PID=$!
+    ADDR=""
+    for _ in $(seq 1 100); do
+        ADDR="$(grep -oE '127\.0\.0\.1:[0-9]+' "$WORK/serve-$BACKEND.log" | head -1 || true)"
+        [ -n "$ADDR" ] && break
+        sleep 0.1
+    done
+    [ -n "$ADDR" ] || { echo "rkrd never printed its address"; cat "$WORK/serve-$BACKEND.log"; exit 1; }
+    echo "rkrd ($BACKEND) up at $ADDR" >&2
+
+    "$SWEEP" --remote "$ADDR" --backend "$BACKEND" --parked "$PARKED" >> "$WORK/rows.txt"
+
+    "$RKR" ctl "$ADDR" shutdown
+    wait "$SERVE_PID"
+    SERVE_PID=""
+done
+
+{
+    echo '{'
+    echo '  "bench": "serving_sweep",'
+    echo "  \"graph\": {\"source\": \"rkr gen dblp --scale tiny --seed 7\", \"nodes\": $NODES, \"edges\": $EDGES},"
+    echo '  "k": 10, "workers": 2, "cache": 4096,'
+    echo '  "rounds": {"query_hit": 300, "query_uncached": 100, "stats": 200},'
+    echo '  "sweep": ['
+    sed 's/^/    /; $!s/$/,/' "$WORK/rows.txt"
+    echo '  ]'
+    echo '}'
+} > BENCH_serving.json
+echo "wrote BENCH_serving.json:" >&2
+cat BENCH_serving.json

@@ -14,6 +14,7 @@
 //!                 [--index index.rkri] [--seed S]
 //! rkr serve [<graph.edges>] [--addr HOST:PORT] [--workers N] [--cache N] [--merge-every M]
 //!                 [--index index.rkri] [--kmax K] [--save-index] [--snapshot FILE]
+//!                 [--event-loop auto|epoll|poll] [--high-water BYTES] [--max-line BYTES]
 //! rkr ctl <HOST:PORT> stats|flush|checkpoint|shutdown
 //! rkr ctl <HOST:PORT> add-edge U V W | rm-edge U V | reweight U V W | add-node
 //! rkr update <HOST:PORT> --from FILE [--batch N] [--no-flush]
@@ -32,8 +33,11 @@
 //! runner: one shared `EngineContext`, per-worker scratch, and (for
 //! `--indexed-mode snapshot`) concurrent indexed serving against a frozen
 //! index with delta merges. `serve` runs the `rkrd` daemon (see
-//! `rkranks_server`): a worker pool answering the line-delimited JSON
-//! protocol with an LRU result cache and epoch-based invalidation;
+//! `rkranks_server`): a pool of event-loop workers (`epoll` on Linux via
+//! raw syscalls, a portable poll fallback elsewhere — `--event-loop`)
+//! answering the line-delimited JSON protocol with write backpressure
+//! (`--high-water`), bounded request lines (`--max-line`), adaptive
+//! query batching, an LRU result cache and epoch-based invalidation;
 //! `query --remote` and `ctl` are its clients. The daemon's graph is
 //! *live*: `ctl add-edge`/`rm-edge`/`reweight`/`add-node` stage single
 //! updates and `rkr update --from FILE` streams a whole update file in
@@ -76,6 +80,7 @@ const USAGE: &str = "usage:
             [--indexed-mode sequential|snapshot] [--merge-every M] [--index FILE] [--seed S]
   rkr serve [<graph.edges>] [--addr HOST:PORT] [--workers N] [--cache N] [--merge-every M]
             [--index FILE] [--kmax K] [--save-index] [--snapshot FILE]
+            [--event-loop auto|epoll|poll] [--high-water BYTES] [--max-line BYTES]
   rkr ctl <HOST:PORT> stats|flush|checkpoint|shutdown
   rkr ctl <HOST:PORT> add-edge U V W | rm-edge U V | reweight U V W | add-node
   rkr update <HOST:PORT> --from FILE [--batch N] [--no-flush]
@@ -447,18 +452,33 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             (store, index)
         }
     };
+    let event_loop: rkranks_server::EventBackend = flags
+        .get("event-loop")
+        .unwrap_or("auto")
+        .parse()
+        .map_err(|e: String| e)?;
+    if event_loop == rkranks_server::EventBackend::Epoll
+        && !rkranks_server::EventBackend::epoll_supported()
+    {
+        return Err("--event-loop epoll is not supported on this host (use auto or poll)".into());
+    }
+    let defaults = ServerConfig::default();
     let config = ServerConfig {
         workers: workers.max(1),
         cache_capacity: cache,
         merge_every,
         bounds: BoundConfig::ALL,
         snapshot: snapshot.clone(),
+        event_loop,
+        write_high_water: flags.get_parsed("high-water", defaults.write_high_water)?,
+        max_line_bytes: flags.get_parsed("max-line", defaults.max_line_bytes)?,
     };
     let listener =
         std::net::TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let local = listener.local_addr().map_err(|e| e.to_string())?;
     println!(
-        "rkrd listening on {local} ({} workers, cache {}, merge every {}, k <= {})",
+        "rkrd listening on {local} ({} event loop, {} workers, cache {}, merge every {}, k <= {})",
+        config.event_loop.resolved_name(),
         config.workers,
         if cache > 0 {
             cache.to_string()
@@ -640,6 +660,14 @@ fn cmd_ctl(flags: &Flags) -> Result<(), String> {
                 s.merges, s.deltas_merged
             );
             println!("workers:        {}", s.workers);
+            println!(
+                "event loop:     {} wakeups, {} batches / {} batched queries",
+                s.wakeups, s.batches, s.batch_queries
+            );
+            println!(
+                "flow control:   {} backpressure pauses, {} oversize lines, {} accept errors",
+                s.backpressure_pauses, s.oversize_lines, s.accept_errors
+            );
         }
         "flush" => {
             let (epoch, merged) = client.flush().map_err(|e| e.to_string())?;
