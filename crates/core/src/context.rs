@@ -32,7 +32,7 @@ use crate::request::{Completion, Limits, QueryOutcome, QueryRequest, Strategy};
 use crate::result::{QueryResult, TopKCollector};
 use crate::scratch::Stamped;
 use crate::spec::{Partition, QuerySpec};
-use crate::stats::QueryStats;
+use crate::stats::{QueryStageStats, QueryStats};
 use crate::trace::{PopDecision, QueryTrace, TraceEvent};
 
 /// Immutable, `Sync` query-evaluation state bound to one graph snapshot:
@@ -193,10 +193,12 @@ impl EngineContext {
                 )?
             }
         };
+        let stage = QueryStageStats::from_stats(&result.stats);
         Ok(QueryOutcome {
             result,
             trace,
             completion,
+            stage,
         })
     }
 
@@ -227,7 +229,8 @@ impl EngineContext {
                 };
                 break;
             }
-            if let Some(RefineOutcome::Exact(r)) = refine_rank_unbounded(
+            let refine_start = Instant::now();
+            let refined = refine_rank_unbounded(
                 &self.graph,
                 spec,
                 &mut scratch.refine_ws,
@@ -235,7 +238,9 @@ impl EngineContext {
                 q,
                 collector.k_rank(),
                 &mut stats,
-            ) {
+            );
+            stats.refine_time += refine_start.elapsed();
+            if let Some(RefineOutcome::Exact(r)) = refined {
                 collector.offer(p, r);
             }
         }
@@ -531,9 +536,12 @@ impl EngineContext {
                 lcount: count_enabled.then_some(&mut *lcount),
                 index: index.as_deref_mut(),
             };
-            match refine_rank(
+            let refine_start = Instant::now();
+            let refined = refine_rank(
                 graph, spec, refine_ws, u, q, d, k_rank, &mut hooks, &mut stats,
-            ) {
+            );
+            stats.refine_time += refine_start.elapsed();
+            match refined {
                 RefineOutcome::Exact(r) => {
                     eff_lb.set(u.index(), r);
                     let entered = collector.offer(u, r);

@@ -67,6 +67,7 @@ pub mod simrank;
 pub mod snapshot;
 pub mod spec;
 pub mod stats;
+pub mod telemetry;
 pub mod topk_baseline;
 pub mod trace;
 pub mod validate;
@@ -81,6 +82,10 @@ pub use request::{Completion, PartialReason, QueryOutcome, QueryRequest, Strateg
 pub use result::{QueryResult, ResultEntry, TopKCollector};
 pub use snapshot::{load_snapshot, read_snapshot, save_snapshot, write_snapshot};
 pub use spec::{Partition, QuerySpec};
-pub use stats::{BoundWins, MeanStats, QueryStats};
+pub use stats::{BoundWins, MeanStats, QueryStageStats, QueryStats};
+pub use telemetry::{
+    render_prometheus, Counter, Gauge, Histogram, HistogramSnapshot, MetricSample, MetricValue,
+    MetricsSnapshot, Registry,
+};
 pub use trace::{PopDecision, QueryTrace, TraceEvent};
 pub use validate::{assert_equivalent, results_equivalent};

@@ -53,7 +53,7 @@ use rkranks_graph::NodeId;
 
 use crate::engine::BoundConfig;
 use crate::result::QueryResult;
-use crate::stats::QueryStats;
+use crate::stats::{QueryStageStats, QueryStats};
 use crate::trace::QueryTrace;
 
 /// Which evaluation strategy a query runs — plain data, cheap to copy,
@@ -290,6 +290,8 @@ pub struct QueryOutcome {
     pub trace: Option<QueryTrace>,
     /// Whether the limits cut the search short.
     pub completion: Completion,
+    /// Per-stage timing breakdown (SDS filter vs rank refinement).
+    pub stage: QueryStageStats,
 }
 
 impl QueryOutcome {

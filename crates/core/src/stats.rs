@@ -80,6 +80,9 @@ pub struct QueryStats {
     pub bound_wins: BoundWins,
     /// Wall-clock time for the query.
     pub elapsed: Duration,
+    /// Wall-clock time spent inside rank refinement (a subset of
+    /// `elapsed`; the rest is the SDS filter phase).
+    pub refine_time: Duration,
 }
 
 impl QueryStats {
@@ -95,6 +98,7 @@ impl QueryStats {
         self.index_exact_hits += other.index_exact_hits;
         self.bound_wins += other.bound_wins;
         self.elapsed += other.elapsed;
+        self.refine_time += other.refine_time;
     }
 
     /// Average per-query view after absorbing `n` queries.
@@ -108,6 +112,46 @@ impl QueryStats {
             refinement_settles: self.refinement_settles as f64 / n as f64,
             seconds: self.elapsed.as_secs_f64() / n as f64,
         }
+    }
+}
+
+/// Per-stage breakdown of one query, derived from [`QueryStats`] by
+/// [`crate::EngineContext::execute_with`] and carried on
+/// [`crate::QueryOutcome`].
+///
+/// The paper's SDS algorithm is a filter-and-refine pipeline (§3–§4):
+/// `filter` is the SDS-tree traversal plus bound evaluation, `refine`
+/// is the time inside rank refinement (Algorithms 2/4). By
+/// construction `filter + refine == elapsed`, so the invariant
+/// `filter + refine <= total` always holds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStageStats {
+    /// Time in the SDS filter phase (traversal, bounds, bookkeeping).
+    pub filter: Duration,
+    /// Time inside rank-refinement calls.
+    pub refine: Duration,
+    /// Candidates eliminated without refinement (Theorem-2 bound
+    /// prunes plus index exact hits).
+    pub candidates_pruned: u64,
+    /// Rank-refinement invocations.
+    pub refine_calls: u64,
+}
+
+impl QueryStageStats {
+    /// Derive the stage view from a query's raw counters.
+    pub fn from_stats(stats: &QueryStats) -> QueryStageStats {
+        let refine = stats.refine_time.min(stats.elapsed);
+        QueryStageStats {
+            filter: stats.elapsed - refine,
+            refine,
+            candidates_pruned: stats.pruned_by_bound + stats.index_exact_hits,
+            refine_calls: stats.refinement_calls,
+        }
+    }
+
+    /// `filter + refine` — never exceeds the query's `elapsed`.
+    pub fn total(&self) -> Duration {
+        self.filter + self.refine
     }
 }
 
@@ -178,6 +222,32 @@ mod tests {
         let m = total.mean_over(4);
         assert!((m.refinement_calls - 2.5).abs() < 1e-12);
         assert!((m.seconds - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_split_covers_elapsed() {
+        let stats = QueryStats {
+            elapsed: Duration::from_micros(100),
+            refine_time: Duration::from_micros(30),
+            refinement_calls: 4,
+            pruned_by_bound: 7,
+            index_exact_hits: 2,
+            ..Default::default()
+        };
+        let stage = QueryStageStats::from_stats(&stats);
+        assert_eq!(stage.total(), stats.elapsed);
+        assert_eq!(stage.refine, Duration::from_micros(30));
+        assert_eq!(stage.candidates_pruned, 9);
+        assert_eq!(stage.refine_calls, 4);
+        // A refine clock that (pathologically) exceeds elapsed clamps.
+        let odd = QueryStats {
+            elapsed: Duration::from_micros(10),
+            refine_time: Duration::from_micros(20),
+            ..Default::default()
+        };
+        let stage = QueryStageStats::from_stats(&odd);
+        assert_eq!(stage.filter, Duration::ZERO);
+        assert!(stage.total() <= odd.elapsed);
     }
 
     #[test]

@@ -52,6 +52,17 @@ type Entry = Vec<(u32, u32)>;
 
 const NIL: usize = usize::MAX;
 
+/// Fixed per-entry bookkeeping cost charged to [`ResultCache::approx_bytes`]
+/// on top of the payload: the slot struct, the map key + index, and the
+/// map's own per-entry overhead (approximated as one more key-sized cell).
+const ENTRY_OVERHEAD: usize = std::mem::size_of::<Slot>()
+    + 2 * std::mem::size_of::<CacheKey>()
+    + std::mem::size_of::<usize>();
+
+fn entry_cost(value: &Entry) -> usize {
+    ENTRY_OVERHEAD + value.capacity() * std::mem::size_of::<(u32, u32)>()
+}
+
 struct Slot {
     key: CacheKey,
     value: Entry,
@@ -74,6 +85,8 @@ pub struct ResultCache {
     misses: u64,
     evictions: u64,
     stale_evicted: u64,
+    /// Running approximate heap footprint of the live entries.
+    bytes: usize,
 }
 
 impl ResultCache {
@@ -95,6 +108,7 @@ impl ResultCache {
             misses: 0,
             evictions: 0,
             stale_evicted: 0,
+            bytes: 0,
         }
     }
 
@@ -118,6 +132,13 @@ impl ResultCache {
         (self.hits, self.misses, self.evictions, self.stale_evicted)
     }
 
+    /// Approximate heap footprint of the live entries in bytes: each
+    /// entry's payload capacity plus fixed per-entry bookkeeping. Kept as
+    /// a running total, so reading it is O(1).
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes
+    }
+
     /// Look `key` up, refreshing its recency on a hit. Counts one hit or
     /// one miss.
     pub fn get(&mut self, key: &CacheKey) -> Option<&Entry> {
@@ -139,6 +160,8 @@ impl ResultCache {
     /// if the cache is full.
     pub fn insert(&mut self, key: CacheKey, value: Entry) {
         if let Some(&slot) = self.map.get(&key) {
+            self.bytes -= entry_cost(&self.slots[slot].value);
+            self.bytes += entry_cost(&value);
             self.slots[slot].value = value;
             self.detach(slot);
             self.push_front(slot);
@@ -149,9 +172,12 @@ impl ResultCache {
             debug_assert_ne!(lru, NIL);
             self.detach(lru);
             self.map.remove(&self.slots[lru].key);
+            self.bytes -= entry_cost(&self.slots[lru].value);
+            self.slots[lru].value = Vec::new();
             self.free.push(lru);
             self.evictions += 1;
         }
+        self.bytes += entry_cost(&value);
         let slot = match self.free.pop() {
             Some(i) => {
                 self.slots[i] = Slot {
@@ -198,6 +224,7 @@ impl ResultCache {
         for key in &stale {
             let slot = self.map.remove(key).expect("key just listed");
             self.detach(slot);
+            self.bytes -= entry_cost(&self.slots[slot].value);
             self.slots[slot].value = Vec::new();
             self.free.push(slot);
         }
@@ -366,6 +393,26 @@ mod tests {
     #[should_panic(expected = "zero-capacity")]
     fn zero_capacity_is_a_bug() {
         let _ = ResultCache::new(0);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_live_entries() {
+        let mut c = ResultCache::new(2);
+        assert_eq!(c.approx_bytes(), 0);
+        c.insert(key(1, 0), vec![(1, 1); 10]);
+        let one = c.approx_bytes();
+        assert!(one >= 10 * std::mem::size_of::<(u32, u32)>());
+        // refresh with a smaller payload shrinks the total
+        c.insert(key(1, 0), vec![(1, 1)]);
+        assert!(c.approx_bytes() < one);
+        c.insert(key(2, 0), vec![(2, 2)]);
+        let two = c.approx_bytes();
+        // eviction at capacity keeps the total at two live entries
+        c.insert(key(3, 0), vec![(3, 3)]);
+        assert_eq!(c.approx_bytes(), two);
+        // purging everything returns to zero
+        assert_eq!(c.purge_stale(9, 9), 2);
+        assert_eq!(c.approx_bytes(), 0);
     }
 
     /// Exercise the linked-list bookkeeping hard: a pseudo-random

@@ -9,7 +9,11 @@ use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use crate::protocol::{BatchReply, QueryReply, Reply, Request, StatsReply, UpdateOp};
+use rkranks_core::MetricsSnapshot;
+
+use crate::protocol::{
+    BatchReply, QueryReply, Reply, Request, SlowQueryRecord, StatsReply, UpdateOp,
+};
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -173,6 +177,42 @@ impl Client {
             Reply::Stats(s) => Ok(s),
             other => Err(unexpected("stats", &other)),
         }
+    }
+
+    /// Read the full metrics snapshot — every counter and gauge the
+    /// `stats` op reports plus the latency/size histograms, as typed
+    /// [`rkranks_core::MetricSample`]s (render with
+    /// [`rkranks_core::render_prometheus`] for scrapers).
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        match self.round_trip(&Request::Metrics)? {
+            Reply::Metrics(m) => Ok(m),
+            other => Err(unexpected("metrics", &other)),
+        }
+    }
+
+    /// Read the slow-query ring (oldest first; empty unless the daemon
+    /// runs with a `--slow-query-ms` threshold).
+    pub fn slow_queries(&mut self) -> Result<Vec<SlowQueryRecord>, ClientError> {
+        match self.round_trip(&Request::SlowQueries)? {
+            Reply::SlowQueries(q) => Ok(q),
+            other => Err(unexpected("slow-queries", &other)),
+        }
+    }
+
+    /// Send `req` and return the raw reply line exactly as the server
+    /// sent it (trailing newline stripped) — the `--json` CLI path. A
+    /// transport failure is still an error; a server-side `ok:false`
+    /// line is returned verbatim, not converted.
+    pub fn raw(&mut self, req: &Request) -> Result<String, ClientError> {
+        let mut line = req.to_json().render();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut reply_line = String::new();
+        if self.reader.read_line(&mut reply_line)? == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        Ok(reply_line.trim_end().to_string())
     }
 
     /// Force a merge of all pending write-logs; returns `(epoch, merged)`

@@ -46,6 +46,9 @@ pub(crate) struct Conn {
     /// The interest mask this connection is registered with (epoll
     /// backend only; the poll backend ignores it).
     pub(crate) interest: u32,
+    /// Largest outbound backlog (unsent bytes) this connection ever
+    /// queued — recorded into telemetry when the connection closes.
+    pub(crate) backlog_hw: usize,
 }
 
 /// What one fill pass observed on the socket.
@@ -82,6 +85,7 @@ impl Conn {
             paused: false,
             closing: false,
             interest: 0,
+            backlog_hw: 0,
         }
     }
 
@@ -186,6 +190,7 @@ impl Conn {
     /// through and leaves nothing queued.
     pub(crate) fn send(&mut self, bytes: &[u8]) -> io::Result<()> {
         self.out.extend_from_slice(bytes);
+        self.backlog_hw = self.backlog_hw.max(self.pending_out());
         self.try_flush().map(|_| ())
     }
 
@@ -301,6 +306,16 @@ mod tests {
             "fill must stop near the cap, got {}",
             conn.buffered()
         );
+    }
+
+    #[test]
+    fn send_tracks_the_backlog_high_water() {
+        let (_client, mut conn) = pair();
+        assert_eq!(conn.backlog_hw, 0);
+        conn.send(b"hello\n").unwrap();
+        // the mark captures the queued size even when the socket drains
+        // the bytes immediately
+        assert!(conn.backlog_hw >= 6, "got {}", conn.backlog_hw);
     }
 
     #[test]

@@ -72,13 +72,17 @@ pub mod client;
 pub(crate) mod conn;
 pub mod event;
 pub mod json;
+pub mod log;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheKey, ResultCache};
 pub use client::{Client, ClientError, QueryOptions};
 pub use event::EventBackend;
-pub use protocol::{BatchReply, QueryReply, Reply, Request, StatsReply, UpdateOp};
+pub use log::LogLevel;
+pub use metrics::{Metrics, QueryOutcome, SlowQueryLog};
+pub use protocol::{BatchReply, QueryReply, Reply, Request, SlowQueryRecord, StatsReply, UpdateOp};
 pub use server::{
     serve, serve_store, spawn, spawn_store, ServeOutcome, ServerConfig, ServerHandle,
 };

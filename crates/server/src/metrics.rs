@@ -1,0 +1,391 @@
+//! The daemon's telemetry: every counter, gauge, and histogram `rkrd`
+//! maintains, pre-registered in one [`Registry`] with stable names.
+//!
+//! [`Metrics`] replaces the old ad-hoc `Counters` struct. Each field is
+//! a cheap `Arc` handle into the registry, so the hot paths record
+//! lock-free while `{"op":"metrics"}` snapshots the whole registry in
+//! registration order (and `render_prometheus` turns that snapshot into
+//! text exposition format for `rkr ctl ADDR metrics --prom`).
+//!
+//! Latency histograms record **nanoseconds** and carry a `1e-9` scale so
+//! they render as seconds — the Prometheus convention. The per-query
+//! histogram family `rkrd_query_seconds` is pre-registered for every
+//! `(strategy, outcome)` pair, where `outcome` is `hit` (served from the
+//! result cache), `miss` (computed, complete), or `partial` (computed,
+//! cut short by a deadline/budget); summing the family's counts gives
+//! exactly the number of *successfully answered* queries.
+//!
+//! The slow-query log is a fixed-size ring ([`SLOW_LOG_CAPACITY`]): when
+//! `--slow-query-ms` is set, any query serviced at or above the
+//! threshold leaves a [`SlowQueryRecord`]; `{"op":"slow-queries"}`
+//! returns the ring oldest-first.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use rkranks_core::{Counter, Gauge, Histogram, Registry, Strategy};
+
+use crate::protocol::SlowQueryRecord;
+
+/// How many slow-query records the ring retains (oldest overwritten).
+pub const SLOW_LOG_CAPACITY: usize = 128;
+
+/// How a query was answered, for latency-histogram labelling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// Served from the result cache.
+    Hit,
+    /// Computed and complete.
+    Miss,
+    /// Computed but cut short (deadline/budget); entries still exact.
+    Partial,
+}
+
+impl QueryOutcome {
+    /// The `outcome` label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryOutcome::Hit => "hit",
+            QueryOutcome::Miss => "miss",
+            QueryOutcome::Partial => "partial",
+        }
+    }
+
+    const ALL: [QueryOutcome; 3] = [QueryOutcome::Hit, QueryOutcome::Miss, QueryOutcome::Partial];
+}
+
+/// A bounded ring of recently captured slow queries.
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    inner: Mutex<VecDeque<SlowQueryRecord>>,
+}
+
+impl SlowQueryLog {
+    fn new() -> SlowQueryLog {
+        SlowQueryLog {
+            inner: Mutex::new(VecDeque::with_capacity(SLOW_LOG_CAPACITY)),
+        }
+    }
+
+    /// Append a record, dropping the oldest once the ring is full.
+    pub fn push(&self, record: SlowQueryRecord) {
+        let mut ring = self.inner.lock().unwrap();
+        if ring.len() == SLOW_LOG_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+
+    /// The retained records, oldest first.
+    pub fn snapshot(&self) -> Vec<SlowQueryRecord> {
+        self.inner.lock().unwrap().iter().cloned().collect()
+    }
+}
+
+/// Every instrument the daemon records into, as registry-backed handles.
+///
+/// The counter fields mirror the `stats` op one-for-one (same counting
+/// semantics as the pre-registry daemon), so `stats` is served straight
+/// from these handles and `metrics` is the superset.
+pub struct Metrics {
+    /// The registry behind every handle (snapshot source).
+    pub registry: Registry,
+
+    // -- counters, one per `stats` field --
+    /// Queries answered (batch ops count each node; errored requests
+    /// count too, matching the historical `stats.queries` semantics).
+    pub queries: Arc<Counter>,
+    /// Merge rounds performed.
+    pub merges: Arc<Counter>,
+    /// Non-empty write-logs folded across merge rounds.
+    pub deltas_merged: Arc<Counter>,
+    /// Queries answered with a partial result.
+    pub partial_results: Arc<Counter>,
+    /// Queries whose deadline elapsed (subset of `partial_results`).
+    pub deadline_exceeded: Arc<Counter>,
+    /// Commits that changed the graph.
+    pub graph_commits: Arc<Counter>,
+    /// Effective staged deltas committed into the live graph.
+    pub updates_applied: Arc<Counter>,
+    /// Accept-queue drains that ended in a real error.
+    pub accept_errors: Arc<Counter>,
+    /// Event-loop wake-ups that surfaced ready work.
+    pub wakeups: Arc<Counter>,
+    /// Wake-up passes that served at least one query.
+    pub batches: Arc<Counter>,
+    /// Queries served inside those passes.
+    pub batch_queries: Arc<Counter>,
+    /// Times a connection crossed the write high-water mark.
+    pub backpressure_pauses: Arc<Counter>,
+    /// Request lines rejected for exceeding the line cap.
+    pub oversize_lines: Arc<Counter>,
+    /// Slow-query records captured (includes records the ring has since
+    /// overwritten).
+    pub slow_queries: Arc<Counter>,
+
+    // -- cache mirrors (authoritative values live inside the LRU's
+    //    mutex; refreshed via [`Metrics::mirror_cache`]) --
+    /// Result-cache hits.
+    pub cache_hits: Arc<Counter>,
+    /// Result-cache misses.
+    pub cache_misses: Arc<Counter>,
+    /// Entries evicted by LRU capacity pressure.
+    pub cache_evictions: Arc<Counter>,
+    /// Entries evicted because their epoch went stale.
+    pub cache_stale_evicted: Arc<Counter>,
+    /// Entries currently cached.
+    pub cache_entries: Arc<Gauge>,
+    /// Approximate heap footprint of the cached results, in bytes.
+    pub cache_bytes: Arc<Gauge>,
+    /// Configured cache capacity (0 = disabled).
+    pub cache_capacity: Arc<Gauge>,
+
+    // -- gauges --
+    /// Staged-but-uncommitted graph deltas.
+    pub updates_staged: Arc<Gauge>,
+    /// Client connections currently open.
+    pub connections_open: Arc<Gauge>,
+    /// Worker threads serving connections.
+    pub workers: Arc<Gauge>,
+    /// Current index epoch.
+    pub index_epoch: Arc<Gauge>,
+    /// Current graph epoch.
+    pub graph_epoch: Arc<Gauge>,
+    /// Nodes in the current graph snapshot.
+    pub graph_nodes: Arc<Gauge>,
+    /// Logical edges in the current graph snapshot.
+    pub graph_edges: Arc<Gauge>,
+
+    // -- histograms (nanoseconds unless noted) --
+    /// End-to-end query latency, `[strategy][outcome]` — indexed by
+    /// [`Metrics::strategy_index`] and [`QueryOutcome`].
+    pub query_latency: Vec<[Arc<Histogram>; 3]>,
+    /// Time in the SDS filter stage (computed queries only).
+    pub filter_seconds: Arc<Histogram>,
+    /// Time in rank refinement (computed queries only).
+    pub refine_seconds: Arc<Histogram>,
+    /// Full merger-pass duration (drain, commit, fold, publish).
+    pub merge_pass_seconds: Arc<Histogram>,
+    /// Snapshot-bundle checkpoint duration.
+    pub checkpoint_seconds: Arc<Histogram>,
+    /// Event-loop wake-to-drain time (wake-up until its pass flushed).
+    pub wake_drain_seconds: Arc<Histogram>,
+    /// Per-connection write-backlog high-water mark in bytes, recorded
+    /// when the connection closes.
+    pub conn_backlog_bytes: Arc<Histogram>,
+
+    /// The slow-query ring buffer.
+    pub slow_log: SlowQueryLog,
+}
+
+impl Metrics {
+    /// Build the registry and pre-register every instrument.
+    pub fn new() -> Metrics {
+        let r = Registry::new();
+        let ns = 1e-9; // raw nanoseconds, rendered as seconds
+        let query_latency = Strategy::ALL
+            .iter()
+            .map(|s| {
+                QueryOutcome::ALL.map(|o| {
+                    r.histogram_with(
+                        "rkrd_query_seconds",
+                        &[("strategy", s.name()), ("outcome", o.label())],
+                        "end-to-end query service time",
+                        ns,
+                    )
+                })
+            })
+            .collect();
+        Metrics {
+            queries: r.counter(
+                "rkrd_queries_total",
+                "queries answered (batch counts each node)",
+            ),
+            merges: r.counter("rkrd_merges_total", "merge rounds performed"),
+            deltas_merged: r.counter("rkrd_deltas_merged_total", "write-logs folded by merges"),
+            partial_results: r.counter("rkrd_partial_results_total", "partial query answers"),
+            deadline_exceeded: r.counter("rkrd_deadline_exceeded_total", "queries cut by deadline"),
+            graph_commits: r.counter("rkrd_graph_commits_total", "commits that changed the graph"),
+            updates_applied: r.counter("rkrd_updates_applied_total", "deltas committed live"),
+            accept_errors: r.counter("rkrd_accept_errors_total", "failed accept-queue drains"),
+            wakeups: r.counter("rkrd_wakeups_total", "event-loop wake-ups with ready work"),
+            batches: r.counter("rkrd_batches_total", "wake-up passes that served queries"),
+            batch_queries: r.counter("rkrd_batch_queries_total", "queries served inside passes"),
+            backpressure_pauses: r.counter(
+                "rkrd_backpressure_pauses_total",
+                "connections paused at the write high-water mark",
+            ),
+            oversize_lines: r.counter("rkrd_oversize_lines_total", "request lines over the cap"),
+            slow_queries: r.counter("rkrd_slow_queries_total", "slow-query records captured"),
+            cache_hits: r.counter("rkrd_cache_hits_total", "result-cache hits"),
+            cache_misses: r.counter("rkrd_cache_misses_total", "result-cache misses"),
+            cache_evictions: r.counter("rkrd_cache_evictions_total", "LRU capacity evictions"),
+            cache_stale_evicted: r
+                .counter("rkrd_cache_stale_evicted_total", "stale-epoch evictions"),
+            cache_entries: r.gauge("rkrd_cache_entries", "entries currently cached"),
+            cache_bytes: r.gauge("rkrd_cache_bytes", "approximate cached-result bytes"),
+            cache_capacity: r.gauge("rkrd_cache_capacity", "configured cache capacity"),
+            updates_staged: r.gauge("rkrd_updates_staged", "staged uncommitted graph deltas"),
+            connections_open: r.gauge("rkrd_connections_open", "open client connections"),
+            workers: r.gauge("rkrd_workers", "worker threads"),
+            index_epoch: r.gauge("rkrd_index_epoch", "current index epoch"),
+            graph_epoch: r.gauge("rkrd_graph_epoch", "current graph epoch"),
+            graph_nodes: r.gauge("rkrd_graph_nodes", "nodes in the serving graph"),
+            graph_edges: r.gauge("rkrd_graph_edges", "edges in the serving graph"),
+            query_latency,
+            filter_seconds: r.histogram_scaled(
+                "rkrd_filter_seconds",
+                "SDS filter stage time per computed query",
+                ns,
+            ),
+            refine_seconds: r.histogram_scaled(
+                "rkrd_refine_seconds",
+                "rank-refinement time per computed query",
+                ns,
+            ),
+            merge_pass_seconds: r.histogram_scaled(
+                "rkrd_merge_pass_seconds",
+                "merger pass duration",
+                ns,
+            ),
+            checkpoint_seconds: r.histogram_scaled(
+                "rkrd_checkpoint_seconds",
+                "snapshot checkpoint duration",
+                ns,
+            ),
+            wake_drain_seconds: r.histogram_scaled(
+                "rkrd_wake_drain_seconds",
+                "event-loop wake-to-drain time",
+                ns,
+            ),
+            conn_backlog_bytes: r.histogram(
+                "rkrd_conn_backlog_bytes",
+                "per-connection write-backlog high-water at close",
+            ),
+            slow_log: SlowQueryLog::new(),
+            registry: r,
+        }
+    }
+
+    /// Position of `strategy` in the `rkrd_query_seconds` family.
+    ///
+    /// Every parseable strategy is one of [`Strategy::ALL`]'s ten values
+    /// (canonical names cover all bound combinations), so this is a
+    /// total mapping.
+    pub fn strategy_index(strategy: Strategy) -> usize {
+        Strategy::ALL
+            .iter()
+            .position(|s| *s == strategy)
+            .unwrap_or(0)
+    }
+
+    /// Record one answered query's end-to-end latency.
+    pub fn record_query(&self, strategy: Strategy, outcome: QueryOutcome, elapsed: Duration) {
+        let idx = Metrics::strategy_index(strategy);
+        self.query_latency[idx][outcome as usize].record(duration_ns(elapsed));
+    }
+
+    /// Refresh the cache mirrors from the LRU's authoritative counters.
+    pub fn mirror_cache(&self, hits: u64, misses: u64, evictions: u64, stale: u64) {
+        self.cache_hits.mirror(hits);
+        self.cache_misses.mirror(misses);
+        self.cache_evictions.mirror(evictions);
+        self.cache_stale_evicted.mirror(stale);
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::new()
+    }
+}
+
+/// A `Duration` as whole nanoseconds, saturating at `u64::MAX`.
+pub fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rkranks_core::MetricValue;
+
+    #[test]
+    fn every_instrument_is_registered_once() {
+        let m = Metrics::new();
+        let snap = m.registry.snapshot();
+        // 10 strategies × 3 outcomes plus the scalar instruments.
+        let hists = snap
+            .samples
+            .iter()
+            .filter(|s| matches!(s.value, MetricValue::Histogram(_)))
+            .count();
+        assert_eq!(hists, Strategy::ALL.len() * 3 + 6);
+        let mut keys: Vec<_> = snap
+            .samples
+            .iter()
+            .map(|s| (s.name.clone(), s.labels.clone()))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), snap.samples.len(), "duplicate registration");
+    }
+
+    #[test]
+    fn strategy_index_is_total_and_distinct() {
+        let mut seen = Vec::new();
+        for s in Strategy::ALL {
+            let idx = Metrics::strategy_index(s);
+            assert!(idx < Strategy::ALL.len());
+            seen.push(idx);
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), Strategy::ALL.len());
+    }
+
+    #[test]
+    fn record_query_lands_in_the_right_family_member() {
+        let m = Metrics::new();
+        m.record_query(
+            Strategy::Naive,
+            QueryOutcome::Miss,
+            Duration::from_micros(5),
+        );
+        let idx = Metrics::strategy_index(Strategy::Naive);
+        assert_eq!(m.query_latency[idx][QueryOutcome::Miss as usize].count(), 1);
+        assert_eq!(m.query_latency[idx][QueryOutcome::Hit as usize].count(), 0);
+    }
+
+    #[test]
+    fn slow_log_is_a_bounded_ring() {
+        let log = SlowQueryLog::new();
+        for i in 0..(SLOW_LOG_CAPACITY as u32 + 10) {
+            log.push(SlowQueryRecord {
+                node: i,
+                ..SlowQueryRecord::default()
+            });
+        }
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), SLOW_LOG_CAPACITY);
+        assert_eq!(snap.first().unwrap().node, 10); // oldest 10 dropped
+        assert_eq!(snap.last().unwrap().node, SLOW_LOG_CAPACITY as u32 + 9);
+    }
+
+    #[test]
+    fn cache_mirrors_overwrite() {
+        let m = Metrics::new();
+        m.mirror_cache(3, 4, 1, 0);
+        m.mirror_cache(5, 6, 1, 2);
+        assert_eq!(m.cache_hits.get(), 5);
+        assert_eq!(m.cache_misses.get(), 6);
+        assert_eq!(m.cache_stale_evicted.get(), 2);
+    }
+
+    #[test]
+    fn duration_ns_saturates() {
+        assert_eq!(duration_ns(Duration::from_nanos(1500)), 1500);
+        assert_eq!(duration_ns(Duration::MAX), u64::MAX);
+    }
+}

@@ -13,6 +13,9 @@
 //! {"op":"batch","nodes":[3,17,5],"k":10}     several queries, one round-trip
 //! {"op":"update","ops":[["add",3,9,0.5]]}    stage live graph updates
 //! {"op":"stats"}                             serving counters + epochs
+//! {"op":"metrics"}                           full telemetry registry snapshot
+//!                                            (counters, gauges, histograms)
+//! {"op":"slow-queries"}                      recent slow-query log records
 //! {"op":"flush"}                             commit staged updates and fold
 //!                                            pending deltas now
 //! {"op":"checkpoint"}                        persist the serving state as a
@@ -49,7 +52,21 @@
 //! {"ok":true,"epoch":4,"merged":2}           flush
 //! {"ok":true,"checkpointed":true,"epoch":4,"graph_epoch":1}   checkpoint
 //! {"ok":true,"bye":true}                     shutdown
+//! {"ok":true,"metrics":[{"name":"rkrd_queries_total","type":"counter",...},...]}
+//! {"ok":true,"slow_queries":[{"node":17,"k":10,"total_ns":51031,...},...]}
 //! ```
+//!
+//! `stats` is the fixed, byte-compatible counter block; `metrics` is its
+//! superset — every instrument in the daemon's telemetry registry, in
+//! registration order. A counter/gauge sample is
+//! `{"name","help","type","value"}` (plus `"labels":{...}` when
+//! labelled); a histogram sample replaces `value` with
+//! `"count"`, `"sum"` (raw units), `"scale"` (raw → display multiplier,
+//! e.g. `1e-9` for nanoseconds shown as seconds), and `"buckets"` — the
+//! non-empty log-linear buckets as `[upper_bound, count]` pairs,
+//! ascending. `slow-queries` returns the daemon's ring buffer of
+//! recently captured slow queries (see `rkr serve --slow-query-ms`),
+//! oldest first, each a [`SlowQueryRecord`].
 //!
 //! `checkpoint` persists the serving state *as it stands* — committed
 //! graph, rank index, and staged-but-uncommitted updates as a WAL — and
@@ -62,6 +79,7 @@
 //! and decode from [`Json`] symmetrically — so the daemon and the
 //! [`crate::Client`] cannot drift apart.
 
+use rkranks_core::{HistogramSnapshot, MetricSample, MetricValue, MetricsSnapshot};
 use rkranks_graph::GraphDelta;
 
 use crate::json::Json;
@@ -248,6 +266,12 @@ pub enum Request {
     },
     /// Read the serving counters.
     Stats,
+    /// Read the full telemetry registry (counters, gauges, latency
+    /// histograms) — the superset of `Stats`.
+    Metrics,
+    /// Read the slow-query ring buffer (empty unless the daemon runs
+    /// with `--slow-query-ms`).
+    SlowQueries,
     /// Commit staged graph updates and synchronously fold all pending
     /// write-logs into the index.
     Flush,
@@ -302,6 +326,8 @@ impl Request {
                 ),
             ]),
             Request::Stats => op_only("stats"),
+            Request::Metrics => op_only("metrics"),
+            Request::SlowQueries => op_only("slow-queries"),
             Request::Flush => op_only("flush"),
             Request::Checkpoint => op_only("checkpoint"),
             Request::Shutdown => op_only("shutdown"),
@@ -360,6 +386,8 @@ impl Request {
                 Ok(Request::Update { ops })
             }
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
+            "slow-queries" => Ok(Request::SlowQueries),
             "flush" => Ok(Request::Flush),
             "checkpoint" => Ok(Request::Checkpoint),
             "shutdown" => Ok(Request::Shutdown),
@@ -428,6 +456,9 @@ pub struct StatsReply {
     pub cache_stale_evicted: u64,
     /// Result-cache capacity (0 = caching disabled).
     pub cache_capacity: u64,
+    /// Approximate heap footprint of the cached results, in bytes
+    /// (entry payloads plus per-slot bookkeeping).
+    pub cache_bytes: u64,
     /// Current index epoch ([`rkranks_core::RkrIndex::epoch`]).
     pub epoch: u64,
     /// Merge rounds performed (cadence-triggered, flush, and shutdown).
@@ -480,7 +511,7 @@ pub struct StatsReply {
 }
 
 impl StatsReply {
-    const FIELDS: [&'static str; 24] = [
+    const FIELDS: [&'static str; 25] = [
         "queries",
         "cache_hits",
         "cache_misses",
@@ -488,6 +519,7 @@ impl StatsReply {
         "cache_evictions",
         "cache_stale_evicted",
         "cache_capacity",
+        "cache_bytes",
         "epoch",
         "merges",
         "deltas_merged",
@@ -507,7 +539,7 @@ impl StatsReply {
         "oversize_lines",
     ];
 
-    fn values(&self) -> [u64; 24] {
+    fn values(&self) -> [u64; 25] {
         [
             self.queries,
             self.cache_hits,
@@ -516,6 +548,7 @@ impl StatsReply {
             self.cache_evictions,
             self.cache_stale_evicted,
             self.cache_capacity,
+            self.cache_bytes,
             self.epoch,
             self.merges,
             self.deltas_merged,
@@ -548,7 +581,7 @@ impl StatsReply {
 
     fn from_json(v: &Json) -> Result<StatsReply, String> {
         let mut out = StatsReply::default();
-        let slots: [&mut u64; 24] = [
+        let slots: [&mut u64; 25] = [
             &mut out.queries,
             &mut out.cache_hits,
             &mut out.cache_misses,
@@ -556,6 +589,7 @@ impl StatsReply {
             &mut out.cache_evictions,
             &mut out.cache_stale_evicted,
             &mut out.cache_capacity,
+            &mut out.cache_bytes,
             &mut out.epoch,
             &mut out.merges,
             &mut out.deltas_merged,
@@ -584,6 +618,181 @@ impl StatsReply {
     }
 }
 
+/// One captured slow query, as returned by the `slow-queries` op.
+///
+/// The daemon records one of these for every query whose end-to-end
+/// service time reaches the `--slow-query-ms` threshold, into a
+/// fixed-size ring buffer (oldest records are overwritten).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SlowQueryRecord {
+    /// The query node id.
+    pub node: u32,
+    /// Result size `k`.
+    pub k: u32,
+    /// Strategy that served the query (canonical string form).
+    pub strategy: String,
+    /// Whether the answer came from the result cache.
+    pub cached: bool,
+    /// Index epoch the answer was computed (or cached) against.
+    pub epoch: u64,
+    /// Graph epoch the answer was computed (or cached) against.
+    pub graph_epoch: u64,
+    /// End-to-end service time in nanoseconds (parse to reply).
+    pub total_ns: u64,
+    /// Nanoseconds in the SDS filter stage (0 for cache hits).
+    pub filter_ns: u64,
+    /// Nanoseconds in rank refinement (0 for cache hits).
+    pub refine_ns: u64,
+    /// `"complete"` or `"partial"` (deadline or budget tripped).
+    pub completion: String,
+}
+
+impl SlowQueryRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("node".into(), Json::num(self.node)),
+            ("k".into(), Json::num(self.k)),
+            ("strategy".into(), Json::Str(self.strategy.clone())),
+            ("cached".into(), Json::Bool(self.cached)),
+            ("epoch".into(), Json::num(self.epoch as f64)),
+            ("graph_epoch".into(), Json::num(self.graph_epoch as f64)),
+            ("total_ns".into(), Json::num(self.total_ns as f64)),
+            ("filter_ns".into(), Json::num(self.filter_ns as f64)),
+            ("refine_ns".into(), Json::num(self.refine_ns as f64)),
+            ("completion".into(), Json::Str(self.completion.clone())),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<SlowQueryRecord, String> {
+        let text = |name: &str| -> Result<String, String> {
+            v.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("slow query record missing string '{name}'"))
+        };
+        Ok(SlowQueryRecord {
+            node: field_u32(v, "node")?,
+            k: field_u32(v, "k")?,
+            strategy: text("strategy")?,
+            cached: v
+                .get("cached")
+                .and_then(Json::as_bool)
+                .ok_or("slow query record missing boolean 'cached'")?,
+            epoch: field_u64(v, "epoch")?,
+            graph_epoch: field_u64(v, "graph_epoch")?,
+            total_ns: field_u64(v, "total_ns")?,
+            filter_ns: field_u64(v, "filter_ns")?,
+            refine_ns: field_u64(v, "refine_ns")?,
+            completion: text("completion")?,
+        })
+    }
+}
+
+fn metric_sample_to_json(s: &MetricSample) -> Json {
+    let mut fields = vec![
+        ("name".into(), Json::Str(s.name.clone())),
+        ("help".into(), Json::Str(s.help.clone())),
+    ];
+    if !s.labels.is_empty() {
+        fields.push((
+            "labels".into(),
+            Json::Obj(
+                s.labels
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                    .collect(),
+            ),
+        ));
+    }
+    match &s.value {
+        MetricValue::Counter(v) => {
+            fields.push(("type".into(), Json::Str("counter".into())));
+            fields.push(("value".into(), Json::num(*v as f64)));
+        }
+        MetricValue::Gauge(v) => {
+            fields.push(("type".into(), Json::Str("gauge".into())));
+            fields.push(("value".into(), Json::num(*v as f64)));
+        }
+        MetricValue::Histogram(h) => {
+            fields.push(("type".into(), Json::Str("histogram".into())));
+            fields.push(("count".into(), Json::num(h.count as f64)));
+            fields.push(("sum".into(), Json::num(h.sum as f64)));
+            fields.push(("scale".into(), Json::num(h.scale)));
+            fields.push((
+                "buckets".into(),
+                Json::Arr(
+                    h.buckets
+                        .iter()
+                        .map(|&(upper, n)| {
+                            Json::Arr(vec![Json::num(upper as f64), Json::num(n as f64)])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+    }
+    Json::Obj(fields)
+}
+
+fn metric_sample_from_json(v: &Json) -> Result<MetricSample, String> {
+    let text = |name: &str| -> Result<String, String> {
+        v.get(name)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("metric sample missing string '{name}'"))
+    };
+    let labels = match v.get("labels") {
+        None => Vec::new(),
+        Some(Json::Obj(pairs)) => pairs
+            .iter()
+            .map(|(k, val)| {
+                val.as_str()
+                    .map(|s| (k.clone(), s.to_string()))
+                    .ok_or_else(|| format!("non-string label value for '{k}'"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        Some(_) => return Err("'labels' is not an object".into()),
+    };
+    let value = match text("type")?.as_str() {
+        "counter" => MetricValue::Counter(field_u64(v, "value")?),
+        "gauge" => MetricValue::Gauge(field_u64(v, "value")?),
+        "histogram" => {
+            let buckets = v
+                .get("buckets")
+                .and_then(Json::as_arr)
+                .ok_or("histogram sample missing array 'buckets'")?
+                .iter()
+                .map(|pair| {
+                    let pair = pair
+                        .as_arr()
+                        .filter(|p| p.len() == 2)
+                        .ok_or("bad histogram bucket")?;
+                    Ok::<(u64, u64), String>((
+                        pair[0].as_u64().ok_or("bad bucket upper bound")?,
+                        pair[1].as_u64().ok_or("bad bucket count")?,
+                    ))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            MetricValue::Histogram(HistogramSnapshot {
+                count: field_u64(v, "count")?,
+                sum: field_u64(v, "sum")?,
+                scale: v
+                    .get("scale")
+                    .and_then(Json::as_f64)
+                    .ok_or("histogram sample missing number 'scale'")?,
+                buckets,
+            })
+        }
+        other => return Err(format!("unknown metric type '{other}'")),
+    };
+    Ok(MetricSample {
+        name: text("name")?,
+        labels,
+        help: text("help")?,
+        value,
+    })
+}
+
 /// A decoded server reply.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Reply {
@@ -593,6 +802,11 @@ pub enum Reply {
     Batch(BatchReply),
     /// Answer to a `stats` op.
     Stats(StatsReply),
+    /// Answer to a `metrics` op: every registered instrument's reading,
+    /// in registration order.
+    Metrics(MetricsSnapshot),
+    /// Answer to a `slow-queries` op: captured records, oldest first.
+    SlowQueries(Vec<SlowQueryRecord>),
     /// Answer to an `update` op: the batch was validated and staged (it
     /// goes live at the next merge point).
     Update {
@@ -654,6 +868,14 @@ impl Reply {
                 ("graph_epoch".into(), Json::num(b.graph_epoch as f64)),
             ]),
             Reply::Stats(s) => ok(vec![("stats".into(), s.to_json())]),
+            Reply::Metrics(snap) => ok(vec![(
+                "metrics".into(),
+                Json::Arr(snap.samples.iter().map(metric_sample_to_json).collect()),
+            )]),
+            Reply::SlowQueries(records) => ok(vec![(
+                "slow_queries".into(),
+                Json::Arr(records.iter().map(SlowQueryRecord::to_json).collect()),
+            )]),
             Reply::Update {
                 staged,
                 graph_epoch,
@@ -720,6 +942,24 @@ impl Reply {
         }
         if let Some(stats) = v.get("stats") {
             return Ok(Reply::Stats(StatsReply::from_json(stats)?));
+        }
+        if let Some(metrics) = v.get("metrics") {
+            let samples = metrics
+                .as_arr()
+                .ok_or("'metrics' is not an array")?
+                .iter()
+                .map(metric_sample_from_json)
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(Reply::Metrics(MetricsSnapshot { samples }));
+        }
+        if let Some(slow) = v.get("slow_queries") {
+            let records = slow
+                .as_arr()
+                .ok_or("'slow_queries' is not an array")?
+                .iter()
+                .map(SlowQueryRecord::from_json)
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(Reply::SlowQueries(records));
         }
         if v.get("bye").is_some() {
             return Ok(Reply::Shutdown);
@@ -840,6 +1080,8 @@ mod tests {
             ],
         });
         round_trip_request(Request::Stats);
+        round_trip_request(Request::Metrics);
+        round_trip_request(Request::SlowQueries);
         round_trip_request(Request::Flush);
         round_trip_request(Request::Checkpoint);
         round_trip_request(Request::Shutdown);
@@ -896,6 +1138,7 @@ mod tests {
             cache_evictions: 2,
             cache_stale_evicted: 1,
             cache_capacity: 64,
+            cache_bytes: 4096,
             epoch: 3,
             merges: 2,
             deltas_merged: 5,
@@ -928,6 +1171,110 @@ mod tests {
         });
         round_trip_reply(Reply::Shutdown);
         round_trip_reply(Reply::Error("k = 9 exceeds the index's K = 4".into()));
+    }
+
+    #[test]
+    fn metrics_replies_round_trip() {
+        use rkranks_core::{HistogramSnapshot, MetricSample, MetricValue, MetricsSnapshot};
+        round_trip_reply(Reply::Metrics(MetricsSnapshot { samples: vec![] }));
+        round_trip_reply(Reply::Metrics(MetricsSnapshot {
+            samples: vec![
+                MetricSample {
+                    name: "rkrd_queries_total".into(),
+                    labels: vec![],
+                    help: "queries answered".into(),
+                    value: MetricValue::Counter(12),
+                },
+                MetricSample {
+                    name: "rkrd_cache_entries".into(),
+                    labels: vec![],
+                    help: "entries cached".into(),
+                    value: MetricValue::Gauge(6),
+                },
+                MetricSample {
+                    name: "rkrd_query_seconds".into(),
+                    labels: vec![
+                        ("strategy".into(), "indexed-three".into()),
+                        ("outcome".into(), "miss".into()),
+                    ],
+                    help: "end-to-end query latency".into(),
+                    value: MetricValue::Histogram(HistogramSnapshot {
+                        count: 3,
+                        sum: 4500,
+                        scale: 1e-9,
+                        buckets: vec![(95, 1), (223, 2)],
+                    }),
+                },
+            ],
+        }));
+    }
+
+    #[test]
+    fn overflow_bucket_bound_survives_the_wire() {
+        use rkranks_core::{HistogramSnapshot, MetricSample, MetricValue, MetricsSnapshot};
+        // The histogram's overflow bucket has upper bound u64::MAX; the
+        // hand-rolled JSON layer must round-trip it (via saturation).
+        round_trip_reply(Reply::Metrics(MetricsSnapshot {
+            samples: vec![MetricSample {
+                name: "rkrd_conn_backlog_bytes".into(),
+                labels: vec![],
+                help: "backlog high-water".into(),
+                value: MetricValue::Histogram(HistogramSnapshot {
+                    count: 1,
+                    sum: u64::MAX,
+                    scale: 1.0,
+                    buckets: vec![(u64::MAX, 1)],
+                }),
+            }],
+        }));
+    }
+
+    #[test]
+    fn slow_query_replies_round_trip() {
+        round_trip_reply(Reply::SlowQueries(vec![]));
+        round_trip_reply(Reply::SlowQueries(vec![
+            SlowQueryRecord {
+                node: 17,
+                k: 10,
+                strategy: "indexed-three".into(),
+                cached: false,
+                epoch: 3,
+                graph_epoch: 1,
+                total_ns: 51031,
+                filter_ns: 40100,
+                refine_ns: 9000,
+                completion: "complete".into(),
+            },
+            SlowQueryRecord {
+                node: 2,
+                k: 1,
+                strategy: "naive".into(),
+                cached: true,
+                epoch: 0,
+                graph_epoch: 0,
+                total_ns: 12,
+                filter_ns: 0,
+                refine_ns: 0,
+                completion: "partial".into(),
+            },
+        ]));
+    }
+
+    #[test]
+    fn bad_metrics_replies_are_errors() {
+        for line in [
+            r#"{"ok":true,"metrics":7}"#,
+            r#"{"ok":true,"metrics":[{"help":"x","type":"counter","value":1}]}"#,
+            r#"{"ok":true,"metrics":[{"name":"x","help":"x","type":"blob","value":1}]}"#,
+            r#"{"ok":true,"metrics":[{"name":"x","help":"x","type":"counter"}]}"#,
+            r#"{"ok":true,"metrics":[{"name":"x","help":"x","type":"histogram","count":1,"sum":2,"scale":1.0}]}"#,
+            r#"{"ok":true,"metrics":[{"name":"x","help":"x","type":"histogram","count":1,"sum":2,"scale":1.0,"buckets":[[1]]}]}"#,
+            r#"{"ok":true,"metrics":[{"name":"x","help":"x","labels":[],"type":"counter","value":1}]}"#,
+            r#"{"ok":true,"slow_queries":{}}"#,
+            r#"{"ok":true,"slow_queries":[{"node":1}]}"#,
+        ] {
+            assert!(Reply::from_line(line).is_err(), "accepted {line:?}");
+        }
     }
 
     #[test]

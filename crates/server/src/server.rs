@@ -69,20 +69,25 @@
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rkranks_core::{
-    save_snapshot, BoundConfig, Completion, EngineContext, IndexAccess, IndexDelta, PartialReason,
-    Partition, QueryRequest, QueryScratch, RkrIndex, Strategy,
+    save_snapshot, BoundConfig, Completion, EngineContext, IndexAccess, IndexDelta,
+    MetricsSnapshot, PartialReason, Partition, QueryRequest, QueryScratch, QueryStageStats,
+    RkrIndex, Strategy,
 };
 use rkranks_graph::{Graph, GraphDelta, GraphStore, NodeId};
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::conn::{Conn, Fill, LineStatus};
 use crate::event::{Backend, EventBackend};
-use crate::protocol::{BatchReply, QueryReply, Reply, Request, StatsReply, UpdateOp};
+use crate::log::{log_error, log_info, log_warn};
+use crate::metrics::{duration_ns, Metrics, QueryOutcome};
+use crate::protocol::{
+    BatchReply, QueryReply, Reply, Request, SlowQueryRecord, StatsReply, UpdateOp,
+};
 
 /// How long a fully idle worker sleeps between event-loop passes (after
 /// the yield ramp) — bounds both idle CPU and how quickly shutdown is
@@ -131,6 +136,13 @@ pub struct ServerConfig {
     /// closed — a client streaming garbage without a newline cannot grow
     /// a read buffer without limit.
     pub max_line_bytes: usize,
+    /// Slow-query threshold in milliseconds: a served query whose
+    /// end-to-end service time reaches it is captured in the in-memory
+    /// slow-query ring (retrievable with the `slow-queries` op) and
+    /// counted in `rkrd_slow_queries_total`. `None` (the default)
+    /// disables capture entirely; `Some(0)` records every query — useful
+    /// for tests and short traces.
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -144,6 +156,7 @@ impl Default for ServerConfig {
             event_loop: EventBackend::Auto,
             write_high_water: 256 * 1024,
             max_line_bytes: 1024 * 1024,
+            slow_query_ms: None,
         }
     }
 }
@@ -165,43 +178,6 @@ pub struct ServeOutcome {
 struct PendingMerge {
     deltas: Vec<IndexDelta>,
     queries_since_merge: u64,
-}
-
-#[derive(Default)]
-struct Counters {
-    queries: AtomicU64,
-    merges: AtomicU64,
-    deltas_merged: AtomicU64,
-    /// Queries answered with a limit-tripped partial result.
-    partial_results: AtomicU64,
-    /// Queries whose deadline elapsed (subset of `partial_results`).
-    deadline_exceeded: AtomicU64,
-    /// Commits that changed the graph (each bumped the graph epoch).
-    graph_commits: AtomicU64,
-    /// Effective staged deltas committed by graph-changing commits (a
-    /// batch's ops can collapse onto fewer deltas, and deltas drained by
-    /// a no-op commit are not counted; see `stage_updates`).
-    updates_applied: AtomicU64,
-    /// Effective deltas staged but not yet committed (merger `due` hint;
-    /// the authoritative count lives in the store, behind the write
-    /// lock, and this mirror is only ever touched under that lock).
-    updates_staged: AtomicU64,
-    /// Accept-queue drains that ended in a real error (`EMFILE`/`ENFILE`
-    /// fd exhaustion and kin) — `WouldBlock` is not an error.
-    accept_errors: AtomicU64,
-    /// Event-loop wake-ups that surfaced ready work.
-    wakeups: AtomicU64,
-    /// Wake-up passes that served at least one query.
-    batches: AtomicU64,
-    /// Queries served inside those passes (equals `queries` over time;
-    /// `batch_queries / batches` is the realized batching factor).
-    batch_queries: AtomicU64,
-    /// Times a connection crossed the write high-water mark and had its
-    /// reads paused.
-    backpressure_pauses: AtomicU64,
-    /// Request lines rejected (and connections closed) for exceeding
-    /// `max_line_bytes`.
-    oversize_lines: AtomicU64,
 }
 
 /// The consistent `(context, index snapshot)` pair queries read. Swapped
@@ -234,7 +210,10 @@ struct Shared {
     pending: Mutex<PendingMerge>,
     merge_signal: Condvar,
     cache: Option<Mutex<ResultCache>>,
-    counters: Counters,
+    /// Every counter, gauge, and histogram the daemon exports — the
+    /// registry behind both the `stats` and `metrics` ops, plus the
+    /// slow-query ring.
+    metrics: Metrics,
     shutdown: AtomicBool,
 }
 
@@ -281,7 +260,7 @@ pub fn serve_store(
     config.workers = config.workers.max(1);
     let backend = config.event_loop.resolve();
     if config.event_loop == EventBackend::Epoll && backend == Backend::Poll {
-        eprintln!("rkrd: epoll is not available on this host; serving with the poll backend");
+        log_warn!("epoll is not available on this host; serving with the poll backend");
     }
     // Restored WAL deltas are already staged in the store; mirror them
     // into the merger's `due` hint so they commit on its first pass.
@@ -306,17 +285,26 @@ pub fn serve_store(
         merge_signal: Condvar::new(),
         cache: (config.cache_capacity > 0)
             .then(|| Mutex::new(ResultCache::new(config.cache_capacity))),
-        counters: Counters::default(),
+        metrics: Metrics::new(),
         shutdown: AtomicBool::new(false),
         backend,
         accept_err_logged: AtomicBool::new(false),
         partition,
         config,
     };
+    shared.metrics.updates_staged.set(staged_at_start);
+    shared.metrics.workers.set(shared.config.workers as u64);
     shared
-        .counters
-        .updates_staged
-        .store(staged_at_start, Ordering::Relaxed);
+        .metrics
+        .cache_capacity
+        .set(shared.config.cache_capacity as u64);
+    log_info!(
+        "serving: {} workers, {:?} backend, cache {}, merge every {}",
+        shared.config.workers,
+        shared.backend,
+        shared.config.cache_capacity,
+        shared.config.merge_every
+    );
     listener
         .set_nonblocking(true)
         .expect("cannot poll the listener");
@@ -339,7 +327,7 @@ pub fn serve_store(
     // load-or-create across its first restart.
     if shared.config.snapshot.is_some() {
         if let Err(msg) = checkpoint_locked(&shared.config, &write) {
-            eprintln!("rkrd: {msg}");
+            log_error!("{msg}");
         }
     }
     ServeOutcome {
@@ -478,11 +466,8 @@ impl QueryPass {
         if self.queries == 0 && self.deltas.is_empty() {
             return;
         }
-        shared.counters.batches.fetch_add(1, Ordering::Relaxed);
-        shared
-            .counters
-            .batch_queries
-            .fetch_add(self.queries, Ordering::Relaxed);
+        shared.metrics.batches.inc();
+        shared.metrics.batch_queries.add(self.queries);
         let merge_due = {
             let mut pending = shared.pending.lock().expect("pending lock poisoned");
             pending.deltas.append(&mut self.deltas);
@@ -507,7 +492,7 @@ fn worker_loop(shared: &Shared, listener: &TcpListener) {
                 if epoll_worker(shared, listener) {
                     return;
                 }
-                eprintln!("rkrd: worker falling back to the poll backend");
+                log_warn!("worker falling back to the poll backend");
             }
             poll_worker(shared, listener);
         }
@@ -528,19 +513,17 @@ fn accept_ready(shared: &Shared, listener: &TcpListener, mut on_conn: impl FnMut
                 shared.accept_err_logged.store(false, Ordering::Relaxed);
                 if stream.set_nonblocking(true).is_ok() {
                     let _ = stream.set_nodelay(true);
+                    shared.metrics.connections_open.add(1);
                     on_conn(stream);
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => {
-                shared
-                    .counters
-                    .accept_errors
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.metrics.accept_errors.inc();
                 if !shared.accept_err_logged.swap(true, Ordering::Relaxed) {
-                    eprintln!(
-                        "rkrd: accept failed: {e} (fd limit? counting, not logging, \
+                    log_error!(
+                        "accept failed: {e} (fd limit? counting, not logging, \
                          further errors in this burst)"
                     );
                 }
@@ -565,6 +548,7 @@ fn poll_worker(shared: &Shared, listener: &TcpListener) {
     let mut conns: Vec<Conn> = Vec::new();
     let mut idle_passes = 0u32;
     while !shared.shutdown.load(Ordering::Acquire) {
+        let woke = Instant::now();
         let mut progressed = false;
         accept_ready(shared, listener, |stream| {
             conns.push(Conn::new(stream));
@@ -581,7 +565,12 @@ fn poll_worker(shared: &Shared, listener: &TcpListener) {
                 }
                 ConnPoll::Closed => {
                     progressed = true;
-                    conns.swap_remove(i);
+                    let conn = conns.swap_remove(i);
+                    shared
+                        .metrics
+                        .conn_backlog_bytes
+                        .record(conn.backlog_hw as u64);
+                    shared.metrics.connections_open.sub(1);
                 }
             }
             if shared.shutdown.load(Ordering::Acquire) {
@@ -591,7 +580,11 @@ fn poll_worker(shared: &Shared, listener: &TcpListener) {
         }
         pass.flush(shared);
         if progressed {
-            shared.counters.wakeups.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.wakeups.inc();
+            shared
+                .metrics
+                .wake_drain_seconds
+                .record(duration_ns(woke.elapsed()));
             idle_passes = 0;
         } else {
             idle_passes += 1;
@@ -637,12 +630,12 @@ fn epoll_worker(shared: &Shared, listener: &TcpListener) -> bool {
     let ep = match Epoll::new() {
         Ok(ep) => ep,
         Err(e) => {
-            eprintln!("rkrd: epoll_create1 failed ({e})");
+            log_error!("epoll_create1 failed ({e})");
             return false;
         }
     };
     if let Err(e) = ep.add_listener(listener.as_raw_fd(), LISTENER) {
-        eprintln!("rkrd: epoll listener registration failed ({e})");
+        log_error!("epoll listener registration failed ({e})");
         return false;
     }
     let mut scratch = shared
@@ -660,14 +653,15 @@ fn epoll_worker(shared: &Shared, listener: &TcpListener) -> bool {
         let n = match ep.wait(&mut events, POLL.as_millis() as i32) {
             Ok(n) => n,
             Err(e) => {
-                eprintln!("rkrd: epoll_wait failed ({e}); worker exiting");
+                log_error!("epoll_wait failed ({e}); worker exiting");
                 return true;
             }
         };
         if n == 0 {
             continue;
         }
-        shared.counters.wakeups.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.wakeups.inc();
+        let woke = Instant::now();
         let mut pass = QueryPass::new();
         // Slots freed during this batch are not reused until the next
         // wait: a queued event for a just-closed fd must never be
@@ -687,7 +681,11 @@ fn epoll_worker(shared: &Shared, listener: &TcpListener) -> bool {
                         // Any bytes the client already sent surface on
                         // the next (level-triggered) wait immediately.
                         Ok(()) => conns[slot] = Some(conn),
-                        Err(_) => free.push(slot), // conn drops, fd closes
+                        Err(_) => {
+                            // conn drops, fd closes
+                            shared.metrics.connections_open.sub(1);
+                            free.push(slot);
+                        }
                     }
                 });
                 continue;
@@ -711,6 +709,11 @@ fn epoll_worker(shared: &Shared, listener: &TcpListener) -> bool {
             if closed {
                 if let Some(conn) = conns[slot].take() {
                     let _ = ep.delete(conn.stream.as_raw_fd());
+                    shared
+                        .metrics
+                        .conn_backlog_bytes
+                        .record(conn.backlog_hw as u64);
+                    shared.metrics.connections_open.sub(1);
                 }
                 freed.push(slot);
             } else if let Some(conn) = conns[slot].as_mut() {
@@ -729,6 +732,10 @@ fn epoll_worker(shared: &Shared, listener: &TcpListener) -> bool {
             }
         }
         pass.flush(shared);
+        shared
+            .metrics
+            .wake_drain_seconds
+            .record(duration_ns(woke.elapsed()));
         free.append(&mut freed);
     }
     true
@@ -809,10 +816,7 @@ fn service_conn(
             progressed = true;
             let result = match parsed {
                 Parsed::Oversize => {
-                    shared
-                        .counters
-                        .oversize_lines
-                        .fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.oversize_lines.inc();
                     let mut line =
                         Reply::Error(format!("bad request: line exceeds {max_line} bytes"))
                             .to_json()
@@ -849,10 +853,7 @@ fn service_conn(
             }
             if !conn.paused && conn.pending_out() >= shared.config.write_high_water {
                 conn.paused = true;
-                shared
-                    .counters
-                    .backpressure_pauses
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.metrics.backpressure_pauses.inc();
             }
         }
         conn.compact();
@@ -952,6 +953,8 @@ fn execute_control(shared: &Shared, req: Request) -> Reply {
             Err(msg) => Reply::Error(msg),
         },
         Request::Stats => Reply::Stats(stats_snapshot(shared)),
+        Request::Metrics => Reply::Metrics(metrics_snapshot(shared)),
+        Request::SlowQueries => Reply::SlowQueries(shared.metrics.slow_log.snapshot()),
         Request::Flush => {
             let (epoch, merged) = merge_pending(shared);
             Reply::Flush { epoch, merged }
@@ -963,7 +966,7 @@ fn execute_control(shared: &Shared, req: Request) -> Reply {
             // forcing durability never changes commit semantics (with
             // `merge_every` 0, staged updates still wait for `flush`).
             let write = shared.write.lock().expect("write lock poisoned");
-            match checkpoint_locked(&shared.config, &write) {
+            match checkpoint_timed(shared, &write) {
                 Ok((epoch, graph_epoch)) => Reply::Checkpoint { epoch, graph_epoch },
                 Err(msg) => Reply::Error(msg),
             }
@@ -994,10 +997,10 @@ fn stage_updates(shared: &Shared, ops: &[UpdateOp]) -> Result<(u64, u64), String
     // check and `updates_applied` must agree with what the store will
     // actually hand to the commit — drift here would leave the merger
     // waking forever on a count that can never drain.
-    shared.counters.updates_staged.fetch_add(
-        (write.store.pending_deltas() - before) as u64,
-        Ordering::Relaxed,
-    );
+    shared
+        .metrics
+        .updates_staged
+        .add((write.store.pending_deltas() - before) as u64);
     let graph_epoch = write.store.graph_epoch();
     drop(write);
     // Wake the merger: with a cadence configured, staged updates commit
@@ -1018,6 +1021,7 @@ fn run_query(
     strategy: Option<&str>,
     deadline_ms: Option<u64>,
 ) -> Result<QueryReply, String> {
+    let start = Instant::now();
     // The request's strategy string maps straight onto the unified
     // Strategy; absent, the daemon serves its configured default — the
     // snapshot-indexed search.
@@ -1025,7 +1029,7 @@ fn run_query(
         Some(name) => name.parse::<Strategy>()?,
         None => Strategy::Indexed(shared.config.bounds),
     };
-    shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.queries.inc();
     // One consistent pair per *pass*: the context and the index snapshot
     // always belong to the same graph epoch, and every query the wake-up
     // batched shares the one read-lock acquisition.
@@ -1058,6 +1062,17 @@ fn run_query(
                 // served queries" must hold under hit-heavy traffic, or
                 // pending deltas could sit unmerged indefinitely.
                 pass.queries += 1;
+                note_served(
+                    shared,
+                    strategy,
+                    QueryOutcome::Hit,
+                    start,
+                    node,
+                    k,
+                    epoch,
+                    graph_epoch,
+                    None,
+                );
                 // A cached entry is always a *complete* answer (partial
                 // results are never inserted), so it satisfies any
                 // deadline trivially.
@@ -1096,18 +1111,21 @@ fn run_query(
     if !delta.is_empty() {
         pass.deltas.push(delta);
     }
+    let stage = outcome.stage;
+    shared
+        .metrics
+        .filter_seconds
+        .record(duration_ns(stage.filter));
+    shared
+        .metrics
+        .refine_seconds
+        .record(duration_ns(stage.refine));
     let partial = match outcome.completion {
         Completion::Complete => false,
         Completion::Partial { reason, .. } => {
-            shared
-                .counters
-                .partial_results
-                .fetch_add(1, Ordering::Relaxed);
+            shared.metrics.partial_results.inc();
             if reason == PartialReason::DeadlineExceeded {
-                shared
-                    .counters
-                    .deadline_exceeded
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.metrics.deadline_exceeded.inc();
             }
             true
         }
@@ -1123,6 +1141,22 @@ fn run_query(
                 .insert(key, entries.clone());
         }
     }
+    let served_as = if partial {
+        QueryOutcome::Partial
+    } else {
+        QueryOutcome::Miss
+    };
+    note_served(
+        shared,
+        strategy,
+        served_as,
+        start,
+        node,
+        k,
+        epoch,
+        graph_epoch,
+        Some(stage),
+    );
     Ok(QueryReply {
         entries,
         cached: false,
@@ -1130,6 +1164,51 @@ fn run_query(
         graph_epoch,
         partial,
     })
+}
+
+/// Post-answer accounting every successfully served query goes through:
+/// the end-to-end latency lands in the `(strategy, outcome)` histogram,
+/// and — with a slow-query threshold configured — a query at or over it
+/// is captured in the slow-query ring. Cache hits pass no stage split
+/// (they did no filter or refine work), which keeps the exported
+/// invariant `filter + refine ≤ total` across any traffic mix.
+#[allow(clippy::too_many_arguments)]
+fn note_served(
+    shared: &Shared,
+    strategy: Strategy,
+    outcome: QueryOutcome,
+    start: Instant,
+    node: u32,
+    k: u32,
+    epoch: u64,
+    graph_epoch: u64,
+    stage: Option<QueryStageStats>,
+) {
+    let total = start.elapsed();
+    shared.metrics.record_query(strategy, outcome, total);
+    let Some(threshold_ms) = shared.config.slow_query_ms else {
+        return;
+    };
+    if total < Duration::from_millis(threshold_ms) {
+        return;
+    }
+    shared.metrics.slow_queries.inc();
+    shared.metrics.slow_log.push(SlowQueryRecord {
+        node,
+        k,
+        strategy: strategy.name().to_string(),
+        cached: outcome == QueryOutcome::Hit,
+        epoch,
+        graph_epoch,
+        total_ns: duration_ns(total),
+        filter_ns: stage.map_or(0, |s| duration_ns(s.filter)),
+        refine_ns: stage.map_or(0, |s| duration_ns(s.refine)),
+        completion: if outcome == QueryOutcome::Partial {
+            "partial".to_string()
+        } else {
+            "complete".to_string()
+        },
+    });
 }
 
 /// Whether the merger has due work. Index write-logs wait for the query
@@ -1142,7 +1221,7 @@ fn merge_is_due(shared: &Shared, pending: &PendingMerge) -> bool {
     shared.config.merge_every > 0
         && ((pending.queries_since_merge >= shared.config.merge_every
             && !pending.deltas.is_empty())
-            || shared.counters.updates_staged.load(Ordering::Relaxed) > 0)
+            || shared.metrics.updates_staged.get() > 0)
 }
 
 /// The one merge point: commit staged graph updates (publishing a new
@@ -1164,6 +1243,8 @@ fn merge_pending(shared: &Shared) -> (u64, u64) {
     if deltas.is_empty() && staged == 0 {
         return (write.master.epoch(), 0);
     }
+    // Timed from here: the no-op probe above is not a merger pass.
+    let pass_start = Instant::now();
 
     let mut new_ctx = None;
     if staged > 0 {
@@ -1172,16 +1253,13 @@ fn merge_pending(shared: &Shared) -> (u64, u64) {
         let graph_epoch = write.store.graph_epoch();
         // The commit drained the store; every staging op happens under the
         // write lock we still hold, so zero is the authoritative count.
-        shared.counters.updates_staged.store(0, Ordering::Relaxed);
+        shared.metrics.updates_staged.set(0);
         if graph_epoch != epoch_before {
             // Applied = committed by a graph-changing commit; a no-op
             // commit (e.g. a reweight to the current weight) drains its
             // staged deltas without counting them, so `updates_applied`
             // always reconciles with `graph_commits`.
-            shared
-                .counters
-                .updates_applied
-                .fetch_add(staged as u64, Ordering::Relaxed);
+            shared.metrics.updates_applied.add(staged as u64);
             // The graph changed: retire the index (merging stale
             // knowledge forward is unsound — see RkrIndex::merge_delta)
             // and build a context for the new snapshot.
@@ -1195,10 +1273,8 @@ fn merge_pending(shared: &Shared) -> (u64, u64) {
             // The merger pays the transpose build, not the first query.
             ctx.sds_graph();
             new_ctx = Some(Arc::new(ctx));
-            shared
-                .counters
-                .graph_commits
-                .fetch_add(1, Ordering::Relaxed);
+            shared.metrics.graph_commits.inc();
+            log_info!("graph commit: epoch {epoch_before} -> {graph_epoch}, {staged} deltas");
         }
     }
 
@@ -1229,21 +1305,23 @@ fn merge_pending(shared: &Shared) -> (u64, u64) {
             .expect("cache lock poisoned")
             .purge_stale(graph_epoch, index_epoch);
     }
-    shared.counters.merges.fetch_add(1, Ordering::Relaxed);
-    shared
-        .counters
-        .deltas_merged
-        .fetch_add(folded, Ordering::Relaxed);
+    shared.metrics.merges.inc();
+    shared.metrics.deltas_merged.add(folded);
+    log_info!("merge: folded {folded} write-logs, index epoch {index_epoch}");
     // A merge point that changed state refreshes the snapshot bundle
     // (still under the write lock, so the bundle is a consistent cut): a
     // crash after this point loses at most in-flight write-logs, which
     // are pruning hints, never answers. Failures are logged and serving
     // continues — durability is best-effort, availability is not.
     if shared.config.snapshot.is_some() {
-        if let Err(msg) = checkpoint_locked(&shared.config, &write) {
-            eprintln!("rkrd: {msg}");
+        if let Err(msg) = checkpoint_timed(shared, &write) {
+            log_error!("{msg}");
         }
     }
+    shared
+        .metrics
+        .merge_pass_seconds
+        .record(duration_ns(pass_start.elapsed()));
     (index_epoch, folded)
 }
 
@@ -1259,6 +1337,19 @@ fn checkpoint_locked(config: &ServerConfig, write: &WriteState) -> Result<(u64, 
     save_snapshot(&write.store, &write.master, path)
         .map_err(|e| format!("checkpoint to {} failed: {e}", path.display()))?;
     Ok((write.master.epoch(), write.store.graph_epoch()))
+}
+
+/// [`checkpoint_locked`] with the duration recorded in
+/// `rkrd_checkpoint_seconds` (successes only — a failed checkpoint is a
+/// logged error, not a latency sample).
+fn checkpoint_timed(shared: &Shared, write: &WriteState) -> Result<(u64, u64), String> {
+    let start = Instant::now();
+    let out = checkpoint_locked(&shared.config, write)?;
+    shared
+        .metrics
+        .checkpoint_seconds
+        .record(duration_ns(start.elapsed()));
+    Ok(out)
 }
 
 fn merger_loop(shared: &Shared) {
@@ -1286,57 +1377,69 @@ fn merger_loop(shared: &Shared) {
     // last queries and silently drop their write-logs.
 }
 
+/// Refresh every mirror and state gauge from its authoritative source —
+/// the LRU's own counters and byte estimate, and the live epoch pair —
+/// so a snapshot taken right after is current, not
+/// last-time-anyone-asked stale.
+fn refresh_mirrors(shared: &Shared) {
+    let m = &shared.metrics;
+    if let Some(cache) = &shared.cache {
+        let cache = cache.lock().expect("cache lock poisoned");
+        let (h, mi, e, s) = cache.counters();
+        m.mirror_cache(h, mi, e, s);
+        m.cache_entries.set(cache.len() as u64);
+        m.cache_bytes.set(cache.approx_bytes() as u64);
+    }
+    let live = shared.live.read().expect("live lock poisoned");
+    m.index_epoch.set(live.snapshot.epoch());
+    m.graph_epoch.set(live.graph_epoch);
+    m.graph_nodes.set(live.ctx.graph().num_nodes() as u64);
+    m.graph_edges.set(live.ctx.graph().num_edges() as u64);
+}
+
+/// The full registry snapshot the `metrics` op serves (the superset of
+/// `stats`: every counter and gauge plus the latency histograms).
+fn metrics_snapshot(shared: &Shared) -> MetricsSnapshot {
+    refresh_mirrors(shared);
+    shared.metrics.registry.snapshot()
+}
+
 fn stats_snapshot(shared: &Shared) -> StatsReply {
-    let (cache_hits, cache_misses, cache_evictions, cache_stale_evicted, cache_entries) =
-        match &shared.cache {
-            Some(cache) => {
-                let cache = cache.lock().expect("cache lock poisoned");
-                let (h, m, e, s) = cache.counters();
-                (h, m, e, s, cache.len() as u64)
-            }
-            None => (0, 0, 0, 0, 0),
-        };
-    let (epoch, graph_epoch, graph_nodes, graph_edges) = {
-        let live = shared.live.read().expect("live lock poisoned");
-        (
-            live.snapshot.epoch(),
-            live.graph_epoch,
-            live.ctx.graph().num_nodes() as u64,
-            live.ctx.graph().num_edges() as u64,
-        )
-    };
+    refresh_mirrors(shared);
+    let m = &shared.metrics;
     StatsReply {
-        queries: shared.counters.queries.load(Ordering::Relaxed),
-        cache_hits,
-        cache_misses,
-        cache_entries,
-        cache_evictions,
-        cache_stale_evicted,
+        queries: m.queries.get(),
+        cache_hits: m.cache_hits.get(),
+        cache_misses: m.cache_misses.get(),
+        cache_entries: m.cache_entries.get(),
+        cache_evictions: m.cache_evictions.get(),
+        cache_stale_evicted: m.cache_stale_evicted.get(),
         cache_capacity: shared.config.cache_capacity as u64,
-        epoch,
-        merges: shared.counters.merges.load(Ordering::Relaxed),
-        deltas_merged: shared.counters.deltas_merged.load(Ordering::Relaxed),
+        cache_bytes: m.cache_bytes.get(),
+        epoch: m.index_epoch.get(),
+        merges: m.merges.get(),
+        deltas_merged: m.deltas_merged.get(),
         workers: shared.config.workers as u64,
-        partial_results: shared.counters.partial_results.load(Ordering::Relaxed),
-        deadline_exceeded: shared.counters.deadline_exceeded.load(Ordering::Relaxed),
-        graph_epoch,
-        graph_commits: shared.counters.graph_commits.load(Ordering::Relaxed),
-        updates_applied: shared.counters.updates_applied.load(Ordering::Relaxed),
-        graph_nodes,
-        graph_edges,
-        accept_errors: shared.counters.accept_errors.load(Ordering::Relaxed),
-        wakeups: shared.counters.wakeups.load(Ordering::Relaxed),
-        batches: shared.counters.batches.load(Ordering::Relaxed),
-        batch_queries: shared.counters.batch_queries.load(Ordering::Relaxed),
-        backpressure_pauses: shared.counters.backpressure_pauses.load(Ordering::Relaxed),
-        oversize_lines: shared.counters.oversize_lines.load(Ordering::Relaxed),
+        partial_results: m.partial_results.get(),
+        deadline_exceeded: m.deadline_exceeded.get(),
+        graph_epoch: m.graph_epoch.get(),
+        graph_commits: m.graph_commits.get(),
+        updates_applied: m.updates_applied.get(),
+        graph_nodes: m.graph_nodes.get(),
+        graph_edges: m.graph_edges.get(),
+        accept_errors: m.accept_errors.get(),
+        wakeups: m.wakeups.get(),
+        batches: m.batches.get(),
+        batch_queries: m.batch_queries.get(),
+        backpressure_pauses: m.backpressure_pauses.get(),
+        oversize_lines: m.oversize_lines.get(),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Client;
+    use crate::{Client, QueryOptions};
     use rkranks_graph::{graph_from_edges, EdgeDirection};
 
     fn grid() -> Graph {
@@ -1831,6 +1934,197 @@ mod tests {
             .update(&[UpdateOp::RemoveEdge { u: 0, v: 1 }])
             .unwrap_err();
         assert!(err.to_string().contains("bichromatic"), "{err}");
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    /// Pull one named sample out of a metrics snapshot (there must be
+    /// exactly one without labels per name).
+    fn sample<'a>(
+        snap: &'a rkranks_core::MetricsSnapshot,
+        name: &str,
+    ) -> &'a rkranks_core::MetricSample {
+        snap.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .unwrap_or_else(|| panic!("no sample named {name}"))
+    }
+
+    fn counter_value(snap: &rkranks_core::MetricsSnapshot, name: &str) -> u64 {
+        match sample(snap, name).value {
+            rkranks_core::MetricValue::Counter(v) | rkranks_core::MetricValue::Gauge(v) => v,
+            _ => panic!("{name} is not a counter/gauge"),
+        }
+    }
+
+    /// The tentpole acceptance invariants, end to end over the wire: the
+    /// latency-histogram family counts exactly the queries served (split
+    /// by outcome), and the stage histograms never exceed the end-to-end
+    /// totals (`filter + refine ≤ total`).
+    #[test]
+    fn metrics_histograms_account_for_every_query() {
+        let handle = spawn_grid(ServerConfig {
+            workers: 1,
+            cache_capacity: 16,
+            merge_every: 0,
+            bounds: BoundConfig::ALL,
+            snapshot: None,
+            ..Default::default()
+        });
+        let mut client = Client::connect(handle.addr()).unwrap();
+        for node in [0u32, 1, 2, 3] {
+            client.query(node, 2).unwrap();
+        }
+        client.query(0, 2).unwrap(); // cache hit
+        client.query(1, 2).unwrap(); // cache hit
+        let snap = client.metrics().unwrap();
+
+        assert_eq!(counter_value(&snap, "rkrd_queries_total"), 6);
+        let (mut total_count, mut total_sum) = (0u64, 0f64);
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for s in &snap.samples {
+            if s.name != "rkrd_query_seconds" {
+                continue;
+            }
+            let rkranks_core::MetricValue::Histogram(h) = &s.value else {
+                panic!("rkrd_query_seconds must be a histogram");
+            };
+            total_count += h.count;
+            total_sum += h.scaled_sum();
+            match s.labels.iter().find(|(k, _)| k == "outcome") {
+                Some((_, o)) if o == "hit" => hits += h.count,
+                Some((_, o)) if o == "miss" => misses += h.count,
+                _ => {}
+            }
+        }
+        assert_eq!(
+            total_count, 6,
+            "the latency family must count every served query"
+        );
+        assert_eq!(hits, 2);
+        assert_eq!(misses, 4);
+
+        // Stage histograms cover computed queries only, and their summed
+        // time fits inside the end-to-end total.
+        let stage = |name: &str| match &sample(&snap, name).value {
+            rkranks_core::MetricValue::Histogram(h) => (h.count, h.scaled_sum()),
+            _ => panic!("{name} must be a histogram"),
+        };
+        let (filter_count, filter_sum) = stage("rkrd_filter_seconds");
+        let (refine_count, refine_sum) = stage("rkrd_refine_seconds");
+        assert_eq!(filter_count, 4, "one filter sample per computed query");
+        assert_eq!(refine_count, 4);
+        assert!(
+            filter_sum + refine_sum <= total_sum,
+            "stage time {} must fit inside end-to-end time {}",
+            filter_sum + refine_sum,
+            total_sum
+        );
+
+        // Mirrors agree with stats, and the byte gauge is live.
+        let stats = client.stats().unwrap();
+        assert_eq!(counter_value(&snap, "rkrd_cache_hits_total"), 2);
+        assert_eq!(stats.cache_hits, 2);
+        assert!(stats.cache_bytes > 0, "4 cached entries occupy bytes");
+        assert_eq!(counter_value(&snap, "rkrd_cache_bytes"), stats.cache_bytes);
+
+        // The metrics/stats ops themselves never count as queries.
+        let again = client.metrics().unwrap();
+        assert_eq!(counter_value(&again, "rkrd_queries_total"), 6);
+
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    /// With `slow_query_ms: Some(0)` every served query lands in the
+    /// ring, with the stage split and cache flag intact.
+    #[test]
+    fn slow_query_log_captures_at_the_threshold() {
+        let handle = spawn_grid(ServerConfig {
+            workers: 1,
+            cache_capacity: 16,
+            merge_every: 0,
+            bounds: BoundConfig::ALL,
+            snapshot: None,
+            slow_query_ms: Some(0),
+            ..Default::default()
+        });
+        let mut client = Client::connect(handle.addr()).unwrap();
+        client.query(0, 2).unwrap();
+        client.query(0, 2).unwrap(); // hit
+        client
+            .query_opts(
+                1,
+                2,
+                &QueryOptions {
+                    strategy: Some("naive".into()),
+                    ..QueryOptions::default()
+                },
+            )
+            .unwrap();
+
+        let log = client.slow_queries().unwrap();
+        assert_eq!(log.len(), 3, "threshold 0 captures everything");
+        assert_eq!(log[0].node, 0);
+        assert!(!log[0].cached);
+        assert_eq!(log[0].completion, "complete");
+        assert!(log[0].total_ns >= log[0].filter_ns + log[0].refine_ns);
+        assert!(log[1].cached, "the repeat is a cache hit");
+        assert_eq!(log[1].filter_ns, 0, "hits do no stage work");
+        assert_eq!(log[1].refine_ns, 0);
+        assert_eq!(log[2].strategy, "naive");
+
+        let snap = client.metrics().unwrap();
+        assert_eq!(counter_value(&snap, "rkrd_slow_queries_total"), 3);
+
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    /// Without a threshold (the default), nothing is ever captured.
+    #[test]
+    fn slow_query_log_is_off_by_default() {
+        let handle = spawn_grid(ServerConfig {
+            workers: 1,
+            cache_capacity: 16,
+            merge_every: 0,
+            bounds: BoundConfig::ALL,
+            snapshot: None,
+            ..Default::default()
+        });
+        let mut client = Client::connect(handle.addr()).unwrap();
+        client.query(0, 2).unwrap();
+        assert!(client.slow_queries().unwrap().is_empty());
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    /// The registry snapshot renders as valid Prometheus text exposition
+    /// and reports live serving gauges.
+    #[test]
+    fn metrics_render_and_gauges_track_the_live_state() {
+        let handle = spawn_grid(ServerConfig {
+            workers: 2,
+            cache_capacity: 16,
+            merge_every: 0,
+            bounds: BoundConfig::ALL,
+            snapshot: None,
+            ..Default::default()
+        });
+        let mut client = Client::connect(handle.addr()).unwrap();
+        client.query(0, 2).unwrap();
+        let (epoch, _) = client.flush().unwrap();
+        let snap = client.metrics().unwrap();
+        assert_eq!(counter_value(&snap, "rkrd_index_epoch"), epoch);
+        assert_eq!(counter_value(&snap, "rkrd_graph_epoch"), 0);
+        assert_eq!(counter_value(&snap, "rkrd_graph_nodes"), 4);
+        assert_eq!(counter_value(&snap, "rkrd_workers"), 2);
+        assert_eq!(counter_value(&snap, "rkrd_merges_total"), 1);
+        assert!(counter_value(&snap, "rkrd_connections_open") >= 1);
+        let text = rkranks_core::render_prometheus(&snap);
+        assert!(text.contains("# TYPE rkrd_queries_total counter"));
+        assert!(text.contains("# TYPE rkrd_query_seconds histogram"));
+        assert!(text.contains("rkrd_query_seconds_bucket{strategy=\"indexed-three\","));
         client.shutdown().unwrap();
         handle.join();
     }

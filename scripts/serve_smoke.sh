@@ -31,8 +31,62 @@ diff -u "$WORK/local.txt" "$WORK/remote.txt"
 echo "remote == in-process"
 
 # a repeat is a cache hit
-"$RKR" query --remote "$ADDR" --node 5 --k 4 | grep -q 'cached: true'
+# (scrape ctl/query output into files before grepping: `cmd | grep -q`
+# lets grep exit on the first match and the writer then dies on EPIPE)
+"$RKR" query --remote "$ADDR" --node 5 --k 4 > "$WORK/repeat.txt"
+grep -q 'cached: true' "$WORK/repeat.txt"
 echo "cache hit observed"
+
+# ---- metrics leg: scrape, burst, scrape ------------------------------
+# Counters must be monotone across a query burst, the latency histograms
+# must account for every query served, and the --prom output must be
+# well-formed text exposition 0.0.4.
+"$RKR" ctl "$ADDR" metrics --prom > "$WORK/prom-before.txt"
+Q0="$(awk '$1 == "rkrd_queries_total" {print $2}' "$WORK/prom-before.txt")"
+for n in 1 2 3 7; do
+    "$RKR" query --remote "$ADDR" --node "$n" --k 3 > /dev/null
+done
+"$RKR" ctl "$ADDR" metrics --prom > "$WORK/prom-after.txt"
+Q1="$(awk '$1 == "rkrd_queries_total" {print $2}' "$WORK/prom-after.txt")"
+[ "$Q1" -eq "$((Q0 + 4))" ] || {
+    echo "queries_total went $Q0 -> $Q1 over a 4-query burst"; exit 1; }
+H1="$(awk '$1 ~ /^rkrd_query_seconds_count\{/ {s += $2} END {print s + 0}' "$WORK/prom-after.txt")"
+[ "$H1" -eq "$Q1" ] || {
+    echo "histogram total $H1 != queries served $Q1"; exit 1; }
+# no counter moves backwards
+awk '
+    NR == FNR { if ($1 !~ /^#/ && $1 ~ /_total(\{|$)/) before[$1] = $2; next }
+    ($1 in before) && ($2 + 0) < (before[$1] + 0) {
+        print "counter went backwards: " $1 " " before[$1] " -> " $2; bad = 1 }
+    END { exit bad }
+' "$WORK/prom-before.txt" "$WORK/prom-after.txt"
+# hand-rolled exposition check: every sample is `name[{labels}] value`,
+# every sample family has a TYPE, and per histogram family the +Inf
+# buckets sum to the _count sum
+awk '
+    $1 == "#" && $2 == "TYPE" { type[$3] = $4; next }
+    $1 == "#" { next }
+    NF == 0 { next }
+    {
+        if (NF != 2) { print "malformed sample: " $0; bad = 1; next }
+        if ($1 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})?$/) { print "bad series: " $1; bad = 1 }
+        if ($2 !~ /^[-+.0-9eE]+$/ && $2 != "+Inf" && $2 != "NaN") { print "bad value: " $0; bad = 1 }
+        name = $1; sub(/\{.*/, "", name)
+        base = name; sub(/_(bucket|sum|count)$/, "", base)
+        if (!(name in type) && !(base in type)) { print "no TYPE for " name; bad = 1 }
+        if (name ~ /_bucket$/ && $1 ~ /le="\+Inf"/) infsum[base] += $2
+        if (name ~ /_count$/) cntsum[base] += $2
+    }
+    END {
+        for (b in cntsum) if (infsum[b] != cntsum[b]) {
+            print b ": +Inf bucket sum " infsum[b] " != count sum " cntsum[b]; bad = 1 }
+        exit bad
+    }
+' "$WORK/prom-after.txt"
+"$RKR" ctl "$ADDR" metrics > "$WORK/metrics-table.txt"
+grep -q 'rkrd_queries_total' "$WORK/metrics-table.txt" || {
+    echo "human metrics table must show the counters"; exit 1; }
+echo "metrics scrape valid ($Q1 queries accounted for)"
 
 # live update round-trip: a new node at distance 0.01 from node 5 has
 # rank 1 and must change the answer (the ctl ops stage + flush, so the
@@ -60,8 +114,9 @@ echo "update round-trip == in-process rebuild"
 # batched updates from a file land too
 printf 'add-node\n' > "$WORK/ups.txt"
 "$RKR" update "$ADDR" --from "$WORK/ups.txt"
-"$RKR" ctl "$ADDR" stats | grep -q "($((NODES + 2)) nodes" || {
-    echo "rkr update --from did not land"; "$RKR" ctl "$ADDR" stats; exit 1; }
+"$RKR" ctl "$ADDR" stats > "$WORK/stats1.txt"
+grep -q "($((NODES + 2)) nodes" "$WORK/stats1.txt" || {
+    echo "rkr update --from did not land"; cat "$WORK/stats1.txt"; exit 1; }
 echo "file-driven updates applied"
 
 "$RKR" ctl "$ADDR" stats
@@ -161,7 +216,8 @@ if [ "$(uname -s)" = "Linux" ]; then
     diff -u "$WORK/local.txt" "$WORK/epoll.txt"
     echo "epoll remote == in-process"
 
-    "$RKR" ctl "$ADDR" stats | grep -q 'event loop:' || {
+    "$RKR" ctl "$ADDR" stats > "$WORK/stats-epoll.txt"
+    grep -q 'event loop:' "$WORK/stats-epoll.txt" || {
         echo "stats must report the event-loop counters"; exit 1; }
     "$RKR" ctl "$ADDR" shutdown
     wait "$SERVE_PID"

@@ -15,7 +15,9 @@
 //! rkr serve [<graph.edges>] [--addr HOST:PORT] [--workers N] [--cache N] [--merge-every M]
 //!                 [--index index.rkri] [--kmax K] [--save-index] [--snapshot FILE]
 //!                 [--event-loop auto|epoll|poll] [--high-water BYTES] [--max-line BYTES]
-//! rkr ctl <HOST:PORT> stats|flush|checkpoint|shutdown
+//!                 [--log-level error|warn|info|debug] [--slow-query-ms MS]
+//! rkr ctl <HOST:PORT> stats [--json] | flush | checkpoint | shutdown
+//! rkr ctl <HOST:PORT> metrics [--prom|--json] | slow-queries [--json]
 //! rkr ctl <HOST:PORT> add-edge U V W | rm-edge U V | reweight U V W | add-node
 //! rkr update <HOST:PORT> --from FILE [--batch N] [--no-flush]
 //! ```
@@ -51,6 +53,14 @@
 //! is created at the first checkpoint. The daemon checkpoints at every
 //! state-changing merge point and at shutdown; `rkr ctl ADDR checkpoint`
 //! forces one over the wire.
+//!
+//! Observability: `rkr ctl ADDR metrics` dumps every registered counter,
+//! gauge, and latency histogram (`--prom` renders the Prometheus text
+//! exposition for scrapers, `--json` the raw wire reply); `--slow-query-ms
+//! MS` on `serve` captures queries at or over the threshold in a bounded
+//! in-memory ring that `rkr ctl ADDR slow-queries` reads back; and
+//! `--log-level` controls the daemon's stderr diagnostics (quiet `warn`
+//! by default).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -58,7 +68,8 @@ use std::time::Instant;
 
 use reverse_k_ranks::prelude::*;
 use rkranks_core::{
-    load_index, load_snapshot, save_index, Completion, QueryOutcome, QueryRequest, Strategy,
+    load_index, load_snapshot, render_prometheus, save_index, Completion, MetricValue,
+    MetricsSnapshot, QueryOutcome, QueryRequest, Strategy,
 };
 use rkranks_datasets::{dblp_like, epinions_like, sf_like};
 use rkranks_eval::runner::{self, run_batch, run_indexed_batch, IndexedMode};
@@ -67,7 +78,7 @@ use rkranks_graph::io::{load_graph, save_graph};
 use rkranks_graph::metrics::{degree_stats, weight_stats};
 use rkranks_graph::traversal::is_weakly_connected;
 use rkranks_graph::GraphStore;
-use rkranks_server::{Client, QueryOptions, ServerConfig};
+use rkranks_server::{Client, LogLevel, QueryOptions, Request, ServerConfig};
 
 const USAGE: &str = "usage:
   rkr gen <dblp|epinions|road> [--scale S] [--seed N] --out FILE
@@ -81,7 +92,9 @@ const USAGE: &str = "usage:
   rkr serve [<graph.edges>] [--addr HOST:PORT] [--workers N] [--cache N] [--merge-every M]
             [--index FILE] [--kmax K] [--save-index] [--snapshot FILE]
             [--event-loop auto|epoll|poll] [--high-water BYTES] [--max-line BYTES]
-  rkr ctl <HOST:PORT> stats|flush|checkpoint|shutdown
+            [--log-level error|warn|info|debug] [--slow-query-ms MS]
+  rkr ctl <HOST:PORT> stats [--json] | flush | checkpoint | shutdown
+  rkr ctl <HOST:PORT> metrics [--prom|--json] | slow-queries [--json]
   rkr ctl <HOST:PORT> add-edge U V W | rm-edge U V | reweight U V W | add-node
   rkr update <HOST:PORT> --from FILE [--batch N] [--no-flush]
 
@@ -386,6 +399,10 @@ fn load_index_for_edge_file(path: &str) -> Result<RkrIndex, String> {
 }
 
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    // Logging first: a bad level should fail before any work, and the
+    // level must be set before the daemon can emit anything.
+    let log_level: LogLevel = flags.get_parsed("log-level", LogLevel::Warn)?;
+    rkranks_server::log::set_level(log_level);
     let addr = flags.get("addr").unwrap_or("127.0.0.1:7878");
     let workers: usize = flags.get_parsed("workers", 4)?;
     let cache: usize = flags.get_parsed("cache", 4096)?;
@@ -472,6 +489,13 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         event_loop,
         write_high_water: flags.get_parsed("high-water", defaults.write_high_water)?,
         max_line_bytes: flags.get_parsed("max-line", defaults.max_line_bytes)?,
+        slow_query_ms: match flags.get("slow-query-ms") {
+            Some(v) => Some(
+                v.parse::<u64>()
+                    .map_err(|_| format!("bad value for --slow-query-ms: '{v}'"))?,
+            ),
+            None => None,
+        },
     };
     let listener =
         std::net::TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
@@ -631,16 +655,21 @@ fn cmd_ctl(flags: &Flags) -> Result<(), String> {
     let op = flags
         .positional
         .get(2)
-        .ok_or("ctl needs an operation (stats|flush|checkpoint|shutdown)")?;
+        .ok_or("ctl needs an operation (stats|metrics|slow-queries|flush|checkpoint|shutdown)")?;
     let mut client =
         Client::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     match op.as_str() {
         "stats" => {
+            if flags.has("json") {
+                let line = client.raw(&Request::Stats).map_err(|e| e.to_string())?;
+                println!("{line}");
+                return Ok(());
+            }
             let s = client.stats().map_err(|e| e.to_string())?;
             println!("queries:        {}", s.queries);
             println!(
-                "cache:          {} hits / {} misses ({} entries, capacity {})",
-                s.cache_hits, s.cache_misses, s.cache_entries, s.cache_capacity
+                "cache:          {} hits / {} misses ({} entries, capacity {}, ~{} bytes)",
+                s.cache_hits, s.cache_misses, s.cache_entries, s.cache_capacity, s.cache_bytes
             );
             println!(
                 "evictions:      {} lru, {} stale",
@@ -669,6 +698,50 @@ fn cmd_ctl(flags: &Flags) -> Result<(), String> {
                 s.backpressure_pauses, s.oversize_lines, s.accept_errors
             );
         }
+        "metrics" => {
+            if flags.has("json") {
+                let line = client.raw(&Request::Metrics).map_err(|e| e.to_string())?;
+                println!("{line}");
+                return Ok(());
+            }
+            let snap = client.metrics().map_err(|e| e.to_string())?;
+            if flags.has("prom") {
+                print!("{}", render_prometheus(&snap));
+            } else {
+                print_metrics_table(&snap);
+            }
+        }
+        "slow-queries" => {
+            if flags.has("json") {
+                let line = client
+                    .raw(&Request::SlowQueries)
+                    .map_err(|e| e.to_string())?;
+                println!("{line}");
+                return Ok(());
+            }
+            let records = client.slow_queries().map_err(|e| e.to_string())?;
+            if records.is_empty() {
+                println!("no slow queries captured (is the daemon running with --slow-query-ms?)");
+                return Ok(());
+            }
+            println!("{} slow quer(ies), oldest first:", records.len());
+            for r in &records {
+                println!(
+                    "  node {:>8} k {:>4}  {:<14} {:>9.3}ms (filter {:.3}ms, refine {:.3}ms) \
+                     {}{} epoch {}/{}",
+                    r.node,
+                    r.k,
+                    r.strategy,
+                    r.total_ns as f64 / 1e6,
+                    r.filter_ns as f64 / 1e6,
+                    r.refine_ns as f64 / 1e6,
+                    if r.cached { "cached " } else { "" },
+                    r.completion,
+                    r.epoch,
+                    r.graph_epoch,
+                );
+            }
+        }
         "flush" => {
             let (epoch, merged) = client.flush().map_err(|e| e.to_string())?;
             println!("flushed {merged} deltas (index epoch {epoch})");
@@ -695,6 +768,51 @@ fn cmd_ctl(flags: &Flags) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// The human `rkr ctl ADDR metrics` view: one line per instrument, with
+/// quantile summaries for histograms. Histograms that never recorded are
+/// skipped (the `rkrd_query_seconds` family alone has one member per
+/// `(strategy, outcome)` pair, most of them untouched on any one daemon);
+/// `--prom` and `--json` expose everything.
+fn print_metrics_table(snap: &MetricsSnapshot) {
+    for s in &snap.samples {
+        let labels = if s.labels.is_empty() {
+            String::new()
+        } else {
+            let inner: Vec<String> = s.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("{{{}}}", inner.join(","))
+        };
+        match &s.value {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                println!("{}{labels}  {v}", s.name);
+            }
+            MetricValue::Histogram(h) => {
+                if h.count == 0 {
+                    continue;
+                }
+                // Nanosecond histograms carry scale 1e-9 and read as
+                // seconds; raw ones (bytes) carry scale 1 and read as-is.
+                let q = |p: f64| h.quantile(p) as f64 * h.scale;
+                let fmt = |v: f64| {
+                    if h.scale == 1.0 {
+                        format!("{v:.0}")
+                    } else {
+                        format!("{:.3}ms", v * 1e3)
+                    }
+                };
+                println!(
+                    "{}{labels}  count {}  mean {}  p50 {}  p95 {}  p99 {}",
+                    s.name,
+                    h.count,
+                    fmt(h.scaled_sum() / h.count as f64),
+                    fmt(q(0.50)),
+                    fmt(q(0.95)),
+                    fmt(q(0.99)),
+                );
+            }
+        }
+    }
 }
 
 fn cmd_query_remote(flags: &Flags, addr: &str) -> Result<(), String> {

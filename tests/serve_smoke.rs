@@ -425,6 +425,277 @@ fn explicit_epoll_backend_serves_and_reports_counters() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Observability end-to-end through the real binary: metrics counters are
+/// monotone across a query burst, the latency histograms account for
+/// every query served, the `--prom` output passes a hand-rolled
+/// Prometheus text-exposition check, and a `--slow-query-ms 0` daemon
+/// captures the whole burst in its slow-query ring.
+#[test]
+fn metrics_scrape_is_monotone_and_prometheus_valid() {
+    let dir = temp_dir("metrics");
+    rkr_ok(
+        &dir,
+        &[
+            "gen", "dblp", "--scale", "tiny", "--seed", "7", "--out", "g.edges",
+        ],
+    );
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rkr"))
+        .current_dir(&dir)
+        .args([
+            "serve",
+            "g.edges",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--cache",
+            "64",
+            "--merge-every",
+            "8",
+            "--slow-query-ms",
+            "0",
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("failed to spawn rkrd");
+    let stdout = child.stdout.take().expect("rkrd stdout piped");
+    let mut guard = DaemonGuard(child);
+    let mut reader = BufReader::new(stdout);
+    let mut banner = String::new();
+    reader.read_line(&mut banner).expect("rkrd banner");
+    let addr = banner
+        .split_whitespace()
+        .find(|tok| tok.starts_with("127.0.0.1:"))
+        .unwrap_or_else(|| panic!("no address in banner: {banner:?}"))
+        .to_string();
+
+    let before = parse_prometheus(&rkr_ok(&dir, &["ctl", &addr, "metrics", "--prom"]));
+
+    // burst: 4 distinct queries + 2 repeats (cache hits) = 6 served
+    for (node, k) in [
+        ("1", "4"),
+        ("2", "4"),
+        ("3", "4"),
+        ("5", "3"),
+        ("1", "4"),
+        ("2", "4"),
+    ] {
+        rkr_ok(
+            &dir,
+            &["query", "--remote", &addr, "--node", node, "--k", k],
+        );
+    }
+
+    let after = parse_prometheus(&rkr_ok(&dir, &["ctl", &addr, "metrics", "--prom"]));
+
+    // no counter moves backwards across the burst
+    for (series, &b) in &before.samples {
+        if series.contains("_total") {
+            let a = *after
+                .samples
+                .get(series)
+                .unwrap_or_else(|| panic!("counter {series} vanished"));
+            assert!(a >= b, "counter {series} went backwards: {b} -> {a}");
+        }
+    }
+
+    // the histograms account for every query served: family total == the
+    // query counter, split 2 hits / 4 misses exactly
+    let queries = after.samples["rkrd_queries_total"];
+    assert_eq!(
+        queries - before.samples["rkrd_queries_total"],
+        6.0,
+        "a 6-query burst must count 6 queries"
+    );
+    let family_sum = |outcome: Option<&str>| -> f64 {
+        after
+            .samples
+            .iter()
+            .filter(|(k, _)| k.starts_with("rkrd_query_seconds_count{"))
+            .filter(|(k, _)| outcome.is_none_or(|o| k.contains(&format!("outcome=\"{o}\""))))
+            .map(|(_, v)| v)
+            .sum()
+    };
+    assert_eq!(
+        family_sum(None),
+        queries,
+        "histogram total != queries served"
+    );
+    assert_eq!(family_sum(Some("hit")), 2.0, "repeats must be hits");
+    assert_eq!(family_sum(Some("miss")), 4.0, "distinct queries must miss");
+    // stage histograms only see computed (non-cached) queries
+    assert_eq!(after.samples["rkrd_filter_seconds_count"], 4.0);
+    assert_eq!(after.samples["rkrd_refine_seconds_count"], 4.0);
+
+    // the human table shows the counters; the ring captured the burst
+    let table = rkr_ok(&dir, &["ctl", &addr, "metrics"]);
+    assert!(table.contains("rkrd_queries_total"), "{table}");
+    let slow = rkr_ok(&dir, &["ctl", &addr, "slow-queries"]);
+    let records = slow
+        .lines()
+        .filter(|l| l.trim_start().starts_with("node"))
+        .count();
+    assert_eq!(
+        records, 6,
+        "--slow-query-ms 0 must capture every query:\n{slow}"
+    );
+
+    rkr_ok(&dir, &["ctl", &addr, "shutdown"]);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Some(status) = guard.0.try_wait().expect("try_wait") {
+            assert!(status.success(), "rkrd exited with {status}");
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "rkrd did not exit after shutdown"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A validated Prometheus scrape: full series string (name + labels,
+/// exactly as printed) mapped to its value.
+struct PromScrape {
+    samples: std::collections::BTreeMap<String, f64>,
+}
+
+/// Hand-rolled checker for Prometheus text exposition 0.0.4. Panics on
+/// any structural violation: a sample whose family lacks a `# TYPE`
+/// declaration, an unparseable value, malformed labels, a histogram
+/// whose cumulative buckets decrease, whose `le` bounds are not
+/// ascending, or whose `+Inf` bucket disagrees with its `_count`.
+fn parse_prometheus(text: &str) -> PromScrape {
+    use std::collections::BTreeMap;
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut samples: BTreeMap<String, f64> = BTreeMap::new();
+    // count-series key -> cumulative bucket values in file order
+    let mut buckets: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().expect("TYPE names a metric");
+            let kind = it.next().expect("TYPE names a kind");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown kind in {line:?}"
+            );
+            assert!(
+                types.insert(name.to_string(), kind.to_string()).is_none(),
+                "duplicate TYPE for {name}"
+            );
+            continue;
+        }
+        if line.starts_with("# HELP ") {
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unknown comment form: {line:?}");
+
+        let (series, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("malformed sample: {line:?}"));
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("unparseable value in {line:?}"));
+        let name = series.split('{').next().unwrap();
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in {line:?}"
+        );
+        if let Some(labels) = series.strip_prefix(name).filter(|r| !r.is_empty()) {
+            let inner = labels
+                .strip_prefix('{')
+                .and_then(|r| r.strip_suffix('}'))
+                .unwrap_or_else(|| panic!("unbalanced label braces: {line:?}"));
+            for pair in inner.split(',') {
+                let (k, v) = pair
+                    .split_once('=')
+                    .unwrap_or_else(|| panic!("malformed label {pair:?} in {line:?}"));
+                assert!(
+                    k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                    "bad label name in {line:?}"
+                );
+                assert!(
+                    v.len() >= 2 && v.starts_with('"') && v.ends_with('"'),
+                    "unquoted label value in {line:?}"
+                );
+            }
+        }
+
+        // every sample belongs to a declared family (histogram samples via
+        // their _bucket/_sum/_count suffix)
+        let base = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suf| {
+                name.strip_suffix(suf)
+                    .filter(|b| types.get(*b).map(String::as_str) == Some("histogram"))
+            })
+            .unwrap_or(name);
+        assert!(types.contains_key(base), "sample {name} has no TYPE");
+
+        if name.ends_with("_bucket") && base != name {
+            let (head, le_part) = series
+                .rsplit_once("le=")
+                .unwrap_or_else(|| panic!("bucket without le: {line:?}"));
+            let le: f64 = le_part
+                .trim_end_matches('}')
+                .trim_matches('"')
+                .parse()
+                .unwrap_or_else(|_| panic!("unparseable le in {line:?}"));
+            let head = head.replacen("_bucket", "_count", 1);
+            let count_key = if let Some(h) = head.strip_suffix(',') {
+                format!("{h}}}")
+            } else if let Some(h) = head.strip_suffix('{') {
+                h.to_string()
+            } else {
+                panic!("malformed bucket series: {line:?}");
+            };
+            buckets.entry(count_key).or_default().push((le, value));
+        }
+
+        assert!(
+            samples.insert(series.to_string(), value).is_none(),
+            "duplicate sample {series}"
+        );
+    }
+
+    for (count_key, series) in &buckets {
+        for pair in series.windows(2) {
+            assert!(
+                pair[1].0 > pair[0].0,
+                "{count_key}: le bounds not ascending ({} then {})",
+                pair[0].0,
+                pair[1].0
+            );
+            assert!(
+                pair[1].1 >= pair[0].1,
+                "{count_key}: cumulative buckets decrease"
+            );
+        }
+        let (last_le, last_cum) = *series.last().unwrap();
+        assert!(last_le.is_infinite(), "{count_key}: no +Inf bucket");
+        let count = *samples
+            .get(count_key)
+            .unwrap_or_else(|| panic!("buckets without {count_key}"));
+        assert_eq!(last_cum, count, "{count_key}: +Inf bucket != _count");
+        let sum_key = count_key.replacen("_count", "_sum", 1);
+        assert!(samples.contains_key(&sum_key), "missing {sum_key}");
+    }
+
+    PromScrape { samples }
+}
+
 #[test]
 fn serve_rejects_unknown_event_loop_backend() {
     let dir = temp_dir("backend-arg");
