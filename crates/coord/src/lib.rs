@@ -1,0 +1,440 @@
+//! # rkranks-coord
+//!
+//! The scatter-gather coordinator for **sharded rkrd serving**: one
+//! daemon (`rkr coord`) that speaks the same newline-delimited JSON
+//! protocol as `rkrd` on its front side and fans every request out to a
+//! fleet of per-partition `rkrd` shards behind it.
+//!
+//! ## Deployment model
+//!
+//! The fleet replicates the *edge list* and partitions the *candidate
+//! work*: every shard loads the full graph, but shard `i` of `n`
+//! (started with `rkr serve --shard-id i --shard-count n`) refines and
+//! returns only the query candidates the consistent-hash map
+//! ([`rkranks_graph::ShardMap`]) assigns to it. Replicating the edges
+//! costs memory but buys exactness — every owned candidate's rank is
+//! computed against the whole graph, so per-shard answers are exact over
+//! disjoint candidate slices and the coordinator's merge (concatenate,
+//! sort by `(rank, node)`, truncate to `k`) reproduces the single-box
+//! answer rank-for-rank. What sharding scales is the expensive part of a
+//! reverse k-ranks query: the per-candidate bounded Dijkstra refinements,
+//! divided `n` ways.
+//!
+//! ## Consistency
+//!
+//! * **Handshake** — each shard connection opens with a `hello`
+//!   exchange; the coordinator verifies the protocol version, that the
+//!   daemon's shard identity (index/count/seed) matches its slot in the
+//!   `--shards` list, and that the whole fleet shares one partition seed.
+//! * **Writes** — `update` batches broadcast to every shard behind a
+//!   write gate (readers share it, writers exclude them) and are
+//!   *flushed immediately*, so every accepted write commits on every
+//!   shard before the next query round observes it and shard graph
+//!   epochs advance in lockstep. A shard that fails mid-broadcast makes
+//!   the reply a loud error naming it: the fleet must be assumed
+//!   non-uniform until that shard is restored.
+//! * **Reads** — replies carry the graph epoch they were computed at;
+//!   the coordinator refuses to merge across epochs, flushing lagging
+//!   shards and re-asking them (bounded) instead.
+//! * **Failures** — a shard that stays unreachable after a reconnect is
+//!   dropped from single-query merges and the answer is flagged
+//!   `partial` (every returned rank still exact); batches, which have no
+//!   partial channel on the wire, fail loudly instead.
+//!
+//! The coordinator serves `stats`/`metrics` from its own registry
+//! (`rkrd_coord_*`: per-shard latency histograms, fan-out width, prune
+//! rate, shard error counters), answers `hello` with role `"coord"`, and
+//! forwards `flush`/`checkpoint` to the whole fleet. `shutdown` stops
+//! the coordinator only — shards are independent daemons with their own
+//! lifecycles.
+//!
+//! ## Loopback quickstart
+//!
+//! ```no_run
+//! use rkranks_coord::{spawn_coord, CoordConfig};
+//! use rkranks_server::Client;
+//!
+//! let config = CoordConfig::new(vec![
+//!     "127.0.0.1:7001".into(), // shard 0 of 2
+//!     "127.0.0.1:7002".into(), // shard 1 of 2
+//! ]);
+//! let handle = spawn_coord("127.0.0.1:0", config).unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let reply = client.query(0, 5).unwrap(); // rank-identical to single-box
+//! # drop(reply);
+//! client.shutdown().unwrap();
+//! handle.join();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod metrics;
+pub mod pool;
+
+use std::io;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+use rkranks_server::conn::{Conn, Fill, LineStatus};
+use rkranks_server::{ConnectPolicy, HelloReply, Reply, Request, StatsReply, PROTOCOL_VERSION};
+
+pub use metrics::CoordMetrics;
+pub use pool::ShardPool;
+
+/// Coordinator configuration.
+#[derive(Clone, Debug)]
+pub struct CoordConfig {
+    /// Shard addresses in shard-id order (`--shards A,B,C` means A is
+    /// shard 0 of 3). Must be non-empty and must name every shard of
+    /// the fleet exactly once — the handshake enforces it.
+    pub shards: Vec<String>,
+    /// How shard connections are (re)established.
+    pub connect: ConnectPolicy,
+    /// How long one shard reply may take before the shard counts as
+    /// dead for this fan-out (and the connection is redialed next time).
+    pub shard_reply_timeout: Duration,
+    /// Frontside request-line cap, mirroring the shard daemon's.
+    pub max_line_bytes: usize,
+}
+
+impl CoordConfig {
+    /// A config for the given fleet with defaults: three connect
+    /// attempts with backoff, a 30 s reply timeout, 1 MiB lines.
+    pub fn new(shards: Vec<String>) -> CoordConfig {
+        CoordConfig {
+            shards,
+            connect: ConnectPolicy::retrying(3),
+            shard_reply_timeout: Duration::from_secs(30),
+            max_line_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// State shared between the accept loop and every connection handler.
+struct CoordShared {
+    config: CoordConfig,
+    metrics: Arc<CoordMetrics>,
+    /// The write gate: queries and batches hold it shared, update /
+    /// flush / checkpoint broadcasts hold it exclusively. With all
+    /// writes routed through the coordinator this keeps shard graph
+    /// epochs aligned outside a write window, so the epoch-retry loop
+    /// in [`ShardPool::scatter_query`] is a fallback, not the norm.
+    write_gate: RwLock<()>,
+    shutdown: AtomicBool,
+}
+
+/// A running coordinator's handle: its bound address and the accept
+/// thread to join after a client sends `shutdown`.
+pub struct CoordHandle {
+    addr: std::net::SocketAddr,
+    thread: std::thread::JoinHandle<()>,
+    shared: Arc<CoordShared>,
+}
+
+impl CoordHandle {
+    /// The address the coordinator is listening on.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The coordinator's telemetry (live handles, not a snapshot).
+    pub fn metrics(&self) -> Arc<CoordMetrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Ask the coordinator to stop without a protocol `shutdown` (used
+    /// by tests and signal handlers); pair with [`CoordHandle::join`].
+    pub fn stop(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Wait for the accept loop (and every handler it spawned) to exit.
+    pub fn join(self) {
+        let _ = self.thread.join();
+    }
+}
+
+/// Bind `addr` and run the coordinator on a background thread.
+pub fn spawn_coord(addr: impl ToSocketAddrs, config: CoordConfig) -> io::Result<CoordHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shared = Arc::new(new_shared(config)?);
+    let accept_shared = Arc::clone(&shared);
+    let thread = std::thread::Builder::new()
+        .name("coord-accept".into())
+        .spawn(move || accept_loop(listener, accept_shared))?;
+    Ok(CoordHandle {
+        addr: local,
+        thread,
+        shared,
+    })
+}
+
+/// Run the coordinator on the calling thread until a client sends
+/// `shutdown`. The CLI path (`rkr coord`).
+pub fn serve_coord(listener: TcpListener, config: CoordConfig) -> io::Result<()> {
+    let shared = Arc::new(new_shared(config)?);
+    accept_loop(listener, shared);
+    Ok(())
+}
+
+fn new_shared(config: CoordConfig) -> io::Result<CoordShared> {
+    if config.shards.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "a coordinator needs at least one shard address",
+        ));
+    }
+    let metrics = Arc::new(CoordMetrics::new(config.shards.len()));
+    Ok(CoordShared {
+        config,
+        metrics,
+        write_gate: RwLock::new(()),
+        shutdown: AtomicBool::new(false),
+    })
+}
+
+/// How often parked loops (accept, idle connections) re-check the
+/// shutdown flag.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+fn accept_loop(listener: TcpListener, shared: Arc<CoordShared>) {
+    listener
+        .set_nonblocking(true)
+        .expect("cannot make the listener non-blocking");
+    let mut handlers = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_shared = Arc::clone(&shared);
+                if let Ok(h) = std::thread::Builder::new()
+                    .name("coord-conn".into())
+                    .spawn(move || handle_conn(stream, conn_shared))
+                {
+                    handlers.push(h);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL_TICK),
+            Err(_) => std::thread::sleep(POLL_TICK),
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+/// Serve one frontside connection: a blocking stream with a short read
+/// timeout driven through the shard daemon's own [`Conn`] framing layer
+/// (in-place line extraction, bounded lines, buffered writes), so the
+/// coordinator and the shards reject oversize input and frame replies
+/// identically.
+fn handle_conn(stream: TcpStream, shared: Arc<CoordShared>) {
+    let max_line = shared.config.max_line_bytes;
+    if stream.set_read_timeout(Some(POLL_TICK)).is_err() || stream.set_nodelay(true).is_err() {
+        return;
+    }
+    shared.metrics.connections_open.add(1);
+    let mut conn = Conn::new(stream);
+    let mut pool = ShardPool::new(&shared.config, Arc::clone(&shared.metrics));
+    'serve: loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // A timed-out blocking read surfaces as `WouldBlock` on Unix
+        // (which `fill` absorbs) but as `TimedOut` on some platforms —
+        // both mean "nothing arrived this tick", not a dead peer.
+        let fill = match conn.fill(max_line) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => Fill::Idle,
+            Err(_) => break,
+        };
+        loop {
+            let parsed = match conn.peek_line(max_line) {
+                LineStatus::Partial => break,
+                LineStatus::Oversize => {
+                    let _ = send_reply(
+                        &mut conn,
+                        &Reply::Error(format!("bad request: line exceeds {max_line} bytes")),
+                    );
+                    break 'serve;
+                }
+                LineStatus::Line(bytes) => {
+                    let text = String::from_utf8_lossy(bytes);
+                    let text = text.trim();
+                    if text.is_empty() {
+                        None
+                    } else {
+                        Some(Request::from_line(text).map_err(|m| format!("bad request: {m}")))
+                    }
+                }
+            };
+            conn.consume_line();
+            let Some(result) = parsed else { continue };
+            let reply = match result {
+                Ok(Request::Shutdown) => {
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                    let mut line = Reply::Shutdown.to_json().render();
+                    line.push('\n');
+                    conn.send_final(line.as_bytes());
+                    break 'serve;
+                }
+                Ok(req) => execute(&shared, &mut pool, req),
+                Err(msg) => Reply::Error(msg),
+            };
+            if send_reply(&mut conn, &reply).is_err() {
+                break 'serve;
+            }
+        }
+        conn.compact();
+        if conn.try_flush().is_err() || fill == Fill::Eof {
+            break;
+        }
+    }
+    shared.metrics.connections_open.sub(1);
+}
+
+fn send_reply(conn: &mut Conn, reply: &Reply) -> io::Result<()> {
+    let mut line = reply.to_json().render();
+    line.push('\n');
+    conn.send(line.as_bytes())
+}
+
+/// Serve one parsed request against the fleet.
+fn execute(shared: &CoordShared, pool: &mut ShardPool, req: Request) -> Reply {
+    let m = &shared.metrics;
+    match req {
+        Request::Query {
+            node,
+            k,
+            cache,
+            strategy,
+            deadline_ms,
+        } => {
+            let _read = shared.write_gate.read().expect("write gate poisoned");
+            m.queries.inc();
+            pool.scatter_query(node, k, cache, strategy, deadline_ms)
+        }
+        Request::Batch { nodes, k } => {
+            let _read = shared.write_gate.read().expect("write gate poisoned");
+            m.batches.inc();
+            pool.scatter_batch(&nodes, k)
+        }
+        Request::Update { ops } => {
+            let _write = shared.write_gate.write().expect("write gate poisoned");
+            m.updates.inc();
+            // The merged reply mirrors the single-box shape: staged
+            // count and the pre-commit graph epoch. Deterministic
+            // validation against identical replicated graphs means the
+            // per-shard replies agree; max() is belt and braces.
+            let (staged, graph_epoch) = match pool.broadcast(&Request::Update { ops }) {
+                Ok(replies) => replies
+                    .iter()
+                    .filter_map(|r| match r {
+                        Reply::Update {
+                            staged,
+                            graph_epoch,
+                        } => Some((*staged, *graph_epoch)),
+                        _ => None,
+                    })
+                    .max()
+                    .unwrap_or((0, 0)),
+                Err(e) => {
+                    return Reply::Error(format!(
+                        "update did not reach the whole fleet ({e}); the fleet may be \
+                         non-uniform — restore the failed shard(s) before writing again"
+                    ))
+                }
+            };
+            // Commit immediately on every shard: staged writes that
+            // lingered would commit on each shard's own merge cadence
+            // and let graph epochs drift apart.
+            match pool.broadcast(&Request::Flush) {
+                Ok(_) => {
+                    // The coupled flush committed the staged batch, so the
+                    // fleet now serves the next epoch.
+                    m.graph_epoch.set(graph_epoch + 1);
+                }
+                Err(e) => {
+                    return Reply::Error(format!(
+                        "update staged everywhere but the commit flush failed ({e}); \
+                         restore the failed shard(s) — the next query round will \
+                         re-flush the laggards"
+                    ))
+                }
+            }
+            Reply::Update {
+                staged,
+                graph_epoch,
+            }
+        }
+        Request::Flush => {
+            let _write = shared.write_gate.write().expect("write gate poisoned");
+            match pool.broadcast(&Request::Flush) {
+                Ok(replies) => {
+                    let (mut epoch, mut merged) = (0, 0);
+                    for r in &replies {
+                        if let Reply::Flush {
+                            epoch: e,
+                            merged: d,
+                        } = r
+                        {
+                            epoch = epoch.max(*e);
+                            merged += d;
+                        }
+                    }
+                    Reply::Flush { epoch, merged }
+                }
+                Err(e) => Reply::Error(e),
+            }
+        }
+        Request::Checkpoint => {
+            let _write = shared.write_gate.write().expect("write gate poisoned");
+            match pool.broadcast(&Request::Checkpoint) {
+                Ok(replies) => replies
+                    .into_iter()
+                    .find(|r| matches!(r, Reply::Checkpoint { .. }))
+                    .unwrap_or(Reply::Error("empty checkpoint fan-out".into())),
+                Err(e) => Reply::Error(e),
+            }
+        }
+        Request::Stats => Reply::Stats(stats_snapshot(shared)),
+        Request::Metrics => Reply::Metrics(m.registry.snapshot()),
+        // The coordinator computes nothing itself; its slow-query story
+        // is the per-shard rings (`rkr ctl SHARD slow-queries`).
+        Request::SlowQueries => Reply::SlowQueries(Vec::new()),
+        Request::Hello => Reply::Hello(HelloReply {
+            v: PROTOCOL_VERSION,
+            role: "coord".into(),
+            shard: None,
+            epoch: 0,
+            graph_epoch: m.graph_epoch.get(),
+            nodes: m.graph_nodes.get(),
+            edges: m.graph_edges.get(),
+        }),
+        // Handled by the connection loop before execute.
+        Request::Shutdown => Reply::Shutdown,
+    }
+}
+
+/// The coordinator's `stats` view: fan-out counters where they map onto
+/// the shared reply shape, zeros where a field is shard-only (cache,
+/// merger, event-loop internals — read those per shard).
+fn stats_snapshot(shared: &CoordShared) -> StatsReply {
+    let m = &shared.metrics;
+    StatsReply {
+        v: PROTOCOL_VERSION,
+        queries: m.queries.get(),
+        partial_results: m.partials.get(),
+        graph_epoch: m.graph_epoch.get(),
+        graph_nodes: m.graph_nodes.get(),
+        graph_edges: m.graph_edges.get(),
+        workers: m.connections_open.get(),
+        batches: m.batches.get(),
+        updates_applied: m.updates.get(),
+        ..StatsReply::default()
+    }
+}

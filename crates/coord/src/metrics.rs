@@ -1,0 +1,159 @@
+//! Coordinator telemetry: every instrument the fan-out layer records
+//! into, exposed through the same [`rkranks_core::Registry`] machinery
+//! the shards use, under the `rkrd_coord_` prefix so one Prometheus
+//! scrape config covers both tiers.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rkranks_core::{Counter, Gauge, Histogram, Registry};
+use rkranks_server::metrics::duration_ns;
+
+/// Registry-backed handles for everything the coordinator measures.
+///
+/// Per-shard instruments (`shard_seconds`, `shard_errors`) are labeled
+/// `{shard="i"}` and indexed by shard position, so the hot path records
+/// through a pre-resolved `Arc` instead of a label lookup.
+pub struct CoordMetrics {
+    /// The registry behind every handle (the `metrics` op snapshots it).
+    pub registry: Registry,
+
+    /// Single queries answered through the coordinator.
+    pub queries: Arc<Counter>,
+    /// Batch requests answered (each counts once, not per node).
+    pub batches: Arc<Counter>,
+    /// Update batches routed to the shard fleet.
+    pub updates: Arc<Counter>,
+    /// Fan-out rounds issued (initial rounds plus every retry round).
+    pub fanouts: Arc<Counter>,
+    /// Merged answers marked partial (a shard answered partial, or a
+    /// shard was unreachable and the merge soundly degraded).
+    pub partials: Arc<Counter>,
+    /// Retry rounds forced by mixed graph epochs across shard replies.
+    pub epoch_retries: Arc<Counter>,
+    /// Candidate entries received from shards before the global merge.
+    pub candidates_received: Arc<Counter>,
+    /// Candidate entries surviving the merge truncation — together with
+    /// `candidates_received` this is the coordinator's prune rate.
+    pub candidates_returned: Arc<Counter>,
+
+    /// Transport failures per shard, indexed by shard position.
+    pub shard_errors: Vec<Arc<Counter>>,
+    /// Send-to-reply latency per shard, indexed by shard position.
+    /// Replies are collected in shard order, so a later shard's reading
+    /// includes time spent draining earlier ones — it is the observed
+    /// straggler profile of the pipelined fan-out, not isolated RPC time.
+    pub shard_seconds: Vec<Arc<Histogram>>,
+
+    /// Shards observed per fan-out round (drops below the fleet size
+    /// exactly when dead shards are being skipped).
+    pub fanout_width: Arc<Histogram>,
+
+    /// Frontside client connections currently open.
+    pub connections_open: Arc<Gauge>,
+    /// Configured fleet size.
+    pub shards: Arc<Gauge>,
+    /// Highest graph epoch observed in any shard reply.
+    pub graph_epoch: Arc<Gauge>,
+    /// Nodes reported by the fleet at the last shard handshake.
+    pub graph_nodes: Arc<Gauge>,
+    /// Edges reported by the fleet at the last shard handshake.
+    pub graph_edges: Arc<Gauge>,
+}
+
+impl CoordMetrics {
+    /// Build the registry and pre-register every instrument for a fleet
+    /// of `shards` shards.
+    pub fn new(shards: usize) -> CoordMetrics {
+        let r = Registry::new();
+        let ns = 1e-9; // raw nanoseconds, rendered as seconds
+        let shard_errors = (0..shards)
+            .map(|i| {
+                r.counter_with(
+                    "rkrd_coord_shard_errors_total",
+                    &[("shard", &i.to_string())],
+                    "transport failures talking to this shard",
+                )
+            })
+            .collect();
+        let shard_seconds = (0..shards)
+            .map(|i| {
+                r.histogram_with(
+                    "rkrd_coord_shard_seconds",
+                    &[("shard", &i.to_string())],
+                    "send-to-reply latency per shard in the pipelined fan-out",
+                    ns,
+                )
+            })
+            .collect();
+        let m = CoordMetrics {
+            queries: r.counter("rkrd_coord_queries_total", "queries answered"),
+            batches: r.counter("rkrd_coord_batches_total", "batch requests answered"),
+            updates: r.counter("rkrd_coord_updates_total", "update batches routed"),
+            fanouts: r.counter("rkrd_coord_fanouts_total", "fan-out rounds issued"),
+            partials: r.counter("rkrd_coord_partials_total", "merged answers marked partial"),
+            epoch_retries: r.counter(
+                "rkrd_coord_epoch_retries_total",
+                "retry rounds forced by mixed shard graph epochs",
+            ),
+            candidates_received: r.counter(
+                "rkrd_coord_candidates_received_total",
+                "candidate entries received from shards",
+            ),
+            candidates_returned: r.counter(
+                "rkrd_coord_candidates_returned_total",
+                "candidate entries surviving the global merge",
+            ),
+            shard_errors,
+            shard_seconds,
+            fanout_width: r.histogram(
+                "rkrd_coord_fanout_width",
+                "shards contacted per fan-out round",
+            ),
+            connections_open: r.gauge("rkrd_coord_connections_open", "open client connections"),
+            shards: r.gauge("rkrd_coord_shards", "configured fleet size"),
+            graph_epoch: r.gauge(
+                "rkrd_coord_graph_epoch",
+                "highest graph epoch observed from the fleet",
+            ),
+            graph_nodes: r.gauge("rkrd_coord_graph_nodes", "nodes reported at the handshake"),
+            graph_edges: r.gauge("rkrd_coord_graph_edges", "edges reported at the handshake"),
+            registry: r,
+        };
+        m.shards.set(shards as u64);
+        m
+    }
+
+    /// Record one shard's send-to-reply latency.
+    pub fn record_shard(&self, shard: usize, elapsed: Duration) {
+        if let Some(h) = self.shard_seconds.get(shard) {
+            h.record(duration_ns(elapsed));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_shard_instruments_carry_the_shard_label() {
+        let m = CoordMetrics::new(3);
+        assert_eq!(m.shard_errors.len(), 3);
+        assert_eq!(m.shard_seconds.len(), 3);
+        m.shard_errors[2].inc();
+        m.record_shard(1, Duration::from_micros(250));
+        m.record_shard(9, Duration::from_micros(250)); // out of range: ignored
+        let snap = m.registry.snapshot();
+        let errors: Vec<_> = snap
+            .samples
+            .iter()
+            .filter(|s| s.name == "rkrd_coord_shard_errors_total")
+            .collect();
+        assert_eq!(errors.len(), 3);
+        assert_eq!(errors[2].labels, vec![("shard".into(), "2".into())]);
+        assert_eq!(m.shard_errors[2].get(), 1);
+        assert_eq!(m.shard_seconds[1].count(), 1);
+        assert_eq!(m.shards.get(), 3);
+    }
+}

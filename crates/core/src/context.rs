@@ -23,7 +23,9 @@
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-use rkranks_graph::{DijkstraWorkspace, Distance, Graph, GraphError, NodeId, RelaxOutcome, Result};
+use rkranks_graph::{
+    DijkstraWorkspace, Distance, Graph, GraphError, NodeId, RelaxOutcome, Result, ShardSlice,
+};
 
 use crate::engine::BoundConfig;
 use crate::index::{IndexAccess, IndexBuildStats, IndexDelta, IndexParams, RkrIndex};
@@ -53,6 +55,13 @@ pub struct EngineContext {
     /// the cell stays empty and the copy is never paid).
     transpose: OnceLock<Graph>,
     partition: Option<Partition>,
+    /// Candidate-ownership restriction for sharded serving: when set,
+    /// only nodes this slice owns may be refined or returned — every
+    /// other node is treated as a conduit (expandable, still counted in
+    /// ranks, never a result). Shard-local answers are therefore exact
+    /// over the owned candidate set, which is what makes the
+    /// coordinator's scatter-gather merge rank-exact.
+    shard: Option<ShardSlice>,
 }
 
 impl EngineContext {
@@ -72,7 +81,29 @@ impl EngineContext {
             graph,
             transpose: OnceLock::new(),
             partition,
+            shard: None,
         }
+    }
+
+    /// Restrict this context to the candidates `slice` owns (sharded
+    /// serving). Composes with either query spec: ownership narrows
+    /// `is_candidate`, never `is_counted`, so ranks keep their global
+    /// meaning and per-shard answers are exact over the owned slice.
+    pub fn with_shard_slice(mut self, slice: ShardSlice) -> Self {
+        self.shard = Some(slice);
+        self
+    }
+
+    /// The candidate-ownership slice, if this context is sharded.
+    pub fn shard_slice(&self) -> Option<ShardSlice> {
+        self.shard
+    }
+
+    /// `true` when `v` may appear in results under both the query spec
+    /// and the shard slice (if any).
+    #[inline(always)]
+    fn owns(&self, v: NodeId) -> bool {
+        self.shard.is_none_or(|s| s.owns(v))
     }
 
     /// The underlying graph.
@@ -219,7 +250,7 @@ impl EngineContext {
         let mut completion = Completion::Complete;
         let spec = self.spec();
         for p in self.graph.nodes() {
-            if p == q || !spec.is_candidate(p) {
+            if p == q || !spec.is_candidate(p) || !self.owns(p) {
                 continue;
             }
             if let Some(reason) = limits.exceeded(&stats) {
@@ -422,9 +453,13 @@ impl EngineContext {
         in_result.reset();
 
         // §5.3: seed R (and hence kRank) from the Reverse Rank Dictionary.
+        // Seeds are filtered through the candidate/ownership gates so an
+        // index built for a different spec (e.g. a full-graph index
+        // loaded onto a shard) can only prune, never leak a node this
+        // context must not return.
         if let Some(idx) = index.as_deref() {
             for &(r, s) in idx.top_entries(q, k) {
-                if collector.offer(s, r) {
+                if spec.is_candidate(s) && self.owns(s) && collector.offer(s, r) {
                     in_result.set(s.index(), true);
                 }
             }
@@ -465,10 +500,11 @@ impl EngineContext {
             };
             let k_rank = collector.k_rank();
 
-            if !spec.is_candidate(u) {
-                // Conduit node (bichromatic only): it cannot be a result,
-                // but shortest paths run through it. Propagate the ancestor
-                // bound; prune the subtree when even the weakest candidate
+            if !spec.is_candidate(u) || !self.owns(u) {
+                // Conduit node (bichromatic `V2`, or a candidate another
+                // shard owns): it cannot be a result here, but shortest
+                // paths run through it. Propagate the ancestor bound;
+                // prune the subtree when even the weakest candidate
                 // descendant bound meets kRank.
                 eff_lb.set(u.index(), parent_lb);
                 let descendant_lb = if dynamic.is_some_and(|b| b.use_height) {
@@ -842,6 +878,104 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn sharded_contexts_partition_candidates_and_merge_exactly() {
+        use rkranks_graph::ShardSlice;
+        // A graph big enough that every shard owns several nodes.
+        let g = graph_from_edges(
+            EdgeDirection::Undirected,
+            (0..40u32)
+                .map(|i| (i, (i + 1) % 40, 1.0 + f64::from(i % 5)))
+                .chain((0..20u32).map(|i| (i, i + 20, 2.0)))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        const K: u32 = 4;
+        const SHARDS: u32 = 3;
+        const SEED: u64 = 0xFEED;
+        let whole = EngineContext::new(&g);
+        let mut scratch = whole.new_scratch();
+        let shard_ctxs: Vec<_> = (0..SHARDS)
+            .map(|i| EngineContext::new(&g).with_shard_slice(ShardSlice::new(i, SHARDS, SEED)))
+            .collect();
+        for q in g.nodes() {
+            let want = whole
+                .query_dynamic(&mut scratch, q, K, BoundConfig::ALL)
+                .unwrap();
+            // Scatter: each shard answers over its owned candidates...
+            let mut merged: Vec<(u32, NodeId)> = Vec::new();
+            for ctx in &shard_ctxs {
+                let part = ctx
+                    .query_dynamic(&mut scratch, q, K, BoundConfig::ALL)
+                    .unwrap();
+                for e in &part.entries {
+                    // no shard ever returns a candidate it does not own
+                    assert!(
+                        ctx.shard_slice().unwrap().owns(e.node),
+                        "q={q} leaked {}",
+                        e.node
+                    );
+                    merged.push((e.rank, e.node));
+                }
+            }
+            // ...gather: the k smallest of the union reproduce the
+            // single-box rank multiset exactly.
+            merged.sort_unstable();
+            merged.truncate(K as usize);
+            let got: Vec<u32> = merged.iter().map(|&(r, _)| r).collect();
+            assert_eq!(got, want.ranks(), "q={q}");
+        }
+    }
+
+    #[test]
+    fn sharded_index_seeds_cannot_leak_foreign_candidates() {
+        use rkranks_graph::ShardSlice;
+        let g = star_tail();
+        // Build a full-graph index, then query through a sharded context
+        // seeded from it: results must stay within the owned slice and
+        // rank-merge exactly like the dynamic strategy.
+        let whole = EngineContext::new(&g);
+        let (index, _) = whole.build_index(&IndexParams {
+            hub_fraction: 1.0,
+            prefix_fraction: 1.0,
+            k_max: 8,
+            ..Default::default()
+        });
+        let mut scratch = whole.new_scratch();
+        for q in g.nodes() {
+            let want = whole
+                .query_dynamic(&mut scratch, q, 2, BoundConfig::ALL)
+                .unwrap();
+            let mut merged: Vec<(u32, NodeId)> = Vec::new();
+            for i in 0..2 {
+                let ctx = EngineContext::new(&g).with_shard_slice(ShardSlice::new(i, 2, 99));
+                let mut delta = IndexDelta::for_index(&index);
+                let part = ctx
+                    .query_indexed_snapshot(
+                        &mut scratch,
+                        &index,
+                        &mut delta,
+                        q,
+                        2,
+                        BoundConfig::ALL,
+                    )
+                    .unwrap();
+                for e in &part.entries {
+                    assert!(
+                        ctx.shard_slice().unwrap().owns(e.node),
+                        "q={q} leaked {}",
+                        e.node
+                    );
+                    merged.push((e.rank, e.node));
+                }
+            }
+            merged.sort_unstable();
+            merged.truncate(2);
+            let got: Vec<u32> = merged.iter().map(|&(r, _)| r).collect();
+            assert_eq!(got, want.ranks(), "q={q}");
+        }
     }
 
     #[test]

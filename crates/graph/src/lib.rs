@@ -43,6 +43,7 @@ pub mod node;
 pub mod path;
 pub mod ppr;
 pub mod rank;
+pub mod shard;
 pub mod simrank;
 pub mod store;
 pub mod topk;
@@ -59,6 +60,7 @@ pub use heap::{IndexedHeap, PushOutcome};
 pub use io::{load_graph, read_graph, save_graph, write_atomic, write_graph};
 pub use node::NodeId;
 pub use rank::{rank_between, rank_matrix, RankCounter};
+pub use shard::{ShardMap, ShardSlice};
 pub use store::{GraphDelta, GraphStore};
 pub use topk::{
     agreement_rate, all_top_k_sets, reverse_top_k, reverse_top_k_sizes, reverse_top_k_stats,

@@ -8,11 +8,13 @@
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use rkranks_core::MetricsSnapshot;
 
 use crate::protocol::{
-    BatchReply, QueryReply, Reply, Request, SlowQueryRecord, StatsReply, UpdateOp,
+    BatchReply, HelloReply, QueryReply, Reply, Request, SlowQueryRecord, StatsReply, UpdateOp,
+    PROTOCOL_VERSION,
 };
 
 /// Why a client call failed.
@@ -69,6 +71,51 @@ impl Default for QueryOptions {
     }
 }
 
+/// How [`Client::connect_with`] establishes (and re-establishes) a
+/// connection: a per-attempt timeout plus bounded retries with
+/// exponential backoff. The old unbounded-blocking behavior is gone —
+/// a dead peer now fails the caller within
+/// `attempts × timeout + Σ backoff` instead of hanging.
+#[derive(Clone, Copy, Debug)]
+pub struct ConnectPolicy {
+    /// Per-attempt connect timeout.
+    pub timeout: Duration,
+    /// Total connection attempts (≥ 1).
+    pub attempts: u32,
+    /// Sleep before the second attempt; doubles per retry.
+    pub backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for ConnectPolicy {
+    fn default() -> ConnectPolicy {
+        ConnectPolicy {
+            timeout: Duration::from_secs(5),
+            attempts: 1,
+            backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+        }
+    }
+}
+
+impl ConnectPolicy {
+    /// A policy that retries `attempts` times — what reconnecting pool
+    /// callers (the coordinator, `rkr ctl`) use.
+    pub fn retrying(attempts: u32) -> ConnectPolicy {
+        ConnectPolicy {
+            attempts: attempts.max(1),
+            ..ConnectPolicy::default()
+        }
+    }
+
+    /// The backoff to sleep after failed attempt `attempt` (0-based).
+    pub fn backoff_after(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.min(16);
+        self.backoff.saturating_mul(factor).min(self.max_backoff)
+    }
+}
+
 /// A blocking connection to an `rkrd` daemon.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -76,22 +123,69 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connect to a daemon.
+    /// Connect to a daemon with the default [`ConnectPolicy`] (5 s
+    /// timeout, no retries).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let writer = stream.try_clone()?;
-        Ok(Client {
-            reader: BufReader::new(stream),
-            writer,
-        })
+        Client::connect_with(addr, &ConnectPolicy::default())
     }
 
-    fn round_trip(&mut self, req: &Request) -> Result<Reply, ClientError> {
+    /// Connect under an explicit policy: each resolved address is tried
+    /// with `policy.timeout`; on failure the whole set is retried up to
+    /// `policy.attempts` times with exponential backoff in between.
+    pub fn connect_with(addr: impl ToSocketAddrs, policy: &ConnectPolicy) -> io::Result<Client> {
+        let addrs: Vec<_> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            ));
+        }
+        let mut last_err = None;
+        for attempt in 0..policy.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(policy.backoff_after(attempt - 1));
+            }
+            for a in &addrs {
+                match TcpStream::connect_timeout(a, policy.timeout) {
+                    Ok(stream) => {
+                        stream.set_nodelay(true)?;
+                        let writer = stream.try_clone()?;
+                        return Ok(Client {
+                            reader: BufReader::new(stream),
+                            writer,
+                        });
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::TimedOut, "connect attempts exhausted")
+        }))
+    }
+
+    /// Bound how long a single reply read may block (`None` removes the
+    /// bound). Pool callers set this so a wedged shard surfaces as a
+    /// timeout error instead of a hang.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Send `req` without waiting for the reply — half of a pipelined
+    /// exchange; pair each send with one [`Client::recv`] in order.
+    pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
         let mut line = req.to_json().render();
         line.push('\n');
         self.writer.write_all(line.as_bytes())?;
         self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Read the next reply line (the other half of a pipelined
+    /// exchange). Server-side failures come back as
+    /// [`ClientError::Server`], exactly like [`Client::query`] and
+    /// friends.
+    pub fn recv(&mut self) -> Result<Reply, ClientError> {
         let mut reply_line = String::new();
         if self.reader.read_line(&mut reply_line)? == 0 {
             return Err(ClientError::Protocol("server closed the connection".into()));
@@ -101,6 +195,11 @@ impl Client {
             Ok(reply) => Ok(reply),
             Err(msg) => Err(ClientError::Protocol(msg)),
         }
+    }
+
+    fn round_trip(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        self.send(req)?;
+        self.recv()
     }
 
     /// One reverse k-ranks query with the default options.
@@ -172,10 +271,34 @@ impl Client {
     }
 
     /// Read the serving counters.
+    ///
+    /// Fails with a one-line protocol error when the daemon speaks a
+    /// different protocol generation, so mixed coordinator/shard
+    /// deployments are caught on the first control call instead of
+    /// misparsing each other later.
     pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
         match self.round_trip(&Request::Stats)? {
-            Reply::Stats(s) => Ok(s),
+            Reply::Stats(s) => {
+                check_version(s.v)?;
+                Ok(s)
+            }
             other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Identify the peer (`hello` op): protocol version, role, shard
+    /// identity, and epoch pair. Fails with a one-line mismatch error
+    /// when the peer speaks a different protocol generation — including
+    /// daemons old enough to not know the op at all.
+    pub fn hello(&mut self) -> Result<HelloReply, ClientError> {
+        match self.round_trip(&Request::Hello) {
+            Ok(Reply::Hello(h)) => {
+                check_version(h.v)?;
+                Ok(h)
+            }
+            Ok(other) => Err(unexpected("hello", &other)),
+            Err(ClientError::Server(msg)) if msg.contains("unknown op") => Err(version_mismatch(0)),
+            Err(e) => Err(e),
         }
     }
 
@@ -248,4 +371,72 @@ impl Client {
 
 fn unexpected(op: &str, reply: &Reply) -> ClientError {
     ClientError::Protocol(format!("unexpected reply to '{op}': {reply:?}"))
+}
+
+fn check_version(server_v: u64) -> Result<(), ClientError> {
+    if server_v == PROTOCOL_VERSION {
+        Ok(())
+    } else {
+        Err(version_mismatch(server_v))
+    }
+}
+
+fn version_mismatch(server_v: u64) -> ClientError {
+    ClientError::Protocol(format!(
+        "protocol version mismatch: server speaks v{server_v}, this client speaks \
+         v{PROTOCOL_VERSION} — upgrade the older side"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::time::Instant;
+
+    #[test]
+    fn connect_policy_backoff_doubles_and_caps() {
+        let p = ConnectPolicy {
+            backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(35),
+            ..ConnectPolicy::default()
+        };
+        assert_eq!(p.backoff_after(0), Duration::from_millis(10));
+        assert_eq!(p.backoff_after(1), Duration::from_millis(20));
+        assert_eq!(p.backoff_after(2), Duration::from_millis(35)); // capped
+        assert_eq!(p.backoff_after(30), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn connect_to_a_dead_port_fails_fast_and_bounded() {
+        // Bind then drop: the port is very likely closed for the probe.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let policy = ConnectPolicy {
+            timeout: Duration::from_millis(200),
+            attempts: 2,
+            backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(5),
+        };
+        let start = Instant::now();
+        let err = Client::connect_with(addr, &policy);
+        assert!(err.is_err(), "connected to a closed port");
+        // 2 attempts × 200ms + 5ms backoff, with generous slack.
+        assert!(
+            start.elapsed() < Duration::from_secs(3),
+            "retry loop not bounded: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn version_mismatch_is_a_one_line_protocol_error() {
+        let msg = version_mismatch(0).to_string();
+        assert!(msg.contains("mismatch"), "{msg}");
+        assert!(!msg.contains('\n'), "not one line: {msg}");
+        assert!(check_version(PROTOCOL_VERSION).is_ok());
+        assert!(check_version(PROTOCOL_VERSION + 1).is_err());
+    }
 }

@@ -25,8 +25,12 @@ const CHUNK: usize = 4096;
 
 /// One multiplexed client connection: the non-blocking stream plus its
 /// inbound and outbound buffers and flow-control state.
-pub(crate) struct Conn {
-    pub(crate) stream: TcpStream,
+pub struct Conn {
+    /// The underlying stream. The server's event loops run it
+    /// non-blocking; the coordinator's per-connection handlers run it
+    /// blocking with a read timeout (a timed-out `read` surfaces as
+    /// `WouldBlock`, which [`Conn::fill`] treats as "nothing available").
+    pub stream: TcpStream,
     /// Inbound bytes; `start..` is the unconsumed suffix.
     buf: Vec<u8>,
     /// Offset of the first unconsumed inbound byte.
@@ -39,21 +43,21 @@ pub(crate) struct Conn {
     out_pos: usize,
     /// Backpressured: outbound backlog crossed the high-water mark, so
     /// the event loop neither reads nor parses until it fully drains.
-    pub(crate) paused: bool,
+    pub paused: bool,
     /// Terminal: flush what's queued (the error or farewell line), then
     /// close. Nothing further is read or parsed.
-    pub(crate) closing: bool,
+    pub closing: bool,
     /// The interest mask this connection is registered with (epoll
     /// backend only; the poll backend ignores it).
-    pub(crate) interest: u32,
+    pub interest: u32,
     /// Largest outbound backlog (unsent bytes) this connection ever
     /// queued — recorded into telemetry when the connection closes.
-    pub(crate) backlog_hw: usize,
+    pub backlog_hw: usize,
 }
 
 /// What one fill pass observed on the socket.
 #[derive(Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Fill {
+pub enum Fill {
     /// New bytes arrived.
     Progress,
     /// Nothing available (`WouldBlock` with no bytes read).
@@ -63,7 +67,7 @@ pub(crate) enum Fill {
 }
 
 /// What [`Conn::peek_line`] found in the inbound buffer.
-pub(crate) enum LineStatus<'a> {
+pub enum LineStatus<'a> {
     /// A complete request line (newline and trailing `\r` stripped).
     /// Consume it with [`Conn::consume_line`] after parsing.
     Line(&'a [u8]),
@@ -74,7 +78,8 @@ pub(crate) enum LineStatus<'a> {
 }
 
 impl Conn {
-    pub(crate) fn new(stream: TcpStream) -> Conn {
+    /// Wrap a stream with empty buffers and default flow-control state.
+    pub fn new(stream: TcpStream) -> Conn {
         Conn {
             stream,
             buf: Vec::new(),
@@ -95,7 +100,7 @@ impl Conn {
     }
 
     /// Unsent outbound bytes.
-    pub(crate) fn pending_out(&self) -> usize {
+    pub fn pending_out(&self) -> usize {
         self.out.len() - self.out_pos
     }
 
@@ -104,7 +109,7 @@ impl Conn {
     /// is level-triggered (and the poll loop revisits every pass), so the
     /// rest is picked up after the buffered lines are served. Non-blocking;
     /// I/O errors other than `WouldBlock`/`Interrupted` surface as `Err`.
-    pub(crate) fn fill(&mut self, max_line: usize) -> io::Result<Fill> {
+    pub fn fill(&mut self, max_line: usize) -> io::Result<Fill> {
         let mut chunk = [0u8; CHUNK];
         let mut progressed = false;
         loop {
@@ -135,7 +140,7 @@ impl Conn {
     /// caller parses the borrowed slice in place, then calls
     /// [`Conn::consume_line`]. Lines longer than `max_line` bytes
     /// (newline excluded) report [`LineStatus::Oversize`].
-    pub(crate) fn peek_line(&mut self, max_line: usize) -> LineStatus<'_> {
+    pub fn peek_line(&mut self, max_line: usize) -> LineStatus<'_> {
         let from = self.scanned.max(self.start);
         match self.buf[from..].iter().position(|&b| b == b'\n') {
             Some(off) => {
@@ -164,7 +169,7 @@ impl Conn {
     /// Consume the line last returned by [`Conn::peek_line`] (advance
     /// past its newline). No bytes move; [`Conn::compact`] reclaims the
     /// space once per service pass.
-    pub(crate) fn consume_line(&mut self) {
+    pub fn consume_line(&mut self) {
         let from = self.scanned.max(self.start);
         let nl = self.buf[from..]
             .iter()
@@ -177,7 +182,7 @@ impl Conn {
 
     /// Drop the consumed inbound prefix. Called once per service pass so
     /// pipelined bursts cost one memmove, not one per line.
-    pub(crate) fn compact(&mut self) {
+    pub fn compact(&mut self) {
         if self.start > 0 {
             self.buf.drain(..self.start);
             self.scanned -= self.start;
@@ -188,7 +193,7 @@ impl Conn {
     /// Queue a reply line and opportunistically flush it. The common case
     /// — an idle socket with room in the kernel buffer — writes straight
     /// through and leaves nothing queued.
-    pub(crate) fn send(&mut self, bytes: &[u8]) -> io::Result<()> {
+    pub fn send(&mut self, bytes: &[u8]) -> io::Result<()> {
         self.out.extend_from_slice(bytes);
         self.backlog_hw = self.backlog_hw.max(self.pending_out());
         self.try_flush().map(|_| ())
@@ -196,7 +201,7 @@ impl Conn {
 
     /// Write as much queued output as the socket accepts right now.
     /// Returns how many bytes remain queued (0 = fully drained).
-    pub(crate) fn try_flush(&mut self) -> io::Result<usize> {
+    pub fn try_flush(&mut self) -> io::Result<usize> {
         while self.out_pos < self.out.len() {
             match self.stream.write(&self.out[self.out_pos..]) {
                 Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
@@ -220,7 +225,7 @@ impl Conn {
     /// Deliver the final farewell (shutdown ack) with a blocking write:
     /// the daemon is exiting and this is the last byte this connection
     /// will ever see, so politeness beats strict non-blocking here.
-    pub(crate) fn send_final(&mut self, bytes: &[u8]) {
+    pub fn send_final(&mut self, bytes: &[u8]) {
         self.out.extend_from_slice(bytes);
         if self.stream.set_nonblocking(false).is_ok() {
             let _ = self.stream.write_all(&self.out[self.out_pos..]);

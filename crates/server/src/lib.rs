@@ -69,7 +69,7 @@
 
 pub mod cache;
 pub mod client;
-pub(crate) mod conn;
+pub mod conn;
 pub mod event;
 pub mod json;
 pub mod log;
@@ -78,11 +78,14 @@ pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheKey, ResultCache};
-pub use client::{Client, ClientError, QueryOptions};
+pub use client::{Client, ClientError, ConnectPolicy, QueryOptions};
 pub use event::EventBackend;
 pub use log::LogLevel;
 pub use metrics::{Metrics, QueryOutcome, SlowQueryLog};
-pub use protocol::{BatchReply, QueryReply, Reply, Request, SlowQueryRecord, StatsReply, UpdateOp};
+pub use protocol::{
+    BatchReply, HelloReply, QueryReply, Reply, Request, ShardIdentity, SlowQueryRecord, StatsReply,
+    UpdateOp, PROTOCOL_VERSION,
+};
 pub use server::{
     serve, serve_store, spawn, spawn_store, ServeOutcome, ServerConfig, ServerHandle,
 };

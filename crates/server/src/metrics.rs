@@ -15,7 +15,8 @@
 //! cut short by a deadline/budget); summing the family's counts gives
 //! exactly the number of *successfully answered* queries.
 //!
-//! The slow-query log is a fixed-size ring ([`SLOW_LOG_CAPACITY`]): when
+//! The slow-query log is a fixed-size ring (capacity configurable via
+//! `rkr serve --slow-query-cap`, default [`SLOW_LOG_CAPACITY`]): when
 //! `--slow-query-ms` is set, any query serviced at or above the
 //! threshold leaves a [`SlowQueryRecord`]; `{"op":"slow-queries"}`
 //! returns the ring oldest-first.
@@ -28,7 +29,8 @@ use rkranks_core::{Counter, Gauge, Histogram, Registry, Strategy};
 
 use crate::protocol::SlowQueryRecord;
 
-/// How many slow-query records the ring retains (oldest overwritten).
+/// Default slow-query ring capacity (oldest records overwritten);
+/// override per daemon with `rkr serve --slow-query-cap`.
 pub const SLOW_LOG_CAPACITY: usize = 128;
 
 /// How a query was answered, for latency-histogram labelling.
@@ -59,19 +61,31 @@ impl QueryOutcome {
 #[derive(Debug)]
 pub struct SlowQueryLog {
     inner: Mutex<VecDeque<SlowQueryRecord>>,
+    capacity: usize,
 }
 
 impl SlowQueryLog {
-    fn new() -> SlowQueryLog {
+    /// A ring retaining at most `capacity` records (a capacity of 0
+    /// disables capture entirely).
+    fn new(capacity: usize) -> SlowQueryLog {
         SlowQueryLog {
-            inner: Mutex::new(VecDeque::with_capacity(SLOW_LOG_CAPACITY)),
+            inner: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity,
         }
+    }
+
+    /// The configured ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Append a record, dropping the oldest once the ring is full.
     pub fn push(&self, record: SlowQueryRecord) {
+        if self.capacity == 0 {
+            return;
+        }
         let mut ring = self.inner.lock().unwrap();
-        if ring.len() == SLOW_LOG_CAPACITY {
+        if ring.len() == self.capacity {
             ring.pop_front();
         }
         ring.push_back(record);
@@ -180,8 +194,9 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    /// Build the registry and pre-register every instrument.
-    pub fn new() -> Metrics {
+    /// Build the registry and pre-register every instrument, with a
+    /// slow-query ring holding at most `slow_query_cap` records.
+    pub fn new(slow_query_cap: usize) -> Metrics {
         let r = Registry::new();
         let ns = 1e-9; // raw nanoseconds, rendered as seconds
         let query_latency = Strategy::ALL
@@ -263,7 +278,7 @@ impl Metrics {
                 "rkrd_conn_backlog_bytes",
                 "per-connection write-backlog high-water at close",
             ),
-            slow_log: SlowQueryLog::new(),
+            slow_log: SlowQueryLog::new(slow_query_cap),
             registry: r,
         }
     }
@@ -297,7 +312,7 @@ impl Metrics {
 
 impl Default for Metrics {
     fn default() -> Metrics {
-        Metrics::new()
+        Metrics::new(SLOW_LOG_CAPACITY)
     }
 }
 
@@ -313,7 +328,7 @@ mod tests {
 
     #[test]
     fn every_instrument_is_registered_once() {
-        let m = Metrics::new();
+        let m = Metrics::default();
         let snap = m.registry.snapshot();
         // 10 strategies × 3 outcomes plus the scalar instruments.
         let hists = snap
@@ -347,7 +362,7 @@ mod tests {
 
     #[test]
     fn record_query_lands_in_the_right_family_member() {
-        let m = Metrics::new();
+        let m = Metrics::default();
         m.record_query(
             Strategy::Naive,
             QueryOutcome::Miss,
@@ -360,7 +375,7 @@ mod tests {
 
     #[test]
     fn slow_log_is_a_bounded_ring() {
-        let log = SlowQueryLog::new();
+        let log = SlowQueryLog::new(SLOW_LOG_CAPACITY);
         for i in 0..(SLOW_LOG_CAPACITY as u32 + 10) {
             log.push(SlowQueryRecord {
                 node: i,
@@ -375,7 +390,7 @@ mod tests {
 
     #[test]
     fn cache_mirrors_overwrite() {
-        let m = Metrics::new();
+        let m = Metrics::default();
         m.mirror_cache(3, 4, 1, 0);
         m.mirror_cache(5, 6, 1, 2);
         assert_eq!(m.cache_hits.get(), 5);

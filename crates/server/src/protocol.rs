@@ -21,6 +21,8 @@
 //! {"op":"checkpoint"}                        persist the serving state as a
 //!                                            snapshot bundle
 //! {"op":"shutdown"}                          drain and stop the daemon
+//! {"op":"hello"}                             peer identity: protocol version,
+//!                                            role, shard identity, epoch pair
 //! ```
 //!
 //! `update` stages one or more graph deltas, each encoded as a small
@@ -83,6 +85,14 @@ use rkranks_core::{HistogramSnapshot, MetricSample, MetricValue, MetricsSnapshot
 use rkranks_graph::GraphDelta;
 
 use crate::json::Json;
+
+/// The protocol generation this build speaks.
+///
+/// Carried in the `hello` and `stats` replies (`"v"`); bump it on any
+/// incompatible wire change. Daemons predating the field decode as
+/// version 0, so mixed deployments fail with a one-line mismatch error
+/// instead of misparsing each other.
+pub const PROTOCOL_VERSION: u64 = 1;
 
 /// One live graph update on the wire — the protocol face of
 /// `rkranks_graph::GraphDelta`. Encoded as a compact array:
@@ -281,6 +291,11 @@ pub enum Request {
     Checkpoint,
     /// Stop the daemon (pending deltas are merged first).
     Shutdown,
+    /// Identify the peer: protocol version, role, shard identity (when
+    /// the daemon serves one shard of a partitioned deployment), and
+    /// the current epoch pair. The first thing a coordinator sends on a
+    /// fresh shard connection.
+    Hello,
 }
 
 impl Request {
@@ -331,6 +346,7 @@ impl Request {
             Request::Flush => op_only("flush"),
             Request::Checkpoint => op_only("checkpoint"),
             Request::Shutdown => op_only("shutdown"),
+            Request::Hello => op_only("hello"),
         }
     }
 
@@ -391,6 +407,7 @@ impl Request {
             "flush" => Ok(Request::Flush),
             "checkpoint" => Ok(Request::Checkpoint),
             "shutdown" => Ok(Request::Shutdown),
+            "hello" => Ok(Request::Hello),
             other => Err(format!("unknown op '{other}'")),
         }
     }
@@ -441,6 +458,11 @@ pub struct BatchReply {
 /// The serving counters returned by the `stats` op.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StatsReply {
+    /// Protocol generation the daemon speaks ([`PROTOCOL_VERSION`]).
+    /// Decodes as 0 from daemons predating the field, which is exactly
+    /// what lets the client turn a mixed deployment into a one-line
+    /// version-mismatch error.
+    pub v: u64,
     /// Queries answered (batch ops count each node).
     pub queries: u64,
     /// Result-cache hits.
@@ -511,7 +533,8 @@ pub struct StatsReply {
 }
 
 impl StatsReply {
-    const FIELDS: [&'static str; 25] = [
+    const FIELDS: [&'static str; 26] = [
+        "v",
         "queries",
         "cache_hits",
         "cache_misses",
@@ -539,8 +562,9 @@ impl StatsReply {
         "oversize_lines",
     ];
 
-    fn values(&self) -> [u64; 25] {
+    fn values(&self) -> [u64; 26] {
         [
+            self.v,
             self.queries,
             self.cache_hits,
             self.cache_misses,
@@ -580,7 +604,12 @@ impl StatsReply {
     }
 
     fn from_json(v: &Json) -> Result<StatsReply, String> {
-        let mut out = StatsReply::default();
+        // `v` is read leniently (absent ⇒ 0) so version skew surfaces as
+        // a mismatch error, not a parse failure.
+        let mut out = StatsReply {
+            v: v.get("v").and_then(Json::as_u64).unwrap_or(0),
+            ..Default::default()
+        };
         let slots: [&mut u64; 25] = [
             &mut out.queries,
             &mut out.cache_hits,
@@ -608,7 +637,7 @@ impl StatsReply {
             &mut out.backpressure_pauses,
             &mut out.oversize_lines,
         ];
-        for (field, slot) in Self::FIELDS.iter().zip(slots) {
+        for (field, slot) in Self::FIELDS.iter().skip(1).zip(slots) {
             *slot = v
                 .get(field)
                 .and_then(Json::as_u64)
@@ -616,6 +645,37 @@ impl StatsReply {
         }
         Ok(out)
     }
+}
+
+/// The shard identity a partitioned daemon announces in its `hello`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardIdentity {
+    /// This daemon's shard index, in `0..shards`.
+    pub index: u32,
+    /// Total shard count in the deployment's node→shard map.
+    pub shards: u32,
+    /// The map's seed (all shards and the coordinator must agree).
+    pub seed: u64,
+}
+
+/// Answer to a `hello` op: who the peer is and what it speaks.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HelloReply {
+    /// Protocol generation ([`PROTOCOL_VERSION`]).
+    pub v: u64,
+    /// `"shard"` when serving one partition, `"coord"` for a
+    /// coordinator, `"server"` for a plain single-box daemon.
+    pub role: String,
+    /// Shard identity, present exactly when `role == "shard"`.
+    pub shard: Option<ShardIdentity>,
+    /// Current index epoch.
+    pub epoch: u64,
+    /// Current graph epoch.
+    pub graph_epoch: u64,
+    /// Nodes in the serving graph snapshot.
+    pub nodes: u64,
+    /// Logical edges in the serving graph snapshot.
+    pub edges: u64,
 }
 
 /// One captured slow query, as returned by the `slow-queries` op.
@@ -834,6 +894,8 @@ pub enum Reply {
     },
     /// Acknowledgement of a `shutdown` op.
     Shutdown,
+    /// Answer to a `hello` op: peer identity and protocol version.
+    Hello(HelloReply),
     /// The request failed; the connection stays usable.
     Error(String),
 }
@@ -893,6 +955,22 @@ impl Reply {
                 ("graph_epoch".into(), Json::num(*graph_epoch as f64)),
             ]),
             Reply::Shutdown => ok(vec![("bye".into(), Json::Bool(true))]),
+            Reply::Hello(h) => {
+                let mut fields = vec![
+                    ("role".into(), Json::Str(h.role.clone())),
+                    ("v".into(), Json::num(h.v as f64)),
+                    ("epoch".into(), Json::num(h.epoch as f64)),
+                    ("graph_epoch".into(), Json::num(h.graph_epoch as f64)),
+                    ("nodes".into(), Json::num(h.nodes as f64)),
+                    ("edges".into(), Json::num(h.edges as f64)),
+                ];
+                if let Some(s) = h.shard {
+                    fields.push(("shard".into(), Json::num(s.index)));
+                    fields.push(("shards".into(), Json::num(s.shards)));
+                    fields.push(("shard_seed".into(), Json::num(s.seed as f64)));
+                }
+                ok(fields)
+            }
             Reply::Error(msg) => Json::Obj(vec![
                 ("ok".into(), Json::Bool(false)),
                 ("error".into(), Json::Str(msg.clone())),
@@ -963,6 +1041,29 @@ impl Reply {
         }
         if v.get("bye").is_some() {
             return Ok(Reply::Shutdown);
+        }
+        if v.get("role").is_some() {
+            let shard = match v.get("shard") {
+                None => None,
+                Some(_) => Some(ShardIdentity {
+                    index: field_u32(&v, "shard")?,
+                    shards: field_u32(&v, "shards")?,
+                    seed: field_u64(&v, "shard_seed")?,
+                }),
+            };
+            return Ok(Reply::Hello(HelloReply {
+                v: v.get("v").and_then(Json::as_u64).unwrap_or(0),
+                role: v
+                    .get("role")
+                    .and_then(Json::as_str)
+                    .ok_or("non-string field 'role'")?
+                    .to_string(),
+                shard,
+                epoch: field_u64(&v, "epoch")?,
+                graph_epoch: field_u64(&v, "graph_epoch")?,
+                nodes: field_u64(&v, "nodes")?,
+                edges: field_u64(&v, "edges")?,
+            }));
         }
         if v.get("staged").is_some() {
             return Ok(Reply::Update {
@@ -1085,6 +1186,58 @@ mod tests {
         round_trip_request(Request::Flush);
         round_trip_request(Request::Checkpoint);
         round_trip_request(Request::Shutdown);
+        round_trip_request(Request::Hello);
+    }
+
+    #[test]
+    fn hello_replies_round_trip() {
+        round_trip_reply(Reply::Hello(HelloReply {
+            v: PROTOCOL_VERSION,
+            role: "server".into(),
+            shard: None,
+            epoch: 3,
+            graph_epoch: 1,
+            nodes: 150,
+            edges: 1043,
+        }));
+        round_trip_reply(Reply::Hello(HelloReply {
+            v: PROTOCOL_VERSION,
+            role: "shard".into(),
+            shard: Some(ShardIdentity {
+                index: 1,
+                shards: 4,
+                seed: 0xC0FFEE,
+            }),
+            epoch: 0,
+            graph_epoch: 2,
+            nodes: 10,
+            edges: 9,
+        }));
+        round_trip_reply(Reply::Hello(HelloReply {
+            v: PROTOCOL_VERSION,
+            role: "coord".into(),
+            shard: None,
+            epoch: 0,
+            graph_epoch: 0,
+            nodes: 0,
+            edges: 0,
+        }));
+    }
+
+    #[test]
+    fn version_skew_decodes_as_v0_not_a_parse_error() {
+        // A stats reply from a daemon predating the `v` field: every
+        // other counter present, `v` absent ⇒ decodes with v == 0 so
+        // the client can render a mismatch error.
+        let modern = Reply::Stats(StatsReply {
+            v: PROTOCOL_VERSION,
+            ..StatsReply::default()
+        });
+        let line = modern.to_json().render().replace("\"v\":1,", "");
+        match Reply::from_line(&line).unwrap() {
+            Reply::Stats(s) => assert_eq!(s.v, 0),
+            other => panic!("unexpected reply {other:?}"),
+        }
     }
 
     #[test]
@@ -1131,6 +1284,7 @@ mod tests {
             graph_epoch: 1,
         }));
         round_trip_reply(Reply::Stats(StatsReply {
+            v: PROTOCOL_VERSION,
             queries: 12,
             cache_hits: 4,
             cache_misses: 8,

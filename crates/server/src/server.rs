@@ -78,15 +78,16 @@ use rkranks_core::{
     MetricsSnapshot, PartialReason, Partition, QueryRequest, QueryScratch, QueryStageStats,
     RkrIndex, Strategy,
 };
-use rkranks_graph::{Graph, GraphDelta, GraphStore, NodeId};
+use rkranks_graph::{Graph, GraphDelta, GraphStore, NodeId, ShardSlice};
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::conn::{Conn, Fill, LineStatus};
 use crate::event::{Backend, EventBackend};
 use crate::log::{log_error, log_info, log_warn};
-use crate::metrics::{duration_ns, Metrics, QueryOutcome};
+use crate::metrics::{duration_ns, Metrics, QueryOutcome, SLOW_LOG_CAPACITY};
 use crate::protocol::{
-    BatchReply, QueryReply, Reply, Request, SlowQueryRecord, StatsReply, UpdateOp,
+    BatchReply, HelloReply, QueryReply, Reply, Request, ShardIdentity, SlowQueryRecord, StatsReply,
+    UpdateOp, PROTOCOL_VERSION,
 };
 
 /// How long a fully idle worker sleeps between event-loop passes (after
@@ -143,6 +144,16 @@ pub struct ServerConfig {
     /// disables capture entirely; `Some(0)` records every query — useful
     /// for tests and short traces.
     pub slow_query_ms: Option<u64>,
+    /// Slow-query ring capacity (`rkr serve --slow-query-cap`): how many
+    /// captured records the in-memory ring retains before overwriting
+    /// the oldest.
+    pub slow_query_cap: usize,
+    /// Candidate-ownership slice for sharded deployments (`rkr serve
+    /// --shard-id I --shard-count N`): the daemon serves the full graph
+    /// but refines/returns only the candidates this slice owns, and
+    /// announces the slice in its `hello` reply so a coordinator can
+    /// verify the topology. `None` (the default) serves every candidate.
+    pub shard: Option<ShardSlice>,
 }
 
 impl Default for ServerConfig {
@@ -157,6 +168,8 @@ impl Default for ServerConfig {
             write_high_water: 256 * 1024,
             max_line_bytes: 1024 * 1024,
             slow_query_ms: None,
+            slow_query_cap: SLOW_LOG_CAPACITY,
+            shard: None,
         }
     }
 }
@@ -217,6 +230,26 @@ struct Shared {
     shutdown: AtomicBool,
 }
 
+/// Build the engine context for a snapshot: bichromatic when a partition
+/// is configured, and narrowed to a shard's owned candidates when this
+/// daemon serves one slice of a sharded deployment. Both the startup path
+/// and the merger's post-commit rebuild go through here so a shard never
+/// silently widens back to the full candidate set after a graph commit.
+fn build_context(
+    graph: Arc<Graph>,
+    partition: &Option<Partition>,
+    shard: Option<ShardSlice>,
+) -> EngineContext {
+    let ctx = match partition {
+        Some(p) => EngineContext::bichromatic(graph, p.clone()),
+        None => EngineContext::new(graph),
+    };
+    match shard {
+        Some(s) => ctx.with_shard_slice(s),
+        None => ctx,
+    }
+}
+
 /// Serve until a client sends `shutdown`. Blocks the calling thread; use
 /// [`spawn`] for a background daemon. Returns the final graph, graph
 /// epoch, and master index (callers can persist the index — it keeps
@@ -265,10 +298,7 @@ pub fn serve_store(
     // Restored WAL deltas are already staged in the store; mirror them
     // into the merger's `due` hint so they commit on its first pass.
     let staged_at_start = store.pending_deltas() as u64;
-    let ctx = match &partition {
-        Some(p) => EngineContext::bichromatic(store.snapshot(), p.clone()),
-        None => EngineContext::new(store.snapshot()),
-    };
+    let ctx = build_context(store.snapshot(), &partition, config.shard);
     // Pay the one-off transpose build before the first query is timed.
     ctx.sds_graph();
     let shared = Shared {
@@ -285,7 +315,7 @@ pub fn serve_store(
         merge_signal: Condvar::new(),
         cache: (config.cache_capacity > 0)
             .then(|| Mutex::new(ResultCache::new(config.cache_capacity))),
-        metrics: Metrics::new(),
+        metrics: Metrics::new(config.slow_query_cap),
         shutdown: AtomicBool::new(false),
         backend,
         accept_err_logged: AtomicBool::new(false),
@@ -977,6 +1007,26 @@ fn execute_control(shared: &Shared, req: Request) -> Reply {
             shared.merge_signal.notify_all();
             Reply::Shutdown
         }
+        Request::Hello => {
+            let live = shared.live.read().expect("live lock poisoned");
+            Reply::Hello(HelloReply {
+                v: PROTOCOL_VERSION,
+                role: if shared.config.shard.is_some() {
+                    "shard".into()
+                } else {
+                    "server".into()
+                },
+                shard: shared.config.shard.map(|s| ShardIdentity {
+                    index: s.index(),
+                    shards: s.shards(),
+                    seed: s.seed(),
+                }),
+                epoch: live.snapshot.epoch(),
+                graph_epoch: live.graph_epoch,
+                nodes: u64::from(live.ctx.graph().num_nodes()),
+                edges: live.ctx.graph().num_edges() as u64,
+            })
+        }
     }
 }
 
@@ -1266,10 +1316,7 @@ fn merge_pending(shared: &Shared) -> (u64, u64) {
             let mut fresh = RkrIndex::empty(snapshot.num_nodes(), write.master.k_max());
             fresh.set_graph_epoch(graph_epoch);
             write.master = fresh;
-            let ctx = match &shared.partition {
-                Some(p) => EngineContext::bichromatic(snapshot, p.clone()),
-                None => EngineContext::new(snapshot),
-            };
+            let ctx = build_context(snapshot, &shared.partition, shared.config.shard);
             // The merger pays the transpose build, not the first query.
             ctx.sds_graph();
             new_ctx = Some(Arc::new(ctx));
@@ -1408,6 +1455,7 @@ fn stats_snapshot(shared: &Shared) -> StatsReply {
     refresh_mirrors(shared);
     let m = &shared.metrics;
     StatsReply {
+        v: PROTOCOL_VERSION,
         queries: m.queries.get(),
         cache_hits: m.cache_hits.get(),
         cache_misses: m.cache_misses.get(),

@@ -15,7 +15,11 @@
 //! rkr serve [<graph.edges>] [--addr HOST:PORT] [--workers N] [--cache N] [--merge-every M]
 //!                 [--index index.rkri] [--kmax K] [--save-index] [--snapshot FILE]
 //!                 [--event-loop auto|epoll|poll] [--high-water BYTES] [--max-line BYTES]
-//!                 [--log-level error|warn|info|debug] [--slow-query-ms MS]
+//!                 [--log-level error|warn|info|debug] [--slow-query-ms MS] [--slow-query-cap N]
+//!                 [--shard-id I --shard-count N [--shard-seed S]]
+//! rkr shard-plan <graph.edges> --shards N [--seed S]
+//! rkr coord --shards ADDR,ADDR,... [--addr HOST:PORT] [--max-line BYTES]
+//!                 [--shard-timeout-ms MS] [--log-level error|warn|info|debug]
 //! rkr ctl <HOST:PORT> stats [--json] | flush | checkpoint | shutdown
 //! rkr ctl <HOST:PORT> metrics [--prom|--json] | slow-queries [--json]
 //! rkr ctl <HOST:PORT> add-edge U V W | rm-edge U V | reweight U V W | add-node
@@ -58,9 +62,20 @@
 //! gauge, and latency histogram (`--prom` renders the Prometheus text
 //! exposition for scrapers, `--json` the raw wire reply); `--slow-query-ms
 //! MS` on `serve` captures queries at or over the threshold in a bounded
-//! in-memory ring that `rkr ctl ADDR slow-queries` reads back; and
-//! `--log-level` controls the daemon's stderr diagnostics (quiet `warn`
-//! by default).
+//! in-memory ring (`--slow-query-cap` sizes it) that
+//! `rkr ctl ADDR slow-queries` reads back; and `--log-level` controls the
+//! daemon's stderr diagnostics (quiet `warn` by default).
+//!
+//! Sharded serving: `rkr shard-plan` previews the deterministic
+//! consistent-hash candidate partition for a graph; `rkr serve
+//! --shard-id I --shard-count N [--shard-seed S]` runs one daemon as
+//! shard `I` of `N` (it loads the full graph but refines and returns
+//! only the candidates it owns); `rkr coord --shards A,B,...` runs the
+//! scatter-gather coordinator that speaks the same wire protocol
+//! frontside, fans every query out to the fleet, and merges the
+//! per-shard answers into the exact single-box result (see
+//! `rkranks_coord`). `ctl` and `update` work unchanged against the
+//! coordinator's address.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -77,7 +92,7 @@ use rkranks_eval::workload::random_queries;
 use rkranks_graph::io::{load_graph, save_graph};
 use rkranks_graph::metrics::{degree_stats, weight_stats};
 use rkranks_graph::traversal::is_weakly_connected;
-use rkranks_graph::GraphStore;
+use rkranks_graph::{GraphStore, ShardMap, ShardSlice};
 use rkranks_server::{Client, LogLevel, QueryOptions, Request, ServerConfig};
 
 const USAGE: &str = "usage:
@@ -92,7 +107,11 @@ const USAGE: &str = "usage:
   rkr serve [<graph.edges>] [--addr HOST:PORT] [--workers N] [--cache N] [--merge-every M]
             [--index FILE] [--kmax K] [--save-index] [--snapshot FILE]
             [--event-loop auto|epoll|poll] [--high-water BYTES] [--max-line BYTES]
-            [--log-level error|warn|info|debug] [--slow-query-ms MS]
+            [--log-level error|warn|info|debug] [--slow-query-ms MS] [--slow-query-cap N]
+            [--shard-id I --shard-count N [--shard-seed S]]
+  rkr shard-plan <graph.edges> --shards N [--seed S]
+  rkr coord --shards ADDR,ADDR,... [--addr HOST:PORT] [--max-line BYTES]
+            [--shard-timeout-ms MS] [--log-level error|warn|info|debug]
   rkr ctl <HOST:PORT> stats [--json] | flush | checkpoint | shutdown
   rkr ctl <HOST:PORT> metrics [--prom|--json] | slow-queries [--json]
   rkr ctl <HOST:PORT> add-edge U V W | rm-edge U V | reweight U V W | add-node
@@ -172,6 +191,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
         Some("query") => cmd_query(&flags),
         Some("batch") => cmd_batch(&flags),
         Some("serve") => cmd_serve(&flags),
+        Some("shard-plan") => cmd_shard_plan(&flags),
+        Some("coord") => cmd_coord(&flags),
         Some("ctl") => cmd_ctl(&flags),
         Some("update") => cmd_update(&flags),
         _ => Err("missing or unknown command".into()),
@@ -479,7 +500,12 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     {
         return Err("--event-loop epoll is not supported on this host (use auto or poll)".into());
     }
+    let shard = parse_shard_identity(flags)?;
     let defaults = ServerConfig::default();
+    let slow_query_cap: usize = flags.get_parsed("slow-query-cap", defaults.slow_query_cap)?;
+    if slow_query_cap == 0 {
+        return Err("--slow-query-cap must be at least 1".into());
+    }
     let config = ServerConfig {
         workers: workers.max(1),
         cache_capacity: cache,
@@ -496,10 +522,21 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             ),
             None => None,
         },
+        slow_query_cap,
+        shard,
     };
     let listener =
         std::net::TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let local = listener.local_addr().map_err(|e| e.to_string())?;
+    if let Some(s) = &config.shard {
+        println!(
+            "serving as shard {}/{} (seed {:#x}): full graph loaded, answers cover only \
+             owned candidates — front with `rkr coord` for complete results",
+            s.index(),
+            s.shards(),
+            s.seed()
+        );
+    }
     println!(
         "rkrd listening on {local} ({} event loop, {} workers, cache {}, merge every {}, k <= {})",
         config.event_loop.resolved_name(),
@@ -545,6 +582,127 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             println!("learned index written back to {path}");
         }
     }
+    Ok(())
+}
+
+/// Resolve `--shard-id` / `--shard-count` / `--shard-seed` into the
+/// daemon's shard identity. The three flags travel together: a lone
+/// `--shard-seed` (or a missing half of the id/count pair) is a config
+/// mistake, and a daemon silently serving unsharded when the operator
+/// meant shard 3-of-8 would merge wrong answers upstream.
+fn parse_shard_identity(flags: &Flags) -> Result<Option<ShardSlice>, String> {
+    match (flags.get("shard-id"), flags.get("shard-count")) {
+        (None, None) => {
+            if flags.get("shard-seed").is_some() {
+                return Err("--shard-seed needs --shard-id and --shard-count".into());
+            }
+            Ok(None)
+        }
+        (Some(_), None) | (None, Some(_)) => {
+            Err("--shard-id and --shard-count must be given together".into())
+        }
+        (Some(_), Some(_)) => {
+            let index: u32 = flags.get_parsed("shard-id", 0)?;
+            let count: u32 = flags.get_parsed("shard-count", 0)?;
+            let seed: u64 = flags.get_parsed("shard-seed", 0)?;
+            if count == 0 {
+                return Err("--shard-count must be at least 1".into());
+            }
+            if index >= count {
+                return Err(format!(
+                    "--shard-id {index} is out of range for --shard-count {count} \
+                     (ids run 0..{count})"
+                ));
+            }
+            Ok(Some(ShardSlice::new(index, count, seed)))
+        }
+    }
+}
+
+/// `rkr shard-plan`: preview the deterministic consistent-hash candidate
+/// partition for a graph before deploying a fleet — per-shard load, the
+/// imbalance it implies, and copy-pasteable `serve`/`coord` commands.
+fn cmd_shard_plan(flags: &Flags) -> Result<(), String> {
+    let g = graph_arg(flags)?;
+    let shards: u32 = flags.get_parsed("shards", 0)?;
+    if shards == 0 {
+        return Err("shard-plan needs --shards N (at least 1)".into());
+    }
+    let seed: u64 = flags.get_parsed("seed", 0)?;
+    let map = ShardMap::new(shards, seed);
+    let profile = map.load_profile(g.num_nodes());
+    let total = g.num_nodes() as f64;
+    let ideal = total / shards as f64;
+    println!(
+        "shard plan for {} nodes over {shards} shard(s), seed {seed:#x} (jump consistent hash):",
+        g.num_nodes()
+    );
+    for (i, &owned) in profile.iter().enumerate() {
+        println!(
+            "  shard {i:>3}: {owned:>10} candidates ({:>6.2}%, {:+.2}% vs even split)",
+            owned as f64 / total * 100.0,
+            (owned as f64 - ideal) / ideal * 100.0
+        );
+    }
+    let max = profile.iter().copied().max().unwrap_or(0);
+    println!(
+        "  hottest shard holds {max} candidates ({:.3}x the even split)",
+        max as f64 / ideal
+    );
+    let edges = flags
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("graph.edges");
+    println!("\ndeploy it (every shard loads the full graph):");
+    for i in 0..shards {
+        println!(
+            "  rkr serve {edges} --addr HOST:PORT{i} --shard-id {i} --shard-count {shards} \
+             --shard-seed {seed}"
+        );
+    }
+    let fleet: Vec<String> = (0..shards).map(|i| format!("HOST:PORT{i}")).collect();
+    println!("  rkr coord --shards {}", fleet.join(","));
+    Ok(())
+}
+
+/// `rkr coord`: run the scatter-gather coordinator in the foreground
+/// (`rkr ctl ADDR shutdown` stops it, same as the daemon).
+fn cmd_coord(flags: &Flags) -> Result<(), String> {
+    let log_level: LogLevel = flags.get_parsed("log-level", LogLevel::Warn)?;
+    rkranks_server::log::set_level(log_level);
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7900");
+    let shards: Vec<String> = flags
+        .get("shards")
+        .ok_or("coord needs --shards ADDR,ADDR,... (one per shard, in shard-id order)")?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if shards.is_empty() {
+        return Err("--shards names no addresses".into());
+    }
+    let mut config = rkranks_coord::CoordConfig::new(shards);
+    config.max_line_bytes = flags.get_parsed("max-line", config.max_line_bytes)?;
+    if let Some(v) = flags.get("shard-timeout-ms") {
+        let ms: u64 = v
+            .parse()
+            .map_err(|_| format!("bad value for --shard-timeout-ms: '{v}'"))?;
+        if ms == 0 {
+            return Err("--shard-timeout-ms must be at least 1".into());
+        }
+        config.shard_reply_timeout = std::time::Duration::from_millis(ms);
+    }
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "rkrd coordinator listening on {local}, fronting {} shard(s): {}",
+        config.shards.len(),
+        config.shards.join(", ")
+    );
+    rkranks_coord::serve_coord(listener, config).map_err(|e| e.to_string())?;
+    println!("coordinator stopped");
     Ok(())
 }
 
@@ -861,7 +1019,7 @@ fn cmd_query_remote(flags: &Flags, addr: &str) -> Result<(), String> {
         reply.graph_epoch,
         reply.epoch,
         if reply.partial {
-            ", PARTIAL (deadline exceeded)"
+            ", PARTIAL (deadline exceeded or a shard dropped from the merge)"
         } else {
             ""
         }

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub use rkranks_coord as coord;
 pub use rkranks_core as core;
 pub use rkranks_datasets as datasets;
 pub use rkranks_eval as eval;
@@ -33,6 +34,7 @@ pub use rkranks_server as server;
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use rkranks_coord::{CoordConfig, CoordHandle};
     pub use rkranks_core::{
         BoundConfig, Completion, EngineContext, HubStrategy, IndexAccess, IndexDelta, IndexParams,
         PartialReason, Partition, QueryEngine, QueryOutcome, QueryRequest, QueryResult,
@@ -41,7 +43,7 @@ pub mod prelude {
     pub use rkranks_datasets::{toy, Scale};
     pub use rkranks_graph::{
         graph_from_edges, DijkstraWorkspace, DistanceBrowser, EdgeDirection, Graph, GraphBuilder,
-        NodeId,
+        NodeId, ShardMap, ShardSlice,
     };
-    pub use rkranks_server::{Client, QueryOptions, ServerConfig};
+    pub use rkranks_server::{Client, ConnectPolicy, QueryOptions, ServerConfig};
 }
