@@ -1,0 +1,135 @@
+//! Distance-substrate ablations: what the 2-hop hub-label oracle costs
+//! to build and what it buys at query time.
+//!
+//! Three groups:
+//!
+//! * `labels/build` — PLL label construction cost per hub ordering
+//!   (the price paid once per graph epoch);
+//! * `distance/pointwise` — one exact `d(s, t)`: hub-label sorted-list
+//!   merge vs early-exit Dijkstra vs a full SSSP (what a traversal pays
+//!   when it cannot early-exit);
+//! * `query/end_to_end` — whole reverse k-ranks queries, `dynamic-three`
+//!   vs `dynamic-hub` (the oracle's `count_within` rank bound stacked on
+//!   the paper's three bounds).
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rkranks_bench::{bench_queries, dblp, epinions, QueryCursor};
+use rkranks_core::{BoundConfig, EngineContext, QueryRequest, Strategy};
+use rkranks_graph::{distance, sssp, DijkstraOracle, DistanceOracle, HubLabels, HubOrder, NodeId};
+
+fn label_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("labels/build");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("dblp/degree", |b| {
+        let g = dblp();
+        b.iter(|| black_box(HubLabels::build(g, HubOrder::Degree, 0)));
+    });
+    group.bench_function("dblp/closeness", |b| {
+        let g = dblp();
+        b.iter(|| {
+            black_box(HubLabels::build(
+                g,
+                HubOrder::Closeness {
+                    samples: 8,
+                    seed: 42,
+                },
+                0,
+            ))
+        });
+    });
+    group.bench_function("epinions/degree", |b| {
+        let g = epinions();
+        b.iter(|| black_box(HubLabels::build(g, HubOrder::Degree, 0)));
+    });
+    group.finish();
+}
+
+fn pointwise(c: &mut Criterion) {
+    let g = dblp();
+    let (labels, _) = HubLabels::build(g, HubOrder::Degree, 0);
+    let dij = DijkstraOracle::new(Arc::new(g.clone()), 0);
+    let sources = bench_queries(g, 32, |_| true);
+    let targets = bench_queries(g, 37, |_| true);
+    let pairs: Vec<(NodeId, NodeId)> = sources
+        .iter()
+        .flat_map(|&s| targets.iter().map(move |&t| (s, t)))
+        .filter(|(s, t)| s != t)
+        .collect();
+
+    let mut group = c.benchmark_group("distance/pointwise");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+
+    group.bench_function("hub_labels", |b| {
+        let mut cursor = QueryCursor::new((0..pairs.len() as u32).map(NodeId).collect());
+        b.iter(|| {
+            let (s, t) = pairs[cursor.next().index()];
+            black_box(labels.distance(s, t))
+        });
+    });
+
+    group.bench_function("dijkstra_early_exit", |b| {
+        let mut cursor = QueryCursor::new((0..pairs.len() as u32).map(NodeId).collect());
+        b.iter(|| {
+            let (s, t) = pairs[cursor.next().index()];
+            black_box(dij.distance(s, t))
+        });
+    });
+
+    group.bench_function("full_sssp", |b| {
+        let mut cursor = QueryCursor::new((0..pairs.len() as u32).map(NodeId).collect());
+        b.iter(|| {
+            let (s, t) = pairs[cursor.next().index()];
+            black_box(sssp(g, s)[t.index()])
+        });
+    });
+
+    // Sanity outside the timed loops: the substrates agree.
+    for &(s, t) in pairs.iter().take(50) {
+        let (a, b) = (labels.distance(s, t), distance(g, s, t));
+        assert!(
+            (a == b) || (a - b).abs() < 1e-9,
+            "oracle mismatch at ({s},{t})"
+        );
+    }
+    group.finish();
+}
+
+fn end_to_end(c: &mut Criterion) {
+    let g = dblp();
+    let plain = EngineContext::new(g.clone());
+    let (labels, _) = HubLabels::build(g, HubOrder::Degree, 0);
+    let hub = EngineContext::new(g.clone()).with_oracle(Arc::new(labels));
+    let queries = bench_queries(g, 24, |_| true);
+
+    let mut group = c.benchmark_group("query/end_to_end");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    for (name, ctx, bounds) in [
+        ("dynamic_three", &plain, BoundConfig::ALL),
+        ("dynamic_hub", &hub, BoundConfig::HUB),
+    ] {
+        group.bench_function(name, |b| {
+            let mut scratch = ctx.new_scratch();
+            let mut cursor = QueryCursor::new(queries.clone());
+            b.iter(|| {
+                let req =
+                    QueryRequest::new(cursor.next(), 10).with_strategy(Strategy::Dynamic(bounds));
+                black_box(ctx.execute(&mut scratch, &req).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, label_build, pointwise, end_to_end);
+criterion_main!(benches);

@@ -1,4 +1,5 @@
-//! Substrate ablations for the design choices called out in DESIGN.md:
+//! Substrate ablations for the design choices called out in the repository
+//! README (traversal-substrate section):
 //!
 //! * decrease-key [`IndexedHeap`] vs a lazy-deletion `std::collections::BinaryHeap`
 //!   Dijkstra (the paper's pseudocode assumes decrease-key);

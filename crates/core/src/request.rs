@@ -83,17 +83,19 @@ pub enum Strategy {
 impl Strategy {
     /// Every distinct strategy value, in canonical-name order. Useful for
     /// exhaustive round-trip tests and `--help` listings.
-    pub const ALL: [Strategy; 10] = [
+    pub const ALL: [Strategy; 12] = [
         Strategy::Naive,
         Strategy::Static,
         Strategy::Dynamic(BoundConfig::PARENT_ONLY),
         Strategy::Dynamic(BoundConfig::PARENT_HEIGHT),
         Strategy::Dynamic(BoundConfig::PARENT_COUNT),
         Strategy::Dynamic(BoundConfig::ALL),
+        Strategy::Dynamic(BoundConfig::HUB),
         Strategy::Indexed(BoundConfig::PARENT_ONLY),
         Strategy::Indexed(BoundConfig::PARENT_HEIGHT),
         Strategy::Indexed(BoundConfig::PARENT_COUNT),
         Strategy::Indexed(BoundConfig::ALL),
+        Strategy::Indexed(BoundConfig::HUB),
     ];
 
     /// The canonical name: parses back to the same value via [`FromStr`].
@@ -101,12 +103,14 @@ impl Strategy {
         match self {
             Strategy::Naive => "naive",
             Strategy::Static => "static",
+            Strategy::Dynamic(b) if b.use_oracle => "dynamic-hub",
             Strategy::Dynamic(b) => match (b.use_height, b.use_count) {
                 (false, false) => "dynamic-parent",
                 (true, false) => "dynamic-height",
                 (false, true) => "dynamic-count",
                 (true, true) => "dynamic-three",
             },
+            Strategy::Indexed(b) if b.use_oracle => "indexed-hub",
             Strategy::Indexed(b) => match (b.use_height, b.use_count) {
                 (false, false) => "indexed-parent",
                 (true, false) => "indexed-height",
@@ -160,8 +164,8 @@ impl FromStr for Strategy {
                 parsed.ok_or_else(|| {
                     format!(
                         "unknown strategy '{s}' (expected naive, static, \
-                         dynamic[-parent|-height|-count|-three], or \
-                         indexed[-parent|-height|-count|-three])"
+                         dynamic[-parent|-height|-count|-three|-hub], or \
+                         indexed[-parent|-height|-count|-three|-hub])"
                     )
                 })
             }

@@ -1,8 +1,8 @@
 //! # rkranks-eval
 //!
 //! Experiment harness regenerating every table and figure of the paper's
-//! evaluation section (§6) on the synthetic stand-in datasets. See
-//! `DESIGN.md` §4 for the full exhibit-to-module index and
+//! evaluation section (§6) on the synthetic stand-in datasets. See the
+//! repository `README.md` for the exhibit-to-module index and
 //! `EXPERIMENTS.md` for recorded paper-vs-measured results.
 //!
 //! Run everything:

@@ -1,0 +1,557 @@
+//! Pluggable distance substrate: the [`DistanceOracle`] trait and its two
+//! implementors — on-demand Dijkstra and a 2-hop hub-label index.
+//!
+//! Rank refinement spends essentially all of its time answering two
+//! questions about a candidate `c` and query `q`: *what is `d(c, q)`?*
+//! and *how many counted nodes sit strictly closer to `c` than `q`
+//! does?* The engine asks them through this trait so the answer strategy
+//! is a plug-in, not a rewrite:
+//!
+//! * [`DijkstraOracle`] answers point-to-point distances with an
+//!   early-exit Dijkstra — no preprocessing, every query is a traversal.
+//! * [`HubLabels`] is a 2-hop hub-label index built by pruned landmark
+//!   labeling (Akiba et al. pruned BFS/Dijkstra, the substrate ReHub
+//!   extends to reverse k-NN). Every node gets a sorted label of
+//!   `(hub, distance)` pairs; an exact distance is then a two-sorted-list
+//!   merge in `O(|label|)`, and the label itself certifies a lower bound
+//!   on how many nodes lie within any radius — which the SDS filter
+//!   turns into candidate pruning without running a single refinement
+//!   traversal.
+//!
+//! Labels are tagged with the `graph_epoch` they were built at and follow
+//! the same retire-on-commit discipline as the learned rank index: a
+//! changed graph invalidates every label, so the daemon rebuilds them per
+//! commit (recompute-per-epoch; incremental maintenance is future work).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::centrality::{closeness_sampled, top_by_score, top_degree_nodes};
+use crate::dijkstra::{self, DijkstraWorkspace};
+use crate::graph::Graph;
+use crate::node::NodeId;
+use crate::weight::{Distance, INF};
+
+/// Exact point-to-point distances behind a swappable backend.
+///
+/// Implementations must answer for every node of the graph they were
+/// built against and must be shareable across query workers.
+pub trait DistanceOracle: Send + Sync {
+    /// Exact `d(s, t)`; [`INF`] when `t` is unreachable from `s`.
+    fn distance(&self, s: NodeId, t: NodeId) -> Distance;
+
+    /// A certified **lower bound** on `|{v ≠ s : d(s, v) < radius and
+    /// counted(v)}|` — the size of the strictly-closer counted
+    /// neighborhood of `s`. Backends with no cheap neighborhood knowledge
+    /// return 0 (always sound); hub labels count their own entries, each
+    /// of which carries an exact distance.
+    fn count_within(
+        &self,
+        s: NodeId,
+        radius: Distance,
+        counted: &mut dyn FnMut(NodeId) -> bool,
+    ) -> u32 {
+        let _ = (s, radius, counted);
+        0
+    }
+
+    /// The graph epoch this oracle describes. Consulting an oracle built
+    /// at a different epoch than the serving graph is unsound — callers
+    /// enforce the match, mirroring the learned index discipline.
+    fn graph_epoch(&self) -> u64;
+
+    /// Stable backend name for stats and logs.
+    fn name(&self) -> &'static str;
+}
+
+/// The traversal backend: no preprocessing, every distance query runs an
+/// early-exit Dijkstra over the shared graph snapshot.
+pub struct DijkstraOracle {
+    graph: Arc<Graph>,
+    graph_epoch: u64,
+}
+
+impl DijkstraOracle {
+    /// Wrap a graph snapshot taken at `graph_epoch`.
+    pub fn new(graph: Arc<Graph>, graph_epoch: u64) -> Self {
+        DijkstraOracle { graph, graph_epoch }
+    }
+}
+
+impl DistanceOracle for DijkstraOracle {
+    fn distance(&self, s: NodeId, t: NodeId) -> Distance {
+        dijkstra::distance(&self.graph, s, t)
+    }
+
+    fn graph_epoch(&self) -> u64 {
+        self.graph_epoch
+    }
+
+    fn name(&self) -> &'static str {
+        "dijkstra"
+    }
+}
+
+/// How hubs are ordered for pruned labeling. Processing high-centrality
+/// nodes first is what keeps labels small: a hub that covers many
+/// shortest paths prunes most of the labeling work queued behind it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HubOrder {
+    /// Degree descending, ties by node id — cheap and usually close to
+    /// optimal on heavy-tailed graphs.
+    Degree,
+    /// Sampled closeness centrality descending (see
+    /// [`closeness_sampled`]) — better on graphs where degree is a poor
+    /// centrality proxy (e.g. road networks).
+    Closeness {
+        /// Number of sampled SSSP sources.
+        samples: usize,
+        /// Sampling seed (determinism).
+        seed: u64,
+    },
+}
+
+/// Build-cost report for a hub-label index.
+#[derive(Clone, Copy, Debug)]
+pub struct HubLabelStats {
+    /// Wall-clock build time.
+    pub build_time: Duration,
+    /// Total label entries over all nodes (both directions on directed
+    /// graphs).
+    pub entries: u64,
+    /// Approximate heap footprint of the frozen index.
+    pub bytes: usize,
+}
+
+/// One direction of frozen labels in CSR form: node `v`'s label is
+/// `hubs[offsets[v]..offsets[v+1]]` (hub *ranks*, ascending) paired with
+/// `dists` (exact distances).
+struct LabelSet {
+    offsets: Vec<u32>,
+    hubs: Vec<u32>,
+    dists: Vec<Distance>,
+}
+
+impl LabelSet {
+    fn freeze(labels: Vec<Vec<(u32, Distance)>>) -> LabelSet {
+        let total: usize = labels.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(labels.len() + 1);
+        let mut hubs = Vec::with_capacity(total);
+        let mut dists = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for label in &labels {
+            // Entries were appended in hub-rank order, so each label is
+            // already sorted for the two-pointer merge.
+            debug_assert!(label.windows(2).all(|w| w[0].0 < w[1].0));
+            for &(r, d) in label {
+                hubs.push(r);
+                dists.push(d);
+            }
+            offsets.push(hubs.len() as u32);
+        }
+        LabelSet {
+            offsets,
+            hubs,
+            dists,
+        }
+    }
+
+    fn of(&self, v: NodeId) -> (&[u32], &[Distance]) {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        (&self.hubs[lo..hi], &self.dists[lo..hi])
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.offsets.len() * size_of::<u32>()
+            + self.hubs.len() * size_of::<u32>()
+            + self.dists.len() * size_of::<Distance>()
+    }
+}
+
+/// A 2-hop hub-label distance index (pruned landmark labeling over
+/// **all** nodes, so every distance is exact, not approximate).
+///
+/// `d(s, t) = min over shared hubs h of d(s → h) + d(h → t)`, computed as
+/// a merge of the two rank-sorted labels. On undirected graphs one label
+/// set serves both sides; on directed graphs the out-labels hold
+/// `d(v → h)` (built by Dijkstra on the transpose) and the in-labels hold
+/// `d(h → v)` (forward Dijkstra).
+pub struct HubLabels {
+    /// `(hub, d(v → hub))` per node.
+    out: LabelSet,
+    /// `(hub, d(hub → v))` per node; `None` on undirected graphs (the
+    /// out-set serves both directions).
+    inn: Option<LabelSet>,
+    /// Hub rank → node id (ranks are label-local for the merge; callers
+    /// see node ids).
+    rank_to_node: Vec<NodeId>,
+    graph_epoch: u64,
+}
+
+impl HubLabels {
+    /// Build labels for `graph` (tagged `graph_epoch`) by pruned landmark
+    /// labeling in `order`. All nodes are processed as hubs, so queries
+    /// return exact distances; the ordering only affects label size.
+    pub fn build(graph: &Graph, order: HubOrder, graph_epoch: u64) -> (HubLabels, HubLabelStats) {
+        let start = Instant::now();
+        let n = graph.num_nodes();
+        let rank_to_node = match order {
+            HubOrder::Degree => top_degree_nodes(graph, n as usize),
+            HubOrder::Closeness { samples, seed } => {
+                let scores = closeness_sampled(graph, samples, seed);
+                top_by_score(&scores, n as usize)
+            }
+        };
+        debug_assert_eq!(rank_to_node.len(), n as usize);
+
+        let mut builder = LabelBuilder::new(n);
+        let labels = if graph.is_directed() {
+            let transpose = graph.transpose();
+            // Forward Dijkstra from hub h settles d(h → u) and labels the
+            // in-side; the prune query resolves d(h → u) over existing
+            // labels as L_out(h) ⋈ L_in(u). The backward pass on the
+            // transpose mirrors it for the out-side.
+            let mut inn: Vec<Vec<(u32, Distance)>> = vec![Vec::new(); n as usize];
+            let mut out: Vec<Vec<(u32, Distance)>> = vec![Vec::new(); n as usize];
+            for (rank, &h) in rank_to_node.iter().enumerate() {
+                builder.label_from(graph, h, rank as u32, &out, &mut inn);
+                builder.label_from(&transpose, h, rank as u32, &inn, &mut out);
+            }
+            HubLabels {
+                out: LabelSet::freeze(out),
+                inn: Some(LabelSet::freeze(inn)),
+                rank_to_node,
+                graph_epoch,
+            }
+        } else {
+            let mut sets: Vec<Vec<(u32, Distance)>> = vec![Vec::new(); n as usize];
+            for (rank, &h) in rank_to_node.iter().enumerate() {
+                // One symmetric label set: scatter and grow the same side.
+                let scatter: Vec<(u32, Distance)> = sets[h.index()].clone();
+                builder.label_from_scattered(graph, h, rank as u32, &scatter, &mut sets);
+            }
+            HubLabels {
+                out: LabelSet::freeze(sets),
+                inn: None,
+                rank_to_node,
+                graph_epoch,
+            }
+        };
+
+        let stats = HubLabelStats {
+            build_time: start.elapsed(),
+            entries: labels.entries(),
+            bytes: labels.heap_bytes(),
+        };
+        (labels, stats)
+    }
+
+    fn in_set(&self) -> &LabelSet {
+        self.inn.as_ref().unwrap_or(&self.out)
+    }
+
+    /// Total label entries over all nodes and directions.
+    pub fn entries(&self) -> u64 {
+        (self.out.hubs.len() + self.inn.as_ref().map_or(0, |s| s.hubs.len())) as u64
+    }
+
+    /// Approximate heap footprint.
+    pub fn heap_bytes(&self) -> usize {
+        self.out.heap_bytes()
+            + self.inn.as_ref().map_or(0, LabelSet::heap_bytes)
+            + self.rank_to_node.len() * size_of::<NodeId>()
+    }
+
+    /// Mean label entries per node (one direction).
+    pub fn mean_label_len(&self) -> f64 {
+        if self.rank_to_node.is_empty() {
+            return 0.0;
+        }
+        self.out.hubs.len() as f64 / self.rank_to_node.len() as f64
+    }
+}
+
+impl DistanceOracle for HubLabels {
+    fn distance(&self, s: NodeId, t: NodeId) -> Distance {
+        if s == t {
+            return 0.0;
+        }
+        let (ah, ad) = self.out.of(s);
+        let (bh, bd) = self.in_set().of(t);
+        let (mut i, mut j) = (0, 0);
+        let mut best = INF;
+        while i < ah.len() && j < bh.len() {
+            match ah[i].cmp(&bh[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let via = ad[i] + bd[j];
+                    if via < best {
+                        best = via;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        best
+    }
+
+    fn count_within(
+        &self,
+        s: NodeId,
+        radius: Distance,
+        counted: &mut dyn FnMut(NodeId) -> bool,
+    ) -> u32 {
+        // Every out-label entry carries the exact d(s → hub), so each hub
+        // strictly inside the radius is a distinct certified member of
+        // the strictly-closer set: a sound lower bound on its size.
+        let (hubs, dists) = self.out.of(s);
+        let mut count = 0;
+        for (&r, &d) in hubs.iter().zip(dists) {
+            if d < radius {
+                let h = self.rank_to_node[r as usize];
+                if h != s && counted(h) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    fn graph_epoch(&self) -> u64 {
+        self.graph_epoch
+    }
+
+    fn name(&self) -> &'static str {
+        "hub"
+    }
+}
+
+/// Reusable per-build scratch: the Dijkstra workspace plus the dense
+/// rank-indexed scatter of the current hub's label (touched-list reset,
+/// so each hub pays O(|label(h)| + traversal), not O(n)).
+struct LabelBuilder {
+    ws: DijkstraWorkspace,
+    hub_dist: Vec<Distance>,
+    touched: Vec<u32>,
+}
+
+impl LabelBuilder {
+    fn new(n: u32) -> Self {
+        LabelBuilder {
+            ws: DijkstraWorkspace::new(n),
+            hub_dist: vec![INF; n as usize],
+            touched: Vec::new(),
+        }
+    }
+
+    /// One pruned Dijkstra from hub `h` (rank `rank`) over `graph`,
+    /// growing `grow[u]` for every settled `u` not already covered:
+    /// when `u` settles at distance `d`, the query over existing labels
+    /// (`scatter_side[h] ⋈ grow[u]`) at most `d` proves a higher-ranked
+    /// hub already covers this pair, so neither a label nor an expansion
+    /// is needed (Akiba-style pruned labeling; `<=` also keeps
+    /// zero-weight ties label-free).
+    fn label_from(
+        &mut self,
+        graph: &Graph,
+        h: NodeId,
+        rank: u32,
+        scatter_side: &[Vec<(u32, Distance)>],
+        grow: &mut [Vec<(u32, Distance)>],
+    ) {
+        let scatter: Vec<(u32, Distance)> = scatter_side[h.index()].clone();
+        self.label_from_scattered(graph, h, rank, &scatter, grow);
+    }
+
+    fn label_from_scattered(
+        &mut self,
+        graph: &Graph,
+        h: NodeId,
+        rank: u32,
+        scatter: &[(u32, Distance)],
+        grow: &mut [Vec<(u32, Distance)>],
+    ) {
+        for &(r, d) in scatter {
+            self.hub_dist[r as usize] = d;
+            self.touched.push(r);
+        }
+        self.ws.begin(h);
+        while let Some((u, d)) = self.ws.settle_next() {
+            let mut best = INF;
+            for &(r, d2) in &grow[u.index()] {
+                let via = self.hub_dist[r as usize] + d2;
+                if via < best {
+                    best = via;
+                }
+            }
+            if best <= d {
+                continue;
+            }
+            grow[u.index()].push((rank, d));
+            let (targets, weights) = graph.out_neighbors(u);
+            for (t, w) in targets.iter().zip(weights) {
+                self.ws.relax(*t, d + *w);
+            }
+        }
+        for &r in &self.touched {
+            self.hub_dist[r as usize] = INF;
+        }
+        self.touched.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{graph_from_edges, EdgeDirection};
+    use crate::dijkstra::sssp;
+
+    fn assert_all_pairs_exact(g: &Graph, labels: &HubLabels) {
+        for s in g.nodes() {
+            let want = sssp(g, s);
+            for t in g.nodes() {
+                let got = labels.distance(s, t);
+                let expect = want[t.index()];
+                assert_eq!(got, expect, "d({s},{t})");
+            }
+        }
+    }
+
+    fn sample_undirected() -> Graph {
+        graph_from_edges(
+            EdgeDirection::Undirected,
+            [
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (0, 3, 0.5),
+                (3, 2, 1.0),
+                (2, 4, 2.0),
+                (5, 6, 0.25),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn undirected_labels_are_exact_including_unreachable() {
+        let g = sample_undirected();
+        let (labels, stats) = HubLabels::build(&g, HubOrder::Degree, 0);
+        assert_all_pairs_exact(&g, &labels);
+        assert!(stats.entries > 0);
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn directed_labels_are_exact() {
+        let g = graph_from_edges(
+            EdgeDirection::Directed,
+            [
+                (0, 1, 1.0),
+                (1, 2, 0.5),
+                (2, 0, 2.0),
+                (1, 3, 1.5),
+                (3, 4, 0.25),
+                (4, 1, 1.0),
+            ],
+        )
+        .unwrap();
+        let (labels, _) = HubLabels::build(&g, HubOrder::Degree, 0);
+        assert_all_pairs_exact(&g, &labels);
+    }
+
+    #[test]
+    fn zero_weight_edges_stay_exact() {
+        let g = graph_from_edges(
+            EdgeDirection::Undirected,
+            [(0, 1, 0.0), (1, 2, 1.0), (2, 3, 0.0)],
+        )
+        .unwrap();
+        let (labels, _) = HubLabels::build(&g, HubOrder::Degree, 0);
+        assert_all_pairs_exact(&g, &labels);
+    }
+
+    #[test]
+    fn closeness_order_is_also_exact() {
+        let g = sample_undirected();
+        let (labels, _) = HubLabels::build(
+            &g,
+            HubOrder::Closeness {
+                samples: 4,
+                seed: 7,
+            },
+            0,
+        );
+        assert_all_pairs_exact(&g, &labels);
+    }
+
+    #[test]
+    fn count_within_is_a_sound_exact_distance_lower_bound() {
+        let g = sample_undirected();
+        let (labels, _) = HubLabels::build(&g, HubOrder::Degree, 3);
+        assert_eq!(labels.graph_epoch(), 3);
+        for s in g.nodes() {
+            let dist = sssp(&g, s);
+            for radius in [0.0, 0.5, 1.0, 1.75, 3.0, INF] {
+                let truth = g
+                    .nodes()
+                    .filter(|&v| v != s && dist[v.index()] < radius)
+                    .count() as u32;
+                let bound = labels.count_within(s, radius, &mut |_| true);
+                assert!(
+                    bound <= truth,
+                    "count_within({s}, {radius}) = {bound} > true {truth}"
+                );
+            }
+            // The unrestricted-radius bound counts every finite label
+            // entry, so the filter must really be consulted.
+            let none = labels.count_within(s, INF, &mut |_| false);
+            assert_eq!(none, 0);
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let g = sample_undirected();
+        let (a, _) = HubLabels::build(&g, HubOrder::Degree, 0);
+        let (b, _) = HubLabels::build(&g, HubOrder::Degree, 0);
+        assert_eq!(a.entries(), b.entries());
+        assert_eq!(a.out.hubs, b.out.hubs);
+        assert_eq!(a.out.dists, b.out.dists);
+    }
+
+    #[test]
+    fn dijkstra_oracle_matches_and_bounds_trivially() {
+        let g = Arc::new(sample_undirected());
+        let oracle = DijkstraOracle::new(Arc::clone(&g), 5);
+        assert_eq!(oracle.graph_epoch(), 5);
+        assert_eq!(oracle.name(), "dijkstra");
+        for s in g.nodes() {
+            let want = sssp(&g, s);
+            for t in g.nodes() {
+                assert_eq!(oracle.distance(s, t), want[t.index()]);
+            }
+        }
+        // The default neighborhood bound is the trivial (sound) zero.
+        assert_eq!(oracle.count_within(NodeId(0), INF, &mut |_| true), 0);
+    }
+
+    #[test]
+    fn labels_stay_compact_on_a_star() {
+        // Degree ordering processes the star's center first, so pruning
+        // must stop every later hub's search immediately: each leaf ends
+        // with just {center, self} instead of the quadratic worst case.
+        let edges: Vec<(u32, u32, f64)> = (1..=64u32).map(|i| (0, i, 1.0)).collect();
+        let g = graph_from_edges(EdgeDirection::Undirected, edges).unwrap();
+        let (labels, _) = HubLabels::build(&g, HubOrder::Degree, 0);
+        let n = g.num_nodes() as u64;
+        assert!(
+            labels.entries() <= 2 * n,
+            "{} entries for {n} nodes",
+            labels.entries()
+        );
+        assert_all_pairs_exact(&g, &labels);
+    }
+}

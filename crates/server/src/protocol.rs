@@ -530,10 +530,21 @@ pub struct StatsReply {
     /// Request lines rejected (connection closed) for exceeding the
     /// configured line cap.
     pub oversize_lines: u64,
+    /// Distance-oracle consultations during SDS filtering (hub
+    /// strategies only).
+    pub oracle_lookups: u64,
+    /// Candidates pruned where the oracle's certified bound alone met
+    /// `kRank`.
+    pub oracle_pruned: u64,
+    /// Hub-label entries in the live distance oracle (0 on the Dijkstra
+    /// backend).
+    pub hub_label_entries: u64,
+    /// Approximate heap footprint of the live hub labels, in bytes.
+    pub hub_label_bytes: u64,
 }
 
 impl StatsReply {
-    const FIELDS: [&'static str; 26] = [
+    const FIELDS: [&'static str; 30] = [
         "v",
         "queries",
         "cache_hits",
@@ -560,9 +571,13 @@ impl StatsReply {
         "batch_queries",
         "backpressure_pauses",
         "oversize_lines",
+        "oracle_lookups",
+        "oracle_pruned",
+        "hub_label_entries",
+        "hub_label_bytes",
     ];
 
-    fn values(&self) -> [u64; 26] {
+    fn values(&self) -> [u64; 30] {
         [
             self.v,
             self.queries,
@@ -590,6 +605,10 @@ impl StatsReply {
             self.batch_queries,
             self.backpressure_pauses,
             self.oversize_lines,
+            self.oracle_lookups,
+            self.oracle_pruned,
+            self.hub_label_entries,
+            self.hub_label_bytes,
         ]
     }
 
@@ -610,7 +629,7 @@ impl StatsReply {
             v: v.get("v").and_then(Json::as_u64).unwrap_or(0),
             ..Default::default()
         };
-        let slots: [&mut u64; 25] = [
+        let slots: [&mut u64; 29] = [
             &mut out.queries,
             &mut out.cache_hits,
             &mut out.cache_misses,
@@ -636,6 +655,10 @@ impl StatsReply {
             &mut out.batch_queries,
             &mut out.backpressure_pauses,
             &mut out.oversize_lines,
+            &mut out.oracle_lookups,
+            &mut out.oracle_pruned,
+            &mut out.hub_label_entries,
+            &mut out.hub_label_bytes,
         ];
         for (field, slot) in Self::FIELDS.iter().skip(1).zip(slots) {
             *slot = v
@@ -1310,6 +1333,10 @@ mod tests {
             batch_queries: 12,
             backpressure_pauses: 2,
             oversize_lines: 1,
+            oracle_lookups: 17,
+            oracle_pruned: 5,
+            hub_label_entries: 900,
+            hub_label_bytes: 7200,
         }));
         round_trip_reply(Reply::Update {
             staged: 3,

@@ -1,0 +1,161 @@
+//! Distance-substrate perf snapshot: hub labels vs Dijkstra, as JSON.
+//!
+//! ```text
+//! cargo run --release --example distance_sweep > BENCH_distance.json
+//! # or via the wrapper that records it at the repo root:
+//! scripts/bench_distance.sh
+//! ```
+//!
+//! Three measurements per fixture graph, one JSON document out:
+//!
+//! * **label build** — PLL construction wall time plus the label size
+//!   (entries / bytes): the price paid once per graph epoch;
+//! * **pointwise distance** — mean time for one exact `d(s, t)` over a
+//!   fixed pair sample, hub-label sorted-list merge vs early-exit
+//!   Dijkstra traversal, and the resulting speedup;
+//! * **end-to-end queries** — whole reverse k-ranks queries,
+//!   `dynamic-three` vs `dynamic-hub`, asserted rank-identical pair by
+//!   pair before any timing is reported.
+//!
+//! The number to watch: `pointwise.speedup` is the raw substrate win
+//! (typically orders of magnitude — a label merge touches tens of
+//! entries where Dijkstra touches the graph), while `end_to_end.speedup`
+//! is the realistic one — queries also pay SDS filtering, and the
+//! oracle's `count_within` bound converts label knowledge into skipped
+//! refinements (`pruned_by_oracle`).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rkranks_core::{BoundConfig, EngineContext, QueryRequest, Strategy};
+use rkranks_datasets::{collab_graph, trust_graph, CollabParams, TrustParams};
+use rkranks_eval::workload::random_queries;
+use rkranks_graph::{DijkstraOracle, DistanceOracle, Graph, HubLabels, HubOrder, NodeId};
+
+const SEED: u64 = 42;
+const NODES: u32 = 1200;
+const K: u32 = 10;
+const PAIRS: usize = 2000;
+const QUERIES: usize = 48;
+
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+fn pair_sample(g: &Graph) -> Vec<(NodeId, NodeId)> {
+    let sources = random_queries(g, 50, SEED ^ 0xD15, |_| true);
+    let targets = random_queries(g, 47, SEED ^ 0x7A6, |_| true);
+    sources
+        .iter()
+        .flat_map(|&s| targets.iter().map(move |&t| (s, t)))
+        .filter(|(s, t)| s != t)
+        .take(PAIRS)
+        .collect()
+}
+
+fn sweep(name: &str, source: &str, g: Graph) -> String {
+    // Label build (the per-epoch cost).
+    let built = Instant::now();
+    let (labels, stats) = HubLabels::build(&g, HubOrder::Degree, 0);
+    let build_secs = secs(built.elapsed());
+
+    // Pointwise: one exact d(s, t) per substrate over the same pairs.
+    let dij = DijkstraOracle::new(Arc::new(g.clone()), 0);
+    let pairs = pair_sample(&g);
+    let timed = |oracle: &dyn DistanceOracle| {
+        let started = Instant::now();
+        let mut acc = 0.0f64;
+        for &(s, t) in &pairs {
+            let d = oracle.distance(s, t);
+            if d.is_finite() {
+                acc += d;
+            }
+        }
+        (secs(started.elapsed()) / pairs.len() as f64, acc)
+    };
+    let (hub_point, hub_acc) = timed(&labels);
+    let (dij_point, dij_acc) = timed(&dij);
+    assert!(
+        (hub_acc - dij_acc).abs() < 1e-6 * (1.0 + dij_acc.abs()),
+        "{name}: oracle distance sums diverged ({hub_acc} vs {dij_acc})"
+    );
+
+    // End-to-end: identical queries, dynamic-three vs dynamic-hub, with
+    // rank-identity asserted before any timing is trusted.
+    let plain = EngineContext::new(g.clone());
+    let hub = EngineContext::new(g).with_oracle(Arc::new(labels));
+    let queries = random_queries(plain.graph(), QUERIES, SEED ^ 0xE2E, |_| true);
+    let run = |ctx: &EngineContext, bounds: BoundConfig| {
+        let mut scratch = ctx.new_scratch();
+        let mut outs = Vec::with_capacity(queries.len());
+        let started = Instant::now();
+        for &q in &queries {
+            let req = QueryRequest::new(q, K).with_strategy(Strategy::Dynamic(bounds));
+            outs.push(ctx.execute(&mut scratch, &req).unwrap());
+        }
+        (secs(started.elapsed()) / queries.len() as f64, outs)
+    };
+    let (three_q, three_outs) = run(&plain, BoundConfig::ALL);
+    let (hub_q, hub_outs) = run(&hub, BoundConfig::HUB);
+    let mut pruned = 0u64;
+    let mut lookups = 0u64;
+    for (a, b) in three_outs.iter().zip(&hub_outs) {
+        assert_eq!(
+            a.result.entries, b.result.entries,
+            "{name}: dynamic-hub diverged from dynamic-three"
+        );
+        lookups += b.result.stats.oracle_lookups;
+        pruned += b.result.stats.pruned_by_oracle;
+    }
+
+    format!(
+        concat!(
+            "    {{\"graph\": \"{}\", \"source\": \"{}\",\n",
+            "     \"labels\": {{\"order\": \"degree\", \"build_seconds\": {:.4}, ",
+            "\"entries\": {}, \"bytes\": {}}},\n",
+            "     \"pointwise\": {{\"pairs\": {}, \"hub_seconds\": {:.3e}, ",
+            "\"dijkstra_seconds\": {:.3e}, \"speedup\": {:.1}}},\n",
+            "     \"end_to_end\": {{\"queries\": {}, \"k\": {}, ",
+            "\"dynamic_three_seconds\": {:.3e}, \"dynamic_hub_seconds\": {:.3e}, ",
+            "\"speedup\": {:.2}, \"oracle_lookups\": {}, \"pruned_by_oracle\": {}}}}}"
+        ),
+        name,
+        source,
+        build_secs,
+        stats.entries,
+        stats.bytes,
+        pairs.len(),
+        hub_point,
+        dij_point,
+        dij_point / hub_point.max(f64::MIN_POSITIVE),
+        queries.len(),
+        K,
+        three_q,
+        hub_q,
+        three_q / hub_q.max(f64::MIN_POSITIVE),
+        lookups,
+        pruned,
+    )
+}
+
+fn main() {
+    let rows = [
+        sweep(
+            "dblp",
+            "collab_graph(with_authors(1200, 42))",
+            collab_graph(&CollabParams::with_authors(NODES, SEED)),
+        ),
+        sweep(
+            "epinions",
+            "trust_graph(with_users(1200, 42))",
+            trust_graph(&TrustParams::with_users(NODES, SEED)),
+        ),
+    ];
+    println!("{{");
+    println!("  \"bench\": \"distance_sweep\",");
+    println!("  \"note\": \"hub labels vs Dijkstra: per-epoch build cost, pointwise distance, end-to-end dynamic-hub vs dynamic-three (rank-identity asserted)\",");
+    println!("  \"sweep\": [");
+    println!("{}", rows.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

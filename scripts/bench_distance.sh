@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Distance-substrate perf snapshot: hub-label oracle vs Dijkstra —
+# per-epoch label build cost, pointwise d(s,t) speedup, and end-to-end
+# dynamic-hub vs dynamic-three query timings (rank-identity asserted by
+# the sweep itself) — recorded as BENCH_distance.json at the repo root
+# so the distance-substrate trajectory is tracked in-tree from PR 10 on.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --example distance_sweep
+target/release/examples/distance_sweep > BENCH_distance.json
+echo "wrote BENCH_distance.json:" >&2
+cat BENCH_distance.json

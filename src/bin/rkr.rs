@@ -106,7 +106,8 @@ const USAGE: &str = "usage:
             [--indexed-mode sequential|snapshot] [--merge-every M] [--index FILE] [--seed S]
   rkr serve [<graph.edges>] [--addr HOST:PORT] [--workers N] [--cache N] [--merge-every M]
             [--index FILE] [--kmax K] [--save-index] [--snapshot FILE]
-            [--event-loop auto|epoll|poll] [--high-water BYTES] [--max-line BYTES]
+            [--event-loop auto|epoll|poll] [--distance dijkstra|hub]
+            [--high-water BYTES] [--max-line BYTES]
             [--log-level error|warn|info|debug] [--slow-query-ms MS] [--slow-query-cap N]
             [--shard-id I --shard-count N [--shard-seed S]]
   rkr shard-plan <graph.edges> --shards N [--seed S]
@@ -117,8 +118,8 @@ const USAGE: &str = "usage:
   rkr ctl <HOST:PORT> add-edge U V W | rm-edge U V | reweight U V W | add-node
   rkr update <HOST:PORT> --from FILE [--batch N] [--no-flush]
 
-STRATEGY: naive | static | dynamic[-parent|-height|-count|-three]
-        | indexed[-parent|-height|-count|-three]
+STRATEGY: naive | static | dynamic[-parent|-height|-count|-three|-hub]
+        | indexed[-parent|-height|-count|-three|-hub]
 update files: one op per line — add U V W | rm U V | reweight U V W | add-node";
 
 fn main() -> ExitCode {
@@ -524,6 +525,11 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         },
         slow_query_cap,
         shard,
+        distance: flags
+            .get("distance")
+            .unwrap_or("dijkstra")
+            .parse()
+            .map_err(|e: String| e)?,
     };
     let listener =
         std::net::TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
@@ -538,7 +544,8 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         );
     }
     println!(
-        "rkrd listening on {local} ({} event loop, {} workers, cache {}, merge every {}, k <= {})",
+        "rkrd listening on {local} ({} event loop, {} workers, cache {}, merge every {}, \
+         {} distance, k <= {})",
         config.event_loop.resolved_name(),
         config.workers,
         if cache > 0 {
@@ -551,6 +558,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         } else {
             "flush-only".into()
         },
+        config.distance.name(),
         index.k_max(),
     );
     let outcome = rkranks_server::serve_store(store, None, index, listener, &config);
@@ -846,6 +854,14 @@ fn cmd_ctl(flags: &Flags) -> Result<(), String> {
                 "merges:         {} ({} deltas folded)",
                 s.merges, s.deltas_merged
             );
+            println!(
+                "hub labels:     {} entries (~{} bytes)",
+                s.hub_label_entries, s.hub_label_bytes
+            );
+            println!(
+                "oracle:         {} lookups, {} candidates pruned",
+                s.oracle_lookups, s.oracle_pruned
+            );
             println!("workers:        {}", s.workers);
             println!(
                 "event loop:     {} wakeups, {} batches / {} batched queries",
@@ -1057,7 +1073,23 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
     if flags.has("trace") {
         req = req.with_trace();
     }
-    let mut engine = QueryEngine::new(g);
+    // Hub strategies need a distance oracle on the context; locally the
+    // labels are built on the spot (the daemon amortizes this per epoch).
+    let uses_oracle =
+        matches!(strategy, Strategy::Dynamic(b) | Strategy::Indexed(b) if b.use_oracle);
+    let mut engine = if uses_oracle {
+        use rkranks_graph::{HubLabels, HubOrder};
+        let (labels, lstats) = HubLabels::build(&g, HubOrder::Degree, 0);
+        eprintln!(
+            "(hub labels: {} entries, {} bytes, built in {:.2?})",
+            lstats.entries, lstats.bytes, lstats.build_time
+        );
+        QueryEngine::from_context(
+            rkranks_core::EngineContext::new(g).with_oracle(std::sync::Arc::new(labels)),
+        )
+    } else {
+        QueryEngine::new(g)
+    };
     let start = Instant::now();
     let (outcome, index_to_save): (QueryOutcome, Option<RkrIndex>) = if strategy.needs_index() {
         let mut index = match flags.get("index") {
@@ -1104,6 +1136,12 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
         result.stats.pruned_by_bound,
         result.stats.index_exact_hits
     );
+    if result.stats.oracle_lookups > 0 {
+        println!(
+            "oracle: {} lookups, {} candidates pruned by the hub bound",
+            result.stats.oracle_lookups, result.stats.pruned_by_oracle
+        );
+    }
     if let Some(trace) = &outcome.trace {
         println!("decision trace:");
         print!("{}", trace.render(None));
